@@ -1,0 +1,40 @@
+//! Benchmarks for the flicker auditor and the perception study — the
+//! transmitter-side safety checks that must keep up with live waveforms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smartvlc_core::flicker::{FlickerAuditor, FlickerRules};
+use smartvlc_core::SystemConfig;
+use smartvlc_sim::UserStudy;
+use std::hint::black_box;
+
+fn bench_auditor(c: &mut Criterion) {
+    let auditor = FlickerAuditor::new(FlickerRules::from_config(&SystemConfig::default()));
+    // One second of air time at the paper's slot clock.
+    let slots: Vec<bool> = (0..125_000).map(|i| (i * 3) % 10 < 3).collect();
+    let mut group = c.benchmark_group("flicker_audit");
+    group.throughput(Throughput::Elements(slots.len() as u64));
+    group.bench_function("one_second_waveform", |b| {
+        b.iter(|| black_box(auditor.audit(black_box(&slots))))
+    });
+    group.finish();
+}
+
+fn bench_user_study(c: &mut Criterion) {
+    c.bench_function("user_study_table2", |b| {
+        b.iter(|| {
+            let study = UserStudy::recruit(20, 2017);
+            let mut acc = 0.0;
+            for r in [0.003, 0.004, 0.005, 0.006, 0.007] {
+                acc += study.percent_perceiving_step(
+                    smartvlc_sim::Viewing::Direct,
+                    smartvlc_sim::StudyCondition::L3Dark,
+                    r,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_auditor, bench_user_study);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Hot-path benchmarks for the enumerative codec (§4.4).
+//!
+//! The paper's pitch for combinatorial dichotomy is that it replaces a
+//! 126 TB table with an O(N) walk — these benches quantify that walk at
+//! the pattern sizes the modem actually uses, up to the Nmax = 500
+//! flicker-bound extreme.
+
+use combinat::{decode_codeword, encode_codeword, BigUint, BinomialTable};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_codeword(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codeword");
+    for (n, k) in [(20usize, 10usize), (21, 11), (50, 25), (120, 60), (500, 250)] {
+        let mut table = BinomialTable::new(512);
+        // Pre-warm the Pascal rows so the bench isolates the walk.
+        table.binomial(n, k);
+        let value = table
+            .binomial(n, k)
+            .checked_sub(&BigUint::from_u64(12345))
+            .unwrap();
+        group.bench_function(format!("encode_{n}_{k}"), |b| {
+            b.iter(|| {
+                black_box(encode_codeword(&mut table, n, k, black_box(&value)).unwrap())
+            })
+        });
+        let codeword = encode_codeword(&mut table, n, k, &value).unwrap();
+        group.bench_function(format!("decode_{n}_{k}"), |b| {
+            b.iter(|| {
+                black_box(decode_codeword(&mut table, n, k, black_box(&codeword)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    c.bench_function("binomial_table_build_512", |b| {
+        b.iter_batched(
+            || BinomialTable::new(512),
+            |mut t| {
+                black_box(t.binomial(500, 250));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codeword, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! End-to-end frame pipeline benchmarks: Table 1 emit + parse with a
+//! 128-byte payload (the paper's frame size), per scheme.
+//!
+//! On the real BBB the ARM must keep this faster than the 10 ms airtime
+//! of a frame, or the PRU's TX ring underruns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smartvlc_core::frame::codec::FrameCodec;
+use smartvlc_core::frame::format::{Frame, PatternDescriptor};
+use smartvlc_core::{DimmingLevel, SystemConfig};
+use std::hint::black_box;
+
+fn descriptors(cfg: &SystemConfig) -> Vec<(&'static str, PatternDescriptor)> {
+    vec![
+        (
+            "amppm",
+            PatternDescriptor::Amppm {
+                dimming_q: cfg.quantize_dimming(0.42),
+            },
+        ),
+        ("mppm20", PatternDescriptor::Mppm { n: 20, k: 8 }),
+        (
+            "ookct",
+            PatternDescriptor::OokCt {
+                dimming_q: cfg.quantize_dimming(0.42),
+            },
+        ),
+        ("vppm10", PatternDescriptor::Vppm { n: 10, width: 4 }),
+    ]
+}
+
+fn bench_emit_parse(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let payload: Vec<u8> = (0..128u32).map(|i| (i * 37 % 251) as u8).collect();
+    let mut group = c.benchmark_group("frame");
+    group.throughput(Throughput::Bytes(128));
+    for (name, d) in descriptors(&cfg) {
+        let mut codec = FrameCodec::new(cfg.clone()).unwrap();
+        let frame = Frame::new(d, payload.clone()).unwrap();
+        // Warm the planner cache (steady-state transmitter).
+        let _ = codec.emit(&frame).unwrap();
+        group.bench_function(format!("emit_{name}"), |b| {
+            b.iter(|| black_box(codec.emit(black_box(&frame)).unwrap()))
+        });
+        let slots = codec.emit(&frame).unwrap();
+        group.bench_function(format!("parse_{name}"), |b| {
+            b.iter(|| black_box(codec.parse(black_box(&slots)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptation(c: &mut Criterion) {
+    use smartvlc_core::adaptation::{AdaptationStepper, PerceptionStepper};
+    c.bench_function("perception_steps_full_range", |b| {
+        let s = PerceptionStepper::new(0.003);
+        b.iter(|| black_box(s.steps(black_box(0.1), black_box(0.9))))
+    });
+    let _ = DimmingLevel::new(0.5);
+}
+
+criterion_group!(benches, bench_emit_parse, bench_adaptation);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Ablation: what each piece of AMPPM buys (Fig. 9's red-dash line,
+//! extended).
+//!
+//! Three selection strategies over the same candidate set:
+//!
+//! 1. **no multiplexing** — snap to the nearest single pattern and use
+//!    its rate (the paper's red-dash "without multiplexing" line): the
+//!    dimming error can be large and the rate sub-hull.
+//! 2. **greedy nearest-pair** — multiplex, but mix only the two patterns
+//!    closest in dimming rather than the hull bracket: fine granularity,
+//!    rate below the envelope.
+//! 3. **AMPPM (hull)** — the full Step 3+4 pipeline.
+
+use smartvlc_bench::{f, results_dir};
+use smartvlc_core::amppm::{best_mix, candidate_patterns};
+use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
+use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mut table = combinat::BinomialTable::new(512);
+    let candidates = candidate_patterns(&cfg, &mut table);
+    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
+
+    let mut rows = Vec::new();
+    let (mut xs, mut single_s, mut greedy_s, mut hull_s) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut single_err_worst = 0.0f64;
+    for i in 4..=36 {
+        let l = i as f64 / 40.0; // 0.1 .. 0.9 in 0.025 steps
+        // 1. Nearest single pattern.
+        let single = candidates
+            .iter()
+            .filter(|c| c.bits > 0)
+            .min_by(|a, b| {
+                let da = (a.dimming() - l).abs();
+                let db = (b.dimming() - l).abs();
+                da.partial_cmp(&db)
+                    .unwrap()
+                    .then(b.norm_rate.partial_cmp(&a.norm_rate).unwrap())
+            })
+            .expect("candidates exist");
+        single_err_worst = single_err_worst.max((single.dimming() - l).abs());
+
+        // 2. Greedy nearest-pair mix.
+        let below = candidates
+            .iter()
+            .filter(|c| c.dimming() <= l)
+            .max_by(|a, b| a.dimming().partial_cmp(&b.dimming()).unwrap())
+            .expect("below exists");
+        let above = candidates
+            .iter()
+            .filter(|c| c.dimming() >= l)
+            .min_by(|a, b| a.dimming().partial_cmp(&b.dimming()).unwrap())
+            .expect("above exists");
+        let greedy = best_mix(
+            below,
+            above,
+            l,
+            cfg.dimming_quantum / 2.0,
+            cfg.n_max_super() as u32,
+            &mut table,
+        )
+        .expect("fits");
+
+        // 3. Full AMPPM.
+        let hull = planner.plan(DimmingLevel::new(l).unwrap()).unwrap();
+
+        rows.push(vec![
+            f(l, 3),
+            format!("{} ({:+.3})", f(single.norm_rate, 3), single.dimming() - l),
+            f(greedy.norm_rate, 3),
+            f(hull.norm_rate, 3),
+        ]);
+        xs.push(l);
+        single_s.push(single.norm_rate);
+        greedy_s.push(greedy.norm_rate);
+        hull_s.push(hull.norm_rate);
+    }
+    println!("Envelope ablation — normalized rate by selection strategy:\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["target l", "single (dimming err)", "greedy pair", "AMPPM hull"],
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "normalized rate: single (o) vs greedy (+) vs AMPPM (*)",
+            "dimming",
+            "rate",
+            &xs,
+            &[
+                ("AMPPM", hull_s.clone()),
+                ("single", single_s.clone()),
+                ("greedy", greedy_s.clone()),
+            ],
+            12
+        )
+    );
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "mean rate: AMPPM {:.3}  greedy {:.3}  single {:.3}",
+        mean(&hull_s),
+        mean(&greedy_s),
+        mean(&single_s)
+    );
+    println!("worst single-pattern dimming error: {single_err_worst:.4} (AMPPM: < {:.4})", cfg.dimming_quantum);
+    assert!(mean(&hull_s) >= mean(&greedy_s) - 1e-9);
+    assert!(mean(&hull_s) >= mean(&single_s) - 1e-9);
+
+    write_csv(
+        results_dir().join("ablation_envelope.csv"),
+        &["target", "single", "greedy", "hull"],
+        &xs.iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                vec![
+                    f(l, 3),
+                    f(single_s[i], 4),
+                    f(greedy_s[i], 4),
+                    f(hull_s[i], 4),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+}

@@ -1,0 +1,71 @@
+//! Fig. 8 — available patterns under the SER upper bound (AMPPM Step 2).
+//!
+//! Plots PSER vs dimming for N ∈ {10, 30, 50} against the bound and
+//! reports which patterns are abandoned, then prints the surviving
+//! candidate set of the full Step-1+2 filter.
+
+use smartvlc_bench::{f, results_dir};
+use smartvlc_core::amppm::candidate_patterns;
+use smartvlc_core::{SymbolPattern, SystemConfig};
+use smartvlc_sim::report::{markdown_table, write_csv};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mut table = combinat::BinomialTable::new(512);
+
+    println!(
+        "Fig. 8 — SER curves vs the bound ({:.1e}); abandoned patterns marked\n",
+        cfg.ser_upper_bound
+    );
+    let mut rows = Vec::new();
+    for n in [10u16, 30, 50] {
+        for k in 1..n {
+            let s = SymbolPattern::new(n, k).unwrap();
+            let ser = cfg.slot_errors.symbol_error_rate(s);
+            if k % (n / 10).max(1) == 0 {
+                rows.push(vec![
+                    format!("S({n}, {:.2})", s.dimming().value()),
+                    format!("{ser:.3e}"),
+                    if ser > cfg.ser_upper_bound {
+                        "ABANDONED".into()
+                    } else {
+                        "kept".into()
+                    },
+                ]);
+            }
+        }
+    }
+    println!("{}", markdown_table(&["pattern", "PSER", "verdict"], &rows));
+
+    let candidates = candidate_patterns(&cfg, &mut table);
+    let n_values: std::collections::BTreeSet<u16> =
+        candidates.iter().map(|c| c.pattern.n()).collect();
+    println!(
+        "surviving candidates: {} patterns, N in {:?}..={:?}",
+        candidates.len(),
+        n_values.iter().next().unwrap(),
+        n_values.iter().last().unwrap()
+    );
+    println!("paper check: every S(50, l) exceeds the bound (50 slots x ~8.5e-5/slot");
+    println!("= 4.2e-3 > {:.1e}) and is abandoned, as in Fig. 8's N=50 curve.", cfg.ser_upper_bound);
+    assert!(candidates.iter().all(|c| c.pattern.n() < 50));
+
+    let csv_rows: Vec<Vec<String>> = candidates
+        .iter()
+        .map(|c| {
+            vec![
+                c.pattern.n().to_string(),
+                c.pattern.k().to_string(),
+                f(c.dimming(), 4),
+                f(c.norm_rate, 4),
+                format!("{:.3e}", c.ser),
+            ]
+        })
+        .collect();
+    write_csv(
+        results_dir().join("fig08.csv"),
+        &["n", "k", "dimming", "norm_rate", "ser"],
+        &csv_rows,
+    )
+    .expect("write csv");
+}

@@ -1,0 +1,98 @@
+//! Fig. 10 — brightness adaptation in the measured vs the perception
+//! domain.
+//!
+//! Walks the LED from 10% to 90% with both steppers and prints the two
+//! set-point trajectories: the fixed-τ baseline takes equal measured
+//! steps (Fig. 10(a)); SmartVLC takes equal *perceptual* steps, whose
+//! measured size grows with brightness (Fig. 10(b)) — fewer steps, same
+//! invisibility.
+
+use smartvlc_bench::{f, results_dir};
+use smartvlc_core::adaptation::{
+    perceived, AdaptationStepper, FixedStepper, PerceptionStepper,
+};
+use smartvlc_core::SystemConfig;
+use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let (from, to) = (0.10, 0.90);
+    let smart = PerceptionStepper::new(cfg.tau_p);
+    let fixed = FixedStepper::flicker_safe(cfg.tau_p, from);
+
+    let smart_steps = smart.steps(from, to);
+    let fixed_steps = fixed.steps(from, to);
+    println!("Fig. 10 — adapting the LED {from} -> {to} without visible flicker\n");
+    println!(
+        "measured-domain stepper (existing): {} steps of tau = {:.5}",
+        fixed_steps.len(),
+        fixed.tau
+    );
+    println!(
+        "perception-domain stepper (SmartVLC): {} steps of tau_p = {}",
+        smart_steps.len(),
+        smart.tau_p
+    );
+    println!(
+        "reduction: {:.0}%\n",
+        (1.0 - smart_steps.len() as f64 / fixed_steps.len() as f64) * 100.0
+    );
+
+    // Show how the measured step size varies along the smart trajectory.
+    let mut rows = Vec::new();
+    let mut prev = from;
+    for (i, &x) in smart_steps.iter().enumerate() {
+        if i % (smart_steps.len() / 12).max(1) == 0 || i == smart_steps.len() - 1 {
+            rows.push(vec![
+                i.to_string(),
+                f(x, 4),
+                f(x - prev, 5),
+                f(perceived(x) - perceived(prev), 5),
+            ]);
+        }
+        prev = x;
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["step#", "measured level", "measured delta", "perceptual delta"],
+            &rows
+        )
+    );
+
+    // The Fig. 10 curves: perceived vs measured for both trajectories.
+    let xs: Vec<f64> = (0..=40).map(|i| from + (to - from) * i as f64 / 40.0).collect();
+    let p: Vec<f64> = xs.iter().map(|&x| perceived(x) * 100.0).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "perceived (%) vs measured (%) brightness — the nonlinearity both panels share",
+            "measured",
+            "perceived %",
+            &xs,
+            &[("Ip=100*sqrt(Im/100)", p)],
+            10
+        )
+    );
+
+    let csv: Vec<Vec<String>> = smart_steps
+        .iter()
+        .map(|&x| vec![f(x, 6), f(perceived(x), 6)])
+        .collect();
+    write_csv(
+        results_dir().join("fig10_smart_trajectory.csv"),
+        &["measured", "perceived"],
+        &csv,
+    )
+    .expect("write csv");
+    let csv: Vec<Vec<String>> = fixed_steps
+        .iter()
+        .map(|&x| vec![f(x, 6), f(perceived(x), 6)])
+        .collect();
+    write_csv(
+        results_dir().join("fig10_fixed_trajectory.csv"),
+        &["measured", "perceived"],
+        &csv,
+    )
+    .expect("write csv");
+}

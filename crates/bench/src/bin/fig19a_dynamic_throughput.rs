@@ -1,0 +1,39 @@
+//! Fig. 19(a) — throughput over the 67-second blind pull.
+//!
+//! The blind opens at constant speed; ambient brightens; the LED dims
+//! from ~0.95 toward ~0.2; throughput traces the static Fig. 15 curve as
+//! the operating level sweeps through the hump.
+
+use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_link::SchemeKind;
+use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+use smartvlc_sim::run_dynamic;
+
+fn main() {
+    let secs = if full_run() { 67.0 } else { 20.0 };
+    println!("Fig. 19(a) — dynamic throughput over a {secs:.0} s blind pull\n");
+    let outcome = run_dynamic(SchemeKind::Amppm, Some(secs), 19);
+    let tp = &outcome.report.throughput_bps;
+
+    let rows: Vec<Vec<String>> = tp
+        .iter()
+        .map(|&(t, bps)| vec![f(t, 0), f(bps / 1e3, 1)])
+        .collect();
+    println!("{}", markdown_table(&["t (s)", "Kbps"], &rows));
+    let xs: Vec<f64> = tp.iter().map(|&(t, _)| t).collect();
+    let ys: Vec<f64> = tp.iter().map(|&(_, b)| b / 1e3).collect();
+    println!(
+        "{}",
+        ascii_chart("throughput (Kbps) vs time (s)", "t", "Kbps", &xs, &[("AMPPM", ys.clone())], 12)
+    );
+
+    let peak = ys.iter().copied().fold(f64::MIN, f64::max);
+    let start = ys.first().copied().unwrap_or(0.0);
+    let end = ys.last().copied().unwrap_or(0.0);
+    println!(
+        "shape: starts ~{start:.0}, peaks ~{peak:.0} mid-sweep, ends ~{end:.0} Kbps"
+    );
+    println!("(paper: ~60 -> ~105 -> ~55 Kbps, near-symmetric, tracking Fig. 15)");
+
+    write_csv(results_dir().join("fig19a.csv"), &["t_s", "kbps"], &rows).expect("write csv");
+}

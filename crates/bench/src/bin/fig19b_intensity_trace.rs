@@ -1,0 +1,72 @@
+//! Fig. 19(b) — recorded ambient / LED / sum light intensity during the
+//! dynamic scenario (Goal 1 of §4.3: the sum stays constant).
+
+use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_link::SchemeKind;
+use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+use smartvlc_sim::run_dynamic;
+
+fn main() {
+    let secs = if full_run() { 67.0 } else { 20.0 };
+    println!("Fig. 19(b) — normalized light intensities over a {secs:.0} s blind pull\n");
+    let outcome = run_dynamic(SchemeKind::Amppm, Some(secs), 19);
+    let trace = &outcome.report.trace;
+
+    let rows: Vec<Vec<String>> = trace
+        .iter()
+        .step_by((trace.len() / 25).max(1))
+        .map(|p| {
+            vec![
+                f(p.t_s, 1),
+                f(p.ambient, 3),
+                f(p.led, 3),
+                f(p.ambient + p.led, 3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["t (s)", "ambient", "LED", "sum"], &rows)
+    );
+    let xs: Vec<f64> = trace.iter().map(|p| p.t_s).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "normalized intensity vs time",
+            "t (s)",
+            "intensity",
+            &xs,
+            &[
+                ("ambient", trace.iter().map(|p| p.ambient).collect()),
+                ("LED", trace.iter().map(|p| p.led).collect()),
+                ("sum", trace.iter().map(|p| p.ambient + p.led).collect()),
+            ],
+            12
+        )
+    );
+
+    // Goal-1 check: worst deviation of the sum from the set-point,
+    // ignoring the first sample (cold start).
+    let worst = trace[1..]
+        .iter()
+        .map(|p| (p.ambient + p.led - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |sum - setpoint| after start-up: {worst:.3} (paper: 'nearly constant')");
+
+    write_csv(
+        results_dir().join("fig19b.csv"),
+        &["t_s", "ambient", "led", "sum"],
+        &trace
+            .iter()
+            .map(|p| {
+                vec![
+                    f(p.t_s, 2),
+                    f(p.ambient, 4),
+                    f(p.led, 4),
+                    f(p.ambient + p.led, 4),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+}

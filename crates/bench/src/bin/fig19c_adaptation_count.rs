@@ -1,0 +1,57 @@
+//! Fig. 19(c) — cumulative brightness-adaptation adjustments during the
+//! dynamic scenario: SmartVLC's perception-domain stepper vs the
+//! fixed-step "existing method" (paper: ~50% fewer adjustments).
+
+use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_link::SchemeKind;
+use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+use smartvlc_sim::run_dynamic;
+
+fn main() {
+    let secs = if full_run() { 67.0 } else { 20.0 };
+    println!("Fig. 19(c) — cumulative adaptation adjustments over {secs:.0} s\n");
+    let outcome = run_dynamic(SchemeKind::Amppm, Some(secs), 19);
+    let adapt = &outcome.report.adaptation;
+
+    let rows: Vec<Vec<String>> = adapt
+        .iter()
+        .step_by((adapt.len() / 25).max(1))
+        .map(|&(t, smart, fixed)| vec![f(t, 1), smart.to_string(), fixed.to_string()])
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["t (s)", "SmartVLC", "existing method"], &rows)
+    );
+    let xs: Vec<f64> = adapt.iter().map(|&(t, _, _)| t).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "cumulative adjustments vs time",
+            "t (s)",
+            "count",
+            &xs,
+            &[
+                ("SmartVLC", adapt.iter().map(|&(_, s, _)| s as f64).collect()),
+                ("existing", adapt.iter().map(|&(_, _, f)| f as f64).collect()),
+            ],
+            12
+        )
+    );
+
+    let (_, smart, fixed) = *adapt.last().unwrap();
+    println!(
+        "final: SmartVLC {smart} vs existing {fixed} adjustments -> {:.0}% reduction \
+         (paper: ~50%)",
+        outcome.adaptation_reduction * 100.0
+    );
+
+    write_csv(
+        results_dir().join("fig19c.csv"),
+        &["t_s", "smartvlc", "existing"],
+        &adapt
+            .iter()
+            .map(|&(t, s, fx)| vec![f(t, 2), s.to_string(), fx.to_string()])
+            .collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+}

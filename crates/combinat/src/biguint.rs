@@ -1,0 +1,385 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Only the operations the enumerative codec needs are implemented:
+//! construction, comparison, addition, checked subtraction, doubling /
+//! halving (for bit-stream conversion), and bit-level accessors. Limbs are
+//! `u64`, little-endian, and the representation is always *normalized*
+//! (no trailing zero limbs), so `==` on the limb vector is value equality.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Invariant: empty for zero; otherwise the last limb is non-zero.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
+        out.normalize();
+        out
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (0 for the value 0). Equivalently
+    /// `⌊log2 v⌋ + 1` for `v > 0`.
+    pub fn bit_length(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// The `i`-th bit (LSB = bit 0).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            false
+        } else {
+            (self.limbs[limb] >> (i % 64)) & 1 == 1
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        Some(r)
+    }
+
+    /// `self * 2` (one left shift).
+    pub fn double(&self) -> BigUint {
+        self.shl_small(1)
+    }
+
+    /// `self << k` for small `k` (k < 64 is enough for our callers, but any
+    /// k is accepted).
+    pub fn shl_small(&self, k: u32) -> BigUint {
+        if self.is_zero() || k == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = k % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Set bit 0 to `b` (used when assembling a value bit-by-bit:
+    /// `v = v.double().with_bit0(next_bit)`).
+    pub fn with_bit0(mut self, b: bool) -> BigUint {
+        if b {
+            if self.limbs.is_empty() {
+                self.limbs.push(1);
+            } else {
+                self.limbs[0] |= 1;
+            }
+        }
+        self
+    }
+
+    /// Build a value from MSB-first bits.
+    pub fn from_bits_msb(bits: &[bool]) -> BigUint {
+        let mut v = BigUint::zero();
+        for &b in bits {
+            v = v.double().with_bit0(b);
+        }
+        v
+    }
+
+    /// Emit exactly `width` MSB-first bits.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `width` bits.
+    pub fn to_bits_msb(&self, width: u32) -> Vec<bool> {
+        assert!(
+            self.bit_length() <= width,
+            "value has {} bits, does not fit in {}",
+            self.bit_length(),
+            width
+        );
+        (0..width).rev().map(|i| self.bit(i)).collect()
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.to_u128() {
+            write!(f, "BigUint({v})")
+        } else {
+            write!(f, "BigUint(~2^{})", self.bit_length().saturating_sub(1))
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::from_u128(0), BigUint::zero());
+        assert_eq!(BigUint::zero().bit_length(), 0);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 64, (1 << 64) + 5] {
+            assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, 1),
+            (u64::MAX as u128, 1),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 100, 1 << 100),
+        ];
+        for (a, b) in cases {
+            let r = BigUint::from_u128(a).add(&BigUint::from_u128(b));
+            assert_eq!(r.to_u128(), Some(a + b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn add_carries_beyond_u128() {
+        let a = BigUint::from_u128(u128::MAX);
+        let r = a.add(&BigUint::one());
+        assert_eq!(r.bit_length(), 129);
+        assert_eq!(r.checked_sub(&BigUint::one()).unwrap(), a);
+    }
+
+    #[test]
+    fn checked_sub_matches_u128() {
+        let a = BigUint::from_u128(1 << 100);
+        let b = BigUint::from_u128((1 << 100) - 12345);
+        assert_eq!(a.checked_sub(&b).unwrap().to_u128(), Some(12345));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.checked_sub(&a).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = BigUint::from_u128(1 << 64);
+        let r = a.checked_sub(&BigUint::one()).unwrap();
+        assert_eq!(r.to_u128(), Some((1 << 64) - 1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let vals: Vec<u128> = vec![0, 1, 2, u64::MAX as u128, 1 << 64, u128::MAX];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    BigUint::from_u128(a).cmp(&BigUint::from_u128(b)),
+                    a.cmp(&b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_length_matches_log2() {
+        assert_eq!(BigUint::from_u64(1).bit_length(), 1);
+        assert_eq!(BigUint::from_u64(2).bit_length(), 2);
+        assert_eq!(BigUint::from_u64(255).bit_length(), 8);
+        assert_eq!(BigUint::from_u64(256).bit_length(), 9);
+        assert_eq!(BigUint::from_u128(1 << 100).bit_length(), 101);
+    }
+
+    #[test]
+    fn shl_small_matches_u128() {
+        for k in [0u32, 1, 7, 63, 64, 65, 100] {
+            let v = BigUint::from_u64(0xDEAD_BEEF).shl_small(k);
+            if k <= 96 {
+                assert_eq!(v.to_u128(), Some((0xDEAD_BEEFu128) << k), "k={k}");
+            } else {
+                assert_eq!(v.bit_length(), 32 + k);
+            }
+        }
+        assert!(BigUint::zero().shl_small(100).is_zero());
+    }
+
+    #[test]
+    fn bits_msb_roundtrip() {
+        for v in [0u128, 1, 5, 0b101101, u64::MAX as u128, 1 << 90] {
+            let big = BigUint::from_u128(v);
+            let w = big.bit_length().max(1);
+            let bits = big.to_bits_msb(w);
+            assert_eq!(BigUint::from_bits_msb(&bits), big, "v={v}");
+            // Padding with leading zeros must not change the value.
+            let padded = big.to_bits_msb(w + 7);
+            assert_eq!(BigUint::from_bits_msb(&padded), big, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_bits_msb_rejects_narrow_width() {
+        BigUint::from_u64(256).to_bits_msb(8);
+    }
+
+    #[test]
+    fn with_bit0_builds_values() {
+        // 0b1011 = 11 built MSB-first.
+        let v = BigUint::zero()
+            .double()
+            .with_bit0(true)
+            .double()
+            .with_bit0(false)
+            .double()
+            .with_bit0(true)
+            .double()
+            .with_bit0(true);
+        assert_eq!(v.to_u64(), Some(11));
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact binomial coefficients with memoized Pascal rows.
+//!
+//! The AMPPM planner queries `C(N,K)` (and `⌊log2 C(N,K)⌋`, the
+//! bits-per-symbol of pattern `S(N, K/N)` from Eq. 2 of the paper) for many
+//! `(N,K)` pairs while filtering candidates and walking the rate envelope,
+//! and the codec's inner loop compares a running value against
+//! `C(N-iN, K-iK)` once per slot. A [`BinomialTable`] memoizes whole Pascal
+//! rows so each coefficient is computed exactly once, and serves values
+//! either as exact [`BigUint`]s or through a `u128` fast path when they
+//! fit (everything up to `N = 128` does).
+
+use crate::biguint::BigUint;
+
+/// Memoized Pascal's triangle up to a maximum row.
+///
+/// Rows are computed lazily and only the first half of each row is stored
+/// (`C(n,k) = C(n,n-k)`).
+pub struct BinomialTable {
+    max_n: usize,
+    /// `rows[n][k]` = C(n,k) for k <= n/2; rows computed on demand.
+    rows: Vec<Option<Vec<BigUint>>>,
+}
+
+impl BinomialTable {
+    /// Create a table supporting `0 <= n <= max_n`.
+    ///
+    /// `max_n = 512` comfortably covers the paper's `Nmax = 500` flicker
+    /// bound (Eq. 4) and costs only a few MB when fully populated.
+    pub fn new(max_n: usize) -> Self {
+        BinomialTable {
+            max_n,
+            rows: vec![None; max_n + 1],
+        }
+    }
+
+    /// The largest supported `n`.
+    pub fn max_n(&self) -> usize {
+        self.max_n
+    }
+
+    fn ensure_row(&mut self, n: usize) {
+        assert!(n <= self.max_n, "n={n} exceeds table max {}", self.max_n);
+        if self.rows[n].is_some() {
+            return;
+        }
+        // Build rows iteratively from the highest cached row below n.
+        let mut start = n;
+        while start > 0 && self.rows[start - 1].is_none() {
+            start -= 1;
+        }
+        if start == 0 && self.rows[0].is_none() {
+            self.rows[0] = Some(vec![BigUint::one()]);
+            start = 1;
+        }
+        for row_n in start..=n {
+            let prev = self.rows[row_n - 1]
+                .as_ref()
+                .expect("previous row computed");
+            let half = row_n / 2;
+            let mut row = Vec::with_capacity(half + 1);
+            row.push(BigUint::one()); // C(n,0)
+            for k in 1..=half {
+                // C(n,k) = C(n-1,k-1) + C(n-1,k); fetch both from the
+                // stored half-row using symmetry.
+                let a = fetch_half(prev, row_n - 1, k - 1);
+                let b = fetch_half(prev, row_n - 1, k);
+                row.push(a.add(&b));
+            }
+            self.rows[row_n] = Some(row);
+        }
+    }
+
+    /// Exact `C(n,k)`. Returns 0 for `k > n`.
+    pub fn binomial(&mut self, n: usize, k: usize) -> BigUint {
+        if k > n {
+            return BigUint::zero();
+        }
+        self.ensure_row(n);
+        let row = self.rows[n].as_ref().expect("row just ensured");
+        fetch_half(row, n, k).clone()
+    }
+
+    /// `C(n,k)` as `u128` if it fits, else `None`.
+    pub fn binomial_u128(&mut self, n: usize, k: usize) -> Option<u128> {
+        self.binomial(n, k).to_u128()
+    }
+
+    /// `⌊log2 C(n,k)⌋`: the number of data bits one MPPM symbol with
+    /// pattern `S(n, k/n)` carries (Eq. 2 numerator). Returns `None` when
+    /// `C(n,k) == 0` (i.e. `k > n`) and `Some(0)` when `C(n,k) == 1`.
+    pub fn bits_per_symbol(&mut self, n: usize, k: usize) -> Option<u32> {
+        let c = self.binomial(n, k);
+        if c.is_zero() {
+            None
+        } else {
+            Some(c.bit_length() - 1)
+        }
+    }
+}
+
+fn fetch_half(row: &[BigUint], n: usize, k: usize) -> &BigUint {
+    let k = k.min(n - k);
+    &row[k]
+}
+
+/// Exact `C(n,k)` without a table, via the multiplicative formula in
+/// `u128`. Panics on overflow; intended for small one-off queries and as a
+/// cross-check in tests.
+pub fn binomial_u128_direct(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num
+            .checked_mul((n - i) as u128)
+            .expect("binomial_u128_direct overflow");
+        num /= (i + 1) as u128;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_known() {
+        let mut t = BinomialTable::new(64);
+        assert_eq!(t.binomial_u128(0, 0), Some(1));
+        assert_eq!(t.binomial_u128(5, 0), Some(1));
+        assert_eq!(t.binomial_u128(5, 5), Some(1));
+        assert_eq!(t.binomial_u128(5, 2), Some(10));
+        assert_eq!(t.binomial_u128(10, 3), Some(120));
+        assert_eq!(t.binomial_u128(20, 10), Some(184_756));
+        assert_eq!(t.binomial_u128(3, 7), Some(0));
+    }
+
+    #[test]
+    fn matches_direct_formula() {
+        let mut t = BinomialTable::new(60);
+        for n in 0..=60u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    t.binomial_u128(n as usize, k as usize),
+                    Some(binomial_u128_direct(n, k)),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        let mut t = BinomialTable::new(64);
+        // Sec. 4.4: C(50,25) ~= 1.26e14.
+        assert_eq!(t.binomial_u128(50, 25), Some(126_410_606_437_752));
+        // Fig. 9: S(21, 0.524) => K = 11; bits = floor(log2 C(21,11)).
+        assert_eq!(t.binomial_u128(21, 11), Some(352_716));
+        assert_eq!(t.bits_per_symbol(21, 11), Some(18));
+        // MPPM baseline N=20, l=0.1 => K=2: floor(log2 190) = 7.
+        assert_eq!(t.bits_per_symbol(20, 2), Some(7));
+    }
+
+    #[test]
+    fn huge_rows_are_exact() {
+        let mut t = BinomialTable::new(512);
+        let c = t.binomial(500, 250);
+        // C(500,250) has 496 bits (log2 ~ 495.2).
+        assert_eq!(c.bit_length(), 496);
+        // Pascal identity holds at the top.
+        let a = t.binomial(499, 249);
+        let b = t.binomial(499, 250);
+        assert_eq!(a.add(&b), c);
+    }
+
+    #[test]
+    fn symmetry_holds() {
+        let mut t = BinomialTable::new(101);
+        for k in 0..=101 {
+            assert_eq!(t.binomial(101, k), t.binomial(101, 101 - k));
+        }
+    }
+
+    #[test]
+    fn row_sum_is_power_of_two() {
+        let mut t = BinomialTable::new(40);
+        let mut sum = BigUint::zero();
+        for k in 0..=40 {
+            sum = sum.add(&t.binomial(40, k));
+        }
+        assert_eq!(sum.to_u128(), Some(1u128 << 40));
+    }
+
+    #[test]
+    fn bits_per_symbol_edges() {
+        let mut t = BinomialTable::new(32);
+        assert_eq!(t.bits_per_symbol(10, 0), Some(0)); // C=1 -> 0 bits
+        assert_eq!(t.bits_per_symbol(10, 10), Some(0));
+        assert_eq!(t.bits_per_symbol(10, 11), None);
+        assert_eq!(t.bits_per_symbol(10, 1), Some(3)); // C=10 -> 3 bits
+    }
+
+    #[test]
+    fn lazy_rows_any_order() {
+        let mut t = BinomialTable::new(128);
+        // Query a high row first, then a low one, then high again.
+        let hi = t.binomial_u128(100, 50);
+        assert!(hi.is_some());
+        assert_eq!(t.binomial_u128(4, 2), Some(6));
+        assert_eq!(t.binomial_u128(100, 50), hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds table max")]
+    fn beyond_max_panics() {
+        let mut t = BinomialTable::new(16);
+        t.binomial(17, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! MSB-first bit streams over byte buffers.
+//!
+//! The transmitter slices the MAC payload into `b = ⌊log2 C(N,K)⌋`-bit
+//! data words, one per MPPM symbol; the receiver reassembles them. `b` is
+//! rarely a multiple of 8 (e.g. 18 bits for `S(21, 0.524)`), so both sides
+//! need a bit-granular cursor. MSB-first order matches the paper's frame
+//! layout (network order) and makes test vectors readable.
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit index (0 = MSB of bytes[0]).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Total number of bits in the underlying buffer.
+    pub fn total_bits(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.total_bits() - self.pos
+    }
+
+    /// Current cursor position in bits from the start.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read a single bit; `None` at end of buffer.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.total_bits() {
+            return None;
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read up to `n` bits into a vector (MSB-first). Returns fewer than
+    /// `n` at end of buffer; an empty vector means the stream is done.
+    pub fn read_bits(&mut self, n: usize) -> Vec<bool> {
+        let take = n.min(self.remaining());
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            out.push(self.read_bit().expect("remaining checked"));
+        }
+        out
+    }
+
+    /// Read exactly `n <= 64` bits as an integer (MSB-first), or `None` if
+    /// fewer remain.
+    pub fn read_uint(&mut self, n: usize) -> Option<u64> {
+        assert!(n <= 64, "read_uint supports at most 64 bits");
+        if self.remaining() < n {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit().expect("remaining checked") as u64;
+        }
+        Some(v)
+    }
+}
+
+/// Writes bits MSB-first into an owned byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the last byte (0 means byte-aligned).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.partial == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Append one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Append a slice of bits (MSB-first order preserved).
+    pub fn write_bits(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.write_bit(b);
+        }
+    }
+
+    /// Append the low `n <= 64` bits of `v`, MSB-first.
+    pub fn write_uint(&mut self, v: u64, n: usize) {
+        assert!(n <= 64, "write_uint supports at most 64 bits");
+        for i in (0..n).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish, zero-padding the final partial byte. Returns the bytes and
+    /// the exact bit count (so a reader can ignore the padding).
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        let bits = self.len_bits();
+        (self.bytes, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_bits_msb_first() {
+        let mut r = BitReader::new(&[0b1010_0001]);
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(4), vec![false, false, false, false]);
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn read_uint_crosses_byte_boundary() {
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        assert_eq!(r.read_uint(12), Some(0xABC));
+        assert_eq!(r.read_uint(4), Some(0xD));
+        assert_eq!(r.read_uint(1), None);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_uint(0b101, 3);
+        w.write_uint(0xFFFF, 16);
+        w.write_bit(false);
+        w.write_uint(42, 13);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 33);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_uint(3), Some(0b101));
+        assert_eq!(r.read_uint(16), Some(0xFFFF));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_uint(13), Some(42));
+    }
+
+    #[test]
+    fn partial_final_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(&[true, true, true]);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 3);
+        assert_eq!(bytes, vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn read_bits_truncates_at_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(20).len(), 8);
+        assert!(r.read_bits(4).is_empty());
+    }
+
+    #[test]
+    fn len_bits_tracks_partial() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bits(), 0);
+        w.write_bit(true);
+        assert_eq!(w.len_bits(), 1);
+        w.write_uint(0, 7);
+        assert_eq!(w.len_bits(), 8);
+        w.write_bit(false);
+        assert_eq!(w.len_bits(), 9);
+    }
+
+    #[test]
+    fn position_and_remaining_are_consistent() {
+        let mut r = BitReader::new(&[0, 0, 0]);
+        assert_eq!(r.remaining(), 24);
+        r.read_bits(5);
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 19);
+    }
+}

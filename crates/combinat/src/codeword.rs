@@ -1,0 +1,341 @@
+//! Enumerative constant-weight coding — the paper's Algorithms 1 and 2.
+//!
+//! An MPPM symbol with pattern `S(N, l=K/N)` carries
+//! `b = ⌊log2 C(N,K)⌋` data bits. The transmitter must map a `b`-bit value
+//! onto one of the `C(N,K)` length-`N` slot sequences with exactly `K` ONs,
+//! and the receiver must invert the map. §4.4 of the paper rejects lookup
+//! tables/constellations (126 TB at `N = 50, K = 25`) in favour of a
+//! "combinatorial dichotomy": walk the slots once, and at each slot compare
+//! the residual value against a binomial coefficient.
+//!
+//! In coding-theory terms Algorithm 1 is *unranking* and Algorithm 2 is
+//! *ranking* of constant-weight words, with the convention that codewords
+//! beginning with ON come first: at slot `i` (0-based) with `r` ONs still
+//! to place over the remaining `N - i` slots, the `C(N-i-1, r-1)` codewords
+//! that put ON here precede all codewords that put OFF here. The paper's
+//! pseudocode expresses exactly this comparison (`val >= C(N-iN, K-iK)`
+//! selects OFF and subtracts).
+//!
+//! Complexity: `O(N)` binomial lookups per symbol, `O(1)` extra memory —
+//! versus `O(C(N,K))` memory for tabulation.
+
+use crate::biguint::BigUint;
+use crate::binomial::BinomialTable;
+use core::fmt;
+
+/// Errors from encoding or decoding a constant-weight codeword.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodewordError {
+    /// `K > N`: no such pattern exists.
+    InvalidPattern {
+        /// Slots per symbol.
+        n: usize,
+        /// ON slots per symbol.
+        k: usize,
+    },
+    /// The value to encode is `>= C(N,K)` and cannot be represented.
+    ValueOutOfRange,
+    /// The received word's length differs from `N`.
+    WrongLength {
+        /// Expected number of slots.
+        expected: usize,
+        /// Received number of slots.
+        got: usize,
+    },
+    /// The received word does not contain exactly `K` ONs — the symbol was
+    /// corrupted in flight (this is how slot errors surface as symbol
+    /// errors, Eq. 3 of the paper).
+    WrongWeight {
+        /// Expected ON count.
+        expected: usize,
+        /// Received ON count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CodewordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodewordError::InvalidPattern { n, k } => {
+                write!(f, "invalid pattern: K={k} exceeds N={n}")
+            }
+            CodewordError::ValueOutOfRange => write!(f, "value >= C(N,K), cannot encode"),
+            CodewordError::WrongLength { expected, got } => {
+                write!(f, "codeword length {got}, expected {expected}")
+            }
+            CodewordError::WrongWeight { expected, got } => {
+                write!(f, "codeword weight {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodewordError {}
+
+/// Algorithm 1 — unrank `value` into an `n`-slot codeword with exactly `k`
+/// ONs (`true` = ON).
+///
+/// `value` must satisfy `value < C(n,k)`.
+pub fn encode_codeword(
+    table: &mut BinomialTable,
+    n: usize,
+    k: usize,
+    value: &BigUint,
+) -> Result<Vec<bool>, CodewordError> {
+    if k > n {
+        return Err(CodewordError::InvalidPattern { n, k });
+    }
+    if *value >= table.binomial(n, k) {
+        return Err(CodewordError::ValueOutOfRange);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut val = value.clone();
+    let mut ones_left = k;
+    for pos in 0..n {
+        let slots_left = n - pos;
+        if ones_left == 0 {
+            // Only OFFs remain (paper: "code_w[iN..N] = OFF").
+            out.resize(n, false);
+            break;
+        }
+        if ones_left == slots_left {
+            // Only ONs remain (paper: "code_w[iN..N] = ON").
+            out.resize(n, true);
+            break;
+        }
+        // Codewords with ON at this slot occupy ranks [0, C(slots_left-1, ones_left-1)).
+        let on_count = table.binomial(slots_left - 1, ones_left - 1);
+        if val < on_count {
+            out.push(true);
+            ones_left -= 1;
+        } else {
+            val = val
+                .checked_sub(&on_count)
+                .expect("val >= on_count checked");
+            out.push(false);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    debug_assert_eq!(out.iter().filter(|&&b| b).count(), k);
+    Ok(out)
+}
+
+/// Algorithm 2 — rank a received `n`-slot codeword back to its value.
+///
+/// Verifies both the length and the constant-weight invariant; a weight
+/// mismatch means slot errors corrupted the symbol.
+pub fn decode_codeword(
+    table: &mut BinomialTable,
+    n: usize,
+    k: usize,
+    codeword: &[bool],
+) -> Result<BigUint, CodewordError> {
+    if k > n {
+        return Err(CodewordError::InvalidPattern { n, k });
+    }
+    if codeword.len() != n {
+        return Err(CodewordError::WrongLength {
+            expected: n,
+            got: codeword.len(),
+        });
+    }
+    let weight = codeword.iter().filter(|&&b| b).count();
+    if weight != k {
+        return Err(CodewordError::WrongWeight {
+            expected: k,
+            got: weight,
+        });
+    }
+    let mut value = BigUint::zero();
+    let mut ones_left = k;
+    for (pos, &bit) in codeword.iter().enumerate() {
+        if ones_left == 0 {
+            break; // remaining slots are all OFF, contribute nothing
+        }
+        let slots_left = n - pos;
+        if bit {
+            ones_left -= 1;
+        } else {
+            // Skip over every codeword that put ON here.
+            value = value.add(&table.binomial(slots_left - 1, ones_left - 1));
+        }
+    }
+    Ok(value)
+}
+
+/// Reference enumeration of all `(n,k)` constant-weight words in codec
+/// order (ON-first). Exponential; for tests only.
+pub fn enumerate_codewords(n: usize, k: usize) -> Vec<Vec<bool>> {
+    fn rec(n: usize, k: usize, prefix: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        if prefix.len() == n {
+            out.push(prefix.clone());
+            return;
+        }
+        let placed = prefix.iter().filter(|&&b| b).count();
+        let slots_left = n - prefix.len();
+        let ones_left = k - placed;
+        if ones_left > 0 {
+            prefix.push(true);
+            rec(n, k, prefix, out);
+            prefix.pop();
+        }
+        if slots_left > ones_left {
+            prefix.push(false);
+            rec(n, k, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if k <= n {
+        rec(n, k, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BinomialTable {
+        BinomialTable::new(512)
+    }
+
+    #[test]
+    fn encode_matches_reference_enumeration() {
+        let mut t = table();
+        for (n, k) in [(4, 2), (5, 1), (5, 4), (6, 3), (7, 0), (7, 7), (8, 3)] {
+            let all = enumerate_codewords(n, k);
+            assert_eq!(all.len() as u128, t.binomial_u128(n, k).unwrap());
+            for (i, expect) in all.iter().enumerate() {
+                let got =
+                    encode_codeword(&mut t, n, k, &BigUint::from_u64(i as u64)).unwrap();
+                assert_eq!(&got, expect, "n={n} k={k} value={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        let mut t = table();
+        for n in 1..=10 {
+            for k in 0..=n {
+                let count = t.binomial_u128(n, k).unwrap();
+                for v in 0..count {
+                    let val = BigUint::from_u128(v);
+                    let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+                    assert_eq!(cw.len(), n);
+                    assert_eq!(cw.iter().filter(|&&b| b).count(), k);
+                    let back = decode_codeword(&mut t, n, k, &cw).unwrap();
+                    assert_eq!(back, val, "n={n} k={k} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_patterns() {
+        let mut t = table();
+        // The paper's headline pattern sizes, plus the flicker-bound extreme.
+        for (n, k) in [(20, 10), (21, 11), (50, 25), (120, 60), (500, 250)] {
+            let c = t.binomial(n, k);
+            let probes = [
+                BigUint::zero(),
+                BigUint::one(),
+                c.checked_sub(&BigUint::one()).unwrap(),
+                c.checked_sub(&BigUint::from_u64(12345)).unwrap(),
+            ];
+            for val in probes {
+                let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+                assert_eq!(cw.iter().filter(|&&b| b).count(), k);
+                assert_eq!(decode_codeword(&mut t, n, k, &cw).unwrap(), val);
+            }
+        }
+    }
+
+    #[test]
+    fn value_zero_is_ones_first() {
+        let mut t = table();
+        let cw = encode_codeword(&mut t, 6, 2, &BigUint::zero()).unwrap();
+        assert_eq!(cw, vec![true, true, false, false, false, false]);
+        // Max value is the mirror: OFFs first.
+        let max = t
+            .binomial(6, 2)
+            .checked_sub(&BigUint::one())
+            .unwrap();
+        let cw = encode_codeword(&mut t, 6, 2, &max).unwrap();
+        assert_eq!(cw, vec![false, false, false, false, true, true]);
+    }
+
+    #[test]
+    fn out_of_range_value_rejected() {
+        let mut t = table();
+        let c = t.binomial(10, 3);
+        assert_eq!(
+            encode_codeword(&mut t, 10, 3, &c),
+            Err(CodewordError::ValueOutOfRange)
+        );
+    }
+
+    #[test]
+    fn invalid_pattern_rejected() {
+        let mut t = table();
+        assert_eq!(
+            encode_codeword(&mut t, 3, 5, &BigUint::zero()),
+            Err(CodewordError::InvalidPattern { n: 3, k: 5 })
+        );
+        assert_eq!(
+            decode_codeword(&mut t, 3, 5, &[true, true, true]),
+            Err(CodewordError::InvalidPattern { n: 3, k: 5 })
+        );
+    }
+
+    #[test]
+    fn decode_detects_corruption() {
+        let mut t = table();
+        let mut cw = encode_codeword(&mut t, 10, 4, &BigUint::from_u64(17)).unwrap();
+        cw[2] = !cw[2]; // flip one slot: weight becomes 3 or 5
+        match decode_codeword(&mut t, 10, 4, &cw) {
+            Err(CodewordError::WrongWeight { expected: 4, got }) => {
+                assert!(got == 3 || got == 5)
+            }
+            other => panic!("expected WrongWeight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_detects_wrong_length() {
+        let mut t = table();
+        assert_eq!(
+            decode_codeword(&mut t, 10, 4, &[true; 9]),
+            Err(CodewordError::WrongLength {
+                expected: 10,
+                got: 9
+            })
+        );
+    }
+
+    #[test]
+    fn degenerate_k_zero_and_k_n() {
+        let mut t = table();
+        let cw = encode_codeword(&mut t, 5, 0, &BigUint::zero()).unwrap();
+        assert_eq!(cw, vec![false; 5]);
+        assert_eq!(decode_codeword(&mut t, 5, 0, &cw).unwrap(), BigUint::zero());
+        let cw = encode_codeword(&mut t, 5, 5, &BigUint::zero()).unwrap();
+        assert_eq!(cw, vec![true; 5]);
+        assert_eq!(decode_codeword(&mut t, 5, 5, &cw).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn ordering_is_monotone() {
+        // Ranks must be strictly increasing in enumeration order: the codec
+        // is not just a bijection but *the* enumerative order.
+        let mut t = table();
+        let all = enumerate_codewords(9, 4);
+        for (i, cw) in all.iter().enumerate() {
+            assert_eq!(
+                decode_codeword(&mut t, 9, 4, cw).unwrap().to_u64(),
+                Some(i as u64)
+            );
+        }
+    }
+}

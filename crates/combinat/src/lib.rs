@@ -1,0 +1,38 @@
+//! # combinat — enumerative combinatorics substrate for SmartVLC
+//!
+//! The heart of the paper's codec (§4.4, Algorithms 1 and 2) is an
+//! *enumerative* mapping between `⌊log2 C(N,K)⌋`-bit data words and
+//! constant-weight codewords of length `N` with exactly `K` ONs — the
+//! "combinatorial dichotomy" that replaces the 126 TB lookup table a naive
+//! tabulation of `C(50,25)` mappings would need.
+//!
+//! Everything that mapping requires lives here:
+//!
+//! * [`biguint::BigUint`] — arbitrary-precision unsigned integers, because
+//!   a super-symbol may span up to `Nmax = 500` slots and `C(500,250)` has
+//!   ~498 bits.
+//! * [`binomial::BinomialTable`] — exact memoized binomial coefficients,
+//!   with a `u128` fast path for the sizes the modem actually uses.
+//! * [`bits::BitReader`] / [`bits::BitWriter`] — MSB-first bit streams over
+//!   bytes, used to slice the upper-layer payload into per-symbol data
+//!   words.
+//! * [`codeword`] — Algorithm 1 (encode = unrank) and Algorithm 2
+//!   (decode = rank), plus an exhaustive-enumeration reference used by the
+//!   property tests.
+//!
+//! The crate is dependency-free and `forbid(unsafe_code)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biguint;
+pub mod binomial;
+pub mod bits;
+pub mod codeword;
+pub mod tabulated;
+
+pub use biguint::BigUint;
+pub use binomial::BinomialTable;
+pub use bits::{BitReader, BitWriter};
+pub use codeword::{decode_codeword, encode_codeword, CodewordError};
+pub use tabulated::{table_memory_bytes, TabulatedCodec};

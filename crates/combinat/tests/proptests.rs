@@ -1,0 +1,114 @@
+//! Property-based tests for the combinatorics substrate.
+
+use combinat::{
+    binomial::binomial_u128_direct, decode_codeword, encode_codeword, BigUint, BinomialTable,
+    BitReader, BitWriter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// BigUint add/sub agree with u128 arithmetic on values that fit.
+    #[test]
+    fn biguint_addsub_matches_u128(a in 0u128..(u128::MAX / 2), b in 0u128..(u128::MAX / 2)) {
+        let ba = BigUint::from_u128(a);
+        let bb = BigUint::from_u128(b);
+        prop_assert_eq!(ba.add(&bb).to_u128(), Some(a + b));
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let (bhi, blo) = if a >= b { (&ba, &bb) } else { (&bb, &ba) };
+        prop_assert_eq!(bhi.checked_sub(blo).unwrap().to_u128(), Some(hi - lo));
+        prop_assert_eq!(blo.checked_sub(bhi).is_none(), hi != lo);
+    }
+
+    /// (a + b) - b == a for arbitrary multi-limb values.
+    #[test]
+    fn biguint_add_sub_inverse(
+        a_bits in proptest::collection::vec(any::<bool>(), 0..300),
+        b_bits in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let a = BigUint::from_bits_msb(&a_bits);
+        let b = BigUint::from_bits_msb(&b_bits);
+        prop_assert_eq!(a.add(&b).checked_sub(&b).unwrap(), a);
+    }
+
+    /// Bit-vector round trip at arbitrary widths.
+    #[test]
+    fn biguint_bits_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200), pad in 0u32..32) {
+        let v = BigUint::from_bits_msb(&bits);
+        let w = v.bit_length().max(1) + pad;
+        prop_assert_eq!(BigUint::from_bits_msb(&v.to_bits_msb(w)), v);
+    }
+
+    /// Pascal identity on the memo table, cross-checked with the direct
+    /// multiplicative formula where it fits.
+    #[test]
+    fn binomial_pascal_identity(n in 1usize..130, k in 0usize..130) {
+        let mut t = BinomialTable::new(130);
+        let k = k.min(n);
+        let lhs = t.binomial(n, k);
+        let rhs = if k == 0 {
+            BigUint::one()
+        } else {
+            t.binomial(n - 1, k - 1).add(&t.binomial(n - 1, k))
+        };
+        prop_assert_eq!(&lhs, &rhs);
+        if n <= 100 && k <= 20 {
+            prop_assert_eq!(lhs.to_u128(), Some(binomial_u128_direct(n as u64, k as u64)));
+        }
+    }
+
+    /// Codec round trip for random (N, K, value) across the modem's whole
+    /// operating range, including the Nmax = 500 extreme.
+    #[test]
+    fn codeword_roundtrip(n in 1usize..80, k_seed in any::<u64>(), v_seed in any::<u64>()) {
+        let mut t = BinomialTable::new(512);
+        let k = (k_seed % (n as u64 + 1)) as usize;
+        let count = t.binomial(n, k);
+        // value = v_seed mod C(n,k), computed via repeated subtraction on a
+        // bounded value (v_seed fits u64; C may be larger).
+        let val = match count.to_u128() {
+            Some(c) => BigUint::from_u128((v_seed as u128) % c),
+            None => BigUint::from_u64(v_seed),
+        };
+        let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+        prop_assert_eq!(cw.len(), n);
+        prop_assert_eq!(cw.iter().filter(|&&b| b).count(), k);
+        prop_assert_eq!(decode_codeword(&mut t, n, k, &cw).unwrap(), val);
+    }
+
+    /// Any single slot flip is detected by the constant-weight check.
+    #[test]
+    fn codeword_single_flip_detected(n in 2usize..60, k_seed in any::<u64>(), v_seed in any::<u64>(), flip in any::<usize>()) {
+        let mut t = BinomialTable::new(512);
+        let k = (k_seed % (n as u64 + 1)) as usize;
+        let c = t.binomial_u128(n, k).map(|c| c.min(u64::MAX as u128)).unwrap_or(u64::MAX as u128);
+        let val = BigUint::from_u128(v_seed as u128 % c);
+        let mut cw = encode_codeword(&mut t, n, k, &val).unwrap();
+        let idx = flip % n;
+        cw[idx] = !cw[idx];
+        prop_assert!(decode_codeword(&mut t, n, k, &cw).is_err());
+    }
+
+    /// BitWriter/BitReader round trip for arbitrary chunkings.
+    #[test]
+    fn bitstream_roundtrip(chunks in proptest::collection::vec((any::<u64>(), 1usize..=64), 0..40)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &chunks {
+            w.write_uint(v & mask(n), n);
+        }
+        let total: usize = chunks.iter().map(|&(_, n)| n).sum();
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, total);
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &chunks {
+            prop_assert_eq!(r.read_uint(n), Some(v & mask(n)));
+        }
+    }
+}
+
+fn mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}

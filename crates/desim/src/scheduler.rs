@@ -1,0 +1,319 @@
+//! The event queue.
+//!
+//! A [`Scheduler`] owns a priority queue of `(SimTime, E)` pairs. Events at
+//! the same instant are delivered in the order they were scheduled
+//! (FIFO), which makes simulations deterministic without requiring event
+//! payloads to be comparable.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle to a scheduled event, usable with [`Scheduler::cancel`].
+///
+/// Handles are unique per scheduler instance and never reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event
+// first, breaking ties by scheduling order.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic future-event queue.
+///
+/// `E` is the caller's event type; the scheduler never inspects it. The
+/// current simulation clock is the timestamp of the most recently popped
+/// event ([`Scheduler::now`]); scheduling into the past is a logic error
+/// and panics.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    live: usize,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than [`Scheduler::now`]: an event cannot
+    /// fire in the past.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now guaranteed not to fire), `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false; // never issued by this scheduler
+        }
+        // An event is pending iff its seq is still in the heap. We can't
+        // search the heap cheaply, so mark it and skip lazily on pop. Guard
+        // against double-cancel / cancel-after-fire by checking `fired`
+        // bookkeeping: a fired event's seq can no longer be in the heap, and
+        // pop() removes marks it consumed. We conservatively record the mark
+        // only if some heap entry still carries the seq.
+        if self.heap.iter().any(|e| e.seq == handle.0) && self.cancelled.insert(handle.0) {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the earliest pending event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted (the clock stays put).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // skip cancelled
+            }
+            self.live -= 1;
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily drain cancelled entries off the top so the answer is live.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let seq = self.heap.pop().expect("peeked entry exists").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+
+    /// Run the simulation to completion (or until `until`, if given),
+    /// delivering each event to `handler`. The handler may schedule further
+    /// events. Returns the number of events delivered.
+    ///
+    /// Events *at* `until` are still delivered; events after it remain
+    /// queued and the clock is left at the last delivered event.
+    pub fn run_with<F>(&mut self, until: Option<SimTime>, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Scheduler<E>, SimTime, E),
+    {
+        let mut delivered = 0;
+        loop {
+            match self.peek_time() {
+                Some(t) if until.map_or(true, |u| t <= u) => {
+                    let (t, e) = self.pop().expect("peeked event exists");
+                    handler(self, t, e);
+                    delivered += 1;
+                }
+                _ => return delivered,
+            }
+        }
+    }
+}
+
+// `run_with` hands the scheduler itself to the handler, so the handler can
+// schedule follow-ups. To keep the borrow checker happy we make Scheduler
+// splittable: pop/peek only touch the heap, while the handler receives
+// `&mut self` re-borrowed after the pop completes. The implementation above
+// achieves this by finishing the pop before invoking the handler.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(t(30), "c");
+        s.schedule(t(10), "a");
+        s.schedule(t(20), "b");
+        assert_eq!(s.pop(), Some((t(10), "a")));
+        assert_eq!(s.pop(), Some((t(20), "b")));
+        assert_eq!(s.pop(), Some((t(30), "c")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.schedule(t(42), ());
+        s.pop();
+        assert_eq!(s.now(), t(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(t(10), ());
+        s.pop();
+        s.schedule(t(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut s = Scheduler::new();
+        let h1 = s.schedule(t(1), 1);
+        let _h2 = s.schedule(t(2), 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.cancel(h1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some((t(2), 2)));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_fired() {
+        let mut s = Scheduler::new();
+        let h = s.schedule(t(1), ());
+        assert!(s.cancel(h));
+        assert!(!s.cancel(h));
+        let h2 = s.schedule(t(2), ());
+        s.pop();
+        assert!(!s.cancel(h2), "already fired");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let h = s.schedule(t(1), 1);
+        s.schedule(t(2), 2);
+        s.cancel(h);
+        assert_eq!(s.peek_time(), Some(t(2)));
+        assert_eq!(s.pop(), Some((t(2), 2)));
+    }
+
+    #[test]
+    fn run_with_drives_chained_events() {
+        // A self-rescheduling ticker: event n schedules event n+1 until 5.
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        let delivered = s.run_with(None, |s, now, n| {
+            seen.push((now, n));
+            if n < 5 {
+                s.schedule(now + SimDuration::micros(8), n + 1);
+            }
+        });
+        assert_eq!(delivered, 6);
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[5], (t(40), 5));
+    }
+
+    #[test]
+    fn run_with_until_is_inclusive() {
+        let mut s = Scheduler::new();
+        s.schedule(t(1), 1);
+        s.schedule(t(2), 2);
+        s.schedule(t(3), 3);
+        let mut seen = Vec::new();
+        s.run_with(Some(t(2)), |_, _, n| seen.push(n));
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn foreign_handle_is_rejected() {
+        let mut a = Scheduler::<()>::new();
+        let mut b = Scheduler::<()>::new();
+        let h = a.schedule(t(1), ());
+        // b never issued seq 0 (next_seq == 0), so it must reject it.
+        assert!(!b.cancel(h));
+    }
+}

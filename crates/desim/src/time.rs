@@ -1,0 +1,375 @@
+//! Integer virtual time.
+//!
+//! All simulation time is kept as whole nanoseconds in a `u64`. At 1 ns
+//! resolution a `u64` spans ~584 years of virtual time, far beyond any
+//! experiment in the paper (the longest run is the 67 s blind pull of
+//! Fig. 19). Integer time keeps slot grids exact: the paper's
+//! `tslot = 8 µs` is exactly 8000 ns, and 500-slot super-symbols land on
+//! exact 4 ms boundaries.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as `f64` (measurement boundary only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Returns `None` if `earlier` is in
+    /// the future (callers that "know" ordering should use `-` instead,
+    /// which panics on underflow like std).
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Saturating add, for timeout arithmetic near the end of time.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as `f64` (measurement boundary only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer division: how many whole `other` fit in `self`.
+    pub fn div_duration(self, other: SimDuration) -> u64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0 / other.0
+    }
+
+    /// Checked multiplication by an integer count.
+    pub fn checked_mul(self, n: u64) -> Option<SimDuration> {
+        self.0.checked_mul(n).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "0s".into()
+    } else if ns % 1_000_000_000 == 0 {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns % 1_000_000 == 0 {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns % 1_000 == 0 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{}ns", ns)
+    }
+}
+
+/// A frequency in hertz, kept as an exact integer.
+///
+/// The paper's key frequencies are all exact in hertz: the slot clock
+/// `ftx = 125 kHz`, the receiver sampling clock `fs = 500 kHz`, the Type-I
+/// flicker threshold `fth = 250 Hz`, and the PRU core clock `200 MHz`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Construct from hertz. Panics on zero.
+    pub const fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be positive");
+        Frequency(hz)
+    }
+
+    /// Construct from kilohertz.
+    pub const fn khz(khz: u64) -> Self {
+        Frequency::hz(khz * 1_000)
+    }
+
+    /// Construct from megahertz.
+    pub const fn mhz(mhz: u64) -> Self {
+        Frequency::hz(mhz * 1_000_000)
+    }
+
+    /// The frequency in hertz.
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The period of one cycle, rounded down to whole nanoseconds.
+    ///
+    /// For every frequency used in the paper the period is exact
+    /// (125 kHz → 8000 ns, 500 kHz → 2000 ns, 250 Hz → 4 ms).
+    pub const fn period(self) -> SimDuration {
+        SimDuration(1_000_000_000 / self.0)
+    }
+
+    /// Number of whole cycles elapsed in `d`.
+    pub fn cycles_in(self, d: SimDuration) -> u64 {
+        // (d_ns * f_hz) / 1e9, computed in u128 to avoid overflow.
+        ((d.as_nanos() as u128 * self.0 as u128) / 1_000_000_000) as u64
+    }
+
+    /// Integer ratio of this frequency over `other`, rounded down.
+    ///
+    /// E.g. `Nmax = ftx / fth` from Eq. (4) of the paper.
+    pub const fn div_floor(self, other: Frequency) -> u64 {
+        self.0 / other.0
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1_000_000 == 0 {
+            write!(f, "{}MHz", self.0 / 1_000_000)
+        } else if self.0 % 1_000 == 0 {
+            write!(f, "{}kHz", self.0 / 1_000)
+        } else {
+            write!(f, "{}Hz", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_consistent() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimDuration::secs(1), SimDuration::millis(1_000));
+        assert_eq!(SimDuration::millis(1), SimDuration::micros(1_000));
+        assert_eq!(SimDuration::micros(1), SimDuration::nanos(1_000));
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_micros(10);
+        let d = SimDuration::micros(8);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative SimDuration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    #[test]
+    fn checked_duration_since_handles_future() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::nanos(4)));
+        assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    fn paper_slot_clock_is_exact() {
+        // tslot = 8 us at ftx = 125 kHz (Sec. 6.1 of the paper).
+        let ftx = Frequency::khz(125);
+        assert_eq!(ftx.period(), SimDuration::micros(8));
+        // fs = 500 kHz = 4x oversampling.
+        let fs = Frequency::khz(500);
+        assert_eq!(fs.period(), SimDuration::micros(2));
+        // Eq. (4): Nmax = ftx / fth = 125000 / 250 = 500.
+        assert_eq!(ftx.div_floor(Frequency::hz(250)), 500);
+    }
+
+    #[test]
+    fn cycles_in_counts_whole_cycles() {
+        let f = Frequency::khz(125);
+        assert_eq!(f.cycles_in(SimDuration::micros(8)), 1);
+        assert_eq!(f.cycles_in(SimDuration::micros(7)), 0);
+        assert_eq!(f.cycles_in(SimDuration::secs(1)), 125_000);
+        // No overflow for large spans.
+        assert_eq!(Frequency::mhz(200).cycles_in(SimDuration::secs(3600)), 720_000_000_000);
+    }
+
+    #[test]
+    fn duration_division() {
+        assert_eq!(SimDuration::secs(1).div_duration(SimDuration::micros(8)), 125_000);
+        assert_eq!(SimDuration::micros(7).div_duration(SimDuration::micros(8)), 0);
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(SimDuration::secs(2).to_string(), "2s");
+        assert_eq!(SimDuration::millis(5).to_string(), "5ms");
+        assert_eq!(SimDuration::micros(8).to_string(), "8us");
+        assert_eq!(SimDuration::nanos(17).to_string(), "17ns");
+        assert_eq!(Frequency::khz(125).to_string(), "125kHz");
+        assert_eq!(Frequency::hz(250).to_string(), "250Hz");
+        assert_eq!(Frequency::mhz(200).to_string(), "200MHz");
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.000_008), SimDuration::micros(8));
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the discrete-event kernel.
+
+use desim::{DetRng, Scheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within ties,
+    /// regardless of insertion order.
+    #[test]
+    fn scheduler_orders_any_insertion(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut prev: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = s.pop() {
+            prop_assert_eq!(at, SimTime::from_nanos(t));
+            if let Some((pt, pi)) = prev {
+                prop_assert!(t >= pt);
+                if t == pt {
+                    prop_assert!(i > pi, "FIFO violated within a tie");
+                }
+            }
+            prev = Some((t, i));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut s = Scheduler::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, s.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, h) in handles {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(s.cancel(h));
+                prop_assert!(!s.cancel(h), "double cancel succeeded");
+            } else {
+                kept.push(i);
+            }
+        }
+        prop_assert_eq!(s.len(), kept.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = s.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// run_with with an `until` bound delivers exactly the events at or
+    /// before the bound.
+    #[test]
+    fn run_with_bound_is_exact(times in proptest::collection::vec(0u64..1000, 1..100), cut in 0u64..1000) {
+        let mut s = Scheduler::new();
+        for &t in &times {
+            s.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut seen = Vec::new();
+        s.run_with(Some(SimTime::from_nanos(cut)), |_, _, t| seen.push(t));
+        let expected = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(seen.len(), expected);
+        prop_assert!(seen.iter().all(|&t| t <= cut));
+    }
+
+    /// Forked RNG streams are reproducible and label-sensitive.
+    #[test]
+    fn rng_fork_properties(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = DetRng::seed_from_u64(seed);
+        let mut a = root.fork(&label);
+        let mut b = root.fork(&label);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut other = root.fork(&format!("{label}x"));
+        let same = (0..32).filter(|_| a.next_u64() == other.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+
+    /// next_below is always in range.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = DetRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    /// Duration arithmetic round trips.
+    #[test]
+    fn duration_roundtrip(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let t = SimTime::from_nanos(lo) + SimDuration::nanos(hi - lo);
+        prop_assert_eq!(t.as_nanos(), hi);
+        prop_assert_eq!((t - SimTime::from_nanos(lo)).as_nanos(), hi - lo);
+    }
+}

@@ -1,0 +1,349 @@
+//! AMPPM Step 3: the slope-based throughput envelope (Fig. 9).
+//!
+//! Plot every admissible candidate as a point `(l = K/N, r = bits/N)`.
+//! The paper's procedure — start from the highest-rate pattern near
+//! `l = 0.5`, then repeatedly connect to the next pattern whose connecting
+//! segment has the smallest slope (magnitude) — is a gift-wrapping walk
+//! that produces the **upper convex hull** of the point cloud on each side
+//! of the peak. Any dimming level between two adjacent hull points is then
+//! served by multiplexing those two patterns (Step 4), and the achievable
+//! normalized rate is the linear interpolation along the hull edge —
+//! that's why the hull, and not any other chain, is the throughput
+//! envelope.
+
+use super::candidates::Candidate;
+
+/// The throughput envelope: hull candidates sorted by dimming level.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Hull points in increasing dimming order. Invariants: non-empty;
+    /// strictly increasing dimming; slopes non-increasing (concave chain).
+    points: Vec<Candidate>,
+    /// Index of the peak (highest-rate) point within `points`.
+    peak: usize,
+}
+
+impl Envelope {
+    /// Build the envelope from a candidate set (paper Fig. 9 procedure).
+    /// Returns `None` when `candidates` is empty.
+    pub fn build(candidates: &[Candidate]) -> Option<Envelope> {
+        if candidates.is_empty() {
+            return None;
+        }
+        // Per dimming level keep only the best (highest-rate) candidate;
+        // among rate ties prefer the shortest symbol (lower SER, lower
+        // latency, more copies fit under Nmax).
+        let mut best: Vec<Candidate> = Vec::new();
+        let mut sorted: Vec<Candidate> = candidates.to_vec();
+        sorted.sort_by(|a, b| {
+            a.dimming()
+                .partial_cmp(&b.dimming())
+                .expect("finite")
+                .then(b.norm_rate.partial_cmp(&a.norm_rate).expect("finite"))
+                .then(a.pattern.n().cmp(&b.pattern.n()))
+        });
+        for c in sorted {
+            match best.last() {
+                Some(last) if last.dimming() == c.dimming() => {} // dominated
+                _ => best.push(c),
+            }
+        }
+
+        // Peak: the global best normalized rate, ties broken toward l=0.5
+        // ("the available patterns whose dimming level is around 0.5").
+        let peak_idx = (0..best.len())
+            .max_by(|&a, &b| {
+                best[a]
+                    .norm_rate
+                    .partial_cmp(&best[b].norm_rate)
+                    .expect("finite")
+                    .then_with(|| {
+                        let da = (best[a].dimming() - 0.5).abs();
+                        let db = (best[b].dimming() - 0.5).abs();
+                        db.partial_cmp(&da).expect("finite")
+                    })
+            })
+            .expect("non-empty");
+
+        // Gift-wrapping walk to the right of the peak: among candidates at
+        // strictly larger dimming, pick the one maximizing the connecting
+        // slope (all slopes are <= 0 right of the peak, so the maximum is
+        // the smallest in magnitude — the paper's phrasing).
+        let mut right = Vec::new();
+        let mut cur = peak_idx;
+        loop {
+            let mut next: Option<usize> = None;
+            let mut next_slope = f64::NEG_INFINITY;
+            for (j, c) in best.iter().enumerate().skip(cur + 1) {
+                let slope =
+                    (c.norm_rate - best[cur].norm_rate) / (c.dimming() - best[cur].dimming());
+                // Tie: extend as far as possible in one segment.
+                if slope > next_slope + 1e-15
+                    || ((slope - next_slope).abs() <= 1e-15
+                        && next.map_or(true, |n| c.dimming() > best[n].dimming()))
+                {
+                    next = Some(j);
+                    next_slope = slope;
+                }
+            }
+            match next {
+                Some(j) => {
+                    right.push(j);
+                    cur = j;
+                }
+                None => break,
+            }
+        }
+
+        // Mirror walk to the left: minimize the slope (all slopes are >= 0
+        // left of the peak; the minimum is again the smallest magnitude).
+        let mut left = Vec::new();
+        let mut cur = peak_idx;
+        loop {
+            let mut next: Option<usize> = None;
+            let mut next_slope = f64::INFINITY;
+            for (j, c) in best.iter().enumerate().take(cur) {
+                let slope =
+                    (best[cur].norm_rate - c.norm_rate) / (best[cur].dimming() - c.dimming());
+                if slope < next_slope - 1e-15
+                    || ((slope - next_slope).abs() <= 1e-15
+                        && next.map_or(true, |n| c.dimming() < best[n].dimming()))
+                {
+                    next = Some(j);
+                    next_slope = slope;
+                }
+            }
+            match next {
+                Some(j) => {
+                    left.push(j);
+                    cur = j;
+                }
+                None => break,
+            }
+        }
+
+        let mut points = Vec::with_capacity(left.len() + 1 + right.len());
+        for &i in left.iter().rev() {
+            points.push(best[i]);
+        }
+        let peak = points.len();
+        points.push(best[peak_idx]);
+        for &i in &right {
+            points.push(best[i]);
+        }
+        Some(Envelope { points, peak })
+    }
+
+    /// The hull points in increasing dimming order.
+    pub fn points(&self) -> &[Candidate] {
+        &self.points
+    }
+
+    /// The peak (highest normalized rate) hull point.
+    pub fn peak(&self) -> &Candidate {
+        &self.points[self.peak]
+    }
+
+    /// Dimming range `[min, max]` covered by the envelope.
+    pub fn dimming_range(&self) -> (f64, f64) {
+        (
+            self.points.first().expect("non-empty").dimming(),
+            self.points.last().expect("non-empty").dimming(),
+        )
+    }
+
+    /// The pair of adjacent hull points whose dimming interval contains
+    /// `l` (returns the same point twice at exact hull levels and at the
+    /// endpoints). `None` outside the envelope range.
+    pub fn bracket(&self, l: f64) -> Option<(&Candidate, &Candidate)> {
+        let (lo, hi) = self.dimming_range();
+        if !(lo..=hi).contains(&l) {
+            return None;
+        }
+        // Exact hit?
+        if let Some(c) = self.points.iter().find(|c| c.dimming() == l) {
+            return Some((c, c));
+        }
+        let idx = self
+            .points
+            .windows(2)
+            .position(|w| w[0].dimming() < l && l < w[1].dimming())
+            .expect("l inside range and not on a vertex");
+        Some((&self.points[idx], &self.points[idx + 1]))
+    }
+
+    /// The envelope value at `l`: linear interpolation of normalized rate
+    /// along the containing hull edge. `None` outside the range.
+    pub fn rate_at(&self, l: f64) -> Option<f64> {
+        let (a, b) = self.bracket(l)?;
+        if a.pattern == b.pattern {
+            return Some(a.norm_rate);
+        }
+        let t = (l - a.dimming()) / (b.dimming() - a.dimming());
+        Some(a.norm_rate + t * (b.norm_rate - a.norm_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amppm::candidates::candidate_patterns;
+    use crate::config::SystemConfig;
+    use crate::symbol::SymbolPattern;
+    use combinat::BinomialTable;
+
+    fn paper_envelope() -> Envelope {
+        let cfg = SystemConfig::default();
+        let mut t = BinomialTable::new(512);
+        let cands = candidate_patterns(&cfg, &mut t);
+        Envelope::build(&cands).expect("non-empty candidates")
+    }
+
+    fn cand(n: u16, k: u16, rate: f64) -> Candidate {
+        Candidate {
+            pattern: SymbolPattern::new(n, k).unwrap(),
+            bits: (rate * n as f64).round() as u32,
+            norm_rate: rate,
+            ser: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(Envelope::build(&[]).is_none());
+    }
+
+    #[test]
+    fn single_candidate_is_its_own_envelope() {
+        let e = Envelope::build(&[cand(10, 5, 0.8)]).unwrap();
+        assert_eq!(e.points().len(), 1);
+        assert_eq!(e.rate_at(0.5), Some(0.8));
+        assert_eq!(e.rate_at(0.4), None);
+    }
+
+    #[test]
+    fn hull_dominates_all_candidates() {
+        // Every candidate must lie on or below the envelope.
+        let cfg = SystemConfig::default();
+        let mut t = BinomialTable::new(512);
+        let cands = candidate_patterns(&cfg, &mut t);
+        let e = Envelope::build(&cands).unwrap();
+        for c in &cands {
+            let env = e.rate_at(c.dimming()).expect("within range");
+            assert!(
+                env >= c.norm_rate - 1e-12,
+                "{:?} above envelope ({env})",
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn hull_is_concave() {
+        // Slopes along the chain must be non-increasing left to right.
+        let e = paper_envelope();
+        let pts = e.points();
+        let slopes: Vec<f64> = pts
+            .windows(2)
+            .map(|w| (w[1].norm_rate - w[0].norm_rate) / (w[1].dimming() - w[0].dimming()))
+            .collect();
+        for w in slopes.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "slopes not concave: {slopes:?}");
+        }
+    }
+
+    #[test]
+    fn dimming_strictly_increasing() {
+        let e = paper_envelope();
+        for w in e.points().windows(2) {
+            assert!(w[0].dimming() < w[1].dimming());
+        }
+    }
+
+    #[test]
+    fn peak_is_global_max() {
+        let e = paper_envelope();
+        let max = e
+            .points()
+            .iter()
+            .map(|c| c.norm_rate)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(e.peak().norm_rate, max);
+        // With the paper calibration the peak must be one of the
+        // near-balanced large-N patterns around l = 0.5.
+        assert!((e.peak().dimming() - 0.5).abs() < 0.06, "{:?}", e.peak());
+    }
+
+    #[test]
+    fn envelope_spans_full_dimming_range() {
+        // K=0 / K=N degenerate candidates anchor the ends.
+        let e = paper_envelope();
+        assert_eq!(e.dimming_range(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn envelope_beats_every_fixed_n_mppm() {
+        // The paper's claim behind Fig. 15: the envelope is at least as
+        // good as MPPM N=20 at every one of the 17 dimming levels.
+        let mut t = BinomialTable::new(512);
+        let e = paper_envelope();
+        for i in 2..=18u16 {
+            let l = i as f64 / 20.0; // 0.1, 0.15, ..., 0.9
+            let k = (l * 20.0).round() as u16;
+            let mppm = SymbolPattern::new(20, k).unwrap();
+            let mppm_rate = mppm.bits_per_symbol(&mut t) as f64 / 20.0;
+            let env = e.rate_at(l).expect("within range");
+            assert!(
+                env >= mppm_rate - 1e-12,
+                "l={l}: envelope {env} < MPPM {mppm_rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn bracket_exact_hit_returns_same_point() {
+        let e = paper_envelope();
+        let peak_l = e.peak().dimming();
+        let (a, b) = e.bracket(peak_l).unwrap();
+        assert_eq!(a.pattern, b.pattern);
+    }
+
+    #[test]
+    fn bracket_interior_returns_adjacent_pair() {
+        let e = paper_envelope();
+        let pts = e.points();
+        let mid = (pts[0].dimming() + pts[1].dimming()) / 2.0;
+        let (a, b) = e.bracket(mid).unwrap();
+        assert_eq!(a.pattern, pts[0].pattern);
+        assert_eq!(b.pattern, pts[1].pattern);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_hull_points() {
+        let a = cand(10, 2, 0.4);
+        let b = cand(10, 6, 0.8);
+        let e = Envelope::build(&[a, b]).unwrap();
+        let r = e.rate_at(0.4).unwrap(); // halfway between l=0.2 and l=0.6
+        assert!((r - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_candidate_is_excluded() {
+        // c sits below the a-b segment and must not be a hull vertex.
+        let a = cand(10, 2, 0.4);
+        let b = cand(10, 6, 0.8);
+        let c = cand(10, 4, 0.5); // segment value at 0.4 is 0.6 > 0.5
+        let e = Envelope::build(&[a, c, b]).unwrap();
+        assert_eq!(e.points().len(), 2);
+        assert!((e.rate_at(0.4).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn above_segment_candidate_is_included() {
+        let a = cand(10, 2, 0.4);
+        let b = cand(10, 6, 0.8);
+        let c = cand(10, 4, 0.75); // above the segment
+        let e = Envelope::build(&[a, c, b]).unwrap();
+        assert_eq!(e.points().len(), 3);
+    }
+}

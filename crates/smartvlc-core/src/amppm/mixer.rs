@@ -1,0 +1,237 @@
+//! AMPPM Step 4: choose multiplicities `(m1, m2)` that realize a target
+//! dimming level between two envelope patterns.
+//!
+//! Given the hull edge `(S1, S2)` bracketing the target level, the mixer
+//! searches all integer multiplicities with `m1·N1 + m2·N2 ≤ Nmax` for the
+//! super-symbol whose dimming level is closest to the target; among
+//! equally-close options it takes the highest data rate, then the
+//! shortest super-symbol (more header-rate agility, lower latency).
+//!
+//! The search space is tiny — at the paper's calibration `Nmax = 500` and
+//! `N ≥ 10`, at most `51 × 51` combinations — so exhaustive enumeration
+//! is both exact and cheap; no heuristics needed.
+
+use super::candidates::Candidate;
+use super::super_symbol::SuperSymbol;
+use combinat::BinomialTable;
+
+/// A concrete multiplexing choice with its figures of merit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mix {
+    /// The composed super-symbol.
+    pub super_symbol: SuperSymbol,
+    /// Achieved dimming level (exact ratio of the super-symbol).
+    pub dimming: f64,
+    /// Normalized data rate (bits per slot).
+    pub norm_rate: f64,
+    /// Absolute dimming error versus the requested target.
+    pub dimming_error: f64,
+}
+
+/// Ranking rule shared by the mixer and the planner: a dimming error at or
+/// below `tolerance` is "close enough" (the header quantizes levels anyway),
+/// so all in-tolerance mixes compete on rate; out-of-tolerance mixes
+/// compete on error first. Ties fall through to rate, then to the shorter
+/// super-symbol.
+pub(crate) fn mix_is_better(m: &Mix, cur: &Mix, tolerance: f64) -> bool {
+    let m_ok = m.dimming_error <= tolerance;
+    let cur_ok = cur.dimming_error <= tolerance;
+    if m_ok != cur_ok {
+        return m_ok;
+    }
+    if !m_ok {
+        if (m.dimming_error - cur.dimming_error).abs() > 1e-12 {
+            return m.dimming_error < cur.dimming_error;
+        }
+    }
+    if (m.norm_rate - cur.norm_rate).abs() > 1e-12 {
+        return m.norm_rate > cur.norm_rate;
+    }
+    if (m.dimming_error - cur.dimming_error).abs() > 1e-12 {
+        return m.dimming_error < cur.dimming_error;
+    }
+    m.super_symbol.n_super() < cur.super_symbol.n_super()
+}
+
+/// Find the best `(m1, m2)` for `target` between hull candidates `left`
+/// and `right` (which may be the same pattern for an exact hull hit).
+/// Mixes landing within `tolerance` of the target compete on rate
+/// (see the crate-private `mix_is_better` ranking rule).
+///
+/// Returns `None` only if `n_max` is too small to fit even one symbol.
+pub fn best_mix(
+    left: &Candidate,
+    right: &Candidate,
+    target: f64,
+    tolerance: f64,
+    n_max: u32,
+    table: &mut BinomialTable,
+) -> Option<Mix> {
+    let s1 = left.pattern;
+    let s2 = right.pattern;
+    let n1 = s1.n() as u32;
+    let n2 = s2.n() as u32;
+    let b1 = left.bits;
+    let b2 = right.bits;
+
+    let mut best: Option<Mix> = None;
+    let m1_cap = n_max / n1;
+    for m1 in 0..=m1_cap {
+        // Same pattern on both sides: only m2 = 0 avoids double counting.
+        let m2_cap = if s1 == s2 { 0 } else { (n_max - m1 * n1) / n2 };
+        for m2 in 0..=m2_cap {
+            if m1 == 0 && m2 == 0 {
+                continue;
+            }
+            let n_super = m1 * n1 + m2 * n2;
+            debug_assert!(n_super <= n_max);
+            let ones = m1 * s1.k() as u32 + m2 * s2.k() as u32;
+            let dimming = ones as f64 / n_super as f64;
+            let bits = m1 * b1 + m2 * b2;
+            let norm_rate = bits as f64 / n_super as f64;
+            let err = (dimming - target).abs();
+            let ss = SuperSymbol::new(s1, m1 as u16, s2, m2 as u16)
+                .expect("m1 + m2 >= 1 by construction");
+            let mix = Mix {
+                super_symbol: ss,
+                dimming,
+                norm_rate,
+                dimming_error: err,
+            };
+            let better = match &best {
+                None => true,
+                Some(cur) => mix_is_better(&mix, cur, tolerance),
+            };
+            if better {
+                best = Some(mix);
+            }
+        }
+    }
+    // bits(table) is only used in debug builds to cross-check the inline sum.
+    if let Some(m) = &best {
+        debug_assert_eq!(
+            m.super_symbol.bits(table),
+            (m.norm_rate * m.super_symbol.n_super() as f64).round() as u32
+        );
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amppm::candidates::Candidate;
+    use crate::config::SystemConfig;
+    use crate::symbol::SymbolPattern;
+
+    fn cand(n: u16, k: u16, table: &mut BinomialTable) -> Candidate {
+        Candidate::evaluate(
+            SymbolPattern::new(n, k).unwrap(),
+            &SystemConfig::default(),
+            table,
+        )
+    }
+
+    #[test]
+    fn exact_hull_hit_uses_single_pattern() {
+        let mut t = BinomialTable::new(512);
+        let c = cand(21, 11, &mut t);
+        let m = best_mix(&c, &c, c.dimming(), 0.0, 500, &mut t).unwrap();
+        assert_eq!(m.dimming_error, 0.0);
+        assert_eq!(m.super_symbol.m2(), 0);
+        // Rate equals the pattern's own rate.
+        assert!((m.norm_rate - c.norm_rate).abs() < 1e-12);
+        // Fills the Nmax budget as tightly as possible? No: shortest
+        // super-symbol wins among equal (error, rate).
+        assert_eq!(m.super_symbol.m1(), 1);
+    }
+
+    #[test]
+    fn paper_fig5_mix_is_found() {
+        // Target 0.15 between S(10,0.1) and S(10,0.2): the 1+1 mix hits it
+        // exactly (paper Fig. 5).
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(10, 2, &mut t);
+        let m = best_mix(&a, &b, 0.15, 0.0, 500, &mut t).unwrap();
+        assert!(m.dimming_error < 1e-12);
+        assert!((m.dimming - 0.15).abs() < 1e-12);
+        let ss = m.super_symbol;
+        // Equal slot counts from both patterns.
+        assert_eq!(
+            ss.m1() as u32 * ss.s1().n() as u32,
+            ss.m2() as u32 * ss.s2().n() as u32
+        );
+    }
+
+    #[test]
+    fn finer_target_needs_unequal_mix() {
+        // Target 0.175: three (10,0.2) per one (10,0.1), paper Sec. 4.1.2.
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(10, 2, &mut t);
+        let m = best_mix(&a, &b, 0.175, 0.0, 500, &mut t).unwrap();
+        assert!(m.dimming_error < 1e-12);
+        let ss = m.super_symbol;
+        let slots1 = ss.m1() as u32 * 10;
+        let slots2 = ss.m2() as u32 * 10;
+        assert_eq!(slots2, 3 * slots1);
+    }
+
+    #[test]
+    fn length_bound_is_respected() {
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(10, 2, &mut t);
+        for n_max in [20u32, 40, 100, 500] {
+            let m = best_mix(&a, &b, 0.147, 0.0, n_max, &mut t).unwrap();
+            assert!(m.super_symbol.n_super() <= n_max, "n_max={n_max}");
+        }
+    }
+
+    #[test]
+    fn tight_budget_still_returns_something() {
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(12, 2, &mut t);
+        let m = best_mix(&a, &b, 0.15, 0.0, 10, &mut t).unwrap();
+        assert_eq!(m.super_symbol.n_super(), 10); // only one S1 fits
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(12, 2, &mut t);
+        assert!(best_mix(&a, &b, 0.15, 0.0, 9, &mut t).is_none());
+    }
+
+    #[test]
+    fn larger_budget_never_hurts_accuracy() {
+        let mut t = BinomialTable::new(512);
+        let a = cand(10, 1, &mut t);
+        let b = cand(10, 2, &mut t);
+        let mut prev_err = f64::INFINITY;
+        for n_max in [20u32, 60, 120, 240, 500] {
+            let m = best_mix(&a, &b, 0.1234, 0.0, n_max, &mut t).unwrap();
+            assert!(m.dimming_error <= prev_err + 1e-15, "n_max={n_max}");
+            prev_err = m.dimming_error;
+        }
+        // At Nmax = 500 the grid is fine enough for ~1e-3 accuracy.
+        assert!(prev_err < 2e-3, "err={prev_err}");
+    }
+
+    #[test]
+    fn rate_matches_envelope_interpolation_closely() {
+        // Between two same-N hull points the best mix's rate should be
+        // close to (and never meaningfully above) the linear interpolation.
+        let mut t = BinomialTable::new(512);
+        let a = cand(21, 10, &mut t);
+        let b = cand(21, 11, &mut t);
+        let target = 0.5; // between 10/21 and 11/21
+        let m = best_mix(&a, &b, target, 0.0, 500, &mut t).unwrap();
+        let ta = (target - a.dimming()) / (b.dimming() - a.dimming());
+        let interp = a.norm_rate + ta * (b.norm_rate - a.norm_rate);
+        assert!((m.norm_rate - interp).abs() < 0.02, "mix={} interp={interp}", m.norm_rate);
+    }
+}

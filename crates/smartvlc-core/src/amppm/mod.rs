@@ -1,0 +1,42 @@
+//! AMPPM — Adaptive Multiple Pulse Position Modulation (§4 of the paper).
+//!
+//! AMPPM answers one question: *given a required dimming level `l`, which
+//! slot modulation maximizes throughput without flicker?* The paper's
+//! four-step procedure maps onto the submodules:
+//!
+//! 1. **Step 1** — [`candidates`]: compute the flicker bound
+//!    `Nmax = ftx/fth` (Eq. 4). A super-symbol longer than `Nmax` slots
+//!    would repeat below `fth` and its internal brightness structure would
+//!    become visible (Type-I flicker).
+//! 2. **Step 2** — [`candidates`]: enumerate symbol patterns `S(N, K/N)`
+//!    and abandon every one whose Eq. 3 symbol error rate exceeds the
+//!    configured bound (Fig. 8).
+//! 3. **Step 3** — [`envelope`]: starting from the highest-rate pattern
+//!    near `l = 0.5`, repeatedly connect to the pattern with the
+//!    smallest-magnitude slope (Fig. 9). The result is the upper convex
+//!    hull of the (dimming, normalized-rate) cloud: the *throughput
+//!    envelope*.
+//! 4. **Step 4** — [`mixer`]: for a target level between two hull
+//!    patterns, search the integer multiplicities `(m1, m2)` whose
+//!    super-symbol `⟨S1, m1, S2, m2⟩` hits the target exactly (or within
+//!    the configured quantum) with the highest rate, subject to
+//!    `m1·N1 + m2·N2 ≤ Nmax`.
+//!
+//! [`super_symbol`] holds the super-symbol type itself (Fig. 7) with its
+//! slot-level encode/decode, and [`planner`] packages the whole pipeline
+//! behind a cache, which is what the transmitter (and the receiver, to
+//! reconstruct the pattern from the frame header) actually calls.
+
+pub mod candidates;
+pub mod envelope;
+pub mod mixer;
+pub mod planner;
+pub mod resolution;
+pub mod super_symbol;
+
+pub use candidates::{candidate_patterns, Candidate};
+pub use envelope::Envelope;
+pub use mixer::{best_mix, Mix};
+pub use planner::{AmppmPlanner, PlanError, SuperSymbolPlan};
+pub use resolution::ResolutionProfile;
+pub use super_symbol::SuperSymbol;

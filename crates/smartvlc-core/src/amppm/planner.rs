@@ -1,0 +1,343 @@
+//! The AMPPM planner: dimming level in, best super-symbol out.
+//!
+//! This is the component labelled "AMPPM best pattern selection" in the
+//! paper's architecture diagram (Fig. 2). It runs the full Step 1–4
+//! pipeline once at construction (candidate enumeration + envelope), then
+//! serves per-level queries out of a cache keyed by the quantized dimming
+//! level — the same quantized value the transmitter puts in the frame
+//! header, so a receiver running the same planner over the same
+//! [`SystemConfig`] reconstructs the identical super-symbol without any
+//! further signalling.
+
+use super::candidates::{candidate_patterns, Candidate};
+use super::envelope::Envelope;
+use super::mixer::best_mix;
+use super::super_symbol::SuperSymbol;
+use crate::config::SystemConfig;
+use crate::dimming::DimmingLevel;
+use combinat::BinomialTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fully-resolved transmission plan for one dimming level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuperSymbolPlan {
+    /// The super-symbol to modulate payload data with.
+    pub super_symbol: SuperSymbol,
+    /// The dimming level the super-symbol actually realizes.
+    pub achieved: DimmingLevel,
+    /// The (quantized) level that was requested.
+    pub requested: DimmingLevel,
+    /// Normalized data rate, bits per slot.
+    pub norm_rate: f64,
+    /// Predicted goodput in bit/s: `norm_rate · ftx · (1 − mean SER)`.
+    pub rate_bps: f64,
+    /// Multiplicity-weighted mean symbol error rate of the constituents.
+    pub expected_ser: f64,
+}
+
+/// Why the planner could not produce a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// No symbol pattern survives the SER/flicker filters — the config is
+    /// unusable (e.g. SER bound below the smallest symbol's error floor).
+    NoCandidates,
+    /// The requested level lies outside the envelope's dimming range.
+    OutOfRange {
+        /// The level that was asked for.
+        requested: f64,
+        /// Lowest supported level.
+        min: f64,
+        /// Highest supported level.
+        max: f64,
+    },
+    /// No multiplicity combination fits within `Nmax` (only possible with
+    /// pathological `fth`/`ftx` combos where `Nmax < N` of the bracket).
+    NoFit,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoCandidates => {
+                write!(f, "no symbol pattern satisfies the SER and flicker bounds")
+            }
+            PlanError::OutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "dimming level {requested:.4} outside supported range [{min:.4}, {max:.4}]"
+            ),
+            PlanError::NoFit => write!(f, "no multiplexing fits within Nmax"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The AMPPM pattern planner (Fig. 2's "best pattern selection" block).
+pub struct AmppmPlanner {
+    cfg: SystemConfig,
+    table: BinomialTable,
+    candidates: Vec<Candidate>,
+    envelope: Envelope,
+    cache: HashMap<u16, SuperSymbolPlan>,
+}
+
+impl AmppmPlanner {
+    /// Build the planner: run candidate enumeration (Steps 1–2) and the
+    /// envelope walk (Step 3) for the given configuration.
+    pub fn new(cfg: SystemConfig) -> Result<AmppmPlanner, PlanError> {
+        let mut table = BinomialTable::new(cfg.n_max_super().clamp(16, 512) as usize);
+        let candidates = candidate_patterns(&cfg, &mut table);
+        let envelope = Envelope::build(&candidates).ok_or(PlanError::NoCandidates)?;
+        Ok(AmppmPlanner {
+            cfg,
+            table,
+            candidates,
+            envelope,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// The configuration the planner was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// All admissible candidates (Step 2 output) — the point cloud of
+    /// Figs. 8 and 9.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The throughput envelope (Step 3 output) — the solid line of Fig. 9.
+    pub fn envelope(&self) -> &Envelope {
+        &self.envelope
+    }
+
+    /// Shared binomial table (handy for callers that need symbol metrics).
+    pub fn table_mut(&mut self) -> &mut BinomialTable {
+        &mut self.table
+    }
+
+    /// Plan the best super-symbol for `target` (Step 4). The target is
+    /// first quantized to the header grid; results are cached per grid
+    /// point.
+    pub fn plan(&mut self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
+        let q = self.cfg.quantize_dimming(target.value());
+        if let Some(plan) = self.cache.get(&q) {
+            return Ok(*plan);
+        }
+        let l = self.cfg.dequantize_dimming(q);
+        let (min, max) = self.envelope.dimming_range();
+        let (left, right) = self.envelope.bracket(l).ok_or(PlanError::OutOfRange {
+            requested: l,
+            min,
+            max,
+        })?;
+        let (left, right) = (*left, *right);
+        let n_max = self.cfg.n_max_super().min(u32::MAX as u64) as u32;
+
+        // Step 4, refined: the hull edge fixes the dimming span, but any
+        // candidate *pair* inside that span can realize the target — often
+        // with far finer granularity than the two edge endpoints alone
+        // (e.g. S(27,8)+S(27,9) hits 0.2998 exactly where the hull edge
+        // S(27,8)+S(29,11) can only get within 1.4e-3). The super-symbol
+        // still uses at most two patterns, as the paper requires; we pick
+        // the pair minimizing dimming error, then maximizing rate.
+        let span_lo = left.dimming();
+        let span_hi = right.dimming();
+        let lows: Vec<Candidate> = self
+            .candidates
+            .iter()
+            .filter(|c| c.dimming() >= span_lo && c.dimming() <= l)
+            .copied()
+            .collect();
+        let highs: Vec<Candidate> = self
+            .candidates
+            .iter()
+            .filter(|c| c.dimming() >= l && c.dimming() <= span_hi)
+            .copied()
+            .collect();
+        // A dimming error within half the header quantum is indistinguishable
+        // on the wire, so such mixes compete purely on rate.
+        let tolerance = self.cfg.dimming_quantum / 2.0;
+        let mut mix: Option<crate::amppm::mixer::Mix> = None;
+        for a in &lows {
+            for b in &highs {
+                if let Some(m) = best_mix(a, b, l, tolerance, n_max, &mut self.table) {
+                    let better = match &mix {
+                        None => true,
+                        Some(cur) => crate::amppm::mixer::mix_is_better(&m, cur, tolerance),
+                    };
+                    if better {
+                        mix = Some(m);
+                    }
+                }
+            }
+        }
+        let mix = mix.ok_or(PlanError::NoFit)?;
+        let ser1 = self.cfg.slot_errors.symbol_error_rate(mix.super_symbol.s1());
+        let ser2 = self.cfg.slot_errors.symbol_error_rate(mix.super_symbol.s2());
+        let ser = mix.super_symbol.mean_symbol_error_rate(ser1, ser2);
+        let plan = SuperSymbolPlan {
+            super_symbol: mix.super_symbol,
+            achieved: DimmingLevel::clamped(mix.dimming),
+            requested: DimmingLevel::clamped(l),
+            norm_rate: mix.norm_rate,
+            rate_bps: mix.norm_rate * self.cfg.ftx_hz as f64 * (1.0 - ser),
+            expected_ser: ser,
+        };
+        self.cache.insert(q, plan);
+        Ok(plan)
+    }
+
+    /// Like [`AmppmPlanner::plan`] but clamps out-of-range targets to the
+    /// nearest supported level — what the live transmitter does when
+    /// ambient light swings beyond the data-carrying range.
+    pub fn plan_clamped(&mut self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
+        let (min, max) = self.envelope.dimming_range();
+        let l = DimmingLevel::clamped(target.value().clamp(min, max));
+        self.plan(l)
+    }
+
+    /// Number of distinct levels planned so far (cache occupancy).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> AmppmPlanner {
+        AmppmPlanner::new(SystemConfig::default()).unwrap()
+    }
+
+    fn lv(l: f64) -> DimmingLevel {
+        DimmingLevel::new(l).unwrap()
+    }
+
+    #[test]
+    fn plans_all_17_paper_levels() {
+        // Fig. 15 evaluates 17 levels 0.1, 0.15, ..., 0.9.
+        let mut p = planner();
+        for i in 2..=18 {
+            let l = i as f64 / 20.0;
+            let plan = p.plan(lv(l)).unwrap();
+            // The super-symbol realizes the level within the header quantum.
+            assert!(
+                (plan.achieved.value() - l).abs() <= p.config().dimming_quantum,
+                "l={l}: achieved {:?}",
+                plan.achieved
+            );
+            assert!(plan.super_symbol.n_super() <= p.config().n_max_super() as u32);
+        }
+    }
+
+    #[test]
+    fn rate_peaks_near_half() {
+        let mut p = planner();
+        let mid = p.plan(lv(0.5)).unwrap().rate_bps;
+        let low = p.plan(lv(0.1)).unwrap().rate_bps;
+        let high = p.plan(lv(0.9)).unwrap().rate_bps;
+        assert!(mid > low && mid > high);
+        // Paper calibration: peak raw rate ~107 Kbps (0.857 * 125k).
+        assert!(mid > 100_000.0 && mid < 125_000.0, "mid={mid}");
+    }
+
+    #[test]
+    fn amppm_beats_mppm_n20_at_every_level() {
+        // The Fig. 15 headline: AMPPM >= MPPM(N=20) at all 17 levels.
+        let mut p = planner();
+        for i in 2..=18 {
+            let l = i as f64 / 20.0;
+            let plan = p.plan(lv(l)).unwrap();
+            let k = (l * 20.0).round() as u16;
+            let mppm = crate::symbol::SymbolPattern::new(20, k).unwrap();
+            let mppm_rate = mppm.bits_per_symbol(p.table_mut()) as f64 / 20.0;
+            assert!(
+                plan.norm_rate >= mppm_rate - 1e-12,
+                "l={l}: {} < {mppm_rate}",
+                plan.norm_rate
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_identical_plans() {
+        let mut p = planner();
+        let a = p.plan(lv(0.33)).unwrap();
+        let before = p.cache_len();
+        let b = p.plan(lv(0.33)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.cache_len(), before);
+        // A level within the same quantum maps to the same plan.
+        let c = p.plan(lv(0.33 + 1e-5)).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn receiver_reproduces_plan_from_quantized_level() {
+        // TX and RX planners built from the same config must agree given
+        // the header's quantized level — the premise of our 4-byte Pattern
+        // field design.
+        let mut tx = planner();
+        let mut rx = planner();
+        for i in 0..50 {
+            let l = 0.08 + i as f64 * 0.017;
+            let a = tx.plan_clamped(lv(l.min(1.0))).unwrap();
+            let b = rx.plan_clamped(lv(l.min(1.0))).unwrap();
+            assert_eq!(a.super_symbol, b.super_symbol, "l={l}");
+        }
+    }
+
+    #[test]
+    fn extreme_levels_plan_or_clamp() {
+        let mut p = planner();
+        // Degenerate candidates take the envelope to [0,1]; the plans at
+        // the extremes carry zero bits but hold the light level.
+        let plan = p.plan(lv(0.0)).unwrap();
+        assert_eq!(plan.norm_rate, 0.0);
+        assert_eq!(plan.achieved.value(), 0.0);
+        let plan = p.plan(lv(1.0)).unwrap();
+        assert_eq!(plan.achieved.value(), 1.0);
+        // plan_clamped is a no-op inside the range.
+        let a = p.plan(lv(0.42)).unwrap();
+        let b = p.plan_clamped(lv(0.42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_candidates_is_reported() {
+        let mut cfg = SystemConfig::default();
+        cfg.ser_upper_bound = 1e-12;
+        assert_eq!(
+            AmppmPlanner::new(cfg).err(),
+            Some(PlanError::NoCandidates)
+        );
+    }
+
+    #[test]
+    fn expected_ser_below_bound() {
+        let mut p = planner();
+        for i in 2..=18 {
+            let plan = p.plan(lv(i as f64 / 20.0)).unwrap();
+            assert!(plan.expected_ser <= p.config().ser_upper_bound + 1e-12);
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut a = planner();
+        let mut b = planner();
+        for i in 1..=99 {
+            let l = i as f64 / 100.0;
+            assert_eq!(a.plan(lv(l)).unwrap(), b.plan(lv(l)).unwrap(), "l={l}");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Super-symbols (Figs. 5 and 7 of the paper).
+//!
+//! A super-symbol `⟨S1(N1,l1), m1, S2(N2,l2), m2⟩` multiplexes `m1` copies
+//! of pattern `S1` with `m2` copies of `S2`. Its dimming level is the
+//! slot-weighted average
+//!
+//! ```text
+//! lsuper = (l1·m1·N1 + l2·m2·N2) / (m1·N1 + m2·N2)
+//! ```
+//!
+//! and — the crucial property from §4.1.2 — multiplexing does **not**
+//! raise the symbol error rate, because each constituent symbol is decoded
+//! independently.
+//!
+//! ## Symbol ordering
+//!
+//! The paper defines a super-symbol as a concatenation and bounds its
+//! *length* (`Nsuper ≤ Nmax`, Eq. 4) so the brightness difference between
+//! its two halves repeats fast enough to be invisible. We additionally
+//! *interleave* the copies evenly (a Bresenham spread), which strictly
+//! reduces the low-frequency content of the waveform relative to plain
+//! `S1…S1 S2…S2` concatenation while conveying exactly the same data. The
+//! ordering is a pure function of `(S1, m1, S2, m2)`, so the receiver
+//! reconstructs it from the frame header without extra signalling.
+
+use crate::symbol::SymbolPattern;
+use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A super-symbol `⟨S1, m1, S2, m2⟩`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SuperSymbol {
+    s1: SymbolPattern,
+    m1: u16,
+    s2: SymbolPattern,
+    m2: u16,
+}
+
+impl SuperSymbol {
+    /// Compose a super-symbol. Returns `None` if both multiplicities are
+    /// zero.
+    pub fn new(s1: SymbolPattern, m1: u16, s2: SymbolPattern, m2: u16) -> Option<SuperSymbol> {
+        if m1 == 0 && m2 == 0 {
+            None
+        } else {
+            Some(SuperSymbol { s1, m1, s2, m2 })
+        }
+    }
+
+    /// A super-symbol made of a single pattern (`m2 = 0`).
+    pub fn uniform(s: SymbolPattern, m: u16) -> Option<SuperSymbol> {
+        SuperSymbol::new(s, m, s, 0)
+    }
+
+    /// First constituent pattern.
+    pub fn s1(&self) -> SymbolPattern {
+        self.s1
+    }
+
+    /// Copies of the first pattern.
+    pub fn m1(&self) -> u16 {
+        self.m1
+    }
+
+    /// Second constituent pattern.
+    pub fn s2(&self) -> SymbolPattern {
+        self.s2
+    }
+
+    /// Copies of the second pattern.
+    pub fn m2(&self) -> u16 {
+        self.m2
+    }
+
+    /// Total slots `Nsuper = m1·N1 + m2·N2`.
+    pub fn n_super(&self) -> u32 {
+        self.m1 as u32 * self.s1.n() as u32 + self.m2 as u32 * self.s2.n() as u32
+    }
+
+    /// Total ON slots.
+    pub fn ones(&self) -> u32 {
+        self.m1 as u32 * self.s1.k() as u32 + self.m2 as u32 * self.s2.k() as u32
+    }
+
+    /// The super-symbol's dimming level `lsuper` (exact ratio).
+    pub fn dimming(&self) -> f64 {
+        self.ones() as f64 / self.n_super() as f64
+    }
+
+    /// Total data bits carried by one super-symbol.
+    pub fn bits(&self, table: &mut BinomialTable) -> u32 {
+        self.m1 as u32 * self.s1.bits_per_symbol(table)
+            + self.m2 as u32 * self.s2.bits_per_symbol(table)
+    }
+
+    /// Normalized data rate (bits per slot).
+    pub fn normalized_rate(&self, table: &mut BinomialTable) -> f64 {
+        self.bits(table) as f64 / self.n_super() as f64
+    }
+
+    /// Expected fraction of constituent symbols decoded in error, given
+    /// per-pattern SERs (§4.1.2: symbols are decoded independently, so the
+    /// super-symbol does not multiply error rates).
+    pub fn mean_symbol_error_rate(&self, ser1: f64, ser2: f64) -> f64 {
+        let total = (self.m1 + self.m2) as f64;
+        (self.m1 as f64 * ser1 + self.m2 as f64 * ser2) / total
+    }
+
+    /// The deterministic transmission order of constituent symbols: `m1`
+    /// copies of `S1` spread evenly among `m2` copies of `S2`.
+    pub fn symbol_sequence(&self) -> Vec<SymbolPattern> {
+        let total = (self.m1 + self.m2) as u32;
+        let mut out = Vec::with_capacity(total as usize);
+        // Slot i carries S1 iff the scaled index crosses an integer
+        // boundary — exactly m1 of the total positions do.
+        let m1 = self.m1 as u32;
+        for i in 0..total {
+            let before = (i * m1) / total;
+            let after = ((i + 1) * m1) / total;
+            out.push(if after > before { self.s1 } else { self.s2 });
+        }
+        out
+    }
+
+    /// Encode data bits from `reader` into the slot waveform of one
+    /// super-symbol. If the reader runs dry the remaining data words are
+    /// zero (the framing layer sizes payloads so this only happens on the
+    /// final super-symbol).
+    pub fn encode(&self, table: &mut BinomialTable, reader: &mut BitReader<'_>) -> Vec<bool> {
+        let mut slots = Vec::with_capacity(self.n_super() as usize);
+        for pattern in self.symbol_sequence() {
+            let bits = pattern.bits_per_symbol(table) as usize;
+            let mut word = reader.read_bits(bits);
+            word.resize(bits, false); // zero-pad a dry reader
+            let value = BigUint::from_bits_msb(&word);
+            let symbol = pattern
+                .encode(table, &value)
+                .expect("value width bounded by bits_per_symbol");
+            slots.extend_from_slice(&symbol);
+        }
+        slots
+    }
+
+    /// Decode one super-symbol's worth of received slots, appending the
+    /// recovered bits to `writer`. Returns the number of constituent
+    /// symbols that failed their constant-weight check (each failed symbol
+    /// contributes zero-bits so downstream framing keeps its alignment).
+    pub fn decode(
+        &self,
+        table: &mut BinomialTable,
+        slots: &[bool],
+        writer: &mut BitWriter,
+    ) -> Result<u32, CodewordError> {
+        if slots.len() != self.n_super() as usize {
+            return Err(CodewordError::WrongLength {
+                expected: self.n_super() as usize,
+                got: slots.len(),
+            });
+        }
+        let mut offset = 0usize;
+        let mut failures = 0u32;
+        for pattern in self.symbol_sequence() {
+            let n = pattern.n() as usize;
+            let bits = pattern.bits_per_symbol(table);
+            let word = &slots[offset..offset + n];
+            match pattern.decode(table, word) {
+                // A corrupted symbol can keep its weight by chance yet
+                // rank beyond the 2^bits window actually used for data
+                // (C(N,K) is not a power of two); that is a symbol error
+                // too, not a panic.
+                Ok(value) if value.bit_length() <= bits => {
+                    for b in value.to_bits_msb(bits) {
+                        writer.write_bit(b);
+                    }
+                }
+                Ok(_) | Err(CodewordError::WrongWeight { .. }) => {
+                    // Symbol corrupted: emit placeholder zeros to keep
+                    // alignment; the frame CRC will catch the damage.
+                    failures += 1;
+                    for _ in 0..bits {
+                        writer.write_bit(false);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            offset += n;
+        }
+        Ok(failures)
+    }
+}
+
+impl fmt::Debug for SuperSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{} x{}, {} x{}>",
+            self.s1, self.m1, self.s2, self.m2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BinomialTable {
+        BinomialTable::new(512)
+    }
+
+    fn s(n: u16, k: u16) -> SymbolPattern {
+        SymbolPattern::new(n, k).unwrap()
+    }
+
+    #[test]
+    fn paper_fig5_example() {
+        // Append S(10,0.2) to S(10,0.1): lsuper = 0.15, Nsuper = 20.
+        let ss = SuperSymbol::new(s(10, 1), 1, s(10, 2), 1).unwrap();
+        assert_eq!(ss.n_super(), 20);
+        assert!((ss.dimming() - 0.15).abs() < 1e-12);
+        // Three copies of (10,0.2) after one (10,0.1): l = 7/40 = 0.175.
+        let ss = SuperSymbol::new(s(10, 1), 1, s(10, 2), 3).unwrap();
+        assert!((ss.dimming() - 0.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_multiplicities_zero_rejected() {
+        assert!(SuperSymbol::new(s(10, 1), 0, s(10, 2), 0).is_none());
+    }
+
+    #[test]
+    fn lsuper_formula() {
+        // lsuper = (l1 m1 N1 + l2 m2 N2)/(m1 N1 + m2 N2), Sec. 4.2.
+        let ss = SuperSymbol::new(s(21, 11), 3, s(21, 12), 2).unwrap();
+        let expect = (11.0 * 3.0 + 12.0 * 2.0) / (21.0 * 5.0);
+        assert!((ss.dimming() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_sum_over_constituents() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(21, 11), 2, s(20, 10), 1).unwrap();
+        let expect = 2 * s(21, 11).bits_per_symbol(&mut t) + s(20, 10).bits_per_symbol(&mut t);
+        assert_eq!(ss.bits(&mut t), expect);
+    }
+
+    #[test]
+    fn sequence_has_exact_multiplicities_and_is_spread() {
+        let ss = SuperSymbol::new(s(10, 1), 3, s(12, 2), 9).unwrap();
+        let seq = ss.symbol_sequence();
+        assert_eq!(seq.len(), 12);
+        assert_eq!(seq.iter().filter(|&&p| p == s(10, 1)).count(), 3);
+        // Evenly spread: no two S1 adjacent when m2 >= 2*m1.
+        for w in seq.windows(2) {
+            assert!(!(w[0] == s(10, 1) && w[1] == s(10, 1)));
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let ss = SuperSymbol::new(s(11, 3), 5, s(13, 7), 8).unwrap();
+        assert_eq!(ss.symbol_sequence(), ss.symbol_sequence());
+    }
+
+    #[test]
+    fn uniform_super_symbol() {
+        let ss = SuperSymbol::uniform(s(20, 10), 4).unwrap();
+        assert_eq!(ss.n_super(), 80);
+        assert_eq!(ss.dimming(), 0.5);
+        assert_eq!(ss.symbol_sequence().len(), 4);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(21, 11), 2, s(10, 4), 3).unwrap();
+        let payload: Vec<u8> = (0u8..64).collect();
+        let mut reader = BitReader::new(&payload);
+        let slots = ss.encode(&mut t, &mut reader);
+        assert_eq!(slots.len(), ss.n_super() as usize);
+        // The waveform realizes the promised dimming level exactly.
+        assert_eq!(
+            slots.iter().filter(|&&b| b).count() as u32,
+            ss.ones()
+        );
+        let mut w = BitWriter::new();
+        let failures = ss.decode(&mut t, &slots, &mut w).unwrap();
+        assert_eq!(failures, 0);
+        let consumed = ss.bits(&mut t) as usize;
+        let (bytes, nbits) = w.finish();
+        assert_eq!(nbits, consumed);
+        // Compare against the bits actually read.
+        let mut orig = BitReader::new(&payload);
+        let mut got = BitReader::new(&bytes);
+        for _ in 0..consumed {
+            assert_eq!(orig.read_bit(), got.read_bit());
+        }
+    }
+
+    #[test]
+    fn encode_pads_dry_reader_with_zeros() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(20, 10), 10, s(20, 10), 0).unwrap();
+        let mut reader = BitReader::new(&[0xFF]); // 8 bits for 170+ bit capacity
+        let slots = ss.encode(&mut t, &mut reader);
+        assert_eq!(slots.len(), 200);
+        // Still a valid constant-weight waveform.
+        assert_eq!(slots.iter().filter(|&&b| b).count(), 100);
+    }
+
+    #[test]
+    fn decode_flags_corrupted_symbols_but_keeps_alignment() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(10, 4), 4, s(10, 4), 0).unwrap();
+        let payload = [0xA5u8; 8];
+        let mut reader = BitReader::new(&payload);
+        let mut slots = ss.encode(&mut t, &mut reader);
+        slots[1] = !slots[1]; // corrupt the first symbol
+        let mut w = BitWriter::new();
+        let failures = ss.decode(&mut t, &slots, &mut w).unwrap();
+        assert_eq!(failures, 1);
+        let (_, nbits) = w.finish();
+        assert_eq!(nbits as u32, ss.bits(&mut t), "alignment preserved");
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let mut t = table();
+        let ss = SuperSymbol::uniform(s(10, 5), 2).unwrap();
+        let mut w = BitWriter::new();
+        assert!(matches!(
+            ss.decode(&mut t, &[false; 19], &mut w),
+            Err(CodewordError::WrongLength { expected: 20, got: 19 })
+        ));
+    }
+
+    #[test]
+    fn mean_ser_is_multiplicity_weighted() {
+        let ss = SuperSymbol::new(s(10, 1), 1, s(10, 2), 3).unwrap();
+        let m = ss.mean_symbol_error_rate(0.004, 0.002);
+        assert!((m - (0.004 + 3.0 * 0.002) / 4.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,600 @@
+//! Slot-domain frame emission and parsing.
+//!
+//! [`FrameCodec`] is the meeting point of Table 1 and the modems: it
+//! prefixes the scheme-modulated payload with the preamble, the
+//! OOK-modulated header, and the intra-frame compensation + sync fields,
+//! and parses the whole structure back on the receive side.
+//!
+//! The codec operates purely on decided slot values; converting noisy
+//! analog samples into slots (clock recovery, thresholding) is the job of
+//! `smartvlc-link`'s receiver front end.
+
+use crate::amppm::planner::{AmppmPlanner, PlanError};
+use crate::config::SystemConfig;
+use crate::dimming::DimmingLevel;
+use crate::frame::crc::Crc16;
+use crate::frame::format::{DescriptorError, Frame, FrameHeader, PatternDescriptor};
+use crate::modem::{DemodError, SlotModem};
+use crate::schemes::{AmppmModem, DarklightModem, MppmModem, OokCtModem, OppmModem, VppmModem};
+use crate::symbol::SymbolPattern;
+use std::fmt;
+
+/// Number of preamble slots (3 bytes of alternating ON/OFF, Table 1).
+pub const PREAMBLE_SLOTS: usize = 24;
+/// Preamble mismatch tolerance during parsing (slots).
+pub const PREAMBLE_TOLERANCE: usize = 2;
+
+/// Length of the fixed frame prefix: preamble + OOK header.
+pub const PREFIX_SLOTS: usize = PREAMBLE_SLOTS + FrameHeader::WIRE_SLOTS;
+
+/// Receiver-side statistics for one parsed frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Whether the CRC verified (the MAC only ACKs clean frames).
+    pub crc_ok: bool,
+    /// Total slots the frame occupied on the air.
+    pub total_slots: usize,
+    /// Constituent symbols whose integrity check failed.
+    pub symbol_failures: u32,
+    /// Total payload symbols processed.
+    pub symbols: u32,
+}
+
+/// Errors from frame emission or parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameCodecError {
+    /// Not enough slots to contain the claimed structure.
+    Truncated {
+        /// Slots needed to proceed.
+        needed: usize,
+        /// Slots available.
+        got: usize,
+    },
+    /// Preamble correlation failed (more than [`PREAMBLE_TOLERANCE`]
+    /// mismatched slots).
+    BadPreamble,
+    /// The header failed to parse.
+    BadHeader(DescriptorError),
+    /// The compensation run exceeded the Type-I flicker bound — no sync
+    /// edge found where one must exist.
+    CompensationOverrun,
+    /// The descriptor names a scheme/level combination that cannot carry
+    /// data.
+    Unsupported(&'static str),
+    /// AMPPM planning failed for the header's dimming level.
+    Plan(PlanError),
+    /// Payload demodulation failed structurally.
+    Demod(DemodError),
+}
+
+impl fmt::Display for FrameCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameCodecError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} slots, have {got}")
+            }
+            FrameCodecError::BadPreamble => write!(f, "preamble correlation failed"),
+            FrameCodecError::BadHeader(e) => write!(f, "bad header: {e}"),
+            FrameCodecError::CompensationOverrun => {
+                write!(f, "compensation run exceeds flicker bound")
+            }
+            FrameCodecError::Unsupported(w) => write!(f, "unsupported modulation: {w}"),
+            FrameCodecError::Plan(e) => write!(f, "AMPPM planning failed: {e}"),
+            FrameCodecError::Demod(e) => write!(f, "demodulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameCodecError {}
+
+impl From<DemodError> for FrameCodecError {
+    fn from(e: DemodError) -> Self {
+        FrameCodecError::Demod(e)
+    }
+}
+
+impl From<PlanError> for FrameCodecError {
+    fn from(e: PlanError) -> Self {
+        FrameCodecError::Plan(e)
+    }
+}
+
+/// The frame ⇄ slot-waveform codec. Owns an AMPPM planner so both sides
+/// derive identical super-symbols from header dimming levels.
+pub struct FrameCodec {
+    cfg: SystemConfig,
+    planner: AmppmPlanner,
+}
+
+impl FrameCodec {
+    /// Build a codec for a configuration.
+    pub fn new(cfg: SystemConfig) -> Result<FrameCodec, PlanError> {
+        let planner = AmppmPlanner::new(cfg.clone())?;
+        Ok(FrameCodec { cfg, planner })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The underlying AMPPM planner (shared with the transmitter logic).
+    pub fn planner_mut(&mut self) -> &mut AmppmPlanner {
+        &mut self.planner
+    }
+
+    /// Resolve a pattern descriptor to a concrete modem.
+    pub fn modem_for(
+        &mut self,
+        d: PatternDescriptor,
+    ) -> Result<Box<dyn SlotModem>, FrameCodecError> {
+        match d {
+            PatternDescriptor::Mppm { n, k } => {
+                let pattern = SymbolPattern::new(n, k)
+                    .ok_or(FrameCodecError::BadHeader(DescriptorError::InvalidParams))?;
+                if k == 0 || k == n {
+                    return Err(FrameCodecError::Unsupported("MPPM pattern carries no data"));
+                }
+                // Eq. 4: a symbol must fit inside one super-symbol period,
+                // which also rejects garbage headers decoded from noise.
+                if n as u64 > self.cfg.n_max_super().min(512) {
+                    return Err(FrameCodecError::Unsupported(
+                        "MPPM symbol exceeds the flicker bound",
+                    ));
+                }
+                Ok(Box::new(MppmModem::new(pattern)))
+            }
+            PatternDescriptor::OokCt { dimming_q } => {
+                let l = DimmingLevel::clamped(self.cfg.dequantize_dimming(dimming_q));
+                let modem = OokCtModem::new(l)
+                    .ok_or(FrameCodecError::Unsupported("OOK-CT level out of range"))?;
+                Ok(Box::new(modem))
+            }
+            PatternDescriptor::Amppm { dimming_q } => {
+                let l = DimmingLevel::clamped(self.cfg.dequantize_dimming(dimming_q));
+                let plan = self.planner.plan(l)?;
+                if plan.norm_rate == 0.0 {
+                    return Err(FrameCodecError::Unsupported(
+                        "AMPPM level carries no data (degenerate pattern)",
+                    ));
+                }
+                Ok(Box::new(AmppmModem::from_plan(&plan)))
+            }
+            PatternDescriptor::Vppm { n, width } => {
+                let l = DimmingLevel::from_ratio(width as u32, n as u32)
+                    .ok_or(FrameCodecError::BadHeader(DescriptorError::InvalidParams))?;
+                let modem = VppmModem::new(n as u16, l)
+                    .ok_or(FrameCodecError::Unsupported("VPPM width degenerate"))?;
+                Ok(Box::new(modem))
+            }
+            PatternDescriptor::Oppm { n, width } => {
+                let modem = OppmModem::from_raw(n as u16, width as u16)
+                    .ok_or(FrameCodecError::Unsupported("OPPM shape degenerate"))?;
+                Ok(Box::new(modem))
+            }
+            PatternDescriptor::Darklight { positions, pulse_w } => {
+                let modem = DarklightModem::new(positions, pulse_w as u16).ok_or(
+                    FrameCodecError::Unsupported("night-mode duty not dark enough"),
+                )?;
+                Ok(Box::new(modem))
+            }
+        }
+    }
+
+    /// Emit a frame as a slot waveform.
+    pub fn emit(&mut self, frame: &Frame) -> Result<Vec<bool>, FrameCodecError> {
+        let modem = self.modem_for(frame.header.pattern)?;
+        let table = self.planner.table_mut();
+
+        // Preamble: alternating ON/OFF, starting ON.
+        let mut slots: Vec<bool> = (0..PREAMBLE_SLOTS).map(|i| i % 2 == 0).collect();
+
+        // Header: OOK, one slot per bit, MSB first.
+        let header_bytes = frame.header.to_bytes();
+        for &b in &header_bytes {
+            for bit in (0..8).rev() {
+                slots.push((b >> bit) & 1 == 1);
+            }
+        }
+        debug_assert_eq!(slots.len(), PREFIX_SLOTS);
+
+        // Payload block: payload ++ CRC(header ++ payload).
+        let mut crc = Crc16::new();
+        crc.update(&header_bytes).update(&frame.payload);
+        let mut block = frame.payload.clone();
+        block.extend_from_slice(&crc.finish().to_be_bytes());
+        let payload_slots = modem.modulate(table, &block);
+
+        // Compensation + sync: align the prefix brightness to the payload
+        // dimming level (Table 1's Compensation and Sync fields).
+        let target = modem.dimming().value();
+        let prefix_ones = slots.iter().filter(|&&b| b).count();
+        let (comp_len, comp_state) = compensation_plan(
+            prefix_ones,
+            PREFIX_SLOTS,
+            target,
+            self.cfg.n_max_super() as usize,
+        );
+        slots.extend(std::iter::repeat(comp_state).take(comp_len));
+        slots.push(!comp_state); // sync edge
+        slots.extend(payload_slots);
+        Ok(slots)
+    }
+
+    /// Parse a slot waveform beginning at a frame boundary.
+    ///
+    /// On success returns the frame, its stats (check
+    /// [`FrameStats::crc_ok`] before trusting the payload), and the total
+    /// number of slots consumed.
+    pub fn parse(&mut self, slots: &[bool]) -> Result<(Frame, FrameStats), FrameCodecError> {
+        if slots.len() < PREFIX_SLOTS + 2 {
+            return Err(FrameCodecError::Truncated {
+                needed: PREFIX_SLOTS + 2,
+                got: slots.len(),
+            });
+        }
+        // Preamble correlation with tolerance.
+        let mismatches = slots[..PREAMBLE_SLOTS]
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| s != (i % 2 == 0))
+            .count();
+        if mismatches > PREAMBLE_TOLERANCE {
+            return Err(FrameCodecError::BadPreamble);
+        }
+
+        // Header.
+        let mut header_bytes = [0u8; FrameHeader::WIRE_BYTES];
+        for (i, byte) in header_bytes.iter_mut().enumerate() {
+            for bit in 0..8 {
+                *byte = (*byte << 1) | slots[PREAMBLE_SLOTS + i * 8 + bit] as u8;
+            }
+        }
+        let header =
+            FrameHeader::from_bytes(&header_bytes).map_err(FrameCodecError::BadHeader)?;
+
+        // Compensation run: scan for the sync edge.
+        let comp_start = PREFIX_SLOTS;
+        let comp_state = slots[comp_start];
+        let max_run = self.cfg.n_max_super() as usize;
+        let mut i = comp_start;
+        while i < slots.len() && slots[i] == comp_state {
+            i += 1;
+            if i - comp_start > max_run {
+                return Err(FrameCodecError::CompensationOverrun);
+            }
+        }
+        if i >= slots.len() {
+            return Err(FrameCodecError::CompensationOverrun);
+        }
+        let payload_start = i + 1; // the flip slot is the sync bit
+
+        // Payload block.
+        let modem = self.modem_for(header.pattern)?;
+        let table = self.planner.table_mut();
+        let block_bytes = header.payload_len as usize + 2;
+        let n_slots = modem.slots_for_payload(table, block_bytes);
+        if slots.len() < payload_start + n_slots {
+            return Err(FrameCodecError::Truncated {
+                needed: payload_start + n_slots,
+                got: slots.len(),
+            });
+        }
+        let (block, dstats) = modem.demodulate(
+            table,
+            &slots[payload_start..payload_start + n_slots],
+            block_bytes,
+        )?;
+        let (payload, crc_bytes) = block.split_at(header.payload_len as usize);
+        let mut crc = Crc16::new();
+        crc.update(&header_bytes).update(payload);
+        let crc_ok = crc.finish().to_be_bytes() == crc_bytes;
+
+        let stats = FrameStats {
+            crc_ok,
+            total_slots: payload_start + n_slots,
+            symbol_failures: dstats.symbol_failures,
+            symbols: dstats.symbols,
+        };
+        Ok((
+            Frame {
+                header,
+                payload: payload.to_vec(),
+            },
+            stats,
+        ))
+    }
+}
+
+/// Size the compensation field: choose the state and length such that
+/// `(prefix_ones + state·c + sync_ones) / (prefix_len + c + 1) ≈ target`.
+/// Always emits at least one compensation slot so the receiver can detect
+/// the sync edge; the length is capped at the flicker bound.
+fn compensation_plan(
+    prefix_ones: usize,
+    prefix_len: usize,
+    target: f64,
+    cap: usize,
+) -> (usize, bool) {
+    let ones = prefix_ones as f64;
+    let len = prefix_len as f64;
+    // Try brightening with ONs (sync will be OFF): (ones + c)/(len + c + 1) = l.
+    let c_on = (target * (len + 1.0) - ones) / (1.0 - target);
+    // Try darkening with OFFs (sync will be ON): (ones + 1)/(len + c + 1) = l.
+    let c_off = (ones + 1.0) / target - len - 1.0;
+    let (c, state) = if c_on.is_finite() && c_on >= 1.0 {
+        (c_on, true)
+    } else if c_off.is_finite() && c_off >= 1.0 {
+        (c_off, false)
+    } else {
+        // Prefix already close to target: emit the minimal run in the
+        // direction that errs least.
+        let err_on = (ones + 1.0) / (len + 2.0) - target;
+        let err_off = ones / (len + 2.0) - target;
+        (1.0, err_on.abs() <= err_off.abs())
+    };
+    ((c.round() as usize).clamp(1, cap), state)
+}
+
+/// Emit a frame with a one-off codec (convenience for tests and examples).
+pub fn emit_frame(
+    frame: &Frame,
+    cfg: &SystemConfig,
+) -> Result<Vec<bool>, FrameCodecError> {
+    FrameCodec::new(cfg.clone())
+        .map_err(FrameCodecError::Plan)?
+        .emit(frame)
+}
+
+/// Parse a frame with a one-off codec (convenience for tests and examples).
+pub fn parse_frame(
+    slots: &[bool],
+    cfg: &SystemConfig,
+) -> Result<(Frame, FrameStats), FrameCodecError> {
+    FrameCodec::new(cfg.clone())
+        .map_err(FrameCodecError::Plan)?
+        .parse(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::format::amppm_descriptor;
+
+    fn codec() -> FrameCodec {
+        FrameCodec::new(SystemConfig::default()).unwrap()
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    fn amppm_frame(l: f64, n: usize) -> Frame {
+        let cfg = SystemConfig::default();
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(l).unwrap());
+        Frame::new(d, payload(n)).unwrap()
+    }
+
+    #[test]
+    fn amppm_frame_roundtrip_all_levels() {
+        let mut c = codec();
+        for i in 2..=18 {
+            let l = i as f64 / 20.0;
+            let frame = amppm_frame(l, 128);
+            let slots = c.emit(&frame).unwrap();
+            let (back, stats) = c.parse(&slots).unwrap();
+            assert!(stats.crc_ok, "l={l}");
+            assert_eq!(back, frame, "l={l}");
+            assert_eq!(stats.total_slots, slots.len());
+        }
+    }
+
+    #[test]
+    fn mppm_and_ookct_and_vppm_roundtrip() {
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        let descriptors = [
+            PatternDescriptor::Mppm { n: 20, k: 6 },
+            PatternDescriptor::OokCt {
+                dimming_q: cfg.quantize_dimming(0.3),
+            },
+            PatternDescriptor::Vppm { n: 10, width: 3 },
+            PatternDescriptor::Oppm { n: 14, width: 4 },
+            PatternDescriptor::Darklight { positions: 128, pulse_w: 1 },
+        ];
+        for d in descriptors {
+            let frame = Frame::new(d, payload(128)).unwrap();
+            let slots = c.emit(&frame).unwrap();
+            let (back, stats) = c.parse(&slots).unwrap();
+            assert!(stats.crc_ok, "{d:?}");
+            assert_eq!(back, frame, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn whole_frame_brightness_matches_target() {
+        // The compensation field's purpose: frame average ~ payload level.
+        let mut c = codec();
+        for l in [0.2, 0.35, 0.5, 0.75] {
+            let frame = amppm_frame(l, 128);
+            let slots = c.emit(&frame).unwrap();
+            let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
+            assert!((duty - l).abs() < 0.02, "l={l} duty={duty}");
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc_only() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 128);
+        let mut slots = c.emit(&frame).unwrap();
+        let n = slots.len();
+        slots[n - 10] = !slots[n - 10];
+        let (_, stats) = c.parse(&slots).unwrap();
+        assert!(!stats.crc_ok);
+        assert!(stats.symbol_failures >= 1);
+    }
+
+    #[test]
+    fn corrupted_preamble_detected() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 16);
+        let mut slots = c.emit(&frame).unwrap();
+        for i in 0..5 {
+            slots[i] = !slots[i];
+        }
+        assert_eq!(c.parse(&slots), Err(FrameCodecError::BadPreamble));
+    }
+
+    #[test]
+    fn preamble_tolerates_two_slot_errors() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 16);
+        let mut slots = c.emit(&frame).unwrap();
+        slots[0] = !slots[0];
+        slots[7] = !slots[7];
+        let (back, _) = c.parse(&slots).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 128);
+        let slots = c.emit(&frame).unwrap();
+        assert!(matches!(
+            c.parse(&slots[..slots.len() / 2]),
+            Err(FrameCodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            c.parse(&slots[..10]),
+            Err(FrameCodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn compensation_overrun_detected() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 16);
+        let mut slots = c.emit(&frame).unwrap();
+        // Replace everything after the prefix with a constant run.
+        let cap = SystemConfig::default().n_max_super() as usize;
+        slots.truncate(PREFIX_SLOTS);
+        slots.extend(std::iter::repeat(true).take(cap + 10));
+        assert_eq!(c.parse(&slots), Err(FrameCodecError::CompensationOverrun));
+    }
+
+    #[test]
+    fn sync_edge_found_regardless_of_comp_length() {
+        // Dim and bright targets produce very different compensation runs;
+        // the parser must locate the payload in both.
+        let mut c = codec();
+        for l in [0.12, 0.88] {
+            let frame = amppm_frame(l, 64);
+            let slots = c.emit(&frame).unwrap();
+            let (back, stats) = c.parse(&slots).unwrap();
+            assert!(stats.crc_ok);
+            assert_eq!(back, frame, "l={l}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+        let frame = Frame::new(d, Vec::new()).unwrap();
+        let slots = c.emit(&frame).unwrap();
+        let (back, stats) = c.parse(&slots).unwrap();
+        assert!(stats.crc_ok);
+        assert_eq!(back.payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oneshot_helpers_work() {
+        let cfg = SystemConfig::default();
+        let frame = amppm_frame(0.4, 32);
+        let slots = emit_frame(&frame, &cfg).unwrap();
+        let (back, stats) = parse_frame(&slots, &cfg).unwrap();
+        assert!(stats.crc_ok);
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn header_corruption_yields_header_or_demod_error_not_panic() {
+        let mut c = codec();
+        let frame = amppm_frame(0.5, 64);
+        let slots = c.emit(&frame).unwrap();
+        // Flip header bits; any outcome except panic/accept-clean is fine.
+        for flip in PREAMBLE_SLOTS..PREFIX_SLOTS {
+            let mut s = slots.clone();
+            s[flip] = !s[flip];
+            match c.parse(&s) {
+                Ok((_, stats)) => assert!(!stats.crc_ok, "flip={flip} accepted"),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod compensation_tests {
+    use super::compensation_plan;
+
+    fn achieved(prefix_ones: usize, prefix_len: usize, target: f64, cap: usize) -> f64 {
+        let (c, state) = compensation_plan(prefix_ones, prefix_len, target, cap);
+        let sync_on = !state as usize;
+        (prefix_ones + state as usize * c + sync_on) as f64 / (prefix_len + c + 1) as f64
+    }
+
+    #[test]
+    fn darkens_bright_prefixes() {
+        // A half-bright 72-slot prefix against a 0.1 target: long OFF run.
+        let (c, state) = compensation_plan(36, 72, 0.1, 500);
+        assert!(!state, "must darken");
+        assert!(c > 100, "c={c}");
+        assert!((achieved(36, 72, 0.1, 500) - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn brightens_dark_prefixes() {
+        let (c, state) = compensation_plan(10, 72, 0.8, 500);
+        assert!(state, "must brighten");
+        assert!(c > 50, "c={c}");
+        assert!((achieved(10, 72, 0.8, 500) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn always_emits_at_least_one_slot() {
+        // Even a perfectly matched prefix needs one comp slot so the
+        // receiver can detect the sync edge.
+        for target in [0.05f64, 0.3, 0.5, 0.7, 0.95] {
+            let ones = (72.0 * target).round() as usize;
+            let (c, _) = compensation_plan(ones, 72, target, 500);
+            assert!(c >= 1, "target={target}");
+        }
+    }
+
+    #[test]
+    fn cap_bounds_the_run() {
+        // An extreme target cannot produce a flicker-length run.
+        let (c, _) = compensation_plan(36, 72, 0.02, 500);
+        assert!(c <= 500, "c={c}");
+        let (c, _) = compensation_plan(0, 72, 0.99, 500);
+        assert!(c <= 500, "c={c}");
+    }
+
+    #[test]
+    fn alignment_error_is_small_across_targets() {
+        // Within [0.05, 0.90] the cap never binds and alignment is tight.
+        for i in 1..=18 {
+            let target = i as f64 / 20.0;
+            let err = (achieved(30, 72, target, 500) - target).abs();
+            assert!(err < 0.02, "target={target} err={err}");
+        }
+        // At 0.95 the Eq. 4 cap limits the ON run; the residual error is
+        // the price of staying flicker-safe, and stays modest.
+        let err = (achieved(30, 72, 0.95, 500) - 0.95).abs();
+        assert!((0.005..0.05).contains(&err), "err={err}");
+    }
+}

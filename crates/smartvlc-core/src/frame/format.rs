@@ -1,0 +1,321 @@
+//! Frame wire format: header fields and the 4-byte pattern descriptor.
+//!
+//! The paper allocates exactly four bytes to the Pattern field that "carries
+//! the details about the super-symbol". A naive serialization of
+//! `⟨S1(N1,K1), m1, S2(N2,K2), m2⟩` needs ~6 bytes at `Nmax = 500`, so we
+//! exploit the planner's determinism instead: both ends run the same
+//! [`crate::AmppmPlanner`] over the same [`crate::SystemConfig`], so the
+//! header only needs to carry the *quantized dimming level*; the receiver
+//! re-derives the identical super-symbol. The remaining bytes carry the
+//! scheme tag and explicit parameters for the fixed-pattern schemes.
+
+use crate::dimming::DimmingLevel;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum payload length accepted by the frame layer.
+pub const MAX_PAYLOAD: usize = 4096;
+
+/// Which payload modulation a frame uses, with its parameters — the
+/// 4-byte Pattern field of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PatternDescriptor {
+    /// Fixed MPPM pattern `S(n, k/n)`.
+    Mppm {
+        /// Slots per symbol.
+        n: u16,
+        /// ON slots per symbol.
+        k: u16,
+    },
+    /// OOK with compensation time at a quantized dimming level.
+    OokCt {
+        /// Quantized dimming level (planner grid index).
+        dimming_q: u16,
+    },
+    /// AMPPM at a quantized dimming level; the super-symbol is re-derived
+    /// by the receiver's planner.
+    Amppm {
+        /// Quantized dimming level (planner grid index).
+        dimming_q: u16,
+    },
+    /// VPPM with `n` slots per symbol and pulse width `width`.
+    Vppm {
+        /// Slots per symbol.
+        n: u8,
+        /// Pulse width in slots.
+        width: u8,
+    },
+    /// OPPM with `n` slots per symbol and pulse width `width` (paper reference \[8\]).
+    Oppm {
+        /// Slots per symbol.
+        n: u8,
+        /// Pulse width in slots.
+        width: u8,
+    },
+    /// DarkLight-style night mode: one `pulse_w`-slot pulse at one of
+    /// `positions` offsets per symbol (§7 companion mode).
+    Darklight {
+        /// Pulse offsets per symbol.
+        positions: u16,
+        /// Pulse width in slots.
+        pulse_w: u8,
+    },
+}
+
+/// Errors from descriptor parsing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DescriptorError {
+    /// Unknown scheme tag byte.
+    UnknownTag(u8),
+    /// Parameters violate the scheme's invariants.
+    InvalidParams,
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::UnknownTag(t) => write!(f, "unknown scheme tag {t:#04x}"),
+            DescriptorError::InvalidParams => write!(f, "invalid scheme parameters"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+const TAG_MPPM: u8 = 0x01;
+const TAG_OOKCT: u8 = 0x02;
+const TAG_AMPPM: u8 = 0x03;
+const TAG_VPPM: u8 = 0x04;
+const TAG_OPPM: u8 = 0x05;
+const TAG_DARKLIGHT: u8 = 0x06;
+
+impl PatternDescriptor {
+    /// Serialize to the 4-byte wire form: `tag | p0 p1 | p2`.
+    pub fn to_bytes(self) -> [u8; 4] {
+        match self {
+            PatternDescriptor::Mppm { n, k } => {
+                // 12-bit n, 12-bit k packed big-endian into 3 bytes.
+                debug_assert!(n < 4096 && k < 4096);
+                [
+                    TAG_MPPM,
+                    (n >> 4) as u8,
+                    (((n & 0xF) << 4) | (k >> 8)) as u8,
+                    (k & 0xFF) as u8,
+                ]
+            }
+            PatternDescriptor::OokCt { dimming_q } => {
+                let b = dimming_q.to_be_bytes();
+                [TAG_OOKCT, b[0], b[1], 0]
+            }
+            PatternDescriptor::Amppm { dimming_q } => {
+                let b = dimming_q.to_be_bytes();
+                [TAG_AMPPM, b[0], b[1], 0]
+            }
+            PatternDescriptor::Vppm { n, width } => [TAG_VPPM, n, width, 0],
+            PatternDescriptor::Oppm { n, width } => [TAG_OPPM, n, width, 0],
+            PatternDescriptor::Darklight { positions, pulse_w } => {
+                let b = positions.to_be_bytes();
+                [TAG_DARKLIGHT, b[0], b[1], pulse_w]
+            }
+        }
+    }
+
+    /// Parse the 4-byte wire form.
+    pub fn from_bytes(b: [u8; 4]) -> Result<PatternDescriptor, DescriptorError> {
+        match b[0] {
+            TAG_MPPM => {
+                let n = ((b[1] as u16) << 4) | ((b[2] as u16) >> 4);
+                let k = (((b[2] & 0xF) as u16) << 8) | b[3] as u16;
+                if n == 0 || k > n {
+                    return Err(DescriptorError::InvalidParams);
+                }
+                Ok(PatternDescriptor::Mppm { n, k })
+            }
+            TAG_OOKCT => Ok(PatternDescriptor::OokCt {
+                dimming_q: u16::from_be_bytes([b[1], b[2]]),
+            }),
+            TAG_AMPPM => Ok(PatternDescriptor::Amppm {
+                dimming_q: u16::from_be_bytes([b[1], b[2]]),
+            }),
+            TAG_VPPM => {
+                let (n, width) = (b[1], b[2]);
+                if n < 2 || width == 0 || width >= n {
+                    return Err(DescriptorError::InvalidParams);
+                }
+                Ok(PatternDescriptor::Vppm { n, width })
+            }
+            TAG_OPPM => {
+                let (n, width) = (b[1], b[2]);
+                if n < 3 || width == 0 || width >= n {
+                    return Err(DescriptorError::InvalidParams);
+                }
+                Ok(PatternDescriptor::Oppm { n, width })
+            }
+            TAG_DARKLIGHT => {
+                let positions = u16::from_be_bytes([b[1], b[2]]);
+                let pulse_w = b[3];
+                if positions < 2 || pulse_w == 0 {
+                    return Err(DescriptorError::InvalidParams);
+                }
+                Ok(PatternDescriptor::Darklight { positions, pulse_w })
+            }
+            t => Err(DescriptorError::UnknownTag(t)),
+        }
+    }
+}
+
+/// The frame header: Length + Pattern fields of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FrameHeader {
+    /// Payload bytes (not counting the CRC).
+    pub payload_len: u16,
+    /// Payload modulation descriptor.
+    pub pattern: PatternDescriptor,
+}
+
+impl FrameHeader {
+    /// Header wire size in bytes (2 + 4, Table 1).
+    pub const WIRE_BYTES: usize = 6;
+    /// Header wire size in slots (OOK-modulated, one slot per bit).
+    pub const WIRE_SLOTS: usize = Self::WIRE_BYTES * 8;
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        let mut buf = &mut out[..];
+        buf.put_u16(self.payload_len);
+        buf.put_slice(&self.pattern.to_bytes());
+        out
+    }
+
+    /// Parse from wire bytes.
+    pub fn from_bytes(mut b: &[u8]) -> Result<FrameHeader, DescriptorError> {
+        if b.len() < Self::WIRE_BYTES {
+            return Err(DescriptorError::InvalidParams);
+        }
+        let payload_len = b.get_u16();
+        let mut pb = [0u8; 4];
+        b.copy_to_slice(&mut pb);
+        Ok(FrameHeader {
+            payload_len,
+            pattern: PatternDescriptor::from_bytes(pb)?,
+        })
+    }
+}
+
+/// A MAC frame: header + payload.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Frame {
+    /// The header (Length + Pattern).
+    pub header: FrameHeader,
+    /// Payload bytes (the paper fixes 128 B in its experiments).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame; validates length consistency.
+    pub fn new(pattern: PatternDescriptor, payload: Vec<u8>) -> Option<Frame> {
+        if payload.len() > MAX_PAYLOAD {
+            return None;
+        }
+        Some(Frame {
+            header: FrameHeader {
+                payload_len: payload.len() as u16,
+                pattern,
+            },
+            payload,
+        })
+    }
+}
+
+/// Helper: descriptor for an AMPPM frame at a given target level.
+pub fn amppm_descriptor(cfg: &crate::config::SystemConfig, l: DimmingLevel) -> PatternDescriptor {
+    PatternDescriptor::Amppm {
+        dimming_q: cfg.quantize_dimming(l.value()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_is_exactly_four_bytes() {
+        // Table 1: the Pattern field is 4 B.
+        let d = PatternDescriptor::Amppm { dimming_q: 777 };
+        assert_eq!(d.to_bytes().len(), 4);
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let cases = [
+            PatternDescriptor::Mppm { n: 20, k: 10 },
+            PatternDescriptor::Mppm { n: 500, k: 250 },
+            PatternDescriptor::Mppm { n: 4095, k: 4095 },
+            PatternDescriptor::OokCt { dimming_q: 0 },
+            PatternDescriptor::OokCt { dimming_q: 65535 },
+            PatternDescriptor::Amppm { dimming_q: 512 },
+            PatternDescriptor::Vppm { n: 10, width: 3 },
+            PatternDescriptor::Oppm { n: 12, width: 4 },
+            PatternDescriptor::Darklight { positions: 128, pulse_w: 1 },
+        ];
+        for d in cases {
+            assert_eq!(PatternDescriptor::from_bytes(d.to_bytes()), Ok(d), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_descriptors_rejected() {
+        assert_eq!(
+            PatternDescriptor::from_bytes([0x7F, 0, 0, 0]),
+            Err(DescriptorError::UnknownTag(0x7F))
+        );
+        // MPPM with k > n.
+        let bad = PatternDescriptor::Mppm { n: 10, k: 11 }.to_bytes();
+        assert_eq!(
+            PatternDescriptor::from_bytes(bad),
+            Err(DescriptorError::InvalidParams)
+        );
+        // VPPM with width = n.
+        assert_eq!(
+            PatternDescriptor::from_bytes([0x04, 10, 10, 0]),
+            Err(DescriptorError::InvalidParams)
+        );
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = FrameHeader {
+            payload_len: 128,
+            pattern: PatternDescriptor::Amppm { dimming_q: 300 },
+        };
+        let bytes = h.to_bytes();
+        assert_eq!(bytes.len(), 6); // Table 1: Length 2 B + Pattern 4 B
+        assert_eq!(FrameHeader::from_bytes(&bytes), Ok(h));
+    }
+
+    #[test]
+    fn header_rejects_short_input() {
+        assert!(FrameHeader::from_bytes(&[0; 5]).is_err());
+    }
+
+    #[test]
+    fn frame_rejects_oversize_payload() {
+        let d = PatternDescriptor::OokCt { dimming_q: 512 };
+        assert!(Frame::new(d, vec![0; MAX_PAYLOAD]).is_some());
+        assert!(Frame::new(d, vec![0; MAX_PAYLOAD + 1]).is_none());
+    }
+
+    #[test]
+    fn amppm_descriptor_quantizes() {
+        let cfg = crate::config::SystemConfig::default();
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+        match d {
+            PatternDescriptor::Amppm { dimming_q } => {
+                assert_eq!(dimming_q, cfg.quantize_dimming(0.5))
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # smartvlc-core — the SmartVLC modulation and lighting co-design layer
+//!
+//! This crate implements the contribution of *"SmartVLC: When Smart
+//! Lighting Meets VLC"* (Wu, Wang, Xiong, Zuniga — CoNEXT 2017): a visible
+//! light link whose LED simultaneously serves *illumination* (fine-grained,
+//! flicker-free dimming that keeps ambient + LED light constant) and
+//! *communication* (maximum throughput at every dimming level).
+//!
+//! ## Map from paper to modules
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §2 dimming schemes (OOK-CT, MPPM) + VPPM (§7) | [`schemes`] |
+//! | §2.2 flickering (Type-I, Type-II) | [`flicker`] |
+//! | §4.1 symbols, dimming resolution, Eq. 1–3 | [`symbol`], [`dimming`], [`ser`] |
+//! | §4.1.2 multiplexing / super-symbols (Fig. 5–7) | [`amppm::super_symbol`] |
+//! | §4.2 AMPPM steps 1–4 (Fig. 8–9) | [`amppm`] |
+//! | §4.3 perception-domain adaptation (Fig. 10) | [`adaptation`] |
+//! | §4.4 Algorithms 1–2 (enumerative codec) | re-exported from the `combinat` crate |
+//! | §4.5 frame format (Table 1) | [`frame`] |
+//! | §6.1 system parameters | [`config`] |
+//!
+//! The crate is pure computation: no I/O, no clocks, no randomness. Slot
+//! waveforms are plain `Vec<bool>` (`true` = LED ON for one `tslot`);
+//! everything physical (noise, distance, sampling) lives in the
+//! `vlc-channel` and `vlc-hw` substrate crates, and the end-to-end link in
+//! `smartvlc-link`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod amppm;
+pub mod config;
+pub mod dimming;
+pub mod flicker;
+pub mod frame;
+pub mod modem;
+pub mod schemes;
+pub mod ser;
+pub mod symbol;
+
+pub use amppm::planner::{AmppmPlanner, PlanError, SuperSymbolPlan};
+pub use config::SystemConfig;
+pub use dimming::DimmingLevel;
+pub use flicker::{FlickerReport, FlickerRules};
+pub use ser::SlotErrorProbs;
+pub use symbol::SymbolPattern;

@@ -1,0 +1,285 @@
+//! AMPPM packaged as a [`SlotModem`]: the planner's chosen super-symbol
+//! driving the payload field.
+//!
+//! The payload is modulated by cycling through the super-symbol's
+//! constituent symbol sequence and stopping as soon as the block's bits
+//! are covered — the final super-symbol may be *partial*. Padding to
+//! whole super-symbols would waste up to `bits(super) − 1` bits per block
+//! (as much as 25% for the paper's 128 B payloads at extreme dimming
+//! levels); truncation costs at most one symbol of padding. Both sides
+//! derive the same truncation point from the block length in the frame
+//! header, and the dimming deviation of one partial super-symbol within
+//! a frame is far below the perception threshold.
+
+use crate::amppm::planner::SuperSymbolPlan;
+use crate::amppm::super_symbol::SuperSymbol;
+use crate::dimming::DimmingLevel;
+use crate::modem::{bits_for, DemodError, DemodStats, SlotModem};
+use crate::symbol::SymbolPattern;
+use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError};
+
+/// A modem that repeats one AMPPM super-symbol over the payload block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmppmModem {
+    super_symbol: SuperSymbol,
+}
+
+impl AmppmModem {
+    /// Wrap a planner-produced plan.
+    pub fn from_plan(plan: &SuperSymbolPlan) -> AmppmModem {
+        AmppmModem {
+            super_symbol: plan.super_symbol,
+        }
+    }
+
+    /// Wrap a raw super-symbol (tests, ablations).
+    pub fn new(super_symbol: SuperSymbol) -> AmppmModem {
+        AmppmModem { super_symbol }
+    }
+
+    /// The super-symbol in use.
+    pub fn super_symbol(&self) -> SuperSymbol {
+        self.super_symbol
+    }
+
+    /// The symbol patterns (with per-symbol bit counts) that cover
+    /// `n_bytes`, cycling the super-symbol's sequence and truncating
+    /// after the last needed symbol.
+    fn symbol_walk(
+        &self,
+        table: &mut BinomialTable,
+        n_bytes: usize,
+    ) -> Vec<(SymbolPattern, u32)> {
+        let seq = self.super_symbol.symbol_sequence();
+        let per_super: u32 = seq
+            .iter()
+            .map(|p| p.bits_per_symbol(table))
+            .sum();
+        assert!(
+            per_super > 0,
+            "super-symbol carries no data: {:?}",
+            self.super_symbol
+        );
+        let needed = bits_for(n_bytes) as u64;
+        let mut out = Vec::new();
+        let mut covered = 0u64;
+        'outer: loop {
+            for &p in &seq {
+                let b = p.bits_per_symbol(table);
+                out.push((p, b));
+                covered += b as u64;
+                if covered >= needed {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// The truncated walk's partial super-symbol skews the block's duty
+    /// away from `lsuper` (its two patterns differ in dimming). A short
+    /// data-free filler restores the exact ratio so frame tails don't
+    /// produce Type-II brightness dips/bumps: `filler_len` slots of which
+    /// `filler_ones` are ON, both pure functions of the walk.
+    fn tail_filler(&self, walk: &[(SymbolPattern, u32)]) -> (usize, usize) {
+        let slots: u64 = walk.iter().map(|&(p, _)| p.n() as u64).sum();
+        let ones: u64 = walk.iter().map(|&(p, _)| p.k() as u64).sum();
+        let l = self.super_symbol.dimming();
+        // Find the smallest filler that brings the total within half a
+        // slot of the target ratio. Capped defensively; typical lengths
+        // are a handful of slots.
+        let cap = 4 * self.super_symbol.n_super() as usize;
+        for f in 0..=cap {
+            let target = l * (slots + f as u64) as f64;
+            let o = (target - ones as f64).round();
+            if o >= 0.0 && o <= f as f64 && (ones as f64 + o - target).abs() <= 0.5 {
+                return (f, o as usize);
+            }
+        }
+        (0, 0)
+    }
+
+    fn filler_slots(len: usize, ones: usize) -> impl Iterator<Item = bool> {
+        (0..len).map(move |i| (i * ones) / len.max(1) != ((i + 1) * ones) / len.max(1))
+    }
+}
+
+impl SlotModem for AmppmModem {
+    fn dimming(&self) -> DimmingLevel {
+        DimmingLevel::clamped(self.super_symbol.dimming())
+    }
+
+    fn slots_for_payload(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+        let walk = self.symbol_walk(table, n_bytes);
+        let (filler, _) = self.tail_filler(&walk);
+        walk.iter().map(|(p, _)| p.n() as usize).sum::<usize>() + filler
+    }
+
+    fn modulate(&self, table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+        let walk = self.symbol_walk(table, bytes.len());
+        let (filler, filler_ones) = self.tail_filler(&walk);
+        let mut reader = BitReader::new(bytes);
+        let mut slots = Vec::new();
+        for (pattern, bits) in walk {
+            let mut word = reader.read_bits(bits as usize);
+            word.resize(bits as usize, false);
+            let value = BigUint::from_bits_msb(&word);
+            slots.extend(
+                pattern
+                    .encode(table, &value)
+                    .expect("value bounded by bits_per_symbol"),
+            );
+        }
+        slots.extend(Self::filler_slots(filler, filler_ones));
+        slots
+    }
+
+    fn demodulate(
+        &self,
+        table: &mut BinomialTable,
+        slots: &[bool],
+        n_bytes: usize,
+    ) -> Result<(Vec<u8>, DemodStats), DemodError> {
+        let walk = self.symbol_walk(table, n_bytes);
+        let (filler, _) = self.tail_filler(&walk);
+        let expected: usize =
+            walk.iter().map(|(p, _)| p.n() as usize).sum::<usize>() + filler;
+        if slots.len() != expected {
+            return Err(DemodError::LengthMismatch {
+                expected,
+                got: slots.len(),
+            });
+        }
+        let mut writer = BitWriter::new();
+        let mut stats = DemodStats::default();
+        let mut offset = 0usize;
+        for (pattern, bits) in walk {
+            let n = pattern.n() as usize;
+            stats.symbols += 1;
+            match pattern.decode(table, &slots[offset..offset + n]) {
+                // A corrupted symbol can keep its weight by chance yet
+                // rank beyond the 2^bits data window (C(N,K) is not a
+                // power of two); that is a symbol error, not a panic.
+                Ok(value) if value.bit_length() <= bits => {
+                    for b in value.to_bits_msb(bits) {
+                        writer.write_bit(b);
+                    }
+                }
+                Ok(_) | Err(CodewordError::WrongWeight { .. }) => {
+                    stats.symbol_failures += 1;
+                    for _ in 0..bits {
+                        writer.write_bit(false);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+            offset += n;
+        }
+        let (mut bytes, _) = writer.finish();
+        bytes.truncate(n_bytes);
+        bytes.resize(n_bytes, 0);
+        Ok((bytes, stats))
+    }
+
+    fn norm_rate(&self, table: &mut BinomialTable) -> f64 {
+        self.super_symbol.normalized_rate(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amppm::planner::AmppmPlanner;
+    use crate::config::SystemConfig;
+
+    fn table() -> BinomialTable {
+        BinomialTable::new(512)
+    }
+
+    fn s(n: u16, k: u16) -> SymbolPattern {
+        SymbolPattern::new(n, k).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_mixed_super_symbol() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(21, 11), 2, s(10, 4), 3).unwrap();
+        let m = AmppmModem::new(ss);
+        let payload: Vec<u8> = (0..128u8).collect();
+        let slots = m.modulate(&mut t, &payload);
+        assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
+        let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(stats.symbol_failures, 0);
+        assert!(stats.symbols > 0);
+    }
+
+    #[test]
+    fn truncation_wastes_at_most_one_symbol() {
+        // A big super-symbol against a small block: the walk must stop
+        // right after covering the bits, not pad to the full super.
+        let mut t = table();
+        let ss = SuperSymbol::new(s(21, 11), 10, s(20, 10), 10).unwrap();
+        let m = AmppmModem::new(ss);
+        let n_bytes = 16; // 128 bits << bits(super) ~ 350
+        let slots = m.slots_for_payload(&mut t, n_bytes);
+        assert!(slots < ss.n_super() as usize, "padded to a whole super");
+        // Covered bits within one symbol of the requirement.
+        let walk_bits: u32 = m
+            .symbol_walk(&mut t, n_bytes)
+            .iter()
+            .map(|&(_, b)| b)
+            .sum();
+        assert!(walk_bits >= 128);
+        assert!(walk_bits < 128 + 19, "walk_bits={walk_bits}");
+    }
+
+    #[test]
+    fn planner_plan_roundtrips_all_levels() {
+        let mut planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
+        let mut t = table();
+        let payload = vec![0xC3u8; 128]; // paper's 128 B payload
+        for i in 2..=18 {
+            let l = DimmingLevel::new(i as f64 / 20.0).unwrap();
+            let plan = planner.plan(l).unwrap();
+            if plan.norm_rate == 0.0 {
+                continue;
+            }
+            let m = AmppmModem::from_plan(&plan);
+            let slots = m.modulate(&mut t, &payload);
+            let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
+            // Truncation of the final super-symbol may shift the block
+            // duty slightly; it must stay within a couple percent.
+            assert!(
+                (duty - plan.achieved.value()).abs() < 0.02,
+                "modulated duty {duty} drifts from plan at l={:?}",
+                l
+            );
+            let (back, _) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            assert_eq!(back, payload);
+        }
+    }
+
+    #[test]
+    fn corrupted_super_symbol_counts_failures() {
+        let mut t = table();
+        let ss = SuperSymbol::new(s(10, 3), 2, s(10, 4), 2).unwrap();
+        let m = AmppmModem::new(ss);
+        let payload = [0x55u8; 30];
+        let mut slots = m.modulate(&mut t, &payload);
+        slots[3] = !slots[3];
+        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        assert_eq!(stats.symbol_failures, 1);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut t = table();
+        let m = AmppmModem::new(SuperSymbol::uniform(s(10, 5), 3).unwrap());
+        let slots = m.modulate(&mut t, &[0u8; 8]);
+        assert!(matches!(
+            m.demodulate(&mut t, &slots[..slots.len() - 10], 8),
+            Err(DemodError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! Modulation schemes: the paper's two baselines, the IEEE 802.15.7 VPPM
+//! reference, and AMPPM packaged as a modem.
+//!
+//! | Scheme | Family | Dimming granularity | Rate behaviour |
+//! |---|---|---|---|
+//! | [`OokCtModem`] | compensation-based | continuous | peaks at l=0.5, collapses at extremes |
+//! | [`MppmModem`] | compensation-free | 1/N lattice | better than OOK-CT off-centre, coarse levels |
+//! | [`VppmModem`] | compensation-free | 1/N lattice | flat 1/N bits-per-slot — strictly ≤ MPPM |
+//! | [`OppmModem`] | compensation-free | w/N lattice | single-run pulses: simpler detection, ≤ MPPM rate |
+//! | [`AmppmModem`] | compensation-free + multiplexing | semi-continuous | envelope-optimal at every level |
+//! | [`DarklightModem`] | pulse-position, sub-1% duty | fixed (dark) | the §7 night-mode companion (DarkLight-style) |
+
+mod amppm_modem;
+mod darklight;
+mod mppm;
+mod ook_ct;
+mod oppm;
+mod vppm;
+
+pub use amppm_modem::AmppmModem;
+pub use darklight::DarklightModem;
+pub use mppm::MppmModem;
+pub use ook_ct::OokCtModem;
+pub use oppm::OppmModem;
+pub use vppm::VppmModem;

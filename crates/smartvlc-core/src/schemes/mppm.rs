@@ -1,0 +1,195 @@
+//! MPPM — the compensation-free baseline (§2.1 of the paper).
+//!
+//! Data is carried by the *positions* of the `K` ON slots within each
+//! `N`-slot symbol; the dimming level is locked to the `K/N` lattice. The
+//! paper's evaluation fixes `N = 20` ("an appropriate value of N is
+//! selected as 20" so the SER stays under the bound) and sweeps `K`.
+
+use crate::dimming::DimmingLevel;
+use crate::modem::{bits_for, div_ceil, DemodError, DemodStats, SlotModem};
+use crate::symbol::SymbolPattern;
+use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError};
+
+/// A fixed-pattern MPPM modem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MppmModem {
+    pattern: SymbolPattern,
+}
+
+impl MppmModem {
+    /// Modem using pattern `S(n, k/n)`.
+    pub fn new(pattern: SymbolPattern) -> MppmModem {
+        MppmModem { pattern }
+    }
+
+    /// The paper's evaluation baseline: `N = 20`, `K = round(l·20)`.
+    pub fn paper_baseline(target: DimmingLevel) -> MppmModem {
+        MppmModem {
+            pattern: SymbolPattern::from_dimming(20, target),
+        }
+    }
+
+    /// The underlying symbol pattern.
+    pub fn pattern(&self) -> SymbolPattern {
+        self.pattern
+    }
+
+    fn symbols_for(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+        let bits = self.pattern.bits_per_symbol(table) as usize;
+        assert!(bits > 0, "pattern carries no data: {:?}", self.pattern);
+        div_ceil(bits_for(n_bytes), bits)
+    }
+}
+
+impl SlotModem for MppmModem {
+    fn dimming(&self) -> DimmingLevel {
+        self.pattern.dimming()
+    }
+
+    fn slots_for_payload(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+        self.symbols_for(table, n_bytes) * self.pattern.n() as usize
+    }
+
+    fn modulate(&self, table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+        let symbols = self.symbols_for(table, bytes.len());
+        let bits = self.pattern.bits_per_symbol(table) as usize;
+        let mut reader = BitReader::new(bytes);
+        let mut slots = Vec::with_capacity(symbols * self.pattern.n() as usize);
+        for _ in 0..symbols {
+            let mut word = reader.read_bits(bits);
+            word.resize(bits, false);
+            let value = BigUint::from_bits_msb(&word);
+            slots.extend(
+                self.pattern
+                    .encode(table, &value)
+                    .expect("value bounded by bits_per_symbol"),
+            );
+        }
+        slots
+    }
+
+    fn demodulate(
+        &self,
+        table: &mut BinomialTable,
+        slots: &[bool],
+        n_bytes: usize,
+    ) -> Result<(Vec<u8>, DemodStats), DemodError> {
+        let expected = self.slots_for_payload(table, n_bytes);
+        if slots.len() != expected {
+            return Err(DemodError::LengthMismatch {
+                expected,
+                got: slots.len(),
+            });
+        }
+        let n = self.pattern.n() as usize;
+        let bits = self.pattern.bits_per_symbol(table);
+        let mut writer = BitWriter::new();
+        let mut stats = DemodStats::default();
+        for chunk in slots.chunks_exact(n) {
+            stats.symbols += 1;
+            match self.pattern.decode(table, chunk) {
+                // Ranks at or beyond 2^bits are never transmitted; a
+                // corrupted symbol landing there is a symbol error.
+                Ok(value) if value.bit_length() <= bits => {
+                    for b in value.to_bits_msb(bits) {
+                        writer.write_bit(b);
+                    }
+                }
+                Ok(_) | Err(CodewordError::WrongWeight { .. }) => {
+                    stats.symbol_failures += 1;
+                    for _ in 0..bits {
+                        writer.write_bit(false);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let (mut bytes, _) = writer.finish();
+        bytes.truncate(n_bytes);
+        bytes.resize(n_bytes, 0);
+        Ok((bytes, stats))
+    }
+
+    fn norm_rate(&self, table: &mut BinomialTable) -> f64 {
+        self.pattern.normalized_rate(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BinomialTable {
+        BinomialTable::new(64)
+    }
+
+    fn modem(n: u16, k: u16) -> MppmModem {
+        MppmModem::new(SymbolPattern::new(n, k).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_various_patterns() {
+        let mut t = table();
+        let payload: Vec<u8> = (0..=255u8).collect();
+        for (n, k) in [(20, 2), (20, 10), (20, 18), (10, 5), (21, 11)] {
+            let m = modem(n, k);
+            let slots = m.modulate(&mut t, &payload);
+            assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
+            let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            assert_eq!(back, payload, "S({n},{k})");
+            assert_eq!(stats.symbol_failures, 0);
+        }
+    }
+
+    #[test]
+    fn waveform_realizes_exact_dimming() {
+        let mut t = table();
+        let m = modem(20, 6);
+        let slots = m.modulate(&mut t, &[0x5A; 64]);
+        let ones = slots.iter().filter(|&&b| b).count();
+        assert_eq!(ones as f64 / slots.len() as f64, 0.3);
+    }
+
+    #[test]
+    fn paper_baseline_snaps_to_lattice() {
+        let m = MppmModem::paper_baseline(DimmingLevel::new(0.13).unwrap());
+        assert_eq!(m.pattern().k(), 3); // 0.13*20 = 2.6 -> 3
+        assert_eq!(m.dimming().value(), 0.15);
+    }
+
+    #[test]
+    fn corrupted_symbol_counted_not_fatal() {
+        let mut t = table();
+        let m = modem(20, 10);
+        let payload = [0xFFu8; 32];
+        let mut slots = m.modulate(&mut t, &payload);
+        slots[0] = !slots[0];
+        slots[25] = !slots[25];
+        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        assert_eq!(stats.symbol_failures, 2);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut t = table();
+        let m = modem(20, 10);
+        let slots = m.modulate(&mut t, &[0; 16]);
+        assert!(matches!(
+            m.demodulate(&mut t, &slots[..slots.len() - 1], 16),
+            Err(DemodError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn norm_rate_matches_eq_2() {
+        let mut t = table();
+        assert!((modem(20, 2).norm_rate(&mut t) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no data")]
+    fn zero_bit_pattern_panics_on_use() {
+        let mut t = table();
+        modem(20, 0).slots_for_payload(&mut t, 8);
+    }
+}

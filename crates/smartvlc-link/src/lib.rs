@@ -1,0 +1,41 @@
+//! # smartvlc-link — the end-to-end SmartVLC link
+//!
+//! This crate wires the modulation layer (`smartvlc-core`), the optical
+//! channel (`vlc-channel`) and the platform substrate (`vlc-hw`) into the
+//! running system of the paper's Fig. 2:
+//!
+//! * [`tx`] — the transmitter state machine: sense ambient → compute the
+//!   required dimming level (Eq. 5) → adapt gradually in the perception
+//!   domain → plan the AMPPM pattern → frame and modulate.
+//! * [`sync`] — receiver clock recovery: find the slot phase in the 4×
+//!   oversampled ADC stream from the preamble edges, then decimate.
+//! * [`rx`] — the receiver state machine: scan for preambles in the slot
+//!   stream, parse frames, verify CRCs, extract MAC sequence numbers.
+//! * [`mac`] — the streaming ARQ: frames flow back-to-back (the VLC
+//!   downlink never idles waiting — ACK latency over Wi-Fi would halve
+//!   throughput); ACKs arrive asynchronously over the ESP8266 side
+//!   channel and unacknowledged frames are retransmitted after a timeout.
+//! * [`stats`] — counters and the 1-second throughput recorder behind
+//!   Fig. 19(a).
+//! * [`link`] — [`link::LinkSimulation`]: the whole system against a
+//!   scenario (geometry, ambient profile, scheme, duration), producing a
+//!   [`link::LinkReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod mac;
+pub mod rx;
+pub mod stats;
+pub mod sync;
+pub mod tx;
+pub mod uplink;
+pub mod uplink_vlc;
+
+pub use link::{ChannelFidelity, LinkConfig, LinkReport, LinkSimulation, SchemeKind};
+pub use mac::{AckTracker, MacHeader};
+pub use rx::{Receiver, RxEvent};
+pub use stats::{LinkStats, ThroughputRecorder};
+pub use tx::Transmitter;
+pub use uplink_vlc::{VlcUplink, VlcUplinkConfig};

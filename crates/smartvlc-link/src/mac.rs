@@ -1,0 +1,278 @@
+//! Streaming ARQ over the Wi-Fi ACK side channel.
+//!
+//! The paper's MAC acknowledges every clean frame over the ESP8266 uplink
+//! and drops (no ACK) any frame whose CRC fails (§6.1). The downlink
+//! never stalls waiting for an ACK — at ~5 ms Wi-Fi round trip versus
+//! ~10 ms frame airtime, stop-and-wait would halve throughput, and the
+//! paper's reported numbers are clearly pipeline-style. So the MAC here
+//! streams frames back-to-back, tracks outstanding sequence numbers, and
+//! re-queues any frame unacknowledged after a timeout.
+//!
+//! The 2-byte sequence number travels as a MAC header *inside* the frame
+//! payload (the Table 1 frame format has no sequence field of its own).
+
+use desim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The MAC header carried in the first bytes of every payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacHeader {
+    /// Frame sequence number.
+    pub seq: u16,
+}
+
+impl MacHeader {
+    /// Wire size.
+    pub const WIRE_BYTES: usize = 2;
+
+    /// Prepend this header to a data payload.
+    pub fn encapsulate(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_BYTES + data.len());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// Split a received payload into header and data.
+    pub fn decapsulate(payload: &[u8]) -> Option<(MacHeader, &[u8])> {
+        if payload.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        let seq = u16::from_be_bytes([payload[0], payload[1]]);
+        Some((MacHeader { seq }, &payload[Self::WIRE_BYTES..]))
+    }
+}
+
+/// State of one outstanding frame.
+#[derive(Clone, Debug)]
+struct Outstanding {
+    sent_at: SimTime,
+    data_bytes: usize,
+    retries: u32,
+}
+
+/// Transmit-side ARQ bookkeeping.
+pub struct AckTracker {
+    timeout: SimDuration,
+    max_retries: u32,
+    next_seq: u16,
+    outstanding: HashMap<u16, Outstanding>,
+    /// Sequence numbers due for retransmission.
+    retry_queue: Vec<u16>,
+    /// Frames abandoned after max retries.
+    pub abandoned: u64,
+    /// Unique data bytes acknowledged.
+    pub bytes_acked: u64,
+    /// ACKs received (including duplicates).
+    pub acks_seen: u64,
+}
+
+impl AckTracker {
+    /// Create a tracker. The paper-scale default is a 30 ms timeout
+    /// (≈ 3 frame airtimes + Wi-Fi RTT) and 3 retries.
+    pub fn new(timeout: SimDuration, max_retries: u32) -> AckTracker {
+        Self::with_config(timeout, max_retries)
+    }
+
+    fn with_config(timeout: SimDuration, max_retries: u32) -> AckTracker {
+        AckTracker {
+            timeout,
+            max_retries,
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            retry_queue: Vec::new(),
+            abandoned: 0,
+            bytes_acked: 0,
+            acks_seen: 0,
+        }
+    }
+
+    /// Allocate the next sequence number for a fresh frame of
+    /// `data_bytes` of user data, sent at `now`.
+    pub fn register_new(&mut self, now: SimTime, data_bytes: usize) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.outstanding.insert(
+            seq,
+            Outstanding {
+                sent_at: now,
+                data_bytes,
+                retries: 0,
+            },
+        );
+        seq
+    }
+
+    /// Raise the timeout if frames have grown longer than it: a timeout
+    /// below one frame airtime + the Wi-Fi RTT would retransmit *every*
+    /// frame while its ACK is still in flight.
+    pub fn ensure_timeout_covers(&mut self, frame_airtime: SimDuration) {
+        let floor = frame_airtime * 2 + SimDuration::millis(10);
+        if self.timeout < floor {
+            self.timeout = floor;
+        }
+    }
+
+    /// Record a retransmission of `seq` at `now`.
+    pub fn register_retry(&mut self, seq: u16, now: SimTime) {
+        if let Some(o) = self.outstanding.get_mut(&seq) {
+            o.sent_at = now;
+            o.retries += 1;
+        }
+    }
+
+    /// Process an arriving ACK. Returns the acknowledged data bytes the
+    /// first time a sequence is ACKed, `None` for duplicates/unknown.
+    pub fn on_ack(&mut self, seq: u16) -> Option<usize> {
+        self.acks_seen += 1;
+        let o = self.outstanding.remove(&seq)?;
+        self.retry_queue.retain(|&s| s != seq);
+        self.bytes_acked += o.data_bytes as u64;
+        Some(o.data_bytes)
+    }
+
+    /// Scan for timeouts at `now`; moves expired frames to the retry
+    /// queue or abandons them past `max_retries`.
+    pub fn scan_timeouts(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        let max_retries = self.max_retries;
+        let mut expired: Vec<u16> = self
+            .outstanding
+            .iter()
+            .filter(|(seq, o)| {
+                now.checked_duration_since(o.sent_at)
+                    .is_some_and(|d| d >= timeout)
+                    && !self.retry_queue.contains(seq)
+            })
+            .map(|(&seq, _)| seq)
+            .collect();
+        expired.sort_unstable(); // deterministic order
+        for seq in expired {
+            let retries = self.outstanding[&seq].retries;
+            if retries >= max_retries {
+                self.outstanding.remove(&seq);
+                self.abandoned += 1;
+            } else {
+                self.retry_queue.push(seq);
+            }
+        }
+    }
+
+    /// Pop the next frame due for retransmission, if any.
+    pub fn next_retry(&mut self) -> Option<u16> {
+        if self.retry_queue.is_empty() {
+            None
+        } else {
+            Some(self.retry_queue.remove(0))
+        }
+    }
+
+    /// Frames in flight (sent, not yet ACKed or abandoned).
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MacHeader { seq: 0xBEEF };
+        let p = h.encapsulate(&[1, 2, 3]);
+        assert_eq!(p.len(), 5);
+        let (back, data) = MacHeader::decapsulate(&p).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(data, &[1, 2, 3]);
+        assert!(MacHeader::decapsulate(&[0]).is_none());
+    }
+
+    #[test]
+    fn sequences_increment_and_wrap() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        assert_eq!(a.register_new(t(0), 10), 0);
+        assert_eq!(a.register_new(t(0), 10), 1);
+        a.next_seq = u16::MAX;
+        assert_eq!(a.register_new(t(0), 10), u16::MAX);
+        assert_eq!(a.register_new(t(0), 10), 0);
+    }
+
+    #[test]
+    fn ack_credits_once() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        let seq = a.register_new(t(0), 128);
+        assert_eq!(a.on_ack(seq), Some(128));
+        assert_eq!(a.on_ack(seq), None, "duplicate ACK ignored");
+        assert_eq!(a.bytes_acked, 128);
+        assert_eq!(a.acks_seen, 2);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn timeout_triggers_retry_then_abandon() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 2);
+        let seq = a.register_new(t(0), 128);
+        a.scan_timeouts(t(10));
+        assert!(a.next_retry().is_none(), "not expired yet");
+        a.scan_timeouts(t(31));
+        assert_eq!(a.next_retry(), Some(seq));
+        a.register_retry(seq, t(31));
+        a.scan_timeouts(t(62));
+        assert_eq!(a.next_retry(), Some(seq));
+        a.register_retry(seq, t(62));
+        // Third expiry exceeds max_retries = 2.
+        a.scan_timeouts(t(93));
+        assert_eq!(a.next_retry(), None);
+        assert_eq!(a.abandoned, 1);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn ack_while_queued_for_retry_cancels_retry() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        let seq = a.register_new(t(0), 64);
+        a.scan_timeouts(t(40));
+        // The late ACK arrives before the retransmission goes out.
+        assert_eq!(a.on_ack(seq), Some(64));
+        assert_eq!(a.next_retry(), None);
+    }
+
+    #[test]
+    fn scan_does_not_double_queue() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 5);
+        let seq = a.register_new(t(0), 64);
+        a.scan_timeouts(t(40));
+        a.scan_timeouts(t(41));
+        assert_eq!(a.next_retry(), Some(seq));
+        assert_eq!(a.next_retry(), None);
+    }
+}
+
+#[cfg(test)]
+mod timeout_floor_tests {
+    use super::*;
+
+    #[test]
+    fn timeout_floor_prevents_spurious_retransmission() {
+        // Regression: a 60 ms frame with a 30 ms timeout must not expire
+        // while its ACK is still in flight.
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        a.ensure_timeout_covers(SimDuration::millis(60));
+        let seq = a.register_new(SimTime::ZERO, 128);
+        // Frame lands at 60 ms, ACK arrives ~66 ms.
+        a.scan_timeouts(SimTime::from_millis(66));
+        assert_eq!(a.next_retry(), None, "expired before the ACK could arrive");
+        assert_eq!(a.on_ack(seq), Some(128));
+        // The floor only raises, never lowers.
+        let mut b = AckTracker::new(SimDuration::millis(500), 3);
+        b.ensure_timeout_covers(SimDuration::millis(1));
+        b.register_new(SimTime::ZERO, 1);
+        b.scan_timeouts(SimTime::from_millis(400));
+        assert_eq!(b.next_retry(), None, "configured timeout was lowered");
+    }
+}

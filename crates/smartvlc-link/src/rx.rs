@@ -1,0 +1,262 @@
+//! The receiver state machine: preamble scan → frame parse → ACK
+//! decision.
+//!
+//! [`Receiver`] consumes an unsegmented stream of decided slots (idle
+//! filler, frames, noise — whatever the light carried), locks onto
+//! preambles, and parses frames with the shared [`FrameCodec`]. Frames
+//! with a clean CRC produce [`RxEvent::Frame`]; corrupted ones produce
+//! [`RxEvent::CrcFailed`] and are dropped without an ACK, exactly as
+//! §6.1 describes.
+
+use smartvlc_core::frame::codec::{
+    FrameCodec, FrameCodecError, FrameStats, PREAMBLE_SLOTS, PREAMBLE_TOLERANCE, PREFIX_SLOTS,
+};
+use smartvlc_core::frame::format::Frame;
+use smartvlc_core::SystemConfig;
+use std::collections::VecDeque;
+
+/// Something the receiver observed in the slot stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RxEvent {
+    /// A frame with a verified CRC.
+    Frame {
+        /// The parsed frame.
+        frame: Frame,
+        /// Receiver-side statistics.
+        stats: FrameStats,
+        /// Stream offset (slots since receiver start) of the frame start.
+        at_slot: u64,
+    },
+    /// A frame structure was found but its CRC failed.
+    CrcFailed {
+        /// Receiver-side statistics (symbol failure counts etc.).
+        stats: FrameStats,
+        /// Stream offset of the frame start.
+        at_slot: u64,
+    },
+}
+
+/// Streaming frame receiver.
+pub struct Receiver {
+    codec: FrameCodec,
+    buffer: VecDeque<bool>,
+    /// Slots consumed from the stream so far (offset of buffer[0]).
+    consumed: u64,
+    /// Upper bound on a single frame's slot footprint; a "frame" whose
+    /// claimed length implies more is treated as a false preamble lock.
+    max_frame_slots: usize,
+    /// Count of positions scanned past without a lock.
+    pub scan_skips: u64,
+}
+
+impl Receiver {
+    /// Build a receiver for the configuration.
+    pub fn new(cfg: SystemConfig) -> Result<Receiver, FrameCodecError> {
+        // Generous bound: the configured payload modulated by the least
+        // efficient admissible scheme, plus fixed fields and margin.
+        let max_frame_slots = (cfg.payload_len + 64) * 8 * 32;
+        Ok(Receiver {
+            codec: FrameCodec::new(cfg).map_err(FrameCodecError::Plan)?,
+            buffer: VecDeque::new(),
+            consumed: 0,
+            max_frame_slots,
+            scan_skips: 0,
+        })
+    }
+
+    fn preamble_at_front(&self) -> bool {
+        if self.buffer.len() < PREAMBLE_SLOTS {
+            return false;
+        }
+        let mismatches = self
+            .buffer
+            .iter()
+            .take(PREAMBLE_SLOTS)
+            .enumerate()
+            .filter(|&(i, &s)| s != (i % 2 == 0))
+            .count();
+        mismatches <= PREAMBLE_TOLERANCE
+    }
+
+    fn pop_front(&mut self, n: usize) {
+        for _ in 0..n.min(self.buffer.len()) {
+            self.buffer.pop_front();
+        }
+        self.consumed += n as u64;
+    }
+
+    /// Feed decided slots; returns any frames completed by this input.
+    pub fn push_slots(&mut self, slots: &[bool]) -> Vec<RxEvent> {
+        self.buffer.extend(slots.iter().copied());
+        let mut events = Vec::new();
+        loop {
+            // Hunt for a preamble at the front of the buffer.
+            while self.buffer.len() >= PREAMBLE_SLOTS && !self.preamble_at_front() {
+                self.pop_front(1);
+                self.scan_skips += 1;
+            }
+            if self.buffer.len() < PREFIX_SLOTS + 2 {
+                return events; // need more input
+            }
+            let contiguous: Vec<bool> = self.buffer.iter().copied().collect();
+            match self.codec.parse(&contiguous) {
+                Ok((frame, stats)) => {
+                    let at_slot = self.consumed;
+                    if stats.crc_ok {
+                        self.pop_front(stats.total_slots);
+                        events.push(RxEvent::Frame {
+                            frame,
+                            stats,
+                            at_slot,
+                        });
+                    } else {
+                        // A failed CRC might be a false preamble lock that
+                        // mis-measured the frame extent; consuming
+                        // `total_slots` could swallow a real frame right
+                        // behind it. Advance one slot and re-hunt instead.
+                        self.pop_front(1);
+                        events.push(RxEvent::CrcFailed { stats, at_slot });
+                    }
+                }
+                Err(FrameCodecError::Truncated { needed, .. }) => {
+                    if needed > self.max_frame_slots {
+                        // Nonsense length: false lock, resume hunting.
+                        self.pop_front(1);
+                        self.scan_skips += 1;
+                    } else {
+                        return events; // genuine partial frame: wait
+                    }
+                }
+                Err(_) => {
+                    // Bad header / compensation overrun / unsupported
+                    // pattern: advance one slot and re-hunt.
+                    self.pop_front(1);
+                    self.scan_skips += 1;
+                }
+            }
+        }
+    }
+
+    /// Slots currently buffered awaiting more input.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartvlc_core::frame::format::{amppm_descriptor, Frame};
+    use smartvlc_core::DimmingLevel;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    fn make_frame(l: f64, payload: Vec<u8>) -> (Frame, Vec<bool>) {
+        let c = cfg();
+        let d = amppm_descriptor(&c, DimmingLevel::new(l).unwrap());
+        let frame = Frame::new(d, payload).unwrap();
+        let mut codec = FrameCodec::new(c).unwrap();
+        let slots = codec.emit(&frame).unwrap();
+        (frame, slots)
+    }
+
+    #[test]
+    fn parses_frame_with_leading_noise() {
+        let (frame, slots) = make_frame(0.5, (0..64).collect());
+        let mut rx = Receiver::new(cfg()).unwrap();
+        // Idle filler before the frame: constant-ish dim pattern.
+        let mut stream: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let noise_len = stream.len() as u64;
+        stream.extend(&slots);
+        let events = rx.push_slots(&stream);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            RxEvent::Frame {
+                frame: f, at_slot, ..
+            } => {
+                assert_eq!(f, &frame);
+                assert!(*at_slot >= noise_len - 2 && *at_slot <= noise_len + 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reassembles_across_partial_pushes() {
+        let (frame, slots) = make_frame(0.4, (0..128).collect());
+        let mut rx = Receiver::new(cfg()).unwrap();
+        let mut events = Vec::new();
+        for chunk in slots.chunks(97) {
+            events.extend(rx.push_slots(chunk));
+        }
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], RxEvent::Frame { frame: f, .. } if f == &frame));
+    }
+
+    #[test]
+    fn parses_back_to_back_frames() {
+        let (f1, s1) = make_frame(0.5, vec![1; 32]);
+        let (f2, s2) = make_frame(0.5, vec![2; 32]);
+        let mut rx = Receiver::new(cfg()).unwrap();
+        let mut stream = s1;
+        stream.extend(&s2);
+        let events = rx.push_slots(&stream);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], RxEvent::Frame { frame, .. } if frame == &f1));
+        assert!(matches!(&events[1], RxEvent::Frame { frame, .. } if frame == &f2));
+    }
+
+    #[test]
+    fn corrupted_frame_yields_crc_event_and_resync() {
+        let (_, mut s1) = make_frame(0.5, vec![3; 64]);
+        let (f2, s2) = make_frame(0.5, vec![4; 64]);
+        let mid = s1.len() / 2;
+        s1[mid] = !s1[mid]; // corrupt frame 1 mid-payload (not padding)
+        let mut rx = Receiver::new(cfg()).unwrap();
+        let mut stream = s1;
+        stream.extend(&s2);
+        let events = rx.push_slots(&stream);
+        assert!(matches!(&events[0], RxEvent::CrcFailed { .. }), "{events:?}");
+        // Frame 2 survives the resync (possibly after spurious rescan
+        // events inside frame 1's corrupted body).
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::Frame { frame, .. } if frame == &f2)));
+    }
+
+    #[test]
+    fn garbage_only_produces_no_events() {
+        let mut rx = Receiver::new(cfg()).unwrap();
+        // Random-ish but deterministic garbage.
+        let garbage: Vec<bool> = (0u64..5000).map(|i| (i.wrapping_mul(2654435761)) & 4 != 0).collect();
+        let events = rx.push_slots(&garbage);
+        assert!(events.is_empty(), "{events:?}");
+        assert!(rx.scan_skips > 0);
+    }
+
+    #[test]
+    fn destroyed_preamble_loses_frame_but_not_receiver() {
+        let (_, mut s1) = make_frame(0.5, vec![5; 64]);
+        for i in 0..8 {
+            s1[i] = !s1[i]; // obliterate the preamble
+        }
+        let (f2, s2) = make_frame(0.5, vec![6; 64]);
+        let mut rx = Receiver::new(cfg()).unwrap();
+        let mut stream = s1;
+        stream.extend(&s2);
+        let events = rx.push_slots(&stream);
+        // Frame 1 is unrecoverable; frame 2 must still be found.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::Frame { frame, .. } if frame == &f2)));
+    }
+
+    #[test]
+    fn buffered_reflects_pending_input() {
+        let mut rx = Receiver::new(cfg()).unwrap();
+        rx.push_slots(&[true; 10]);
+        assert!(rx.buffered() <= 10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Link statistics and the per-second throughput recorder.
+
+use desim::{SimDuration, SimTime};
+
+/// Cumulative link counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames the transmitter put on the air (including retransmissions).
+    pub frames_sent: u64,
+    /// Frames the receiver parsed with a clean CRC.
+    pub frames_ok: u64,
+    /// Frames parsed but failing the CRC (dropped, no ACK).
+    pub frames_crc_fail: u64,
+    /// Frames whose preamble/header never locked at the receiver.
+    pub frames_lost: u64,
+    /// Retransmissions performed by the MAC.
+    pub retransmissions: u64,
+    /// ACKs that arrived back at the transmitter.
+    pub acks_received: u64,
+    /// Unique payload bytes delivered and acknowledged.
+    pub payload_bytes_acked: u64,
+    /// Total slots transmitted.
+    pub slots_sent: u64,
+    /// Brightness adaptation steps performed (Fig. 19(c)).
+    pub adaptation_steps: u64,
+}
+
+impl LinkStats {
+    /// Frame error rate seen by the receiver.
+    pub fn frame_error_rate(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            1.0 - self.frames_ok as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Acknowledged goodput over a wall-clock duration.
+    pub fn goodput_bps(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.payload_bytes_acked as f64 * 8.0 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Bucketed throughput time series — "the system reports the average
+/// throughput every second" (Fig. 19(a)).
+#[derive(Clone, Debug)]
+pub struct ThroughputRecorder {
+    bucket: SimDuration,
+    bits: Vec<u64>,
+}
+
+impl ThroughputRecorder {
+    /// Create a recorder with the given bucket width (1 s in the paper).
+    pub fn new(bucket: SimDuration) -> ThroughputRecorder {
+        assert!(!bucket.is_zero(), "bucket must be positive");
+        ThroughputRecorder {
+            bucket,
+            bits: Vec::new(),
+        }
+    }
+
+    /// Credit `bits` delivered at time `t`.
+    pub fn record(&mut self, t: SimTime, bits: u64) {
+        let idx = (t.as_nanos() / self.bucket.as_nanos()) as usize;
+        if self.bits.len() <= idx {
+            self.bits.resize(idx + 1, 0);
+        }
+        self.bits[idx] += bits;
+    }
+
+    /// The series as (bucket start time, bits/s).
+    pub fn series_bps(&self) -> Vec<(SimTime, f64)> {
+        let secs = self.bucket.as_secs_f64();
+        self.bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                (
+                    SimTime::from_nanos(i as u64 * self.bucket.as_nanos()),
+                    b as f64 / secs,
+                )
+            })
+            .collect()
+    }
+
+    /// Mean throughput across all buckets.
+    pub fn mean_bps(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.bits.iter().sum();
+        total as f64 / (self.bits.len() as f64 * self.bucket.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fer_math() {
+        let s = LinkStats {
+            frames_sent: 10,
+            frames_ok: 9,
+            ..Default::default()
+        };
+        assert!((s.frame_error_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(LinkStats::default().frame_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn goodput_math() {
+        let s = LinkStats {
+            payload_bytes_acked: 12_500,
+            ..Default::default()
+        };
+        assert!((s.goodput_bps(SimDuration::secs(1)) - 100_000.0).abs() < 1e-9);
+        assert_eq!(s.goodput_bps(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn recorder_buckets_by_time() {
+        let mut r = ThroughputRecorder::new(SimDuration::secs(1));
+        r.record(SimTime::from_millis(100), 1000);
+        r.record(SimTime::from_millis(900), 1000);
+        r.record(SimTime::from_millis(1100), 500);
+        let s = r.series_bps();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].1, 2000.0);
+        assert_eq!(s[1].1, 500.0);
+        assert_eq!(s[1].0, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn recorder_mean() {
+        let mut r = ThroughputRecorder::new(SimDuration::secs(1));
+        r.record(SimTime::from_millis(500), 3000);
+        r.record(SimTime::from_millis(2500), 1000); // bucket 2; bucket 1 empty
+        assert!((r.mean_bps() - 4000.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ThroughputRecorder::new(SimDuration::secs(1)).mean_bps(), 0.0);
+    }
+}

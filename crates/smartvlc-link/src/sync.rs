@@ -1,0 +1,159 @@
+//! Slot clock recovery from the oversampled ADC stream.
+//!
+//! The receiver samples at `fs = 4·ftx` without any shared clock with the
+//! transmitter, so before slots can be decided it must find the *phase*:
+//! which of the 4 sample positions within a slot period line up with slot
+//! boundaries. The alternating preamble makes this easy — it is a square
+//! wave at `ftx/2`, so correlating each candidate phase against the
+//! expected pattern and picking the strongest lock recovers the phase
+//! (the classic early/late gate, done block-wise).
+
+use vlc_channel::detector::SlotDetector;
+
+/// Result of a phase search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseLock {
+    /// Samples to skip before the first full slot (0..samples_per_slot).
+    pub phase: usize,
+    /// Correlation score of the winning phase, in [0, 1].
+    pub quality: f64,
+}
+
+/// Recover the slot phase from a window of raw samples containing an
+/// alternating preamble.
+///
+/// `samples` are input-referred current levels at `spp` samples per slot.
+/// Returns the phase whose decimated slot stream best matches an
+/// alternating pattern, judged over `probe_slots` slots.
+pub fn find_slot_phase(
+    samples: &[f64],
+    spp: usize,
+    detector: &SlotDetector,
+    probe_slots: usize,
+) -> Option<PhaseLock> {
+    assert!(spp >= 2, "need oversampling to search phase");
+    if samples.len() < (probe_slots + 1) * spp {
+        return None;
+    }
+    let mut best: Option<PhaseLock> = None;
+    for phase in 0..spp {
+        let levels = decimate(samples, spp, phase, probe_slots);
+        if levels.len() < probe_slots {
+            continue;
+        }
+        // Score: decisions must alternate AND the analog eye must be wide
+        // open. Hard-decision alternation alone cannot separate phases
+        // (a majority of clean samples out-votes the smeared edge sample
+        // at every phase); the mean margin to threshold can.
+        let decisions: Vec<bool> = levels.iter().map(|&v| detector.decide(v)).collect();
+        let alternations = decisions.windows(2).filter(|w| w[0] != w[1]).count();
+        let alt_frac = alternations as f64 / (decisions.len() - 1) as f64;
+        let half_swing = ((detector.mu_on_a - detector.mu_off_a) / 2.0).abs().max(1e-30);
+        let thr = detector.threshold();
+        let margin = levels.iter().map(|&v| (v - thr).abs()).sum::<f64>()
+            / (levels.len() as f64 * half_swing);
+        let quality = alt_frac * margin.min(1.0);
+        if best.map_or(true, |b| quality > b.quality) {
+            best = Some(PhaseLock { phase, quality });
+        }
+    }
+    best
+}
+
+/// Decimate an oversampled stream at the locked phase: each slot's level
+/// is the mean of its interior samples (the first sample after each
+/// boundary straddles the LED transition and is skipped).
+pub fn decimate(samples: &[f64], spp: usize, phase: usize, max_slots: usize) -> Vec<f64> {
+    let usable = samples.len().saturating_sub(phase);
+    let slots = (usable / spp).min(max_slots);
+    let mut out = Vec::with_capacity(slots);
+    for s in 0..slots {
+        let start = phase + s * spp;
+        let interior = &samples[start + 1..start + spp];
+        out.push(interior.iter().sum::<f64>() / interior.len() as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an oversampled stream of alternating slots with a phase
+    /// offset and edge smearing on the first sample of each slot.
+    fn preamble_samples(spp: usize, phase: usize, slots: usize) -> Vec<f64> {
+        let mut out = vec![0.5; phase]; // garbage before the first boundary
+        let mut prev = 0.0;
+        for i in 0..slots {
+            let level = if i % 2 == 0 { 1.0 } else { 0.0 };
+            out.push((level + prev) / 2.0); // smeared edge sample
+            for _ in 1..spp {
+                out.push(level);
+            }
+            prev = level;
+        }
+        out
+    }
+
+    fn detector() -> SlotDetector {
+        SlotDetector::from_levels(1.0, 0.0, 0.05)
+    }
+
+    #[test]
+    fn finds_each_phase() {
+        for phase in 0..4 {
+            let samples = preamble_samples(4, phase, 24);
+            let lock = find_slot_phase(&samples, 4, &detector(), 20).unwrap();
+            assert_eq!(lock.phase, phase, "phase={phase}");
+            assert!(lock.quality > 0.95, "quality={}", lock.quality);
+        }
+    }
+
+    #[test]
+    fn wrong_phase_scores_lower() {
+        let samples = preamble_samples(4, 2, 24);
+        let d = detector();
+        let right = decimate(&samples, 4, 2, 20);
+        let wrong = decimate(&samples, 4, 0, 20);
+        let score = |lv: &[f64]| {
+            let dec: Vec<bool> = lv.iter().map(|&v| d.decide(v)).collect();
+            dec.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert!(score(&right) > score(&wrong));
+    }
+
+    #[test]
+    fn too_short_input_returns_none() {
+        let samples = preamble_samples(4, 0, 3);
+        assert!(find_slot_phase(&samples, 4, &detector(), 20).is_none());
+    }
+
+    #[test]
+    fn decimate_skips_edge_sample() {
+        // Slot: [edge=0.5, 1.0, 1.0, 1.0] -> level must be 1.0, not 0.875.
+        let samples = vec![0.5, 1.0, 1.0, 1.0, 0.5, 0.0, 0.0, 0.0];
+        let levels = decimate(&samples, 4, 0, 10);
+        assert_eq!(levels, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn decimate_respects_phase_and_cap() {
+        let samples: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let levels = decimate(&samples, 4, 2, 3);
+        assert_eq!(levels.len(), 3);
+        // First slot starts at index 2; interior = indices 3,4,5.
+        assert_eq!(levels[0], 4.0);
+    }
+
+    #[test]
+    fn noisy_preamble_still_locks() {
+        use desim::DetRng;
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut samples = preamble_samples(4, 1, 24);
+        for s in &mut samples {
+            *s += rng.next_normal(0.0, 0.12);
+        }
+        let lock = find_slot_phase(&samples, 4, &detector(), 20).unwrap();
+        assert_eq!(lock.phase, 1);
+    }
+}

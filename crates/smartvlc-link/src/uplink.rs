@@ -1,0 +1,43 @@
+//! Messages on the ESP8266 uplink (§3 step 5 and §5.1 footnote 2).
+//!
+//! Two things flow back from the receiver: ACKs for clean frames, and
+//! the receiver's ambient-light readings (the receiver, not the
+//! luminaire, sits in the "area of interest" whose illumination the
+//! system regulates).
+
+/// One uplink message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UplinkMsg {
+    /// Acknowledge a frame whose CRC verified.
+    Ack {
+        /// The acknowledged MAC sequence number.
+        seq: u16,
+    },
+    /// The receiver's latest ambient illuminance sample.
+    AmbientReport {
+        /// Measured illuminance, lux.
+        lux: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::{DetRng, SimTime};
+    use vlc_hw::WifiSideChannel;
+
+    #[test]
+    fn mixed_traffic_flows_over_one_channel() {
+        let mut ch: WifiSideChannel<UplinkMsg> =
+            WifiSideChannel::ideal(DetRng::seed_from_u64(1));
+        let t = SimTime::from_millis(5);
+        ch.send(t, UplinkMsg::Ack { seq: 7 });
+        ch.send(t, UplinkMsg::AmbientReport { lux: 8080.0 });
+        let got = ch.deliver_due(t);
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&UplinkMsg::Ack { seq: 7 }));
+        assert!(got
+            .iter()
+            .any(|m| matches!(m, UplinkMsg::AmbientReport { lux } if *lux == 8080.0)));
+    }
+}

@@ -1,0 +1,224 @@
+//! A VLC uplink — the paper's footnote-2 future work, built to see
+//! exactly why the prototype used Wi-Fi instead.
+//!
+//! "We use WiFi for the ACKs only because of the fact that in practice,
+//! the field-of-view of LEDs residing at the mobile nodes are not
+//! powerful enough to support the required communication coverage. […]
+//! We can use VLC for both uplink and downlink in the future when more
+//! advanced LEDs are available for mobile nodes."
+//!
+//! The mobile node's LED is a few hundred milliwatts into a wide
+//! (Lambertian, m ≈ 1) beam; the luminaire-side photodiode sees it
+//! against the full office ambient. [`VlcUplink`] models that reverse
+//! path with the same optics/noise machinery as the downlink and
+//! delivers uplink messages only when the short ACK frame survives —
+//! which it does at arm's length and stops doing well before the
+//! downlink's 3.6 m reach.
+
+use desim::{DetRng, SimDuration, SimTime};
+use vlc_hw::wifi::{SideChannel, SideChannelMsg};
+use vlc_channel::frontend::AnalogFrontend;
+use vlc_channel::led::LedModel;
+use vlc_channel::link::{ChannelConfig, OpticalChannel};
+use vlc_channel::optics::LambertianLink;
+use vlc_channel::photodiode::Photodiode;
+
+/// Parameters of the mobile node's uplink LED path.
+#[derive(Clone, Copy, Debug)]
+pub struct VlcUplinkConfig {
+    /// Mobile LED optical power, watts (flashlight-class: ~350 mW —
+    /// even this generous figure only covers arm's length against the
+    /// bright-office noise floor).
+    pub tx_optical_w: f64,
+    /// Mobile LED half-power semi-angle, degrees (wide, unaimed).
+    pub semi_angle_deg: f64,
+    /// Link distance, metres (same geometry as the downlink).
+    pub distance_m: f64,
+    /// Ambient illuminance at the luminaire's photodiode, lux.
+    pub ambient_lux: f64,
+    /// ACK frame length on the uplink, slots (preamble + header + CRC).
+    pub ack_slots: u32,
+}
+
+impl VlcUplinkConfig {
+    /// A phone-style mobile node at `distance_m` in the bright office.
+    pub fn mobile_node(distance_m: f64) -> VlcUplinkConfig {
+        VlcUplinkConfig {
+            tx_optical_w: 0.35,
+            semi_angle_deg: 60.0,
+            distance_m,
+            ambient_lux: 8080.0,
+            ack_slots: 200,
+        }
+    }
+}
+
+/// The uplink channel: computes the ACK frame's survival probability
+/// from the reverse optical budget and delivers accordingly.
+pub struct VlcUplink<T> {
+    success_prob: f64,
+    airtime: SimDuration,
+    slot_error_prob: f64,
+    rng: DetRng,
+    in_flight: Vec<SideChannelMsg<T>>,
+}
+
+impl<T> VlcUplink<T> {
+    /// Build the uplink from its optical configuration.
+    pub fn new(cfg: VlcUplinkConfig, rng: DetRng) -> VlcUplink<T> {
+        // The reverse path reuses the downlink machinery with the mobile
+        // LED's parameters.
+        let channel_cfg = ChannelConfig {
+            led: LedModel {
+                rise_tau_s: 0.2e-6, // small indicator LEDs switch fast
+                fall_tau_s: 0.2e-6,
+                on_power_w: cfg.tx_optical_w,
+                off_fraction: 0.0,
+            },
+            geometry: LambertianLink {
+                semi_angle_deg: cfg.semi_angle_deg,
+                rx_area_m2: 7.5e-6, // the luminaire hosts another SFH206K
+                rx_fov_deg: 60.0,
+                distance_m: cfg.distance_m,
+                off_axis_deg: 0.0,
+                diffuse: None,
+            },
+            rx_diode: Photodiode::sfh206k(),
+            frontend: AnalogFrontend::paper_receiver(),
+            tslot_s: 8e-6,
+            samples_per_slot: 4,
+            ambient_lux: cfg.ambient_lux,
+            ambient_rin: 4.7e-3,
+        };
+        let channel = OpticalChannel::new(channel_cfg, rng.fork("probe"));
+        let probs = channel.analytic_error_probs();
+        let p_slot = 0.5 * (probs.p_off_error + probs.p_on_error);
+        let success_prob = (1.0 - p_slot).powi(cfg.ack_slots as i32);
+        VlcUplink {
+            success_prob,
+            slot_error_prob: p_slot,
+            airtime: SimDuration::nanos(cfg.ack_slots as u64 * 8_000),
+            rng: rng.fork("loss"),
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// Probability one uplink frame survives.
+    pub fn success_prob(&self) -> f64 {
+        self.success_prob
+    }
+
+    /// Analytic per-slot error probability of the reverse path.
+    pub fn slot_error_prob(&self) -> f64 {
+        self.slot_error_prob
+    }
+
+    /// One-way latency (the ACK frame's airtime; no Wi-Fi stack).
+    pub fn airtime(&self) -> SimDuration {
+        self.airtime
+    }
+}
+
+impl<T> SideChannel<T> for VlcUplink<T> {
+    fn send(&mut self, now: SimTime, payload: T) -> Option<SimTime> {
+        if !self.rng.chance(self.success_prob) {
+            return None;
+        }
+        let deliver_at = now + self.airtime;
+        self.in_flight.push(SideChannelMsg {
+            deliver_at,
+            payload,
+        });
+        Some(deliver_at)
+    }
+
+    fn deliver_due(&mut self, now: SimTime) -> Vec<T> {
+        let mut due = Vec::new();
+        let mut still = Vec::with_capacity(self.in_flight.len());
+        for m in self.in_flight.drain(..) {
+            if m.deliver_at <= now {
+                due.push(m);
+            } else {
+                still.push(m);
+            }
+        }
+        self.in_flight = still;
+        due.sort_by_key(|m| m.deliver_at);
+        due.into_iter().map(|m| m.payload).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uplink(d: f64) -> VlcUplink<u16> {
+        VlcUplink::new(VlcUplinkConfig::mobile_node(d), DetRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn works_at_arms_length() {
+        let u = uplink(0.5);
+        assert!(u.success_prob() > 0.99, "p={}", u.success_prob());
+    }
+
+    #[test]
+    fn dies_well_before_the_downlink_reach() {
+        // Footnote 2's rationale, quantified: even a flashlight-class
+        // wide-beam mobile LED cannot cover the downlink's 3+ m geometry.
+        let mid = uplink(1.5);
+        let far = uplink(3.0);
+        assert!(
+            mid.success_prob() < 0.9,
+            "1.5 m should already struggle: p={}",
+            mid.success_prob()
+        );
+        assert!(
+            far.success_prob() < 0.05,
+            "3 m must be hopeless: p={}",
+            far.success_prob()
+        );
+    }
+
+    #[test]
+    fn stronger_future_led_fixes_it() {
+        // "...when more advanced LEDs are available for mobile nodes":
+        // a 3 W narrow-beam (aimed) uplink LED covers the full downlink
+        // reach — roughly the luminaire's own class of emitter.
+        let mut cfg = VlcUplinkConfig::mobile_node(3.6);
+        cfg.tx_optical_w = 3.0;
+        cfg.semi_angle_deg = 15.0;
+        let u: VlcUplink<u16> = VlcUplink::new(cfg, DetRng::seed_from_u64(2));
+        assert!(u.success_prob() > 0.95, "p={}", u.success_prob());
+    }
+
+    #[test]
+    fn latency_is_one_airtime() {
+        let mut u = uplink(0.5);
+        assert_eq!(u.airtime(), SimDuration::micros(1600)); // 200 slots x 8 us
+        let at = u.send(SimTime::ZERO, 7).unwrap();
+        assert_eq!(at, SimTime::from_micros(1600));
+        assert!(u.deliver_due(SimTime::from_micros(1599)).is_empty());
+        assert_eq!(u.deliver_due(at), vec![7]);
+    }
+
+    #[test]
+    fn losses_match_the_probability() {
+        // A short ACK at 0.7 m sits in the partially-lossy regime where
+        // the delivery statistics are measurable.
+        let mut cfg = VlcUplinkConfig::mobile_node(0.7);
+        cfg.ack_slots = 20;
+        let mut u: VlcUplink<u16> = VlcUplink::new(cfg, DetRng::seed_from_u64(3));
+        let p = u.success_prob();
+        assert!(p > 0.01 && p < 0.99, "pick a lossy point: p={p}");
+        let n = 20_000;
+        let mut ok = 0;
+        for i in 0..n {
+            if u.send(SimTime::from_millis(i), 0u16).is_some() {
+                ok += 1;
+            }
+        }
+        let measured = ok as f64 / n as f64;
+        assert!((measured - p).abs() < 0.02, "measured={measured} p={p}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-receiver broadcast — §3's "transmitter and receivers", plural.
+//!
+//! A luminaire serves everyone under it: the same slot waveform reaches
+//! every receiver through its own geometry (distance, off-axis angle)
+//! and its own noise. The dimming level is a property of the *room*
+//! (one illumination set-point), so all receivers share the modulation;
+//! what differs is who can still decode it. This module runs one
+//! transmitter against N receivers and reports per-receiver goodput —
+//! the broadcast picture behind Fig. 16/17's single-receiver sweeps.
+
+use desim::{DetRng, SimDuration};
+use smartvlc_core::SystemConfig;
+use smartvlc_link::mac::MacHeader;
+use smartvlc_link::{Receiver, RxEvent, SchemeKind, Transmitter};
+use vlc_channel::link::{ChannelConfig, OpticalChannel};
+
+/// One receiver's placement.
+#[derive(Clone, Copy, Debug)]
+pub struct Seat {
+    /// Distance from the luminaire, metres.
+    pub distance_m: f64,
+    /// Off-axis angle, degrees.
+    pub off_axis_deg: f64,
+}
+
+/// Per-receiver outcome of a broadcast run.
+#[derive(Clone, Copy, Debug)]
+pub struct SeatReport {
+    /// The seat.
+    pub seat: Seat,
+    /// Frames decoded with a clean CRC.
+    pub frames_ok: u64,
+    /// Frames observed but CRC-failed.
+    pub frames_bad: u64,
+    /// Goodput, bit/s.
+    pub goodput_bps: f64,
+}
+
+/// Broadcast `duration` of AMPPM traffic at dimming level `level` to all
+/// `seats` simultaneously, under the bright-office ambient.
+pub fn run_broadcast(
+    level: f64,
+    seats: &[Seat],
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<SeatReport> {
+    let cfg = SystemConfig::default();
+    let ambient_lux = 8080.0;
+    let root = DetRng::seed_from_u64(seed);
+    let mut tx = Transmitter::new(
+        cfg.clone(),
+        SchemeKind::Amppm,
+        ambient_lux / 10_000.0 + level,
+        ambient_lux / 10_000.0,
+        0.1,
+        root.fork("tx"),
+    )
+    .expect("valid config");
+
+    struct Rx {
+        channel: OpticalChannel,
+        receiver: Receiver,
+        ok: u64,
+        bad: u64,
+        bytes: u64,
+    }
+    let mut rxs: Vec<Rx> = seats
+        .iter()
+        .enumerate()
+        .map(|(i, seat)| {
+            let mut ch_cfg = ChannelConfig::paper_bench(seat.distance_m);
+            ch_cfg.geometry.off_axis_deg = seat.off_axis_deg;
+            ch_cfg.ambient_lux = ambient_lux;
+            Rx {
+                channel: OpticalChannel::new(ch_cfg, root.fork_idx(i as u64)),
+                receiver: Receiver::new(cfg.clone()).expect("valid config"),
+                ok: 0,
+                bad: 0,
+                bytes: 0,
+            }
+        })
+        .collect();
+
+    let tslot_ns = cfg.tslot_nanos();
+    let mut elapsed_ns = 0u64;
+    let mut seq = 0u16;
+    while elapsed_ns < duration.as_nanos() {
+        let data = tx.random_data();
+        let (_, slots) = tx.build_frame(seq, &data).expect("level carries data");
+        seq = seq.wrapping_add(1);
+        elapsed_ns += slots.len() as u64 * tslot_ns;
+        // The SAME waveform flies to every seat through its own channel.
+        for rx in rxs.iter_mut() {
+            let decided = rx.channel.transmit_and_decide(&slots);
+            for ev in rx.receiver.push_slots(&decided) {
+                match ev {
+                    RxEvent::Frame { frame, .. } => {
+                        rx.ok += 1;
+                        if let Some((_, body)) = MacHeader::decapsulate(&frame.payload) {
+                            rx.bytes += body.len() as u64;
+                        }
+                    }
+                    RxEvent::CrcFailed { .. } => rx.bad += 1,
+                }
+            }
+        }
+    }
+    let secs = elapsed_ns as f64 / 1e9;
+    seats
+        .iter()
+        .zip(rxs)
+        .map(|(&seat, rx)| SeatReport {
+            seat,
+            frames_ok: rx.ok,
+            frames_bad: rx.bad,
+            goodput_bps: rx.bytes as f64 * 8.0 / secs,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seats() -> Vec<Seat> {
+        vec![
+            Seat {
+                distance_m: 1.5,
+                off_axis_deg: 0.0,
+            },
+            Seat {
+                distance_m: 3.0,
+                off_axis_deg: 5.0,
+            },
+            Seat {
+                distance_m: 3.3,
+                off_axis_deg: 14.0,
+            },
+            Seat {
+                distance_m: 5.5,
+                off_axis_deg: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn broadcast_reaches_seats_by_link_quality() {
+        let reports = run_broadcast(0.5, &seats(), SimDuration::millis(400), 7);
+        assert_eq!(reports.len(), 4);
+        // Near boresight seats decode everything...
+        assert!(reports[0].frames_ok > 0 && reports[0].frames_bad == 0, "{reports:?}");
+        assert!(reports[1].frames_ok > 0, "{reports:?}");
+        // ...the wide-angle mid seat is degraded or dead...
+        assert!(
+            reports[2].goodput_bps < reports[1].goodput_bps,
+            "{reports:?}"
+        );
+        // ...and the 5.5 m seat is beyond the Fig. 16 cliff.
+        assert_eq!(reports[3].frames_ok, 0, "{reports:?}");
+    }
+
+    #[test]
+    fn all_good_seats_see_the_same_frames() {
+        // Broadcast = same waveform: two clean seats deliver identical
+        // frame counts.
+        let two = vec![
+            Seat {
+                distance_m: 1.0,
+                off_axis_deg: 0.0,
+            },
+            Seat {
+                distance_m: 2.0,
+                off_axis_deg: 3.0,
+            },
+        ];
+        let reports = run_broadcast(0.4, &two, SimDuration::millis(300), 11);
+        assert_eq!(reports[0].frames_ok, reports[1].frames_ok);
+        assert_eq!(reports[0].goodput_bps, reports[1].goodput_bps);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_broadcast(0.5, &seats(), SimDuration::millis(200), 3);
+        let b = run_broadcast(0.5, &seats(), SimDuration::millis(200), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.frames_ok, y.frames_ok);
+            assert_eq!(x.goodput_bps, y.goodput_bps);
+        }
+    }
+}

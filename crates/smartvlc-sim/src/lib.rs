@@ -1,0 +1,46 @@
+//! # smartvlc-sim — experiment scenarios for the SmartVLC reproduction
+//!
+//! Each module maps to part of the paper's §6 evaluation:
+//!
+//! * [`static_run`] — the static scenario (§6.2): scheme comparison
+//!   across 17 dimming levels (Fig. 15), throughput vs distance
+//!   (Fig. 16), throughput vs incidence angle (Fig. 17).
+//! * [`dynamic_run`] — the dynamic scenario (§6.3): the 67-second blind
+//!   pull driving Fig. 19(a) throughput, Fig. 19(b) intensity traces and
+//!   Fig. 19(c) adaptation counts.
+//! * [`perception`] — the 20-subject user study, virtualized (§6.1's
+//!   `fth` selection and §6.3's Table 2) with calibrated psychometric
+//!   models.
+//! * [`report`] — CSV/markdown table writers and a terminal plot helper
+//!   so every figure generator can both print and persist its data.
+//!
+//! Beyond the paper's own evaluation:
+//!
+//! * [`broadcast`] — one luminaire, many receivers (§3's plural).
+//! * [`energy`] — the intro's energy-saving motivation, integrated from
+//!   the LED trace.
+//! * [`daylong`] — planning-level whole-day runs over a diurnal ambient
+//!   profile (control plane identical to the live link; per-slot noise
+//!   replaced by the analytic rate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod daylong;
+pub mod dynamic_run;
+pub mod energy;
+pub mod perception;
+pub mod report;
+pub mod static_run;
+pub mod stats_util;
+
+pub use broadcast::{run_broadcast, Seat, SeatReport};
+pub use daylong::{run_day, DayReport};
+pub use dynamic_run::{run_dynamic, DynamicOutcome};
+pub use energy::{energy_from_trace, EnergyReport};
+pub use perception::{StudyCondition, UserStudy, Viewing};
+pub use stats_util::{summarize, Summary};
+pub use static_run::{
+    run_distance_sweep, run_incidence_sweep, run_scheme_comparison, StaticPoint,
+};

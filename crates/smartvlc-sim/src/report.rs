@@ -1,0 +1,181 @@
+//! Tabular and terminal output for the figure/table generators.
+//!
+//! Every `bench` binary both *prints* its figure (markdown table and an
+//! ASCII chart, so the reproduction is inspectable without plotting
+//! tools) and *persists* the raw series as CSV next to the binary's
+//! working directory for external plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Write rows as CSV.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Render rows as a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            let _ = write!(line, " {c:<w$} |");
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    s.push_str(&fmt_row(&header_cells, &widths));
+    s.push('\n');
+    s.push('|');
+    for w in &widths {
+        let _ = write!(s, "{}|", "-".repeat(w + 2));
+    }
+    s.push('\n');
+    for row in rows {
+        s.push_str(&fmt_row(row, &widths));
+        s.push('\n');
+    }
+    s
+}
+
+/// Plot one or more named series as an ASCII chart.
+///
+/// All series share the x grid of the first series (values are plotted
+/// by index, labelled with the x values). Height is in character rows.
+pub fn ascii_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    x: &[f64],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+) -> String {
+    const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let mut s = format!("{title}\n");
+    if x.is_empty() || series.is_empty() {
+        s.push_str("(no data)\n");
+        return s;
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::MIN, f64::max);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::MAX, f64::min);
+    let span = (y_max - y_min).max(1e-12);
+    let width = x.len();
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (i, &y) in ys.iter().enumerate().take(width) {
+            let row = ((y - y_min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][i] = mark;
+        }
+    }
+    let _ = writeln!(s, "  {y_label}: {y_min:.1} .. {y_max:.1}");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(s, "  |{line}");
+    }
+    let _ = writeln!(s, "  +{}", "-".repeat(width));
+    let _ = writeln!(
+        s,
+        "   {x_label}: {:.2} .. {:.2}   legend: {}",
+        x[0],
+        x[x.len() - 1],
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{}={}", MARKS[i % MARKS.len()], name))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("smartvlc_report_test.csv");
+        write_csv(
+            &dir,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn markdown_aligns_columns() {
+        let md = markdown_table(
+            &["level", "kbps"],
+            &[
+                vec!["0.1".into(), "47.6".into()],
+                vec!["0.5".into(), "111.8".into()],
+            ],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("level"));
+        assert!(lines[1].starts_with("|--"));
+        // All rows the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn chart_contains_marks_and_legend() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let a: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let b: Vec<f64> = x.iter().map(|v| 400.0 - v * v).collect();
+        let chart = ascii_chart("test", "x", "y", &x, &[("up", a), ("down", b)], 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("*=up"));
+        assert!(chart.contains("o=down"));
+        assert_eq!(chart.lines().count(), 14);
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        let chart = ascii_chart("t", "x", "y", &[], &[], 5);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn chart_handles_flat_series() {
+        let x = vec![0.0, 1.0, 2.0];
+        let chart = ascii_chart("flat", "x", "y", &x, &[("c", vec![5.0, 5.0, 5.0])], 4);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,122 @@
+//! Small statistics helpers for multi-seed experiment aggregation.
+//!
+//! The paper plots single measurement runs; a simulation can afford
+//! replication. These helpers summarize per-seed results into mean ±
+//! 95% confidence intervals so the figure generators can report error
+//! bars.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of one sample set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Half-width of the ~95% confidence interval on the mean
+    /// (1.96·σ/√n; exact t quantiles are overkill for reporting).
+    pub ci95: f64,
+}
+
+/// Summarize a sample set. Panics on an empty slice.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "no samples");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let std_dev = if n < 2 {
+        0.0
+    } else {
+        (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+    };
+    Summary {
+        n,
+        mean,
+        std_dev,
+        ci95: 1.96 * std_dev / (n as f64).sqrt(),
+    }
+}
+
+impl Summary {
+    /// `mean ± ci95` formatted at the given precision.
+    pub fn fmt(&self, prec: usize) -> String {
+        format!("{:.prec$} ± {:.prec$}", self.mean, self.ci95)
+    }
+
+    /// Whether another summary's mean lies outside this one's CI — a
+    /// quick significance screen for A-vs-B comparisons.
+    pub fn separated_from(&self, other: &Summary) -> bool {
+        (self.mean - other.mean).abs() > self.ci95 + other.ci95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev (n-1) of this classic set is ~2.138.
+        assert!((s.std_dev - 2.1381).abs() < 1e-3, "{}", s.std_dev);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn separation_screen() {
+        let a = summarize(&[10.0, 10.1, 9.9, 10.0]);
+        let b = summarize(&[12.0, 12.1, 11.9, 12.0]);
+        let c = summarize(&[10.05, 10.1, 9.95, 10.05]);
+        assert!(a.separated_from(&b));
+        assert!(!a.separated_from(&c));
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        let s = summarize(&[1.234, 1.236]);
+        assert!(s.fmt(2).starts_with("1.23 ±") || s.fmt(2).starts_with("1.24 ±"), "{}", s.fmt(2));
+    }
+
+    #[test]
+    fn multi_seed_fig15_separation() {
+        // The reproduced headline survives replication: AMPPM and OOK-CT
+        // at l = 0.2 separate beyond their CIs across five seeds.
+        use crate::static_run::run_scheme_comparison;
+        use desim::SimDuration;
+        use smartvlc_link::SchemeKind;
+        let dur = SimDuration::millis(400);
+        let collect = |scheme| -> Vec<f64> {
+            (0..5)
+                .map(|seed| {
+                    run_scheme_comparison(scheme, &[0.2], dur, 100 + seed)[0].goodput_bps
+                })
+                .collect()
+        };
+        let amppm = summarize(&collect(SchemeKind::Amppm));
+        let ook = summarize(&collect(SchemeKind::OokCt));
+        assert!(
+            amppm.separated_from(&ook),
+            "amppm={} ook={}",
+            amppm.fmt(0),
+            ook.fmt(0)
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Ambient light sources — the paper's Fig. 13 apparatus, simulated.
+//!
+//! The experiments control ambient light with an electrically-driven
+//! window blind (fixed for the static scenario, pulled at constant speed
+//! for the dynamic one) plus the office ceiling lights. The paper reports
+//! the resulting illuminance ranges: 8900–9760 lux (sunny + ceiling on,
+//! L1), 7960–8200 lux (sunny, ceiling off, L2), 12–21 lux (blind down,
+//! ceiling off, L3).
+//!
+//! An [`AmbientProfile`] maps simulation time to illuminance at a sensor.
+//! Profiles compose by summation.
+
+use desim::{DetRng, SimTime};
+
+/// A time-varying ambient illuminance source.
+pub trait AmbientProfile {
+    /// Illuminance in lux at time `t`.
+    fn lux_at(&mut self, t: SimTime) -> f64;
+}
+
+/// Constant illuminance (ceiling lights; or a fixed blind position).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantAmbient {
+    /// The constant level, lux.
+    pub lux: f64,
+}
+
+impl AmbientProfile for ConstantAmbient {
+    fn lux_at(&mut self, _t: SimTime) -> f64 {
+        self.lux
+    }
+}
+
+/// The motorized window blind ramp of Fig. 13(b) / Fig. 19: illuminance
+/// moves from `start_lux` to `end_lux` over `duration`, then holds.
+///
+/// Real blinds do not admit light linearly in position — the paper itself
+/// notes "the ambient light does not change perfectly linearly with the
+/// blind's position in real life" to explain the non-smooth throughput of
+/// Fig. 19(a) — so the ramp includes a smooth-step nonlinearity plus
+/// small correlated fluctuation (clouds, sensor noise).
+#[derive(Clone, Debug)]
+pub struct BlindRamp {
+    /// Illuminance at the start of the ramp, lux.
+    pub start_lux: f64,
+    /// Illuminance at the end of the ramp, lux.
+    pub end_lux: f64,
+    /// Ramp start time.
+    pub t_start: SimTime,
+    /// Ramp duration, seconds (the paper's pull takes 67 s).
+    pub duration_s: f64,
+    /// Relative amplitude of the slow fluctuation (0 disables).
+    pub wobble: f64,
+    rng: DetRng,
+    /// Ornstein-Uhlenbeck fluctuation state.
+    ou_state: f64,
+    last_t: Option<SimTime>,
+}
+
+impl BlindRamp {
+    /// The paper's dynamic scenario: blind pulled bottom→top in 67 s,
+    /// sweeping ambient from near-dark to a bright sunny office. The
+    /// range is set so the LED sweeps ~0.9 down to ~0.1 of full scale,
+    /// matching the symmetric throughput hump of Fig. 19(a).
+    pub fn paper_dynamic(rng: DetRng) -> BlindRamp {
+        BlindRamp {
+            start_lux: 1000.0,
+            end_lux: 9000.0,
+            t_start: SimTime::ZERO,
+            duration_s: 67.0,
+            wobble: 0.03,
+            rng,
+            ou_state: 0.0,
+            last_t: None,
+        }
+    }
+
+    /// A custom ramp without fluctuation (deterministic tests).
+    pub fn linearized(start_lux: f64, end_lux: f64, duration_s: f64) -> BlindRamp {
+        BlindRamp {
+            start_lux,
+            end_lux,
+            t_start: SimTime::ZERO,
+            duration_s,
+            wobble: 0.0,
+            rng: DetRng::seed_from_u64(0),
+            ou_state: 0.0,
+            last_t: None,
+        }
+    }
+
+    fn progress(&self, t: SimTime) -> f64 {
+        if t < self.t_start {
+            return 0.0;
+        }
+        let x = ((t - self.t_start).as_secs_f64() / self.duration_s).clamp(0.0, 1.0);
+        // Smooth-step: the blind admits little light near the bottom,
+        // most near the top — an S-curve in position.
+        x * x * (3.0 - 2.0 * x)
+    }
+}
+
+impl AmbientProfile for BlindRamp {
+    fn lux_at(&mut self, t: SimTime) -> f64 {
+        let base = self.start_lux + (self.end_lux - self.start_lux) * self.progress(t);
+        if self.wobble > 0.0 {
+            // Ornstein-Uhlenbeck process advanced by the elapsed time:
+            // correlated cloud-like fluctuation, tau ~ 3 s.
+            let dt = match self.last_t {
+                Some(prev) if t > prev => (t - prev).as_secs_f64(),
+                _ => 0.0,
+            };
+            self.last_t = Some(t);
+            if dt > 0.0 {
+                let tau = 3.0;
+                let alpha = (-dt / tau).exp();
+                let noise = self.rng.next_gaussian() * (1.0 - alpha * alpha).sqrt();
+                self.ou_state = self.ou_state * alpha + noise;
+            }
+            (base * (1.0 + self.wobble * self.ou_state)).max(0.0)
+        } else {
+            base
+        }
+    }
+}
+
+/// Sum of several profiles (e.g. blind + ceiling lights).
+pub struct CompositeAmbient {
+    parts: Vec<Box<dyn AmbientProfile + Send>>,
+}
+
+impl CompositeAmbient {
+    /// Compose profiles.
+    pub fn new(parts: Vec<Box<dyn AmbientProfile + Send>>) -> CompositeAmbient {
+        CompositeAmbient { parts }
+    }
+}
+
+impl AmbientProfile for CompositeAmbient {
+    fn lux_at(&mut self, t: SimTime) -> f64 {
+        self.parts.iter_mut().map(|p| p.lux_at(t)).sum()
+    }
+}
+
+/// The paper's three static study conditions (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StudyCondition {
+    /// L1: sunny day, ceiling lights on (8900–9760 lux).
+    SunnyCeilingOn,
+    /// L2: sunny day, ceiling lights off (7960–8200 lux).
+    SunnyCeilingOff,
+    /// L3: blind down, ceiling off (12–21 lux).
+    Dark,
+}
+
+impl StudyCondition {
+    /// Mid-range illuminance of the condition, lux.
+    pub fn typical_lux(self) -> f64 {
+        match self {
+            StudyCondition::SunnyCeilingOn => 9330.0,
+            StudyCondition::SunnyCeilingOff => 8080.0,
+            StudyCondition::Dark => 16.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::secs(s)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut a = ConstantAmbient { lux: 500.0 };
+        assert_eq!(a.lux_at(at(0)), 500.0);
+        assert_eq!(a.lux_at(at(100)), 500.0);
+    }
+
+    #[test]
+    fn linear_ramp_endpoints_and_monotonicity() {
+        let mut r = BlindRamp::linearized(100.0, 1100.0, 67.0);
+        assert_eq!(r.lux_at(at(0)), 100.0);
+        assert_eq!(r.lux_at(at(67)), 1100.0);
+        assert_eq!(r.lux_at(at(200)), 1100.0, "holds after the ramp");
+        let mut prev = 0.0;
+        for s in 0..=67 {
+            let v = r.lux_at(at(s));
+            assert!(v >= prev, "t={s}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn smooth_step_is_slow_at_ends_fast_in_middle() {
+        let mut r = BlindRamp::linearized(0.0, 1000.0, 60.0);
+        let early = r.lux_at(at(6)) - r.lux_at(at(0));
+        let mid = r.lux_at(at(33)) - r.lux_at(at(27));
+        let late = r.lux_at(at(60)) - r.lux_at(at(54));
+        assert!(mid > 2.0 * early, "early={early} mid={mid}");
+        assert!(mid > 2.0 * late, "late={late} mid={mid}");
+    }
+
+    #[test]
+    fn wobble_stays_near_base_and_is_deterministic() {
+        let mk = || BlindRamp::paper_dynamic(DetRng::seed_from_u64(99));
+        let mut a = mk();
+        let mut b = mk();
+        for s in 0..67 {
+            let va = a.lux_at(at(s));
+            let vb = b.lux_at(at(s));
+            assert_eq!(va, vb, "determinism at t={s}");
+            assert!(va >= 0.0);
+        }
+        // Fluctuation is percent-level, not structural.
+        let mut smooth = BlindRamp::paper_dynamic(DetRng::seed_from_u64(99));
+        smooth.wobble = 0.0;
+        let mut wob = BlindRamp::paper_dynamic(DetRng::seed_from_u64(99));
+        for s in 0..67 {
+            let base = smooth.lux_at(at(s));
+            let noisy = wob.lux_at(at(s));
+            assert!(
+                (noisy - base).abs() <= 0.2 * base + 40.0,
+                "t={s}: base={base} noisy={noisy}"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_sums() {
+        let mut c = CompositeAmbient::new(vec![
+            Box::new(ConstantAmbient { lux: 1000.0 }),
+            Box::new(BlindRamp::linearized(0.0, 500.0, 10.0)),
+        ]);
+        assert_eq!(c.lux_at(at(0)), 1000.0);
+        assert_eq!(c.lux_at(at(10)), 1500.0);
+    }
+
+    #[test]
+    fn study_conditions_match_paper_ranges() {
+        assert!((8900.0..=9760.0).contains(&StudyCondition::SunnyCeilingOn.typical_lux()));
+        assert!((7960.0..=8200.0).contains(&StudyCondition::SunnyCeilingOff.typical_lux()));
+        assert!((12.0..=21.0).contains(&StudyCondition::Dark.typical_lux()));
+    }
+}
+
+/// A full day of office daylight: a raised-cosine diurnal arc between
+/// sunrise and sunset, modulated by slow cloud cover (Ornstein-Uhlenbeck,
+/// ~10 min correlation). Drives the day-long planning simulations.
+#[derive(Clone, Debug)]
+pub struct DiurnalProfile {
+    /// Sunrise, hours after simulation start.
+    pub sunrise_h: f64,
+    /// Sunset, hours after simulation start.
+    pub sunset_h: f64,
+    /// Peak (solar-noon) illuminance at the window desk, lux.
+    pub peak_lux: f64,
+    /// Cloud modulation depth in [0, 1) (0 = clear sky).
+    pub cloudiness: f64,
+    rng: DetRng,
+    ou_state: f64,
+    last_t: Option<SimTime>,
+}
+
+impl DiurnalProfile {
+    /// A Dutch autumn office day, in the spirit of the paper's remark
+    /// that "in the Netherlands, the weather changes super fast and for
+    /// most of the time, there are heavy and moving clouds".
+    pub fn dutch_autumn(rng: DetRng) -> DiurnalProfile {
+        DiurnalProfile {
+            sunrise_h: 7.5,
+            sunset_h: 17.5,
+            peak_lux: 9000.0,
+            cloudiness: 0.45,
+            rng,
+            ou_state: 0.0,
+            last_t: None,
+        }
+    }
+
+    /// Clear-sky variant (deterministic, for tests).
+    pub fn clear_sky(sunrise_h: f64, sunset_h: f64, peak_lux: f64) -> DiurnalProfile {
+        DiurnalProfile {
+            sunrise_h,
+            sunset_h,
+            peak_lux,
+            cloudiness: 0.0,
+            rng: DetRng::seed_from_u64(0),
+            ou_state: 0.0,
+            last_t: None,
+        }
+    }
+}
+
+impl AmbientProfile for DiurnalProfile {
+    fn lux_at(&mut self, t: SimTime) -> f64 {
+        let h = t.as_secs_f64() / 3600.0;
+        if h <= self.sunrise_h || h >= self.sunset_h {
+            return 0.0;
+        }
+        // Raised cosine between sunrise and sunset.
+        let x = (h - self.sunrise_h) / (self.sunset_h - self.sunrise_h);
+        let base = self.peak_lux * 0.5 * (1.0 - (2.0 * core::f64::consts::PI * x).cos());
+        if self.cloudiness > 0.0 {
+            let dt = match self.last_t {
+                Some(prev) if t > prev => (t - prev).as_secs_f64(),
+                _ => 0.0,
+            };
+            self.last_t = Some(t);
+            if dt > 0.0 {
+                let tau = 600.0; // ~10 min cloud correlation
+                let alpha = (-dt / tau).exp();
+                let noise = self.rng.next_gaussian() * (1.0 - alpha * alpha).sqrt();
+                self.ou_state = self.ou_state * alpha + noise;
+            }
+            // Clouds only darken: map the OU state through a logistic
+            // to an attenuation in [1 - cloudiness, 1].
+            let atten = 1.0 - self.cloudiness / (1.0 + (-self.ou_state).exp());
+            (base * atten).max(0.0)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+    use desim::SimDuration;
+
+    fn at_h(h: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(h * 3600.0)
+    }
+
+    #[test]
+    fn dark_outside_daylight_hours() {
+        let mut p = DiurnalProfile::clear_sky(7.0, 19.0, 10_000.0);
+        assert_eq!(p.lux_at(at_h(0.0)), 0.0);
+        assert_eq!(p.lux_at(at_h(6.9)), 0.0);
+        assert_eq!(p.lux_at(at_h(19.1)), 0.0);
+        assert_eq!(p.lux_at(at_h(23.0)), 0.0);
+    }
+
+    #[test]
+    fn peaks_at_solar_noon() {
+        let mut p = DiurnalProfile::clear_sky(7.0, 19.0, 10_000.0);
+        let noon = p.lux_at(at_h(13.0));
+        assert!((noon - 10_000.0).abs() < 1.0, "noon={noon}");
+        assert!(p.lux_at(at_h(9.0)) < noon);
+        assert!(p.lux_at(at_h(17.0)) < noon);
+        // Symmetric about noon.
+        let morning = p.lux_at(at_h(10.0));
+        let evening = p.lux_at(at_h(16.0));
+        assert!((morning - evening).abs() < 1.0);
+    }
+
+    #[test]
+    fn clouds_only_darken_and_stay_deterministic() {
+        let mk = || DiurnalProfile::dutch_autumn(DetRng::seed_from_u64(4));
+        let mut cloudy = mk();
+        let mut cloudy2 = mk();
+        let mut clear = DiurnalProfile::clear_sky(7.5, 17.5, 9000.0);
+        for i in 0..100 {
+            let t = at_h(8.0 + i as f64 * 0.09);
+            let c = cloudy.lux_at(t);
+            assert_eq!(c, cloudy2.lux_at(t), "determinism at {i}");
+            assert!(c <= clear.lux_at(t) + 1e-9, "clouds brightened at {i}");
+            assert!(c >= 0.0);
+        }
+    }
+}

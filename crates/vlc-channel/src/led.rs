@@ -1,0 +1,189 @@
+//! LED switching dynamics.
+//!
+//! The paper's transmitter drives a Philips 4.7 W LED through a MOSFET and
+//! even removes the AC-DC converter "that can slow down the transition
+//! speed between ON and OFF states". What remains is still a first-order
+//! system: optical output follows drive changes exponentially with a
+//! rise/fall time constant. §6.1 reports that the LED — not the PRU — is
+//! the bottleneck, fixing `tslot = 8 µs` as "the minimal time slot the LED
+//! supports, under which the transmitted signals are not distorted too
+//! much". This model reproduces exactly that trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order LED optical response model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LedModel {
+    /// Time constant when turning on, seconds.
+    pub rise_tau_s: f64,
+    /// Time constant when turning off, seconds.
+    pub fall_tau_s: f64,
+    /// Optical power emitted at full drive, watts.
+    pub on_power_w: f64,
+    /// Residual emission at zero drive as a fraction of `on_power_w`
+    /// (finite extinction ratio of the driver).
+    pub off_fraction: f64,
+}
+
+impl LedModel {
+    /// The disassembled Philips 4.7 W luminaire of the paper's prototype.
+    ///
+    /// τ ≈ 1.3 µs makes an 8 µs slot ≈ 6 time constants — "not distorted
+    /// too much" — while a 2 µs slot would be badly smeared, matching the
+    /// paper's choice of `tslot`.
+    pub fn philips_4w7() -> LedModel {
+        LedModel {
+            rise_tau_s: 1.3e-6,
+            fall_tau_s: 1.1e-6,
+            // 4.7 W electrical, ~30% wall-plug efficiency for a warm-white
+            // LED of that era.
+            on_power_w: 1.4,
+            off_fraction: 0.005,
+        }
+    }
+
+    /// An idealized instant LED (for isolating other effects in tests).
+    pub fn ideal(on_power_w: f64) -> LedModel {
+        LedModel {
+            rise_tau_s: 0.0,
+            fall_tau_s: 0.0,
+            on_power_w,
+            off_fraction: 0.0,
+        }
+    }
+
+    /// Optical power at drive level `level` (0 = off, 1 = on) in steady
+    /// state.
+    pub fn steady_power(&self, level: f64) -> f64 {
+        let level = level.clamp(0.0, 1.0);
+        self.on_power_w * (self.off_fraction + (1.0 - self.off_fraction) * level)
+    }
+
+    /// Synthesize the emitted optical waveform for a slot sequence.
+    ///
+    /// `samples_per_slot` points are produced per slot of duration
+    /// `tslot_s`; the output tracks the drive exponentially with the
+    /// rise/fall constants. The initial state is the first slot's target
+    /// (steady operation, not cold start).
+    pub fn synthesize(
+        &self,
+        slots: &[bool],
+        tslot_s: f64,
+        samples_per_slot: usize,
+    ) -> Vec<f64> {
+        assert!(samples_per_slot >= 1, "need at least one sample per slot");
+        assert!(tslot_s > 0.0, "slot duration must be positive");
+        let dt = tslot_s / samples_per_slot as f64;
+        let mut out = Vec::with_capacity(slots.len() * samples_per_slot);
+        let mut power = match slots.first() {
+            Some(&s) => self.steady_power(s as u8 as f64),
+            None => return out,
+        };
+        for &slot in slots {
+            let target = self.steady_power(slot as u8 as f64);
+            let tau = if target > power {
+                self.rise_tau_s
+            } else {
+                self.fall_tau_s
+            };
+            for _ in 0..samples_per_slot {
+                if tau <= 0.0 {
+                    power = target;
+                } else {
+                    let alpha = 1.0 - (-dt / tau).exp();
+                    power += (target - power) * alpha;
+                }
+                out.push(power);
+            }
+        }
+        out
+    }
+
+    /// Eye-opening metric for a given slot duration: the fraction of the
+    /// ON/OFF swing reached by the end of one slot after a transition.
+    /// The paper's "not distorted too much" criterion corresponds to an
+    /// opening near 1.0; values below ~0.9 start costing SNR.
+    pub fn eye_opening(&self, tslot_s: f64) -> f64 {
+        let tau = self.rise_tau_s.max(self.fall_tau_s);
+        if tau <= 0.0 {
+            1.0
+        } else {
+            1.0 - (-tslot_s / tau).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_power_endpoints() {
+        let led = LedModel::philips_4w7();
+        assert!((led.steady_power(1.0) - led.on_power_w).abs() < 1e-12);
+        assert!((led.steady_power(0.0) - led.on_power_w * led.off_fraction).abs() < 1e-12);
+        // Clamps out-of-range drive.
+        assert_eq!(led.steady_power(2.0), led.steady_power(1.0));
+    }
+
+    #[test]
+    fn ideal_led_is_square() {
+        let led = LedModel::ideal(1.0);
+        let wave = led.synthesize(&[true, false, true], 8e-6, 4);
+        assert_eq!(wave.len(), 12);
+        assert!(wave[..4].iter().all(|&p| p == 1.0));
+        assert!(wave[4..8].iter().all(|&p| p == 0.0));
+        assert!(wave[8..].iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn real_led_rises_exponentially() {
+        let led = LedModel::philips_4w7();
+        let wave = led.synthesize(&[false, true, true], 8e-6, 8);
+        // Monotone rise after the transition...
+        let rise = &wave[8..16];
+        assert!(rise.windows(2).all(|w| w[1] >= w[0]));
+        // ...reaching most of the swing within the slot (tslot = 6 tau).
+        let target = led.steady_power(1.0);
+        assert!(rise[7] > 0.99 * target, "end of slot: {}", rise[7]);
+        // But clearly not instantaneous at the start.
+        assert!(rise[0] < 0.7 * target, "first sample: {}", rise[0]);
+    }
+
+    #[test]
+    fn paper_slot_choice_is_undistorted_but_2us_is_not() {
+        // The quantitative version of Sec. 6.1's tslot discussion.
+        let led = LedModel::philips_4w7();
+        assert!(led.eye_opening(8e-6) > 0.99);
+        assert!(led.eye_opening(2e-6) < 0.80);
+    }
+
+    #[test]
+    fn fall_uses_fall_tau() {
+        let led = LedModel {
+            rise_tau_s: 1e-6,
+            fall_tau_s: 10e-6, // pathologically slow fall
+            on_power_w: 1.0,
+            off_fraction: 0.0,
+        };
+        let wave = led.synthesize(&[true, false], 8e-6, 8);
+        // After one slot of falling with tau=10us, still above half power.
+        assert!(wave[15] > 0.4, "fall too fast: {}", wave[15]);
+    }
+
+    #[test]
+    fn empty_slots_give_empty_waveform() {
+        let led = LedModel::philips_4w7();
+        assert!(led.synthesize(&[], 8e-6, 4).is_empty());
+    }
+
+    #[test]
+    fn waveform_is_deterministic() {
+        let led = LedModel::philips_4w7();
+        let slots: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        assert_eq!(
+            led.synthesize(&slots, 8e-6, 4),
+            led.synthesize(&slots, 8e-6, 4)
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The transmit path: a slot-clocked GPIO modulator.
+//!
+//! The PRU firmware's transmit loop is brutally simple — every `tslot` it
+//! pops one slot from the TX ring and writes the GPIO that gates the LED
+//! MOSFET. The interesting behaviour is what happens when the ARM falls
+//! behind: an **underrun** leaves the GPIO at its last level, which both
+//! corrupts the frame and, if sustained, parks the LED at a constant
+//! state (illumination glitch). [`GpioModulator`] models exactly that.
+
+use crate::pru::{AccessMethod, PruTimingModel};
+use crate::shmem::SharedRing;
+use desim::{SimDuration, SimTime};
+
+/// The PRU-side GPIO transmit loop.
+pub struct GpioModulator {
+    ring: SharedRing<bool>,
+    tslot: SimDuration,
+    timing: PruTimingModel,
+    level: bool,
+    /// Emitted waveform: (time, level) at each slot boundary.
+    trace: Vec<(SimTime, bool)>,
+    underrun_slots: u64,
+    next_tick: SimTime,
+}
+
+impl GpioModulator {
+    /// Build a modulator draining `ring` at the slot clock implied by
+    /// `tslot`. Panics if the access method cannot sustain the clock —
+    /// the §5.2 constraint made executable.
+    pub fn new(ring: SharedRing<bool>, tslot: SimDuration, method: AccessMethod) -> GpioModulator {
+        let timing = PruTimingModel::bbb(method);
+        let rate = 1e9 / tslot.as_nanos() as f64;
+        assert!(
+            timing.supports_hz(rate),
+            "{} cannot sustain {:.0} Hz slot clock (max {:.0} Hz)",
+            timing.method.name(),
+            rate,
+            timing.max_rate_hz()
+        );
+        GpioModulator {
+            ring,
+            tslot,
+            timing,
+            level: false,
+            trace: Vec::new(),
+            underrun_slots: 0,
+            next_tick: SimTime::ZERO,
+        }
+    }
+
+    /// The shared TX ring (producer side handle).
+    pub fn ring(&self) -> SharedRing<bool> {
+        self.ring.clone()
+    }
+
+    /// Run the slot loop until `until`, recording the emitted waveform.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.next_tick <= until {
+            match self.ring.pop() {
+                Some(slot) => self.level = slot,
+                None => self.underrun_slots += 1, // GPIO holds its level
+            }
+            self.trace.push((self.next_tick, self.level));
+            self.next_tick += self.tslot;
+        }
+    }
+
+    /// Slots emitted while the ring was dry.
+    pub fn underruns(&self) -> u64 {
+        self.underrun_slots
+    }
+
+    /// The emitted waveform so far.
+    pub fn trace(&self) -> &[(SimTime, bool)] {
+        &self.trace
+    }
+
+    /// Just the levels of the emitted waveform.
+    pub fn emitted_slots(&self) -> Vec<bool> {
+        self.trace.iter().map(|&(_, l)| l).collect()
+    }
+
+    /// The configured timing model.
+    pub fn timing(&self) -> &PruTimingModel {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tslot() -> SimDuration {
+        SimDuration::micros(8)
+    }
+
+    #[test]
+    fn drains_ring_at_slot_clock() {
+        let ring = SharedRing::new(1024);
+        for i in 0..10 {
+            ring.push(i % 2 == 0);
+        }
+        let mut gpio = GpioModulator::new(ring, tslot(), AccessMethod::Pru);
+        gpio.run_until(SimTime::from_micros(9 * 8));
+        let emitted = gpio.emitted_slots();
+        assert_eq!(emitted.len(), 10);
+        assert_eq!(emitted, (0..10).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(gpio.underruns(), 0);
+        // Timestamps land exactly on the slot grid.
+        assert_eq!(gpio.trace()[3].0, SimTime::from_micros(24));
+    }
+
+    #[test]
+    fn underrun_holds_level() {
+        let ring = SharedRing::new(1024);
+        ring.push(true);
+        ring.push(true);
+        let mut gpio = GpioModulator::new(ring, tslot(), AccessMethod::Pru);
+        gpio.run_until(SimTime::from_micros(5 * 8));
+        let emitted = gpio.emitted_slots();
+        assert_eq!(emitted.len(), 6);
+        // Two real slots, then the GPIO freezes at its last level (ON).
+        assert!(emitted.iter().all(|&l| l));
+        assert_eq!(gpio.underruns(), 4);
+    }
+
+    #[test]
+    fn refill_resumes_cleanly() {
+        let ring = SharedRing::new(1024);
+        ring.push(true);
+        let mut gpio = GpioModulator::new(ring.clone(), tslot(), AccessMethod::Pru);
+        gpio.run_until(SimTime::from_micros(8));
+        ring.push(false);
+        ring.push(true);
+        gpio.run_until(SimTime::from_micros(4 * 8));
+        assert_eq!(gpio.emitted_slots(), vec![true, true, false, true, true]);
+        assert_eq!(gpio.underruns(), 2); // ticks 1 and 4 were dry
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sustain")]
+    fn sysfs_cannot_drive_the_slot_clock() {
+        // The executable form of Sec. 5.2's argument.
+        GpioModulator::new(SharedRing::new(16), tslot(), AccessMethod::SysfsFile);
+    }
+
+    #[test]
+    fn xenomai_drives_slow_clocks_only() {
+        // 25 kHz is within Xenomai's reach...
+        GpioModulator::new(
+            SharedRing::new(16),
+            SimDuration::micros(40),
+            AccessMethod::XenomaiTask,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sustain")]
+    fn xenomai_fails_at_125khz() {
+        GpioModulator::new(SharedRing::new(16), tslot(), AccessMethod::XenomaiTask);
+    }
+}

@@ -1,0 +1,40 @@
+//! # vlc-hw — the BeagleBone Black platform substrate
+//!
+//! §5 of the paper is about making a $60 BeagleBone Black (BBB) do what
+//! normally takes a $5000 USRP/WARP: modulate an LED and sample an ADC at
+//! hundreds of kilohertz, in real time, from a non-realtime Linux board.
+//! Its answer is the BBB's **PRUs** (Programmable Real-time Units, two
+//! 200 MHz deterministic microcontrollers sharing memory with the ARM
+//! core): the PRU bit-bangs GPIO/SPI at deterministic speed while the ARM
+//! runs the upper layers, the two sides meeting in shared-memory rings.
+//!
+//! This crate models that platform faithfully enough for the system-level
+//! claims to be checked in simulation:
+//!
+//! * [`pru`] — cycle-budget timing model of the four GPIO access methods
+//!   §5.2 compares (sysfs files, mmap'd registers, a Xenomai kernel, and
+//!   the PRU), with the achievable toggle/sample rates of each.
+//! * [`shmem`] — the ARM↔PRU shared-memory ring buffers, with the
+//!   overrun/underrun semantics real firmware has to handle.
+//! * [`gpio`] — the transmit path: a slot-clocked GPIO modulator draining
+//!   the TX ring.
+//! * [`sampler`] — the receive path: an ADC sampler filling the RX ring
+//!   at `fs = 4·ftx`.
+//! * [`wifi`] — the ESP8266 Wi-Fi side channel used for ACKs and
+//!   ambient-light reports (§3/§5.1), modeled as latency + jitter + loss.
+//! * [`board`] — transmitter and receiver board compositions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod gpio;
+pub mod pru;
+pub mod sampler;
+pub mod shmem;
+pub mod wifi;
+
+pub use board::{ReceiverBoard, TransmitterBoard};
+pub use pru::{AccessMethod, PruTimingModel};
+pub use shmem::SharedRing;
+pub use wifi::{SideChannel, WifiSideChannel};

@@ -1,0 +1,205 @@
+//! The ESP8266 Wi-Fi side channel.
+//!
+//! SmartVLC's uplink is not optical: ACKs and the receiver's ambient
+//! light reports travel over a Farnell ESP8266 module (§5.1, footnote 2 —
+//! mobile-node LEDs are too weak for an optical uplink). For the MAC what
+//! matters is the delay distribution and loss rate of that path:
+//! UART at 115200 baud into 802.11 DCF gives a few milliseconds of
+//! latency with occasional jitter spikes and rare losses.
+
+use desim::{DetRng, SimDuration, SimTime};
+
+/// Anything that can carry uplink messages back to the transmitter: the
+/// ESP8266 Wi-Fi module here, or (the paper's footnote-2 future work) a
+/// VLC uplink when mobile-node LEDs are strong enough.
+pub trait SideChannel<T> {
+    /// Send a message at `now`; `Some(delivery_time)` unless lost.
+    fn send(&mut self, now: SimTime, payload: T) -> Option<SimTime>;
+    /// Pop every message whose delivery time has arrived.
+    fn deliver_due(&mut self, now: SimTime) -> Vec<T>;
+}
+
+/// A message in flight on the side channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SideChannelMsg<T> {
+    /// Delivery time (already includes latency + jitter).
+    pub deliver_at: SimTime,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Latency/jitter/loss model of the ESP8266 path.
+pub struct WifiSideChannel<T> {
+    /// Base one-way latency.
+    pub base_latency: SimDuration,
+    /// Exponential jitter mean (DCF backoff tail).
+    pub jitter_mean: SimDuration,
+    /// Probability a message is lost outright.
+    pub loss_prob: f64,
+    rng: DetRng,
+    in_flight: Vec<SideChannelMsg<T>>,
+}
+
+impl<T> WifiSideChannel<T> {
+    /// The paper's module: ~4 ms base latency (UART framing + Wi-Fi),
+    /// ~1.5 ms mean jitter, 1% loss in a busy office band.
+    pub fn esp8266(rng: DetRng) -> WifiSideChannel<T> {
+        WifiSideChannel {
+            base_latency: SimDuration::micros(4_000),
+            jitter_mean: SimDuration::micros(1_500),
+            loss_prob: 0.01,
+            rng,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// An ideal side channel (zero latency, no loss) for unit tests.
+    pub fn ideal(rng: DetRng) -> WifiSideChannel<T> {
+        WifiSideChannel {
+            base_latency: SimDuration::ZERO,
+            jitter_mean: SimDuration::ZERO,
+            loss_prob: 0.0,
+            rng,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// Send a message at time `now`. Returns the scheduled delivery time,
+    /// or `None` if the channel lost it.
+    pub fn send(&mut self, now: SimTime, payload: T) -> Option<SimTime> {
+        if self.rng.chance(self.loss_prob) {
+            return None;
+        }
+        let jitter_ns = if self.jitter_mean.is_zero() {
+            0.0
+        } else {
+            // Exponential with the configured mean.
+            -(self.jitter_mean.as_nanos() as f64) * (1.0 - self.rng.next_f64()).ln()
+        };
+        let deliver_at = now + self.base_latency + SimDuration::nanos(jitter_ns as u64);
+        self.in_flight.push(SideChannelMsg {
+            deliver_at,
+            payload,
+        });
+        Some(deliver_at)
+    }
+
+    /// Pop every message whose delivery time has arrived, in delivery
+    /// order.
+    pub fn deliver_due(&mut self, now: SimTime) -> Vec<T> {
+        let mut due = Vec::new();
+        let mut still = Vec::with_capacity(self.in_flight.len());
+        for m in self.in_flight.drain(..) {
+            if m.deliver_at <= now {
+                due.push(m);
+            } else {
+                still.push(m);
+            }
+        }
+        self.in_flight = still;
+        due.sort_by_key(|m| m.deliver_at);
+        due.into_iter().map(|m| m.payload).collect()
+    }
+
+    /// Messages still in flight.
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+impl<T> SideChannel<T> for WifiSideChannel<T> {
+    fn send(&mut self, now: SimTime, payload: T) -> Option<SimTime> {
+        WifiSideChannel::send(self, now, payload)
+    }
+    fn deliver_due(&mut self, now: SimTime) -> Vec<T> {
+        WifiSideChannel::deliver_due(self, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn ideal_channel_is_instant_and_lossless() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::ideal(rng());
+        let t = SimTime::from_millis(10);
+        assert_eq!(ch.send(t, 1), Some(t));
+        assert_eq!(ch.deliver_due(t), vec![1]);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::esp8266(rng());
+        ch.loss_prob = 0.0;
+        let t0 = SimTime::ZERO;
+        let at = ch.send(t0, 7).unwrap();
+        assert!(at >= t0 + SimDuration::micros(4_000));
+        // Not delivered early.
+        assert!(ch.deliver_due(t0 + SimDuration::micros(3_999)).is_empty());
+        assert_eq!(ch.deliver_due(at), vec![7]);
+    }
+
+    #[test]
+    fn delivery_order_follows_arrival_time() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::esp8266(rng());
+        ch.loss_prob = 0.0;
+        let mut deliver_at = std::collections::HashMap::new();
+        for i in 0..50u32 {
+            let at = ch.send(SimTime::from_micros(i as u64 * 10), i).unwrap();
+            deliver_at.insert(i, at);
+        }
+        let all = ch.deliver_due(SimTime::from_secs(1));
+        assert_eq!(all.len(), 50);
+        // deliver_due sorts by arrival time, which jitter may reorder
+        // relative to send order.
+        for w in all.windows(2) {
+            assert!(deliver_at[&w[0]] <= deliver_at[&w[1]]);
+        }
+    }
+
+    #[test]
+    fn losses_happen_at_the_configured_rate() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::esp8266(rng());
+        let mut lost = 0;
+        for i in 0..10_000 {
+            if ch.send(SimTime::from_micros(i), 0).is_none() {
+                lost += 1;
+            }
+        }
+        assert!((50..200).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn jitter_spreads_latencies() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::esp8266(rng());
+        ch.loss_prob = 0.0;
+        let t0 = SimTime::ZERO;
+        let mut lats: Vec<u64> = (0..1000)
+            .filter_map(|_| ch.send(t0, 0))
+            .map(|at| (at - t0).as_nanos())
+            .collect();
+        lats.sort_unstable();
+        let p10 = lats[100];
+        let p90 = lats[900];
+        assert!(p90 > p10 + 1_000_000, "p10={p10} p90={p90}"); // >1 ms spread
+        let mean =
+            lats.iter().sum::<u64>() as f64 / lats.len() as f64 - 4_000_000.0;
+        assert!((mean - 1_500_000.0).abs() < 200_000.0, "jitter mean={mean}");
+    }
+
+    #[test]
+    fn pending_counts_in_flight() {
+        let mut ch: WifiSideChannel<u32> = WifiSideChannel::esp8266(rng());
+        ch.loss_prob = 0.0;
+        ch.send(SimTime::ZERO, 1);
+        ch.send(SimTime::ZERO, 2);
+        assert_eq!(ch.pending(), 2);
+        ch.deliver_due(SimTime::from_secs(1));
+        assert_eq!(ch.pending(), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The `smartvlc` command-line tool — see `smartvlc::cli` for the
+//! commands and `smartvlc --help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", smartvlc::cli::USAGE);
+        return;
+    }
+    match smartvlc::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The `smartvlc` command-line tool.
+//!
+//! Command logic lives here (returning strings) so it is unit-testable;
+//! `src/bin/smartvlc.rs` is a thin I/O shell around [`run`].
+
+use crate::prelude::*;
+use smartvlc_core::flicker::{FlickerAuditor, FlickerRules};
+use smartvlc_sim::report::markdown_table;
+use smartvlc_sim::perception::{StudyCondition, Viewing};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+smartvlc — SmartVLC (CoNEXT'17) reproduction toolkit
+
+USAGE:
+  smartvlc plan <level>                 best AMPPM super-symbol for a dimming level
+  smartvlc envelope                     print the throughput-envelope hull
+  smartvlc sweep [scheme]               raw-rate sweep across the 17 paper levels
+                                        (schemes: amppm mppm ookct vppm oppm darklight)
+  smartvlc simulate <distance_m> [secs] end-to-end link run at a distance
+  smartvlc audit <waveform|@file>       flicker-audit a waveform of 0/1 characters
+                                        (@path reads the waveform from a file)
+  smartvlc study                        run the virtual 20-subject user study
+  smartvlc day [hours]                  planning-level diurnal run + energy bill
+  smartvlc broadcast <level>            one luminaire, six office seats
+";
+
+/// Parse and execute one invocation; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("plan") => {
+            let level: f64 = args
+                .get(1)
+                .ok_or("plan: missing <level>")?
+                .parse()
+                .map_err(|e| format!("plan: bad level: {e}"))?;
+            cmd_plan(level)
+        }
+        Some("envelope") => cmd_envelope(),
+        Some("sweep") => cmd_sweep(args.get(1).map(String::as_str).unwrap_or("amppm")),
+        Some("simulate") => {
+            let d: f64 = args
+                .get(1)
+                .ok_or("simulate: missing <distance_m>")?
+                .parse()
+                .map_err(|e| format!("simulate: bad distance: {e}"))?;
+            let secs: f64 = match args.get(2) {
+                Some(s) => s.parse().map_err(|e| format!("simulate: bad secs: {e}"))?,
+                None => 2.0,
+            };
+            cmd_simulate(d, secs)
+        }
+        Some("audit") => {
+            let wf = args.get(1).ok_or("audit: missing <waveform>")?;
+            cmd_audit(wf)
+        }
+        Some("study") => cmd_study(),
+        Some("day") => {
+            let hours: f64 = match args.get(1) {
+                Some(h) => h.parse().map_err(|e| format!("day: bad hours: {e}"))?,
+                None => 24.0,
+            };
+            cmd_day(hours)
+        }
+        Some("broadcast") => {
+            let level: f64 = args
+                .get(1)
+                .ok_or("broadcast: missing <level>")?
+                .parse()
+                .map_err(|e| format!("broadcast: bad level: {e}"))?;
+            cmd_broadcast(level)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn cmd_plan(level: f64) -> Result<String, String> {
+    let l = DimmingLevel::new(level).ok_or("level must be in [0, 1]")?;
+    let mut planner =
+        AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
+    let plan = planner.plan(l).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "target level       {:.4}\n\
+         super-symbol       {:?}\n\
+         achieved level     {:.4}\n\
+         slots per super    {}\n\
+         normalized rate    {:.4} bits/slot\n\
+         predicted goodput  {:.1} Kbps (at ftx = 125 kHz)\n\
+         expected SER       {:.2e}\n",
+        l.value(),
+        plan.super_symbol,
+        plan.achieved.value(),
+        plan.super_symbol.n_super(),
+        plan.norm_rate,
+        plan.rate_bps / 1e3,
+        plan.expected_ser,
+    ))
+}
+
+fn cmd_envelope() -> Result<String, String> {
+    let planner =
+        AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
+    let rows: Vec<Vec<String>> = planner
+        .envelope()
+        .points()
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}", c.pattern),
+                format!("{:.4}", c.dimming()),
+                format!("{:.4}", c.norm_rate),
+                format!("{:.2e}", c.ser),
+            ]
+        })
+        .collect();
+    Ok(markdown_table(
+        &["pattern", "dimming", "norm rate", "SER"],
+        &rows,
+    ))
+}
+
+fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
+    match name {
+        "amppm" => Ok(SchemeKind::Amppm),
+        "mppm" => Ok(SchemeKind::Mppm(20)),
+        "ookct" => Ok(SchemeKind::OokCt),
+        "vppm" => Ok(SchemeKind::Vppm(10)),
+        "oppm" => Ok(SchemeKind::Oppm(10)),
+        "darklight" => Ok(SchemeKind::Darklight),
+        other => Err(format!("unknown scheme {other:?}")),
+    }
+}
+
+fn cmd_sweep(scheme_name: &str) -> Result<String, String> {
+    let scheme = parse_scheme(scheme_name)?;
+    let cfg = SystemConfig::default();
+    let mut codec = FrameCodec::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for i in 2..=18 {
+        let l = DimmingLevel::new(i as f64 / 20.0).unwrap();
+        let d = scheme.descriptor(&cfg, l);
+        let rate = codec
+            .modem_for(d)
+            .map(|m| {
+                let mut table = combinat::BinomialTable::new(512);
+                m.norm_rate(&mut table) * cfg.ftx_hz as f64 / 1e3
+            })
+            .unwrap_or(0.0);
+        rows.push(vec![format!("{:.2}", l.value()), format!("{rate:.1}")]);
+    }
+    Ok(format!(
+        "raw modulation rate, scheme = {scheme_name}\n{}",
+        markdown_table(&["level", "Kbps"], &rows)
+    ))
+}
+
+fn cmd_simulate(distance_m: f64, secs: f64) -> Result<String, String> {
+    if !(0.1..=20.0).contains(&distance_m) {
+        return Err("distance must be in [0.1, 20] m".into());
+    }
+    let mut cfg = LinkConfig::paper_static(distance_m, SchemeKind::Amppm, 1);
+    cfg.duration = desim::SimDuration::from_secs_f64(secs.clamp(0.1, 300.0));
+    let mut sim = LinkSimulation::new(cfg).map_err(|e| e.to_string())?;
+    let r = sim.run(&mut ConstantAmbient { lux: 5000.0 });
+    Ok(format!(
+        "distance           {distance_m} m\n\
+         duration           {secs} s\n\
+         frames sent        {}\n\
+         frames ok          {}\n\
+         frame error rate   {:.2}%\n\
+         retransmissions    {}\n\
+         mean goodput       {:.1} Kbps\n",
+        r.stats.frames_sent,
+        r.stats.frames_ok,
+        r.stats.frame_error_rate() * 100.0,
+        r.stats.retransmissions,
+        r.mean_goodput_bps / 1e3,
+    ))
+}
+
+fn cmd_audit(waveform: &str) -> Result<String, String> {
+    let owned;
+    let waveform = if let Some(path) = waveform.strip_prefix('@') {
+        owned = std::fs::read_to_string(path)
+            .map_err(|e| format!("audit: cannot read {path:?}: {e}"))?;
+        owned.as_str()
+    } else {
+        waveform
+    };
+    let slots: Vec<bool> = waveform
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("waveform must be 0/1 characters, got {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if slots.is_empty() {
+        return Err("empty waveform".into());
+    }
+    let auditor = FlickerAuditor::new(FlickerRules::from_config(&SystemConfig::default()));
+    let report = auditor.audit(&slots);
+    let mut out = format!(
+        "slots              {}\nmean level         {:.4}\n",
+        report.slots, report.mean_level
+    );
+    if report.is_clean() {
+        out.push_str("verdict            flicker-free\n");
+    } else {
+        out.push_str(&format!(
+            "verdict            {} violation(s); first: {:?}\n",
+            report.violations.len(),
+            report.violations[0]
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_study() -> Result<String, String> {
+    let study = UserStudy::recruit(20, 2017);
+    let mut out = String::from("Table 2(b) — direct viewing, % perceiving:\n");
+    let mut rows = Vec::new();
+    for r in [0.003, 0.004, 0.005, 0.006, 0.007] {
+        let mut row = vec![format!("{r}")];
+        for c in StudyCondition::ALL {
+            row.push(format!(
+                "{:.0}%",
+                study.percent_perceiving_step(Viewing::Direct, c, r)
+            ));
+        }
+        rows.push(row);
+    }
+    out.push_str(&markdown_table(&["Res.", "L1", "L2", "L3"], &rows));
+    let fth = study
+        .min_safe_frequency(&[150.0, 200.0, 250.0, 300.0])
+        .unwrap_or(f64::NAN);
+    out.push_str(&format!("selected fth = {fth:.0} Hz, tau_p = 0.003\n"));
+    Ok(out)
+}
+
+fn cmd_day(hours: f64) -> Result<String, String> {
+    if !(0.5..=48.0).contains(&hours) {
+        return Err("hours must be in [0.5, 48]".into());
+    }
+    let mut sky = DiurnalProfile::dutch_autumn(DetRng::seed_from_u64(2017));
+    let day = run_day(
+        &mut sky,
+        hours,
+        desim::SimDuration::secs(60),
+        1.0,
+        10_000.0,
+    );
+    let energy = energy_from_trace(&day.trace, 4.7).ok_or("trace too short")?;
+    Ok(format!(
+        "simulated            {hours} h (sense every 60 s)
+         mean planned rate    {:.1} Kbps
+         adaptation steps     {} (fixed baseline: {})
+         LED energy           {:.1} Wh vs always-on {:.1} Wh ({:.0}% saved)
+         mean LED duty        {:.2}
+",
+        day.mean_plan_bps / 1e3,
+        day.smart_steps,
+        day.fixed_steps,
+        energy.smart_j / 3600.0,
+        energy.always_on_j / 3600.0,
+        energy.saving * 100.0,
+        energy.mean_duty,
+    ))
+}
+
+fn cmd_broadcast(level: f64) -> Result<String, String> {
+    if !(0.08..=0.92).contains(&level) {
+        return Err("level must be in [0.08, 0.92]".into());
+    }
+    let seats = [
+        ("desk under lamp", 1.2, 0.0),
+        ("neighbour desk", 2.2, 6.0),
+        ("meeting chair", 3.0, 3.0),
+        ("window seat", 3.3, 12.0),
+        ("far corner", 4.6, 4.0),
+        ("next room door", 3.0, 40.0),
+    ];
+    let raw: Vec<smartvlc_sim::Seat> = seats
+        .iter()
+        .map(|&(_, d, a)| smartvlc_sim::Seat {
+            distance_m: d,
+            off_axis_deg: a,
+        })
+        .collect();
+    let reports = run_broadcast(level, &raw, desim::SimDuration::millis(600), 2017);
+    let rows: Vec<Vec<String>> = seats
+        .iter()
+        .zip(&reports)
+        .map(|(&(name, d, a), r)| {
+            vec![
+                name.to_string(),
+                format!("{d} m @ {a}°"),
+                r.frames_ok.to_string(),
+                format!("{:.1}", r.goodput_bps / 1e3),
+            ]
+        })
+        .collect();
+    Ok(markdown_table(
+        &["seat", "placement", "frames ok", "goodput Kbps"],
+        &rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run(&[]).unwrap_err().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn plan_works_and_validates() {
+        let out = run(&args(&["plan", "0.35"])).unwrap();
+        assert!(out.contains("super-symbol"));
+        assert!(out.contains("Kbps"));
+        assert!(run(&args(&["plan", "1.5"])).is_err());
+        assert!(run(&args(&["plan", "abc"])).is_err());
+        assert!(run(&args(&["plan"])).is_err());
+    }
+
+    #[test]
+    fn envelope_prints_hull() {
+        let out = run(&args(&["envelope"])).unwrap();
+        assert!(out.contains("S("));
+        assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn sweep_all_schemes() {
+        for s in ["amppm", "mppm", "ookct", "vppm", "oppm", "darklight"] {
+            let out = run(&args(&["sweep", s])).unwrap();
+            assert!(out.contains("0.50"), "{s}");
+        }
+        assert!(run(&args(&["sweep", "nope"])).is_err());
+    }
+
+    #[test]
+    fn simulate_short_run() {
+        let out = run(&args(&["simulate", "3.0", "0.3"])).unwrap();
+        assert!(out.contains("mean goodput"));
+        assert!(run(&args(&["simulate", "99"])).is_err());
+    }
+
+    #[test]
+    fn audit_verdicts() {
+        // Fast alternation: clean.
+        let wave: String = "10".repeat(2000);
+        let out = run(&args(&["audit", &wave])).unwrap();
+        assert!(out.contains("flicker-free"));
+        // 1000-slot runs: Type-I violation.
+        let slow: String = format!("{}{}", "1".repeat(1000), "0".repeat(1000)).repeat(4);
+        let out = run(&args(&["audit", &slow])).unwrap();
+        assert!(out.contains("violation"));
+        assert!(run(&args(&["audit", "10x1"])).is_err());
+        assert!(run(&args(&["audit", ""])).is_err());
+    }
+
+    #[test]
+    fn audit_reads_files() {
+        let path = std::env::temp_dir().join("smartvlc_audit_test.txt");
+        std::fs::write(&path, "10".repeat(1500)).unwrap();
+        let arg = format!("@{}", path.display());
+        let out = run(&args(&["audit", &arg])).unwrap();
+        assert!(out.contains("flicker-free"), "{out}");
+        std::fs::remove_file(&path).ok();
+        assert!(run(&args(&["audit", "@/nonexistent/path"])).is_err());
+    }
+
+    #[test]
+    fn study_selects_paper_values() {
+        let out = run(&args(&["study"])).unwrap();
+        assert!(out.contains("fth = 250"));
+    }
+
+    #[test]
+    fn day_command() {
+        let out = run(&args(&["day", "2"])).unwrap();
+        assert!(out.contains("mean planned rate"), "{out}");
+        assert!(run(&args(&["day", "1000"])).is_err());
+        assert!(run(&args(&["day", "x"])).is_err());
+    }
+
+    #[test]
+    fn broadcast_command() {
+        let out = run(&args(&["broadcast", "0.5"])).unwrap();
+        assert!(out.contains("desk under lamp"), "{out}");
+        assert!(out.contains("far corner"));
+        assert!(run(&args(&["broadcast", "0.99"])).is_err());
+        assert!(run(&args(&["broadcast"])).is_err());
+    }
+}
