@@ -11,27 +11,26 @@ fn bench_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_1000_slots");
     group.throughput(Throughput::Elements(1000));
 
-    let mut sampled = OpticalChannel::new(
-        ChannelConfig::paper_bench(3.0),
-        DetRng::seed_from_u64(1),
-    );
+    let mut sampled =
+        OpticalChannel::new(ChannelConfig::paper_bench(3.0), DetRng::seed_from_u64(1));
     group.bench_function("sampled_pipeline", |b| {
         b.iter(|| black_box(sampled.transmit_and_decide(black_box(&slots))))
     });
 
     // The SlotIid fast path the link simulation uses for long runs.
-    let probs = OpticalChannel::new(
-        ChannelConfig::paper_bench(3.0),
-        DetRng::seed_from_u64(1),
-    )
-    .analytic_error_probs();
+    let probs = OpticalChannel::new(ChannelConfig::paper_bench(3.0), DetRng::seed_from_u64(1))
+        .analytic_error_probs();
     let mut rng = DetRng::seed_from_u64(2);
     group.bench_function("slot_iid", |b| {
         b.iter(|| {
             let out: Vec<bool> = slots
                 .iter()
                 .map(|&s| {
-                    let p = if s { probs.p_on_error } else { probs.p_off_error };
+                    let p = if s {
+                        probs.p_on_error
+                    } else {
+                        probs.p_off_error
+                    };
                     if rng.chance(p) {
                         !s
                     } else {

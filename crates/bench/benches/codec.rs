@@ -11,8 +11,14 @@ use std::hint::black_box;
 
 fn bench_codeword(c: &mut Criterion) {
     let mut group = c.benchmark_group("codeword");
-    for (n, k) in [(20usize, 10usize), (21, 11), (50, 25), (120, 60), (500, 250)] {
-        let mut table = BinomialTable::new(512);
+    for (n, k) in [
+        (20usize, 10usize),
+        (21, 11),
+        (50, 25),
+        (120, 60),
+        (500, 250),
+    ] {
+        let table = BinomialTable::new(512);
         // Pre-warm the Pascal rows so the bench isolates the walk.
         table.binomial(n, k);
         let value = table
@@ -20,15 +26,11 @@ fn bench_codeword(c: &mut Criterion) {
             .checked_sub(&BigUint::from_u64(12345))
             .unwrap();
         group.bench_function(format!("encode_{n}_{k}"), |b| {
-            b.iter(|| {
-                black_box(encode_codeword(&mut table, n, k, black_box(&value)).unwrap())
-            })
+            b.iter(|| black_box(encode_codeword(&table, n, k, black_box(&value)).unwrap()))
         });
-        let codeword = encode_codeword(&mut table, n, k, &value).unwrap();
+        let codeword = encode_codeword(&table, n, k, &value).unwrap();
         group.bench_function(format!("decode_{n}_{k}"), |b| {
-            b.iter(|| {
-                black_box(decode_codeword(&mut table, n, k, black_box(&codeword)).unwrap())
-            })
+            b.iter(|| black_box(decode_codeword(&table, n, k, black_box(&codeword)).unwrap()))
         });
     }
     group.finish();
@@ -38,7 +40,7 @@ fn bench_table(c: &mut Criterion) {
     c.bench_function("binomial_table_build_512", |b| {
         b.iter_batched(
             || BinomialTable::new(512),
-            |mut t| {
+            |t| {
                 black_box(t.binomial(500, 250));
             },
             BatchSize::SmallInput,

@@ -19,14 +19,14 @@ fn bench_plan(c: &mut Criterion) {
     group.bench_function("cold_level", |b| {
         b.iter_batched(
             || AmppmPlanner::new(SystemConfig::default()).unwrap(),
-            |mut p| {
+            |p| {
                 black_box(p.plan(DimmingLevel::new(0.3712).unwrap()).unwrap());
             },
             BatchSize::SmallInput,
         )
     });
     // Warm: what the transmitter pays per frame in steady state.
-    let mut warm = AmppmPlanner::new(SystemConfig::default()).unwrap();
+    let warm = AmppmPlanner::new(SystemConfig::default()).unwrap();
     warm.plan(DimmingLevel::new(0.3712).unwrap()).unwrap();
     group.bench_function("warm_level", |b| {
         b.iter(|| black_box(warm.plan(DimmingLevel::new(0.3712).unwrap()).unwrap()))
@@ -35,9 +35,12 @@ fn bench_plan(c: &mut Criterion) {
     group.bench_function("sweep_100_levels", |b| {
         b.iter_batched(
             || AmppmPlanner::new(SystemConfig::default()).unwrap(),
-            |mut p| {
+            |p| {
                 for i in 10..=90 {
-                    black_box(p.plan(DimmingLevel::new(i as f64 / 100.0).unwrap()).unwrap());
+                    black_box(
+                        p.plan(DimmingLevel::new(i as f64 / 100.0).unwrap())
+                            .unwrap(),
+                    );
                 }
             },
             BatchSize::SmallInput,

@@ -1,0 +1,48 @@
+//! Cost of sharing the planner's precomputed state — the `Arc` redesign.
+//!
+//! `AmppmPlanner` now keeps its binomial table, candidate list, envelope,
+//! and plan cache behind `Arc`s: a clone is a handle, not a rebuild, and
+//! every clone sees every other clone's cached plans. These benches
+//! quantify the three costs that matter for the parallel runner:
+//!
+//! * `planner_new_interned` — constructing a planner when the interned
+//!   table already exists (the steady state for sweep workers),
+//! * `planner_clone` — handing a worker its handle,
+//! * `plan_cache_hit` — a quantized level already planned by any clone.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
+use std::hint::black_box;
+
+fn bench_shared_planner(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    // Warm the table intern pool so construction benches measure the
+    // candidate search, not the one-time Pascal build.
+    let warm = AmppmPlanner::new(cfg.clone()).expect("valid config");
+
+    c.bench_function("planner_new_interned", |b| {
+        b.iter(|| black_box(AmppmPlanner::new(cfg.clone()).expect("valid config")))
+    });
+
+    c.bench_function("planner_clone", |b| b.iter(|| black_box(warm.clone())));
+
+    let level = DimmingLevel::new(0.35).unwrap();
+    warm.plan(level).unwrap();
+    c.bench_function("plan_cache_hit", |b| {
+        // A clone's cache hit — the path every runner worker takes after
+        // the first worker has planned the level.
+        let clone = warm.clone();
+        b.iter(|| black_box(clone.plan(level).unwrap()))
+    });
+
+    c.bench_function("plan_cold", |b| {
+        b.iter_batched(
+            || AmppmPlanner::new(cfg.clone()).expect("valid config"),
+            |p| black_box(p.plan(level).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_shared_planner);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ fn human(bytes: u128) -> String {
 }
 
 fn main() {
-    let mut t = BinomialTable::new(512);
+    let t = BinomialTable::new(512);
 
     println!("Tabulation memory wall (4 B per mapping, the paper's figure):\n");
     let mut rows = Vec::new();
@@ -36,7 +36,7 @@ fn main() {
         (120, 60),
         (500, 250),
     ] {
-        let mem = table_memory_bytes(&mut t, n, k, 4)
+        let mem = table_memory_bytes(&t, n, k, 4)
             .map(human)
             .unwrap_or_else(|| "> u128".into());
         rows.push(vec![
@@ -45,10 +45,15 @@ fn main() {
             mem,
         ]);
     }
-    println!("{}", markdown_table(&["pattern", "mappings", "table memory"], &rows));
-    println!("(the enumerative codec needs a {} KB Pascal cache for *all* patterns)\n",
+    println!(
+        "{}",
+        markdown_table(&["pattern", "mappings", "table memory"], &rows)
+    );
+    println!(
+        "(the enumerative codec needs a {} KB Pascal cache for *all* patterns)\n",
         // rows up to N=50, half stored, ~2 limbs avg ~ small
-        64);
+        64
+    );
 
     // Speed shoot-out where tabulation fits (N <= 24-ish).
     println!("speed: enumerative walk vs O(1) table lookup (1M symbols):\n");
@@ -59,13 +64,12 @@ fn main() {
         let start = Instant::now();
         let mut sink = 0usize;
         for v in 0..iters {
-            let cw = encode_codeword(&mut t, n, k, &BigUint::from_u64(v & ((1 << bits) - 1)))
-                .unwrap();
+            let cw = encode_codeword(&t, n, k, &BigUint::from_u64(v & ((1 << bits) - 1))).unwrap();
             sink += cw[0] as usize;
         }
         let enum_ns = start.elapsed().as_nanos() as f64 / iters as f64;
 
-        let tab = TabulatedCodec::build(&mut t, n, k, 1 << 30).unwrap();
+        let tab = TabulatedCodec::build(&t, n, k, 1 << 30).unwrap();
         let start = Instant::now();
         for v in 0..iters {
             let cw = tab.encode(v & ((1 << bits) - 1)).unwrap();
@@ -84,7 +88,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["pattern", "enumerative", "tabulated", "table speedup", "table RAM"],
+            &[
+                "pattern",
+                "enumerative",
+                "tabulated",
+                "table speedup",
+                "table RAM"
+            ],
             &rows
         )
     );

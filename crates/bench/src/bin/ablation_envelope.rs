@@ -18,9 +18,9 @@ use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut table = combinat::BinomialTable::new(512);
-    let candidates = candidate_patterns(&cfg, &mut table);
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let table = combinat::BinomialTable::new(512);
+    let candidates = candidate_patterns(&cfg, &table);
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
 
     let mut rows = Vec::new();
     let (mut xs, mut single_s, mut greedy_s, mut hull_s) =
@@ -28,7 +28,7 @@ fn main() {
     let mut single_err_worst = 0.0f64;
     for i in 4..=36 {
         let l = i as f64 / 40.0; // 0.1 .. 0.9 in 0.025 steps
-        // 1. Nearest single pattern.
+                                 // 1. Nearest single pattern.
         let single = candidates
             .iter()
             .filter(|c| c.bits > 0)
@@ -59,7 +59,7 @@ fn main() {
             l,
             cfg.dimming_quantum / 2.0,
             cfg.n_max_super() as u32,
-            &mut table,
+            &table,
         )
         .expect("fits");
 
@@ -81,7 +81,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["target l", "single (dimming err)", "greedy pair", "AMPPM hull"],
+            &[
+                "target l",
+                "single (dimming err)",
+                "greedy pair",
+                "AMPPM hull"
+            ],
             &rows
         )
     );
@@ -108,7 +113,10 @@ fn main() {
         mean(&greedy_s),
         mean(&single_s)
     );
-    println!("worst single-pattern dimming error: {single_err_worst:.4} (AMPPM: < {:.4})", cfg.dimming_quantum);
+    println!(
+        "worst single-pattern dimming error: {single_err_worst:.4} (AMPPM: < {:.4})",
+        cfg.dimming_quantum
+    );
     assert!(mean(&hull_s) >= mean(&greedy_s) - 1e-9);
     assert!(mean(&hull_s) >= mean(&single_s) - 1e-9);
 

@@ -35,8 +35,8 @@ fn ripple(slots: &[bool], w: usize) -> f64 {
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
-    let mut table = BinomialTable::new(512);
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let table = BinomialTable::new(512);
     let payload = vec![0x5Au8; 256];
     let w = 125; // 1 ms window: intra-super-symbol timescale
 
@@ -51,8 +51,7 @@ fn main() {
         }
 
         // Build both waveforms from the same data bits.
-        let build = |patterns: &[smartvlc_core::SymbolPattern],
-                     table: &mut BinomialTable| {
+        let build = |patterns: &[smartvlc_core::SymbolPattern], table: &BinomialTable| {
             let mut reader = BitReader::new(&payload);
             let mut slots = Vec::new();
             for _ in 0..4 {
@@ -67,10 +66,10 @@ fn main() {
             }
             slots
         };
-        let interleaved = build(&ss.symbol_sequence(), &mut table);
+        let interleaved = build(&ss.symbol_sequence(), &table);
         let mut concat_seq = vec![ss.s1(); ss.m1() as usize];
         concat_seq.extend(vec![ss.s2(); ss.m2() as usize]);
-        let concatenated = build(&concat_seq, &mut table);
+        let concatenated = build(&concat_seq, &table);
 
         let r_int = ripple(&interleaved, w);
         let r_cat = ripple(&concatenated, w);
@@ -87,7 +86,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["level", "super-symbol", "concat ripple", "interleaved ripple", "reduction"],
+            &[
+                "level",
+                "super-symbol",
+                "concat ripple",
+                "interleaved ripple",
+                "reduction"
+            ],
             &rows
         )
     );
@@ -98,7 +103,13 @@ fn main() {
 
     write_csv(
         results_dir().join("ablation_interleaving.csv"),
-        &["level", "super_symbol", "concat", "interleaved", "reduction"],
+        &[
+            "level",
+            "super_symbol",
+            "concat",
+            "interleaved",
+            "reduction",
+        ],
         &rows,
     )
     .expect("write csv");

@@ -43,7 +43,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["oversampling", "P1 at 3.6 m", "reach (P1<1e-3), m"], &rows)
+        markdown_table(
+            &["oversampling", "P1 at 3.6 m", "reach (P1<1e-3), m"],
+            &rows
+        )
     );
     println!("reading: 2x barely averages (one usable interior sample) and gives");
     println!("up ~1 m of reach; the paper's 4x already lands the reported 3.6 m.");

@@ -19,7 +19,8 @@ fn goodput(payload_len: usize, scheme: SchemeKind) -> f64 {
     cfg.channel.ambient_lux = 8080.0;
     cfg.illum_target = 8080.0 / cfg.full_scale_lux + 0.3;
     let mut sim = LinkSimulation::new(cfg).expect("valid scenario");
-    sim.run(&mut ConstantAmbient { lux: 8080.0 }).mean_goodput_bps
+    sim.run(&mut ConstantAmbient { lux: 8080.0 })
+        .mean_goodput_bps
 }
 
 fn main() {
@@ -56,14 +57,20 @@ fn main() {
             "bytes",
             "Kbps",
             &xs,
-            &[("AMPPM", amppm_series.clone()), ("MPPM", mppm_series.clone())],
+            &[
+                ("AMPPM", amppm_series.clone()),
+                ("MPPM", mppm_series.clone())
+            ],
             10
         )
     );
     println!("shape check: both schemes lose throughput at small payloads (fixed");
     println!("preamble/header/comp overhead per frame); AMPPM's absolute gain");
     println!("persists, exactly as Sec. 6.1 predicts.");
-    assert!(amppm_series[0] < amppm_series[3], "small payloads must cost");
+    assert!(
+        amppm_series[0] < amppm_series[3],
+        "small payloads must cost"
+    );
 
     write_csv(
         results_dir().join("ablation_payload.csv"),

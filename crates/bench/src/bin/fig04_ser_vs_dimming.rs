@@ -14,10 +14,8 @@ fn main() {
     let levels: Vec<f64> = (1..=19).map(|i| i as f64 / 20.0).collect();
 
     let mut rows = Vec::new();
-    let mut series: Vec<(String, Vec<f64>)> = ns
-        .iter()
-        .map(|n| (format!("N={n}"), Vec::new()))
-        .collect();
+    let mut series: Vec<(String, Vec<f64>)> =
+        ns.iter().map(|n| (format!("N={n}"), Vec::new())).collect();
     for &l in &levels {
         let mut row = vec![f(l, 2)];
         for (i, &n) in ns.iter().enumerate() {

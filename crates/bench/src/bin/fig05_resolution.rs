@@ -14,9 +14,9 @@ use smartvlc_sim::report::{markdown_table, write_csv};
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut table = combinat::BinomialTable::new(512);
+    let table = combinat::BinomialTable::new(512);
     let n10: Vec<Candidate> = (1..=9u16)
-        .map(|k| Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &mut table))
+        .map(|k| Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &table))
         .collect();
 
     println!("Fig. 5 — resolution vs multiplexing budget (N = 10 family)\n");
@@ -53,8 +53,12 @@ fn main() {
 
     // The full Step-2 candidate set, pairwise within a moderate budget
     // (the planner's own search space at one level).
-    let all = candidate_patterns(&cfg, &mut table);
-    let slice: Vec<Candidate> = all.iter().filter(|c| c.pattern.n() >= 24).copied().collect();
+    let all = candidate_patterns(&cfg, &table);
+    let slice: Vec<Candidate> = all
+        .iter()
+        .filter(|c| c.pattern.n() >= 24)
+        .copied()
+        .collect();
     let p = ResolutionProfile::for_candidates(&slice, 180);
     println!(
         "full candidate set (N >= 24 slice, 180-slot budget): {} levels, \

@@ -12,7 +12,7 @@ use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut table = combinat::BinomialTable::new(512);
+    let table = combinat::BinomialTable::new(512);
 
     // Before multiplexing: the 9 discrete S(10, K/10) patterns.
     println!("Fig. 6(a) — before multiplexing (N = 10): 9 discrete levels\n");
@@ -21,7 +21,7 @@ fn main() {
     let mut before_y = Vec::new();
     for k in 1..=9u16 {
         let s = SymbolPattern::new(10, k).unwrap();
-        let rate = s.normalized_rate(&mut table);
+        let rate = s.normalized_rate(&table);
         rows.push(vec![f(s.dimming().value(), 2), f(rate, 3)]);
         before_x.push(s.dimming().value());
         before_y.push(rate);
@@ -32,9 +32,7 @@ fn main() {
     // best two-pattern mix of N = 10 symbols within Nmax.
     println!("Fig. 6(b) — after multiplexing: semi-continuous levels\n");
     let candidates: Vec<Candidate> = (0..=10u16)
-        .map(|k| {
-            Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &mut table)
-        })
+        .map(|k| Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &table))
         .collect();
     let mut rows = Vec::new();
     let mut after_x = Vec::new();
@@ -49,14 +47,13 @@ fn main() {
     for &target in &grid {
         let lo = candidates
             .iter()
-            .filter(|c| c.dimming() <= target + 1e-9)
-            .last()
+            .rfind(|c| c.dimming() <= target + 1e-9)
             .expect("grid within range");
         let hi = candidates
             .iter()
             .find(|c| c.dimming() >= target - 1e-9)
             .expect("grid within range");
-        let mix = best_mix(lo, hi, target, 1e-9, n_max, &mut table).expect("fits");
+        let mix = best_mix(lo, hi, target, 1e-9, n_max, &table).expect("fits");
         rows.push(vec![
             f(target, 3),
             f(mix.dimming, 4),

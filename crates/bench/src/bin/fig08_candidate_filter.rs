@@ -11,7 +11,7 @@ use smartvlc_sim::report::{markdown_table, write_csv};
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut table = combinat::BinomialTable::new(512);
+    let table = combinat::BinomialTable::new(512);
 
     println!(
         "Fig. 8 — SER curves vs the bound ({:.1e}); abandoned patterns marked\n",
@@ -37,7 +37,7 @@ fn main() {
     }
     println!("{}", markdown_table(&["pattern", "PSER", "verdict"], &rows));
 
-    let candidates = candidate_patterns(&cfg, &mut table);
+    let candidates = candidate_patterns(&cfg, &table);
     let n_values: std::collections::BTreeSet<u16> =
         candidates.iter().map(|c| c.pattern.n()).collect();
     println!(
@@ -47,7 +47,10 @@ fn main() {
         n_values.iter().last().unwrap()
     );
     println!("paper check: every S(50, l) exceeds the bound (50 slots x ~8.5e-5/slot");
-    println!("= 4.2e-3 > {:.1e}) and is abandoned, as in Fig. 8's N=50 curve.", cfg.ser_upper_bound);
+    println!(
+        "= 4.2e-3 > {:.1e}) and is abandoned, as in Fig. 8's N=50 curve.",
+        cfg.ser_upper_bound
+    );
     assert!(candidates.iter().all(|c| c.pattern.n() < 50));
 
     let csv_rows: Vec<Vec<String>> = candidates

@@ -10,7 +10,7 @@ use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
 use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
 
 fn main() {
-    let mut planner = AmppmPlanner::new(SystemConfig::default()).expect("valid config");
+    let planner = AmppmPlanner::new(SystemConfig::default()).expect("valid config");
 
     println!("Fig. 9 — throughput envelope hull vertices\n");
     let rows: Vec<Vec<String>> = planner
@@ -63,7 +63,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["target", "achieved l", "mix rate", "hull rate", "super-symbol"],
+            &[
+                "target",
+                "achieved l",
+                "mix rate",
+                "hull rate",
+                "super-symbol"
+            ],
             &zoom_rows
         )
     );
@@ -86,7 +92,13 @@ fn main() {
     println!("largest hull-to-mix gap in the window: {worst_gap:.4} bits/slot");
     write_csv(
         results_dir().join("fig09_zoom.csv"),
-        &["target", "achieved", "mix_rate", "hull_rate", "super_symbol"],
+        &[
+            "target",
+            "achieved",
+            "mix_rate",
+            "hull_rate",
+            "super_symbol",
+        ],
         &zoom_rows,
     )
     .expect("write csv");

@@ -8,9 +8,7 @@
 //! invisibility.
 
 use smartvlc_bench::{f, results_dir};
-use smartvlc_core::adaptation::{
-    perceived, AdaptationStepper, FixedStepper, PerceptionStepper,
-};
+use smartvlc_core::adaptation::{perceived, AdaptationStepper, FixedStepper, PerceptionStepper};
 use smartvlc_core::SystemConfig;
 use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
 
@@ -55,13 +53,20 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["step#", "measured level", "measured delta", "perceptual delta"],
+            &[
+                "step#",
+                "measured level",
+                "measured delta",
+                "perceptual delta"
+            ],
             &rows
         )
     );
 
     // The Fig. 10 curves: perceived vs measured for both trajectories.
-    let xs: Vec<f64> = (0..=40).map(|i| from + (to - from) * i as f64 / 40.0).collect();
+    let xs: Vec<f64> = (0..=40)
+        .map(|i| from + (to - from) * i as f64 / 40.0)
+        .collect();
     let p: Vec<f64> = xs.iter().map(|&x| perceived(x) * 100.0).collect();
     println!(
         "{}",

@@ -16,6 +16,7 @@ use smartvlc_bench::{f, results_dir};
 use smartvlc_core::modem::SlotModem;
 use smartvlc_core::schemes::{MppmModem, OokCtModem};
 use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
+use smartvlc_sim::par_map;
 use smartvlc_sim::report::{markdown_table, write_csv};
 
 fn main() {
@@ -24,29 +25,37 @@ fn main() {
         "Fig. 15 (optimistic calibration): P1={:.0e}, P2={:.0e}, SER bound {:.0e}\n",
         cfg.slot_errors.p_off_error, cfg.slot_errors.p_on_error, cfg.ser_upper_bound
     );
-    let mut planner = AmppmPlanner::new(cfg.clone()).expect("valid config");
-    let mut table = BinomialTable::new(512);
+    let planner = AmppmPlanner::new(cfg.clone()).expect("valid config");
+    let table = BinomialTable::shared(512);
     let ftx = cfg.ftx_hz as f64;
 
-    let mut rows = Vec::new();
-    for i in 2..=18 {
-        let l = i as f64 / 20.0;
+    // Analytic, so each level is cheap — but the shared planner cache and
+    // interned table make the fan-out free, and the pool keeps the plan
+    // search for large-N optimistic symbols off the critical path.
+    let levels: Vec<f64> = (2..=18).map(|i| i as f64 / 20.0).collect();
+    let rows: Vec<Vec<String>> = par_map(&levels, |_, &l| {
         let level = DimmingLevel::new(l).unwrap();
         let plan = planner.plan(level).unwrap();
-        let mppm = MppmModem::paper_baseline(level).norm_rate(&mut table) * ftx;
-        let ook = OokCtModem::new(level).unwrap().norm_rate(&mut table) * ftx;
-        rows.push(vec![
+        let mppm = MppmModem::paper_baseline(level).norm_rate(&table) * ftx;
+        let ook = OokCtModem::new(level).unwrap().norm_rate(&table) * ftx;
+        vec![
             f(l, 2),
             f(plan.rate_bps / 1e3, 1),
             f(ook / 1e3, 1),
             f(mppm / 1e3, 1),
             format!("{:?}", plan.super_symbol),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         markdown_table(
-            &["dimming", "AMPPM Kbps", "OOK-CT Kbps", "MPPM Kbps", "super-symbol"],
+            &[
+                "dimming",
+                "AMPPM Kbps",
+                "OOK-CT Kbps",
+                "MPPM Kbps",
+                "super-symbol"
+            ],
             &rows
         )
     );
@@ -70,7 +79,13 @@ fn main() {
 
     write_csv(
         results_dir().join("fig15_optimistic.csv"),
-        &["dimming", "amppm_kbps", "ookct_kbps", "mppm_kbps", "super_symbol"],
+        &[
+            "dimming",
+            "amppm_kbps",
+            "ookct_kbps",
+            "mppm_kbps",
+            "super_symbol",
+        ],
         &rows,
     )
     .expect("write csv");

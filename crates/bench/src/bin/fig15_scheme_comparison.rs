@@ -7,8 +7,8 @@
 
 use smartvlc_bench::{f, point_duration, results_dir};
 use smartvlc_link::SchemeKind;
-use smartvlc_sim::static_run::{paper_levels, run_scheme_comparison};
 use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
+use smartvlc_sim::static_run::{paper_levels, run_scheme_matrix};
 
 fn main() {
     let levels = paper_levels();
@@ -18,9 +18,14 @@ fn main() {
         dur.as_secs_f64()
     );
 
-    let amppm = run_scheme_comparison(SchemeKind::Amppm, &levels, dur, 15);
-    let mppm = run_scheme_comparison(SchemeKind::Mppm(20), &levels, dur, 15);
-    let ook = run_scheme_comparison(SchemeKind::OokCt, &levels, dur, 15);
+    // All 3 × 17 cells fan out as one flat batch on the work pool.
+    let schemes = [SchemeKind::Amppm, SchemeKind::Mppm(20), SchemeKind::OokCt];
+    let mut sweeps = run_scheme_matrix(&schemes, &levels, dur, 15).into_iter();
+    let (amppm, mppm, ook) = (
+        sweeps.next().unwrap(),
+        sweeps.next().unwrap(),
+        sweeps.next().unwrap(),
+    );
 
     let mut rows = Vec::new();
     for i in 0..levels.len() {
@@ -56,9 +61,8 @@ fn main() {
 
     // The Sec. 6.2 headline numbers.
     let ratio = |a: f64, b: f64| (a / b - 1.0) * 100.0;
-    let sum = |pts: &[smartvlc_sim::StaticPoint]| -> f64 {
-        pts.iter().map(|p| p.goodput_bps).sum()
-    };
+    let sum =
+        |pts: &[smartvlc_sim::StaticPoint]| -> f64 { pts.iter().map(|p| p.goodput_bps).sum() };
     let max_vs = |a: &[smartvlc_sim::StaticPoint], b: &[smartvlc_sim::StaticPoint]| {
         a.iter()
             .zip(b)

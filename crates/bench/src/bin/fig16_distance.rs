@@ -9,7 +9,7 @@
 use smartvlc_bench::{f, point_duration, results_dir};
 use smartvlc_link::SchemeKind;
 use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
-use smartvlc_sim::run_distance_sweep;
+use smartvlc_sim::run_distance_matrix;
 
 fn main() {
     let distances: Vec<f64> = (1..=10).map(|i| i as f64 * 0.5).collect(); // 0.5..5.0 m
@@ -20,10 +20,8 @@ fn main() {
         dur.as_secs_f64()
     );
 
-    let sweeps: Vec<Vec<smartvlc_sim::StaticPoint>> = levels
-        .iter()
-        .map(|&l| run_distance_sweep(SchemeKind::Amppm, l, &distances, dur, 16))
-        .collect();
+    // All 3 × 10 cells fan out as one flat batch on the work pool.
+    let sweeps = run_distance_matrix(SchemeKind::Amppm, &levels, &distances, dur, 16);
 
     let mut rows = Vec::new();
     for (i, &d) in distances.iter().enumerate() {
@@ -49,9 +47,18 @@ fn main() {
             "Kbps",
             &distances,
             &[
-                ("l=0.18", sweeps[0].iter().map(|p| p.goodput_bps / 1e3).collect()),
-                ("l=0.5", sweeps[1].iter().map(|p| p.goodput_bps / 1e3).collect()),
-                ("l=0.7", sweeps[2].iter().map(|p| p.goodput_bps / 1e3).collect()),
+                (
+                    "l=0.18",
+                    sweeps[0].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
+                (
+                    "l=0.5",
+                    sweeps[1].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
+                (
+                    "l=0.7",
+                    sweeps[2].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
             ],
             12
         )
@@ -70,7 +77,10 @@ fn main() {
             .map(|(&d, _)| d)
             .last()
             .unwrap_or(0.0);
-        println!("l={l}: peak {:.1} Kbps held through ~{reach} m (paper: 3.6 m)", peak / 1e3);
+        println!(
+            "l={l}: peak {:.1} Kbps held through ~{reach} m (paper: 3.6 m)",
+            peak / 1e3
+        );
     }
 
     write_csv(

@@ -7,7 +7,7 @@
 use smartvlc_bench::{f, point_duration, results_dir};
 use smartvlc_link::SchemeKind;
 use smartvlc_sim::report::{ascii_chart, markdown_table, write_csv};
-use smartvlc_sim::run_incidence_sweep;
+use smartvlc_sim::run_incidence_matrix;
 
 fn main() {
     let angles: Vec<f64> = (0..=8).map(|i| i as f64 * 2.0).collect(); // 0..16 deg
@@ -18,10 +18,8 @@ fn main() {
         dur.as_secs_f64()
     );
 
-    let sweeps: Vec<Vec<smartvlc_sim::StaticPoint>> = distances
-        .iter()
-        .map(|&d| run_incidence_sweep(SchemeKind::Amppm, 0.5, d, &angles, dur, 17))
-        .collect();
+    // All 3 × 9 cells fan out as one flat batch on the work pool.
+    let sweeps = run_incidence_matrix(SchemeKind::Amppm, 0.5, &distances, &angles, dur, 17);
 
     let mut rows = Vec::new();
     for (i, &a) in angles.iter().enumerate() {
@@ -47,9 +45,18 @@ fn main() {
             "Kbps",
             &angles,
             &[
-                ("1.3m", sweeps[0].iter().map(|p| p.goodput_bps / 1e3).collect()),
-                ("2.3m", sweeps[1].iter().map(|p| p.goodput_bps / 1e3).collect()),
-                ("3.3m", sweeps[2].iter().map(|p| p.goodput_bps / 1e3).collect()),
+                (
+                    "1.3m",
+                    sweeps[0].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
+                (
+                    "2.3m",
+                    sweeps[1].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
+                (
+                    "3.3m",
+                    sweeps[2].iter().map(|p| p.goodput_bps / 1e3).collect()
+                ),
             ],
             12
         )

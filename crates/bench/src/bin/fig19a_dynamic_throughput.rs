@@ -24,15 +24,20 @@ fn main() {
     let ys: Vec<f64> = tp.iter().map(|&(_, b)| b / 1e3).collect();
     println!(
         "{}",
-        ascii_chart("throughput (Kbps) vs time (s)", "t", "Kbps", &xs, &[("AMPPM", ys.clone())], 12)
+        ascii_chart(
+            "throughput (Kbps) vs time (s)",
+            "t",
+            "Kbps",
+            &xs,
+            &[("AMPPM", ys.clone())],
+            12
+        )
     );
 
     let peak = ys.iter().copied().fold(f64::MIN, f64::max);
     let start = ys.first().copied().unwrap_or(0.0);
     let end = ys.last().copied().unwrap_or(0.0);
-    println!(
-        "shape: starts ~{start:.0}, peaks ~{peak:.0} mid-sweep, ends ~{end:.0} Kbps"
-    );
+    println!("shape: starts ~{start:.0}, peaks ~{peak:.0} mid-sweep, ends ~{end:.0} Kbps");
     println!("(paper: ~60 -> ~105 -> ~55 Kbps, near-symmetric, tracking Fig. 15)");
 
     write_csv(results_dir().join("fig19a.csv"), &["t_s", "kbps"], &rows).expect("write csv");

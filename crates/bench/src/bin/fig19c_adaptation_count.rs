@@ -31,8 +31,14 @@ fn main() {
             "count",
             &xs,
             &[
-                ("SmartVLC", adapt.iter().map(|&(_, s, _)| s as f64).collect()),
-                ("existing", adapt.iter().map(|&(_, _, f)| f as f64).collect()),
+                (
+                    "SmartVLC",
+                    adapt.iter().map(|&(_, s, _)| s as f64).collect()
+                ),
+                (
+                    "existing",
+                    adapt.iter().map(|&(_, _, f)| f as f64).collect()
+                ),
             ],
             12
         )

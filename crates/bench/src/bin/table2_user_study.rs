@@ -4,6 +4,7 @@
 //! the §6.1 fth (Type-I) study that selected 250 Hz.
 
 use smartvlc_bench::results_dir;
+use smartvlc_sim::par_map;
 use smartvlc_sim::perception::{StudyCondition, UserStudy, Viewing};
 use smartvlc_sim::report::{markdown_table, write_csv};
 
@@ -12,8 +13,8 @@ fn main() {
     println!("Table 2 — users' perception of flickering (20 virtual subjects)\n");
 
     let print_panel = |viewing: Viewing, resolutions: &[f64], name: &str, csv: &str| {
-        let mut rows = Vec::new();
-        for &r in resolutions {
+        // Each resolution polls the whole panel independently — fan out.
+        let rows = par_map(resolutions, |_, &r| {
             let mut row = vec![format!("{r}")];
             for c in StudyCondition::ALL {
                 row.push(format!(
@@ -21,12 +22,11 @@ fn main() {
                     study.percent_perceiving_step(viewing, c, r)
                 ));
             }
-            rows.push(row);
-        }
+            row
+        });
         println!("({name})");
         println!("{}", markdown_table(&["Res.", "L1", "L2", "L3"], &rows));
-        write_csv(results_dir().join(csv), &["res", "l1", "l2", "l3"], &rows)
-            .expect("write csv");
+        write_csv(results_dir().join(csv), &["res", "l1", "l2", "l3"], &rows).expect("write csv");
     };
 
     print_panel(

@@ -13,7 +13,7 @@ use vlc_hw::pru::{AccessMethod, PruTimingModel};
 
 fn main() {
     println!("Platform rates — Sec. 5.2's four GPIO access methods on the BBB\n");
-    let mut planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
+    let planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
     let peak_norm = planner
         .plan(DimmingLevel::new(0.5).unwrap())
         .unwrap()

@@ -13,12 +13,48 @@ use smartvlc_sim::{run_broadcast, Seat};
 
 fn main() {
     let seats = [
-        ("desk under lamp", Seat { distance_m: 1.2, off_axis_deg: 0.0 }),
-        ("neighbour desk", Seat { distance_m: 2.2, off_axis_deg: 6.0 }),
-        ("meeting chair", Seat { distance_m: 3.0, off_axis_deg: 3.0 }),
-        ("window seat", Seat { distance_m: 3.3, off_axis_deg: 12.0 }),
-        ("far corner", Seat { distance_m: 4.6, off_axis_deg: 4.0 }),
-        ("next room door", Seat { distance_m: 3.0, off_axis_deg: 40.0 }),
+        (
+            "desk under lamp",
+            Seat {
+                distance_m: 1.2,
+                off_axis_deg: 0.0,
+            },
+        ),
+        (
+            "neighbour desk",
+            Seat {
+                distance_m: 2.2,
+                off_axis_deg: 6.0,
+            },
+        ),
+        (
+            "meeting chair",
+            Seat {
+                distance_m: 3.0,
+                off_axis_deg: 3.0,
+            },
+        ),
+        (
+            "window seat",
+            Seat {
+                distance_m: 3.3,
+                off_axis_deg: 12.0,
+            },
+        ),
+        (
+            "far corner",
+            Seat {
+                distance_m: 4.6,
+                off_axis_deg: 4.0,
+            },
+        ),
+        (
+            "next room door",
+            Seat {
+                distance_m: 3.0,
+                off_axis_deg: 40.0,
+            },
+        ),
     ];
     let dur = if full_run() {
         SimDuration::secs(10)
@@ -49,7 +85,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["seat", "dist m", "angle", "frames ok", "frames bad", "goodput Kbps"],
+            &[
+                "seat",
+                "dist m",
+                "angle",
+                "frames ok",
+                "frames bad",
+                "goodput Kbps"
+            ],
             &rows
         )
     );

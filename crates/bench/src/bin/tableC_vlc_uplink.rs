@@ -14,7 +14,11 @@ use vlc_channel::ambient::ConstantAmbient;
 
 fn main() {
     println!("VLC uplink feasibility (footnote 2) — ACK delivery probability\n");
-    let powers = [(0.05, "indicator 50 mW"), (0.35, "flashlight 350 mW"), (3.0, "luminaire-class 3 W")];
+    let powers = [
+        (0.05, "indicator 50 mW"),
+        (0.35, "flashlight 350 mW"),
+        (3.0, "luminaire-class 3 W"),
+    ];
     let distances = [0.5, 1.0, 1.5, 2.0, 3.0, 3.6];
     let mut rows = Vec::new();
     for &(w, label) in &powers {
@@ -60,7 +64,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["uplink", "frames ok", "ACKs back", "retransmissions", "acked goodput Kbps"],
+            &[
+                "uplink",
+                "frames ok",
+                "ACKs back",
+                "retransmissions",
+                "acked goodput Kbps"
+            ],
             &sys_rows
         )
     );

@@ -10,13 +10,30 @@ use core::cmp::Ordering;
 use core::fmt;
 
 /// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(PartialEq, Eq, Hash, Default)]
 pub struct BigUint {
     /// Invariant: empty for zero; otherwise the last limb is non-zero.
     limbs: Vec<u64>,
 }
 
+impl Clone for BigUint {
+    fn clone(&self) -> Self {
+        BigUint {
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Capacity-reusing clone: the codec's scratch buffers lean on this to
+    /// avoid a fresh limb allocation per symbol.
+    fn clone_from(&mut self, source: &Self) {
+        self.limbs.clone_from(&source.limbs);
+    }
+}
+
 impl BigUint {
+    /// The value 0 (usable in `const`/`static` position).
+    pub const ZERO: BigUint = BigUint { limbs: Vec::new() };
+
     /// The value 0.
     pub fn zero() -> Self {
         BigUint { limbs: Vec::new() }
@@ -105,9 +122,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &limb) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -118,6 +135,50 @@ impl BigUint {
         let mut r = BigUint { limbs: out };
         r.normalize();
         r
+    }
+
+    /// Reset to zero, keeping the limb allocation for reuse.
+    pub fn set_zero(&mut self) {
+        self.limbs.clear();
+    }
+
+    /// In-place `self += other` — no allocation unless the value grows
+    /// beyond the current limb capacity.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        if other.limbs.len() > self.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+        self.normalize();
+    }
+
+    /// In-place `self -= other` if `self >= other`, returning whether the
+    /// subtraction happened. Allocation-free either way.
+    pub fn sub_assign_checked(&mut self, other: &BigUint) -> bool {
+        if (self as &BigUint) < other {
+            return false;
+        }
+        let mut borrow = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+        true
     }
 
     /// `self - other`, or `None` if the result would be negative.
@@ -269,7 +330,14 @@ mod tests {
 
     #[test]
     fn u128_roundtrip() {
-        for v in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 64, (1 << 64) + 5] {
+        for v in [
+            0u128,
+            1,
+            u64::MAX as u128,
+            u128::MAX,
+            1 << 64,
+            (1 << 64) + 5,
+        ] {
             assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
         }
     }
@@ -366,6 +434,52 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn to_bits_msb_rejects_narrow_width() {
         BigUint::from_u64(256).to_bits_msb(8);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (u128::MAX / 2, u128::MAX / 2),
+            (1 << 100, 12345),
+        ];
+        for (a, b) in cases {
+            let mut x = BigUint::from_u128(a);
+            x.add_assign(&BigUint::from_u128(b));
+            assert_eq!(x, BigUint::from_u128(a).add(&BigUint::from_u128(b)));
+        }
+        // Carry past the top limb.
+        let mut x = BigUint::from_u128(u128::MAX);
+        x.add_assign(&BigUint::one());
+        assert_eq!(x.bit_length(), 129);
+    }
+
+    #[test]
+    fn sub_assign_checked_matches_checked_sub() {
+        let a = BigUint::from_u128(1 << 100);
+        let b = BigUint::from_u128((1 << 100) - 999);
+        let mut x = a.clone();
+        assert!(x.sub_assign_checked(&b));
+        assert_eq!(x.to_u128(), Some(999));
+        // Underflow leaves the value untouched.
+        let mut y = b.clone();
+        assert!(!y.sub_assign_checked(&a));
+        assert_eq!(y, b);
+        // Equal values go to zero.
+        let mut z = a.clone();
+        assert!(z.sub_assign_checked(&a));
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn set_zero_and_clone_from_reuse() {
+        let mut v = BigUint::from_u128(u128::MAX);
+        v.set_zero();
+        assert!(v.is_zero());
+        v.clone_from(&BigUint::from_u64(77));
+        assert_eq!(v.to_u64(), Some(77));
+        assert_eq!(BigUint::ZERO, BigUint::zero());
     }
 
     #[test]

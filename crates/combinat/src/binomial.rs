@@ -1,36 +1,83 @@
-//! Exact binomial coefficients with memoized Pascal rows.
+//! Exact binomial coefficients, precomputed and shareable.
 //!
 //! The AMPPM planner queries `C(N,K)` (and `⌊log2 C(N,K)⌋`, the
 //! bits-per-symbol of pattern `S(N, K/N)` from Eq. 2 of the paper) for many
 //! `(N,K)` pairs while filtering candidates and walking the rate envelope,
 //! and the codec's inner loop compares a running value against
-//! `C(N-iN, K-iK)` once per slot. A [`BinomialTable`] memoizes whole Pascal
-//! rows so each coefficient is computed exactly once, and serves values
-//! either as exact [`BigUint`]s or through a `u128` fast path when they
-//! fit (everything up to `N = 128` does).
+//! `C(N-iN, K-iK)` once per slot. A [`BinomialTable`] holds every Pascal
+//! row up to its `max_n` — computed once at construction — and serves
+//! values through three read-only views:
+//!
+//! * [`BinomialTable::binomial_ref`] — a borrowed `&BigUint`, the codec
+//!   hot path (no clone, no lock),
+//! * [`BinomialTable::binomial_u128`] — the `u128` fast path when the
+//!   coefficient fits 128 bits (everything up to `N = 128` does),
+//! * [`BinomialTable::binomial`] — an owned clone for callers that keep
+//!   the value.
+//!
+//! Because the table is immutable after construction, one instance can be
+//! shared across every planner, codec, and sweep worker thread:
+//! [`BinomialTable::shared`] interns tables per `max_n` behind `Arc`s, so
+//! parallel experiment runners pay the Pascal build exactly once per
+//! process instead of once per link endpoint.
 
 use crate::biguint::BigUint;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Memoized Pascal's triangle up to a maximum row.
+/// Precomputed Pascal's triangle up to a maximum row; immutable after
+/// construction, so freely shareable across threads.
 ///
-/// Rows are computed lazily and only the first half of each row is stored
-/// (`C(n,k) = C(n,n-k)`).
+/// Only the first half of each row is stored (`C(n,k) = C(n,n-k)`).
 pub struct BinomialTable {
     max_n: usize,
-    /// `rows[n][k]` = C(n,k) for k <= n/2; rows computed on demand.
-    rows: Vec<Option<Vec<BigUint>>>,
+    /// `rows[n][k]` = C(n,k) for k <= n/2.
+    rows: Vec<Vec<BigUint>>,
 }
 
 impl BinomialTable {
-    /// Create a table supporting `0 <= n <= max_n`.
-    ///
-    /// `max_n = 512` comfortably covers the paper's `Nmax = 500` flicker
-    /// bound (Eq. 4) and costs only a few MB when fully populated.
+    /// Build a table supporting `0 <= n <= max_n`. All rows are computed
+    /// eagerly — `max_n = 512` (covering the paper's `Nmax = 500` flicker
+    /// bound, Eq. 4) builds in single-digit milliseconds and costs a few
+    /// MB.
     pub fn new(max_n: usize) -> Self {
-        BinomialTable {
-            max_n,
-            rows: vec![None; max_n + 1],
+        let mut rows: Vec<Vec<BigUint>> = Vec::with_capacity(max_n + 1);
+        rows.push(vec![BigUint::one()]);
+        for n in 1..=max_n {
+            let prev = &rows[n - 1];
+            let half = n / 2;
+            let mut row = Vec::with_capacity(half + 1);
+            row.push(BigUint::one()); // C(n,0)
+            for k in 1..=half {
+                // C(n,k) = C(n-1,k-1) + C(n-1,k); fetch both from the
+                // stored half-row using symmetry.
+                let a = fetch_half(prev, n - 1, k - 1);
+                let b = fetch_half(prev, n - 1, k);
+                row.push(a.add(b));
+            }
+            rows.push(row);
         }
+        BinomialTable { max_n, rows }
+    }
+
+    /// A process-wide shared table for `max_n`, built on first use.
+    ///
+    /// Tables are interned per `max_n`: every planner/codec asking for the
+    /// same size gets the same `Arc`, so worker threads in a parallel
+    /// sweep never rebuild (or lock) Pascal rows on the hot path — the
+    /// mutex below guards only the intern map, not lookups.
+    pub fn shared(max_n: usize) -> Arc<BinomialTable> {
+        static TABLES: OnceLock<Mutex<HashMap<usize, Arc<BinomialTable>>>> = OnceLock::new();
+        let map = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+        // Fast path: already interned.
+        if let Some(t) = map.lock().expect("intern map poisoned").get(&max_n) {
+            return Arc::clone(t);
+        }
+        // Build outside the lock so a slow construction does not serialize
+        // unrelated sizes; a racing builder just wastes one build.
+        let built = Arc::new(BinomialTable::new(max_n));
+        let mut guard = map.lock().expect("intern map poisoned");
+        Arc::clone(guard.entry(max_n).or_insert(built))
     }
 
     /// The largest supported `n`.
@@ -38,58 +85,34 @@ impl BinomialTable {
         self.max_n
     }
 
-    fn ensure_row(&mut self, n: usize) {
+    /// Borrowed exact `C(n,k)` — the allocation-free hot path. Returns a
+    /// reference to zero for `k > n`.
+    #[inline]
+    pub fn binomial_ref(&self, n: usize, k: usize) -> &BigUint {
+        static ZERO: BigUint = BigUint::ZERO;
+        if k > n {
+            return &ZERO;
+        }
         assert!(n <= self.max_n, "n={n} exceeds table max {}", self.max_n);
-        if self.rows[n].is_some() {
-            return;
-        }
-        // Build rows iteratively from the highest cached row below n.
-        let mut start = n;
-        while start > 0 && self.rows[start - 1].is_none() {
-            start -= 1;
-        }
-        if start == 0 && self.rows[0].is_none() {
-            self.rows[0] = Some(vec![BigUint::one()]);
-            start = 1;
-        }
-        for row_n in start..=n {
-            let prev = self.rows[row_n - 1]
-                .as_ref()
-                .expect("previous row computed");
-            let half = row_n / 2;
-            let mut row = Vec::with_capacity(half + 1);
-            row.push(BigUint::one()); // C(n,0)
-            for k in 1..=half {
-                // C(n,k) = C(n-1,k-1) + C(n-1,k); fetch both from the
-                // stored half-row using symmetry.
-                let a = fetch_half(prev, row_n - 1, k - 1);
-                let b = fetch_half(prev, row_n - 1, k);
-                row.push(a.add(&b));
-            }
-            self.rows[row_n] = Some(row);
-        }
+        fetch_half(&self.rows[n], n, k)
     }
 
-    /// Exact `C(n,k)`. Returns 0 for `k > n`.
-    pub fn binomial(&mut self, n: usize, k: usize) -> BigUint {
-        if k > n {
-            return BigUint::zero();
-        }
-        self.ensure_row(n);
-        let row = self.rows[n].as_ref().expect("row just ensured");
-        fetch_half(row, n, k).clone()
+    /// Exact `C(n,k)` as an owned value. Returns 0 for `k > n`.
+    pub fn binomial(&self, n: usize, k: usize) -> BigUint {
+        self.binomial_ref(n, k).clone()
     }
 
     /// `C(n,k)` as `u128` if it fits, else `None`.
-    pub fn binomial_u128(&mut self, n: usize, k: usize) -> Option<u128> {
-        self.binomial(n, k).to_u128()
+    #[inline]
+    pub fn binomial_u128(&self, n: usize, k: usize) -> Option<u128> {
+        self.binomial_ref(n, k).to_u128()
     }
 
     /// `⌊log2 C(n,k)⌋`: the number of data bits one MPPM symbol with
     /// pattern `S(n, k/n)` carries (Eq. 2 numerator). Returns `None` when
     /// `C(n,k) == 0` (i.e. `k > n`) and `Some(0)` when `C(n,k) == 1`.
-    pub fn bits_per_symbol(&mut self, n: usize, k: usize) -> Option<u32> {
-        let c = self.binomial(n, k);
+    pub fn bits_per_symbol(&self, n: usize, k: usize) -> Option<u32> {
+        let c = self.binomial_ref(n, k);
         if c.is_zero() {
             None
         } else {
@@ -127,7 +150,7 @@ mod tests {
 
     #[test]
     fn small_values_match_known() {
-        let mut t = BinomialTable::new(64);
+        let t = BinomialTable::new(64);
         assert_eq!(t.binomial_u128(0, 0), Some(1));
         assert_eq!(t.binomial_u128(5, 0), Some(1));
         assert_eq!(t.binomial_u128(5, 5), Some(1));
@@ -139,7 +162,7 @@ mod tests {
 
     #[test]
     fn matches_direct_formula() {
-        let mut t = BinomialTable::new(60);
+        let t = BinomialTable::new(60);
         for n in 0..=60u64 {
             for k in 0..=n {
                 assert_eq!(
@@ -153,7 +176,7 @@ mod tests {
 
     #[test]
     fn paper_examples() {
-        let mut t = BinomialTable::new(64);
+        let t = BinomialTable::new(64);
         // Sec. 4.4: C(50,25) ~= 1.26e14.
         assert_eq!(t.binomial_u128(50, 25), Some(126_410_606_437_752));
         // Fig. 9: S(21, 0.524) => K = 11; bits = floor(log2 C(21,11)).
@@ -165,7 +188,7 @@ mod tests {
 
     #[test]
     fn huge_rows_are_exact() {
-        let mut t = BinomialTable::new(512);
+        let t = BinomialTable::new(512);
         let c = t.binomial(500, 250);
         // C(500,250) has 496 bits (log2 ~ 495.2).
         assert_eq!(c.bit_length(), 496);
@@ -177,7 +200,7 @@ mod tests {
 
     #[test]
     fn symmetry_holds() {
-        let mut t = BinomialTable::new(101);
+        let t = BinomialTable::new(101);
         for k in 0..=101 {
             assert_eq!(t.binomial(101, k), t.binomial(101, 101 - k));
         }
@@ -185,17 +208,17 @@ mod tests {
 
     #[test]
     fn row_sum_is_power_of_two() {
-        let mut t = BinomialTable::new(40);
+        let t = BinomialTable::new(40);
         let mut sum = BigUint::zero();
         for k in 0..=40 {
-            sum = sum.add(&t.binomial(40, k));
+            sum.add_assign(t.binomial_ref(40, k));
         }
         assert_eq!(sum.to_u128(), Some(1u128 << 40));
     }
 
     #[test]
     fn bits_per_symbol_edges() {
-        let mut t = BinomialTable::new(32);
+        let t = BinomialTable::new(32);
         assert_eq!(t.bits_per_symbol(10, 0), Some(0)); // C=1 -> 0 bits
         assert_eq!(t.bits_per_symbol(10, 10), Some(0));
         assert_eq!(t.bits_per_symbol(10, 11), None);
@@ -203,19 +226,40 @@ mod tests {
     }
 
     #[test]
-    fn lazy_rows_any_order() {
-        let mut t = BinomialTable::new(128);
-        // Query a high row first, then a low one, then high again.
-        let hi = t.binomial_u128(100, 50);
-        assert!(hi.is_some());
-        assert_eq!(t.binomial_u128(4, 2), Some(6));
-        assert_eq!(t.binomial_u128(100, 50), hi);
+    fn borrowed_ref_matches_owned() {
+        let t = BinomialTable::new(128);
+        assert_eq!(t.binomial_ref(100, 50), &t.binomial(100, 50));
+        assert!(t.binomial_ref(4, 9).is_zero());
+    }
+
+    #[test]
+    fn shared_tables_are_interned() {
+        let a = BinomialTable::shared(96);
+        let b = BinomialTable::shared(96);
+        assert!(Arc::ptr_eq(&a, &b), "same max_n must intern");
+        let c = BinomialTable::shared(97);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.binomial_u128(20, 10), Some(184_756));
+    }
+
+    #[test]
+    fn shared_table_is_send_sync() {
+        let t = BinomialTable::shared(64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.binomial_u128(50, 25))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(126_410_606_437_752));
+        }
     }
 
     #[test]
     #[should_panic(expected = "exceeds table max")]
     fn beyond_max_panics() {
-        let mut t = BinomialTable::new(16);
+        let t = BinomialTable::new(16);
         t.binomial(17, 3);
     }
 }

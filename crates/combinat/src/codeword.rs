@@ -18,6 +18,23 @@
 //!
 //! Complexity: `O(N)` binomial lookups per symbol, `O(1)` extra memory —
 //! versus `O(C(N,K))` memory for tabulation.
+//!
+//! ## Hot-path engineering
+//!
+//! The per-symbol cost is dominated not by the walk but by big-integer
+//! memory churn, so two layers remove it:
+//!
+//! * a **`u128` fast path**: when `C(N,K)` fits 128 bits (every `N ≤ 128`,
+//!   which covers all patterns the planner emits under the default
+//!   calibration) the walk runs entirely on machine integers — zero
+//!   allocation per symbol;
+//! * an **[`EncodeScratch`] reusable workspace** for the `BigUint` slow
+//!   path: the residual value and decode accumulator live in scratch
+//!   buffers that are `clone_from`-refilled, so steady-state symbols
+//!   allocate nothing regardless of pattern size.
+//!
+//! The plain [`encode_codeword`]/[`decode_codeword`] entry points keep
+//! their historical signatures and route through the same machinery.
 
 use crate::biguint::BigUint;
 use crate::binomial::BinomialTable;
@@ -72,63 +89,146 @@ impl fmt::Display for CodewordError {
 
 impl std::error::Error for CodewordError {}
 
-/// Algorithm 1 — unrank `value` into an `n`-slot codeword with exactly `k`
-/// ONs (`true` = ON).
+/// Reusable big-integer workspace for the codec's `BigUint` slow path.
 ///
-/// `value` must satisfy `value < C(n,k)`.
-pub fn encode_codeword(
-    table: &mut BinomialTable,
+/// One scratch per stream (transmitter, receiver, or sweep worker) turns
+/// the per-symbol `BigUint` clone/alloc churn into amortized-zero
+/// allocations: the buffers grow to the largest pattern seen and are
+/// refilled in place afterwards.
+#[derive(Default)]
+pub struct EncodeScratch {
+    /// Residual value during encode; rank accumulator during decode.
+    val: BigUint,
+}
+
+impl EncodeScratch {
+    /// A fresh (empty) workspace.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+}
+
+/// Algorithm 1 — unrank `value` into an `n`-slot codeword with exactly `k`
+/// ONs (`true` = ON), appending the slots to `out`.
+///
+/// `value` must satisfy `value < C(n,k)`. This is the allocation-conscious
+/// entry point: `scratch` is reused across calls and `out` may be a
+/// recycled buffer (it is *not* cleared — callers append symbols of a
+/// frame back to back).
+pub fn encode_codeword_into(
+    table: &BinomialTable,
     n: usize,
     k: usize,
     value: &BigUint,
-) -> Result<Vec<bool>, CodewordError> {
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<bool>,
+) -> Result<(), CodewordError> {
     if k > n {
         return Err(CodewordError::InvalidPattern { n, k });
     }
-    if *value >= table.binomial(n, k) {
+    // u128 fast path: the entire walk on machine integers.
+    if let Some(c) = table.binomial_u128(n, k) {
+        let v = value.to_u128().ok_or(CodewordError::ValueOutOfRange)?;
+        if v >= c {
+            return Err(CodewordError::ValueOutOfRange);
+        }
+        encode_walk_u128(table, n, k, v, out);
+        return Ok(());
+    }
+    if value >= table.binomial_ref(n, k) {
         return Err(CodewordError::ValueOutOfRange);
     }
-    let mut out = Vec::with_capacity(n);
-    let mut val = value.clone();
+    out.reserve(n);
+    scratch.val.clone_from(value);
+    let val = &mut scratch.val;
     let mut ones_left = k;
+    let base = out.len();
     for pos in 0..n {
         let slots_left = n - pos;
         if ones_left == 0 {
             // Only OFFs remain (paper: "code_w[iN..N] = OFF").
-            out.resize(n, false);
+            out.resize(base + n, false);
             break;
         }
         if ones_left == slots_left {
             // Only ONs remain (paper: "code_w[iN..N] = ON").
-            out.resize(n, true);
+            out.resize(base + n, true);
             break;
         }
         // Codewords with ON at this slot occupy ranks [0, C(slots_left-1, ones_left-1)).
-        let on_count = table.binomial(slots_left - 1, ones_left - 1);
-        if val < on_count {
+        let on_count = table.binomial_ref(slots_left - 1, ones_left - 1);
+        if (val as &BigUint) < on_count {
             out.push(true);
             ones_left -= 1;
         } else {
-            val = val
-                .checked_sub(&on_count)
-                .expect("val >= on_count checked");
+            let ok = val.sub_assign_checked(on_count);
+            debug_assert!(ok, "val >= on_count checked");
             out.push(false);
         }
     }
-    debug_assert_eq!(out.len(), n);
-    debug_assert_eq!(out.iter().filter(|&&b| b).count(), k);
+    debug_assert_eq!(out.len() - base, n);
+    debug_assert_eq!(out[base..].iter().filter(|&&b| b).count(), k);
+    Ok(())
+}
+
+/// The unrank walk entirely in `u128` (caller guarantees `v < C(n,k)` and
+/// that `C(n,k)` fits).
+fn encode_walk_u128(table: &BinomialTable, n: usize, k: usize, mut v: u128, out: &mut Vec<bool>) {
+    out.reserve(n);
+    let base = out.len();
+    let mut ones_left = k;
+    for pos in 0..n {
+        let slots_left = n - pos;
+        if ones_left == 0 {
+            out.resize(base + n, false);
+            break;
+        }
+        if ones_left == slots_left {
+            out.resize(base + n, true);
+            break;
+        }
+        let on_count = table
+            .binomial_u128(slots_left - 1, ones_left - 1)
+            .expect("sub-binomial fits if C(n,k) fits");
+        if v < on_count {
+            out.push(true);
+            ones_left -= 1;
+        } else {
+            v -= on_count;
+            out.push(false);
+        }
+    }
+    debug_assert_eq!(out.len() - base, n);
+}
+
+/// Algorithm 1 — unrank `value` into an `n`-slot codeword with exactly `k`
+/// ONs (`true` = ON).
+///
+/// `value` must satisfy `value < C(n,k)`. Convenience wrapper over
+/// [`encode_codeword_into`] with a throwaway scratch.
+pub fn encode_codeword(
+    table: &BinomialTable,
+    n: usize,
+    k: usize,
+    value: &BigUint,
+) -> Result<Vec<bool>, CodewordError> {
+    let mut out = Vec::with_capacity(n);
+    let mut scratch = EncodeScratch::new();
+    encode_codeword_into(table, n, k, value, &mut scratch, &mut out)?;
     Ok(out)
 }
 
-/// Algorithm 2 — rank a received `n`-slot codeword back to its value.
+/// Algorithm 2 — rank a received `n`-slot codeword back to its value,
+/// reusing `scratch` for the accumulator.
 ///
 /// Verifies both the length and the constant-weight invariant; a weight
 /// mismatch means slot errors corrupted the symbol.
-pub fn decode_codeword(
-    table: &mut BinomialTable,
+pub fn decode_codeword_with(
+    table: &BinomialTable,
     n: usize,
     k: usize,
     codeword: &[bool],
+    scratch: &mut EncodeScratch,
 ) -> Result<BigUint, CodewordError> {
     if k > n {
         return Err(CodewordError::InvalidPattern { n, k });
@@ -146,7 +246,27 @@ pub fn decode_codeword(
             got: weight,
         });
     }
-    let mut value = BigUint::zero();
+    // u128 fast path.
+    if table.binomial_u128(n, k).is_some() {
+        let mut value = 0u128;
+        let mut ones_left = k;
+        for (pos, &bit) in codeword.iter().enumerate() {
+            if ones_left == 0 {
+                break; // remaining slots are all OFF, contribute nothing
+            }
+            let slots_left = n - pos;
+            if bit {
+                ones_left -= 1;
+            } else {
+                value += table
+                    .binomial_u128(slots_left - 1, ones_left - 1)
+                    .expect("sub-binomial fits if C(n,k) fits");
+            }
+        }
+        return Ok(BigUint::from_u128(value));
+    }
+    let value = &mut scratch.val;
+    value.set_zero();
     let mut ones_left = k;
     for (pos, &bit) in codeword.iter().enumerate() {
         if ones_left == 0 {
@@ -157,10 +277,24 @@ pub fn decode_codeword(
             ones_left -= 1;
         } else {
             // Skip over every codeword that put ON here.
-            value = value.add(&table.binomial(slots_left - 1, ones_left - 1));
+            value.add_assign(table.binomial_ref(slots_left - 1, ones_left - 1));
         }
     }
-    Ok(value)
+    Ok(value.clone())
+}
+
+/// Algorithm 2 — rank a received `n`-slot codeword back to its value.
+///
+/// Convenience wrapper over [`decode_codeword_with`] with a throwaway
+/// scratch.
+pub fn decode_codeword(
+    table: &BinomialTable,
+    n: usize,
+    k: usize,
+    codeword: &[bool],
+) -> Result<BigUint, CodewordError> {
+    let mut scratch = EncodeScratch::new();
+    decode_codeword_with(table, n, k, codeword, &mut scratch)
 }
 
 /// Reference enumeration of all `(n,k)` constant-weight words in codec
@@ -202,13 +336,12 @@ mod tests {
 
     #[test]
     fn encode_matches_reference_enumeration() {
-        let mut t = table();
+        let t = table();
         for (n, k) in [(4, 2), (5, 1), (5, 4), (6, 3), (7, 0), (7, 7), (8, 3)] {
             let all = enumerate_codewords(n, k);
             assert_eq!(all.len() as u128, t.binomial_u128(n, k).unwrap());
             for (i, expect) in all.iter().enumerate() {
-                let got =
-                    encode_codeword(&mut t, n, k, &BigUint::from_u64(i as u64)).unwrap();
+                let got = encode_codeword(&t, n, k, &BigUint::from_u64(i as u64)).unwrap();
                 assert_eq!(&got, expect, "n={n} k={k} value={i}");
             }
         }
@@ -216,16 +349,16 @@ mod tests {
 
     #[test]
     fn roundtrip_exhaustive_small() {
-        let mut t = table();
+        let t = table();
         for n in 1..=10 {
             for k in 0..=n {
                 let count = t.binomial_u128(n, k).unwrap();
                 for v in 0..count {
                     let val = BigUint::from_u128(v);
-                    let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+                    let cw = encode_codeword(&t, n, k, &val).unwrap();
                     assert_eq!(cw.len(), n);
                     assert_eq!(cw.iter().filter(|&&b| b).count(), k);
-                    let back = decode_codeword(&mut t, n, k, &cw).unwrap();
+                    let back = decode_codeword(&t, n, k, &cw).unwrap();
                     assert_eq!(back, val, "n={n} k={k} v={v}");
                 }
             }
@@ -234,7 +367,7 @@ mod tests {
 
     #[test]
     fn roundtrip_large_patterns() {
-        let mut t = table();
+        let t = table();
         // The paper's headline pattern sizes, plus the flicker-bound extreme.
         for (n, k) in [(20, 10), (21, 11), (50, 25), (120, 60), (500, 250)] {
             let c = t.binomial(n, k);
@@ -245,56 +378,104 @@ mod tests {
                 c.checked_sub(&BigUint::from_u64(12345)).unwrap(),
             ];
             for val in probes {
-                let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+                let cw = encode_codeword(&t, n, k, &val).unwrap();
                 assert_eq!(cw.iter().filter(|&&b| b).count(), k);
-                assert_eq!(decode_codeword(&mut t, n, k, &cw).unwrap(), val);
+                assert_eq!(decode_codeword(&t, n, k, &cw).unwrap(), val);
             }
         }
     }
 
     #[test]
+    fn scratch_reuse_is_equivalent_across_mixed_patterns() {
+        // One scratch serving interleaved patterns — big (BigUint path)
+        // and small (u128 path) — must agree with the one-shot API.
+        let t = table();
+        let mut scratch = EncodeScratch::new();
+        let mut out = Vec::new();
+        for (n, k) in [(500, 250), (20, 10), (300, 150), (5, 2), (500, 250)] {
+            let val = t.binomial(n, k).checked_sub(&BigUint::from_u64(7)).unwrap();
+            out.clear();
+            encode_codeword_into(&t, n, k, &val, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, encode_codeword(&t, n, k, &val).unwrap(), "n={n} k={k}");
+            let back = decode_codeword_with(&t, n, k, &out, &mut scratch).unwrap();
+            assert_eq!(back, val, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_without_clearing() {
+        let t = table();
+        let mut scratch = EncodeScratch::new();
+        let mut out = vec![true, false];
+        encode_codeword_into(&t, 6, 2, &BigUint::zero(), &mut scratch, &mut out).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..2], &[true, false]);
+        assert_eq!(&out[2..], &[true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn u128_and_biguint_paths_agree_at_the_boundary() {
+        // N=128,K=64 is the largest pattern whose C(N,K) fits u128;
+        // N=132,K=66 does not fit. Both must round-trip identically.
+        let t = table();
+        assert!(t.binomial_u128(128, 64).is_some());
+        assert!(t.binomial_u128(132, 66).is_none());
+        for (n, k) in [(128usize, 64usize), (132, 66)] {
+            let val = t
+                .binomial(n, k)
+                .checked_sub(&BigUint::from_u64(98765))
+                .unwrap();
+            let cw = encode_codeword(&t, n, k, &val).unwrap();
+            assert_eq!(decode_codeword(&t, n, k, &cw).unwrap(), val);
+        }
+    }
+
+    #[test]
     fn value_zero_is_ones_first() {
-        let mut t = table();
-        let cw = encode_codeword(&mut t, 6, 2, &BigUint::zero()).unwrap();
+        let t = table();
+        let cw = encode_codeword(&t, 6, 2, &BigUint::zero()).unwrap();
         assert_eq!(cw, vec![true, true, false, false, false, false]);
         // Max value is the mirror: OFFs first.
-        let max = t
-            .binomial(6, 2)
-            .checked_sub(&BigUint::one())
-            .unwrap();
-        let cw = encode_codeword(&mut t, 6, 2, &max).unwrap();
+        let max = t.binomial(6, 2).checked_sub(&BigUint::one()).unwrap();
+        let cw = encode_codeword(&t, 6, 2, &max).unwrap();
         assert_eq!(cw, vec![false, false, false, false, true, true]);
     }
 
     #[test]
     fn out_of_range_value_rejected() {
-        let mut t = table();
+        let t = table();
         let c = t.binomial(10, 3);
         assert_eq!(
-            encode_codeword(&mut t, 10, 3, &c),
+            encode_codeword(&t, 10, 3, &c),
+            Err(CodewordError::ValueOutOfRange)
+        );
+        // A value too wide even for the u128 fast path.
+        let huge = t.binomial(500, 250);
+        assert_eq!(
+            encode_codeword(&t, 10, 3, &huge),
             Err(CodewordError::ValueOutOfRange)
         );
     }
 
     #[test]
     fn invalid_pattern_rejected() {
-        let mut t = table();
+        let t = table();
         assert_eq!(
-            encode_codeword(&mut t, 3, 5, &BigUint::zero()),
+            encode_codeword(&t, 3, 5, &BigUint::zero()),
             Err(CodewordError::InvalidPattern { n: 3, k: 5 })
         );
         assert_eq!(
-            decode_codeword(&mut t, 3, 5, &[true, true, true]),
+            decode_codeword(&t, 3, 5, &[true, true, true]),
             Err(CodewordError::InvalidPattern { n: 3, k: 5 })
         );
     }
 
     #[test]
     fn decode_detects_corruption() {
-        let mut t = table();
-        let mut cw = encode_codeword(&mut t, 10, 4, &BigUint::from_u64(17)).unwrap();
+        let t = table();
+        let mut cw = encode_codeword(&t, 10, 4, &BigUint::from_u64(17)).unwrap();
         cw[2] = !cw[2]; // flip one slot: weight becomes 3 or 5
-        match decode_codeword(&mut t, 10, 4, &cw) {
+        match decode_codeword(&t, 10, 4, &cw) {
             Err(CodewordError::WrongWeight { expected: 4, got }) => {
                 assert!(got == 3 || got == 5)
             }
@@ -304,9 +485,9 @@ mod tests {
 
     #[test]
     fn decode_detects_wrong_length() {
-        let mut t = table();
+        let t = table();
         assert_eq!(
-            decode_codeword(&mut t, 10, 4, &[true; 9]),
+            decode_codeword(&t, 10, 4, &[true; 9]),
             Err(CodewordError::WrongLength {
                 expected: 10,
                 got: 9
@@ -316,24 +497,24 @@ mod tests {
 
     #[test]
     fn degenerate_k_zero_and_k_n() {
-        let mut t = table();
-        let cw = encode_codeword(&mut t, 5, 0, &BigUint::zero()).unwrap();
+        let t = table();
+        let cw = encode_codeword(&t, 5, 0, &BigUint::zero()).unwrap();
         assert_eq!(cw, vec![false; 5]);
-        assert_eq!(decode_codeword(&mut t, 5, 0, &cw).unwrap(), BigUint::zero());
-        let cw = encode_codeword(&mut t, 5, 5, &BigUint::zero()).unwrap();
+        assert_eq!(decode_codeword(&t, 5, 0, &cw).unwrap(), BigUint::zero());
+        let cw = encode_codeword(&t, 5, 5, &BigUint::zero()).unwrap();
         assert_eq!(cw, vec![true; 5]);
-        assert_eq!(decode_codeword(&mut t, 5, 5, &cw).unwrap(), BigUint::zero());
+        assert_eq!(decode_codeword(&t, 5, 5, &cw).unwrap(), BigUint::zero());
     }
 
     #[test]
     fn ordering_is_monotone() {
         // Ranks must be strictly increasing in enumeration order: the codec
         // is not just a bijection but *the* enumerative order.
-        let mut t = table();
+        let t = table();
         let all = enumerate_codewords(9, 4);
         for (i, cw) in all.iter().enumerate() {
             assert_eq!(
-                decode_codeword(&mut t, 9, 4, cw).unwrap().to_u64(),
+                decode_codeword(&t, 9, 4, cw).unwrap().to_u64(),
                 Some(i as u64)
             );
         }

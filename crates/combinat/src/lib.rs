@@ -11,14 +11,18 @@
 //! * [`biguint::BigUint`] — arbitrary-precision unsigned integers, because
 //!   a super-symbol may span up to `Nmax = 500` slots and `C(500,250)` has
 //!   ~498 bits.
-//! * [`binomial::BinomialTable`] — exact memoized binomial coefficients,
-//!   with a `u128` fast path for the sizes the modem actually uses.
+//! * [`binomial::BinomialTable`] — exact precomputed binomial
+//!   coefficients: immutable after construction so one table (interned
+//!   behind `Arc` via [`BinomialTable::shared`]) serves every planner,
+//!   codec, and sweep worker thread, with borrowed lookups and a `u128`
+//!   fast path for the sizes the modem actually uses.
 //! * [`bits::BitReader`] / [`bits::BitWriter`] — MSB-first bit streams over
 //!   bytes, used to slice the upper-layer payload into per-symbol data
 //!   words.
 //! * [`codeword`] — Algorithm 1 (encode = unrank) and Algorithm 2
-//!   (decode = rank), plus an exhaustive-enumeration reference used by the
-//!   property tests.
+//!   (decode = rank), with a `u128` fast path and an [`EncodeScratch`]
+//!   reusable workspace keeping the per-symbol hot loop allocation-free,
+//!   plus an exhaustive-enumeration reference used by the property tests.
 //!
 //! The crate is dependency-free and `forbid(unsafe_code)`.
 
@@ -34,5 +38,8 @@ pub mod tabulated;
 pub use biguint::BigUint;
 pub use binomial::BinomialTable;
 pub use bits::{BitReader, BitWriter};
-pub use codeword::{decode_codeword, encode_codeword, CodewordError};
+pub use codeword::{
+    decode_codeword, decode_codeword_with, encode_codeword, encode_codeword_into, CodewordError,
+    EncodeScratch,
+};
 pub use tabulated::{table_memory_bytes, TabulatedCodec};

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// `bytes_per_entry` per mapping (the paper uses 4). `None` when the
 /// count overflows `u128` — i.e. "absurd" is an understatement.
 pub fn table_memory_bytes(
-    table: &mut BinomialTable,
+    table: &BinomialTable,
     n: usize,
     k: usize,
     bytes_per_entry: u64,
@@ -65,7 +65,7 @@ impl TabulatedCodec {
     /// portion (the `2^b` codewords actually addressable by data) would
     /// exceed `budget_bytes` at ~`n + 16` bytes per entry.
     pub fn build(
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         n: usize,
         k: usize,
         budget_bytes: u128,
@@ -73,7 +73,9 @@ impl TabulatedCodec {
         if k > n {
             return Err(TabulationError::InvalidPattern);
         }
-        let bits = table.bits_per_symbol(n, k).ok_or(TabulationError::InvalidPattern)?;
+        let bits = table
+            .bits_per_symbol(n, k)
+            .ok_or(TabulationError::InvalidPattern)?;
         let usable = 1u128 << bits.min(127);
         let per_entry = (n + 16) as u128;
         let needed = usable.saturating_mul(per_entry);
@@ -86,8 +88,8 @@ impl TabulatedCodec {
         let mut forward = Vec::with_capacity(usable as usize);
         let mut reverse = HashMap::with_capacity(usable as usize);
         for v in 0..usable as u64 {
-            let cw = encode_codeword(table, n, k, &BigUint::from_u64(v))
-                .expect("v < 2^bits <= C(n,k)");
+            let cw =
+                encode_codeword(table, n, k, &BigUint::from_u64(v)).expect("v < 2^bits <= C(n,k)");
             reverse.insert(cw.clone(), v);
             forward.push(cw);
         }
@@ -146,19 +148,19 @@ mod tests {
         // paper says 126 TB, which corresponds to 1 byte per entry at
         // C(50,25) = 1.264e14 — or their 4 B across a quarter of the
         // entries. We reproduce the count they start from exactly.
-        let mut t = table();
+        let t = table();
         let count = t.binomial_u128(50, 25).unwrap();
         assert_eq!(count, 126_410_606_437_752);
-        let bytes = table_memory_bytes(&mut t, 50, 25, 1).unwrap();
+        let bytes = table_memory_bytes(&t, 50, 25, 1).unwrap();
         assert_eq!(bytes, 126_410_606_437_752); // ~126 TB at 1 B/entry
-        let four = table_memory_bytes(&mut t, 50, 25, 4).unwrap();
+        let four = table_memory_bytes(&t, 50, 25, 4).unwrap();
         assert_eq!(four, 505_642_425_751_008); // ~506 TB at their 4 B
     }
 
     #[test]
     fn build_refuses_over_budget() {
-        let mut t = table();
-        match TabulatedCodec::build(&mut t, 50, 25, 1 << 30) {
+        let t = table();
+        match TabulatedCodec::build(&t, 50, 25, 1 << 30) {
             Err(TabulationError::OverBudget { needed, budget }) => {
                 assert!(needed > budget);
             }
@@ -168,30 +170,26 @@ mod tests {
 
     #[test]
     fn small_tables_agree_with_enumerative_codec() {
-        let mut t = table();
+        let t = table();
         for (n, k) in [(10usize, 3usize), (12, 6), (16, 2)] {
-            let tab = TabulatedCodec::build(&mut t, n, k, 1 << 24).unwrap();
+            let tab = TabulatedCodec::build(&t, n, k, 1 << 24).unwrap();
             let bits = t.bits_per_symbol(n, k).unwrap();
             for v in 0..(1u64 << bits) {
                 let cw = tab.encode(v).unwrap().to_vec();
                 // Same codeword as Algorithm 1...
-                let reference =
-                    encode_codeword(&mut t, n, k, &BigUint::from_u64(v)).unwrap();
+                let reference = encode_codeword(&t, n, k, &BigUint::from_u64(v)).unwrap();
                 assert_eq!(cw, reference, "n={n} k={k} v={v}");
                 // ...and both decoders agree.
                 assert_eq!(tab.decode(&cw).unwrap(), v);
-                assert_eq!(
-                    decode_codeword(&mut t, n, k, &cw).unwrap().to_u64(),
-                    Some(v)
-                );
+                assert_eq!(decode_codeword(&t, n, k, &cw).unwrap().to_u64(), Some(v));
             }
         }
     }
 
     #[test]
     fn corruption_detected() {
-        let mut t = table();
-        let tab = TabulatedCodec::build(&mut t, 10, 4, 1 << 24).unwrap();
+        let t = table();
+        let tab = TabulatedCodec::build(&t, 10, 4, 1 << 24).unwrap();
         let mut cw = tab.encode(5).unwrap().to_vec();
         cw[0] = !cw[0];
         assert!(matches!(
@@ -206,8 +204,8 @@ mod tests {
 
     #[test]
     fn out_of_range_value_rejected() {
-        let mut t = table();
-        let tab = TabulatedCodec::build(&mut t, 10, 4, 1 << 24).unwrap();
+        let t = table();
+        let tab = TabulatedCodec::build(&t, 10, 4, 1 << 24).unwrap();
         assert_eq!(tab.entries(), 128); // floor(log2 C(10,4)=210) = 7 bits
         assert!(tab.encode(128).is_err());
     }

@@ -42,7 +42,7 @@ proptest! {
     /// multiplicative formula where it fits.
     #[test]
     fn binomial_pascal_identity(n in 1usize..130, k in 0usize..130) {
-        let mut t = BinomialTable::new(130);
+        let t = BinomialTable::new(130);
         let k = k.min(n);
         let lhs = t.binomial(n, k);
         let rhs = if k == 0 {
@@ -60,7 +60,7 @@ proptest! {
     /// operating range, including the Nmax = 500 extreme.
     #[test]
     fn codeword_roundtrip(n in 1usize..80, k_seed in any::<u64>(), v_seed in any::<u64>()) {
-        let mut t = BinomialTable::new(512);
+        let t = BinomialTable::new(512);
         let k = (k_seed % (n as u64 + 1)) as usize;
         let count = t.binomial(n, k);
         // value = v_seed mod C(n,k), computed via repeated subtraction on a
@@ -69,23 +69,23 @@ proptest! {
             Some(c) => BigUint::from_u128((v_seed as u128) % c),
             None => BigUint::from_u64(v_seed),
         };
-        let cw = encode_codeword(&mut t, n, k, &val).unwrap();
+        let cw = encode_codeword(&t, n, k, &val).unwrap();
         prop_assert_eq!(cw.len(), n);
         prop_assert_eq!(cw.iter().filter(|&&b| b).count(), k);
-        prop_assert_eq!(decode_codeword(&mut t, n, k, &cw).unwrap(), val);
+        prop_assert_eq!(decode_codeword(&t, n, k, &cw).unwrap(), val);
     }
 
     /// Any single slot flip is detected by the constant-weight check.
     #[test]
     fn codeword_single_flip_detected(n in 2usize..60, k_seed in any::<u64>(), v_seed in any::<u64>(), flip in any::<usize>()) {
-        let mut t = BinomialTable::new(512);
+        let t = BinomialTable::new(512);
         let k = (k_seed % (n as u64 + 1)) as usize;
         let c = t.binomial_u128(n, k).map(|c| c.min(u64::MAX as u128)).unwrap_or(u64::MAX as u128);
         let val = BigUint::from_u128(v_seed as u128 % c);
-        let mut cw = encode_codeword(&mut t, n, k, &val).unwrap();
+        let mut cw = encode_codeword(&t, n, k, &val).unwrap();
         let idx = flip % n;
         cw[idx] = !cw[idx];
-        prop_assert!(decode_codeword(&mut t, n, k, &cw).is_err());
+        prop_assert!(decode_codeword(&t, n, k, &cw).is_err());
     }
 
     /// BitWriter/BitReader round trip for arbitrary chunkings.

@@ -104,12 +104,7 @@ mod tests {
             remaining: 2,
         };
         let mut log = Vec::new();
-        let end = run_components(
-            &mut [&mut fast, &mut slow],
-            &mut log,
-            SimTime::ZERO,
-            None,
-        );
+        let end = run_components(&mut [&mut fast, &mut slow], &mut log, SimTime::ZERO, None);
         // fast fires at 0,2,4,6,8; slow at 0,5,10.
         let expect = vec![
             (1, SimTime::from_micros(0)),

@@ -258,11 +258,7 @@ mod tests {
         let n = 100_000;
         let xs: Vec<u64> = (0..n).map(|_| r.next_poisson(lambda)).collect();
         let mean = xs.iter().sum::<u64>() as f64 / n as f64;
-        let var = xs
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - lambda).abs() < 0.05, "mean={mean}");
         assert!((var - lambda).abs() < 0.15, "var={var}");
     }

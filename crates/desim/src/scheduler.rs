@@ -179,7 +179,7 @@ impl<E> Scheduler<E> {
         let mut delivered = 0;
         loop {
             match self.peek_time() {
-                Some(t) if until.map_or(true, |u| t <= u) => {
+                Some(t) if until.is_none_or(|u| t <= u) => {
                     let (t, e) = self.pop().expect("peeked event exists");
                     handler(self, t, e);
                     delivered += 1;

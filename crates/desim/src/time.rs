@@ -92,7 +92,10 @@ impl SimDuration {
     /// Construct from fractional seconds, rounding to the nearest
     /// nanosecond. Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -217,11 +220,11 @@ impl fmt::Display for SimDuration {
 fn fmt_ns(ns: u64) -> String {
     if ns == 0 {
         "0s".into()
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         format!("{}s", ns / 1_000_000_000)
-    } else if ns % 1_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000) {
         format!("{}ms", ns / 1_000_000)
-    } else if ns % 1_000 == 0 {
+    } else if ns.is_multiple_of(1_000) {
         format!("{}us", ns / 1_000)
     } else {
         format!("{}ns", ns)
@@ -282,9 +285,9 @@ impl Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000_000 == 0 {
+        if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}MHz", self.0 / 1_000_000)
-        } else if self.0 % 1_000 == 0 {
+        } else if self.0.is_multiple_of(1_000) {
             write!(f, "{}kHz", self.0 / 1_000)
         } else {
             write!(f, "{}Hz", self.0)
@@ -347,13 +350,22 @@ mod tests {
         assert_eq!(f.cycles_in(SimDuration::micros(7)), 0);
         assert_eq!(f.cycles_in(SimDuration::secs(1)), 125_000);
         // No overflow for large spans.
-        assert_eq!(Frequency::mhz(200).cycles_in(SimDuration::secs(3600)), 720_000_000_000);
+        assert_eq!(
+            Frequency::mhz(200).cycles_in(SimDuration::secs(3600)),
+            720_000_000_000
+        );
     }
 
     #[test]
     fn duration_division() {
-        assert_eq!(SimDuration::secs(1).div_duration(SimDuration::micros(8)), 125_000);
-        assert_eq!(SimDuration::micros(7).div_duration(SimDuration::micros(8)), 0);
+        assert_eq!(
+            SimDuration::secs(1).div_duration(SimDuration::micros(8)),
+            125_000
+        );
+        assert_eq!(
+            SimDuration::micros(7).div_duration(SimDuration::micros(8)),
+            0
+        );
     }
 
     #[test]
@@ -369,7 +381,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.000_008), SimDuration::micros(8));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_008),
+            SimDuration::micros(8)
+        );
         assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
     }
 }

@@ -1,0 +1,108 @@
+//! Offline shim for `bytes`: the `Buf`/`BufMut` cursor subset the frame
+//! format uses (big-endian integers, slice copies, self-advancing slices).
+
+/// Read cursor over a byte source (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian `u16` and advance.
+    fn get_u16(&mut self) -> u16;
+    /// Fill `dst` from the source and advance past it.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self[0], self[1]]);
+        *self = &self[2..];
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(&self[..n]);
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor over a byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for &mut [u8] {
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursors_roundtrip() {
+        let mut out = [0u8; 6];
+        let mut w: &mut [u8] = &mut out[..];
+        w.put_u16(0xBEEF);
+        w.put_slice(&[1, 2, 3, 4]);
+        assert_eq!(out, [0xBE, 0xEF, 1, 2, 3, 4]);
+
+        let mut r: &[u8] = &out[..];
+        assert_eq!(r.get_u16(), 0xBEEF);
+        let mut rest = [0u8; 4];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3, 4]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u16(258);
+        v.put_slice(&[9]);
+        assert_eq!(v, vec![7, 1, 2, 9]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! with the `Criterion`/`benchmark_group`/`Bencher` API subset the bench
+//! targets use. Each benchmark is warmed up briefly, then timed over an
+//! adaptively-chosen iteration count; the median per-iteration time is
+//! printed in criterion's familiar one-line format.
+//!
+//! Set `BENCH_JSON=<path>` to additionally append results as JSON lines
+//! (`{"id": ..., "ns_per_iter": ...}`) — the machine-readable feed that
+//! `BENCH_runner.json` collects.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, ignored — every batch is one
+/// setup + one routine call here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-call cost.
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            calls += 1;
+        }
+        let est = WARMUP.as_secs_f64() / calls.max(1) as f64;
+        let per_sample = ((MEASURE.as_secs_f64() / 15.0) / est).clamp(1.0, 1e7) as u64;
+
+        let mut samples = Vec::with_capacity(15);
+        for _ in 0..15 {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup excluded from
+    /// the timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut timed = Duration::ZERO;
+        let mut calls = 0u64;
+        let mut samples = Vec::new();
+        while start.elapsed() < WARMUP + MEASURE {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            timed += dt;
+            calls += 1;
+            samples.push(dt.as_secs_f64());
+            if calls >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples.get(samples.len() / 2).copied().unwrap_or(0.0) * 1e9;
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / ns * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} time: {:>12.1} ns/iter{rate}", ns);
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}}}");
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&id, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench_fn(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; a filter arg may follow. Both
+            // are accepted and ignored by this minimal harness.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(8));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

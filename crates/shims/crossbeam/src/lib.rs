@@ -1,0 +1,75 @@
+//! Offline shim for `crossbeam`: the `scope` entry point, implemented on
+//! `std::thread::scope` (stable since 1.63). Mirrors crossbeam's signature
+//! — the closure receives a `&Scope`, `spawn` passes the scope again so
+//! workers can spawn siblings, and the result comes back as a `Result`.
+
+use std::any::Any;
+
+/// Result type of [`scope`], matching `crossbeam::thread::Result`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle for spawning borrowed threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread borrowing from the enclosing scope. The closure
+    /// receives the scope (crossbeam convention) so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panicking child propagates the panic at join time
+/// (std semantics) instead of surfacing it in the `Err` variant; the `Ok`
+/// wrapper exists so call sites written for crossbeam (`.unwrap()`)
+/// compile unchanged.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, as some call sites spell it out.
+pub mod thread {
+    pub use super::{scope, Scope, ScopeResult as Result};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

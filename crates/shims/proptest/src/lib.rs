@@ -1,0 +1,510 @@
+//! Offline shim for `proptest`: a deterministic mini property-testing
+//! harness covering the API subset this workspace uses.
+//!
+//! Supported surface:
+//! * `proptest! { #[test] fn name(x in strategy, ...) { body } }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * integer / float range strategies (`0u64..100`, `0.0f64..=1.0`),
+//! * `any::<T>()` for primitives and `[u8; N]`,
+//! * `proptest::collection::vec(strategy, len_range)`,
+//! * tuple strategies `(s1, s2)`,
+//! * `proptest::num::<int>::ANY`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generated inputs visible in the assertion message. Generation is
+//! deterministic per test (seeded from the test's name), so failures
+//! reproduce exactly — the property that matters for CI.
+
+/// Deterministic generator state (SplitMix64 — dependency-free, and
+/// distinct from the simulation's own RNG streams).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator (each `proptest!` test derives one from its name).
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound > 0`).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        // Simple modulo; the bias is irrelevant for test-case generation.
+        self.next_u128() % bound
+    }
+}
+
+/// FNV-1a of a test name — the per-test seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Harness configuration (`ProptestConfig` upstream).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps simulation-heavy suites fast
+        // while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + rng.below_u128(span)) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    rng.next_u128() as $t
+                } else {
+                    (lo + rng.below_u128(span)) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_signed_ranges {
+    ($($t:ty as $u:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_ranges!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Occasionally emit the exact endpoints — boundary cases matter.
+        match rng.next_u64() % 32 {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => *self.start() + rng.next_unit_f64() * (*self.end() - *self.start()),
+        }
+    }
+}
+
+/// Marker for `any::<T>()`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Generate arbitrary values of a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Mix raw values with small ones: edge-adjacent magnitudes
+                // find more bugs than uniform 64-bit noise alone.
+                match rng.next_u64() % 8 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => (rng.next_u64() % 16) as $t,
+                    _ => rng.next_u128() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Cover the full bit pattern space (NaN, infinities, subnormals)
+        // as well as ordinary magnitudes near the unit interval.
+        match rng.next_u64() % 8 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 | 4 => rng.next_unit_f64() * 4.0 - 2.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl<const N: usize> Strategy for Any<[u8; N]> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Regex-string strategies: a `&str` pattern is itself a strategy
+/// producing matching `String`s. Only the subset this workspace's tests
+/// use is parsed — literal characters and `[a-z]{m,n}`-style character
+/// classes with an optional repetition count; unsupported syntax panics.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal char.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "inverted class range");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                assert!(
+                    !"\\.*+?|(){}^$".contains(c),
+                    "unsupported regex syntax {c:?} in strategy pattern {self:?}"
+                );
+                i += 1;
+                vec![c]
+            };
+            // Optional {m,n} / {m} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("bad repetition bound"),
+                        n.parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let m: usize = body.parse().expect("bad repetition count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = lo + rng.below_u128((hi - lo + 1) as u128) as usize;
+            for _ in 0..reps {
+                out.push(alphabet[rng.below_u128(alphabet.len() as u128) as usize]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length source for [`vec`].
+    pub trait LenRange {
+        /// Sample a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl LenRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    impl LenRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    impl LenRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy, L: LenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: LenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num`).
+pub mod num {
+    macro_rules! num_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            /// Strategies for one integer width.
+            pub mod $m {
+                /// Full-range strategy for this type.
+                pub struct AnyStrategy;
+                /// The full-range strategy value (`proptest::num::<t>::ANY`).
+                pub const ANY: AnyStrategy = AnyStrategy;
+
+                impl crate::Strategy for AnyStrategy {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                        crate::Strategy::generate(&crate::any::<$t>(), rng)
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_mod!(u8: u8, u16: u16, u32: u32, u64: u64, u128: u128, usize: usize,
+             i32: i32, i64: i64);
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+///
+/// Expands to an early `return` from the per-case closure the
+/// [`proptest!`] macro wraps around the body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests: see the crate docs for the accepted grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for _case in 0..config.cases {
+                // Evaluate strategies once per case, in declaration order,
+                // then run the body in a closure so `prop_assume!` can
+                // `return` out of a single case.
+                let values = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let ($($pat,)+) = values;
+                let mut case = || $body;
+                case();
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 5u64..10, b in 0usize..3, c in 0.0f64..=1.0) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn regex_class_strategy_matches(s in "[a-z]{1,12}", t in "x[0-3]y") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert_eq!(t.len(), 3);
+            prop_assert!(t.starts_with('x') && t.ends_with('y'));
+            prop_assert!(('0'..='3').contains(&t.chars().nth(1).unwrap()));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (any::<u64>(), 1usize..=64), flag in any::<bool>()) {
+            prop_assume!(pair.1 >= 1);
+            let (_v, w) = pair;
+            prop_assert!(w >= 1 && w <= 64);
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(_x in 0u8..=255) {
+            // Body runs; case count is implicitly exercised.
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = crate::TestRng::new(crate::seed_from_name("t"));
+        let mut b = crate::TestRng::new(crate::seed_from_name("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives are
+//! no-ops (see `serde_derive`); the traits are empty markers because no
+//! in-tree code constrains on them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! structs for forward compatibility, but nothing in-tree performs actual
+//! serialization (there is no `serde_json`/`bincode` dependency). In the
+//! offline build environment the derives therefore expand to nothing; the
+//! marker traits live in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

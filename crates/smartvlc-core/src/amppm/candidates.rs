@@ -30,7 +30,7 @@ impl Candidate {
     pub fn evaluate(
         pattern: SymbolPattern,
         cfg: &SystemConfig,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
     ) -> Candidate {
         let bits = pattern.bits_per_symbol(table);
         Candidate {
@@ -57,7 +57,7 @@ impl Candidate {
 /// The returned list is sorted by `(dimming, -norm_rate)`. It is empty only
 /// for pathological configs (SER bound below the error floor of the
 /// smallest admissible symbol).
-pub fn candidate_patterns(cfg: &SystemConfig, table: &mut BinomialTable) -> Vec<Candidate> {
+pub fn candidate_patterns(cfg: &SystemConfig, table: &BinomialTable) -> Vec<Candidate> {
     let n_cap = cfg
         .n_max_super()
         .min(table.max_n() as u64)
@@ -106,8 +106,8 @@ mod tests {
 
     #[test]
     fn all_candidates_satisfy_both_bounds() {
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(c.ser <= cfg.ser_upper_bound, "{:?}", c);
@@ -120,12 +120,14 @@ mod tests {
     fn paper_fig9_range_is_admitted() {
         // Fig. 9 plots candidates N = 10..=21 around l = 0.5; all must
         // survive the calibrated bound, including the chosen S(21, 0.524).
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         for n in 10..=21u16 {
             let k = n / 2;
             assert!(
-                cands.iter().any(|c| c.pattern.n() == n && c.pattern.k() == k),
+                cands
+                    .iter()
+                    .any(|c| c.pattern.n() == n && c.pattern.k() == k),
                 "S({n},{k}) missing"
             );
         }
@@ -137,11 +139,13 @@ mod tests {
     #[test]
     fn mppm_baseline_n20_is_admitted_everywhere() {
         // The paper's MPPM baseline uses N=20 across all 17 dimming levels.
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         for k in 0..=20u16 {
             assert!(
-                cands.iter().any(|c| c.pattern.n() == 20 && c.pattern.k() == k),
+                cands
+                    .iter()
+                    .any(|c| c.pattern.n() == 20 && c.pattern.k() == k),
                 "S(20,{k}) missing"
             );
         }
@@ -151,17 +155,17 @@ mod tests {
     fn oversized_n_is_filtered_by_ser() {
         // With the measured P1/P2, N=50 exceeds 2.5e-3 for every K
         // (SER >= 50 * 8e-5 = 4e-3), mirroring Fig. 8's abandonment.
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         assert!(cands.iter().all(|c| c.pattern.n() < 50));
     }
 
     #[test]
     fn stricter_bound_shrinks_candidate_set() {
-        let (mut cfg, mut t) = setup();
-        let full = candidate_patterns(&cfg, &mut t).len();
+        let (mut cfg, t) = setup();
+        let full = candidate_patterns(&cfg, &t).len();
         cfg.ser_upper_bound = 1e-3; // the paper's stated figure
-        let strict = candidate_patterns(&cfg, &mut t);
+        let strict = candidate_patterns(&cfg, &t);
         assert!(strict.len() < full);
         // Under the strict reading, S(21,11) itself is abandoned.
         assert!(!strict
@@ -173,19 +177,19 @@ mod tests {
     fn flicker_bound_caps_n_when_ser_allows_more() {
         // With a near-ideal channel the SER filter admits everything, so
         // the Eq. 4 bound must be the one that caps N.
-        let (mut cfg, mut t) = setup();
+        let (mut cfg, t) = setup();
         cfg.slot_errors.p_off_error = 1e-9;
         cfg.slot_errors.p_on_error = 1e-9;
         cfg.fth_hz = 12_500; // Nmax = 10
-        let cands = candidate_patterns(&cfg, &mut t);
+        let cands = candidate_patterns(&cfg, &t);
         assert!(!cands.is_empty());
         assert!(cands.iter().all(|c| c.pattern.n() == 10)); // n_min = Nmax = 10
     }
 
     #[test]
     fn sorted_by_dimming_then_rate() {
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         for w in cands.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             assert!(
@@ -197,8 +201,8 @@ mod tests {
 
     #[test]
     fn degenerate_patterns_reach_extremes() {
-        let (cfg, mut t) = setup();
-        let cands = candidate_patterns(&cfg, &mut t);
+        let (cfg, t) = setup();
+        let cands = candidate_patterns(&cfg, &t);
         assert_eq!(cands.first().unwrap().dimming(), 0.0);
         assert_eq!(cands.last().unwrap().dimming(), 1.0);
         assert_eq!(cands.first().unwrap().bits, 0);
@@ -206,8 +210,8 @@ mod tests {
 
     #[test]
     fn impossible_bound_yields_empty_set() {
-        let (mut cfg, mut t) = setup();
+        let (mut cfg, t) = setup();
         cfg.ser_upper_bound = 1e-12;
-        assert!(candidate_patterns(&cfg, &mut t).is_empty());
+        assert!(candidate_patterns(&cfg, &t).is_empty());
     }
 }

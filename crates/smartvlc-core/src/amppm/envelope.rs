@@ -80,7 +80,7 @@ impl Envelope {
                 // Tie: extend as far as possible in one segment.
                 if slope > next_slope + 1e-15
                     || ((slope - next_slope).abs() <= 1e-15
-                        && next.map_or(true, |n| c.dimming() > best[n].dimming()))
+                        && next.is_none_or(|n| c.dimming() > best[n].dimming()))
                 {
                     next = Some(j);
                     next_slope = slope;
@@ -107,7 +107,7 @@ impl Envelope {
                     (best[cur].norm_rate - c.norm_rate) / (best[cur].dimming() - c.dimming());
                 if slope < next_slope - 1e-15
                     || ((slope - next_slope).abs() <= 1e-15
-                        && next.map_or(true, |n| c.dimming() < best[n].dimming()))
+                        && next.is_none_or(|n| c.dimming() < best[n].dimming()))
                 {
                     next = Some(j);
                     next_slope = slope;
@@ -194,8 +194,8 @@ mod tests {
 
     fn paper_envelope() -> Envelope {
         let cfg = SystemConfig::default();
-        let mut t = BinomialTable::new(512);
-        let cands = candidate_patterns(&cfg, &mut t);
+        let t = BinomialTable::new(512);
+        let cands = candidate_patterns(&cfg, &t);
         Envelope::build(&cands).expect("non-empty candidates")
     }
 
@@ -225,16 +225,12 @@ mod tests {
     fn hull_dominates_all_candidates() {
         // Every candidate must lie on or below the envelope.
         let cfg = SystemConfig::default();
-        let mut t = BinomialTable::new(512);
-        let cands = candidate_patterns(&cfg, &mut t);
+        let t = BinomialTable::new(512);
+        let cands = candidate_patterns(&cfg, &t);
         let e = Envelope::build(&cands).unwrap();
         for c in &cands {
             let env = e.rate_at(c.dimming()).expect("within range");
-            assert!(
-                env >= c.norm_rate - 1e-12,
-                "{:?} above envelope ({env})",
-                c
-            );
+            assert!(env >= c.norm_rate - 1e-12, "{:?} above envelope ({env})", c);
         }
     }
 
@@ -285,13 +281,13 @@ mod tests {
     fn envelope_beats_every_fixed_n_mppm() {
         // The paper's claim behind Fig. 15: the envelope is at least as
         // good as MPPM N=20 at every one of the 17 dimming levels.
-        let mut t = BinomialTable::new(512);
+        let t = BinomialTable::new(512);
         let e = paper_envelope();
         for i in 2..=18u16 {
             let l = i as f64 / 20.0; // 0.1, 0.15, ..., 0.9
             let k = (l * 20.0).round() as u16;
             let mppm = SymbolPattern::new(20, k).unwrap();
-            let mppm_rate = mppm.bits_per_symbol(&mut t) as f64 / 20.0;
+            let mppm_rate = mppm.bits_per_symbol(&t) as f64 / 20.0;
             let env = e.rate_at(l).expect("within range");
             assert!(
                 env >= mppm_rate - 1e-12,

@@ -39,10 +39,8 @@ pub(crate) fn mix_is_better(m: &Mix, cur: &Mix, tolerance: f64) -> bool {
     if m_ok != cur_ok {
         return m_ok;
     }
-    if !m_ok {
-        if (m.dimming_error - cur.dimming_error).abs() > 1e-12 {
-            return m.dimming_error < cur.dimming_error;
-        }
+    if !m_ok && (m.dimming_error - cur.dimming_error).abs() > 1e-12 {
+        return m.dimming_error < cur.dimming_error;
     }
     if (m.norm_rate - cur.norm_rate).abs() > 1e-12 {
         return m.norm_rate > cur.norm_rate;
@@ -65,7 +63,7 @@ pub fn best_mix(
     target: f64,
     tolerance: f64,
     n_max: u32,
-    table: &mut BinomialTable,
+    table: &BinomialTable,
 ) -> Option<Mix> {
     let s1 = left.pattern;
     let s2 = right.pattern;
@@ -124,7 +122,7 @@ mod tests {
     use crate::config::SystemConfig;
     use crate::symbol::SymbolPattern;
 
-    fn cand(n: u16, k: u16, table: &mut BinomialTable) -> Candidate {
+    fn cand(n: u16, k: u16, table: &BinomialTable) -> Candidate {
         Candidate::evaluate(
             SymbolPattern::new(n, k).unwrap(),
             &SystemConfig::default(),
@@ -134,9 +132,9 @@ mod tests {
 
     #[test]
     fn exact_hull_hit_uses_single_pattern() {
-        let mut t = BinomialTable::new(512);
-        let c = cand(21, 11, &mut t);
-        let m = best_mix(&c, &c, c.dimming(), 0.0, 500, &mut t).unwrap();
+        let t = BinomialTable::new(512);
+        let c = cand(21, 11, &t);
+        let m = best_mix(&c, &c, c.dimming(), 0.0, 500, &t).unwrap();
         assert_eq!(m.dimming_error, 0.0);
         assert_eq!(m.super_symbol.m2(), 0);
         // Rate equals the pattern's own rate.
@@ -150,10 +148,10 @@ mod tests {
     fn paper_fig5_mix_is_found() {
         // Target 0.15 between S(10,0.1) and S(10,0.2): the 1+1 mix hits it
         // exactly (paper Fig. 5).
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(10, 2, &mut t);
-        let m = best_mix(&a, &b, 0.15, 0.0, 500, &mut t).unwrap();
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(10, 2, &t);
+        let m = best_mix(&a, &b, 0.15, 0.0, 500, &t).unwrap();
         assert!(m.dimming_error < 1e-12);
         assert!((m.dimming - 0.15).abs() < 1e-12);
         let ss = m.super_symbol;
@@ -167,10 +165,10 @@ mod tests {
     #[test]
     fn finer_target_needs_unequal_mix() {
         // Target 0.175: three (10,0.2) per one (10,0.1), paper Sec. 4.1.2.
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(10, 2, &mut t);
-        let m = best_mix(&a, &b, 0.175, 0.0, 500, &mut t).unwrap();
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(10, 2, &t);
+        let m = best_mix(&a, &b, 0.175, 0.0, 500, &t).unwrap();
         assert!(m.dimming_error < 1e-12);
         let ss = m.super_symbol;
         let slots1 = ss.m1() as u32 * 10;
@@ -180,40 +178,40 @@ mod tests {
 
     #[test]
     fn length_bound_is_respected() {
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(10, 2, &mut t);
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(10, 2, &t);
         for n_max in [20u32, 40, 100, 500] {
-            let m = best_mix(&a, &b, 0.147, 0.0, n_max, &mut t).unwrap();
+            let m = best_mix(&a, &b, 0.147, 0.0, n_max, &t).unwrap();
             assert!(m.super_symbol.n_super() <= n_max, "n_max={n_max}");
         }
     }
 
     #[test]
     fn tight_budget_still_returns_something() {
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(12, 2, &mut t);
-        let m = best_mix(&a, &b, 0.15, 0.0, 10, &mut t).unwrap();
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(12, 2, &t);
+        let m = best_mix(&a, &b, 0.15, 0.0, 10, &t).unwrap();
         assert_eq!(m.super_symbol.n_super(), 10); // only one S1 fits
     }
 
     #[test]
     fn impossible_budget_returns_none() {
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(12, 2, &mut t);
-        assert!(best_mix(&a, &b, 0.15, 0.0, 9, &mut t).is_none());
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(12, 2, &t);
+        assert!(best_mix(&a, &b, 0.15, 0.0, 9, &t).is_none());
     }
 
     #[test]
     fn larger_budget_never_hurts_accuracy() {
-        let mut t = BinomialTable::new(512);
-        let a = cand(10, 1, &mut t);
-        let b = cand(10, 2, &mut t);
+        let t = BinomialTable::new(512);
+        let a = cand(10, 1, &t);
+        let b = cand(10, 2, &t);
         let mut prev_err = f64::INFINITY;
         for n_max in [20u32, 60, 120, 240, 500] {
-            let m = best_mix(&a, &b, 0.1234, 0.0, n_max, &mut t).unwrap();
+            let m = best_mix(&a, &b, 0.1234, 0.0, n_max, &t).unwrap();
             assert!(m.dimming_error <= prev_err + 1e-15, "n_max={n_max}");
             prev_err = m.dimming_error;
         }
@@ -225,13 +223,17 @@ mod tests {
     fn rate_matches_envelope_interpolation_closely() {
         // Between two same-N hull points the best mix's rate should be
         // close to (and never meaningfully above) the linear interpolation.
-        let mut t = BinomialTable::new(512);
-        let a = cand(21, 10, &mut t);
-        let b = cand(21, 11, &mut t);
+        let t = BinomialTable::new(512);
+        let a = cand(21, 10, &t);
+        let b = cand(21, 11, &t);
         let target = 0.5; // between 10/21 and 11/21
-        let m = best_mix(&a, &b, target, 0.0, 500, &mut t).unwrap();
+        let m = best_mix(&a, &b, target, 0.0, 500, &t).unwrap();
         let ta = (target - a.dimming()) / (b.dimming() - a.dimming());
         let interp = a.norm_rate + ta * (b.norm_rate - a.norm_rate);
-        assert!((m.norm_rate - interp).abs() < 0.02, "mix={} interp={interp}", m.norm_rate);
+        assert!(
+            (m.norm_rate - interp).abs() < 0.02,
+            "mix={} interp={interp}",
+            m.norm_rate
+        );
     }
 }

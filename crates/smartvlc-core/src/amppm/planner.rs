@@ -18,6 +18,7 @@ use crate::dimming::DimmingLevel;
 use combinat::BinomialTable;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A fully-resolved transmission plan for one dimming level.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,28 +78,45 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// The AMPPM pattern planner (Fig. 2's "best pattern selection" block).
-pub struct AmppmPlanner {
-    cfg: SystemConfig,
-    table: BinomialTable,
+/// The Step 1–3 artifacts: deterministic functions of the configuration,
+/// computed once and shared read-only by every planner clone.
+struct PlannerShared {
     candidates: Vec<Candidate>,
     envelope: Envelope,
-    cache: HashMap<u16, SuperSymbolPlan>,
+}
+
+/// The AMPPM pattern planner (Fig. 2's "best pattern selection" block).
+///
+/// Cloning is cheap and *shares state*: the binomial table (interned
+/// process-wide via [`BinomialTable::shared`]), the candidate set and
+/// envelope, and the per-quantized-level plan cache all sit behind `Arc`s,
+/// so a transmitter, its receiver, and every sweep worker thread reuse one
+/// planner instance's work. Because plans are a pure function of
+/// `(config, quantized level)`, cache sharing is invisible except in
+/// speed.
+#[derive(Clone)]
+pub struct AmppmPlanner {
+    cfg: SystemConfig,
+    table: Arc<BinomialTable>,
+    shared: Arc<PlannerShared>,
+    cache: Arc<Mutex<HashMap<u16, SuperSymbolPlan>>>,
 }
 
 impl AmppmPlanner {
     /// Build the planner: run candidate enumeration (Steps 1–2) and the
     /// envelope walk (Step 3) for the given configuration.
     pub fn new(cfg: SystemConfig) -> Result<AmppmPlanner, PlanError> {
-        let mut table = BinomialTable::new(cfg.n_max_super().clamp(16, 512) as usize);
-        let candidates = candidate_patterns(&cfg, &mut table);
+        let table = BinomialTable::shared(cfg.n_max_super().clamp(16, 512) as usize);
+        let candidates = candidate_patterns(&cfg, &table);
         let envelope = Envelope::build(&candidates).ok_or(PlanError::NoCandidates)?;
         Ok(AmppmPlanner {
             cfg,
             table,
-            candidates,
-            envelope,
-            cache: HashMap::new(),
+            shared: Arc::new(PlannerShared {
+                candidates,
+                envelope,
+            }),
+            cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -110,34 +128,45 @@ impl AmppmPlanner {
     /// All admissible candidates (Step 2 output) — the point cloud of
     /// Figs. 8 and 9.
     pub fn candidates(&self) -> &[Candidate] {
-        &self.candidates
+        &self.shared.candidates
     }
 
     /// The throughput envelope (Step 3 output) — the solid line of Fig. 9.
     pub fn envelope(&self) -> &Envelope {
-        &self.envelope
+        &self.shared.envelope
     }
 
-    /// Shared binomial table (handy for callers that need symbol metrics).
-    pub fn table_mut(&mut self) -> &mut BinomialTable {
-        &mut self.table
+    /// The process-shared binomial table (handy for callers that need
+    /// symbol metrics).
+    pub fn table(&self) -> &BinomialTable {
+        &self.table
+    }
+
+    /// An owning handle to the shared binomial table, for callers that
+    /// fan work out across threads.
+    pub fn table_arc(&self) -> Arc<BinomialTable> {
+        Arc::clone(&self.table)
     }
 
     /// Plan the best super-symbol for `target` (Step 4). The target is
     /// first quantized to the header grid; results are cached per grid
-    /// point.
-    pub fn plan(&mut self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
+    /// point, and the cache is shared by every clone of this planner.
+    pub fn plan(&self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
         let q = self.cfg.quantize_dimming(target.value());
-        if let Some(plan) = self.cache.get(&q) {
+        if let Some(plan) = self.cache.lock().expect("plan cache poisoned").get(&q) {
             return Ok(*plan);
         }
         let l = self.cfg.dequantize_dimming(q);
-        let (min, max) = self.envelope.dimming_range();
-        let (left, right) = self.envelope.bracket(l).ok_or(PlanError::OutOfRange {
-            requested: l,
-            min,
-            max,
-        })?;
+        let (min, max) = self.shared.envelope.dimming_range();
+        let (left, right) = self
+            .shared
+            .envelope
+            .bracket(l)
+            .ok_or(PlanError::OutOfRange {
+                requested: l,
+                min,
+                max,
+            })?;
         let (left, right) = (*left, *right);
         let n_max = self.cfg.n_max_super().min(u32::MAX as u64) as u32;
 
@@ -151,12 +180,14 @@ impl AmppmPlanner {
         let span_lo = left.dimming();
         let span_hi = right.dimming();
         let lows: Vec<Candidate> = self
+            .shared
             .candidates
             .iter()
             .filter(|c| c.dimming() >= span_lo && c.dimming() <= l)
             .copied()
             .collect();
         let highs: Vec<Candidate> = self
+            .shared
             .candidates
             .iter()
             .filter(|c| c.dimming() >= l && c.dimming() <= span_hi)
@@ -168,7 +199,7 @@ impl AmppmPlanner {
         let mut mix: Option<crate::amppm::mixer::Mix> = None;
         for a in &lows {
             for b in &highs {
-                if let Some(m) = best_mix(a, b, l, tolerance, n_max, &mut self.table) {
+                if let Some(m) = best_mix(a, b, l, tolerance, n_max, &self.table) {
                     let better = match &mix {
                         None => true,
                         Some(cur) => crate::amppm::mixer::mix_is_better(&m, cur, tolerance),
@@ -180,8 +211,14 @@ impl AmppmPlanner {
             }
         }
         let mix = mix.ok_or(PlanError::NoFit)?;
-        let ser1 = self.cfg.slot_errors.symbol_error_rate(mix.super_symbol.s1());
-        let ser2 = self.cfg.slot_errors.symbol_error_rate(mix.super_symbol.s2());
+        let ser1 = self
+            .cfg
+            .slot_errors
+            .symbol_error_rate(mix.super_symbol.s1());
+        let ser2 = self
+            .cfg
+            .slot_errors
+            .symbol_error_rate(mix.super_symbol.s2());
         let ser = mix.super_symbol.mean_symbol_error_rate(ser1, ser2);
         let plan = SuperSymbolPlan {
             super_symbol: mix.super_symbol,
@@ -191,22 +228,25 @@ impl AmppmPlanner {
             rate_bps: mix.norm_rate * self.cfg.ftx_hz as f64 * (1.0 - ser),
             expected_ser: ser,
         };
-        self.cache.insert(q, plan);
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(q, plan);
         Ok(plan)
     }
 
     /// Like [`AmppmPlanner::plan`] but clamps out-of-range targets to the
     /// nearest supported level — what the live transmitter does when
     /// ambient light swings beyond the data-carrying range.
-    pub fn plan_clamped(&mut self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
-        let (min, max) = self.envelope.dimming_range();
+    pub fn plan_clamped(&self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
+        let (min, max) = self.shared.envelope.dimming_range();
         let l = DimmingLevel::clamped(target.value().clamp(min, max));
         self.plan(l)
     }
 
-    /// Number of distinct levels planned so far (cache occupancy).
+    /// Number of distinct levels planned so far (shared cache occupancy).
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.cache.lock().expect("plan cache poisoned").len()
     }
 }
 
@@ -225,7 +265,7 @@ mod tests {
     #[test]
     fn plans_all_17_paper_levels() {
         // Fig. 15 evaluates 17 levels 0.1, 0.15, ..., 0.9.
-        let mut p = planner();
+        let p = planner();
         for i in 2..=18 {
             let l = i as f64 / 20.0;
             let plan = p.plan(lv(l)).unwrap();
@@ -241,7 +281,7 @@ mod tests {
 
     #[test]
     fn rate_peaks_near_half() {
-        let mut p = planner();
+        let p = planner();
         let mid = p.plan(lv(0.5)).unwrap().rate_bps;
         let low = p.plan(lv(0.1)).unwrap().rate_bps;
         let high = p.plan(lv(0.9)).unwrap().rate_bps;
@@ -253,13 +293,13 @@ mod tests {
     #[test]
     fn amppm_beats_mppm_n20_at_every_level() {
         // The Fig. 15 headline: AMPPM >= MPPM(N=20) at all 17 levels.
-        let mut p = planner();
+        let p = planner();
         for i in 2..=18 {
             let l = i as f64 / 20.0;
             let plan = p.plan(lv(l)).unwrap();
             let k = (l * 20.0).round() as u16;
             let mppm = crate::symbol::SymbolPattern::new(20, k).unwrap();
-            let mppm_rate = mppm.bits_per_symbol(p.table_mut()) as f64 / 20.0;
+            let mppm_rate = mppm.bits_per_symbol(p.table()) as f64 / 20.0;
             assert!(
                 plan.norm_rate >= mppm_rate - 1e-12,
                 "l={l}: {} < {mppm_rate}",
@@ -270,7 +310,7 @@ mod tests {
 
     #[test]
     fn cache_hits_identical_plans() {
-        let mut p = planner();
+        let p = planner();
         let a = p.plan(lv(0.33)).unwrap();
         let before = p.cache_len();
         let b = p.plan(lv(0.33)).unwrap();
@@ -286,8 +326,8 @@ mod tests {
         // TX and RX planners built from the same config must agree given
         // the header's quantized level — the premise of our 4-byte Pattern
         // field design.
-        let mut tx = planner();
-        let mut rx = planner();
+        let tx = planner();
+        let rx = planner();
         for i in 0..50 {
             let l = 0.08 + i as f64 * 0.017;
             let a = tx.plan_clamped(lv(l.min(1.0))).unwrap();
@@ -298,7 +338,7 @@ mod tests {
 
     #[test]
     fn extreme_levels_plan_or_clamp() {
-        let mut p = planner();
+        let p = planner();
         // Degenerate candidates take the envelope to [0,1]; the plans at
         // the extremes carry zero bits but hold the light level.
         let plan = p.plan(lv(0.0)).unwrap();
@@ -314,17 +354,16 @@ mod tests {
 
     #[test]
     fn no_candidates_is_reported() {
-        let mut cfg = SystemConfig::default();
-        cfg.ser_upper_bound = 1e-12;
-        assert_eq!(
-            AmppmPlanner::new(cfg).err(),
-            Some(PlanError::NoCandidates)
-        );
+        let cfg = SystemConfig {
+            ser_upper_bound: 1e-12,
+            ..SystemConfig::default()
+        };
+        assert_eq!(AmppmPlanner::new(cfg).err(), Some(PlanError::NoCandidates));
     }
 
     #[test]
     fn expected_ser_below_bound() {
-        let mut p = planner();
+        let p = planner();
         for i in 2..=18 {
             let plan = p.plan(lv(i as f64 / 20.0)).unwrap();
             assert!(plan.expected_ser <= p.config().ser_upper_bound + 1e-12);
@@ -332,9 +371,42 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_cache_and_table() {
+        let p = planner();
+        let q = p.clone();
+        assert!(std::sync::Arc::ptr_eq(&p.table_arc(), &q.table_arc()));
+        let a = p.plan(lv(0.37)).unwrap();
+        // The clone sees the cached plan without recomputing.
+        assert_eq!(q.cache_len(), p.cache_len());
+        assert_eq!(q.plan(lv(0.37)).unwrap(), a);
+        // ...and entries planned via the clone appear in the original.
+        let before = p.cache_len();
+        q.plan(lv(0.61)).unwrap();
+        assert_eq!(p.cache_len(), before + 1);
+    }
+
+    #[test]
+    fn shared_cache_is_thread_safe() {
+        let p = planner();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for j in 2..=18 {
+                        let l = j as f64 / 20.0;
+                        let plan = p.plan(lv(l)).unwrap();
+                        assert!(plan.rate_bps >= 0.0, "worker {i} l={l}");
+                    }
+                });
+            }
+        });
+        assert_eq!(p.cache_len(), 17);
+    }
+
+    #[test]
     fn plan_is_deterministic() {
-        let mut a = planner();
-        let mut b = planner();
+        let a = planner();
+        let b = planner();
         for i in 1..=99 {
             let l = i as f64 / 100.0;
             assert_eq!(a.plan(lv(l)).unwrap(), b.plan(lv(l)).unwrap(), "l={l}");

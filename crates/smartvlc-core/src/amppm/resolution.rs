@@ -116,9 +116,9 @@ mod tests {
 
     fn n10_family() -> Vec<Candidate> {
         let cfg = SystemConfig::default();
-        let mut t = BinomialTable::new(64);
+        let t = BinomialTable::new(64);
         (1..=9u16)
-            .map(|k| Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &mut t))
+            .map(|k| Candidate::evaluate(SymbolPattern::new(10, k).unwrap(), &cfg, &t))
             .collect()
     }
 
@@ -165,8 +165,8 @@ mod tests {
     #[test]
     fn full_candidate_set_beats_the_n10_family() {
         let cfg = SystemConfig::default();
-        let mut t = BinomialTable::new(512);
-        let all = candidate_patterns(&cfg, &mut t);
+        let t = BinomialTable::new(512);
+        let all = candidate_patterns(&cfg, &t);
         // Sampling the pair space of 400+ candidates is expensive; take
         // the N = 24..=31 slice which alone out-resolves N=10.
         let slice: Vec<Candidate> = all

@@ -89,13 +89,13 @@ impl SuperSymbol {
     }
 
     /// Total data bits carried by one super-symbol.
-    pub fn bits(&self, table: &mut BinomialTable) -> u32 {
+    pub fn bits(&self, table: &BinomialTable) -> u32 {
         self.m1 as u32 * self.s1.bits_per_symbol(table)
             + self.m2 as u32 * self.s2.bits_per_symbol(table)
     }
 
     /// Normalized data rate (bits per slot).
-    pub fn normalized_rate(&self, table: &mut BinomialTable) -> f64 {
+    pub fn normalized_rate(&self, table: &BinomialTable) -> f64 {
         self.bits(table) as f64 / self.n_super() as f64
     }
 
@@ -127,7 +127,7 @@ impl SuperSymbol {
     /// super-symbol. If the reader runs dry the remaining data words are
     /// zero (the framing layer sizes payloads so this only happens on the
     /// final super-symbol).
-    pub fn encode(&self, table: &mut BinomialTable, reader: &mut BitReader<'_>) -> Vec<bool> {
+    pub fn encode(&self, table: &BinomialTable, reader: &mut BitReader<'_>) -> Vec<bool> {
         let mut slots = Vec::with_capacity(self.n_super() as usize);
         for pattern in self.symbol_sequence() {
             let bits = pattern.bits_per_symbol(table) as usize;
@@ -148,7 +148,7 @@ impl SuperSymbol {
     /// contributes zero-bits so downstream framing keeps its alignment).
     pub fn decode(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         writer: &mut BitWriter,
     ) -> Result<u32, CodewordError> {
@@ -192,11 +192,7 @@ impl SuperSymbol {
 
 impl fmt::Debug for SuperSymbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "<{} x{}, {} x{}>",
-            self.s1, self.m1, self.s2, self.m2
-        )
+        write!(f, "<{} x{}, {} x{}>", self.s1, self.m1, self.s2, self.m2)
     }
 }
 
@@ -238,10 +234,10 @@ mod tests {
 
     #[test]
     fn bits_sum_over_constituents() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(21, 11), 2, s(20, 10), 1).unwrap();
-        let expect = 2 * s(21, 11).bits_per_symbol(&mut t) + s(20, 10).bits_per_symbol(&mut t);
-        assert_eq!(ss.bits(&mut t), expect);
+        let expect = 2 * s(21, 11).bits_per_symbol(&t) + s(20, 10).bits_per_symbol(&t);
+        assert_eq!(ss.bits(&t), expect);
     }
 
     #[test]
@@ -272,21 +268,18 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(21, 11), 2, s(10, 4), 3).unwrap();
         let payload: Vec<u8> = (0u8..64).collect();
         let mut reader = BitReader::new(&payload);
-        let slots = ss.encode(&mut t, &mut reader);
+        let slots = ss.encode(&t, &mut reader);
         assert_eq!(slots.len(), ss.n_super() as usize);
         // The waveform realizes the promised dimming level exactly.
-        assert_eq!(
-            slots.iter().filter(|&&b| b).count() as u32,
-            ss.ones()
-        );
+        assert_eq!(slots.iter().filter(|&&b| b).count() as u32, ss.ones());
         let mut w = BitWriter::new();
-        let failures = ss.decode(&mut t, &slots, &mut w).unwrap();
+        let failures = ss.decode(&t, &slots, &mut w).unwrap();
         assert_eq!(failures, 0);
-        let consumed = ss.bits(&mut t) as usize;
+        let consumed = ss.bits(&t) as usize;
         let (bytes, nbits) = w.finish();
         assert_eq!(nbits, consumed);
         // Compare against the bits actually read.
@@ -299,10 +292,10 @@ mod tests {
 
     #[test]
     fn encode_pads_dry_reader_with_zeros() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(20, 10), 10, s(20, 10), 0).unwrap();
         let mut reader = BitReader::new(&[0xFF]); // 8 bits for 170+ bit capacity
-        let slots = ss.encode(&mut t, &mut reader);
+        let slots = ss.encode(&t, &mut reader);
         assert_eq!(slots.len(), 200);
         // Still a valid constant-weight waveform.
         assert_eq!(slots.iter().filter(|&&b| b).count(), 100);
@@ -310,27 +303,30 @@ mod tests {
 
     #[test]
     fn decode_flags_corrupted_symbols_but_keeps_alignment() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(10, 4), 4, s(10, 4), 0).unwrap();
         let payload = [0xA5u8; 8];
         let mut reader = BitReader::new(&payload);
-        let mut slots = ss.encode(&mut t, &mut reader);
+        let mut slots = ss.encode(&t, &mut reader);
         slots[1] = !slots[1]; // corrupt the first symbol
         let mut w = BitWriter::new();
-        let failures = ss.decode(&mut t, &slots, &mut w).unwrap();
+        let failures = ss.decode(&t, &slots, &mut w).unwrap();
         assert_eq!(failures, 1);
         let (_, nbits) = w.finish();
-        assert_eq!(nbits as u32, ss.bits(&mut t), "alignment preserved");
+        assert_eq!(nbits as u32, ss.bits(&t), "alignment preserved");
     }
 
     #[test]
     fn decode_rejects_wrong_length() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::uniform(s(10, 5), 2).unwrap();
         let mut w = BitWriter::new();
         assert!(matches!(
-            ss.decode(&mut t, &[false; 19], &mut w),
-            Err(CodewordError::WrongLength { expected: 20, got: 19 })
+            ss.decode(&t, &[false; 19], &mut w),
+            Err(CodewordError::WrongLength {
+                expected: 20,
+                got: 19
+            })
         ));
     }
 

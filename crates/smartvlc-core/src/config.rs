@@ -214,20 +214,26 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut cfg = SystemConfig::default();
-        cfg.fth_hz = 200_000; // Nmax = 0 < n_min
+        let cfg = SystemConfig {
+            fth_hz: 200_000, // Nmax = 0 < n_min
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SystemConfig::default();
-        cfg.ser_upper_bound = 0.0;
+        let cfg = SystemConfig {
+            ser_upper_bound: 0.0,
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         let mut cfg = SystemConfig::default();
         cfg.slot_errors.p_on_error = 1.5;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SystemConfig::default();
-        cfg.n_min = 1;
+        let cfg = SystemConfig {
+            n_min: 1,
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

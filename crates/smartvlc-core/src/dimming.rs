@@ -87,7 +87,10 @@ pub struct IlluminationTarget {
 impl IlluminationTarget {
     /// Create a target with the given normalized set-point.
     pub fn new(i_sum: f64) -> IlluminationTarget {
-        assert!(i_sum.is_finite() && i_sum >= 0.0, "set-point must be non-negative");
+        assert!(
+            i_sum.is_finite() && i_sum >= 0.0,
+            "set-point must be non-negative"
+        );
         IlluminationTarget { i_sum }
     }
 
@@ -136,7 +139,10 @@ mod tests {
         assert!(DimmingLevel::from_ratio(11, 10).is_none());
         assert!(DimmingLevel::from_ratio(0, 0).is_none());
         assert_eq!(DimmingLevel::from_ratio(0, 10).unwrap(), DimmingLevel::OFF);
-        assert_eq!(DimmingLevel::from_ratio(10, 10).unwrap(), DimmingLevel::FULL);
+        assert_eq!(
+            DimmingLevel::from_ratio(10, 10).unwrap(),
+            DimmingLevel::FULL
+        );
     }
 
     #[test]

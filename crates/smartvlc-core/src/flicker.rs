@@ -193,10 +193,8 @@ impl FlickerAuditor {
             const G: usize = 2;
             if seg_means.len() >= 2 * G {
                 for k in G..=(seg_means.len() - G) {
-                    let before: f64 =
-                        seg_means[k - G..k].iter().sum::<f64>() / G as f64;
-                    let after: f64 =
-                        seg_means[k..k + G].iter().sum::<f64>() / G as f64;
+                    let before: f64 = seg_means[k - G..k].iter().sum::<f64>() / G as f64;
+                    let after: f64 = seg_means[k..k + G].iter().sum::<f64>() / G as f64;
                     let step = (after - before).abs();
                     if step > self.rules.max_perceptual_step + 1e-9
                         && report.violations.len() < MAX_VIOLATIONS
@@ -268,8 +266,8 @@ mod tests {
         let a = auditor();
         let mut slots = Vec::new();
         for _ in 0..10 {
-            slots.extend(std::iter::repeat(true).take(500));
-            slots.extend(std::iter::repeat(false).take(1));
+            slots.extend(std::iter::repeat_n(true, 500));
+            slots.extend(std::iter::repeat_n(false, 1));
         }
         let r = a.audit(&slots);
         assert!(!r
@@ -286,13 +284,13 @@ mod tests {
         use crate::dimming::DimmingLevel;
         use crate::modem::SlotModem;
         use crate::schemes::AmppmModem;
-        let mut planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
+        let planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
         let a = auditor();
         for l in [0.15, 0.3, 0.5, 0.62, 0.85] {
             let plan = planner.plan(DimmingLevel::new(l).unwrap()).unwrap();
             let m = AmppmModem::from_plan(&plan);
-            let mut t = combinat::BinomialTable::new(512);
-            let slots = m.modulate(&mut t, &vec![0xB7u8; 1024]);
+            let t = combinat::BinomialTable::new(512);
+            let slots = m.modulate(&t, &vec![0xB7u8; 1024]);
             let r = a.audit(&slots);
             assert!(r.is_clean(), "l={l}: {:?}", r.violations.first());
         }
@@ -349,8 +347,8 @@ mod tests {
         // Pathological waveform with thousands of slow runs.
         let mut slots = Vec::new();
         for _ in 0..200 {
-            slots.extend(std::iter::repeat(true).take(600));
-            slots.extend(std::iter::repeat(false).take(600));
+            slots.extend(std::iter::repeat_n(true, 600));
+            slots.extend(std::iter::repeat_n(false, 600));
         }
         let r = a.audit(&slots);
         assert!(r.violations.len() <= 64 * 2);

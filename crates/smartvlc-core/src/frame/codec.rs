@@ -119,8 +119,8 @@ impl FrameCodec {
     }
 
     /// The underlying AMPPM planner (shared with the transmitter logic).
-    pub fn planner_mut(&mut self) -> &mut AmppmPlanner {
-        &mut self.planner
+    pub fn planner(&self) -> &AmppmPlanner {
+        &self.planner
     }
 
     /// Resolve a pattern descriptor to a concrete modem.
@@ -184,7 +184,7 @@ impl FrameCodec {
     /// Emit a frame as a slot waveform.
     pub fn emit(&mut self, frame: &Frame) -> Result<Vec<bool>, FrameCodecError> {
         let modem = self.modem_for(frame.header.pattern)?;
-        let table = self.planner.table_mut();
+        let table = self.planner.table();
 
         // Preamble: alternating ON/OFF, starting ON.
         let mut slots: Vec<bool> = (0..PREAMBLE_SLOTS).map(|i| i % 2 == 0).collect();
@@ -215,7 +215,7 @@ impl FrameCodec {
             target,
             self.cfg.n_max_super() as usize,
         );
-        slots.extend(std::iter::repeat(comp_state).take(comp_len));
+        slots.extend(std::iter::repeat_n(comp_state, comp_len));
         slots.push(!comp_state); // sync edge
         slots.extend(payload_slots);
         Ok(slots)
@@ -250,8 +250,7 @@ impl FrameCodec {
                 *byte = (*byte << 1) | slots[PREAMBLE_SLOTS + i * 8 + bit] as u8;
             }
         }
-        let header =
-            FrameHeader::from_bytes(&header_bytes).map_err(FrameCodecError::BadHeader)?;
+        let header = FrameHeader::from_bytes(&header_bytes).map_err(FrameCodecError::BadHeader)?;
 
         // Compensation run: scan for the sync edge.
         let comp_start = PREFIX_SLOTS;
@@ -271,7 +270,7 @@ impl FrameCodec {
 
         // Payload block.
         let modem = self.modem_for(header.pattern)?;
-        let table = self.planner.table_mut();
+        let table = self.planner.table();
         let block_bytes = header.payload_len as usize + 2;
         let n_slots = modem.slots_for_payload(table, block_bytes);
         if slots.len() < payload_start + n_slots {
@@ -337,10 +336,7 @@ fn compensation_plan(
 }
 
 /// Emit a frame with a one-off codec (convenience for tests and examples).
-pub fn emit_frame(
-    frame: &Frame,
-    cfg: &SystemConfig,
-) -> Result<Vec<bool>, FrameCodecError> {
+pub fn emit_frame(frame: &Frame, cfg: &SystemConfig) -> Result<Vec<bool>, FrameCodecError> {
     FrameCodec::new(cfg.clone())
         .map_err(FrameCodecError::Plan)?
         .emit(frame)
@@ -400,7 +396,10 @@ mod tests {
             },
             PatternDescriptor::Vppm { n: 10, width: 3 },
             PatternDescriptor::Oppm { n: 14, width: 4 },
-            PatternDescriptor::Darklight { positions: 128, pulse_w: 1 },
+            PatternDescriptor::Darklight {
+                positions: 128,
+                pulse_w: 1,
+            },
         ];
         for d in descriptors {
             let frame = Frame::new(d, payload(128)).unwrap();
@@ -440,8 +439,8 @@ mod tests {
         let mut c = codec();
         let frame = amppm_frame(0.5, 16);
         let mut slots = c.emit(&frame).unwrap();
-        for i in 0..5 {
-            slots[i] = !slots[i];
+        for s in slots.iter_mut().take(5) {
+            *s = !*s;
         }
         assert_eq!(c.parse(&slots), Err(FrameCodecError::BadPreamble));
     }
@@ -480,7 +479,7 @@ mod tests {
         // Replace everything after the prefix with a constant run.
         let cap = SystemConfig::default().n_max_super() as usize;
         slots.truncate(PREFIX_SLOTS);
-        slots.extend(std::iter::repeat(true).take(cap + 10));
+        slots.extend(std::iter::repeat_n(true, cap + 10));
         assert_eq!(c.parse(&slots), Err(FrameCodecError::CompensationOverrun));
     }
 
@@ -529,9 +528,8 @@ mod tests {
         for flip in PREAMBLE_SLOTS..PREFIX_SLOTS {
             let mut s = slots.clone();
             s[flip] = !s[flip];
-            match c.parse(&s) {
-                Ok((_, stats)) => assert!(!stats.crc_ok, "flip={flip} accepted"),
-                Err(_) => {}
+            if let Ok((_, stats)) = c.parse(&s) {
+                assert!(!stats.crc_ok, "flip={flip} accepted")
             }
         }
     }

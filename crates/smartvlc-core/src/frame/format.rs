@@ -258,7 +258,10 @@ mod tests {
             PatternDescriptor::Amppm { dimming_q: 512 },
             PatternDescriptor::Vppm { n: 10, width: 3 },
             PatternDescriptor::Oppm { n: 12, width: 4 },
-            PatternDescriptor::Darklight { positions: 128, pulse_w: 1 },
+            PatternDescriptor::Darklight {
+                positions: 128,
+                pulse_w: 1,
+            },
         ];
         for d in cases {
             assert_eq!(PatternDescriptor::from_bytes(d.to_bytes()), Ok(d), "{d:?}");

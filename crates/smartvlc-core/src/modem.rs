@@ -83,10 +83,10 @@ pub trait SlotModem {
     fn dimming(&self) -> DimmingLevel;
 
     /// Exact waveform length for an `n_bytes` payload block.
-    fn slots_for_payload(&self, table: &mut BinomialTable, n_bytes: usize) -> usize;
+    fn slots_for_payload(&self, table: &BinomialTable, n_bytes: usize) -> usize;
 
     /// Modulate a payload block into slot states.
-    fn modulate(&self, table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool>;
+    fn modulate(&self, table: &BinomialTable, bytes: &[u8]) -> Vec<bool>;
 
     /// Demodulate a slot block back into exactly `n_bytes` bytes.
     ///
@@ -94,14 +94,14 @@ pub trait SlotModem {
     /// stats; the caller's CRC decides the frame's fate.
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError>;
 
     /// Ideal information rate in bits per slot (ignoring errors); used by
     /// the analytic throughput models.
-    fn norm_rate(&self, table: &mut BinomialTable) -> f64;
+    fn norm_rate(&self, table: &BinomialTable) -> f64;
 }
 
 /// Convenience: bits required for `n_bytes`.

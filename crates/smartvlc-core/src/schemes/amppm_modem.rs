@@ -16,7 +16,7 @@ use crate::amppm::super_symbol::SuperSymbol;
 use crate::dimming::DimmingLevel;
 use crate::modem::{bits_for, DemodError, DemodStats, SlotModem};
 use crate::symbol::SymbolPattern;
-use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError};
+use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError, EncodeScratch};
 
 /// A modem that repeats one AMPPM super-symbol over the payload block.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,16 +45,9 @@ impl AmppmModem {
     /// The symbol patterns (with per-symbol bit counts) that cover
     /// `n_bytes`, cycling the super-symbol's sequence and truncating
     /// after the last needed symbol.
-    fn symbol_walk(
-        &self,
-        table: &mut BinomialTable,
-        n_bytes: usize,
-    ) -> Vec<(SymbolPattern, u32)> {
+    fn symbol_walk(&self, table: &BinomialTable, n_bytes: usize) -> Vec<(SymbolPattern, u32)> {
         let seq = self.super_symbol.symbol_sequence();
-        let per_super: u32 = seq
-            .iter()
-            .map(|p| p.bits_per_symbol(table))
-            .sum();
+        let per_super: u32 = seq.iter().map(|p| p.bits_per_symbol(table)).sum();
         assert!(
             per_super > 0,
             "super-symbol carries no data: {:?}",
@@ -109,26 +102,25 @@ impl SlotModem for AmppmModem {
         DimmingLevel::clamped(self.super_symbol.dimming())
     }
 
-    fn slots_for_payload(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, table: &BinomialTable, n_bytes: usize) -> usize {
         let walk = self.symbol_walk(table, n_bytes);
         let (filler, _) = self.tail_filler(&walk);
         walk.iter().map(|(p, _)| p.n() as usize).sum::<usize>() + filler
     }
 
-    fn modulate(&self, table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let walk = self.symbol_walk(table, bytes.len());
         let (filler, filler_ones) = self.tail_filler(&walk);
         let mut reader = BitReader::new(bytes);
         let mut slots = Vec::new();
+        let mut scratch = EncodeScratch::new();
         for (pattern, bits) in walk {
             let mut word = reader.read_bits(bits as usize);
             word.resize(bits as usize, false);
             let value = BigUint::from_bits_msb(&word);
-            slots.extend(
-                pattern
-                    .encode(table, &value)
-                    .expect("value bounded by bits_per_symbol"),
-            );
+            pattern
+                .encode_into(table, &value, &mut scratch, &mut slots)
+                .expect("value bounded by bits_per_symbol");
         }
         slots.extend(Self::filler_slots(filler, filler_ones));
         slots
@@ -136,14 +128,13 @@ impl SlotModem for AmppmModem {
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
         let walk = self.symbol_walk(table, n_bytes);
         let (filler, _) = self.tail_filler(&walk);
-        let expected: usize =
-            walk.iter().map(|(p, _)| p.n() as usize).sum::<usize>() + filler;
+        let expected: usize = walk.iter().map(|(p, _)| p.n() as usize).sum::<usize>() + filler;
         if slots.len() != expected {
             return Err(DemodError::LengthMismatch {
                 expected,
@@ -152,11 +143,12 @@ impl SlotModem for AmppmModem {
         }
         let mut writer = BitWriter::new();
         let mut stats = DemodStats::default();
+        let mut scratch = EncodeScratch::new();
         let mut offset = 0usize;
         for (pattern, bits) in walk {
             let n = pattern.n() as usize;
             stats.symbols += 1;
-            match pattern.decode(table, &slots[offset..offset + n]) {
+            match pattern.decode_with(table, &slots[offset..offset + n], &mut scratch) {
                 // A corrupted symbol can keep its weight by chance yet
                 // rank beyond the 2^bits data window (C(N,K) is not a
                 // power of two); that is a symbol error, not a panic.
@@ -181,7 +173,7 @@ impl SlotModem for AmppmModem {
         Ok((bytes, stats))
     }
 
-    fn norm_rate(&self, table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, table: &BinomialTable) -> f64 {
         self.super_symbol.normalized_rate(table)
     }
 }
@@ -202,13 +194,13 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_super_symbol() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(21, 11), 2, s(10, 4), 3).unwrap();
         let m = AmppmModem::new(ss);
         let payload: Vec<u8> = (0..128u8).collect();
-        let slots = m.modulate(&mut t, &payload);
-        assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
-        let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let slots = m.modulate(&t, &payload);
+        assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
+        let (back, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(back, payload);
         assert_eq!(stats.symbol_failures, 0);
         assert!(stats.symbols > 0);
@@ -218,26 +210,22 @@ mod tests {
     fn truncation_wastes_at_most_one_symbol() {
         // A big super-symbol against a small block: the walk must stop
         // right after covering the bits, not pad to the full super.
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(21, 11), 10, s(20, 10), 10).unwrap();
         let m = AmppmModem::new(ss);
         let n_bytes = 16; // 128 bits << bits(super) ~ 350
-        let slots = m.slots_for_payload(&mut t, n_bytes);
+        let slots = m.slots_for_payload(&t, n_bytes);
         assert!(slots < ss.n_super() as usize, "padded to a whole super");
         // Covered bits within one symbol of the requirement.
-        let walk_bits: u32 = m
-            .symbol_walk(&mut t, n_bytes)
-            .iter()
-            .map(|&(_, b)| b)
-            .sum();
+        let walk_bits: u32 = m.symbol_walk(&t, n_bytes).iter().map(|&(_, b)| b).sum();
         assert!(walk_bits >= 128);
         assert!(walk_bits < 128 + 19, "walk_bits={walk_bits}");
     }
 
     #[test]
     fn planner_plan_roundtrips_all_levels() {
-        let mut planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
-        let mut t = table();
+        let planner = AmppmPlanner::new(SystemConfig::default()).unwrap();
+        let t = table();
         let payload = vec![0xC3u8; 128]; // paper's 128 B payload
         for i in 2..=18 {
             let l = DimmingLevel::new(i as f64 / 20.0).unwrap();
@@ -246,7 +234,7 @@ mod tests {
                 continue;
             }
             let m = AmppmModem::from_plan(&plan);
-            let slots = m.modulate(&mut t, &payload);
+            let slots = m.modulate(&t, &payload);
             let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
             // Truncation of the final super-symbol may shift the block
             // duty slightly; it must stay within a couple percent.
@@ -255,30 +243,30 @@ mod tests {
                 "modulated duty {duty} drifts from plan at l={:?}",
                 l
             );
-            let (back, _) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            let (back, _) = m.demodulate(&t, &slots, payload.len()).unwrap();
             assert_eq!(back, payload);
         }
     }
 
     #[test]
     fn corrupted_super_symbol_counts_failures() {
-        let mut t = table();
+        let t = table();
         let ss = SuperSymbol::new(s(10, 3), 2, s(10, 4), 2).unwrap();
         let m = AmppmModem::new(ss);
         let payload = [0x55u8; 30];
-        let mut slots = m.modulate(&mut t, &payload);
+        let mut slots = m.modulate(&t, &payload);
         slots[3] = !slots[3];
-        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (_, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(stats.symbol_failures, 1);
     }
 
     #[test]
     fn length_mismatch_rejected() {
-        let mut t = table();
+        let t = table();
         let m = AmppmModem::new(SuperSymbol::uniform(s(10, 5), 3).unwrap());
-        let slots = m.modulate(&mut t, &[0u8; 8]);
+        let slots = m.modulate(&t, &[0u8; 8]);
         assert!(matches!(
-            m.demodulate(&mut t, &slots[..slots.len() - 10], 8),
+            m.demodulate(&t, &slots[..slots.len() - 10], 8),
             Err(DemodError::LengthMismatch { .. })
         ));
     }

@@ -85,11 +85,11 @@ impl SlotModem for DarklightModem {
         DimmingLevel::clamped(self.duty())
     }
 
-    fn slots_for_payload(&self, _table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, _table: &BinomialTable, n_bytes: usize) -> usize {
         div_ceil(bits_for(n_bytes), self.bits_per_symbol() as usize) * self.symbol_slots()
     }
 
-    fn modulate(&self, _table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, _table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let bits = self.bits_per_symbol() as usize;
         let symbols = div_ceil(bits_for(bytes.len()), bits);
         let n = self.symbol_slots();
@@ -110,7 +110,7 @@ impl SlotModem for DarklightModem {
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
@@ -153,7 +153,7 @@ impl SlotModem for DarklightModem {
         Ok((bytes, stats))
     }
 
-    fn norm_rate(&self, _table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, _table: &BinomialTable) -> f64 {
         self.bits_per_symbol() as f64 / self.symbol_slots() as f64
     }
 }
@@ -182,56 +182,56 @@ mod tests {
         assert_eq!(m.bits_per_symbol(), 7);
         assert!((m.duty() - 1.0 / 128.0).abs() < 1e-12);
         // ~6.8 Kbps at 125 kHz.
-        let mut t = table();
-        let kbps = m.norm_rate(&mut t) * 125.0;
+        let t = table();
+        let kbps = m.norm_rate(&t) * 125.0;
         assert!((6.0..8.0).contains(&kbps), "{kbps}");
     }
 
     #[test]
     fn roundtrip() {
-        let mut t = table();
+        let t = table();
         let m = DarklightModem::paper_night_mode();
         let payload: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(199)).collect();
-        let slots = m.modulate(&mut t, &payload);
-        assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
+        let slots = m.modulate(&t, &payload);
+        assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
         let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
         assert!(duty < 0.01, "not dark: {duty}");
-        let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (back, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(back, payload);
         assert_eq!(stats.symbol_failures, 0);
     }
 
     #[test]
     fn wide_pulse_roundtrip() {
-        let mut t = table();
+        let t = table();
         let m = DarklightModem::new(256, 2).unwrap();
         let payload = [0xE7u8; 32];
-        let slots = m.modulate(&mut t, &payload);
-        let (back, _) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let slots = m.modulate(&t, &payload);
+        let (back, _) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(back, payload);
     }
 
     #[test]
     fn lost_pulse_is_flagged() {
-        let mut t = table();
+        let t = table();
         let m = DarklightModem::paper_night_mode();
         let payload = [0x11u8; 7]; // 8 symbols
-        let mut slots = m.modulate(&mut t, &payload);
+        let mut slots = m.modulate(&t, &payload);
         // Extinguish the first symbol's pulse.
         for s in slots.iter_mut().take(128) {
             *s = false;
         }
-        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (_, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(stats.symbol_failures, 1);
     }
 
     #[test]
     fn length_mismatch_rejected() {
-        let mut t = table();
+        let t = table();
         let m = DarklightModem::paper_night_mode();
-        let slots = m.modulate(&mut t, &[9; 4]);
+        let slots = m.modulate(&t, &[9; 4]);
         assert!(matches!(
-            m.demodulate(&mut t, &slots[1..], 4),
+            m.demodulate(&t, &slots[1..], 4),
             Err(DemodError::LengthMismatch { .. })
         ));
     }

@@ -8,7 +8,7 @@
 use crate::dimming::DimmingLevel;
 use crate::modem::{bits_for, div_ceil, DemodError, DemodStats, SlotModem};
 use crate::symbol::SymbolPattern;
-use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError};
+use combinat::{BigUint, BinomialTable, BitReader, BitWriter, CodewordError, EncodeScratch};
 
 /// A fixed-pattern MPPM modem.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,7 +34,7 @@ impl MppmModem {
         self.pattern
     }
 
-    fn symbols_for(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn symbols_for(&self, table: &BinomialTable, n_bytes: usize) -> usize {
         let bits = self.pattern.bits_per_symbol(table) as usize;
         assert!(bits > 0, "pattern carries no data: {:?}", self.pattern);
         div_ceil(bits_for(n_bytes), bits)
@@ -46,31 +46,30 @@ impl SlotModem for MppmModem {
         self.pattern.dimming()
     }
 
-    fn slots_for_payload(&self, table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, table: &BinomialTable, n_bytes: usize) -> usize {
         self.symbols_for(table, n_bytes) * self.pattern.n() as usize
     }
 
-    fn modulate(&self, table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let symbols = self.symbols_for(table, bytes.len());
         let bits = self.pattern.bits_per_symbol(table) as usize;
         let mut reader = BitReader::new(bytes);
         let mut slots = Vec::with_capacity(symbols * self.pattern.n() as usize);
+        let mut scratch = EncodeScratch::new();
         for _ in 0..symbols {
             let mut word = reader.read_bits(bits);
             word.resize(bits, false);
             let value = BigUint::from_bits_msb(&word);
-            slots.extend(
-                self.pattern
-                    .encode(table, &value)
-                    .expect("value bounded by bits_per_symbol"),
-            );
+            self.pattern
+                .encode_into(table, &value, &mut scratch, &mut slots)
+                .expect("value bounded by bits_per_symbol");
         }
         slots
     }
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
@@ -85,9 +84,10 @@ impl SlotModem for MppmModem {
         let bits = self.pattern.bits_per_symbol(table);
         let mut writer = BitWriter::new();
         let mut stats = DemodStats::default();
+        let mut scratch = EncodeScratch::new();
         for chunk in slots.chunks_exact(n) {
             stats.symbols += 1;
-            match self.pattern.decode(table, chunk) {
+            match self.pattern.decode_with(table, chunk, &mut scratch) {
                 // Ranks at or beyond 2^bits are never transmitted; a
                 // corrupted symbol landing there is a symbol error.
                 Ok(value) if value.bit_length() <= bits => {
@@ -110,7 +110,7 @@ impl SlotModem for MppmModem {
         Ok((bytes, stats))
     }
 
-    fn norm_rate(&self, table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, table: &BinomialTable) -> f64 {
         self.pattern.normalized_rate(table)
     }
 }
@@ -129,13 +129,13 @@ mod tests {
 
     #[test]
     fn roundtrip_various_patterns() {
-        let mut t = table();
+        let t = table();
         let payload: Vec<u8> = (0..=255u8).collect();
         for (n, k) in [(20, 2), (20, 10), (20, 18), (10, 5), (21, 11)] {
             let m = modem(n, k);
-            let slots = m.modulate(&mut t, &payload);
-            assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
-            let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            let slots = m.modulate(&t, &payload);
+            assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
+            let (back, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
             assert_eq!(back, payload, "S({n},{k})");
             assert_eq!(stats.symbol_failures, 0);
         }
@@ -143,9 +143,9 @@ mod tests {
 
     #[test]
     fn waveform_realizes_exact_dimming() {
-        let mut t = table();
+        let t = table();
         let m = modem(20, 6);
-        let slots = m.modulate(&mut t, &[0x5A; 64]);
+        let slots = m.modulate(&t, &[0x5A; 64]);
         let ones = slots.iter().filter(|&&b| b).count();
         assert_eq!(ones as f64 / slots.len() as f64, 0.3);
     }
@@ -159,37 +159,37 @@ mod tests {
 
     #[test]
     fn corrupted_symbol_counted_not_fatal() {
-        let mut t = table();
+        let t = table();
         let m = modem(20, 10);
         let payload = [0xFFu8; 32];
-        let mut slots = m.modulate(&mut t, &payload);
+        let mut slots = m.modulate(&t, &payload);
         slots[0] = !slots[0];
         slots[25] = !slots[25];
-        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (_, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(stats.symbol_failures, 2);
     }
 
     #[test]
     fn length_mismatch_rejected() {
-        let mut t = table();
+        let t = table();
         let m = modem(20, 10);
-        let slots = m.modulate(&mut t, &[0; 16]);
+        let slots = m.modulate(&t, &[0; 16]);
         assert!(matches!(
-            m.demodulate(&mut t, &slots[..slots.len() - 1], 16),
+            m.demodulate(&t, &slots[..slots.len() - 1], 16),
             Err(DemodError::LengthMismatch { .. })
         ));
     }
 
     #[test]
     fn norm_rate_matches_eq_2() {
-        let mut t = table();
-        assert!((modem(20, 2).norm_rate(&mut t) - 0.35).abs() < 1e-12);
+        let t = table();
+        assert!((modem(20, 2).norm_rate(&t) - 0.35).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic(expected = "carries no data")]
     fn zero_bit_pattern_panics_on_use() {
-        let mut t = table();
-        modem(20, 0).slots_for_payload(&mut t, 8);
+        let t = table();
+        modem(20, 0).slots_for_payload(&t, 8);
     }
 }

@@ -42,7 +42,9 @@ fn is_comp_slot(i: usize, c: usize, total: usize) -> bool {
 
 /// Multiplicative congruential whitening sequence (PCG-ish byte stream).
 fn scramble_byte(index: usize) -> u8 {
-    let x = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    let x = (index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31);
     (x ^ (x >> 17)) as u8
 }
 
@@ -100,13 +102,13 @@ impl SlotModem for OokCtModem {
         self.target
     }
 
-    fn slots_for_payload(&self, _table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, _table: &BinomialTable, n_bytes: usize) -> usize {
         let d = bits_for(n_bytes);
         let (c, _) = self.compensation(d);
         d + c
     }
 
-    fn modulate(&self, _table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, _table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let d = bits_for(bytes.len());
         let (c, comp_on) = self.compensation(d);
         let total = d + c;
@@ -138,7 +140,7 @@ impl SlotModem for OokCtModem {
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
@@ -177,7 +179,7 @@ impl SlotModem for OokCtModem {
         ))
     }
 
-    fn norm_rate(&self, _table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, _table: &BinomialTable) -> f64 {
         self.efficiency()
     }
 }
@@ -204,13 +206,13 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut t = table();
+        let t = table();
         let payload: Vec<u8> = (0..=200u8).collect();
         for l in [0.1, 0.3, 0.5, 0.7, 0.9] {
             let m = modem(l);
-            let slots = m.modulate(&mut t, &payload);
-            assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
-            let (back, _) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            let slots = m.modulate(&t, &payload);
+            assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
+            let (back, _) = m.demodulate(&t, &slots, payload.len()).unwrap();
             assert_eq!(back, payload, "l={l}");
         }
     }
@@ -240,11 +242,11 @@ mod tests {
     #[test]
     fn waveform_brightness_near_target() {
         // Scrambled data keeps the block average within a couple percent.
-        let mut t = table();
+        let t = table();
         let payload = [0u8; 128]; // pathological all-zero payload
         for l in [0.1, 0.5, 0.8] {
             let m = modem(l);
-            let slots = m.modulate(&mut t, &payload);
+            let slots = m.modulate(&t, &payload);
             let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
             assert!((duty - l).abs() < 0.05, "l={l} duty={duty}");
         }
@@ -258,11 +260,11 @@ mod tests {
 
     #[test]
     fn length_mismatch_rejected() {
-        let mut t = table();
+        let t = table();
         let m = modem(0.4);
-        let slots = m.modulate(&mut t, &[1, 2, 3]);
+        let slots = m.modulate(&t, &[1, 2, 3]);
         assert!(matches!(
-            m.demodulate(&mut t, &slots[1..], 3),
+            m.demodulate(&t, &slots[1..], 3),
             Err(DemodError::LengthMismatch { .. })
         ));
     }
@@ -270,17 +272,17 @@ mod tests {
     #[test]
     fn scrambler_is_involutive_through_roundtrip() {
         // Scrambling must not leak into the recovered bytes.
-        let mut t = table();
+        let t = table();
         let m = modem(0.5);
         let payload = vec![0xAA; 16];
-        let slots = m.modulate(&mut t, &payload);
+        let slots = m.modulate(&t, &payload);
         // The waveform itself must NOT be the plain 10101010 pattern.
         let plain: Vec<bool> = payload
             .iter()
             .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
             .collect();
         assert_ne!(&slots[..128], &plain[..]);
-        let (back, _) = m.demodulate(&mut t, &slots, 16).unwrap();
+        let (back, _) = m.demodulate(&t, &slots, 16).unwrap();
         assert_eq!(back, payload);
     }
 }

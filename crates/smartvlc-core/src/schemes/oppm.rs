@@ -108,12 +108,12 @@ impl SlotModem for OppmModem {
         DimmingLevel::from_ratio(self.w as u32, self.n as u32).expect("w < n")
     }
 
-    fn slots_for_payload(&self, _table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, _table: &BinomialTable, n_bytes: usize) -> usize {
         let bits = self.bits_per_symbol() as usize;
         div_ceil(bits_for(n_bytes), bits) * self.n as usize
     }
 
-    fn modulate(&self, _table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, _table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let bits = self.bits_per_symbol() as usize;
         let symbols = div_ceil(bits_for(bytes.len()), bits);
         let mut reader = combinat::BitReader::new(bytes);
@@ -135,7 +135,7 @@ impl SlotModem for OppmModem {
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
@@ -163,7 +163,7 @@ impl SlotModem for OppmModem {
         Ok((bytes, stats))
     }
 
-    fn norm_rate(&self, _table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, _table: &BinomialTable) -> f64 {
         self.bits_per_symbol() as f64 / self.n as f64
     }
 }
@@ -183,7 +183,7 @@ mod tests {
         assert!(OppmModem::new(10, l(0.3)).is_some());
         assert!(OppmModem::new(10, l(0.01)).is_none()); // w = 0
         assert!(OppmModem::new(10, l(0.99)).is_none()); // w = n
-        // w = 9 leaves exactly 2 positions: 1 bit/symbol, still valid.
+                                                        // w = 9 leaves exactly 2 positions: 1 bit/symbol, still valid.
         let edge = OppmModem::from_raw(10, 9).unwrap();
         assert_eq!(edge.bits_per_symbol(), 1);
         assert!(OppmModem::from_raw(2, 1).is_none()); // n < 3
@@ -203,13 +203,13 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut t = table();
+        let t = table();
         let payload: Vec<u8> = (0..100u8).map(|i| i.wrapping_mul(73)).collect();
         for (n, w) in [(10, 3), (16, 8), (20, 2), (12, 6)] {
             let m = OppmModem::from_raw(n, w).unwrap();
-            let slots = m.modulate(&mut t, &payload);
-            assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
-            let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            let slots = m.modulate(&t, &payload);
+            assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
+            let (back, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
             assert_eq!(back, payload, "n={n} w={w}");
             assert_eq!(stats.symbol_failures, 0);
         }
@@ -217,9 +217,9 @@ mod tests {
 
     #[test]
     fn waveform_duty_matches() {
-        let mut t = table();
+        let t = table();
         let m = OppmModem::from_raw(10, 3).unwrap();
-        let slots = m.modulate(&mut t, &[0xFF; 30]);
+        let slots = m.modulate(&t, &[0xFF; 30]);
         let duty = slots.iter().filter(|&&b| b).count() as f64 / slots.len() as f64;
         assert!((duty - 0.3).abs() < 1e-9);
     }
@@ -228,51 +228,48 @@ mod tests {
     fn slower_than_mppm_same_shape() {
         // The reason the paper builds on MPPM: at the same (n, duty),
         // MPPM's C(n,k) codebook beats OPPM's n-w+1 positions.
-        let mut t = table();
+        let t = table();
         for (n, k) in [(10u16, 3u16), (20, 6), (16, 8)] {
             let mppm = SymbolPattern::new(n, k).unwrap();
             let oppm = OppmModem::from_raw(n, k).unwrap();
-            assert!(
-                oppm.norm_rate(&mut t) < mppm.normalized_rate(&mut t),
-                "n={n} k={k}"
-            );
+            assert!(oppm.norm_rate(&t) < mppm.normalized_rate(&t), "n={n} k={k}");
         }
     }
 
     #[test]
     fn single_slot_noise_is_tolerated() {
-        let mut t = table();
+        let t = table();
         let m = OppmModem::from_raw(12, 5).unwrap();
         let payload = [0x5Au8; 12];
-        let mut slots = m.modulate(&mut t, &payload);
+        let mut slots = m.modulate(&t, &payload);
         // Knock one slot out of the middle of a pulse: matched filter
         // still finds the position.
         let hit = slots.iter().position(|&b| b).unwrap() + 2;
         slots[hit] = false;
-        let (back, _) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (back, _) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert_eq!(back, payload);
     }
 
     #[test]
     fn obliterated_symbol_flags_ambiguity() {
-        let mut t = table();
+        let t = table();
         let m = OppmModem::from_raw(12, 5).unwrap();
         let payload = [0x00u8; 3];
-        let mut slots = m.modulate(&mut t, &payload);
+        let mut slots = m.modulate(&t, &payload);
         for s in slots.iter_mut().take(12) {
             *s = false; // first symbol wiped dark
         }
-        let (_, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+        let (_, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
         assert!(stats.symbol_failures >= 1);
     }
 
     #[test]
     fn length_mismatch_rejected() {
-        let mut t = table();
+        let t = table();
         let m = OppmModem::from_raw(10, 3).unwrap();
-        let slots = m.modulate(&mut t, &[1, 2, 3]);
+        let slots = m.modulate(&t, &[1, 2, 3]);
         assert!(matches!(
-            m.demodulate(&mut t, &slots[..slots.len() - 1], 3),
+            m.demodulate(&t, &slots[..slots.len() - 1], 3),
             Err(DemodError::LengthMismatch { .. })
         ));
     }

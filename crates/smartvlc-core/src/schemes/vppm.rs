@@ -75,11 +75,11 @@ impl SlotModem for VppmModem {
         DimmingLevel::from_ratio(self.w as u32, self.n as u32).expect("w < n")
     }
 
-    fn slots_for_payload(&self, _table: &mut BinomialTable, n_bytes: usize) -> usize {
+    fn slots_for_payload(&self, _table: &BinomialTable, n_bytes: usize) -> usize {
         bits_for(n_bytes) * self.n as usize
     }
 
-    fn modulate(&self, _table: &mut BinomialTable, bytes: &[u8]) -> Vec<bool> {
+    fn modulate(&self, _table: &BinomialTable, bytes: &[u8]) -> Vec<bool> {
         let mut slots = Vec::with_capacity(bits_for(bytes.len()) * self.n as usize);
         for &b in bytes {
             for bit in (0..8).rev() {
@@ -91,7 +91,7 @@ impl SlotModem for VppmModem {
 
     fn demodulate(
         &self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         slots: &[bool],
         n_bytes: usize,
     ) -> Result<(Vec<u8>, DemodStats), DemodError> {
@@ -121,7 +121,7 @@ impl SlotModem for VppmModem {
         Ok((bytes, stats))
     }
 
-    fn norm_rate(&self, _table: &mut BinomialTable) -> f64 {
+    fn norm_rate(&self, _table: &BinomialTable) -> f64 {
         1.0 / self.n as f64
     }
 }
@@ -146,13 +146,13 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut t = table();
+        let t = table();
         let payload: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
         for l in [0.1, 0.3, 0.5, 0.8] {
             let m = VppmModem::new(10, DimmingLevel::new(l).unwrap()).unwrap();
-            let slots = m.modulate(&mut t, &payload);
-            assert_eq!(slots.len(), m.slots_for_payload(&mut t, payload.len()));
-            let (back, stats) = m.demodulate(&mut t, &slots, payload.len()).unwrap();
+            let slots = m.modulate(&t, &payload);
+            assert_eq!(slots.len(), m.slots_for_payload(&t, payload.len()));
+            let (back, stats) = m.demodulate(&t, &slots, payload.len()).unwrap();
             assert_eq!(back, payload, "l={l}");
             assert_eq!(stats.symbol_failures, 0);
         }
@@ -160,38 +160,35 @@ mod tests {
 
     #[test]
     fn waveform_realizes_dimming_exactly() {
-        let mut t = table();
+        let t = table();
         let m = VppmModem::new(10, DimmingLevel::new(0.3).unwrap()).unwrap();
-        let slots = m.modulate(&mut t, &[0x0F; 13]);
+        let slots = m.modulate(&t, &[0x0F; 13]);
         let ones = slots.iter().filter(|&&b| b).count();
         assert_eq!(ones as f64 / slots.len() as f64, 0.3);
     }
 
     #[test]
     fn strictly_slower_than_mppm_same_n() {
-        let mut t = table();
+        let t = table();
         for k in 2..=8u16 {
             let l = DimmingLevel::from_ratio(k as u32, 10).unwrap();
             let v = VppmModem::new(10, l).unwrap();
             let m = SymbolPattern::new(10, k).unwrap();
-            assert!(
-                v.norm_rate(&mut t) < m.normalized_rate(&mut t),
-                "k={k}"
-            );
+            assert!(v.norm_rate(&t) < m.normalized_rate(&t), "k={k}");
         }
     }
 
     #[test]
     fn ambiguous_symbol_flagged() {
-        let mut t = table();
+        let t = table();
         let m = VppmModem::new(10, DimmingLevel::new(0.5).unwrap()).unwrap();
         // A symbol with equal lead/trail correlation (2 ones in each half).
         let sym = vec![
             true, true, false, false, false, false, false, true, true, false,
         ];
-        let mut slots = m.modulate(&mut t, &[0u8]);
+        let mut slots = m.modulate(&t, &[0u8]);
         slots[..10].copy_from_slice(&sym);
-        let (_, stats) = m.demodulate(&mut t, &slots, 1).unwrap();
+        let (_, stats) = m.demodulate(&t, &slots, 1).unwrap();
         assert_eq!(stats.symbol_failures, 1);
     }
 

@@ -61,12 +61,7 @@ impl SlotErrorProbs {
 
     /// Eq. 2: achievable data rate of pattern `s` in bit/s, given the slot
     /// duration.
-    pub fn data_rate_bps(
-        &self,
-        s: SymbolPattern,
-        tslot_secs: f64,
-        table: &mut BinomialTable,
-    ) -> f64 {
+    pub fn data_rate_bps(&self, s: SymbolPattern, tslot_secs: f64, table: &BinomialTable) -> f64 {
         let bits = s.bits_per_symbol(table) as f64;
         let t_symbol = s.n() as f64 * tslot_secs;
         bits / t_symbol * (1.0 - self.symbol_error_rate(s))
@@ -132,17 +127,17 @@ mod tests {
         // MPPM N=20 at l=0.1 -> 7 bits / 160 us ~ 43.75 Kbps (paper: 44.3
         // measured). SER correction is negligible at these probabilities.
         let p = SlotErrorProbs::paper_measured();
-        let mut t = BinomialTable::new(64);
-        let rate = p.data_rate_bps(s(20, 2), 8e-6, &mut t);
+        let t = BinomialTable::new(64);
+        let rate = p.data_rate_bps(s(20, 2), 8e-6, &t);
         assert!((rate - 43_750.0).abs() < 100.0, "rate={rate}");
     }
 
     #[test]
     fn data_rate_scales_with_slot_clock() {
         let p = SlotErrorProbs::ideal();
-        let mut t = BinomialTable::new(64);
-        let r1 = p.data_rate_bps(s(10, 5), 8e-6, &mut t);
-        let r2 = p.data_rate_bps(s(10, 5), 4e-6, &mut t);
+        let t = BinomialTable::new(64);
+        let r1 = p.data_rate_bps(s(10, 5), 8e-6, &t);
+        let r2 = p.data_rate_bps(s(10, 5), 4e-6, &t);
         assert!((r2 / r1 - 2.0).abs() < 1e-12);
     }
 
@@ -154,7 +149,7 @@ mod tests {
         };
         let pat = s(10, 5);
         assert_eq!(p.symbol_error_rate(pat), 1.0);
-        let mut t = BinomialTable::new(64);
-        assert_eq!(p.data_rate_bps(pat, 8e-6, &mut t), 0.0);
+        let t = BinomialTable::new(64);
+        assert_eq!(p.data_rate_bps(pat, 8e-6, &t), 0.0);
     }
 }

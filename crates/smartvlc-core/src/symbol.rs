@@ -7,7 +7,10 @@
 //! enumerative codec in the `combinat` crate.
 
 use crate::dimming::DimmingLevel;
-use combinat::{decode_codeword, encode_codeword, BigUint, BinomialTable, CodewordError};
+use combinat::{
+    decode_codeword, decode_codeword_with, encode_codeword, encode_codeword_into, BigUint,
+    BinomialTable, CodewordError, EncodeScratch,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -53,7 +56,7 @@ impl SymbolPattern {
     }
 
     /// Data bits per symbol: `⌊log2 C(N,K)⌋` (Eq. 2 numerator).
-    pub fn bits_per_symbol(self, table: &mut BinomialTable) -> u32 {
+    pub fn bits_per_symbol(self, table: &BinomialTable) -> u32 {
         table
             .bits_per_symbol(self.n as usize, self.k as usize)
             .expect("invariant k<=n")
@@ -61,26 +64,45 @@ impl SymbolPattern {
 
     /// Normalized data rate: bits per slot, `⌊log2 C(N,K)⌋ / N` — the
     /// y-axis of Figs. 6 and 9.
-    pub fn normalized_rate(self, table: &mut BinomialTable) -> f64 {
+    pub fn normalized_rate(self, table: &BinomialTable) -> f64 {
         self.bits_per_symbol(table) as f64 / self.n as f64
     }
 
     /// Encode one data word into slot states (Algorithm 1).
     pub fn encode(
         self,
-        table: &mut BinomialTable,
+        table: &BinomialTable,
         value: &BigUint,
     ) -> Result<Vec<bool>, CodewordError> {
         encode_codeword(table, self.n as usize, self.k as usize, value)
     }
 
     /// Decode received slot states back into the data word (Algorithm 2).
-    pub fn decode(
-        self,
-        table: &mut BinomialTable,
-        slots: &[bool],
-    ) -> Result<BigUint, CodewordError> {
+    pub fn decode(self, table: &BinomialTable, slots: &[bool]) -> Result<BigUint, CodewordError> {
         decode_codeword(table, self.n as usize, self.k as usize, slots)
+    }
+
+    /// Encode one data word, appending slots to `out` and reusing
+    /// `scratch` — the modems' per-frame hot path (no per-symbol
+    /// allocation).
+    pub fn encode_into(
+        self,
+        table: &BinomialTable,
+        value: &BigUint,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CodewordError> {
+        encode_codeword_into(table, self.n as usize, self.k as usize, value, scratch, out)
+    }
+
+    /// Decode received slot states reusing `scratch` for the accumulator.
+    pub fn decode_with(
+        self,
+        table: &BinomialTable,
+        slots: &[bool],
+        scratch: &mut EncodeScratch,
+    ) -> Result<BigUint, CodewordError> {
+        decode_codeword_with(table, self.n as usize, self.k as usize, slots, scratch)
     }
 }
 
@@ -129,27 +151,27 @@ mod tests {
 
     #[test]
     fn bits_match_paper_examples() {
-        let mut t = table();
+        let t = table();
         // S(20, 0.1): C(20,2)=190 -> 7 bits; normalized 0.35.
         let s = SymbolPattern::new(20, 2).unwrap();
-        assert_eq!(s.bits_per_symbol(&mut t), 7);
-        assert!((s.normalized_rate(&mut t) - 0.35).abs() < 1e-12);
+        assert_eq!(s.bits_per_symbol(&t), 7);
+        assert!((s.normalized_rate(&t) - 0.35).abs() < 1e-12);
         // S(21, 0.524): 18 bits -> 18/21 = 0.857 (Fig. 9's peak point).
         let s = SymbolPattern::new(21, 11).unwrap();
-        assert_eq!(s.bits_per_symbol(&mut t), 18);
-        assert!((s.normalized_rate(&mut t) - 18.0 / 21.0).abs() < 1e-12);
+        assert_eq!(s.bits_per_symbol(&t), 18);
+        assert!((s.normalized_rate(&t) - 18.0 / 21.0).abs() < 1e-12);
     }
 
     #[test]
     fn encode_decode_roundtrip() {
-        let mut t = table();
+        let t = table();
         let s = SymbolPattern::new(21, 11).unwrap();
         for v in [0u64, 1, 352_715, 77_777] {
             let val = BigUint::from_u64(v);
-            let slots = s.encode(&mut t, &val).unwrap();
+            let slots = s.encode(&t, &val).unwrap();
             assert_eq!(slots.len(), 21);
             assert_eq!(slots.iter().filter(|&&b| b).count(), 11);
-            assert_eq!(s.decode(&mut t, &slots).unwrap(), val);
+            assert_eq!(s.decode(&t, &slots).unwrap(), val);
         }
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for the modulation core.
 
-use proptest::prelude::*;
-use smartvlc_core::frame::format::{FrameHeader, PatternDescriptor};
-use smartvlc_core::amppm::SuperSymbol;
-use smartvlc_core::adaptation::{perceived, measured};
-use smartvlc_core::{DimmingLevel, SlotErrorProbs, SymbolPattern, SystemConfig};
 use combinat::{BinomialTable, BitReader, BitWriter};
+use proptest::prelude::*;
+use smartvlc_core::adaptation::{measured, perceived};
+use smartvlc_core::amppm::SuperSymbol;
+use smartvlc_core::frame::format::{FrameHeader, PatternDescriptor};
+use smartvlc_core::{DimmingLevel, SlotErrorProbs, SymbolPattern, SystemConfig};
 
 proptest! {
     /// Every valid pattern descriptor survives the 4-byte wire format.
@@ -62,15 +62,15 @@ proptest! {
         let s1 = SymbolPattern::new(n1, k1).unwrap();
         let s2 = SymbolPattern::new(n2, k2).unwrap();
         let ss = SuperSymbol::new(s1, m1, s2, m2).unwrap();
-        let mut table = BinomialTable::new(64);
+        let table = BinomialTable::new(64);
         let mut reader = BitReader::new(&data);
-        let slots = ss.encode(&mut table, &mut reader);
+        let slots = ss.encode(&table, &mut reader);
         prop_assert_eq!(slots.len() as u32, ss.n_super());
         prop_assert_eq!(slots.iter().filter(|&&b| b).count() as u32, ss.ones());
         let mut writer = BitWriter::new();
-        let failures = ss.decode(&mut table, &slots, &mut writer).unwrap();
+        let failures = ss.decode(&table, &slots, &mut writer).unwrap();
         prop_assert_eq!(failures, 0);
-        let consumed = (ss.bits(&mut table) as usize).min(data.len() * 8);
+        let consumed = (ss.bits(&table) as usize).min(data.len() * 8);
         let (bytes, _) = writer.finish();
         let mut orig = BitReader::new(&data);
         let mut got = BitReader::new(&bytes);
@@ -104,8 +104,10 @@ proptest! {
     /// level, under any (sane) quantum setting.
     #[test]
     fn quantization_error_bound(l in 0.0f64..=1.0, denom in 64u32..4096) {
-        let mut cfg = SystemConfig::default();
-        cfg.dimming_quantum = 1.0 / denom as f64;
+        let cfg = SystemConfig {
+            dimming_quantum: 1.0 / denom as f64,
+            ..SystemConfig::default()
+        };
         let back = cfg.dequantize_dimming(cfg.quantize_dimming(l));
         prop_assert!((back - l).abs() <= cfg.dimming_quantum / 2.0 + 1e-9,
             "l={} back={} q={}", l, back, cfg.dimming_quantum);

@@ -11,18 +11,18 @@
 pub use crate::tx::SchemeKind;
 
 use crate::mac::{AckTracker, MacHeader};
-use crate::uplink::UplinkMsg;
-use crate::uplink_vlc::{VlcUplink, VlcUplinkConfig};
-use vlc_hw::wifi::SideChannel;
 use crate::rx::{Receiver, RxEvent};
 use crate::stats::{LinkStats, ThroughputRecorder};
 use crate::tx::Transmitter;
+use crate::uplink::UplinkMsg;
+use crate::uplink_vlc::{VlcUplink, VlcUplinkConfig};
 use desim::{DetRng, SimDuration, SimTime};
 use smartvlc_core::SystemConfig;
 use std::collections::HashMap;
 use vlc_channel::ambient::AmbientProfile;
 use vlc_channel::link::{ChannelConfig, OpticalChannel};
 use vlc_channel::shadowing::{ShadowingModel, ShadowingProcess};
+use vlc_hw::wifi::SideChannel;
 
 /// How faithfully the channel is simulated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -186,12 +186,9 @@ impl LinkSimulation {
         let channel = OpticalChannel::new(cfg.channel, root.fork("channel"));
         let tracker = AckTracker::new(cfg.ack_timeout, cfg.max_retries);
         let wifi: Box<dyn SideChannel<UplinkMsg>> = match cfg.uplink {
-            UplinkKind::Wifi => {
-                Box::new(vlc_hw::WifiSideChannel::esp8266(root.fork("wifi")))
-            }
+            UplinkKind::Wifi => Box::new(vlc_hw::WifiSideChannel::esp8266(root.fork("wifi"))),
             UplinkKind::Vlc { tx_optical_w } => {
-                let mut up_cfg =
-                    VlcUplinkConfig::mobile_node(cfg.channel.geometry.distance_m);
+                let mut up_cfg = VlcUplinkConfig::mobile_node(cfg.channel.geometry.distance_m);
                 up_cfg.tx_optical_w = tx_optical_w;
                 up_cfg.ambient_lux = cfg.channel.ambient_lux;
                 Box::new(VlcUplink::new(up_cfg, root.fork("vlc-uplink")))
@@ -239,15 +236,21 @@ impl LinkSimulation {
                 if self.cfg.rx_ambient_reports {
                     let measured =
                         (lux * (1.0 + self.rx_sensor_rng.next_normal(0.0, 0.005))).max(0.0);
-                    self.wifi.send(now, UplinkMsg::AmbientReport { lux: measured });
+                    self.wifi
+                        .send(now, UplinkMsg::AmbientReport { lux: measured });
                 }
                 // The transmitter prefers a fresh receiver report (the
                 // receiver sits in the area of interest); stale or absent
                 // reports fall back to the local sensor.
                 let fresh_window = self.cfg.sense_interval * 3;
                 let effective_lux = match self.rx_ambient {
-                    Some((at, rx_lux)) if now.checked_duration_since(at)
-                        .is_some_and(|d| d <= fresh_window) => rx_lux,
+                    Some((at, rx_lux))
+                        if now
+                            .checked_duration_since(at)
+                            .is_some_and(|d| d <= fresh_window) =>
+                    {
+                        rx_lux
+                    }
                     _ => lux,
                 };
                 // EMA smoothing (alpha = 0.25, ~4-sample settling): the
@@ -457,12 +460,16 @@ mod tests {
             cfg.duration = SimDuration::millis(300);
             cfg.fidelity = fidelity;
             let mut sim = LinkSimulation::new(cfg).unwrap();
-            sim.run(&mut ConstantAmbient { lux: 5000.0 }).mean_goodput_bps
+            sim.run(&mut ConstantAmbient { lux: 5000.0 })
+                .mean_goodput_bps
         };
         let sampled = mk(ChannelFidelity::Sampled);
         let iid = mk(ChannelFidelity::SlotIid);
         let ratio = sampled / iid;
-        assert!((0.85..=1.15).contains(&ratio), "sampled={sampled} iid={iid}");
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "sampled={sampled} iid={iid}"
+        );
     }
 
     #[test]
@@ -500,7 +507,11 @@ mod tests {
         cfg.duration = SimDuration::secs(1);
         let mut sim = LinkSimulation::new(cfg).unwrap();
         let r = sim.run(&mut ConstantAmbient { lux: 8500.0 });
-        assert!(r.stats.frames_crc_fail + r.stats.frames_lost > 0, "{:?}", r.stats);
+        assert!(
+            r.stats.frames_crc_fail + r.stats.frames_lost > 0,
+            "{:?}",
+            r.stats
+        );
         assert!(r.stats.retransmissions > 0, "{:?}", r.stats);
         // Still makes some forward progress at 3.95 m.
         assert!(r.stats.frames_ok > 0, "{:?}", r.stats);

@@ -218,7 +218,10 @@ mod tests {
         let mut stream = s1;
         stream.extend(&s2);
         let events = rx.push_slots(&stream);
-        assert!(matches!(&events[0], RxEvent::CrcFailed { .. }), "{events:?}");
+        assert!(
+            matches!(&events[0], RxEvent::CrcFailed { .. }),
+            "{events:?}"
+        );
         // Frame 2 survives the resync (possibly after spurious rescan
         // events inside frame 1's corrupted body).
         assert!(events
@@ -230,7 +233,9 @@ mod tests {
     fn garbage_only_produces_no_events() {
         let mut rx = Receiver::new(cfg()).unwrap();
         // Random-ish but deterministic garbage.
-        let garbage: Vec<bool> = (0u64..5000).map(|i| (i.wrapping_mul(2654435761)) & 4 != 0).collect();
+        let garbage: Vec<bool> = (0u64..5000)
+            .map(|i| (i.wrapping_mul(2654435761)) & 4 != 0)
+            .collect();
         let events = rx.push_slots(&garbage);
         assert!(events.is_empty(), "{events:?}");
         assert!(rx.scan_skips > 0);
@@ -239,8 +244,8 @@ mod tests {
     #[test]
     fn destroyed_preamble_loses_frame_but_not_receiver() {
         let (_, mut s1) = make_frame(0.5, vec![5; 64]);
-        for i in 0..8 {
-            s1[i] = !s1[i]; // obliterate the preamble
+        for s in s1.iter_mut().take(8) {
+            *s = !*s; // obliterate the preamble
         }
         let (f2, s2) = make_frame(0.5, vec![6; 64]);
         let mut rx = Receiver::new(cfg()).unwrap();

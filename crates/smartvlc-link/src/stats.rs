@@ -141,6 +141,9 @@ mod tests {
         r.record(SimTime::from_millis(500), 3000);
         r.record(SimTime::from_millis(2500), 1000); // bucket 2; bucket 1 empty
         assert!((r.mean_bps() - 4000.0 / 3.0).abs() < 1e-9);
-        assert_eq!(ThroughputRecorder::new(SimDuration::secs(1)).mean_bps(), 0.0);
+        assert_eq!(
+            ThroughputRecorder::new(SimDuration::secs(1)).mean_bps(),
+            0.0
+        );
     }
 }

@@ -48,12 +48,14 @@ pub fn find_slot_phase(
         let decisions: Vec<bool> = levels.iter().map(|&v| detector.decide(v)).collect();
         let alternations = decisions.windows(2).filter(|w| w[0] != w[1]).count();
         let alt_frac = alternations as f64 / (decisions.len() - 1) as f64;
-        let half_swing = ((detector.mu_on_a - detector.mu_off_a) / 2.0).abs().max(1e-30);
+        let half_swing = ((detector.mu_on_a - detector.mu_off_a) / 2.0)
+            .abs()
+            .max(1e-30);
         let thr = detector.threshold();
         let margin = levels.iter().map(|&v| (v - thr).abs()).sum::<f64>()
             / (levels.len() as f64 * half_swing);
         let quality = alt_frac * margin.min(1.0);
-        if best.map_or(true, |b| quality > b.quality) {
+        if best.is_none_or(|b| quality > b.quality) {
             best = Some(PhaseLock { phase, quality });
         }
     }

@@ -55,11 +55,17 @@ impl SchemeKind {
             }
             SchemeKind::Vppm(n) => {
                 let w = ((level.value() * n as f64).round() as u8).clamp(1, (n - 1) as u8);
-                PatternDescriptor::Vppm { n: n as u8, width: w }
+                PatternDescriptor::Vppm {
+                    n: n as u8,
+                    width: w,
+                }
             }
             SchemeKind::Oppm(n) => {
                 let w = ((level.value() * n as f64).round() as u8).clamp(1, (n - 1) as u8);
-                PatternDescriptor::Oppm { n: n as u8, width: w }
+                PatternDescriptor::Oppm {
+                    n: n as u8,
+                    width: w,
+                }
             }
             SchemeKind::Darklight => PatternDescriptor::Darklight {
                 positions: 128,
@@ -165,8 +171,7 @@ impl Transmitter {
         let level = DimmingLevel::clamped(self.led_level);
         let descriptor = self.scheme.descriptor(&self.cfg, level);
         let payload = MacHeader { seq }.encapsulate(data);
-        let frame = Frame::new(descriptor, payload)
-            .expect("payload bounded by config");
+        let frame = Frame::new(descriptor, payload).expect("payload bounded by config");
         let slots = self.codec.emit(&frame)?;
         Ok((frame, slots))
     }
@@ -251,8 +256,7 @@ mod tests {
             let amb = 0.85 - 0.80 * i as f64 / 100.0;
             t.update_ambient(amb);
         }
-        let ratio =
-            t.fixed_adaptation.adjustments as f64 / t.smart_adaptation.adjustments as f64;
+        let ratio = t.fixed_adaptation.adjustments as f64 / t.smart_adaptation.adjustments as f64;
         assert!((1.5..=2.6).contains(&ratio), "ratio={ratio}");
     }
 
@@ -331,7 +335,11 @@ mod tests {
 
     #[test]
     fn baseline_schemes_roundtrip_too() {
-        for scheme in [SchemeKind::Mppm(20), SchemeKind::OokCt, SchemeKind::Vppm(10)] {
+        for scheme in [
+            SchemeKind::Mppm(20),
+            SchemeKind::OokCt,
+            SchemeKind::Vppm(10),
+        ] {
             let mut t = tx(scheme);
             t.update_ambient(0.6);
             let data = t.random_data();

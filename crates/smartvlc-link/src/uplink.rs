@@ -28,8 +28,7 @@ mod tests {
 
     #[test]
     fn mixed_traffic_flows_over_one_channel() {
-        let mut ch: WifiSideChannel<UplinkMsg> =
-            WifiSideChannel::ideal(DetRng::seed_from_u64(1));
+        let mut ch: WifiSideChannel<UplinkMsg> = WifiSideChannel::ideal(DetRng::seed_from_u64(1));
         let t = SimTime::from_millis(5);
         ch.send(t, UplinkMsg::Ack { seq: 7 });
         ch.send(t, UplinkMsg::AmbientReport { lux: 8080.0 });

@@ -16,12 +16,12 @@
 //! downlink's 3.6 m reach.
 
 use desim::{DetRng, SimDuration, SimTime};
-use vlc_hw::wifi::{SideChannel, SideChannelMsg};
 use vlc_channel::frontend::AnalogFrontend;
 use vlc_channel::led::LedModel;
 use vlc_channel::link::{ChannelConfig, OpticalChannel};
 use vlc_channel::optics::LambertianLink;
 use vlc_channel::photodiode::Photodiode;
+use vlc_hw::wifi::{SideChannel, SideChannelMsg};
 
 /// Parameters of the mobile node's uplink LED path.
 #[derive(Clone, Copy, Debug)]

@@ -8,6 +8,7 @@
 //! transmitter against N receivers and reports per-receiver goodput —
 //! the broadcast picture behind Fig. 16/17's single-receiver sweeps.
 
+use crate::runner::par_map;
 use desim::{DetRng, SimDuration};
 use smartvlc_core::SystemConfig;
 use smartvlc_link::mac::MacHeader;
@@ -38,12 +39,28 @@ pub struct SeatReport {
 
 /// Broadcast `duration` of AMPPM traffic at dimming level `level` to all
 /// `seats` simultaneously, under the bright-office ambient.
+///
+/// Seats fan out on the work pool: the transmit waveform is a pure
+/// function of `seed` (the TX stream is `root.fork("tx")`, untouched by
+/// any receiver), so each seat task regenerates it locally and runs only
+/// its own channel stream `root.fork_idx(seat)`. Re-encoding the frames
+/// per seat costs a little redundant CPU but removes every cross-seat
+/// data dependency — reports are bit-identical to the serial
+/// one-TX-loop formulation at any `SMARTVLC_THREADS`.
 pub fn run_broadcast(
     level: f64,
     seats: &[Seat],
     duration: SimDuration,
     seed: u64,
 ) -> Vec<SeatReport> {
+    par_map(seats, |i, &seat| {
+        run_seat(level, seat, i as u64, duration, seed)
+    })
+}
+
+/// One seat's end of the broadcast: replay the (deterministic) TX frame
+/// sequence through this seat's own channel and receiver.
+fn run_seat(level: f64, seat: Seat, seat_idx: u64, duration: SimDuration, seed: u64) -> SeatReport {
     let cfg = SystemConfig::default();
     let ambient_lux = 8080.0;
     let root = DetRng::seed_from_u64(seed);
@@ -57,29 +74,12 @@ pub fn run_broadcast(
     )
     .expect("valid config");
 
-    struct Rx {
-        channel: OpticalChannel,
-        receiver: Receiver,
-        ok: u64,
-        bad: u64,
-        bytes: u64,
-    }
-    let mut rxs: Vec<Rx> = seats
-        .iter()
-        .enumerate()
-        .map(|(i, seat)| {
-            let mut ch_cfg = ChannelConfig::paper_bench(seat.distance_m);
-            ch_cfg.geometry.off_axis_deg = seat.off_axis_deg;
-            ch_cfg.ambient_lux = ambient_lux;
-            Rx {
-                channel: OpticalChannel::new(ch_cfg, root.fork_idx(i as u64)),
-                receiver: Receiver::new(cfg.clone()).expect("valid config"),
-                ok: 0,
-                bad: 0,
-                bytes: 0,
-            }
-        })
-        .collect();
+    let mut ch_cfg = ChannelConfig::paper_bench(seat.distance_m);
+    ch_cfg.geometry.off_axis_deg = seat.off_axis_deg;
+    ch_cfg.ambient_lux = ambient_lux;
+    let mut channel = OpticalChannel::new(ch_cfg, root.fork_idx(seat_idx));
+    let mut receiver = Receiver::new(cfg.clone()).expect("valid config");
+    let (mut ok, mut bad, mut bytes) = (0u64, 0u64, 0u64);
 
     let tslot_ns = cfg.tslot_nanos();
     let mut elapsed_ns = 0u64;
@@ -89,33 +89,27 @@ pub fn run_broadcast(
         let (_, slots) = tx.build_frame(seq, &data).expect("level carries data");
         seq = seq.wrapping_add(1);
         elapsed_ns += slots.len() as u64 * tslot_ns;
-        // The SAME waveform flies to every seat through its own channel.
-        for rx in rxs.iter_mut() {
-            let decided = rx.channel.transmit_and_decide(&slots);
-            for ev in rx.receiver.push_slots(&decided) {
-                match ev {
-                    RxEvent::Frame { frame, .. } => {
-                        rx.ok += 1;
-                        if let Some((_, body)) = MacHeader::decapsulate(&frame.payload) {
-                            rx.bytes += body.len() as u64;
-                        }
+        // The SAME waveform every other seat sees, through THIS channel.
+        let decided = channel.transmit_and_decide(&slots);
+        for ev in receiver.push_slots(&decided) {
+            match ev {
+                RxEvent::Frame { frame, .. } => {
+                    ok += 1;
+                    if let Some((_, body)) = MacHeader::decapsulate(&frame.payload) {
+                        bytes += body.len() as u64;
                     }
-                    RxEvent::CrcFailed { .. } => rx.bad += 1,
                 }
+                RxEvent::CrcFailed { .. } => bad += 1,
             }
         }
     }
     let secs = elapsed_ns as f64 / 1e9;
-    seats
-        .iter()
-        .zip(rxs)
-        .map(|(&seat, rx)| SeatReport {
-            seat,
-            frames_ok: rx.ok,
-            frames_bad: rx.bad,
-            goodput_bps: rx.bytes as f64 * 8.0 / secs,
-        })
-        .collect()
+    SeatReport {
+        seat,
+        frames_ok: ok,
+        frames_bad: bad,
+        goodput_bps: bytes as f64 * 8.0 / secs,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +142,10 @@ mod tests {
         let reports = run_broadcast(0.5, &seats(), SimDuration::millis(400), 7);
         assert_eq!(reports.len(), 4);
         // Near boresight seats decode everything...
-        assert!(reports[0].frames_ok > 0 && reports[0].frames_bad == 0, "{reports:?}");
+        assert!(
+            reports[0].frames_ok > 0 && reports[0].frames_bad == 0,
+            "{reports:?}"
+        );
         assert!(reports[1].frames_ok > 0, "{reports:?}");
         // ...the wide-angle mid seat is degraded or dead...
         assert!(

@@ -11,9 +11,7 @@
 //! figures a deployment study would want.
 
 use desim::{SimDuration, SimTime};
-use smartvlc_core::adaptation::{
-    AdaptationStepper, FixedStepper, PerceptionStepper,
-};
+use smartvlc_core::adaptation::{AdaptationStepper, FixedStepper, PerceptionStepper};
 use smartvlc_core::dimming::IlluminationTarget;
 use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
 use smartvlc_link::link::TracePoint;
@@ -57,7 +55,7 @@ pub fn run_day(
     full_scale_lux: f64,
 ) -> DayReport {
     let cfg = SystemConfig::default();
-    let mut planner = AmppmPlanner::new(cfg.clone()).expect("valid config");
+    let planner = AmppmPlanner::new(cfg.clone()).expect("valid config");
     let illum = IlluminationTarget::new(i_sum);
     let smart = PerceptionStepper::new(cfg.tau_p);
     let fixed = FixedStepper::flicker_safe(cfg.tau_p, 0.1);
@@ -118,13 +116,7 @@ mod tests {
 
     fn day() -> DayReport {
         let mut profile = DiurnalProfile::dutch_autumn(DetRng::seed_from_u64(1));
-        run_day(
-            &mut profile,
-            24.0,
-            SimDuration::secs(60),
-            1.0,
-            10_000.0,
-        )
+        run_day(&mut profile, 24.0, SimDuration::secs(60), 1.0, 10_000.0)
     }
 
     #[test]

@@ -39,10 +39,7 @@ pub fn run_dynamic(scheme: SchemeKind, duration_s: Option<f64>, seed: u64) -> Dy
     ramp.duration_s = secs;
     let mut sim = LinkSimulation::new(cfg).expect("valid scenario");
     let report = sim.run(&mut ramp);
-    let (_, smart, fixed) = *report
-        .adaptation
-        .last()
-        .expect("at least one sense tick");
+    let (_, smart, fixed) = *report.adaptation.last().expect("at least one sense tick");
     let adaptation_reduction = if fixed == 0 {
         0.0
     } else {

@@ -7,8 +7,8 @@
 //! out of the LED-level trace: a smart luminaire spends
 //! `P_max · ∫ l(t) dt` against a dumb luminaire's `P_max · T`.
 
-use smartvlc_link::link::TracePoint;
 use serde::{Deserialize, Serialize};
+use smartvlc_link::link::TracePoint;
 
 /// Energy summary of one scenario run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -77,8 +77,9 @@ mod tests {
     #[test]
     fn trapezoid_handles_ramps() {
         // LED ramps 1.0 -> 0.0 over 10 s: mean duty 0.5.
-        let trace: Vec<TracePoint> =
-            (0..=10).map(|i| pt(i as f64, 1.0 - i as f64 / 10.0)).collect();
+        let trace: Vec<TracePoint> = (0..=10)
+            .map(|i| pt(i as f64, 1.0 - i as f64 / 10.0))
+            .collect();
         let r = energy_from_trace(&trace, 4.7).unwrap();
         assert!((r.mean_duty - 0.5).abs() < 1e-9);
         assert!((r.saving - 0.5).abs() < 1e-9);

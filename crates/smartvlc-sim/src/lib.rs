@@ -13,6 +13,9 @@
 //!   models.
 //! * [`report`] — CSV/markdown table writers and a terminal plot helper
 //!   so every figure generator can both print and persist its data.
+//! * [`runner`] — the deterministic parallel work pool every sweep fans
+//!   out on: `(point × seed)` tasks with keyed RNG streams, bit-identical
+//!   results at any `SMARTVLC_THREADS`.
 //!
 //! Beyond the paper's own evaluation:
 //!
@@ -32,6 +35,7 @@ pub mod dynamic_run;
 pub mod energy;
 pub mod perception;
 pub mod report;
+pub mod runner;
 pub mod static_run;
 pub mod stats_util;
 
@@ -40,7 +44,9 @@ pub use daylong::{run_day, DayReport};
 pub use dynamic_run::{run_dynamic, DynamicOutcome};
 pub use energy::{energy_from_trace, EnergyReport};
 pub use perception::{StudyCondition, UserStudy, Viewing};
-pub use stats_util::{summarize, Summary};
+pub use runner::{par_map, par_sweep, par_sweep_summaries, task_rng, task_seed, TaskId};
 pub use static_run::{
-    run_distance_sweep, run_incidence_sweep, run_scheme_comparison, StaticPoint,
+    run_distance_matrix, run_distance_sweep, run_incidence_matrix, run_incidence_sweep,
+    run_scheme_comparison, run_scheme_matrix, StaticPoint,
 };
+pub use stats_util::{summarize, try_summarize, Summary};

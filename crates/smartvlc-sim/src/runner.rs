@@ -1,0 +1,280 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every figure in the paper is a sweep: a grid of experiment points
+//! (dimming level, distance, incidence angle, seat, …), each simulated
+//! independently, often replicated across seeds. The points share nothing
+//! but read-only configuration — the ideal fan-out — yet the figure
+//! generators ran them serially. This module is the work pool they fan
+//! out on, with one hard guarantee:
+//!
+//! > **Results are bit-identical at any thread count.**
+//!
+//! Three design rules deliver that:
+//!
+//! 1. **Keyed RNG streams.** A task never samples from a pool-wide RNG
+//!    (whose interleaving would depend on scheduling). Each `(point_id,
+//!    seed)` tuple derives its own [`desim::DetRng`] stream via
+//!    [`task_rng`] — fork-by-label then fork-by-index, exactly the
+//!    scheme the simulator itself uses for per-component streams — so a
+//!    task's randomness is a pure function of its identity.
+//! 2. **Submission-order collection.** Workers pull tasks from an atomic
+//!    cursor (dynamic load balancing — sweep points have wildly uneven
+//!    cost near cliff edges), but results are reassembled by task index
+//!    before being returned.
+//! 3. **No shared mutable simulation state.** Tasks receive `&` borrows
+//!    only; the binomial table and planner caches the tasks touch are
+//!    the `Arc`-shared read-mostly structures from `combinat` and
+//!    `smartvlc-core`.
+//!
+//! Thread count comes from `SMARTVLC_THREADS` (or the machine's available
+//! parallelism), and `SMARTVLC_THREADS=1` degenerates to exactly the old
+//! serial loop — same results, same order.
+
+use crate::stats_util::{try_summarize, Summary};
+use desim::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads to use: `SMARTVLC_THREADS` if set (clamped to ≥ 1),
+/// otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("SMARTVLC_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The deterministic RNG stream for task `(point_id, seed)`.
+///
+/// Streams for distinct tuples are independent (distinct xoshiro states
+/// reached through splitmix-seeded label/index forks), and the mapping is
+/// stable across thread counts, platforms, and releases — it is part of
+/// the reproducibility contract.
+pub fn task_rng(seed: u64, point_id: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
+        .fork("runner")
+        .fork_idx(point_id)
+}
+
+/// A `u64` seed derived from `(point_id, seed)` — for experiment entry
+/// points that take a seed rather than a [`DetRng`] (they fork their own
+/// streams internally from it).
+pub fn task_seed(seed: u64, point_id: u64) -> u64 {
+    task_rng(seed, point_id).next_u64()
+}
+
+/// Parallel order-preserving map: run `f(index, &points[index])` for every
+/// point on the work pool and return the results in submission order.
+///
+/// `f` is called at most once per point, from an unspecified thread, in an
+/// unspecified order; the *returned vector* is always in point order. With
+/// one worker this is exactly `points.iter().enumerate().map(..)`.
+pub fn par_map<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let threads = thread_count().min(points.len().max(1));
+    if threads <= 1 {
+        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= points.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &points[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner worker panicked"))
+            .collect()
+    })
+    .expect("runner scope panicked");
+
+    // Reassemble in submission order.
+    let mut tagged: Vec<(usize, R)> = per_worker.drain(..).flatten().collect();
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), points.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One cell of a sweep × seed fan-out: which point, which replicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskId {
+    /// Index of the sweep point.
+    pub point: usize,
+    /// Index of the replicate.
+    pub replicate: usize,
+    /// The derived per-task seed (stable across thread counts).
+    pub seed: u64,
+}
+
+/// Fan a sweep out over `(point × replicate)` tasks and collect the raw
+/// per-task results grouped by point (inner vectors in replicate order).
+///
+/// `f` receives the point, the task id, and the task's derived seed via
+/// `id.seed` — it must not consume randomness from anywhere else.
+pub fn par_sweep<P, R, F>(points: &[P], replicates: usize, base_seed: u64, f: F) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, TaskId) -> R + Sync,
+{
+    let tasks: Vec<TaskId> = (0..points.len())
+        .flat_map(|point| {
+            (0..replicates).map(move |replicate| TaskId {
+                point,
+                replicate,
+                // One keyed stream per (point, replicate) cell.
+                seed: task_seed(base_seed, (point * replicates + replicate) as u64),
+            })
+        })
+        .collect();
+    let flat = par_map(&tasks, |_, &id| f(&points[id.point], id));
+    let mut grouped: Vec<Vec<R>> = (0..points.len()).map(|_| Vec::new()).collect();
+    for (id, r) in tasks.iter().zip(flat) {
+        grouped[id.point].push(r);
+    }
+    grouped
+}
+
+/// [`par_sweep`] for scalar measurements: returns a per-point
+/// mean ± CI [`Summary`] over the replicates.
+pub fn par_sweep_summaries<P, F>(
+    points: &[P],
+    replicates: usize,
+    base_seed: u64,
+    f: F,
+) -> Vec<Summary>
+where
+    P: Sync,
+    F: Fn(&P, TaskId) -> f64 + Sync,
+{
+    par_sweep(points, replicates, base_seed, f)
+        .iter()
+        .map(|samples| try_summarize(samples).expect("replicates >= 1"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Run `f` with `SMARTVLC_THREADS` pinned to `n`, serializing access
+    /// to the process-global env var across the test binary.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old = std::env::var("SMARTVLC_THREADS").ok();
+        std::env::set_var("SMARTVLC_THREADS", n.to_string());
+        let out = f();
+        match old {
+            Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
+            None => std::env::remove_var("SMARTVLC_THREADS"),
+        }
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let points: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = with_threads(threads, || par_map(&points, |i, &p| (i as u64) * 1000 + p));
+            let expect: Vec<u64> = (0..100).map(|i| i * 1000 + i).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        // A task that consumes its keyed stream: any scheduling
+        // difference would surface as different outputs.
+        let points: Vec<usize> = (0..40).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par_map(&points, |i, _| {
+                    let mut rng = task_rng(42, i as u64);
+                    (0..50).map(|_| rng.next_u64() >> 32).sum::<u64>()
+                })
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn task_streams_are_distinct() {
+        // First draws of many (seed, point) streams must not collide —
+        // colliding streams would silently correlate replicates.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..20u64 {
+            for point in 0..50u64 {
+                assert!(
+                    seen.insert(task_rng(seed, point).next_u64()),
+                    "stream collision at seed={seed} point={point}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_sweep_groups_by_point() {
+        let points = [10.0f64, 20.0, 30.0];
+        let grouped = with_threads(4, || {
+            par_sweep(&points, 3, 1, |&p, id| p + id.replicate as f64)
+        });
+        assert_eq!(grouped.len(), 3);
+        assert_eq!(grouped[0], vec![10.0, 11.0, 12.0]);
+        assert_eq!(grouped[2], vec![30.0, 31.0, 32.0]);
+    }
+
+    #[test]
+    fn par_sweep_summaries_aggregate() {
+        let points = [100.0f64, 200.0];
+        let sums = par_sweep_summaries(&points, 4, 9, |&p, id| p + id.replicate as f64);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].n, 4);
+        assert!((sums[0].mean - 101.5).abs() < 1e-12);
+        assert!((sums[1].mean - 201.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_cell_seeds_are_stable_and_distinct() {
+        let a = with_threads(1, || par_sweep(&[0u8; 5], 7, 3, |_, id| id.seed));
+        let b = with_threads(8, || par_sweep(&[0u8; 5], 7, 3, |_, id| id.seed));
+        assert_eq!(a, b, "cell seeds must not depend on thread count");
+        let flat: Vec<u64> = a.into_iter().flatten().collect();
+        let set: std::collections::HashSet<u64> = flat.iter().copied().collect();
+        assert_eq!(set.len(), flat.len(), "cell seeds must be distinct");
+    }
+
+    #[test]
+    fn thread_count_respects_env() {
+        assert_eq!(with_threads(3, thread_count), 3);
+        assert_eq!(with_threads(1, thread_count), 1);
+        // Garbage or zero falls back to 1, never 0.
+        assert!(thread_count() >= 1);
+    }
+}

@@ -8,8 +8,12 @@
 //! * distance at three dimming levels → Fig. 16,
 //! * incidence angle at three distances → Fig. 17.
 //!
-//! Each point is a full end-to-end [`LinkSimulation`] run.
+//! Each point is a full end-to-end [`LinkSimulation`] run. Points are
+//! independent, so every sweep fans out on [`crate::runner::par_map`] —
+//! results are bit-identical at any `SMARTVLC_THREADS`, because each
+//! point's simulation derives all randomness from its own `(cfg, seed)`.
 
+use crate::runner::par_map;
 use desim::SimDuration;
 use smartvlc_link::{LinkConfig, LinkSimulation, SchemeKind};
 use vlc_channel::ambient::ConstantAmbient;
@@ -63,14 +67,11 @@ pub fn run_scheme_comparison(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<StaticPoint> {
-    levels
-        .iter()
-        .map(|&l| {
-            let mut cfg = LinkConfig::paper_static(3.0, scheme, seed);
-            cfg.duration = duration;
-            run_point(cfg, l)
-        })
-        .collect()
+    par_map(levels, |_, &l| {
+        let mut cfg = LinkConfig::paper_static(3.0, scheme, seed);
+        cfg.duration = duration;
+        run_point(cfg, l)
+    })
 }
 
 /// Fig. 16: goodput vs distance at fixed dimming levels.
@@ -81,14 +82,11 @@ pub fn run_distance_sweep(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<StaticPoint> {
-    distances_m
-        .iter()
-        .map(|&d| {
-            let mut cfg = LinkConfig::paper_static(d, scheme, seed);
-            cfg.duration = duration;
-            run_point(cfg, level)
-        })
-        .collect()
+    par_map(distances_m, |_, &d| {
+        let mut cfg = LinkConfig::paper_static(d, scheme, seed);
+        cfg.duration = duration;
+        run_point(cfg, level)
+    })
 }
 
 /// Fig. 17: goodput vs incidence angle at a fixed distance.
@@ -100,20 +98,92 @@ pub fn run_incidence_sweep(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<StaticPoint> {
-    angles_deg
-        .iter()
-        .map(|&a| {
-            let mut cfg = LinkConfig::paper_static(distance_m, scheme, seed);
-            cfg.channel.geometry.off_axis_deg = a;
-            cfg.duration = duration;
-            run_point(cfg, level)
-        })
-        .collect()
+    par_map(angles_deg, |_, &a| {
+        let mut cfg = LinkConfig::paper_static(distance_m, scheme, seed);
+        cfg.channel.geometry.off_axis_deg = a;
+        cfg.duration = duration;
+        run_point(cfg, level)
+    })
 }
 
 /// The paper's 17 evaluation dimming levels: 0.10, 0.15, ..., 0.90.
 pub fn paper_levels() -> Vec<f64> {
     (2..=18).map(|i| i as f64 / 20.0).collect()
+}
+
+/// Fig. 15 as one flat fan-out: every `(scheme × level)` cell is an
+/// independent task on the pool, so a 3-scheme × 17-level figure keeps
+/// all workers busy instead of parallelizing one scheme at a time.
+/// Returns one sweep per scheme, in scheme order — cell values are
+/// identical to per-scheme [`run_scheme_comparison`] calls.
+pub fn run_scheme_matrix(
+    schemes: &[SchemeKind],
+    levels: &[f64],
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<Vec<StaticPoint>> {
+    let cells: Vec<(SchemeKind, f64)> = schemes
+        .iter()
+        .flat_map(|&s| levels.iter().map(move |&l| (s, l)))
+        .collect();
+    let flat = par_map(&cells, |_, &(scheme, l)| {
+        let mut cfg = LinkConfig::paper_static(3.0, scheme, seed);
+        cfg.duration = duration;
+        run_point(cfg, l)
+    });
+    flat.chunks(levels.len().max(1))
+        .map(<[_]>::to_vec)
+        .collect()
+}
+
+/// Fig. 16 as one flat fan-out over `(level × distance)` cells; returns
+/// one distance sweep per level, matching per-level
+/// [`run_distance_sweep`] calls cell for cell.
+pub fn run_distance_matrix(
+    scheme: SchemeKind,
+    levels: &[f64],
+    distances_m: &[f64],
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<Vec<StaticPoint>> {
+    let cells: Vec<(f64, f64)> = levels
+        .iter()
+        .flat_map(|&l| distances_m.iter().map(move |&d| (l, d)))
+        .collect();
+    let flat = par_map(&cells, |_, &(l, d)| {
+        let mut cfg = LinkConfig::paper_static(d, scheme, seed);
+        cfg.duration = duration;
+        run_point(cfg, l)
+    });
+    flat.chunks(distances_m.len().max(1))
+        .map(<[_]>::to_vec)
+        .collect()
+}
+
+/// Fig. 17 as one flat fan-out over `(distance × angle)` cells; returns
+/// one angle sweep per distance, matching per-distance
+/// [`run_incidence_sweep`] calls cell for cell.
+pub fn run_incidence_matrix(
+    scheme: SchemeKind,
+    level: f64,
+    distances_m: &[f64],
+    angles_deg: &[f64],
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<Vec<StaticPoint>> {
+    let cells: Vec<(f64, f64)> = distances_m
+        .iter()
+        .flat_map(|&d| angles_deg.iter().map(move |&a| (d, a)))
+        .collect();
+    let flat = par_map(&cells, |_, &(d, a)| {
+        let mut cfg = LinkConfig::paper_static(d, scheme, seed);
+        cfg.channel.geometry.off_axis_deg = a;
+        cfg.duration = duration;
+        run_point(cfg, level)
+    });
+    flat.chunks(angles_deg.len().max(1))
+        .map(<[_]>::to_vec)
+        .collect()
 }
 
 #[cfg(test)]
@@ -160,13 +230,7 @@ mod tests {
 
     #[test]
     fn fig16_cliff_is_present() {
-        let pts = run_distance_sweep(
-            SchemeKind::Amppm,
-            0.5,
-            &[2.0, 3.0, 4.5],
-            short(),
-            2,
-        );
+        let pts = run_distance_sweep(SchemeKind::Amppm, 0.5, &[2.0, 3.0, 4.5], short(), 2);
         // Flat region then collapse.
         assert!(pts[1].goodput_bps > 0.85 * pts[0].goodput_bps, "{pts:?}");
         assert!(pts[2].goodput_bps < 0.2 * pts[0].goodput_bps, "{pts:?}");

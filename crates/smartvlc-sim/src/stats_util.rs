@@ -21,9 +21,13 @@ pub struct Summary {
     pub ci95: f64,
 }
 
-/// Summarize a sample set. Panics on an empty slice.
-pub fn summarize(samples: &[f64]) -> Summary {
-    assert!(!samples.is_empty(), "no samples");
+/// Summarize a sample set, or `None` for an empty one — the total-function
+/// form for callers whose sample sets come from filters or sweeps that can
+/// legitimately come up empty.
+pub fn try_summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
     let std_dev = if n < 2 {
@@ -31,12 +35,18 @@ pub fn summarize(samples: &[f64]) -> Summary {
     } else {
         (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
     };
-    Summary {
+    Some(Summary {
         n,
         mean,
         std_dev,
         ci95: 1.96 * std_dev / (n as f64).sqrt(),
-    }
+    })
+}
+
+/// Summarize a sample set. Panics on an empty slice; use
+/// [`try_summarize`] where emptiness is a real possibility.
+pub fn summarize(samples: &[f64]) -> Summary {
+    try_summarize(samples).expect("no samples")
 }
 
 impl Summary {
@@ -81,6 +91,15 @@ mod tests {
     }
 
     #[test]
+    fn try_summarize_is_total() {
+        assert_eq!(try_summarize(&[]), None);
+        let s = try_summarize(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(Some(summarize(&[1.0, 3.0])), try_summarize(&[1.0, 3.0]));
+    }
+
+    #[test]
     fn separation_screen() {
         let a = summarize(&[10.0, 10.1, 9.9, 10.0]);
         let b = summarize(&[12.0, 12.1, 11.9, 12.0]);
@@ -92,7 +111,11 @@ mod tests {
     #[test]
     fn fmt_rounds() {
         let s = summarize(&[1.234, 1.236]);
-        assert!(s.fmt(2).starts_with("1.23 ±") || s.fmt(2).starts_with("1.24 ±"), "{}", s.fmt(2));
+        assert!(
+            s.fmt(2).starts_with("1.23 ±") || s.fmt(2).starts_with("1.24 ±"),
+            "{}",
+            s.fmt(2)
+        );
     }
 
     #[test]
@@ -105,9 +128,7 @@ mod tests {
         let dur = SimDuration::millis(400);
         let collect = |scheme| -> Vec<f64> {
             (0..5)
-                .map(|seed| {
-                    run_scheme_comparison(scheme, &[0.2], dur, 100 + seed)[0].goodput_bps
-                })
+                .map(|seed| run_scheme_comparison(scheme, &[0.2], dur, 100 + seed)[0].goodput_bps)
                 .collect()
         };
         let amppm = summarize(&collect(SchemeKind::Amppm));

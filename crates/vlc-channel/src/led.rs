@@ -65,12 +65,7 @@ impl LedModel {
     /// `tslot_s`; the output tracks the drive exponentially with the
     /// rise/fall constants. The initial state is the first slot's target
     /// (steady operation, not cold start).
-    pub fn synthesize(
-        &self,
-        slots: &[bool],
-        tslot_s: f64,
-        samples_per_slot: usize,
-    ) -> Vec<f64> {
+    pub fn synthesize(&self, slots: &[bool], tslot_s: f64, samples_per_slot: usize) -> Vec<f64> {
         assert!(samples_per_slot >= 1, "need at least one sample per slot");
         assert!(tslot_s > 0.0, "slot duration must be positive");
         let dt = tslot_s / samples_per_slot as f64;

@@ -122,9 +122,9 @@ impl OpticalChannel {
     /// before slot averaging): thermal ⊕ ambient RIN ⊕ shot.
     fn per_sample_sigma(&self) -> f64 {
         let i_amb = self.ambient_current();
-        let i_sig_mid =
-            0.5 * self.cfg.rx_diode.responsivity_a_per_w
-                * self.cfg.geometry.received_power_w(self.cfg.led.on_power_w);
+        let i_sig_mid = 0.5
+            * self.cfg.rx_diode.responsivity_a_per_w
+            * self.cfg.geometry.received_power_w(self.cfg.led.on_power_w);
         let fs = self.cfg.samples_per_slot as f64 / self.cfg.tslot_s;
         let shot = self
             .cfg
@@ -142,10 +142,7 @@ impl OpticalChannel {
     /// first (which straddles the LED transition).
     pub fn transmit(&mut self, slots: &[bool]) -> Vec<f64> {
         let spp = self.cfg.samples_per_slot;
-        let optical = self
-            .cfg
-            .led
-            .synthesize(slots, self.cfg.tslot_s, spp);
+        let optical = self.cfg.led.synthesize(slots, self.cfg.tslot_s, spp);
         let gain = self.cfg.geometry.path_gain() * self.blockage_gain;
         let i_amb = self.ambient_current();
         let i_amb_rin = self.cfg.ambient_rin * i_amb;
@@ -158,8 +155,7 @@ impl OpticalChannel {
                 let shot = self.cfg.rx_diode.shot_noise_std_a(i_sig + i_amb, fs / 2.0);
                 // Shot + ambient RIN enter before the frontend; the
                 // frontend adds its own thermal noise and quantizes.
-                let noise =
-                    self.rng.next_gaussian() * (shot * shot + i_amb_rin * i_amb_rin).sqrt();
+                let noise = self.rng.next_gaussian() * (shot * shot + i_amb_rin * i_amb_rin).sqrt();
                 let code = self.cfg.frontend.sample(i_sig + noise, &mut self.rng);
                 acc += self.cfg.frontend.code_to_current(code);
             }
@@ -183,15 +179,16 @@ impl OpticalChannel {
         let mu_on = r * self.cfg.led.steady_power(1.0) * gain;
         let mu_off = r * self.cfg.led.steady_power(0.0) * gain;
         // Saturation: the frontend clips; fold the clipped swing in.
-        let max_i = self.cfg.frontend.code_to_current(u16::MAX.min(
-            ((1u64 << self.cfg.frontend.adc_bits) - 1) as u16,
-        ));
+        let max_i = self
+            .cfg
+            .frontend
+            .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16);
         let mu_on = mu_on.min(max_i);
         let mu_off = mu_off.min(max_i);
-        let sigma =
-            self.per_sample_sigma() / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
+        let sigma = self.per_sample_sigma() / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
         // Quantization adds lsb/sqrt(12) per sample.
-        let q = self.cfg.frontend.lsb_current_a() / 12f64.sqrt()
+        let q = self.cfg.frontend.lsb_current_a()
+            / 12f64.sqrt()
             / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
         SlotDetector::from_levels(mu_on, mu_off, (sigma * sigma + q * q).sqrt())
     }
@@ -250,11 +247,7 @@ mod tests {
         let n = 60_000;
         let slots: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let decided = ch.transmit_and_decide(&slots);
-        let errors = decided
-            .iter()
-            .zip(&slots)
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors = decided.iter().zip(&slots).filter(|(a, b)| a != b).count();
         let measured = errors as f64 / n as f64;
         let expected = (probs.p_on_error + probs.p_off_error) / 2.0;
         assert!(

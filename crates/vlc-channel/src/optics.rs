@@ -103,10 +103,7 @@ impl LambertianLink {
     /// diffuse floor.
     pub fn path_gain(&self) -> f64 {
         assert!(self.distance_m > 0.0, "distance must be positive");
-        let diffuse = self
-            .diffuse
-            .map(|d| d.gain(self.rx_area_m2))
-            .unwrap_or(0.0);
+        let diffuse = self.diffuse.map(|d| d.gain(self.rx_area_m2)).unwrap_or(0.0);
         let theta = self.off_axis_deg.to_radians();
         if self.off_axis_deg.abs() > self.rx_fov_deg || theta.cos() <= 0.0 {
             return diffuse;
@@ -134,7 +131,11 @@ mod tests {
         assert!((l.mode_number() - 1.0).abs() < 1e-12);
         // Narrower beams concentrate: m grows.
         l.semi_angle_deg = 15.0;
-        assert!((l.mode_number() - 20.0).abs() < 1.0, "m={}", l.mode_number());
+        assert!(
+            (l.mode_number() - 20.0).abs() < 1.0,
+            "m={}",
+            l.mode_number()
+        );
     }
 
     #[test]

@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn negative_inputs_clamped() {
         let pd = Photodiode::sfh206k();
-        assert_eq!(
-            pd.photocurrent_a(-1.0, -100.0),
-            pd.dark_current_a
-        );
+        assert_eq!(pd.photocurrent_a(-1.0, -100.0), pd.dark_current_a);
     }
 
     #[test]
@@ -122,8 +119,7 @@ mod tests {
     fn receiver_diode_outresponds_sensor_diode() {
         // The SFH206K was chosen over the OPT101 for the receive path.
         assert!(
-            Photodiode::sfh206k().responsivity_a_per_w
-                > Photodiode::opt101().responsivity_a_per_w
+            Photodiode::sfh206k().responsivity_a_per_w > Photodiode::opt101().responsivity_a_per_w
         );
     }
 }

@@ -76,7 +76,7 @@ impl ShadowingProcess {
                 self.model.mean_clear_s
             };
             let dwell = exponential(&mut self.rng, mean);
-            self.until = self.until + SimDuration::from_secs_f64(dwell);
+            self.until += SimDuration::from_secs_f64(dwell);
         }
         if self.blocked {
             self.model.blocked_gain
@@ -105,20 +105,16 @@ mod tests {
 
     #[test]
     fn starts_clear() {
-        let mut p = ShadowingProcess::new(
-            ShadowingModel::office_walkway(),
-            DetRng::seed_from_u64(1),
-        );
+        let mut p =
+            ShadowingProcess::new(ShadowingModel::office_walkway(), DetRng::seed_from_u64(1));
         assert_eq!(p.gain_at(SimTime::ZERO), 1.0);
         assert!(!p.is_blocked());
     }
 
     #[test]
     fn blocks_and_clears_over_time() {
-        let mut p = ShadowingProcess::new(
-            ShadowingModel::office_walkway(),
-            DetRng::seed_from_u64(2),
-        );
+        let mut p =
+            ShadowingProcess::new(ShadowingModel::office_walkway(), DetRng::seed_from_u64(2));
         let mut saw_blocked = false;
         let mut saw_clear_after = false;
         for s in 0..600 {
@@ -157,12 +153,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let mk = || {
-            ShadowingProcess::new(
-                ShadowingModel::office_walkway(),
-                DetRng::seed_from_u64(9),
-            )
-        };
+        let mk =
+            || ShadowingProcess::new(ShadowingModel::office_walkway(), DetRng::seed_from_u64(9));
         let mut a = mk();
         let mut b = mk();
         for s in 0..200 {

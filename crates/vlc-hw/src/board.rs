@@ -141,7 +141,7 @@ mod tests {
             s.spawn(|_| {
                 let mut sent = 0u32;
                 while sent < total {
-                    if ring.push(sent % 2 == 0) {
+                    if ring.push(sent.is_multiple_of(2)) {
                         sent += 1;
                     } else {
                         std::thread::yield_now();

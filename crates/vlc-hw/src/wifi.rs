@@ -187,8 +187,7 @@ mod tests {
         let p10 = lats[100];
         let p90 = lats[900];
         assert!(p90 > p10 + 1_000_000, "p10={p10} p90={p90}"); // >1 ms spread
-        let mean =
-            lats.iter().sum::<u64>() as f64 / lats.len() as f64 - 4_000_000.0;
+        let mean = lats.iter().sum::<u64>() as f64 / lats.len() as f64 - 4_000_000.0;
         assert!((mean - 1_500_000.0).abs() < 200_000.0, "jitter mean={mean}");
     }
 

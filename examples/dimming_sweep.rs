@@ -10,8 +10,8 @@ use smartvlc::prelude::*;
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
-    let mut table = BinomialTable::new(512);
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let table = BinomialTable::new(512);
     let ftx = cfg.ftx_hz as f64;
 
     println!("raw modulation rate by dimming level (Kbps at ftx = 125 kHz)\n");
@@ -21,12 +21,12 @@ fn main() {
         let l = i as f64 / 20.0;
         let level = DimmingLevel::new(l).unwrap();
         let plan = planner.plan(level).unwrap();
-        let mppm = MppmModem::paper_baseline(level).norm_rate(&mut table) * ftx;
+        let mppm = MppmModem::paper_baseline(level).norm_rate(&table) * ftx;
         let ook = OokCtModem::new(level)
-            .map(|m| m.norm_rate(&mut table) * ftx)
+            .map(|m| m.norm_rate(&table) * ftx)
             .unwrap_or(0.0);
         let vppm = VppmModem::new(10, level)
-            .map(|m| m.norm_rate(&mut table) * ftx)
+            .map(|m| m.norm_rate(&table) * ftx)
             .unwrap_or(0.0);
         println!(
             " {l:.2} | {:6.1} | {:6.1} | {:6.1} | {:6.1} | {:?}",
@@ -48,15 +48,23 @@ fn main() {
     for &l in &levels {
         let level = DimmingLevel::new(l).unwrap();
         let a = planner.plan(level).unwrap().rate_bps;
-        let m = MppmModem::paper_baseline(level).norm_rate(&mut table) * ftx;
-        let o = OokCtModem::new(level).unwrap().norm_rate(&mut table) * ftx;
+        let m = MppmModem::paper_baseline(level).norm_rate(&table) * ftx;
+        let o = OokCtModem::new(level).unwrap().norm_rate(&table) * ftx;
         amppm_sum += a;
         mppm_sum += m;
         ook_sum += o;
         max_vs_ook = max_vs_ook.max(a / o - 1.0);
         max_vs_mppm = max_vs_mppm.max(a / m - 1.0);
     }
-    println!("\nAMPPM vs OOK-CT: up to +{:.0}%, average +{:.0}%", max_vs_ook * 100.0, (amppm_sum / ook_sum - 1.0) * 100.0);
-    println!("AMPPM vs MPPM:   up to +{:.0}%, average +{:.0}%", max_vs_mppm * 100.0, (amppm_sum / mppm_sum - 1.0) * 100.0);
+    println!(
+        "\nAMPPM vs OOK-CT: up to +{:.0}%, average +{:.0}%",
+        max_vs_ook * 100.0,
+        (amppm_sum / ook_sum - 1.0) * 100.0
+    );
+    println!(
+        "AMPPM vs MPPM:   up to +{:.0}%, average +{:.0}%",
+        max_vs_mppm * 100.0,
+        (amppm_sum / mppm_sum - 1.0) * 100.0
+    );
     println!("(paper: +170%/+40% vs OOK-CT, +30%/+12% vs MPPM — see EXPERIMENTS.md)");
 }

@@ -28,10 +28,8 @@ fn main() {
 
     let mut codec = FrameCodec::new(cfg.clone()).unwrap();
     let mut rx = Receiver::new(cfg.clone()).unwrap();
-    let mut channel = OpticalChannel::new(
-        ChannelConfig::paper_bench(3.8),
-        DetRng::seed_from_u64(7),
-    );
+    let mut channel =
+        OpticalChannel::new(ChannelConfig::paper_bench(3.8), DetRng::seed_from_u64(7));
 
     let mut received: Vec<Option<Vec<u8>>> = vec![None; chunks.len()];
     let mut transmissions = 0u32;

@@ -41,12 +41,12 @@ fn main() {
 
     // 1. AMPPM payload stream at 30% dimming: flicker-free by design
     //    (Eq. 4 bounds every super-symbol to Nmax slots).
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
     let plan = planner.plan(DimmingLevel::new(0.3).unwrap()).unwrap();
     let modem = AmppmModem::from_plan(&plan);
-    let mut table = BinomialTable::new(512);
+    let table = BinomialTable::new(512);
     let data: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
-    verdict("AMPPM data stream (l=0.3)", &modem.modulate(&mut table, &data));
+    verdict("AMPPM data stream (l=0.3)", &modem.modulate(&table, &data));
 
     // 2. A 62.5 Hz square wave: runs of 1000 slots, way beyond fth.
     let slow: Vec<bool> = (0..12_000).map(|i| (i / 1000) % 2 == 0).collect();

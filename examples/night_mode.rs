@@ -12,8 +12,8 @@ use smartvlc::prelude::*;
 
 fn main() {
     let cfg = SystemConfig::default();
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
-    let mut table = BinomialTable::new(512);
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let table = BinomialTable::new(512);
 
     println!("evening fade: illumination set-point vs link mode\n");
     println!("set-point | mode      | LED duty | raw rate");
@@ -22,9 +22,7 @@ fn main() {
         let setpoint = step as f64 / 10.0;
         if setpoint >= 0.08 {
             // Daytime/evening: SmartVLC serves illumination + data.
-            let plan = planner
-                .plan(DimmingLevel::new(setpoint).unwrap())
-                .unwrap();
+            let plan = planner.plan(DimmingLevel::new(setpoint).unwrap()).unwrap();
             println!(
                 "   {setpoint:.1}    | SmartVLC  |  {:.3}   | {:6.1} Kbps",
                 plan.achieved.value(),
@@ -36,7 +34,7 @@ fn main() {
             println!(
                 "   {setpoint:.1}    | DarkLight |  {:.3}   | {:6.1} Kbps",
                 dark.duty(),
-                dark.norm_rate(&mut table) * cfg.ftx_hz as f64 / 1e3
+                dark.norm_rate(&table) * cfg.ftx_hz as f64 / 1e3
             );
         }
     }

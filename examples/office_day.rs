@@ -32,7 +32,10 @@ fn main() {
 
     let energy = energy_from_trace(&day.trace, 4.7).expect("trace long enough");
     println!("\nday summary");
-    println!("  mean planned goodput   {:.1} Kbps", day.mean_plan_bps / 1e3);
+    println!(
+        "  mean planned goodput   {:.1} Kbps",
+        day.mean_plan_bps / 1e3
+    );
     println!(
         "  adaptation steps       {} (fixed-step baseline: {}, {:.0}% more)",
         day.smart_steps,

@@ -17,7 +17,7 @@ fn main() {
     println!("ambient 65% of set-point  ->  LED dims to {level}");
 
     // 2. AMPPM plans the best super-symbol for that level.
-    let mut planner = AmppmPlanner::new(cfg.clone()).expect("paper config is valid");
+    let planner = AmppmPlanner::new(cfg.clone()).expect("paper config is valid");
     let plan = planner.plan(level).expect("level within envelope");
     println!(
         "AMPPM plan: {:?}  (dimming {:.4}, {:.1} Kbps raw)",
@@ -41,17 +41,15 @@ fn main() {
 
     // 4. Fly it through the simulated channel: Philips LED, 3 m of office
     //    air, SFH206K photodiode, TIA + 12-bit ADC, bright ambient.
-    let mut channel = OpticalChannel::new(
-        ChannelConfig::paper_bench(3.0),
-        DetRng::seed_from_u64(1),
-    );
+    let mut channel =
+        OpticalChannel::new(ChannelConfig::paper_bench(3.0), DetRng::seed_from_u64(1));
     let received = channel.transmit_and_decide(&slots);
-    let flipped = received
-        .iter()
-        .zip(&slots)
-        .filter(|(a, b)| a != b)
-        .count();
-    println!("channel: {} of {} slots flipped in flight", flipped, slots.len());
+    let flipped = received.iter().zip(&slots).filter(|(a, b)| a != b).count();
+    println!(
+        "channel: {} of {} slots flipped in flight",
+        flipped,
+        slots.len()
+    );
 
     // 5. Parse at the receiver and check the CRC.
     let (parsed, stats) = codec.parse(&received).expect("frame recovered");

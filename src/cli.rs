@@ -5,8 +5,8 @@
 
 use crate::prelude::*;
 use smartvlc_core::flicker::{FlickerAuditor, FlickerRules};
-use smartvlc_sim::report::markdown_table;
 use smartvlc_sim::perception::{StudyCondition, Viewing};
+use smartvlc_sim::report::markdown_table;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -77,8 +77,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 fn cmd_plan(level: f64) -> Result<String, String> {
     let l = DimmingLevel::new(level).ok_or("level must be in [0, 1]")?;
-    let mut planner =
-        AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
+    let planner = AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
     let plan = planner.plan(l).map_err(|e| e.to_string())?;
     Ok(format!(
         "target level       {:.4}\n\
@@ -99,8 +98,7 @@ fn cmd_plan(level: f64) -> Result<String, String> {
 }
 
 fn cmd_envelope() -> Result<String, String> {
-    let planner =
-        AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
+    let planner = AmppmPlanner::new(SystemConfig::default()).map_err(|e| e.to_string())?;
     let rows: Vec<Vec<String>> = planner
         .envelope()
         .points()
@@ -143,8 +141,8 @@ fn cmd_sweep(scheme_name: &str) -> Result<String, String> {
         let rate = codec
             .modem_for(d)
             .map(|m| {
-                let mut table = combinat::BinomialTable::new(512);
-                m.norm_rate(&mut table) * cfg.ftx_hz as f64 / 1e3
+                let table = combinat::BinomialTable::new(512);
+                m.norm_rate(&table) * cfg.ftx_hz as f64 / 1e3
             })
             .unwrap_or(0.0);
         rows.push(vec![format!("{:.2}", l.value()), format!("{rate:.1}")]);
@@ -245,13 +243,7 @@ fn cmd_day(hours: f64) -> Result<String, String> {
         return Err("hours must be in [0.5, 48]".into());
     }
     let mut sky = DiurnalProfile::dutch_autumn(DetRng::seed_from_u64(2017));
-    let day = run_day(
-        &mut sky,
-        hours,
-        desim::SimDuration::secs(60),
-        1.0,
-        10_000.0,
-    );
+    let day = run_day(&mut sky, hours, desim::SimDuration::secs(60), 1.0, 10_000.0);
     let energy = energy_from_trace(&day.trace, 4.7).ok_or("trace too short")?;
     Ok(format!(
         "simulated            {hours} h (sense every 60 s)
@@ -323,7 +315,9 @@ mod tests {
 
     #[test]
     fn unknown_command_rejected() {
-        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&args(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]

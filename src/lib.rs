@@ -58,9 +58,7 @@ pub use vlc_hw as hw;
 pub mod prelude {
     pub use combinat::{BigUint, BinomialTable, BitReader, BitWriter};
     pub use desim::{DetRng, Frequency, SimDuration, SimTime};
-    pub use smartvlc_core::adaptation::{
-        AdaptationStepper, FixedStepper, PerceptionStepper,
-    };
+    pub use smartvlc_core::adaptation::{AdaptationStepper, FixedStepper, PerceptionStepper};
     pub use smartvlc_core::amppm::{Candidate, Envelope, SuperSymbol};
     pub use smartvlc_core::dimming::IlluminationTarget;
     pub use smartvlc_core::frame::codec::FrameCodec;
@@ -76,12 +74,10 @@ pub mod prelude {
         ChannelFidelity, LinkConfig, LinkSimulation, Receiver, RxEvent, SchemeKind, Transmitter,
     };
     pub use smartvlc_sim::{
-        energy_from_trace, run_broadcast, run_day, run_dynamic, run_scheme_comparison,
-        summarize, UserStudy,
+        energy_from_trace, run_broadcast, run_day, run_dynamic, run_scheme_comparison, summarize,
+        UserStudy,
     };
-    pub use vlc_channel::ambient::{
-        AmbientProfile, BlindRamp, ConstantAmbient, DiurnalProfile,
-    };
+    pub use vlc_channel::ambient::{AmbientProfile, BlindRamp, ConstantAmbient, DiurnalProfile};
     pub use vlc_channel::{ChannelConfig, OpticalChannel, ShadowingModel};
 }
 
@@ -92,7 +88,7 @@ mod tests {
     #[test]
     fn facade_reexports_compose() {
         let cfg = SystemConfig::default();
-        let mut planner = AmppmPlanner::new(cfg).unwrap();
+        let planner = AmppmPlanner::new(cfg).unwrap();
         let plan = planner.plan(DimmingLevel::new(0.5).unwrap()).unwrap();
         assert!(plan.norm_rate > 0.8);
     }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_codec_memory-38d06241822bb8bc.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/debug/deps/ablation_codec_memory-38d06241822bb8bc: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_codec_memory-3caf12049117497e.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/debug/deps/libablation_codec_memory-3caf12049117497e.rmeta: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

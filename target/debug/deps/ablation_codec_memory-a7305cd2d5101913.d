@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_codec_memory-a7305cd2d5101913.d: crates/bench/src/bin/ablation_codec_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_codec_memory-a7305cd2d5101913.rmeta: crates/bench/src/bin/ablation_codec_memory.rs Cargo.toml
+
+crates/bench/src/bin/ablation_codec_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

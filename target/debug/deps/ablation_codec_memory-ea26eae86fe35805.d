@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_codec_memory-ea26eae86fe35805.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/debug/deps/libablation_codec_memory-ea26eae86fe35805.rmeta: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_codec_memory-eb20b8e4425f40f2.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/debug/deps/ablation_codec_memory-eb20b8e4425f40f2: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_envelope-0aabce07451a0a43.d: crates/bench/src/bin/ablation_envelope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_envelope-0aabce07451a0a43.rmeta: crates/bench/src/bin/ablation_envelope.rs Cargo.toml
+
+crates/bench/src/bin/ablation_envelope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

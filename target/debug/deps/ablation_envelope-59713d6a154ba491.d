@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_envelope-59713d6a154ba491.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/debug/deps/libablation_envelope-59713d6a154ba491.rmeta: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

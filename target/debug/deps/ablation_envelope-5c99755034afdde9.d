@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_envelope-5c99755034afdde9.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/debug/deps/libablation_envelope-5c99755034afdde9.rmeta: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

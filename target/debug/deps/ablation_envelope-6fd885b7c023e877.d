@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_envelope-6fd885b7c023e877.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/debug/deps/ablation_envelope-6fd885b7c023e877: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_envelope-bd69017409b674a0.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/debug/deps/ablation_envelope-bd69017409b674a0: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

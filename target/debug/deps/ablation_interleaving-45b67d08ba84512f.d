@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-45b67d08ba84512f.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/ablation_interleaving-45b67d08ba84512f: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-678be826a8065eb7.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/ablation_interleaving-678be826a8065eb7: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-7957e6f1fdd3dc4d.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/libablation_interleaving-7957e6f1fdd3dc4d.rmeta: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

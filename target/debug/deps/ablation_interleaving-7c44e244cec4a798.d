@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-7c44e244cec4a798.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/libablation_interleaving-7c44e244cec4a798.rmeta: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

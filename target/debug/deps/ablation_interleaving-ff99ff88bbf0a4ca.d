@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interleaving-ff99ff88bbf0a4ca.d: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interleaving-ff99ff88bbf0a4ca.rmeta: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+crates/bench/src/bin/ablation_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

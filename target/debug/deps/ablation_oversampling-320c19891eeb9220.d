@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_oversampling-320c19891eeb9220.d: crates/bench/src/bin/ablation_oversampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_oversampling-320c19891eeb9220.rmeta: crates/bench/src/bin/ablation_oversampling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_oversampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversampling-43b082e9101f6da4.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/debug/deps/ablation_oversampling-43b082e9101f6da4: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversampling-5cdbe782c109cbe6.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/debug/deps/libablation_oversampling-5cdbe782c109cbe6.rmeta: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversampling-6d04abb4f494449b.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/debug/deps/libablation_oversampling-6d04abb4f494449b.rmeta: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

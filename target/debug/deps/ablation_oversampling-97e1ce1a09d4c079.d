@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_oversampling-97e1ce1a09d4c079.d: crates/bench/src/bin/ablation_oversampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_oversampling-97e1ce1a09d4c079.rmeta: crates/bench/src/bin/ablation_oversampling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_oversampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversampling-b853cf8646c59db1.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/debug/deps/ablation_oversampling-b853cf8646c59db1: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_size-3d85cab617889f1a.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/debug/deps/libablation_payload_size-3d85cab617889f1a.rmeta: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_size-52c881f664099bbc.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/debug/deps/libablation_payload_size-52c881f664099bbc.rmeta: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_size-a8835d59b9f035e2.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/debug/deps/ablation_payload_size-a8835d59b9f035e2: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

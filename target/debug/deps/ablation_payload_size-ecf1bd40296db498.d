@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_size-ecf1bd40296db498.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/debug/deps/ablation_payload_size-ecf1bd40296db498: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

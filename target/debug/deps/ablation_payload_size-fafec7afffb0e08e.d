@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_payload_size-fafec7afffb0e08e.d: crates/bench/src/bin/ablation_payload_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_payload_size-fafec7afffb0e08e.rmeta: crates/bench/src/bin/ablation_payload_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_payload_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/auditor-aeacee50f4388538.d: crates/bench/benches/auditor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libauditor-aeacee50f4388538.rmeta: crates/bench/benches/auditor.rs Cargo.toml
+
+crates/bench/benches/auditor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_runner-81058aa1146ad20b.d: crates/bench/src/bin/bench_runner.rs
+
+/root/repo/target/debug/deps/bench_runner-81058aa1146ad20b: crates/bench/src/bin/bench_runner.rs
+
+crates/bench/src/bin/bench_runner.rs:

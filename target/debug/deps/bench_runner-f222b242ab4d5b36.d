@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_runner-f222b242ab4d5b36.d: crates/bench/src/bin/bench_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_runner-f222b242ab4d5b36.rmeta: crates/bench/src/bin/bench_runner.rs Cargo.toml
+
+crates/bench/src/bin/bench_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

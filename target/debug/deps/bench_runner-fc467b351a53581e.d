@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_runner-fc467b351a53581e.d: crates/bench/src/bin/bench_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_runner-fc467b351a53581e.rmeta: crates/bench/src/bin/bench_runner.rs Cargo.toml
+
+crates/bench/src/bin/bench_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

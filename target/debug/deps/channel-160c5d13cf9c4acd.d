@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/channel-160c5d13cf9c4acd.d: crates/bench/benches/channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchannel-160c5d13cf9c4acd.rmeta: crates/bench/benches/channel.rs Cargo.toml
+
+crates/bench/benches/channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

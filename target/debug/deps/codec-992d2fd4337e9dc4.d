@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec-992d2fd4337e9dc4.d: crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec-992d2fd4337e9dc4.rmeta: crates/bench/benches/codec.rs Cargo.toml
+
+crates/bench/benches/codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

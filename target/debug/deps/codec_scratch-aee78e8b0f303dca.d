@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_scratch-aee78e8b0f303dca.d: crates/bench/benches/codec_scratch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_scratch-aee78e8b0f303dca.rmeta: crates/bench/benches/codec_scratch.rs Cargo.toml
+
+crates/bench/benches/codec_scratch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

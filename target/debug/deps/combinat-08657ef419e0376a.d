@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/combinat-08657ef419e0376a.d: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+/root/repo/target/debug/deps/libcombinat-08657ef419e0376a.rmeta: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+crates/combinat/src/lib.rs:
+crates/combinat/src/biguint.rs:
+crates/combinat/src/binomial.rs:
+crates/combinat/src/bits.rs:
+crates/combinat/src/codeword.rs:
+crates/combinat/src/tabulated.rs:

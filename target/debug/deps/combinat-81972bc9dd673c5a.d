@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/combinat-81972bc9dd673c5a.d: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcombinat-81972bc9dd673c5a.rmeta: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs Cargo.toml
+
+crates/combinat/src/lib.rs:
+crates/combinat/src/biguint.rs:
+crates/combinat/src/binomial.rs:
+crates/combinat/src/bits.rs:
+crates/combinat/src/codeword.rs:
+crates/combinat/src/tabulated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/combinat-87ca56af3f123f8f.d: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+/root/repo/target/debug/deps/combinat-87ca56af3f123f8f: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+crates/combinat/src/lib.rs:
+crates/combinat/src/biguint.rs:
+crates/combinat/src/binomial.rs:
+crates/combinat/src/bits.rs:
+crates/combinat/src/codeword.rs:
+crates/combinat/src/tabulated.rs:

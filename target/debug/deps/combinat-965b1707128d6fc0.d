@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/combinat-965b1707128d6fc0.d: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+/root/repo/target/debug/deps/libcombinat-965b1707128d6fc0.rmeta: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs
+
+crates/combinat/src/lib.rs:
+crates/combinat/src/biguint.rs:
+crates/combinat/src/binomial.rs:
+crates/combinat/src/bits.rs:
+crates/combinat/src/codeword.rs:
+crates/combinat/src/tabulated.rs:

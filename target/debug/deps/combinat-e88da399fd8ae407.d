@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/combinat-e88da399fd8ae407.d: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcombinat-e88da399fd8ae407.rmeta: crates/combinat/src/lib.rs crates/combinat/src/biguint.rs crates/combinat/src/binomial.rs crates/combinat/src/bits.rs crates/combinat/src/codeword.rs crates/combinat/src/tabulated.rs Cargo.toml
+
+crates/combinat/src/lib.rs:
+crates/combinat/src/biguint.rs:
+crates/combinat/src/binomial.rs:
+crates/combinat/src/bits.rs:
+crates/combinat/src/codeword.rs:
+crates/combinat/src/tabulated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

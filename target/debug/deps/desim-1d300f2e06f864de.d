@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/desim-1d300f2e06f864de.d: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesim-1d300f2e06f864de.rmeta: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs Cargo.toml
+
+crates/desim/src/lib.rs:
+crates/desim/src/process.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/scheduler.rs:
+crates/desim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/desim-976d5678a93e6425.d: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/libdesim-976d5678a93e6425.rmeta: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/process.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/scheduler.rs:
+crates/desim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/desim-e7a451211d4b2059.d: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/libdesim-e7a451211d4b2059.rlib: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/libdesim-e7a451211d4b2059.rmeta: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/process.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/scheduler.rs:
+crates/desim/src/time.rs:

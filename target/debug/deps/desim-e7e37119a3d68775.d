@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/desim-e7e37119a3d68775.d: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/desim-e7e37119a3d68775: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/process.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/scheduler.rs:
+crates/desim/src/time.rs:

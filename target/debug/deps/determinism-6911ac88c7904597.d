@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-6911ac88c7904597.d: crates/smartvlc-sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-6911ac88c7904597.rmeta: crates/smartvlc-sim/tests/determinism.rs Cargo.toml
+
+crates/smartvlc-sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

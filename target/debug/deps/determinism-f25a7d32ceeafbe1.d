@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f25a7d32ceeafbe1.d: crates/smartvlc-sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f25a7d32ceeafbe1: crates/smartvlc-sim/tests/determinism.rs
+
+crates/smartvlc-sim/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-32b7be491bf3ef60.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-32b7be491bf3ef60: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fb58176e2f794e2f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fb58176e2f794e2f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-22410bb85391a5d7.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-22410bb85391a5d7: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

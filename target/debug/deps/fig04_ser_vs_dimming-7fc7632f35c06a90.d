@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-7fc7632f35c06a90.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/debug/deps/libfig04_ser_vs_dimming-7fc7632f35c06a90.rmeta: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

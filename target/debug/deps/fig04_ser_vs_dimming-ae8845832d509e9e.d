@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-ae8845832d509e9e.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-ae8845832d509e9e: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

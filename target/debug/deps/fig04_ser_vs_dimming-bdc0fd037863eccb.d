@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-bdc0fd037863eccb.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/debug/deps/libfig04_ser_vs_dimming-bdc0fd037863eccb.rmeta: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

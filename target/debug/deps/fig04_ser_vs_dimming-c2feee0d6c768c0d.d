@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-c2feee0d6c768c0d.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_ser_vs_dimming-c2feee0d6c768c0d.rmeta: crates/bench/src/bin/fig04_ser_vs_dimming.rs Cargo.toml
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

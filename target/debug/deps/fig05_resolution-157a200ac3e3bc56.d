@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_resolution-157a200ac3e3bc56.d: crates/bench/src/bin/fig05_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_resolution-157a200ac3e3bc56.rmeta: crates/bench/src/bin/fig05_resolution.rs Cargo.toml
+
+crates/bench/src/bin/fig05_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

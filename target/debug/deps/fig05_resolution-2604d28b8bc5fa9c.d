@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_resolution-2604d28b8bc5fa9c.d: crates/bench/src/bin/fig05_resolution.rs
+
+/root/repo/target/debug/deps/fig05_resolution-2604d28b8bc5fa9c: crates/bench/src/bin/fig05_resolution.rs
+
+crates/bench/src/bin/fig05_resolution.rs:

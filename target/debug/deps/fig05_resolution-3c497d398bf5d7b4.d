@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_resolution-3c497d398bf5d7b4.d: crates/bench/src/bin/fig05_resolution.rs
+
+/root/repo/target/debug/deps/fig05_resolution-3c497d398bf5d7b4: crates/bench/src/bin/fig05_resolution.rs
+
+crates/bench/src/bin/fig05_resolution.rs:

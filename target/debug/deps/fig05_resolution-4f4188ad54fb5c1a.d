@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_resolution-4f4188ad54fb5c1a.d: crates/bench/src/bin/fig05_resolution.rs
+
+/root/repo/target/debug/deps/libfig05_resolution-4f4188ad54fb5c1a.rmeta: crates/bench/src/bin/fig05_resolution.rs
+
+crates/bench/src/bin/fig05_resolution.rs:

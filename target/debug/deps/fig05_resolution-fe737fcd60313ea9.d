@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_resolution-fe737fcd60313ea9.d: crates/bench/src/bin/fig05_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_resolution-fe737fcd60313ea9.rmeta: crates/bench/src/bin/fig05_resolution.rs Cargo.toml
+
+crates/bench/src/bin/fig05_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-4aff3a1e6dd51f54.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/debug/deps/fig06_multiplexing_levels-4aff3a1e6dd51f54: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

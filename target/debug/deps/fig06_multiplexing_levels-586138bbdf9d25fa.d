@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-586138bbdf9d25fa.d: crates/bench/src/bin/fig06_multiplexing_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_multiplexing_levels-586138bbdf9d25fa.rmeta: crates/bench/src/bin/fig06_multiplexing_levels.rs Cargo.toml
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

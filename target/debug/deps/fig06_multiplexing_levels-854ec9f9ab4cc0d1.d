@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-854ec9f9ab4cc0d1.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/debug/deps/libfig06_multiplexing_levels-854ec9f9ab4cc0d1.rmeta: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

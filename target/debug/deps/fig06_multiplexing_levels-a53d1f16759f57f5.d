@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-a53d1f16759f57f5.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/debug/deps/libfig06_multiplexing_levels-a53d1f16759f57f5.rmeta: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-b9535313855c341b.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/debug/deps/fig06_multiplexing_levels-b9535313855c341b: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

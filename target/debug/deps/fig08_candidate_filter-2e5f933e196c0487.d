@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_candidate_filter-2e5f933e196c0487.d: crates/bench/src/bin/fig08_candidate_filter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_candidate_filter-2e5f933e196c0487.rmeta: crates/bench/src/bin/fig08_candidate_filter.rs Cargo.toml
+
+crates/bench/src/bin/fig08_candidate_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

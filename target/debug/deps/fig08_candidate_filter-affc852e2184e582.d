@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_candidate_filter-affc852e2184e582.d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+/root/repo/target/debug/deps/fig08_candidate_filter-affc852e2184e582: crates/bench/src/bin/fig08_candidate_filter.rs
+
+crates/bench/src/bin/fig08_candidate_filter.rs:

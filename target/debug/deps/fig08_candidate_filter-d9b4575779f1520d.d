@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_candidate_filter-d9b4575779f1520d.d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+/root/repo/target/debug/deps/fig08_candidate_filter-d9b4575779f1520d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+crates/bench/src/bin/fig08_candidate_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_candidate_filter-e59b269e15bb97a7.d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+/root/repo/target/debug/deps/libfig08_candidate_filter-e59b269e15bb97a7.rmeta: crates/bench/src/bin/fig08_candidate_filter.rs
+
+crates/bench/src/bin/fig08_candidate_filter.rs:

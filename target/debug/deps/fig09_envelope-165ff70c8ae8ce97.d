@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_envelope-165ff70c8ae8ce97.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/debug/deps/fig09_envelope-165ff70c8ae8ce97: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_envelope-7f4b5ea06c28f80c.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/debug/deps/libfig09_envelope-7f4b5ea06c28f80c.rmeta: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_envelope-b8bcb8001f3edee2.d: crates/bench/src/bin/fig09_envelope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_envelope-b8bcb8001f3edee2.rmeta: crates/bench/src/bin/fig09_envelope.rs Cargo.toml
+
+crates/bench/src/bin/fig09_envelope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_envelope-c138219c4d1c21bd.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/debug/deps/libfig09_envelope-c138219c4d1c21bd.rmeta: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

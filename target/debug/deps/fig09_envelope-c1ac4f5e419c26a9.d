@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_envelope-c1ac4f5e419c26a9.d: crates/bench/src/bin/fig09_envelope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_envelope-c1ac4f5e419c26a9.rmeta: crates/bench/src/bin/fig09_envelope.rs Cargo.toml
+
+crates/bench/src/bin/fig09_envelope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

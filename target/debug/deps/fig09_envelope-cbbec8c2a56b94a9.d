@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_envelope-cbbec8c2a56b94a9.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/debug/deps/fig09_envelope-cbbec8c2a56b94a9: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

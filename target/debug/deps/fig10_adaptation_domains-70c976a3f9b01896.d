@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_adaptation_domains-70c976a3f9b01896.d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+/root/repo/target/debug/deps/fig10_adaptation_domains-70c976a3f9b01896: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_adaptation_domains-9feb7612784eac9d.d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+/root/repo/target/debug/deps/fig10_adaptation_domains-9feb7612784eac9d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_adaptation_domains-c26d0ea545190fee.d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+/root/repo/target/debug/deps/libfig10_adaptation_domains-c26d0ea545190fee.rmeta: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:

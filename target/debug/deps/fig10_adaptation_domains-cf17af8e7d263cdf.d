@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_adaptation_domains-cf17af8e7d263cdf.d: crates/bench/src/bin/fig10_adaptation_domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_adaptation_domains-cf17af8e7d263cdf.rmeta: crates/bench/src/bin/fig10_adaptation_domains.rs Cargo.toml
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

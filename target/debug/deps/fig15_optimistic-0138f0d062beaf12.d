@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_optimistic-0138f0d062beaf12.d: crates/bench/src/bin/fig15_optimistic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_optimistic-0138f0d062beaf12.rmeta: crates/bench/src/bin/fig15_optimistic.rs Cargo.toml
+
+crates/bench/src/bin/fig15_optimistic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

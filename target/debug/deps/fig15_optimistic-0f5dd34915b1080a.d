@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimistic-0f5dd34915b1080a.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/debug/deps/libfig15_optimistic-0f5dd34915b1080a.rmeta: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimistic-305870ffe516ddb2.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/debug/deps/fig15_optimistic-305870ffe516ddb2: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimistic-5967fa34326e12b5.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/debug/deps/libfig15_optimistic-5967fa34326e12b5.rmeta: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimistic-71f61bbb1b451eb4.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/debug/deps/fig15_optimistic-71f61bbb1b451eb4: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-07b74b8ff86e6d86.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/debug/deps/fig15_scheme_comparison-07b74b8ff86e6d86: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-16c0dcfcad5a3fcc.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/debug/deps/fig15_scheme_comparison-16c0dcfcad5a3fcc: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-6bdf79fe0faa2110.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/debug/deps/libfig15_scheme_comparison-6bdf79fe0faa2110.rmeta: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

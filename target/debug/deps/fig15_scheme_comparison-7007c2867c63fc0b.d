@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-7007c2867c63fc0b.d: crates/bench/src/bin/fig15_scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_scheme_comparison-7007c2867c63fc0b.rmeta: crates/bench/src/bin/fig15_scheme_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-b5d3de3f4934199d.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/debug/deps/libfig15_scheme_comparison-b5d3de3f4934199d.rmeta: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

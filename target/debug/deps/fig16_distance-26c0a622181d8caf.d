@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_distance-26c0a622181d8caf.d: crates/bench/src/bin/fig16_distance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_distance-26c0a622181d8caf.rmeta: crates/bench/src/bin/fig16_distance.rs Cargo.toml
+
+crates/bench/src/bin/fig16_distance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_distance-ba26f2eb976ef823.d: crates/bench/src/bin/fig16_distance.rs
+
+/root/repo/target/debug/deps/libfig16_distance-ba26f2eb976ef823.rmeta: crates/bench/src/bin/fig16_distance.rs
+
+crates/bench/src/bin/fig16_distance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_distance-c9a21f62c8529b88.d: crates/bench/src/bin/fig16_distance.rs
+
+/root/repo/target/debug/deps/fig16_distance-c9a21f62c8529b88: crates/bench/src/bin/fig16_distance.rs
+
+crates/bench/src/bin/fig16_distance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_distance-f87b7909bb15c4bd.d: crates/bench/src/bin/fig16_distance.rs
+
+/root/repo/target/debug/deps/libfig16_distance-f87b7909bb15c4bd.rmeta: crates/bench/src/bin/fig16_distance.rs
+
+crates/bench/src/bin/fig16_distance.rs:

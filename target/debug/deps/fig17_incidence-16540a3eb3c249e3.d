@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_incidence-16540a3eb3c249e3.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/debug/deps/fig17_incidence-16540a3eb3c249e3: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

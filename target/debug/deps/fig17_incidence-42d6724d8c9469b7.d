@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_incidence-42d6724d8c9469b7.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/debug/deps/libfig17_incidence-42d6724d8c9469b7.rmeta: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

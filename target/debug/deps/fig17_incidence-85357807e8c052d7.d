@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_incidence-85357807e8c052d7.d: crates/bench/src/bin/fig17_incidence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_incidence-85357807e8c052d7.rmeta: crates/bench/src/bin/fig17_incidence.rs Cargo.toml
+
+crates/bench/src/bin/fig17_incidence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_incidence-a64cc41ad4bc380a.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/debug/deps/fig17_incidence-a64cc41ad4bc380a: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

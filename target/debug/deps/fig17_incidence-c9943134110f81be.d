@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_incidence-c9943134110f81be.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/debug/deps/libfig17_incidence-c9943134110f81be.rmeta: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_incidence-d6b6fa5dd7c9a910.d: crates/bench/src/bin/fig17_incidence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_incidence-d6b6fa5dd7c9a910.rmeta: crates/bench/src/bin/fig17_incidence.rs Cargo.toml
+
+crates/bench/src/bin/fig17_incidence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-2b6e17c9403603df.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19a_dynamic_throughput-2b6e17c9403603df.rmeta: crates/bench/src/bin/fig19a_dynamic_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

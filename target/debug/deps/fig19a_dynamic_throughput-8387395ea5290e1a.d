@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-8387395ea5290e1a.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+/root/repo/target/debug/deps/libfig19a_dynamic_throughput-8387395ea5290e1a.rmeta: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:

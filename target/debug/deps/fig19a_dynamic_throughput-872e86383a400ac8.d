@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-872e86383a400ac8.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+/root/repo/target/debug/deps/libfig19a_dynamic_throughput-872e86383a400ac8.rmeta: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:

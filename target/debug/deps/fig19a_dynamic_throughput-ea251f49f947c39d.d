@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-ea251f49f947c39d.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-ea251f49f947c39d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:

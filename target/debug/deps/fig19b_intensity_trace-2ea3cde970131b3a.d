@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-2ea3cde970131b3a.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/debug/deps/fig19b_intensity_trace-2ea3cde970131b3a: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

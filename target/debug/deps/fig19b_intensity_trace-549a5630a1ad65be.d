@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-549a5630a1ad65be.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/debug/deps/libfig19b_intensity_trace-549a5630a1ad65be.rmeta: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-9ee38ba7dac5c77d.d: crates/bench/src/bin/fig19b_intensity_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19b_intensity_trace-9ee38ba7dac5c77d.rmeta: crates/bench/src/bin/fig19b_intensity_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

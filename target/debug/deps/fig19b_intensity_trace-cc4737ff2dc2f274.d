@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-cc4737ff2dc2f274.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/debug/deps/libfig19b_intensity_trace-cc4737ff2dc2f274.rmeta: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

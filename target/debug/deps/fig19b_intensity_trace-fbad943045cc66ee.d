@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-fbad943045cc66ee.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/debug/deps/fig19b_intensity_trace-fbad943045cc66ee: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-3bbd9f99bea5f456.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/debug/deps/libfig19c_adaptation_count-3bbd9f99bea5f456.rmeta: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-56c866ac590a7b71.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/debug/deps/libfig19c_adaptation_count-56c866ac590a7b71.rmeta: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

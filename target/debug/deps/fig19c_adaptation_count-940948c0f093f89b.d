@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-940948c0f093f89b.d: crates/bench/src/bin/fig19c_adaptation_count.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19c_adaptation_count-940948c0f093f89b.rmeta: crates/bench/src/bin/fig19c_adaptation_count.rs Cargo.toml
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

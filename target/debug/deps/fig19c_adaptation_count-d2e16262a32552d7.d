@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-d2e16262a32552d7.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/debug/deps/fig19c_adaptation_count-d2e16262a32552d7: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-d725392e38434e67.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/debug/deps/fig19c_adaptation_count-d725392e38434e67: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

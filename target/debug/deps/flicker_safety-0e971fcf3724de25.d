@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flicker_safety-0e971fcf3724de25.d: tests/flicker_safety.rs
+
+/root/repo/target/debug/deps/flicker_safety-0e971fcf3724de25: tests/flicker_safety.rs
+
+tests/flicker_safety.rs:

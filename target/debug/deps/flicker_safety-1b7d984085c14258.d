@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flicker_safety-1b7d984085c14258.d: tests/flicker_safety.rs
+
+/root/repo/target/debug/deps/libflicker_safety-1b7d984085c14258.rmeta: tests/flicker_safety.rs
+
+tests/flicker_safety.rs:

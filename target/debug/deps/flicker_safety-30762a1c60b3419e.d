@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flicker_safety-30762a1c60b3419e.d: tests/flicker_safety.rs
+
+/root/repo/target/debug/deps/flicker_safety-30762a1c60b3419e: tests/flicker_safety.rs
+
+tests/flicker_safety.rs:

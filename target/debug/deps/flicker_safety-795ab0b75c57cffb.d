@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flicker_safety-795ab0b75c57cffb.d: tests/flicker_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflicker_safety-795ab0b75c57cffb.rmeta: tests/flicker_safety.rs Cargo.toml
+
+tests/flicker_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

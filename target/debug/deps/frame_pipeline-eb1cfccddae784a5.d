@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frame_pipeline-eb1cfccddae784a5.d: crates/bench/benches/frame_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframe_pipeline-eb1cfccddae784a5.rmeta: crates/bench/benches/frame_pipeline.rs Cargo.toml
+
+crates/bench/benches/frame_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_loop-2593c48f6d391b50.d: tests/hw_loop.rs
+
+/root/repo/target/debug/deps/hw_loop-2593c48f6d391b50: tests/hw_loop.rs
+
+tests/hw_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_loop-5ed79e2f68f31b08.d: tests/hw_loop.rs
+
+/root/repo/target/debug/deps/libhw_loop-5ed79e2f68f31b08.rmeta: tests/hw_loop.rs
+
+tests/hw_loop.rs:

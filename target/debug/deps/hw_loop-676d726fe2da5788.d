@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_loop-676d726fe2da5788.d: tests/hw_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_loop-676d726fe2da5788.rmeta: tests/hw_loop.rs Cargo.toml
+
+tests/hw_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_loop-aa47c74fb65f473d.d: tests/hw_loop.rs
+
+/root/repo/target/debug/deps/hw_loop-aa47c74fb65f473d: tests/hw_loop.rs
+
+tests/hw_loop.rs:

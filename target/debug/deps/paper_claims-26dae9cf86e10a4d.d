@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-26dae9cf86e10a4d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-26dae9cf86e10a4d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

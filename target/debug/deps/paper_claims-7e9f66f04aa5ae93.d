@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7e9f66f04aa5ae93.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-7e9f66f04aa5ae93.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

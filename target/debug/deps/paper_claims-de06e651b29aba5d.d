@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-de06e651b29aba5d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-de06e651b29aba5d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner-94fa14e3140988e3.d: crates/bench/benches/planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner-94fa14e3140988e3.rmeta: crates/bench/benches/planner.rs Cargo.toml
+
+crates/bench/benches/planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_shared_table-e3dcc4ddaf15e113.d: crates/bench/benches/planner_shared_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_shared_table-e3dcc4ddaf15e113.rmeta: crates/bench/benches/planner_shared_table.rs Cargo.toml
+
+crates/bench/benches/planner_shared_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

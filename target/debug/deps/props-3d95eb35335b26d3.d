@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3d95eb35335b26d3.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-3d95eb35335b26d3: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f3763cbce8529d7f.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-f3763cbce8529d7f: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fce1b39711503926.d: tests/props.rs
+
+/root/repo/target/debug/deps/libprops-fce1b39711503926.rmeta: tests/props.rs
+
+tests/props.rs:

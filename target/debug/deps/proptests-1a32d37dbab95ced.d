@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1a32d37dbab95ced.d: crates/smartvlc-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-1a32d37dbab95ced.rmeta: crates/smartvlc-core/tests/proptests.rs
+
+crates/smartvlc-core/tests/proptests.rs:

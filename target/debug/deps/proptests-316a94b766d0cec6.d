@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-316a94b766d0cec6.d: crates/combinat/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-316a94b766d0cec6.rmeta: crates/combinat/tests/proptests.rs Cargo.toml
+
+crates/combinat/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-414803e9ff145027.d: crates/combinat/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-414803e9ff145027: crates/combinat/tests/proptests.rs
+
+crates/combinat/tests/proptests.rs:

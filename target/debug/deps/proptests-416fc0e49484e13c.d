@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-416fc0e49484e13c.d: crates/desim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-416fc0e49484e13c.rmeta: crates/desim/tests/proptests.rs
+
+crates/desim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6e0f534d58f735f0.d: crates/smartvlc-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6e0f534d58f735f0: crates/smartvlc-core/tests/proptests.rs
+
+crates/smartvlc-core/tests/proptests.rs:

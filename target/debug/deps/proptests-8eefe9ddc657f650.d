@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8eefe9ddc657f650.d: crates/desim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8eefe9ddc657f650.rmeta: crates/desim/tests/proptests.rs Cargo.toml
+
+crates/desim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c3deed99d4241c36.d: crates/smartvlc-core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c3deed99d4241c36.rmeta: crates/smartvlc-core/tests/proptests.rs Cargo.toml
+
+crates/smartvlc-core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

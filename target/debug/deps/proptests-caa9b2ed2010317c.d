@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-caa9b2ed2010317c.d: crates/desim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-caa9b2ed2010317c: crates/desim/tests/proptests.rs
+
+crates/desim/tests/proptests.rs:

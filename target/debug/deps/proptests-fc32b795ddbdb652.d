@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fc32b795ddbdb652.d: crates/combinat/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-fc32b795ddbdb652.rmeta: crates/combinat/tests/proptests.rs
+
+crates/combinat/tests/proptests.rs:

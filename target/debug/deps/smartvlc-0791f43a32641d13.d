@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smartvlc-0791f43a32641d13.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/smartvlc-0791f43a32641d13: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

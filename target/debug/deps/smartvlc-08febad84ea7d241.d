@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-08febad84ea7d241.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/smartvlc-08febad84ea7d241: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

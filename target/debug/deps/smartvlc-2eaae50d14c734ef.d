@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smartvlc-2eaae50d14c734ef.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-2eaae50d14c734ef.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smartvlc-3525790eec4129c8.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc-3525790eec4129c8.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

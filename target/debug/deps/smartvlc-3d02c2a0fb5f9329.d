@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smartvlc-3d02c2a0fb5f9329.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/smartvlc-3d02c2a0fb5f9329: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

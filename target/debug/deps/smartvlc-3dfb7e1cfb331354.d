@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-3dfb7e1cfb331354.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/smartvlc-3dfb7e1cfb331354: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-476305bf1764e508.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/libsmartvlc-476305bf1764e508.rmeta: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smartvlc-4919b1002d163c78.d: src/bin/smartvlc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc-4919b1002d163c78.rmeta: src/bin/smartvlc.rs Cargo.toml
+
+src/bin/smartvlc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

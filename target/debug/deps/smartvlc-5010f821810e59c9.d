@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-5010f821810e59c9.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/smartvlc-5010f821810e59c9: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smartvlc-58c57ee84c7c5f92.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-58c57ee84c7c5f92.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-58c57ee84c7c5f92.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

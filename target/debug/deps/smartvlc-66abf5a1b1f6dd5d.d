@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smartvlc-66abf5a1b1f6dd5d.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc-66abf5a1b1f6dd5d.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

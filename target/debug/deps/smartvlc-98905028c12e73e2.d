@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smartvlc-98905028c12e73e2.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-98905028c12e73e2.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-b682e4629abaadbf.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/smartvlc-b682e4629abaadbf: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc-c1563a6d2eadaeae.d: src/bin/smartvlc.rs
+
+/root/repo/target/debug/deps/libsmartvlc-c1563a6d2eadaeae.rmeta: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smartvlc-e58e586e829a74fd.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-e58e586e829a74fd.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsmartvlc-e58e586e829a74fd.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc_bench-214f1ce6505baa04.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smartvlc_bench-214f1ce6505baa04: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc_bench-310bc398fd8a3385.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-310bc398fd8a3385.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc_bench-85f9c6d2bf624c1c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-85f9c6d2bf624c1c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

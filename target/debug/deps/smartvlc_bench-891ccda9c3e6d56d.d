@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smartvlc_bench-891ccda9c3e6d56d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-891ccda9c3e6d56d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-891ccda9c3e6d56d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smartvlc_bench-9cd735d5aea03879.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc_bench-9cd735d5aea03879.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

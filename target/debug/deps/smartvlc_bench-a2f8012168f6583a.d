@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smartvlc_bench-a2f8012168f6583a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-a2f8012168f6583a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmartvlc_bench-a2f8012168f6583a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

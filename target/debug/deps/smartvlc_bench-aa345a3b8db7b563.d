@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smartvlc_bench-aa345a3b8db7b563.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smartvlc_bench-aa345a3b8db7b563: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smartvlc_bench-d438d1bf91f41789.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc_bench-d438d1bf91f41789.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

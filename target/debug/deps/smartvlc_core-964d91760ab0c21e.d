@@ -1,0 +1,34 @@
+/root/repo/target/debug/deps/smartvlc_core-964d91760ab0c21e.d: crates/smartvlc-core/src/lib.rs crates/smartvlc-core/src/adaptation.rs crates/smartvlc-core/src/amppm/mod.rs crates/smartvlc-core/src/amppm/candidates.rs crates/smartvlc-core/src/amppm/envelope.rs crates/smartvlc-core/src/amppm/mixer.rs crates/smartvlc-core/src/amppm/planner.rs crates/smartvlc-core/src/amppm/resolution.rs crates/smartvlc-core/src/amppm/super_symbol.rs crates/smartvlc-core/src/config.rs crates/smartvlc-core/src/dimming.rs crates/smartvlc-core/src/flicker.rs crates/smartvlc-core/src/frame/mod.rs crates/smartvlc-core/src/frame/codec.rs crates/smartvlc-core/src/frame/crc.rs crates/smartvlc-core/src/frame/format.rs crates/smartvlc-core/src/modem.rs crates/smartvlc-core/src/schemes/mod.rs crates/smartvlc-core/src/schemes/amppm_modem.rs crates/smartvlc-core/src/schemes/darklight.rs crates/smartvlc-core/src/schemes/mppm.rs crates/smartvlc-core/src/schemes/ook_ct.rs crates/smartvlc-core/src/schemes/oppm.rs crates/smartvlc-core/src/schemes/vppm.rs crates/smartvlc-core/src/ser.rs crates/smartvlc-core/src/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmartvlc_core-964d91760ab0c21e.rmeta: crates/smartvlc-core/src/lib.rs crates/smartvlc-core/src/adaptation.rs crates/smartvlc-core/src/amppm/mod.rs crates/smartvlc-core/src/amppm/candidates.rs crates/smartvlc-core/src/amppm/envelope.rs crates/smartvlc-core/src/amppm/mixer.rs crates/smartvlc-core/src/amppm/planner.rs crates/smartvlc-core/src/amppm/resolution.rs crates/smartvlc-core/src/amppm/super_symbol.rs crates/smartvlc-core/src/config.rs crates/smartvlc-core/src/dimming.rs crates/smartvlc-core/src/flicker.rs crates/smartvlc-core/src/frame/mod.rs crates/smartvlc-core/src/frame/codec.rs crates/smartvlc-core/src/frame/crc.rs crates/smartvlc-core/src/frame/format.rs crates/smartvlc-core/src/modem.rs crates/smartvlc-core/src/schemes/mod.rs crates/smartvlc-core/src/schemes/amppm_modem.rs crates/smartvlc-core/src/schemes/darklight.rs crates/smartvlc-core/src/schemes/mppm.rs crates/smartvlc-core/src/schemes/ook_ct.rs crates/smartvlc-core/src/schemes/oppm.rs crates/smartvlc-core/src/schemes/vppm.rs crates/smartvlc-core/src/ser.rs crates/smartvlc-core/src/symbol.rs Cargo.toml
+
+crates/smartvlc-core/src/lib.rs:
+crates/smartvlc-core/src/adaptation.rs:
+crates/smartvlc-core/src/amppm/mod.rs:
+crates/smartvlc-core/src/amppm/candidates.rs:
+crates/smartvlc-core/src/amppm/envelope.rs:
+crates/smartvlc-core/src/amppm/mixer.rs:
+crates/smartvlc-core/src/amppm/planner.rs:
+crates/smartvlc-core/src/amppm/resolution.rs:
+crates/smartvlc-core/src/amppm/super_symbol.rs:
+crates/smartvlc-core/src/config.rs:
+crates/smartvlc-core/src/dimming.rs:
+crates/smartvlc-core/src/flicker.rs:
+crates/smartvlc-core/src/frame/mod.rs:
+crates/smartvlc-core/src/frame/codec.rs:
+crates/smartvlc-core/src/frame/crc.rs:
+crates/smartvlc-core/src/frame/format.rs:
+crates/smartvlc-core/src/modem.rs:
+crates/smartvlc-core/src/schemes/mod.rs:
+crates/smartvlc-core/src/schemes/amppm_modem.rs:
+crates/smartvlc-core/src/schemes/darklight.rs:
+crates/smartvlc-core/src/schemes/mppm.rs:
+crates/smartvlc-core/src/schemes/ook_ct.rs:
+crates/smartvlc-core/src/schemes/oppm.rs:
+crates/smartvlc-core/src/schemes/vppm.rs:
+crates/smartvlc-core/src/ser.rs:
+crates/smartvlc-core/src/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smartvlc_link-e1f3a881b4a837c2.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+
+/root/repo/target/debug/deps/libsmartvlc_link-e1f3a881b4a837c2.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+
+crates/smartvlc-link/src/lib.rs:
+crates/smartvlc-link/src/link.rs:
+crates/smartvlc-link/src/mac.rs:
+crates/smartvlc-link/src/rx.rs:
+crates/smartvlc-link/src/stats.rs:
+crates/smartvlc-link/src/sync.rs:
+crates/smartvlc-link/src/tx.rs:
+crates/smartvlc-link/src/uplink.rs:
+crates/smartvlc-link/src/uplink_vlc.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smartvlc_sim-171ab3a458c8f0ce.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+
+/root/repo/target/debug/deps/libsmartvlc_sim-171ab3a458c8f0ce.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+
+crates/smartvlc-sim/src/lib.rs:
+crates/smartvlc-sim/src/broadcast.rs:
+crates/smartvlc-sim/src/daylong.rs:
+crates/smartvlc-sim/src/dynamic_run.rs:
+crates/smartvlc-sim/src/energy.rs:
+crates/smartvlc-sim/src/perception.rs:
+crates/smartvlc-sim/src/report.rs:
+crates/smartvlc-sim/src/static_run.rs:
+crates/smartvlc-sim/src/stats_util.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smartvlc_sim-aada1fce2c35a8a9.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+
+/root/repo/target/debug/deps/libsmartvlc_sim-aada1fce2c35a8a9.rlib: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+
+/root/repo/target/debug/deps/libsmartvlc_sim-aada1fce2c35a8a9.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+
+crates/smartvlc-sim/src/lib.rs:
+crates/smartvlc-sim/src/broadcast.rs:
+crates/smartvlc-sim/src/daylong.rs:
+crates/smartvlc-sim/src/dynamic_run.rs:
+crates/smartvlc-sim/src/energy.rs:
+crates/smartvlc-sim/src/perception.rs:
+crates/smartvlc-sim/src/report.rs:
+crates/smartvlc-sim/src/static_run.rs:
+crates/smartvlc-sim/src/stats_util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_user_study-29c2aadce3f660ea.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/debug/deps/table2_user_study-29c2aadce3f660ea: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_user_study-964e896d2bc755ac.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/debug/deps/libtable2_user_study-964e896d2bc755ac.rmeta: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_user_study-ab2c508779dd18d0.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/debug/deps/libtable2_user_study-ab2c508779dd18d0.rmeta: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_user_study-ca0e9173ef6f5e9a.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/debug/deps/table2_user_study-ca0e9173ef6f5e9a: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

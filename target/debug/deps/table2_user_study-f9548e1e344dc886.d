@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_user_study-f9548e1e344dc886.d: crates/bench/src/bin/table2_user_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_user_study-f9548e1e344dc886.rmeta: crates/bench/src/bin/table2_user_study.rs Cargo.toml
+
+crates/bench/src/bin/table2_user_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

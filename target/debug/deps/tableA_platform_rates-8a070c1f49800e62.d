@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableA_platform_rates-8a070c1f49800e62.d: crates/bench/src/bin/tableA_platform_rates.rs
+
+/root/repo/target/debug/deps/libtableA_platform_rates-8a070c1f49800e62.rmeta: crates/bench/src/bin/tableA_platform_rates.rs
+
+crates/bench/src/bin/tableA_platform_rates.rs:

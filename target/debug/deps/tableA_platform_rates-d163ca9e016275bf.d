@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableA_platform_rates-d163ca9e016275bf.d: crates/bench/src/bin/tableA_platform_rates.rs
+
+/root/repo/target/debug/deps/tableA_platform_rates-d163ca9e016275bf: crates/bench/src/bin/tableA_platform_rates.rs
+
+crates/bench/src/bin/tableA_platform_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableA_platform_rates-d2955c3a02c9faff.d: crates/bench/src/bin/tableA_platform_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableA_platform_rates-d2955c3a02c9faff.rmeta: crates/bench/src/bin/tableA_platform_rates.rs Cargo.toml
+
+crates/bench/src/bin/tableA_platform_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

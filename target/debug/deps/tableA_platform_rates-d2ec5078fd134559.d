@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableA_platform_rates-d2ec5078fd134559.d: crates/bench/src/bin/tableA_platform_rates.rs
+
+/root/repo/target/debug/deps/tableA_platform_rates-d2ec5078fd134559: crates/bench/src/bin/tableA_platform_rates.rs
+
+crates/bench/src/bin/tableA_platform_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableA_platform_rates-e6564ac83277d348.d: crates/bench/src/bin/tableA_platform_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableA_platform_rates-e6564ac83277d348.rmeta: crates/bench/src/bin/tableA_platform_rates.rs Cargo.toml
+
+crates/bench/src/bin/tableA_platform_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

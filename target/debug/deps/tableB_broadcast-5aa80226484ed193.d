@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableB_broadcast-5aa80226484ed193.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/debug/deps/tableB_broadcast-5aa80226484ed193: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

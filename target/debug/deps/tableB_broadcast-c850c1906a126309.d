@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableB_broadcast-c850c1906a126309.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/debug/deps/libtableB_broadcast-c850c1906a126309.rmeta: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableB_broadcast-cae3fb16bab06710.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/debug/deps/tableB_broadcast-cae3fb16bab06710: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableB_broadcast-d207c057fa6a687e.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/debug/deps/libtableB_broadcast-d207c057fa6a687e.rmeta: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableB_broadcast-f3e968b02073805e.d: crates/bench/src/bin/tableB_broadcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableB_broadcast-f3e968b02073805e.rmeta: crates/bench/src/bin/tableB_broadcast.rs Cargo.toml
+
+crates/bench/src/bin/tableB_broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

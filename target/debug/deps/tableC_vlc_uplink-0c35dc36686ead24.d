@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-0c35dc36686ead24.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/debug/deps/tableC_vlc_uplink-0c35dc36686ead24: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

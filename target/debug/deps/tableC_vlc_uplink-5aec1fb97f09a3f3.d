@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-5aec1fb97f09a3f3.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/debug/deps/libtableC_vlc_uplink-5aec1fb97f09a3f3.rmeta: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

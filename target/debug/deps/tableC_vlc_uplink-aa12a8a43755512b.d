@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-aa12a8a43755512b.d: crates/bench/src/bin/tableC_vlc_uplink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableC_vlc_uplink-aa12a8a43755512b.rmeta: crates/bench/src/bin/tableC_vlc_uplink.rs Cargo.toml
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

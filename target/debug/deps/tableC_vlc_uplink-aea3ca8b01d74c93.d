@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-aea3ca8b01d74c93.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/debug/deps/libtableC_vlc_uplink-aea3ca8b01d74c93.rmeta: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-dd1cd21003ce860f.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/debug/deps/tableC_vlc_uplink-dd1cd21003ce860f: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vlc_hw-a6fdfc4726b7140c.d: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/debug/deps/vlc_hw-a6fdfc4726b7140c: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+crates/vlc-hw/src/lib.rs:
+crates/vlc-hw/src/board.rs:
+crates/vlc-hw/src/gpio.rs:
+crates/vlc-hw/src/pru.rs:
+crates/vlc-hw/src/sampler.rs:
+crates/vlc-hw/src/shmem.rs:
+crates/vlc-hw/src/wifi.rs:

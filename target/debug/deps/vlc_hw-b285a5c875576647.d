@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vlc_hw-b285a5c875576647.d: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/debug/deps/libvlc_hw-b285a5c875576647.rlib: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/debug/deps/libvlc_hw-b285a5c875576647.rmeta: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+crates/vlc-hw/src/lib.rs:
+crates/vlc-hw/src/board.rs:
+crates/vlc-hw/src/gpio.rs:
+crates/vlc-hw/src/pru.rs:
+crates/vlc-hw/src/sampler.rs:
+crates/vlc-hw/src/shmem.rs:
+crates/vlc-hw/src/wifi.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vlc_hw-e36bc645a6ff77f3.d: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/debug/deps/libvlc_hw-e36bc645a6ff77f3.rmeta: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+crates/vlc-hw/src/lib.rs:
+crates/vlc-hw/src/board.rs:
+crates/vlc-hw/src/gpio.rs:
+crates/vlc-hw/src/pru.rs:
+crates/vlc-hw/src/sampler.rs:
+crates/vlc-hw/src/shmem.rs:
+crates/vlc-hw/src/wifi.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vlc_hw-eec52e240ace0fe6.d: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvlc_hw-eec52e240ace0fe6.rmeta: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs Cargo.toml
+
+crates/vlc-hw/src/lib.rs:
+crates/vlc-hw/src/board.rs:
+crates/vlc-hw/src/gpio.rs:
+crates/vlc-hw/src/pru.rs:
+crates/vlc-hw/src/sampler.rs:
+crates/vlc-hw/src/shmem.rs:
+crates/vlc-hw/src/wifi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

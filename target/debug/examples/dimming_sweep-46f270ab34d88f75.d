@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dimming_sweep-46f270ab34d88f75.d: examples/dimming_sweep.rs
+
+/root/repo/target/debug/examples/dimming_sweep-46f270ab34d88f75: examples/dimming_sweep.rs
+
+examples/dimming_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dimming_sweep-54fd0214df0b0b5a.d: examples/dimming_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdimming_sweep-54fd0214df0b0b5a.rmeta: examples/dimming_sweep.rs Cargo.toml
+
+examples/dimming_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dimming_sweep-684471999776596c.d: examples/dimming_sweep.rs
+
+/root/repo/target/debug/examples/dimming_sweep-684471999776596c: examples/dimming_sweep.rs
+
+examples/dimming_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dimming_sweep-d449548f95e33158.d: examples/dimming_sweep.rs
+
+/root/repo/target/debug/examples/libdimming_sweep-d449548f95e33158.rmeta: examples/dimming_sweep.rs
+
+examples/dimming_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_transfer-073da5a47f30c594.d: examples/file_transfer.rs
+
+/root/repo/target/debug/examples/file_transfer-073da5a47f30c594: examples/file_transfer.rs
+
+examples/file_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_transfer-bf9fb6353c6d881d.d: examples/file_transfer.rs
+
+/root/repo/target/debug/examples/file_transfer-bf9fb6353c6d881d: examples/file_transfer.rs
+
+examples/file_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/file_transfer-cacd085e1d97382a.d: examples/file_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfile_transfer-cacd085e1d97382a.rmeta: examples/file_transfer.rs Cargo.toml
+
+examples/file_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_transfer-eb2be13316df65fb.d: examples/file_transfer.rs
+
+/root/repo/target/debug/examples/libfile_transfer-eb2be13316df65fb.rmeta: examples/file_transfer.rs
+
+examples/file_transfer.rs:

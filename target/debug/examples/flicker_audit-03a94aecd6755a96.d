@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flicker_audit-03a94aecd6755a96.d: examples/flicker_audit.rs
+
+/root/repo/target/debug/examples/flicker_audit-03a94aecd6755a96: examples/flicker_audit.rs
+
+examples/flicker_audit.rs:

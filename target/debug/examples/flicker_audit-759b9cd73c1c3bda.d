@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flicker_audit-759b9cd73c1c3bda.d: examples/flicker_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflicker_audit-759b9cd73c1c3bda.rmeta: examples/flicker_audit.rs Cargo.toml
+
+examples/flicker_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

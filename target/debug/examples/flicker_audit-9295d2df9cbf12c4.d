@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flicker_audit-9295d2df9cbf12c4.d: examples/flicker_audit.rs
+
+/root/repo/target/debug/examples/libflicker_audit-9295d2df9cbf12c4.rmeta: examples/flicker_audit.rs
+
+examples/flicker_audit.rs:

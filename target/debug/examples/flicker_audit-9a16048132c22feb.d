@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flicker_audit-9a16048132c22feb.d: examples/flicker_audit.rs
+
+/root/repo/target/debug/examples/flicker_audit-9a16048132c22feb: examples/flicker_audit.rs
+
+examples/flicker_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/night_mode-21e95b4ded93f271.d: examples/night_mode.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnight_mode-21e95b4ded93f271.rmeta: examples/night_mode.rs Cargo.toml
+
+examples/night_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

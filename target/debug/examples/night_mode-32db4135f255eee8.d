@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/night_mode-32db4135f255eee8.d: examples/night_mode.rs
+
+/root/repo/target/debug/examples/libnight_mode-32db4135f255eee8.rmeta: examples/night_mode.rs
+
+examples/night_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/night_mode-46f2e97fa3227d1a.d: examples/night_mode.rs
+
+/root/repo/target/debug/examples/night_mode-46f2e97fa3227d1a: examples/night_mode.rs
+
+examples/night_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/night_mode-da82e851366bb871.d: examples/night_mode.rs
+
+/root/repo/target/debug/examples/night_mode-da82e851366bb871: examples/night_mode.rs
+
+examples/night_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/office_day-07f047febfac8ad9.d: examples/office_day.rs
+
+/root/repo/target/debug/examples/office_day-07f047febfac8ad9: examples/office_day.rs
+
+examples/office_day.rs:

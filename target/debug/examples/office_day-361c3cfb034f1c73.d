@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/office_day-361c3cfb034f1c73.d: examples/office_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffice_day-361c3cfb034f1c73.rmeta: examples/office_day.rs Cargo.toml
+
+examples/office_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/office_day-44bd12d51228d281.d: examples/office_day.rs
+
+/root/repo/target/debug/examples/office_day-44bd12d51228d281: examples/office_day.rs
+
+examples/office_day.rs:

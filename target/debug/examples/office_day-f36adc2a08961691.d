@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/office_day-f36adc2a08961691.d: examples/office_day.rs
+
+/root/repo/target/debug/examples/liboffice_day-f36adc2a08961691.rmeta: examples/office_day.rs
+
+examples/office_day.rs:

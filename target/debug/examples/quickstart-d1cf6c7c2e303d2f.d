@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d1cf6c7c2e303d2f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d1cf6c7c2e303d2f: examples/quickstart.rs
+
+examples/quickstart.rs:

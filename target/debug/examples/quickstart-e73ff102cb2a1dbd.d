@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e73ff102cb2a1dbd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e73ff102cb2a1dbd: examples/quickstart.rs
+
+examples/quickstart.rs:

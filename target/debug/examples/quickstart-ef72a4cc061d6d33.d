@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef72a4cc061d6d33.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-ef72a4cc061d6d33.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_office-4804b944389ea608.d: examples/smart_office.rs
+
+/root/repo/target/debug/examples/smart_office-4804b944389ea608: examples/smart_office.rs
+
+examples/smart_office.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_office-ad506fc26fd2462c.d: examples/smart_office.rs
+
+/root/repo/target/debug/examples/smart_office-ad506fc26fd2462c: examples/smart_office.rs
+
+examples/smart_office.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_office-d4b4d6f86ca97eba.d: examples/smart_office.rs
+
+/root/repo/target/debug/examples/libsmart_office-d4b4d6f86ca97eba.rmeta: examples/smart_office.rs
+
+examples/smart_office.rs:

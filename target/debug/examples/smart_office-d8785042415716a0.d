@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_office-d8785042415716a0.d: examples/smart_office.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_office-d8785042415716a0.rmeta: examples/smart_office.rs Cargo.toml
+
+examples/smart_office.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

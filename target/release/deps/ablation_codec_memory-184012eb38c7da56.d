@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_codec_memory-184012eb38c7da56.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/release/deps/ablation_codec_memory-184012eb38c7da56: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_envelope-c0d9139d7a1a64c4.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/release/deps/ablation_envelope-c0d9139d7a1a64c4: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

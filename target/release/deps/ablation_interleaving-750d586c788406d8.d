@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_interleaving-750d586c788406d8.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/release/deps/ablation_interleaving-750d586c788406d8: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_oversampling-49724bbae1b733f9.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/release/deps/ablation_oversampling-49724bbae1b733f9: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

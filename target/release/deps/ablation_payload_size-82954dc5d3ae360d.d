@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_payload_size-82954dc5d3ae360d.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/release/deps/ablation_payload_size-82954dc5d3ae360d: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

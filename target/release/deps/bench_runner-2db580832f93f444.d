@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_runner-2db580832f93f444.d: crates/bench/src/bin/bench_runner.rs
+
+/root/repo/target/release/deps/bench_runner-2db580832f93f444: crates/bench/src/bin/bench_runner.rs
+
+crates/bench/src/bin/bench_runner.rs:

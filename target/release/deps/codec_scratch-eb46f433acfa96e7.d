@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_scratch-eb46f433acfa96e7.d: crates/bench/benches/codec_scratch.rs
+
+/root/repo/target/release/deps/codec_scratch-eb46f433acfa96e7: crates/bench/benches/codec_scratch.rs
+
+crates/bench/benches/codec_scratch.rs:

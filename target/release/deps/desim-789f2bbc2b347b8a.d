@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/desim-789f2bbc2b347b8a.d: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/release/deps/libdesim-789f2bbc2b347b8a.rlib: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+/root/repo/target/release/deps/libdesim-789f2bbc2b347b8a.rmeta: crates/desim/src/lib.rs crates/desim/src/process.rs crates/desim/src/rng.rs crates/desim/src/scheduler.rs crates/desim/src/time.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/process.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/scheduler.rs:
+crates/desim/src/time.rs:

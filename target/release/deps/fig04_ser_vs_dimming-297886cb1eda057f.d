@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_ser_vs_dimming-297886cb1eda057f.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/release/deps/fig04_ser_vs_dimming-297886cb1eda057f: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

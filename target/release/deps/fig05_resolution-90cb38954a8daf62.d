@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_resolution-90cb38954a8daf62.d: crates/bench/src/bin/fig05_resolution.rs
+
+/root/repo/target/release/deps/fig05_resolution-90cb38954a8daf62: crates/bench/src/bin/fig05_resolution.rs
+
+crates/bench/src/bin/fig05_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_multiplexing_levels-06c0444ef21439e6.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/release/deps/fig06_multiplexing_levels-06c0444ef21439e6: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_candidate_filter-3d689aac4d66a21c.d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+/root/repo/target/release/deps/fig08_candidate_filter-3d689aac4d66a21c: crates/bench/src/bin/fig08_candidate_filter.rs
+
+crates/bench/src/bin/fig08_candidate_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_envelope-432094ef5c3eed4f.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/release/deps/fig09_envelope-432094ef5c3eed4f: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

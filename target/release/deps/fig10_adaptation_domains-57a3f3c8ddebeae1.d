@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_adaptation_domains-57a3f3c8ddebeae1.d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+/root/repo/target/release/deps/fig10_adaptation_domains-57a3f3c8ddebeae1: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_optimistic-ab4f9d1cb80ed4f6.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/release/deps/fig15_optimistic-ab4f9d1cb80ed4f6: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

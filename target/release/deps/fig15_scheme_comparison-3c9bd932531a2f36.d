@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_scheme_comparison-3c9bd932531a2f36.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/release/deps/fig15_scheme_comparison-3c9bd932531a2f36: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

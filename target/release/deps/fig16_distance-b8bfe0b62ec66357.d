@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_distance-b8bfe0b62ec66357.d: crates/bench/src/bin/fig16_distance.rs
+
+/root/repo/target/release/deps/fig16_distance-b8bfe0b62ec66357: crates/bench/src/bin/fig16_distance.rs
+
+crates/bench/src/bin/fig16_distance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_incidence-fbec8499bfd694e8.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/release/deps/fig17_incidence-fbec8499bfd694e8: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19a_dynamic_throughput-db4c6ec0f10d2772.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+/root/repo/target/release/deps/fig19a_dynamic_throughput-db4c6ec0f10d2772: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:

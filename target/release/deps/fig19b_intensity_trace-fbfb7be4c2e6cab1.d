@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19b_intensity_trace-fbfb7be4c2e6cab1.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/release/deps/fig19b_intensity_trace-fbfb7be4c2e6cab1: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19c_adaptation_count-9180d51fbe11fcb8.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/release/deps/fig19c_adaptation_count-9180d51fbe11fcb8: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

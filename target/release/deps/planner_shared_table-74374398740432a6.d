@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/planner_shared_table-74374398740432a6.d: crates/bench/benches/planner_shared_table.rs
+
+/root/repo/target/release/deps/planner_shared_table-74374398740432a6: crates/bench/benches/planner_shared_table.rs
+
+crates/bench/benches/planner_shared_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smartvlc-239c55438d8be22c.d: src/bin/smartvlc.rs
+
+/root/repo/target/release/deps/smartvlc-239c55438d8be22c: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

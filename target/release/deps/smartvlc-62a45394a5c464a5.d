@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/smartvlc-62a45394a5c464a5.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsmartvlc-62a45394a5c464a5.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsmartvlc-62a45394a5c464a5.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/smartvlc-b22819016a7ef52c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsmartvlc-b22819016a7ef52c.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsmartvlc-b22819016a7ef52c.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smartvlc-daae39075fbfe599.d: src/bin/smartvlc.rs
+
+/root/repo/target/release/deps/smartvlc-daae39075fbfe599: src/bin/smartvlc.rs
+
+src/bin/smartvlc.rs:

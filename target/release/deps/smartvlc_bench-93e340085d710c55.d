@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smartvlc_bench-93e340085d710c55.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmartvlc_bench-93e340085d710c55.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmartvlc_bench-93e340085d710c55.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

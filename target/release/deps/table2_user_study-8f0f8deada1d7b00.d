@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_user_study-8f0f8deada1d7b00.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/release/deps/table2_user_study-8f0f8deada1d7b00: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tableA_platform_rates-dbdcd3fde45d9ad5.d: crates/bench/src/bin/tableA_platform_rates.rs
+
+/root/repo/target/release/deps/tableA_platform_rates-dbdcd3fde45d9ad5: crates/bench/src/bin/tableA_platform_rates.rs
+
+crates/bench/src/bin/tableA_platform_rates.rs:

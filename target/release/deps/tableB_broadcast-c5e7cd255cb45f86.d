@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tableB_broadcast-c5e7cd255cb45f86.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/release/deps/tableB_broadcast-c5e7cd255cb45f86: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tableC_vlc_uplink-73ee1a66f4d8b8fe.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/release/deps/tableC_vlc_uplink-73ee1a66f4d8b8fe: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vlc_hw-10adfa67b3568493.d: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/release/deps/libvlc_hw-10adfa67b3568493.rlib: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+/root/repo/target/release/deps/libvlc_hw-10adfa67b3568493.rmeta: crates/vlc-hw/src/lib.rs crates/vlc-hw/src/board.rs crates/vlc-hw/src/gpio.rs crates/vlc-hw/src/pru.rs crates/vlc-hw/src/sampler.rs crates/vlc-hw/src/shmem.rs crates/vlc-hw/src/wifi.rs
+
+crates/vlc-hw/src/lib.rs:
+crates/vlc-hw/src/board.rs:
+crates/vlc-hw/src/gpio.rs:
+crates/vlc-hw/src/pru.rs:
+crates/vlc-hw/src/sampler.rs:
+crates/vlc-hw/src/shmem.rs:
+crates/vlc-hw/src/wifi.rs:

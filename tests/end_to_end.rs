@@ -132,8 +132,7 @@ fn frames_flow_across_an_ambient_sweep() {
         let (_, slots) = tx.build_frame(step as u16, &data).unwrap();
         let (frame, stats) = codec.parse(&slots).unwrap();
         assert!(stats.crc_ok, "ambient={ambient}");
-        let (hdr, body) =
-            smartvlc::link::mac::MacHeader::decapsulate(&frame.payload).unwrap();
+        let (hdr, body) = smartvlc::link::mac::MacHeader::decapsulate(&frame.payload).unwrap();
         assert_eq!(hdr.seq, step as u16);
         assert_eq!(body, &data[..]);
         // The emitted waveform sits at the LED's commanded level.

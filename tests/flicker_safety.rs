@@ -31,11 +31,7 @@ fn amppm_frames_are_flicker_free_at_all_levels() {
             train.extend(&one);
         }
         let report = a.audit(&train);
-        assert!(
-            report.is_clean(),
-            "l={l}: {:?}",
-            report.violations.first()
-        );
+        assert!(report.is_clean(), "l={l}: {:?}", report.violations.first());
         assert!((report.mean_level - l).abs() < 0.03, "l={l}");
     }
 }

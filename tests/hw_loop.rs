@@ -84,10 +84,7 @@ fn full_prototype_loop_recovers_a_frame() {
     // decide slots, and parse the frame out of the stream.
     let codes = rx_board.drain(usize::MAX);
     assert_eq!(codes.len(), n_samples);
-    let currents: Vec<f64> = codes
-        .iter()
-        .map(|&c| frontend.code_to_current(c))
-        .collect();
+    let currents: Vec<f64> = codes.iter().map(|&c| frontend.code_to_current(c)).collect();
     let lock = find_slot_phase(&currents, spp, &detector, 20).expect("phase lock");
     assert_eq!(lock.phase, 2, "clock offset recovered");
     let levels = decimate(&currents, spp, lock.phase, usize::MAX);

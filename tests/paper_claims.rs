@@ -54,9 +54,8 @@ fn fig15_average_gains_are_positive_and_peak_at_extremes() {
     let levels = paper_levels();
     let amppm = run_scheme_comparison(SchemeKind::Amppm, &levels, dur(), 41);
     let ook = run_scheme_comparison(SchemeKind::OokCt, &levels, dur(), 41);
-    let sum = |pts: &[smartvlc::sim::StaticPoint]| -> f64 {
-        pts.iter().map(|p| p.goodput_bps).sum()
-    };
+    let sum =
+        |pts: &[smartvlc::sim::StaticPoint]| -> f64 { pts.iter().map(|p| p.goodput_bps).sum() };
     assert!(sum(&amppm) > 1.15 * sum(&ook), "average gain under 15%");
     let gain = |i: usize| amppm[i].goodput_bps / ook[i].goodput_bps;
     let edge = gain(0).min(gain(levels.len() - 1));
@@ -141,7 +140,7 @@ fn user_study_selects_paper_thresholds() {
 #[test]
 fn multiplexing_does_not_raise_ser() {
     let cfg = SystemConfig::default();
-    let mut planner = AmppmPlanner::new(cfg.clone()).unwrap();
+    let planner = AmppmPlanner::new(cfg.clone()).unwrap();
     for i in 1..=19 {
         let l = i as f64 / 20.0;
         let plan = planner.plan(DimmingLevel::new(l).unwrap()).unwrap();
