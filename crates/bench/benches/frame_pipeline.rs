@@ -16,6 +16,7 @@ fn descriptors(cfg: &SystemConfig) -> Vec<(&'static str, PatternDescriptor)> {
             "amppm",
             PatternDescriptor::Amppm {
                 dimming_q: cfg.quantize_dimming(0.42),
+                tier: 0,
             },
         ),
         ("mppm20", PatternDescriptor::Mppm { n: 20, k: 8 }),

@@ -1,0 +1,140 @@
+//! Chaos suite: scheduled channel faults against the self-healing link.
+//!
+//! Runs the scenario battery from `smartvlc_sim::chaos` (ambient spikes,
+//! occlusion, clock drift, symbol slips, saturation, flaky uplink, and a
+//! kitchen-sink combination), prints a markdown recovery table, and
+//! writes the per-scenario metrics as JSON to `results/BENCH_chaos.json`.
+//!
+//! The suite then re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
+//! verifies the two JSON reports are byte-identical — the runner's
+//! determinism contract, enforced on the chaos path every time this
+//! binary runs (CI diffs the same pair).
+
+use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_sim::chaos::ChaosSummary;
+use smartvlc_sim::report::markdown_table;
+use smartvlc_sim::run_chaos_suite;
+
+const BASE_SEED: u64 = 0x5eed_c4a0;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled JSON (the workspace is fully offline — no serde_json):
+/// stable key order, fixed float formatting, so equal results mean equal
+/// bytes.
+fn to_json(summaries: &[ChaosSummary], replicates: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"base_seed\": {BASE_SEED},\n"));
+    out.push_str(&format!("  \"replicates\": {replicates},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(s.name)));
+        out.push_str(&format!(
+            "      \"description\": \"{}\",\n",
+            json_escape(s.description)
+        ));
+        out.push_str(&format!(
+            "      \"mean_goodput_retained\": {:.6},\n",
+            s.mean_goodput_retained
+        ));
+        out.push_str(&format!(
+            "      \"min_goodput_retained\": {:.6},\n",
+            s.min_goodput_retained
+        ));
+        out.push_str(&format!(
+            "      \"mean_goodput_bps\": {:.3},\n",
+            s.mean_goodput_bps
+        ));
+        match s.mean_resync_s {
+            Some(v) => out.push_str(&format!("      \"mean_resync_s\": {v:.6},\n")),
+            None => out.push_str("      \"mean_resync_s\": null,\n"),
+        }
+        out.push_str(&format!(
+            "      \"late_deliveries\": {},\n",
+            s.late_deliveries
+        ));
+        out.push_str(&format!("      \"frames_lost\": {},\n", s.frames_lost));
+        out.push_str(&format!("      \"sync_losses\": {},\n", s.sync_losses));
+        out.push_str(&format!(
+            "      \"resync_overruns\": {},\n",
+            s.resync_overruns
+        ));
+        out.push_str(&format!(
+            "      \"max_degrade_tier\": {}\n",
+            s.max_degrade_tier
+        ));
+        out.push_str(if i + 1 == summaries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_at(threads: Option<usize>, replicates: usize) -> String {
+    let old = std::env::var("SMARTVLC_THREADS").ok();
+    if let Some(n) = threads {
+        std::env::set_var("SMARTVLC_THREADS", n.to_string());
+    }
+    let json = to_json(&run_chaos_suite(replicates, BASE_SEED), replicates);
+    match old {
+        Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
+        None => std::env::remove_var("SMARTVLC_THREADS"),
+    }
+    json
+}
+
+fn main() {
+    let replicates = if full_run() { 5 } else { 2 };
+
+    let summaries = run_chaos_suite(replicates, BASE_SEED);
+    let mut rows = Vec::new();
+    for s in &summaries {
+        rows.push(vec![
+            s.name.to_string(),
+            f(s.mean_goodput_retained * 100.0, 1),
+            f(s.mean_goodput_bps / 1000.0, 1),
+            s.mean_resync_s.map_or("-".into(), |v| f(v * 1000.0, 0)),
+            s.late_deliveries.to_string(),
+            s.frames_lost.to_string(),
+            s.sync_losses.to_string(),
+            s.max_degrade_tier.to_string(),
+        ]);
+    }
+    println!("# Chaos suite — fault injection vs the self-healing link\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scenario",
+                "goodput retained %",
+                "goodput kbit/s",
+                "resync ms",
+                "late",
+                "lost",
+                "sync losses",
+                "max tier",
+            ],
+            &rows,
+        )
+    );
+
+    // Determinism gate: the whole suite, serial vs 8-way, byte-identical.
+    let serial = run_at(Some(1), replicates);
+    let parallel = run_at(Some(8), replicates);
+    assert_eq!(
+        serial, parallel,
+        "chaos suite differs between SMARTVLC_THREADS=1 and 8"
+    );
+    println!("determinism: SMARTVLC_THREADS=1 and 8 reports are byte-identical");
+
+    let path = results_dir().join("BENCH_chaos.json");
+    std::fs::write(&path, &serial).expect("write BENCH_chaos.json");
+    println!("wrote {}", path.display());
+}

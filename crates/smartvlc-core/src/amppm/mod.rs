@@ -37,6 +37,6 @@ pub mod super_symbol;
 pub use candidates::{candidate_patterns, Candidate};
 pub use envelope::Envelope;
 pub use mixer::{best_mix, Mix};
-pub use planner::{AmppmPlanner, PlanError, SuperSymbolPlan};
+pub use planner::{AmppmPlanner, PlanError, SuperSymbolPlan, MAX_DEGRADE_TIER};
 pub use resolution::ResolutionProfile;
 pub use super_symbol::SuperSymbol;

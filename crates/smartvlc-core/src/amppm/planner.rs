@@ -20,6 +20,15 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+/// Highest degradation tier the self-healing link may request (tier 0 is
+/// the paper's nominal operating point). Each tier replans the candidate
+/// set under pessimistically inflated slot error probabilities (×3 per
+/// tier) with a proportionally relaxed SER budget (×2 per tier), so the
+/// surviving patterns are shorter and survive a degraded channel; the
+/// frame header carries the tier so the receiver re-derives the identical
+/// plan with no extra signalling.
+pub const MAX_DEGRADE_TIER: u8 = 3;
+
 /// A fully-resolved transmission plan for one dimming level.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SuperSymbolPlan {
@@ -99,7 +108,10 @@ pub struct AmppmPlanner {
     cfg: SystemConfig,
     table: Arc<BinomialTable>,
     shared: Arc<PlannerShared>,
-    cache: Arc<Mutex<HashMap<u16, SuperSymbolPlan>>>,
+    /// Lazily-built Step 1–3 artifacts for degradation tiers > 0, keyed
+    /// by tier and shared across clones like the tier-0 artifacts.
+    degraded: Arc<Mutex<HashMap<u8, Arc<PlannerShared>>>>,
+    cache: Arc<Mutex<HashMap<(u16, u8), SuperSymbolPlan>>>,
 }
 
 impl AmppmPlanner {
@@ -116,6 +128,7 @@ impl AmppmPlanner {
                 candidates,
                 envelope,
             }),
+            degraded: Arc::new(Mutex::new(HashMap::new())),
             cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
@@ -152,23 +165,96 @@ impl AmppmPlanner {
     /// first quantized to the header grid; results are cached per grid
     /// point, and the cache is shared by every clone of this planner.
     pub fn plan(&self, target: DimmingLevel) -> Result<SuperSymbolPlan, PlanError> {
+        self.plan_tiered(target, 0)
+    }
+
+    /// Like [`AmppmPlanner::plan`], but at degradation tier `tier`
+    /// (clamped to [`MAX_DEGRADE_TIER`]). Tier 0 is the nominal plan;
+    /// each higher tier re-runs candidate selection under slot error
+    /// probabilities inflated ×3 per tier against an SER budget relaxed
+    /// ×2 per tier, yielding shorter, sturdier patterns at a lower rate.
+    /// The plan is still a pure function of `(config, level, tier)`, so a
+    /// receiver reading the tier from the frame header reconstructs the
+    /// identical super-symbol.
+    pub fn plan_tiered(
+        &self,
+        target: DimmingLevel,
+        tier: u8,
+    ) -> Result<SuperSymbolPlan, PlanError> {
+        let tier = tier.min(MAX_DEGRADE_TIER);
         let q = self.cfg.quantize_dimming(target.value());
-        if let Some(plan) = self.cache.lock().expect("plan cache poisoned").get(&q) {
+        if let Some(plan) = self
+            .cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&(q, tier))
+        {
             return Ok(*plan);
         }
+        let tier_cfg = self.tier_config(tier);
+        let shared = self.shared_for_tier(tier, &tier_cfg)?;
         let l = self.cfg.dequantize_dimming(q);
-        let (min, max) = self.shared.envelope.dimming_range();
-        let (left, right) = self
-            .shared
-            .envelope
-            .bracket(l)
-            .ok_or(PlanError::OutOfRange {
-                requested: l,
-                min,
-                max,
-            })?;
+        let plan = self.plan_uncached(&shared, &tier_cfg, l)?;
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert((q, tier), plan);
+        Ok(plan)
+    }
+
+    /// The effective configuration at degradation tier `tier`: slot error
+    /// probabilities ×3 per tier (capped at 0.4), SER budget ×2 per tier
+    /// (capped at 0.5), and the minimum symbol length relaxed so short
+    /// rugged patterns remain admissible under the inflated errors.
+    fn tier_config(&self, tier: u8) -> SystemConfig {
+        let mut cfg = self.cfg.clone();
+        if tier == 0 {
+            return cfg;
+        }
+        let p_scale = 3f64.powi(tier as i32);
+        cfg.slot_errors.p_off_error = (cfg.slot_errors.p_off_error * p_scale).min(0.4);
+        cfg.slot_errors.p_on_error = (cfg.slot_errors.p_on_error * p_scale).min(0.4);
+        cfg.ser_upper_bound = (cfg.ser_upper_bound * 2f64.powi(tier as i32)).min(0.5);
+        cfg.n_min = cfg.n_min.clamp(2, 4);
+        cfg
+    }
+
+    fn shared_for_tier(
+        &self,
+        tier: u8,
+        tier_cfg: &SystemConfig,
+    ) -> Result<Arc<PlannerShared>, PlanError> {
+        if tier == 0 {
+            return Ok(Arc::clone(&self.shared));
+        }
+        let mut map = self.degraded.lock().expect("tier artifacts poisoned");
+        if let Some(s) = map.get(&tier) {
+            return Ok(Arc::clone(s));
+        }
+        let candidates = candidate_patterns(tier_cfg, &self.table);
+        let envelope = Envelope::build(&candidates).ok_or(PlanError::NoCandidates)?;
+        let shared = Arc::new(PlannerShared {
+            candidates,
+            envelope,
+        });
+        map.insert(tier, Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    fn plan_uncached(
+        &self,
+        shared: &PlannerShared,
+        cfg: &SystemConfig,
+        l: f64,
+    ) -> Result<SuperSymbolPlan, PlanError> {
+        let (min, max) = shared.envelope.dimming_range();
+        let (left, right) = shared.envelope.bracket(l).ok_or(PlanError::OutOfRange {
+            requested: l,
+            min,
+            max,
+        })?;
         let (left, right) = (*left, *right);
-        let n_max = self.cfg.n_max_super().min(u32::MAX as u64) as u32;
+        let n_max = cfg.n_max_super().min(u32::MAX as u64) as u32;
 
         // Step 4, refined: the hull edge fixes the dimming span, but any
         // candidate *pair* inside that span can realize the target — often
@@ -179,15 +265,13 @@ impl AmppmPlanner {
         // the pair minimizing dimming error, then maximizing rate.
         let span_lo = left.dimming();
         let span_hi = right.dimming();
-        let lows: Vec<Candidate> = self
-            .shared
+        let lows: Vec<Candidate> = shared
             .candidates
             .iter()
             .filter(|c| c.dimming() >= span_lo && c.dimming() <= l)
             .copied()
             .collect();
-        let highs: Vec<Candidate> = self
-            .shared
+        let highs: Vec<Candidate> = shared
             .candidates
             .iter()
             .filter(|c| c.dimming() >= l && c.dimming() <= span_hi)
@@ -195,7 +279,7 @@ impl AmppmPlanner {
             .collect();
         // A dimming error within half the header quantum is indistinguishable
         // on the wire, so such mixes compete purely on rate.
-        let tolerance = self.cfg.dimming_quantum / 2.0;
+        let tolerance = cfg.dimming_quantum / 2.0;
         let mut mix: Option<crate::amppm::mixer::Mix> = None;
         for a in &lows {
             for b in &highs {
@@ -211,28 +295,17 @@ impl AmppmPlanner {
             }
         }
         let mix = mix.ok_or(PlanError::NoFit)?;
-        let ser1 = self
-            .cfg
-            .slot_errors
-            .symbol_error_rate(mix.super_symbol.s1());
-        let ser2 = self
-            .cfg
-            .slot_errors
-            .symbol_error_rate(mix.super_symbol.s2());
+        let ser1 = cfg.slot_errors.symbol_error_rate(mix.super_symbol.s1());
+        let ser2 = cfg.slot_errors.symbol_error_rate(mix.super_symbol.s2());
         let ser = mix.super_symbol.mean_symbol_error_rate(ser1, ser2);
-        let plan = SuperSymbolPlan {
+        Ok(SuperSymbolPlan {
             super_symbol: mix.super_symbol,
             achieved: DimmingLevel::clamped(mix.dimming),
             requested: DimmingLevel::clamped(l),
             norm_rate: mix.norm_rate,
-            rate_bps: mix.norm_rate * self.cfg.ftx_hz as f64 * (1.0 - ser),
+            rate_bps: mix.norm_rate * cfg.ftx_hz as f64 * (1.0 - ser),
             expected_ser: ser,
-        };
-        self.cache
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(q, plan);
-        Ok(plan)
+        })
     }
 
     /// Like [`AmppmPlanner::plan`] but clamps out-of-range targets to the
@@ -401,6 +474,71 @@ mod tests {
             }
         });
         assert_eq!(p.cache_len(), 17);
+    }
+
+    #[test]
+    fn tiers_trade_rate_for_ruggedness() {
+        let p = planner();
+        for i in 2..=18 {
+            let l = lv(i as f64 / 20.0);
+            let mut prev_rate = f64::INFINITY;
+            for tier in 0..=MAX_DEGRADE_TIER {
+                let plan = p.plan_tiered(l, tier).unwrap();
+                // Rate never increases with tier...
+                assert!(
+                    plan.norm_rate <= prev_rate + 1e-12,
+                    "l={:?} tier={tier}: {} > {prev_rate}",
+                    l,
+                    plan.norm_rate
+                );
+                prev_rate = plan.norm_rate;
+                // ...and the realized level stays on target.
+                assert!(
+                    (plan.achieved.value() - l.value()).abs() <= p.config().dimming_quantum,
+                    "l={l:?} tier={tier}: achieved {:?}",
+                    plan.achieved
+                );
+            }
+            // The top tier is materially sturdier: strictly shorter
+            // constituent symbols than the nominal plan at mid dimming.
+            if (0.3..=0.7).contains(&l.value()) {
+                let t0 = p.plan_tiered(l, 0).unwrap();
+                let t3 = p.plan_tiered(l, MAX_DEGRADE_TIER).unwrap();
+                assert!(
+                    t3.super_symbol.s1().n() < t0.super_symbol.s1().n(),
+                    "l={l:?}: tier3 n={} vs tier0 n={}",
+                    t3.super_symbol.s1().n(),
+                    t0.super_symbol.s1().n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tier_zero_is_the_nominal_plan() {
+        let p = planner();
+        assert_eq!(p.plan(lv(0.5)).unwrap(), p.plan_tiered(lv(0.5), 0).unwrap());
+        // Tiers beyond the maximum clamp to it.
+        assert_eq!(
+            p.plan_tiered(lv(0.5), MAX_DEGRADE_TIER).unwrap(),
+            p.plan_tiered(lv(0.5), 200).unwrap()
+        );
+    }
+
+    #[test]
+    fn tiered_plans_reproduce_across_planners() {
+        // The header carries (quantized level, tier); independently built
+        // planners must agree on the super-symbol for every pair.
+        let tx = planner();
+        let rx = planner();
+        for tier in 0..=MAX_DEGRADE_TIER {
+            for i in 1..=9 {
+                let l = lv(i as f64 / 10.0);
+                let a = tx.plan_tiered(l, tier).unwrap();
+                let b = rx.plan_tiered(l, tier).unwrap();
+                assert_eq!(a.super_symbol, b.super_symbol, "l={l:?} tier={tier}");
+            }
+        }
     }
 
     #[test]

@@ -150,9 +150,12 @@ impl FrameCodec {
                     .ok_or(FrameCodecError::Unsupported("OOK-CT level out of range"))?;
                 Ok(Box::new(modem))
             }
-            PatternDescriptor::Amppm { dimming_q } => {
+            PatternDescriptor::Amppm { dimming_q, tier } => {
                 let l = DimmingLevel::clamped(self.cfg.dequantize_dimming(dimming_q));
-                let plan = self.planner.plan(l)?;
+                // plan_tiered clamps the tier byte, so a corrupted header
+                // at worst selects a valid (if wrong) plan and the CRC
+                // rejects the frame — never a panic.
+                let plan = self.planner.plan_tiered(l, tier)?;
                 if plan.norm_rate == 0.0 {
                     return Err(FrameCodecError::Unsupported(
                         "AMPPM level carries no data (degenerate pattern)",

@@ -38,6 +38,10 @@ pub enum PatternDescriptor {
     Amppm {
         /// Quantized dimming level (planner grid index).
         dimming_q: u16,
+        /// Degradation tier (0 = nominal; see
+        /// [`crate::amppm::planner::MAX_DEGRADE_TIER`]). Carried in the
+        /// descriptor's spare byte so the receiver replans identically.
+        tier: u8,
     },
     /// VPPM with `n` slots per symbol and pulse width `width`.
     Vppm {
@@ -108,9 +112,9 @@ impl PatternDescriptor {
                 let b = dimming_q.to_be_bytes();
                 [TAG_OOKCT, b[0], b[1], 0]
             }
-            PatternDescriptor::Amppm { dimming_q } => {
+            PatternDescriptor::Amppm { dimming_q, tier } => {
                 let b = dimming_q.to_be_bytes();
-                [TAG_AMPPM, b[0], b[1], 0]
+                [TAG_AMPPM, b[0], b[1], tier]
             }
             PatternDescriptor::Vppm { n, width } => [TAG_VPPM, n, width, 0],
             PatternDescriptor::Oppm { n, width } => [TAG_OPPM, n, width, 0],
@@ -135,8 +139,11 @@ impl PatternDescriptor {
             TAG_OOKCT => Ok(PatternDescriptor::OokCt {
                 dimming_q: u16::from_be_bytes([b[1], b[2]]),
             }),
+            // Any tier byte parses (roundtrip totality); the modem clamps
+            // it to the planner's maximum when re-deriving the plan.
             TAG_AMPPM => Ok(PatternDescriptor::Amppm {
                 dimming_q: u16::from_be_bytes([b[1], b[2]]),
+                tier: b[3],
             }),
             TAG_VPPM => {
                 let (n, width) = (b[1], b[2]);
@@ -229,10 +236,11 @@ impl Frame {
     }
 }
 
-/// Helper: descriptor for an AMPPM frame at a given target level.
+/// Helper: descriptor for an AMPPM frame at a given target level (tier 0).
 pub fn amppm_descriptor(cfg: &crate::config::SystemConfig, l: DimmingLevel) -> PatternDescriptor {
     PatternDescriptor::Amppm {
         dimming_q: cfg.quantize_dimming(l.value()),
+        tier: 0,
     }
 }
 
@@ -243,7 +251,10 @@ mod tests {
     #[test]
     fn descriptor_is_exactly_four_bytes() {
         // Table 1: the Pattern field is 4 B.
-        let d = PatternDescriptor::Amppm { dimming_q: 777 };
+        let d = PatternDescriptor::Amppm {
+            dimming_q: 777,
+            tier: 0,
+        };
         assert_eq!(d.to_bytes().len(), 4);
     }
 
@@ -255,7 +266,18 @@ mod tests {
             PatternDescriptor::Mppm { n: 4095, k: 4095 },
             PatternDescriptor::OokCt { dimming_q: 0 },
             PatternDescriptor::OokCt { dimming_q: 65535 },
-            PatternDescriptor::Amppm { dimming_q: 512 },
+            PatternDescriptor::Amppm {
+                dimming_q: 512,
+                tier: 0,
+            },
+            PatternDescriptor::Amppm {
+                dimming_q: 512,
+                tier: 3,
+            },
+            PatternDescriptor::Amppm {
+                dimming_q: 65535,
+                tier: 255,
+            },
             PatternDescriptor::Vppm { n: 10, width: 3 },
             PatternDescriptor::Oppm { n: 12, width: 4 },
             PatternDescriptor::Darklight {
@@ -291,7 +313,10 @@ mod tests {
     fn header_roundtrip() {
         let h = FrameHeader {
             payload_len: 128,
-            pattern: PatternDescriptor::Amppm { dimming_q: 300 },
+            pattern: PatternDescriptor::Amppm {
+                dimming_q: 300,
+                tier: 1,
+            },
         };
         let bytes = h.to_bytes();
         assert_eq!(bytes.len(), 6); // Table 1: Length 2 B + Pattern 4 B
@@ -315,8 +340,9 @@ mod tests {
         let cfg = crate::config::SystemConfig::default();
         let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
         match d {
-            PatternDescriptor::Amppm { dimming_q } => {
-                assert_eq!(dimming_q, cfg.quantize_dimming(0.5))
+            PatternDescriptor::Amppm { dimming_q, tier } => {
+                assert_eq!(dimming_q, cfg.quantize_dimming(0.5));
+                assert_eq!(tier, 0);
             }
             _ => panic!("wrong variant"),
         }

@@ -40,7 +40,7 @@ pub mod schemes;
 pub mod ser;
 pub mod symbol;
 
-pub use amppm::planner::{AmppmPlanner, PlanError, SuperSymbolPlan};
+pub use amppm::planner::{AmppmPlanner, PlanError, SuperSymbolPlan, MAX_DEGRADE_TIER};
 pub use config::SystemConfig;
 pub use dimming::DimmingLevel;
 pub use flicker::{FlickerReport, FlickerRules};

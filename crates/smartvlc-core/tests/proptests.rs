@@ -17,7 +17,7 @@ proptest! {
                 PatternDescriptor::Mppm { n, k: b as u16 % (n + 1) }
             }
             1 => PatternDescriptor::OokCt { dimming_q: a },
-            2 => PatternDescriptor::Amppm { dimming_q: a },
+            2 => PatternDescriptor::Amppm { dimming_q: a, tier: b },
             3 => {
                 let n = (b % 250).max(2);
                 PatternDescriptor::Vppm { n, width: 1 + (a as u8 % (n - 1)) }

@@ -1,0 +1,114 @@
+//! The typed fault taxonomy of the link layer.
+//!
+//! A deployed luminaire sees ambient spikes, occlusion bursts, desynced
+//! receivers and a flaky uplink as *routine operating conditions*, not
+//! programming errors — so the link layer never panics on them. Every
+//! fallible path in this crate returns a [`LinkError`] and the callers
+//! degrade gracefully (drop the frame, fall back to a sturdier rate tier,
+//! re-hunt for sync). `unwrap`/`expect` remain only on genuinely
+//! infallible invariants, each with a comment saying why it cannot fire.
+
+use smartvlc_core::frame::codec::FrameCodecError;
+use smartvlc_core::PlanError;
+use std::fmt;
+
+/// Everything that can go wrong on the link's TX/RX/MAC paths.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkError {
+    /// Frame emission or parsing failed (codec-level structure).
+    Codec(FrameCodecError),
+    /// AMPPM planning failed for a dimming level/tier.
+    Plan(PlanError),
+    /// A payload exceeded the frame format's capacity.
+    PayloadTooLarge {
+        /// Offered payload length, bytes.
+        len: usize,
+        /// The format's maximum, bytes.
+        max: usize,
+    },
+    /// Every 16-bit MAC sequence number is simultaneously outstanding —
+    /// the window wrapped all the way around onto itself.
+    SeqSpaceExhausted,
+    /// The MAC queued a retransmission for a sequence number whose
+    /// payload is no longer stored (tracker/store desync).
+    RetryStateMissing {
+        /// The orphaned sequence number.
+        seq: u16,
+    },
+    /// The receiver lost slot synchronisation and exhausted its bounded
+    /// resync budget without finding a preamble.
+    ResyncBudgetExhausted {
+        /// Slots scanned since synchronisation was lost.
+        scanned_slots: u64,
+    },
+    /// A scenario configuration is unusable (bad geometry, degenerate
+    /// duration, …).
+    Config(&'static str),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Codec(e) => write!(f, "codec: {e}"),
+            LinkError::Plan(e) => write!(f, "planning: {e}"),
+            LinkError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} B exceeds the {max} B frame capacity")
+            }
+            LinkError::SeqSpaceExhausted => {
+                write!(f, "all 65536 MAC sequence numbers are outstanding")
+            }
+            LinkError::RetryStateMissing { seq } => {
+                write!(f, "retry queued for seq {seq} but its payload is gone")
+            }
+            LinkError::ResyncBudgetExhausted { scanned_slots } => {
+                write!(f, "no preamble found within {scanned_slots} resync slots")
+            }
+            LinkError::Config(what) => write!(f, "bad scenario config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<FrameCodecError> for LinkError {
+    fn from(e: FrameCodecError) -> Self {
+        // Collapse the nested plan variant so matching stays flat.
+        match e {
+            FrameCodecError::Plan(p) => LinkError::Plan(p),
+            other => LinkError::Codec(other),
+        }
+    }
+}
+
+impl From<PlanError> for LinkError {
+    fn from(e: PlanError) -> Self {
+        LinkError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(LinkError, &str)> = vec![
+            (LinkError::PayloadTooLarge { len: 9000, max: 2 }, "9000"),
+            (LinkError::SeqSpaceExhausted, "65536"),
+            (LinkError::RetryStateMissing { seq: 7 }, "seq 7"),
+            (LinkError::ResyncBudgetExhausted { scanned_slots: 99 }, "99"),
+            (LinkError::Config("zero duration"), "zero duration"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn codec_plan_errors_flatten() {
+        let e: LinkError = FrameCodecError::Plan(PlanError::NoCandidates).into();
+        assert_eq!(e, LinkError::Plan(PlanError::NoCandidates));
+        let e: LinkError = FrameCodecError::BadPreamble.into();
+        assert_eq!(e, LinkError::Codec(FrameCodecError::BadPreamble));
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod link;
 pub mod mac;
 pub mod rx;
@@ -33,9 +34,10 @@ pub mod tx;
 pub mod uplink;
 pub mod uplink_vlc;
 
+pub use error::LinkError;
 pub use link::{ChannelFidelity, LinkConfig, LinkReport, LinkSimulation, SchemeKind};
-pub use mac::{AckTracker, MacHeader};
-pub use rx::{Receiver, RxEvent};
+pub use mac::{AckTracker, MacHeader, TimeoutScan};
+pub use rx::{Receiver, RxEvent, SyncStatus};
 pub use stats::{LinkStats, ThroughputRecorder};
 pub use tx::Transmitter;
 pub use uplink_vlc::{VlcUplink, VlcUplinkConfig};

@@ -10,6 +10,7 @@
 
 pub use crate::tx::SchemeKind;
 
+use crate::error::LinkError;
 use crate::mac::{AckTracker, MacHeader};
 use crate::rx::{Receiver, RxEvent};
 use crate::stats::{LinkStats, ThroughputRecorder};
@@ -20,6 +21,7 @@ use desim::{DetRng, SimDuration, SimTime};
 use smartvlc_core::SystemConfig;
 use std::collections::HashMap;
 use vlc_channel::ambient::AmbientProfile;
+use vlc_channel::faults::{FaultPlan, UplinkFaultState};
 use vlc_channel::link::{ChannelConfig, OpticalChannel};
 use vlc_channel::shadowing::{ShadowingModel, ShadowingProcess};
 use vlc_hw::wifi::SideChannel;
@@ -79,6 +81,9 @@ pub struct LinkConfig {
     pub shadowing: Option<ShadowingModel>,
     /// Which medium carries ACKs and ambient reports back.
     pub uplink: UplinkKind,
+    /// Chaos-mode fault schedule (empty = the cooperative channel the
+    /// paper evaluates on). See [`vlc_channel::faults`].
+    pub faults: FaultPlan,
 }
 
 /// The reverse path's physical medium.
@@ -115,6 +120,7 @@ impl LinkConfig {
             rx_ambient_reports: true,
             shadowing: None,
             uplink: UplinkKind::Wifi,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -128,6 +134,34 @@ pub struct TracePoint {
     pub ambient: f64,
     /// Normalized LED level.
     pub led: f64,
+}
+
+/// Self-healing metrics of one run — how the link weathered its faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Times the receiver declared sync loss.
+    pub sync_losses: u64,
+    /// Times the receiver's bounded resync budget ran dry (it re-arms
+    /// and keeps hunting; this counts how often).
+    pub resync_overruns: u64,
+    /// Seconds from the last downlink-impairing fault clearing to the
+    /// first cleanly decoded frame after it. `None` when the plan has no
+    /// downlink faults, or the link never recovered within the run.
+    pub resync_time_s: Option<f64>,
+    /// Frames eventually ACKed but only after ≥ 1 retransmission
+    /// ("delivered late").
+    pub late_deliveries: u64,
+    /// Frames abandoned after exhausting their retry budget ("lost").
+    pub frames_abandoned: u64,
+    /// Sequence numbers skipped due to wraparound collisions.
+    pub seq_collisions: u64,
+    /// Highest AMPPM degradation tier the ARQ feedback drove the
+    /// transmitter to.
+    pub max_degrade_tier: u8,
+    /// Tier escalations (link got worse) and recoveries (link healed).
+    pub tier_escalations: u64,
+    /// Tier steps back toward nominal.
+    pub tier_recoveries: u64,
 }
 
 /// The measurements of one run.
@@ -146,6 +180,8 @@ pub struct LinkReport {
     pub adaptation: Vec<(f64, u64, u64)>,
     /// Run duration, seconds.
     pub duration_s: f64,
+    /// Fault-recovery metrics (all zero on a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 /// The composed simulation.
@@ -159,6 +195,10 @@ pub struct LinkSimulation {
     payload_store: HashMap<u16, Vec<u8>>,
     rng: DetRng,
     rx_sensor_rng: DetRng,
+    /// Dedicated stream for fault-injection draws (ACK loss/dup coin
+    /// flips, slip garbage) — forked unconditionally so a plan's presence
+    /// never perturbs the other streams.
+    fault_rng: DetRng,
     shadowing: Option<ShadowingProcess>,
     /// Latest receiver-side ambient report (arrival time, lux).
     rx_ambient: Option<(SimTime, f64)>,
@@ -170,7 +210,13 @@ pub struct LinkSimulation {
 
 impl LinkSimulation {
     /// Build a simulation from a scenario config.
-    pub fn new(cfg: LinkConfig) -> Result<LinkSimulation, String> {
+    pub fn new(cfg: LinkConfig) -> Result<LinkSimulation, LinkError> {
+        if cfg.duration.is_zero() {
+            return Err(LinkError::Config("duration must be positive"));
+        }
+        if cfg.full_scale_lux <= 0.0 || cfg.full_scale_lux.is_nan() {
+            return Err(LinkError::Config("full_scale_lux must be positive"));
+        }
         let root = DetRng::seed_from_u64(cfg.seed);
         let initial_ambient = 0.0; // set properly on the first sense tick
         let tx = Transmitter::new(
@@ -180,11 +226,10 @@ impl LinkSimulation {
             initial_ambient,
             cfg.fixed_step_floor,
             root.fork("tx-payload"),
-        )
-        .map_err(|e| e.to_string())?;
-        let rx = Receiver::new(cfg.sys.clone()).map_err(|e| e.to_string())?;
+        )?;
+        let rx = Receiver::new(cfg.sys.clone()).map_err(LinkError::from)?;
         let channel = OpticalChannel::new(cfg.channel, root.fork("channel"));
-        let tracker = AckTracker::new(cfg.ack_timeout, cfg.max_retries);
+        let tracker = AckTracker::with_backoff(cfg.ack_timeout, cfg.max_retries, root.fork("mac"));
         let wifi: Box<dyn SideChannel<UplinkMsg>> = match cfg.uplink {
             UplinkKind::Wifi => Box::new(vlc_hw::WifiSideChannel::esp8266(root.fork("wifi"))),
             UplinkKind::Vlc { tx_optical_w } => {
@@ -200,6 +245,7 @@ impl LinkSimulation {
         Ok(LinkSimulation {
             rng: root.fork("link"),
             rx_sensor_rng: root.fork("rx-sensor"),
+            fault_rng: root.fork("faults"),
             shadowing,
             cfg,
             tx,
@@ -216,6 +262,7 @@ impl LinkSimulation {
     /// Run the scenario against an ambient profile.
     pub fn run(&mut self, ambient: &mut dyn AmbientProfile) -> LinkReport {
         let tslot = SimDuration::nanos(self.cfg.sys.tslot_nanos());
+        let tslot_s = tslot.as_secs_f64();
         let mut now = SimTime::ZERO;
         let mut next_sense = SimTime::ZERO;
         let mut stats = LinkStats::default();
@@ -223,8 +270,19 @@ impl LinkSimulation {
         let mut trace = Vec::new();
         let mut adaptation = Vec::new();
         let mut delivered_seqs: std::collections::HashSet<u16> = Default::default();
+        let chaos = !self.cfg.faults.is_empty();
+        // Recovery clock: the instant the last downlink fault clears.
+        let recovery_from = self.cfg.faults.last_downlink_fault_end();
+        let mut first_clean_after_fault: Option<SimTime> = None;
+        let mut resync_overruns = 0u64;
 
         while now < SimTime::ZERO + self.cfg.duration {
+            // Chaos mode: replay the scheduled impairment state for this
+            // instant onto the optical channel.
+            if chaos {
+                self.channel
+                    .set_fault_state(self.cfg.faults.channel_state_at(now));
+            }
             // Sense ambient and adapt (Steps 1-2 of Fig. 2).
             if now >= next_sense {
                 let lux = ambient.lux_at(now);
@@ -281,6 +339,9 @@ impl LinkSimulation {
                     UplinkMsg::Ack { seq } => {
                         if self.tracker.on_ack(seq).is_some() {
                             self.payload_store.remove(&seq);
+                            // A delivered frame is the ARQ's "link is
+                            // fine" signal.
+                            self.tx.degrade.record_outcome(true);
                         }
                         stats.acks_received += 1;
                     }
@@ -289,20 +350,50 @@ impl LinkSimulation {
                     }
                 }
             }
-            self.tracker.scan_timeouts(now);
+            let scan = self.tracker.scan_timeouts(now);
+            for &seq in &scan.abandoned_seqs {
+                // The retry budget is spent; nothing will ever need this
+                // payload again.
+                self.payload_store.remove(&seq);
+            }
+            stats.frames_abandoned += scan.abandoned() as u64;
+            // Every expiry/abandonment is a loss sample for the graceful
+            // rate-degradation controller.
+            for _ in 0..scan.failures() {
+                self.tx.degrade.record_outcome(false);
+            }
 
             // Pick the next frame: retransmission first, else fresh data.
             let (seq, data, is_retry) = match self.tracker.next_retry() {
-                Some(seq) => {
-                    let data = self.payload_store[&seq].clone();
-                    self.tracker.register_retry(seq, now);
-                    (seq, data, true)
-                }
+                Some(seq) => match self.payload_store.get(&seq) {
+                    Some(data) => {
+                        let data = data.clone();
+                        self.tracker.register_retry(seq, now);
+                        (seq, data, true)
+                    }
+                    None => {
+                        // Tracker/store desync (LinkError::RetryStateMissing
+                        // territory). Self-heal: drop the orphaned retry and
+                        // move on rather than panicking on a missing key.
+                        stats.retry_state_missing += 1;
+                        continue;
+                    }
+                },
                 None => {
                     let data = self.tx.random_data();
-                    let seq = self.tracker.register_new(now, data.len());
-                    self.payload_store.insert(seq, data.clone());
-                    (seq, data, false)
+                    match self.tracker.register_new(now, data.len()) {
+                        Ok(seq) => {
+                            self.payload_store.insert(seq, data.clone());
+                            (seq, data, false)
+                        }
+                        Err(_) => {
+                            // Entire sequence space in flight: idle one
+                            // timeout so scans can abandon/expire entries,
+                            // then try again.
+                            now += self.cfg.ack_timeout;
+                            continue;
+                        }
+                    }
                 }
             };
             if is_retry {
@@ -325,12 +416,19 @@ impl LinkSimulation {
             let gap = self.tx.idle_filler(self.cfg.interframe_gap_slots);
             let mut air: Vec<bool> = gap;
             air.extend(&slots);
-            let decided = self.fly(&air);
+            let mut decided = self.fly(&air);
             stats.frames_sent += 1;
             stats.slots_sent += air.len() as u64;
             let airtime = tslot * air.len() as u64;
             self.tracker.ensure_timeout_covers(airtime);
             let rx_done = now + airtime;
+
+            // Chaos mode: timing faults mutate the *received* stream —
+            // clock drift and slips insert or delete slots.
+            if chaos {
+                let slip = self.cfg.faults.slip_slots_between(now, rx_done, tslot_s);
+                self.apply_slip(&mut decided, slip);
+            }
 
             // Receive.
             let mut got_ok = false;
@@ -339,9 +437,16 @@ impl LinkSimulation {
                     RxEvent::Frame { frame, .. } => {
                         got_ok = true;
                         stats.frames_ok += 1;
+                        if first_clean_after_fault.is_none()
+                            && recovery_from.is_some_and(|end| rx_done >= end)
+                        {
+                            first_clean_after_fault = Some(rx_done);
+                        }
                         if let Some((hdr, body)) = MacHeader::decapsulate(&frame.payload) {
-                            // ACK over Wi-Fi (may be lost or delayed).
-                            self.wifi.send(rx_done, UplinkMsg::Ack { seq: hdr.seq });
+                            // ACK over the side channel (which the fault
+                            // plan may drop, duplicate, or delay — on top
+                            // of the channel's own loss and jitter).
+                            self.send_ack(rx_done, hdr.seq);
                             if delivered_seqs.insert(hdr.seq) {
                                 stats.payload_bytes_acked += body.len() as u64;
                                 recorder.record(rx_done, body.len() as u64 * 8);
@@ -353,6 +458,12 @@ impl LinkSimulation {
                     }
                 }
             }
+            if self.rx.poll_resync().is_err() {
+                // The bounded resync budget ran out; the receiver re-arms
+                // and keeps hunting. Count it — a run may overrun many
+                // times under a long blackout without ever panicking.
+                resync_overruns += 1;
+            }
             if !got_ok && stats.frames_sent > 0 {
                 // Neither clean nor CRC-failed: preamble/header never
                 // locked (deep-fade region of Fig. 16).
@@ -363,6 +474,24 @@ impl LinkSimulation {
 
         stats.adaptation_steps = self.tx.smart_adaptation.adjustments;
         let duration_s = self.cfg.duration.as_secs_f64();
+        let recovery = RecoveryReport {
+            sync_losses: self.rx.sync_losses,
+            resync_overruns,
+            resync_time_s: match (recovery_from, first_clean_after_fault) {
+                (Some(end), Some(first)) => Some(
+                    first
+                        .checked_duration_since(end)
+                        .map_or(0.0, |d| d.as_secs_f64()),
+                ),
+                _ => None,
+            },
+            late_deliveries: self.tracker.late_deliveries,
+            frames_abandoned: self.tracker.abandoned,
+            seq_collisions: self.tracker.seq_collisions,
+            max_degrade_tier: self.tx.degrade.max_tier,
+            tier_escalations: self.tx.degrade.escalations,
+            tier_recoveries: self.tx.degrade.recoveries,
+        };
         LinkReport {
             mean_goodput_bps: stats.payload_bytes_acked as f64 * 8.0 / duration_s,
             // Drop a trailing partial bucket: its bits/s would read low
@@ -377,6 +506,46 @@ impl LinkSimulation {
             trace,
             adaptation,
             duration_s,
+            recovery,
+        }
+    }
+
+    /// Send one ACK through the side channel, applying any scheduled
+    /// uplink impairment (loss, duplication, extra delay) on top of the
+    /// channel's own behavior.
+    fn send_ack(&mut self, at: SimTime, seq: u16) {
+        let st = if self.cfg.faults.is_empty() {
+            UplinkFaultState::CLEAR
+        } else {
+            self.cfg.faults.uplink_state_at(at)
+        };
+        if st.loss_prob > 0.0 && self.fault_rng.chance(st.loss_prob) {
+            return; // eaten by the impaired uplink
+        }
+        let at = at + st.extra_delay;
+        self.wifi.send(at, UplinkMsg::Ack { seq });
+        if st.dup_prob > 0.0 && self.fault_rng.chance(st.dup_prob) {
+            self.wifi.send(at, UplinkMsg::Ack { seq });
+        }
+    }
+
+    /// Mutate a decided slot stream for a timing fault: `slip > 0`
+    /// inserts that many garbage slots at the front (the receiver sees
+    /// extra slots it cannot frame), `slip < 0` deletes from the front
+    /// (slots the receiver never saw).
+    fn apply_slip(&mut self, decided: &mut Vec<bool>, slip: i64) {
+        if slip > 0 {
+            let n = (slip as usize).min(1 << 20); // sanity bound
+            let mut garbage: Vec<bool> = (0..n).map(|_| self.fault_rng.chance(0.5)).collect();
+            garbage.extend(decided.iter().copied());
+            *decided = garbage;
+        } else if slip < 0 {
+            let n = slip.unsigned_abs() as usize;
+            if n >= decided.len() {
+                decided.clear();
+            } else {
+                decided.drain(..n);
+            }
         }
     }
 

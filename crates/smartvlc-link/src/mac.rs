@@ -8,10 +8,18 @@
 //! streams frames back-to-back, tracks outstanding sequence numbers, and
 //! re-queues any frame unacknowledged after a timeout.
 //!
+//! Retransmission timeouts back off exponentially with deterministic
+//! jitter: a flaky uplink (ACK loss bursts, congestion jitter) would
+//! otherwise lock the MAC into retransmitting at exactly the cadence that
+//! collides with the recovering channel. Each retry doubles the frame's
+//! deadline (capped) and adds a jitter drawn from the tracker's own
+//! seeded stream, so runs stay bit-reproducible.
+//!
 //! The 2-byte sequence number travels as a MAC header *inside* the frame
 //! payload (the Table 1 frame format has no sequence field of its own).
 
-use desim::{SimDuration, SimTime};
+use crate::error::LinkError;
+use desim::{DetRng, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// The MAC header carried in the first bytes of every payload.
@@ -46,9 +54,36 @@ impl MacHeader {
 /// State of one outstanding frame.
 #[derive(Clone, Debug)]
 struct Outstanding {
+    /// When the current (re)transmission went out.
     sent_at: SimTime,
+    /// Jitter added to this attempt's deadline (zero on first send).
+    jitter: SimDuration,
     data_bytes: usize,
     retries: u32,
+}
+
+/// What one timeout scan did — the transmitter's only channel-quality
+/// feedback (it cannot see the receiver's CRC results directly).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeoutScan {
+    /// Frames newly queued for retransmission.
+    pub expired: u32,
+    /// Frames abandoned after exhausting their retry budget; the caller
+    /// must drop any per-seq state (payload copies) it still holds.
+    pub abandoned_seqs: Vec<u16>,
+}
+
+impl TimeoutScan {
+    /// Frames abandoned by this scan.
+    pub fn abandoned(&self) -> u32 {
+        self.abandoned_seqs.len() as u32
+    }
+
+    /// Total negative outcomes this scan observed (expired + abandoned) —
+    /// the loss samples to feed a rate-degradation controller.
+    pub fn failures(&self) -> u32 {
+        self.expired + self.abandoned()
+    }
 }
 
 /// Transmit-side ARQ bookkeeping.
@@ -59,48 +94,107 @@ pub struct AckTracker {
     outstanding: HashMap<u16, Outstanding>,
     /// Sequence numbers due for retransmission.
     retry_queue: Vec<u16>,
+    /// Jitter source for backoff (None = fixed deadlines, legacy tests).
+    jitter_rng: Option<DetRng>,
     /// Frames abandoned after max retries.
     pub abandoned: u64,
     /// Unique data bytes acknowledged.
     pub bytes_acked: u64,
     /// ACKs received (including duplicates).
     pub acks_seen: u64,
+    /// Frames that were eventually ACKed, but only after at least one
+    /// retransmission — "delivered late" in the chaos metrics.
+    pub late_deliveries: u64,
+    /// Fresh registrations skipped because the sequence number was still
+    /// outstanding after a full wrap (see [`AckTracker::register_new`]).
+    pub seq_collisions: u64,
 }
 
-impl AckTracker {
-    /// Create a tracker. The paper-scale default is a 30 ms timeout
-    /// (≈ 3 frame airtimes + Wi-Fi RTT) and 3 retries.
-    pub fn new(timeout: SimDuration, max_retries: u32) -> AckTracker {
-        Self::with_config(timeout, max_retries)
-    }
+/// Retry backoff exponent cap: 2^6 = 64× the base timeout. Beyond that a
+/// longer wait tells us nothing the channel hasn't already said.
+const MAX_BACKOFF_SHIFT: u32 = 6;
 
-    fn with_config(timeout: SimDuration, max_retries: u32) -> AckTracker {
+impl AckTracker {
+    /// Create a tracker with fixed (non-backoff) deadlines. The
+    /// paper-scale default is a 30 ms timeout (≈ 3 frame airtimes +
+    /// Wi-Fi RTT) and 3 retries.
+    pub fn new(timeout: SimDuration, max_retries: u32) -> AckTracker {
         AckTracker {
             timeout,
             max_retries,
             next_seq: 0,
             outstanding: HashMap::new(),
             retry_queue: Vec::new(),
+            jitter_rng: None,
             abandoned: 0,
             bytes_acked: 0,
             acks_seen: 0,
+            late_deliveries: 0,
+            seq_collisions: 0,
         }
     }
 
-    /// Allocate the next sequence number for a fresh frame of
+    /// Create a tracker whose retries back off exponentially (double per
+    /// retry, capped at 2^6×) with jitter drawn from `rng` — up to a
+    /// quarter of the backed-off timeout, decorrelating retransmissions
+    /// from periodic channel impairments.
+    pub fn with_backoff(timeout: SimDuration, max_retries: u32, rng: DetRng) -> AckTracker {
+        let mut t = Self::new(timeout, max_retries);
+        t.jitter_rng = Some(rng);
+        t
+    }
+
+    /// The backed-off timeout after `retries` prior attempts: the base
+    /// timeout doubled per retry, capped at 2^6×. Evaluated lazily at
+    /// scan time so a later `ensure_timeout_covers` still protects frames
+    /// already in flight.
+    fn backed_off_timeout(&self, retries: u32) -> SimDuration {
+        let shift = retries.min(MAX_BACKOFF_SHIFT);
+        self.timeout
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.timeout)
+    }
+
+    /// Draw the jitter for a retry numbered `retries` (first transmission
+    /// keeps the crisp base deadline; only retries are decorrelated). Up
+    /// to a quarter of the backed-off timeout.
+    fn draw_jitter(&mut self, retries: u32) -> SimDuration {
+        let bound = self.backed_off_timeout(retries).as_nanos() / 4 + 1;
+        match (&mut self.jitter_rng, retries) {
+            (Some(rng), r) if r > 0 => SimDuration::nanos(rng.next_below(bound)),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Allocate the next free sequence number for a fresh frame of
     /// `data_bytes` of user data, sent at `now`.
-    pub fn register_new(&mut self, now: SimTime, data_bytes: usize) -> u16 {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.outstanding.insert(
-            seq,
-            Outstanding {
-                sent_at: now,
-                data_bytes,
-                retries: 0,
-            },
-        );
-        seq
+    ///
+    /// When `next_seq` wraps past `u16::MAX` while that number is still
+    /// outstanding, the colliding value is *skipped* (the old entry keeps
+    /// its accounting and its pending ACK stays creditable) and the scan
+    /// continues to the next free number. Returns
+    /// [`LinkError::SeqSpaceExhausted`] only if every one of the 65536
+    /// sequence numbers is simultaneously in flight.
+    pub fn register_new(&mut self, now: SimTime, data_bytes: usize) -> Result<u16, LinkError> {
+        for _ in 0..=u16::MAX as u32 {
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            if self.outstanding.contains_key(&seq) {
+                self.seq_collisions += 1;
+                continue;
+            }
+            self.outstanding.insert(
+                seq,
+                Outstanding {
+                    sent_at: now,
+                    jitter: SimDuration::ZERO,
+                    data_bytes,
+                    retries: 0,
+                },
+            );
+            return Ok(seq);
+        }
+        Err(LinkError::SeqSpaceExhausted)
     }
 
     /// Raise the timeout if frames have grown longer than it: a timeout
@@ -113,11 +207,14 @@ impl AckTracker {
         }
     }
 
-    /// Record a retransmission of `seq` at `now`.
+    /// Record a retransmission of `seq` at `now`; its next deadline backs
+    /// off exponentially (plus jitter when configured).
     pub fn register_retry(&mut self, seq: u16, now: SimTime) {
-        if let Some(o) = self.outstanding.get_mut(&seq) {
-            o.sent_at = now;
+        if let Some(mut o) = self.outstanding.remove(&seq) {
             o.retries += 1;
+            o.sent_at = now;
+            o.jitter = self.draw_jitter(o.retries);
+            self.outstanding.insert(seq, o);
         }
     }
 
@@ -128,34 +225,40 @@ impl AckTracker {
         let o = self.outstanding.remove(&seq)?;
         self.retry_queue.retain(|&s| s != seq);
         self.bytes_acked += o.data_bytes as u64;
+        if o.retries > 0 {
+            self.late_deliveries += 1;
+        }
         Some(o.data_bytes)
     }
 
     /// Scan for timeouts at `now`; moves expired frames to the retry
-    /// queue or abandons them past `max_retries`.
-    pub fn scan_timeouts(&mut self, now: SimTime) {
-        let timeout = self.timeout;
+    /// queue or abandons them past `max_retries`. The returned counts are
+    /// the transmitter's SER feedback signal.
+    pub fn scan_timeouts(&mut self, now: SimTime) -> TimeoutScan {
         let max_retries = self.max_retries;
         let mut expired: Vec<u16> = self
             .outstanding
             .iter()
             .filter(|(seq, o)| {
-                now.checked_duration_since(o.sent_at)
-                    .is_some_and(|d| d >= timeout)
-                    && !self.retry_queue.contains(seq)
+                let deadline = o.sent_at + self.backed_off_timeout(o.retries) + o.jitter;
+                now >= deadline && !self.retry_queue.contains(seq)
             })
             .map(|(&seq, _)| seq)
             .collect();
         expired.sort_unstable(); // deterministic order
+        let mut scan = TimeoutScan::default();
         for seq in expired {
             let retries = self.outstanding[&seq].retries;
             if retries >= max_retries {
                 self.outstanding.remove(&seq);
                 self.abandoned += 1;
+                scan.abandoned_seqs.push(seq);
             } else {
                 self.retry_queue.push(seq);
+                scan.expired += 1;
             }
         }
+        scan
     }
 
     /// Pop the next frame due for retransmission, if any.
@@ -195,47 +298,101 @@ mod tests {
     #[test]
     fn sequences_increment_and_wrap() {
         let mut a = AckTracker::new(SimDuration::millis(30), 3);
-        assert_eq!(a.register_new(t(0), 10), 0);
-        assert_eq!(a.register_new(t(0), 10), 1);
+        assert_eq!(a.register_new(t(0), 10).unwrap(), 0);
+        assert_eq!(a.register_new(t(0), 10).unwrap(), 1);
+        a.on_ack(0);
+        a.on_ack(1);
         a.next_seq = u16::MAX;
-        assert_eq!(a.register_new(t(0), 10), u16::MAX);
-        assert_eq!(a.register_new(t(0), 10), 0);
+        assert_eq!(a.register_new(t(0), 10).unwrap(), u16::MAX);
+        assert_eq!(a.register_new(t(0), 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn wraparound_collision_skips_outstanding_seq() {
+        // Regression: `register_new` used to silently overwrite a
+        // still-outstanding entry when the sequence space wrapped,
+        // losing its accounting and crediting its late ACK to the new
+        // frame. The colliding number must now be skipped.
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        let first = a.register_new(t(0), 100).unwrap();
+        assert_eq!(first, 0);
+        // Wrap the counter all the way around while seq 0 is in flight.
+        a.next_seq = 0;
+        let reassigned = a.register_new(t(5), 7).unwrap();
+        assert_eq!(reassigned, 1, "colliding seq 0 must be skipped");
+        assert_eq!(a.seq_collisions, 1);
+        assert_eq!(a.in_flight(), 2);
+        // The old frame's late ACK still credits the *old* accounting.
+        assert_eq!(a.on_ack(0), Some(100));
+        assert_eq!(a.on_ack(1), Some(7));
+        assert_eq!(a.bytes_acked, 107);
+    }
+
+    #[test]
+    fn full_window_errors_instead_of_clobbering() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        for _ in 0..=u16::MAX as u32 {
+            a.register_new(t(0), 1).unwrap();
+        }
+        assert_eq!(a.in_flight(), 65536);
+        assert_eq!(a.register_new(t(0), 1), Err(LinkError::SeqSpaceExhausted));
+        // Freeing one slot makes that exact sequence available again.
+        a.on_ack(123);
+        assert_eq!(a.register_new(t(0), 1).unwrap(), 123);
     }
 
     #[test]
     fn ack_credits_once() {
         let mut a = AckTracker::new(SimDuration::millis(30), 3);
-        let seq = a.register_new(t(0), 128);
+        let seq = a.register_new(t(0), 128).unwrap();
         assert_eq!(a.on_ack(seq), Some(128));
         assert_eq!(a.on_ack(seq), None, "duplicate ACK ignored");
         assert_eq!(a.bytes_acked, 128);
         assert_eq!(a.acks_seen, 2);
         assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.late_deliveries, 0, "first-try ACK is not late");
     }
 
     #[test]
     fn timeout_triggers_retry_then_abandon() {
         let mut a = AckTracker::new(SimDuration::millis(30), 2);
-        let seq = a.register_new(t(0), 128);
-        a.scan_timeouts(t(10));
+        let seq = a.register_new(t(0), 128).unwrap();
+        assert_eq!(a.scan_timeouts(t(10)), TimeoutScan::default());
         assert!(a.next_retry().is_none(), "not expired yet");
-        a.scan_timeouts(t(31));
+        let scan = a.scan_timeouts(t(31));
+        assert_eq!(scan.expired, 1);
         assert_eq!(a.next_retry(), Some(seq));
         a.register_retry(seq, t(31));
-        a.scan_timeouts(t(62));
+        // Retry 1 backs off to 2x the base timeout.
+        assert_eq!(a.scan_timeouts(t(62)), TimeoutScan::default());
+        let scan = a.scan_timeouts(t(91));
+        assert_eq!(scan.expired, 1);
         assert_eq!(a.next_retry(), Some(seq));
-        a.register_retry(seq, t(62));
-        // Third expiry exceeds max_retries = 2.
-        a.scan_timeouts(t(93));
+        a.register_retry(seq, t(91));
+        // Retry 2 backs off to 4x; its expiry exceeds max_retries = 2.
+        let scan = a.scan_timeouts(t(211));
+        assert_eq!(scan.abandoned_seqs, vec![seq]);
+        assert_eq!(scan.failures(), 1);
         assert_eq!(a.next_retry(), None);
         assert_eq!(a.abandoned, 1);
         assert_eq!(a.in_flight(), 0);
     }
 
     #[test]
+    fn late_ack_after_retry_counts_late() {
+        let mut a = AckTracker::new(SimDuration::millis(30), 3);
+        let seq = a.register_new(t(0), 64).unwrap();
+        a.scan_timeouts(t(40));
+        assert_eq!(a.next_retry(), Some(seq));
+        a.register_retry(seq, t(40));
+        assert_eq!(a.on_ack(seq), Some(64));
+        assert_eq!(a.late_deliveries, 1);
+    }
+
+    #[test]
     fn ack_while_queued_for_retry_cancels_retry() {
         let mut a = AckTracker::new(SimDuration::millis(30), 3);
-        let seq = a.register_new(t(0), 64);
+        let seq = a.register_new(t(0), 64).unwrap();
         a.scan_timeouts(t(40));
         // The late ACK arrives before the retransmission goes out.
         assert_eq!(a.on_ack(seq), Some(64));
@@ -245,11 +402,82 @@ mod tests {
     #[test]
     fn scan_does_not_double_queue() {
         let mut a = AckTracker::new(SimDuration::millis(30), 5);
-        let seq = a.register_new(t(0), 64);
+        let seq = a.register_new(t(0), 64).unwrap();
         a.scan_timeouts(t(40));
         a.scan_timeouts(t(41));
         assert_eq!(a.next_retry(), Some(seq));
         assert_eq!(a.next_retry(), None);
+    }
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn deadlines_double_per_retry() {
+        let mut a = AckTracker::new(SimDuration::millis(10), 10);
+        let seq = a.register_new(t(0), 1).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..4 {
+            // Step forward 1 ms at a time until the frame expires.
+            let expired_at = loop {
+                now += SimDuration::millis(1);
+                if a.scan_timeouts(now).expired > 0 {
+                    break now;
+                }
+            };
+            gaps.push(expired_at);
+            assert_eq!(a.next_retry(), Some(seq));
+            a.register_retry(seq, now);
+        }
+        // Expiry gaps: 10, 20, 40, 80 ms (no jitter configured).
+        let deltas: Vec<u64> = gaps
+            .windows(2)
+            .map(|w| (w[1].as_nanos() - w[0].as_nanos()) / 1_000_000)
+            .collect();
+        assert_eq!(deltas, vec![20, 40, 80]);
+    }
+
+    #[test]
+    fn backoff_caps_at_64x() {
+        let a = AckTracker::new(SimDuration::millis(1), 100);
+        let d_lo = a.backed_off_timeout(MAX_BACKOFF_SHIFT);
+        let d_hi = a.backed_off_timeout(MAX_BACKOFF_SHIFT + 20);
+        assert_eq!(d_lo, d_hi, "backoff must saturate");
+        assert_eq!(d_lo, SimDuration::millis(64));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mk = || {
+            AckTracker::with_backoff(
+                SimDuration::millis(10),
+                5,
+                DetRng::seed_from_u64(99).fork("mac-backoff"),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ja: Vec<SimDuration> = (1..5).map(|r| a.draw_jitter(r)).collect();
+        let jb: Vec<SimDuration> = (1..5).map(|r| b.draw_jitter(r)).collect();
+        assert_eq!(ja, jb, "same seed, same jitter");
+        assert!(
+            ja.iter().any(|j| !j.is_zero()),
+            "jitter must actually engage: {ja:?}"
+        );
+        for (r, j) in (1u32..5).zip(&ja) {
+            let cap = a.backed_off_timeout(r).as_nanos() / 4;
+            assert!(j.as_nanos() <= cap, "retry {r}: jitter {j:?} above cap");
+        }
+        // First transmission never jitters: the crisp deadline is what
+        // `ensure_timeout_covers` reasons about.
+        assert_eq!(a.draw_jitter(0), SimDuration::ZERO);
     }
 }
 
@@ -263,7 +491,7 @@ mod timeout_floor_tests {
         // while its ACK is still in flight.
         let mut a = AckTracker::new(SimDuration::millis(30), 3);
         a.ensure_timeout_covers(SimDuration::millis(60));
-        let seq = a.register_new(SimTime::ZERO, 128);
+        let seq = a.register_new(SimTime::ZERO, 128).unwrap();
         // Frame lands at 60 ms, ACK arrives ~66 ms.
         a.scan_timeouts(SimTime::from_millis(66));
         assert_eq!(a.next_retry(), None, "expired before the ACK could arrive");
@@ -271,7 +499,7 @@ mod timeout_floor_tests {
         // The floor only raises, never lowers.
         let mut b = AckTracker::new(SimDuration::millis(500), 3);
         b.ensure_timeout_covers(SimDuration::millis(1));
-        b.register_new(SimTime::ZERO, 1);
+        b.register_new(SimTime::ZERO, 1).unwrap();
         b.scan_timeouts(SimTime::from_millis(400));
         assert_eq!(b.next_retry(), None, "configured timeout was lowered");
     }

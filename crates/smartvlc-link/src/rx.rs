@@ -8,12 +8,25 @@
 //! [`RxEvent::CrcFailed`] and are dropped without an ACK, exactly as
 //! §6.1 describes.
 
+use crate::error::LinkError;
 use smartvlc_core::frame::codec::{
     FrameCodec, FrameCodecError, FrameStats, PREAMBLE_SLOTS, PREAMBLE_TOLERANCE, PREFIX_SLOTS,
 };
 use smartvlc_core::frame::format::Frame;
 use smartvlc_core::SystemConfig;
 use std::collections::VecDeque;
+
+/// Where the receiver's clock stands relative to the slot stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncStatus {
+    /// Start-up: no frame has ever been decoded.
+    Acquiring,
+    /// Frames are decoding; the preamble hunt is cheap and local.
+    InSync,
+    /// Synchronisation was lost (a long stretch of slots scanned without
+    /// a single lock); the receiver is re-hunting within its budget.
+    Hunting,
+}
 
 /// Something the receiver observed in the slot stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +60,26 @@ pub struct Receiver {
     max_frame_slots: usize,
     /// Count of positions scanned past without a lock.
     pub scan_skips: u64,
+    /// Sync state machine (see [`SyncStatus`]).
+    status: SyncStatus,
+    /// Times the receiver fell from [`SyncStatus::InSync`] to
+    /// [`SyncStatus::Hunting`].
+    pub sync_losses: u64,
+    /// Slots scanned past (without decoding a frame) since the last
+    /// cleanly decoded frame.
+    slots_since_frame: u64,
+    /// Hunt cost of the most recent reacquisition: how many slots the
+    /// receiver scanned between losing sync and the next clean frame.
+    pub last_resync_slots: Option<u64>,
+    /// Scan threshold beyond which an in-sync receiver declares loss.
+    sync_loss_after: u64,
+    /// Extra scan budget a hunting receiver gets before it reports
+    /// [`LinkError::ResyncBudgetExhausted`] (and re-arms).
+    resync_budget: u64,
+    /// Scan depth at which the next budget overrun fires.
+    next_overrun_at: u64,
+    /// Latched budget overrun, reported once via [`Receiver::poll_resync`].
+    overrun: Option<u64>,
 }
 
 impl Receiver {
@@ -55,13 +88,78 @@ impl Receiver {
         // Generous bound: the configured payload modulated by the least
         // efficient admissible scheme, plus fixed fields and margin.
         let max_frame_slots = (cfg.payload_len + 64) * 8 * 32;
+        // Loss threshold: a couple of max-size frames' worth of scanning
+        // without a single lock cannot happen on a healthy stream (the
+        // inter-frame gap is tens of slots).
+        let sync_loss_after = 2 * max_frame_slots as u64;
+        let resync_budget = 8 * max_frame_slots as u64;
         Ok(Receiver {
             codec: FrameCodec::new(cfg).map_err(FrameCodecError::Plan)?,
             buffer: VecDeque::new(),
             consumed: 0,
             max_frame_slots,
             scan_skips: 0,
+            status: SyncStatus::Acquiring,
+            sync_losses: 0,
+            slots_since_frame: 0,
+            last_resync_slots: None,
+            sync_loss_after,
+            resync_budget,
+            next_overrun_at: u64::MAX,
+            overrun: None,
         })
+    }
+
+    /// Current sync state.
+    pub fn sync_status(&self) -> SyncStatus {
+        self.status
+    }
+
+    /// Slots scanned without a decode since the last clean frame.
+    pub fn slots_since_frame(&self) -> u64 {
+        self.slots_since_frame
+    }
+
+    /// Report (once) that the bounded resync budget ran out. The hunt
+    /// itself continues — the receiver never gives up, it just re-arms the
+    /// budget — but the caller learns the link has been dark for a long
+    /// time and can act (e.g. count it, reset state, degrade further).
+    pub fn poll_resync(&mut self) -> Result<SyncStatus, LinkError> {
+        match self.overrun.take() {
+            Some(scanned_slots) => Err(LinkError::ResyncBudgetExhausted { scanned_slots }),
+            None => Ok(self.status),
+        }
+    }
+
+    /// Account `n` scanned-past slots and run the sync state machine.
+    ///
+    /// The checks are sequential, not exclusive: a single bulk scan (the
+    /// bounded buffer dropping a flood in one go) can cross the loss
+    /// threshold *and* the resync budget in the same call.
+    fn note_scan(&mut self, n: u64) {
+        self.slots_since_frame += n;
+        if self.status == SyncStatus::InSync && self.slots_since_frame >= self.sync_loss_after {
+            self.status = SyncStatus::Hunting;
+            self.sync_losses += 1;
+            // Budget measured from the last frame, not from wherever the
+            // scan happened to stand when loss was declared.
+            self.next_overrun_at = self.sync_loss_after + self.resync_budget;
+        }
+        if self.status == SyncStatus::Hunting && self.slots_since_frame >= self.next_overrun_at {
+            self.overrun = Some(self.slots_since_frame);
+            self.next_overrun_at = self.slots_since_frame + self.resync_budget;
+        }
+    }
+
+    /// A clean frame decoded: (re)enter sync.
+    fn note_frame(&mut self) {
+        if self.status == SyncStatus::Hunting {
+            self.last_resync_slots = Some(self.slots_since_frame);
+        }
+        self.status = SyncStatus::InSync;
+        self.slots_since_frame = 0;
+        self.next_overrun_at = u64::MAX;
+        self.overrun = None;
     }
 
     fn preamble_at_front(&self) -> bool {
@@ -88,12 +186,23 @@ impl Receiver {
     /// Feed decided slots; returns any frames completed by this input.
     pub fn push_slots(&mut self, slots: &[bool]) -> Vec<RxEvent> {
         self.buffer.extend(slots.iter().copied());
+        // Bounded memory: anything older than one max-size frame plus its
+        // prefix can never complete a parse — a flood of garbage (or a
+        // saturated front end) must not grow the buffer without bound.
+        let cap = self.max_frame_slots + PREFIX_SLOTS;
+        if self.buffer.len() > cap {
+            let drop = self.buffer.len() - cap;
+            self.pop_front(drop);
+            self.scan_skips += drop as u64;
+            self.note_scan(drop as u64);
+        }
         let mut events = Vec::new();
         loop {
             // Hunt for a preamble at the front of the buffer.
             while self.buffer.len() >= PREAMBLE_SLOTS && !self.preamble_at_front() {
                 self.pop_front(1);
                 self.scan_skips += 1;
+                self.note_scan(1);
             }
             if self.buffer.len() < PREFIX_SLOTS + 2 {
                 return events; // need more input
@@ -104,6 +213,7 @@ impl Receiver {
                     let at_slot = self.consumed;
                     if stats.crc_ok {
                         self.pop_front(stats.total_slots);
+                        self.note_frame();
                         events.push(RxEvent::Frame {
                             frame,
                             stats,
@@ -115,6 +225,7 @@ impl Receiver {
                         // `total_slots` could swallow a real frame right
                         // behind it. Advance one slot and re-hunt instead.
                         self.pop_front(1);
+                        self.note_scan(1);
                         events.push(RxEvent::CrcFailed { stats, at_slot });
                     }
                 }
@@ -123,6 +234,7 @@ impl Receiver {
                         // Nonsense length: false lock, resume hunting.
                         self.pop_front(1);
                         self.scan_skips += 1;
+                        self.note_scan(1);
                     } else {
                         return events; // genuine partial frame: wait
                     }
@@ -132,6 +244,7 @@ impl Receiver {
                     // pattern: advance one slot and re-hunt.
                     self.pop_front(1);
                     self.scan_skips += 1;
+                    self.note_scan(1);
                 }
             }
         }
@@ -263,5 +376,85 @@ mod tests {
         let mut rx = Receiver::new(cfg()).unwrap();
         rx.push_slots(&[true; 10]);
         assert!(rx.buffered() <= 10);
+    }
+
+    fn garbage(n: usize) -> Vec<bool> {
+        (0u64..n as u64)
+            .map(|i| (i.wrapping_mul(2654435761)) & 4 != 0)
+            .collect()
+    }
+
+    #[test]
+    fn sync_state_machine_tracks_loss_and_reacquisition() {
+        let (_, slots) = make_frame(0.5, vec![7; 64]);
+        let mut rx = Receiver::new(cfg()).unwrap();
+        assert_eq!(rx.sync_status(), SyncStatus::Acquiring);
+
+        rx.push_slots(&slots);
+        assert_eq!(rx.sync_status(), SyncStatus::InSync);
+        assert_eq!(rx.sync_losses, 0);
+
+        // A long dark stretch (occlusion: every slot garbage) must trip
+        // the loss detector exactly once.
+        rx.push_slots(&garbage(3 * rx.max_frame_slots));
+        assert_eq!(rx.sync_status(), SyncStatus::Hunting);
+        assert_eq!(rx.sync_losses, 1);
+
+        // The fault clears: the next clean frame reacquires and records
+        // the hunt cost.
+        let (f2, s2) = make_frame(0.5, vec![8; 64]);
+        let events = rx.push_slots(&s2);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::Frame { frame, .. } if frame == &f2)));
+        assert_eq!(rx.sync_status(), SyncStatus::InSync);
+        assert!(rx.last_resync_slots.unwrap() >= rx.sync_loss_after);
+        assert_eq!(rx.slots_since_frame(), 0);
+    }
+
+    #[test]
+    fn normal_interframe_gaps_never_count_as_sync_loss() {
+        let mut rx = Receiver::new(cfg()).unwrap();
+        for i in 0..20u8 {
+            let (_, slots) = make_frame(0.5, vec![i; 64]);
+            let mut stream: Vec<bool> = (0..64).map(|j| j % 4 == 0).collect();
+            stream.extend(&slots);
+            rx.push_slots(&stream);
+        }
+        assert_eq!(rx.sync_status(), SyncStatus::InSync);
+        assert_eq!(rx.sync_losses, 0);
+    }
+
+    #[test]
+    fn resync_budget_overrun_reports_once_and_rearms() {
+        let (_, slots) = make_frame(0.5, vec![9; 64]);
+        let mut rx = Receiver::new(cfg()).unwrap();
+        rx.push_slots(&slots);
+        // Scan far past loss threshold + budget.
+        let deep = rx.sync_loss_after + rx.resync_budget + rx.max_frame_slots as u64;
+        rx.push_slots(&garbage(deep as usize + 1000));
+        match rx.poll_resync() {
+            Err(LinkError::ResyncBudgetExhausted { scanned_slots }) => {
+                assert!(scanned_slots >= rx.sync_loss_after + rx.resync_budget)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Consumed: a second poll without further scanning is clean.
+        assert_eq!(rx.poll_resync(), Ok(SyncStatus::Hunting));
+    }
+
+    #[test]
+    fn buffer_stays_bounded_under_garbage_flood() {
+        let mut rx = Receiver::new(cfg()).unwrap();
+        for _ in 0..10 {
+            rx.push_slots(&garbage(2 * rx.max_frame_slots));
+            assert!(rx.buffered() <= rx.max_frame_slots + PREFIX_SLOTS);
+        }
+        // Still functional afterwards.
+        let (f, s) = make_frame(0.5, vec![1; 64]);
+        let events = rx.push_slots(&s);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::Frame { frame, .. } if frame == &f)));
     }
 }

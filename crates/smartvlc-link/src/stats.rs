@@ -23,6 +23,11 @@ pub struct LinkStats {
     pub slots_sent: u64,
     /// Brightness adaptation steps performed (Fig. 19(c)).
     pub adaptation_steps: u64,
+    /// Frames abandoned after exhausting the MAC retry budget.
+    pub frames_abandoned: u64,
+    /// Orphaned retransmissions dropped because their payload was gone
+    /// (tracker/store desync — should stay 0; counted, never panicked on).
+    pub retry_state_missing: u64,
 }
 
 impl LinkStats {

@@ -8,6 +8,7 @@
 //! expected pattern and picking the strongest lock recovers the phase
 //! (the classic early/late gate, done block-wise).
 
+use crate::error::LinkError;
 use vlc_channel::detector::SlotDetector;
 
 /// Result of a phase search.
@@ -60,6 +61,69 @@ pub fn find_slot_phase(
         }
     }
     best
+}
+
+/// A lock found by the bounded resync search: where in the sample stream
+/// the preamble starts, and how good the lock is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReacquiredLock {
+    /// Samples to skip from the start of the searched stream before the
+    /// first full slot of the lock.
+    pub sample_offset: usize,
+    /// Correlation score of the winning phase, in [0, 1].
+    pub quality: f64,
+}
+
+/// Bounded re-acquisition after sync loss: slide a `probe_slots`-slot
+/// probe window across `samples` one slot at a time, up to a budget of
+/// `max_scan_slots` window positions, and return the first lock whose
+/// quality clears `min_quality`.
+///
+/// This is the recovery-path counterpart of [`find_slot_phase`]: the
+/// initial search can assume a preamble is somewhere near the front, but
+/// after an occlusion burst or a symbol slip the stream may hold an
+/// arbitrary amount of garbage first. The budget makes the search cost
+/// (and the caller's worst-case latency) explicit — on exhaustion the
+/// caller gets [`LinkError::ResyncBudgetExhausted`] and decides what to
+/// do (keep waiting, reset, degrade), instead of the search spinning
+/// unboundedly.
+pub fn reacquire_phase(
+    samples: &[f64],
+    spp: usize,
+    detector: &SlotDetector,
+    probe_slots: usize,
+    min_quality: f64,
+    max_scan_slots: u64,
+) -> Result<ReacquiredLock, LinkError> {
+    assert!(spp >= 2, "need oversampling to search phase");
+    let window = (probe_slots + 1) * spp;
+    let mut scanned = 0u64;
+    let mut offset = 0usize;
+    while offset + window <= samples.len() {
+        if scanned > max_scan_slots {
+            return Err(LinkError::ResyncBudgetExhausted {
+                scanned_slots: scanned,
+            });
+        }
+        if let Some(lock) = find_slot_phase(
+            &samples[offset..offset + window],
+            spp,
+            detector,
+            probe_slots,
+        ) {
+            if lock.quality >= min_quality {
+                return Ok(ReacquiredLock {
+                    sample_offset: offset + lock.phase,
+                    quality: lock.quality,
+                });
+            }
+        }
+        offset += spp; // advance one whole slot; find_slot_phase covers sub-slot phases
+        scanned += 1;
+    }
+    Err(LinkError::ResyncBudgetExhausted {
+        scanned_slots: scanned,
+    })
 }
 
 /// Decimate an oversampled stream at the locked phase: each slot's level
@@ -145,6 +209,40 @@ mod tests {
         assert_eq!(levels.len(), 3);
         // First slot starts at index 2; interior = indices 3,4,5.
         assert_eq!(levels[0], 4.0);
+    }
+
+    #[test]
+    fn reacquire_finds_preamble_after_garbage() {
+        let mut samples = vec![0.5; 4 * 37]; // 37 slots of mid-rail garbage
+        let offset = samples.len();
+        samples.extend(preamble_samples(4, 2, 24));
+        let lock = reacquire_phase(&samples, 4, &detector(), 20, 0.8, 200).unwrap();
+        assert!(lock.quality > 0.8);
+        // Lands on the preamble (offset + its phase). The coarse search
+        // advances whole slots and can lock a couple of slots early (a
+        // window straddling the garbage/preamble boundary already scores
+        // above threshold), so allow ±3 slots.
+        let expected = offset + 2;
+        assert!(
+            (lock.sample_offset as i64 - expected as i64).abs() <= 12,
+            "offset={} expected~{}",
+            lock.sample_offset,
+            expected
+        );
+    }
+
+    #[test]
+    fn reacquire_respects_its_budget() {
+        let samples = vec![0.5; 4 * 500]; // garbage only
+        let err = reacquire_phase(&samples, 4, &detector(), 20, 0.8, 64).unwrap_err();
+        match err {
+            crate::error::LinkError::ResyncBudgetExhausted { scanned_slots } => {
+                assert!(scanned_slots >= 64, "{scanned_slots}")
+            }
+            other => panic!("{other:?}"),
+        }
+        // And with no budget it fails immediately rather than panicking.
+        assert!(reacquire_phase(&samples, 4, &detector(), 20, 0.8, 0).is_err());
     }
 
     #[test]

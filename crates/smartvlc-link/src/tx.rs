@@ -7,6 +7,7 @@
 //!    baseline scheme for the comparison experiments).
 //! 4. Frame the data (Table 1) and emit the slot waveform.
 
+use crate::error::LinkError;
 use crate::mac::MacHeader;
 use desim::DetRng;
 use smartvlc_core::adaptation::{
@@ -14,8 +15,8 @@ use smartvlc_core::adaptation::{
 };
 use smartvlc_core::dimming::IlluminationTarget;
 use smartvlc_core::frame::codec::{FrameCodec, FrameCodecError};
-use smartvlc_core::frame::format::{Frame, PatternDescriptor};
-use smartvlc_core::{DimmingLevel, SystemConfig};
+use smartvlc_core::frame::format::{Frame, PatternDescriptor, MAX_PAYLOAD};
+use smartvlc_core::{DimmingLevel, SystemConfig, MAX_DEGRADE_TIER};
 
 /// Which payload modulation the link runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,10 +39,18 @@ pub enum SchemeKind {
 impl SchemeKind {
     /// Build the Table 1 pattern descriptor for this scheme at a level.
     /// Levels are clamped into each scheme's data-carrying range.
-    pub fn descriptor(self, cfg: &SystemConfig, level: DimmingLevel) -> PatternDescriptor {
+    /// `tier` is the AMPPM degradation tier (0 = nominal); the baseline
+    /// schemes have no tiered variants and ignore it.
+    pub fn descriptor(
+        self,
+        cfg: &SystemConfig,
+        level: DimmingLevel,
+        tier: u8,
+    ) -> PatternDescriptor {
         match self {
             SchemeKind::Amppm => PatternDescriptor::Amppm {
                 dimming_q: cfg.quantize_dimming(level.value()),
+                tier: tier.min(MAX_DEGRADE_TIER),
             },
             SchemeKind::Mppm(n) => {
                 let k = ((level.value() * n as f64).round() as u16).clamp(1, n - 1);
@@ -75,6 +84,86 @@ impl SchemeKind {
     }
 }
 
+/// Graceful rate degradation driven by ARQ feedback.
+///
+/// The transmitter cannot see the receiver's CRC counters — its only
+/// visibility into link health is the ACK stream: an ACK is a delivered
+/// frame, an expired/abandoned retry is a (probably) lost one. This
+/// controller keeps an exponential moving average of that loss signal
+/// and moves the AMPPM degradation tier with hysteresis:
+///
+/// * EMA above [`DegradeController::RAISE_ABOVE`] → step one tier up
+///   (sturdier, slower plan at the *same* dimming level — illumination
+///   is never sacrificed for goodput).
+/// * EMA below [`DegradeController::LOWER_BELOW`] → step one tier down.
+///
+/// After each move the EMA is re-armed to the midpoint so a single
+/// outcome cannot bounce the tier; several consecutive frames must agree
+/// before the next move.
+#[derive(Clone, Debug)]
+pub struct DegradeController {
+    ema: f64,
+    tier: u8,
+    /// Tier increases performed (link got worse).
+    pub escalations: u64,
+    /// Tier decreases performed (link recovered).
+    pub recoveries: u64,
+    /// Highest tier reached so far.
+    pub max_tier: u8,
+}
+
+impl Default for DegradeController {
+    fn default() -> Self {
+        DegradeController {
+            ema: 0.0,
+            tier: 0,
+            escalations: 0,
+            recoveries: 0,
+            max_tier: 0,
+        }
+    }
+}
+
+impl DegradeController {
+    /// EMA weight of the newest frame outcome (~20-frame memory).
+    pub const ALPHA: f64 = 0.1;
+    /// Escalate when the loss EMA exceeds this.
+    pub const RAISE_ABOVE: f64 = 0.5;
+    /// Recover when the loss EMA falls below this.
+    pub const LOWER_BELOW: f64 = 0.1;
+    /// Re-arm value after a tier move (midway between the thresholds).
+    const REARM: f64 = 0.25;
+
+    /// Current degradation tier (0 = nominal rate).
+    pub fn tier(&self) -> u8 {
+        self.tier
+    }
+
+    /// Current loss-rate estimate in [0, 1].
+    pub fn loss_estimate(&self) -> f64 {
+        self.ema
+    }
+
+    /// Record one frame outcome from the ARQ: `delivered` = an ACK came
+    /// back; `!delivered` = the retry timer expired (or the frame was
+    /// abandoned). Returns the tier to use for the next frame.
+    pub fn record_outcome(&mut self, delivered: bool) -> u8 {
+        let sample = if delivered { 0.0 } else { 1.0 };
+        self.ema += Self::ALPHA * (sample - self.ema);
+        if self.ema > Self::RAISE_ABOVE && self.tier < MAX_DEGRADE_TIER {
+            self.tier += 1;
+            self.max_tier = self.max_tier.max(self.tier);
+            self.escalations += 1;
+            self.ema = Self::REARM;
+        } else if self.ema < Self::LOWER_BELOW && self.tier > 0 {
+            self.tier -= 1;
+            self.recoveries += 1;
+            self.ema = Self::REARM;
+        }
+        self.tier
+    }
+}
+
 /// The SmartVLC transmitter.
 pub struct Transmitter {
     cfg: SystemConfig,
@@ -90,6 +179,8 @@ pub struct Transmitter {
     pub smart_adaptation: AdaptationCounter,
     /// Hypothetical accounting for the fixed-step baseline.
     pub fixed_adaptation: AdaptationCounter,
+    /// ARQ-fed graceful rate degradation (AMPPM tiers).
+    pub degrade: DegradeController,
     rng: DetRng,
 }
 
@@ -110,7 +201,7 @@ impl Transmitter {
         initial_ambient: f64,
         fixed_floor: f64,
         rng: DetRng,
-    ) -> Result<Transmitter, FrameCodecError> {
+    ) -> Result<Transmitter, LinkError> {
         let codec = FrameCodec::new(cfg.clone()).map_err(FrameCodecError::Plan)?;
         let illum = IlluminationTarget::new(illum_target);
         let led_level = illum.led_level_for(initial_ambient).value();
@@ -125,6 +216,7 @@ impl Transmitter {
             led_level,
             smart_adaptation: AdaptationCounter::default(),
             fixed_adaptation: AdaptationCounter::default(),
+            degrade: DegradeController::default(),
             rng,
         })
     }
@@ -162,24 +254,37 @@ impl Transmitter {
     }
 
     /// Steps 3 + 4: build and modulate one frame carrying `seq` and
-    /// `data`. Returns the frame and its slot waveform.
-    pub fn build_frame(
-        &mut self,
-        seq: u16,
-        data: &[u8],
-    ) -> Result<(Frame, Vec<bool>), FrameCodecError> {
+    /// `data` at the degradation tier the ARQ feedback currently calls
+    /// for. Returns the frame and its slot waveform.
+    pub fn build_frame(&mut self, seq: u16, data: &[u8]) -> Result<(Frame, Vec<bool>), LinkError> {
         let level = DimmingLevel::clamped(self.led_level);
-        let descriptor = self.scheme.descriptor(&self.cfg, level);
+        let descriptor = self
+            .scheme
+            .descriptor(&self.cfg, level, self.degrade.tier());
         let payload = MacHeader { seq }.encapsulate(data);
-        let frame = Frame::new(descriptor, payload).expect("payload bounded by config");
+        let len = payload.len();
+        let frame = Frame::new(descriptor, payload).ok_or(LinkError::PayloadTooLarge {
+            len,
+            max: MAX_PAYLOAD,
+        })?;
         let slots = self.codec.emit(&frame)?;
         Ok((frame, slots))
     }
 
     /// A fresh random data payload sized so the MAC frame matches the
     /// configured payload length (paper: 128 B including the MAC header).
+    ///
+    /// Under degradation the payload halves per tier (floor 16 B): slot
+    /// errors are i.i.d., so a frame's delivery probability falls
+    /// exponentially with its length — shrinking the frame is the one
+    /// knob that makes each attempt *more likely to land* on a channel
+    /// that is eating frames, at the cost of per-frame goodput. Paired
+    /// with the sturdier tier plan this is the "lower rate, higher
+    /// success" fallback; recovery restores the full payload.
     pub fn random_data(&mut self) -> Vec<u8> {
-        let n = self.cfg.payload_len.saturating_sub(MacHeader::WIRE_BYTES);
+        let full = self.cfg.payload_len;
+        let shrunk = (full >> self.degrade.tier()).max(16);
+        let n = shrunk.saturating_sub(MacHeader::WIRE_BYTES);
         let mut out = vec![0u8; n];
         self.rng.fill_bytes(&mut out);
         out
@@ -265,19 +370,31 @@ mod tests {
         let cfg = SystemConfig::default();
         let l = DimmingLevel::new(0.3).unwrap();
         assert!(matches!(
-            SchemeKind::Amppm.descriptor(&cfg, l),
-            PatternDescriptor::Amppm { .. }
+            SchemeKind::Amppm.descriptor(&cfg, l, 0),
+            PatternDescriptor::Amppm { tier: 0, .. }
+        ));
+        assert!(matches!(
+            SchemeKind::Amppm.descriptor(&cfg, l, 2),
+            PatternDescriptor::Amppm { tier: 2, .. }
+        ));
+        // Out-of-range tiers clamp rather than poison the wire format.
+        assert!(matches!(
+            SchemeKind::Amppm.descriptor(&cfg, l, 200),
+            PatternDescriptor::Amppm {
+                tier: MAX_DEGRADE_TIER,
+                ..
+            }
         ));
         assert_eq!(
-            SchemeKind::Mppm(20).descriptor(&cfg, l),
+            SchemeKind::Mppm(20).descriptor(&cfg, l, 0),
             PatternDescriptor::Mppm { n: 20, k: 6 }
         );
         assert!(matches!(
-            SchemeKind::OokCt.descriptor(&cfg, l),
+            SchemeKind::OokCt.descriptor(&cfg, l, 0),
             PatternDescriptor::OokCt { .. }
         ));
         assert_eq!(
-            SchemeKind::Vppm(10).descriptor(&cfg, l),
+            SchemeKind::Vppm(10).descriptor(&cfg, l, 0),
             PatternDescriptor::Vppm { n: 10, width: 3 }
         );
     }
@@ -287,12 +404,12 @@ mod tests {
         let cfg = SystemConfig::default();
         let lo = DimmingLevel::new(0.001).unwrap();
         assert_eq!(
-            SchemeKind::Mppm(20).descriptor(&cfg, lo),
+            SchemeKind::Mppm(20).descriptor(&cfg, lo, 0),
             PatternDescriptor::Mppm { n: 20, k: 1 }
         );
         let hi = DimmingLevel::new(0.999).unwrap();
         assert_eq!(
-            SchemeKind::Vppm(10).descriptor(&cfg, hi),
+            SchemeKind::Vppm(10).descriptor(&cfg, hi, 0),
             PatternDescriptor::Vppm { n: 10, width: 9 }
         );
     }
@@ -331,6 +448,76 @@ mod tests {
         let filler = t.idle_filler(400);
         let duty = filler.iter().filter(|&&b| b).count() as f64 / 400.0;
         assert!((duty - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn degrade_controller_escalates_and_recovers_with_hysteresis() {
+        let mut d = DegradeController::default();
+        assert_eq!(d.tier(), 0);
+        // A single loss must not move the tier (hysteresis).
+        d.record_outcome(false);
+        assert_eq!(d.tier(), 0);
+        // A sustained loss burst escalates, one tier at a time.
+        for _ in 0..30 {
+            d.record_outcome(false);
+        }
+        assert!(d.tier() >= 1, "tier={}", d.tier());
+        assert!(d.escalations >= 1);
+        let peak = d.tier();
+        // Sustained clean delivery walks the tier back to nominal.
+        for _ in 0..200 {
+            d.record_outcome(true);
+        }
+        assert_eq!(d.tier(), 0);
+        assert!(d.recoveries as u8 >= peak);
+        assert_eq!(d.max_tier, peak);
+    }
+
+    #[test]
+    fn degrade_controller_saturates_at_max_tier() {
+        let mut d = DegradeController::default();
+        for _ in 0..10_000 {
+            d.record_outcome(false);
+        }
+        assert_eq!(d.tier(), MAX_DEGRADE_TIER);
+        assert_eq!(d.escalations, MAX_DEGRADE_TIER as u64);
+    }
+
+    #[test]
+    fn degraded_tier_halves_the_payload() {
+        let mut t = tx(SchemeKind::Amppm);
+        let full = t.random_data().len();
+        assert_eq!(full, t.cfg.payload_len - MacHeader::WIRE_BYTES);
+        while t.degrade.tier() < MAX_DEGRADE_TIER {
+            t.degrade.record_outcome(false);
+        }
+        let shrunk = t.random_data().len() + MacHeader::WIRE_BYTES;
+        assert_eq!(
+            shrunk,
+            (t.cfg.payload_len >> MAX_DEGRADE_TIER).max(16),
+            "tier-{MAX_DEGRADE_TIER} frames must carry the shrunken payload"
+        );
+        assert!(shrunk < full);
+    }
+
+    #[test]
+    fn degraded_tier_reaches_the_wire() {
+        let mut t = tx(SchemeKind::Amppm);
+        for _ in 0..40 {
+            t.degrade.record_outcome(false);
+        }
+        assert!(t.degrade.tier() >= 1);
+        let data = t.random_data();
+        let (frame, slots) = t.build_frame(9, &data).unwrap();
+        match frame.header.pattern {
+            PatternDescriptor::Amppm { tier, .. } => assert_eq!(tier, t.degrade.tier()),
+            other => panic!("{other:?}"),
+        }
+        // The receiver replans from the wire tier and still decodes.
+        let mut codec = FrameCodec::new(SystemConfig::default()).unwrap();
+        let (parsed, stats) = codec.parse(&slots).unwrap();
+        assert!(stats.crc_ok);
+        assert_eq!(parsed, frame);
     }
 
     #[test]

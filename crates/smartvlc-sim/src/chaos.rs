@@ -1,0 +1,363 @@
+//! Chaos-mode scenario runner: scheduled channel faults against the
+//! self-healing link.
+//!
+//! Each [`ChaosScenario`] pairs a human-readable name with a deterministic
+//! [`FaultPlan`] — ambient spikes, occlusion bursts, LED clock drift,
+//! symbol slips, receiver saturation, flaky uplinks, and one
+//! kitchen-sink combination. A scenario run executes the *same seed*
+//! twice: once fault-free (the control) and once with the plan injected,
+//! so "goodput retained" compares a link to its own unperturbed twin
+//! rather than to a different random draw.
+//!
+//! The suite fans out on [`crate::runner::par_sweep`], so the whole
+//! chaos report is bit-identical at any `SMARTVLC_THREADS` — a faulty
+//! recovery path that only manifests under one interleaving cannot hide.
+
+use crate::runner::{par_sweep, TaskId};
+use desim::{SimDuration, SimTime};
+use smartvlc_link::link::RecoveryReport;
+use smartvlc_link::{LinkConfig, LinkReport, LinkSimulation, SchemeKind};
+use vlc_channel::ambient::ConstantAmbient;
+use vlc_channel::faults::{FaultEvent, FaultKind, FaultPlan};
+
+/// Distance used by every chaos scenario: a comfortably healthy link, so
+/// any damage in the report is the fault's doing.
+pub const CHAOS_DISTANCE_M: f64 = 3.0;
+/// Constant office ambient during chaos runs, lux.
+pub const CHAOS_AMBIENT_LUX: f64 = 4000.0;
+/// Wall-clock length of each chaos run, seconds.
+pub const CHAOS_DURATION_S: u64 = 4;
+
+/// A named, reproducible fault schedule.
+pub struct ChaosScenario {
+    /// Stable identifier (also the JSON key in `BENCH_chaos.json`).
+    pub name: &'static str,
+    /// One-line description of what goes wrong.
+    pub description: &'static str,
+    /// Schedule builder — pure, so every replicate sees the same plan.
+    events: fn() -> Vec<FaultEvent>,
+}
+
+impl ChaosScenario {
+    /// The scenario's fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new((self.events)())
+    }
+}
+
+fn at_ms(ms: u64, dur_ms: u64, kind: FaultKind) -> FaultEvent {
+    FaultEvent {
+        at: SimTime::from_millis(ms),
+        duration: SimDuration::millis(dur_ms),
+        kind,
+    }
+}
+
+fn ambient_spike_events() -> Vec<FaultEvent> {
+    vec![
+        // A step to near full-scale ambient (lights flicked on) …
+        at_ms(1000, 800, FaultKind::AmbientStep { delta_lux: 4500.0 }),
+        // … and a decaying glare impulse (camera flash / specular glint).
+        at_ms(
+            2600,
+            400,
+            FaultKind::AmbientImpulse {
+                peak_lux: 6000.0,
+                decay_s: 0.12,
+            },
+        ),
+    ]
+}
+
+fn occlusion_burst_events() -> Vec<FaultEvent> {
+    // A body blocking the beam: -17 dB for most of a second.
+    vec![at_ms(1200, 800, FaultKind::Occlusion { gain: 0.02 })]
+}
+
+fn clock_drift_events() -> Vec<FaultEvent> {
+    // LED driver clock running 400 ppm fast for two seconds: the
+    // accumulated phase error surfaces as periodically inserted slots.
+    vec![at_ms(800, 2000, FaultKind::ClockDrift { ppm: 400.0 })]
+}
+
+fn slip_storm_events() -> Vec<FaultEvent> {
+    vec![
+        at_ms(1000, 1, FaultKind::SymbolSlip { slots: 7 }),
+        at_ms(1500, 1, FaultKind::SymbolSlip { slots: -5 }),
+        at_ms(2000, 1, FaultKind::SymbolSlip { slots: 13 }),
+        at_ms(2500, 1, FaultKind::SymbolSlip { slots: -11 }),
+    ]
+}
+
+fn saturation_events() -> Vec<FaultEvent> {
+    // Front end pinned at the ADC rail for 600 ms: total blackout, then
+    // the receiver must resynchronize from cold.
+    vec![at_ms(1500, 600, FaultKind::Saturation)]
+}
+
+fn uplink_flaky_events() -> Vec<FaultEvent> {
+    vec![
+        at_ms(1000, 2000, FaultKind::AckLoss { prob: 0.5 }),
+        at_ms(1000, 2000, FaultKind::AckDup { prob: 0.3 }),
+        at_ms(1000, 2000, FaultKind::AckJitter { extra_ms: 25.0 }),
+    ]
+}
+
+fn kitchen_sink_events() -> Vec<FaultEvent> {
+    let mut ev = vec![
+        at_ms(600, 600, FaultKind::AmbientStep { delta_lux: 3000.0 }),
+        at_ms(1400, 500, FaultKind::Occlusion { gain: 0.05 }),
+        at_ms(2100, 900, FaultKind::ClockDrift { ppm: 250.0 }),
+        at_ms(2300, 1, FaultKind::SymbolSlip { slots: 9 }),
+    ];
+    ev.extend(uplink_flaky_events());
+    ev
+}
+
+/// The standard scenario battery, in report order.
+pub fn chaos_scenarios() -> Vec<ChaosScenario> {
+    vec![
+        ChaosScenario {
+            name: "ambient_spike",
+            description: "ambient step + decaying glare impulse",
+            events: ambient_spike_events,
+        },
+        ChaosScenario {
+            name: "occlusion_burst",
+            description: "-17 dB beam blockage for 800 ms",
+            events: occlusion_burst_events,
+        },
+        ChaosScenario {
+            name: "clock_drift",
+            description: "LED clock 400 ppm fast for 2 s",
+            events: clock_drift_events,
+        },
+        ChaosScenario {
+            name: "slip_storm",
+            description: "four discrete symbol slips, both signs",
+            events: slip_storm_events,
+        },
+        ChaosScenario {
+            name: "saturation",
+            description: "receiver front end railed for 600 ms",
+            events: saturation_events,
+        },
+        ChaosScenario {
+            name: "uplink_flaky",
+            description: "50% ACK loss + 30% dup + 25 ms jitter for 2 s",
+            events: uplink_flaky_events,
+        },
+        ChaosScenario {
+            name: "kitchen_sink",
+            description: "everything above, overlapping",
+            events: kitchen_sink_events,
+        },
+    ]
+}
+
+/// One replicate of one scenario: the faulted run and its same-seed
+/// fault-free control.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Goodput of the faulted run, bit/s.
+    pub goodput_bps: f64,
+    /// Goodput of the fault-free control at the same seed, bit/s.
+    pub baseline_goodput_bps: f64,
+    /// `goodput / baseline` (1.0 when the control moved no data either).
+    pub goodput_retained: f64,
+    /// Frames delivered only after ≥ 1 retransmission.
+    pub late_deliveries: u64,
+    /// Frames abandoned after the retry budget ("lost").
+    pub frames_lost: u64,
+    /// Self-healing metrics of the faulted run.
+    pub recovery: RecoveryReport,
+}
+
+fn chaos_config(seed: u64, plan: FaultPlan) -> LinkConfig {
+    let mut cfg = LinkConfig::paper_static(CHAOS_DISTANCE_M, SchemeKind::Amppm, seed);
+    cfg.duration = SimDuration::secs(CHAOS_DURATION_S);
+    cfg.faults = plan;
+    cfg
+}
+
+fn run_once(seed: u64, plan: FaultPlan) -> LinkReport {
+    let mut sim = LinkSimulation::new(chaos_config(seed, plan)).expect("valid chaos scenario");
+    sim.run(&mut ConstantAmbient {
+        lux: CHAOS_AMBIENT_LUX,
+    })
+}
+
+/// Run one scenario replicate: faulted + control, both from `seed`.
+pub fn run_chaos_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosOutcome {
+    let faulted = run_once(seed, scenario.plan());
+    let control = run_once(seed, FaultPlan::default());
+    let goodput_retained = if control.mean_goodput_bps <= 0.0 {
+        1.0
+    } else {
+        faulted.mean_goodput_bps / control.mean_goodput_bps
+    };
+    ChaosOutcome {
+        goodput_bps: faulted.mean_goodput_bps,
+        baseline_goodput_bps: control.mean_goodput_bps,
+        goodput_retained,
+        late_deliveries: faulted.recovery.late_deliveries,
+        frames_lost: faulted.recovery.frames_abandoned,
+        recovery: faulted.recovery,
+    }
+}
+
+/// Per-scenario aggregate over the replicates.
+#[derive(Clone, Debug)]
+pub struct ChaosSummary {
+    /// Scenario identifier.
+    pub name: &'static str,
+    /// Scenario description.
+    pub description: &'static str,
+    /// Mean goodput retained vs the same-seed control.
+    pub mean_goodput_retained: f64,
+    /// Worst replicate's goodput retained.
+    pub min_goodput_retained: f64,
+    /// Mean faulted goodput, bit/s.
+    pub mean_goodput_bps: f64,
+    /// Mean time from the last downlink fault clearing to the first
+    /// clean frame, seconds — over replicates that have one.
+    pub mean_resync_s: Option<f64>,
+    /// Total late deliveries across replicates.
+    pub late_deliveries: u64,
+    /// Total frames abandoned across replicates.
+    pub frames_lost: u64,
+    /// Total receiver sync losses across replicates.
+    pub sync_losses: u64,
+    /// Total resync-budget overruns across replicates.
+    pub resync_overruns: u64,
+    /// Highest degradation tier any replicate reached.
+    pub max_degrade_tier: u8,
+    /// The raw per-replicate outcomes (replicate order).
+    pub outcomes: Vec<ChaosOutcome>,
+}
+
+/// Run the whole battery: `replicates` seeds per scenario, fanned out on
+/// the deterministic runner.
+pub fn run_chaos_suite(replicates: usize, base_seed: u64) -> Vec<ChaosSummary> {
+    let scenarios = chaos_scenarios();
+    let grouped = par_sweep(
+        &scenarios,
+        replicates,
+        base_seed,
+        |sc: &ChaosScenario, id: TaskId| run_chaos_scenario(sc, id.seed),
+    );
+    scenarios
+        .into_iter()
+        .zip(grouped)
+        .map(|(sc, outcomes)| summarize_scenario(sc, outcomes))
+        .collect()
+}
+
+fn summarize_scenario(sc: ChaosScenario, outcomes: Vec<ChaosOutcome>) -> ChaosSummary {
+    let n = outcomes.len().max(1) as f64;
+    let mean_goodput_retained = outcomes.iter().map(|o| o.goodput_retained).sum::<f64>() / n;
+    let min_goodput_retained = outcomes
+        .iter()
+        .map(|o| o.goodput_retained)
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0 + f64::EPSILON);
+    let mean_goodput_bps = outcomes.iter().map(|o| o.goodput_bps).sum::<f64>() / n;
+    let resyncs: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.recovery.resync_time_s)
+        .collect();
+    let mean_resync_s = if resyncs.is_empty() {
+        None
+    } else {
+        Some(resyncs.iter().sum::<f64>() / resyncs.len() as f64)
+    };
+    ChaosSummary {
+        name: sc.name,
+        description: sc.description,
+        mean_goodput_retained,
+        min_goodput_retained,
+        mean_goodput_bps,
+        mean_resync_s,
+        late_deliveries: outcomes.iter().map(|o| o.late_deliveries).sum(),
+        frames_lost: outcomes.iter().map(|o| o.frames_lost).sum(),
+        sync_losses: outcomes.iter().map(|o| o.recovery.sync_losses).sum(),
+        resync_overruns: outcomes.iter().map(|o| o.recovery.resync_overruns).sum(),
+        max_degrade_tier: outcomes
+            .iter()
+            .map(|o| o.recovery.max_degrade_tier)
+            .max()
+            .unwrap_or(0),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_plans_are_valid_and_nonempty() {
+        for sc in chaos_scenarios() {
+            assert!(!sc.plan().is_empty(), "{}", sc.name);
+            // Every fault clears before the run ends (so recovery is
+            // observable).
+            let end = sc.plan().events().iter().map(|e| e.end()).max().unwrap();
+            assert!(
+                end < SimTime::from_secs(CHAOS_DURATION_S),
+                "{}: fault outlives the run",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn ambient_spike_retains_half_goodput() {
+        // The acceptance bar for the standard scenario: ≥ 50% of the
+        // fault-free goodput survives the spikes.
+        let o = run_chaos_scenario(&chaos_scenarios()[0], 42);
+        assert!(o.baseline_goodput_bps > 0.0, "{o:?}");
+        assert!(o.goodput_retained >= 0.5, "{o:?}");
+    }
+
+    #[test]
+    fn occlusion_recovers_within_bound() {
+        let sc = &chaos_scenarios()[1];
+        let o = run_chaos_scenario(sc, 7);
+        // The link must come back after the blockage clears, within a
+        // bounded interval (a second of wall clock ≈ a handful of frames).
+        let resync = o.recovery.resync_time_s.expect("link never recovered");
+        assert!(resync <= 1.0, "resync took {resync} s: {o:?}");
+        assert!(o.goodput_bps > 0.0, "{o:?}");
+    }
+
+    #[test]
+    fn slip_storm_recovers_within_bound() {
+        let sc = &chaos_scenarios()[3];
+        let o = run_chaos_scenario(sc, 11);
+        let resync = o.recovery.resync_time_s.expect("link never recovered");
+        assert!(resync <= 1.0, "resync took {resync} s: {o:?}");
+    }
+
+    #[test]
+    fn every_scenario_completes_without_panic_and_moves_data() {
+        // "Never panics" is the whole point: a chaos run that unwinds
+        // fails this test. Each scenario must also still deliver
+        // *something* — the link degrades, it does not die.
+        for sc in chaos_scenarios() {
+            let o = run_chaos_scenario(&sc, 3);
+            assert!(
+                o.goodput_bps > 0.0,
+                "{}: link died entirely: {o:?}",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic_per_seed() {
+        let a = run_chaos_scenario(&chaos_scenarios()[4], 5);
+        let b = run_chaos_scenario(&chaos_scenarios()[4], 5);
+        assert_eq!(a.goodput_bps, b.goodput_bps);
+        assert_eq!(a.recovery, b.recovery);
+    }
+}

@@ -25,11 +25,15 @@
 //! * [`daylong`] — planning-level whole-day runs over a diurnal ambient
 //!   profile (control plane identical to the live link; per-slot noise
 //!   replaced by the analytic rate).
+//! * [`chaos`] — scheduled channel faults (spikes, occlusion, drift,
+//!   slips, saturation, flaky uplink) against the self-healing link,
+//!   with same-seed fault-free controls.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod chaos;
 pub mod daylong;
 pub mod dynamic_run;
 pub mod energy;
@@ -40,6 +44,9 @@ pub mod static_run;
 pub mod stats_util;
 
 pub use broadcast::{run_broadcast, Seat, SeatReport};
+pub use chaos::{
+    chaos_scenarios, run_chaos_scenario, run_chaos_suite, ChaosOutcome, ChaosScenario, ChaosSummary,
+};
 pub use daylong::{run_day, DayReport};
 pub use dynamic_run::{run_dynamic, DynamicOutcome};
 pub use energy::{energy_from_trace, EnergyReport};

@@ -130,6 +130,35 @@ fn sweep_replicates_are_bit_identical_across_thread_counts() {
     assert_eq!(run(8), serial);
 }
 
+#[test]
+fn chaos_suite_is_bit_identical_across_thread_counts() {
+    // The chaos battery exercises every self-healing path (sync loss,
+    // degradation tiers, ACK impairments); any hidden scheduling
+    // dependence in those paths would surface here as diverging bits.
+    let run = |n: usize| {
+        with_threads(n, || {
+            smartvlc_sim::run_chaos_suite(2, 1234)
+                .iter()
+                .flat_map(|s| {
+                    s.outcomes.iter().map(|o| {
+                        (
+                            o.goodput_bps.to_bits(),
+                            o.baseline_goodput_bps.to_bits(),
+                            o.recovery.sync_losses,
+                            o.recovery.late_deliveries,
+                            o.recovery.frames_abandoned,
+                            o.recovery.max_degrade_tier,
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run(1);
+    assert_eq!(run(2), serial, "2 threads diverged from serial");
+    assert_eq!(run(8), serial, "8 threads diverged from serial");
+}
+
 proptest! {
     /// Distinct `(seed, point_id)` tuples must yield distinct streams —
     /// checked on the first two draws, over arbitrary tuples.

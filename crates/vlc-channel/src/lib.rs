@@ -33,6 +33,7 @@
 
 pub mod ambient;
 pub mod detector;
+pub mod faults;
 pub mod frontend;
 pub mod led;
 pub mod link;
@@ -42,6 +43,7 @@ pub mod shadowing;
 
 pub use ambient::AmbientProfile;
 pub use detector::{ChannelErrorProbs, SlotDetector};
+pub use faults::{ChannelFaultState, FaultEvent, FaultKind, FaultPlan, UplinkFaultState};
 pub use link::{ChannelConfig, OpticalChannel};
 pub use optics::LambertianLink;
 pub use shadowing::{ShadowingModel, ShadowingProcess};

@@ -15,6 +15,7 @@
 
 use crate::ambient::AmbientProfile;
 use crate::detector::{ChannelErrorProbs, SlotDetector};
+use crate::faults::ChannelFaultState;
 use crate::frontend::AnalogFrontend;
 use crate::led::LedModel;
 use crate::optics::LambertianLink;
@@ -69,6 +70,9 @@ pub struct OpticalChannel {
     /// Extra multiplicative optical gain (1.0 = clear; a blockage model
     /// drives this toward ~0.001).
     blockage_gain: f64,
+    /// Injected impairments (see [`crate::faults::FaultPlan`]); composes
+    /// with the blockage gain and configured ambient.
+    fault: ChannelFaultState,
 }
 
 impl OpticalChannel {
@@ -79,6 +83,7 @@ impl OpticalChannel {
             cfg,
             rng,
             blockage_gain: 1.0,
+            fault: ChannelFaultState::CLEAR,
         }
     }
 
@@ -86,6 +91,28 @@ impl OpticalChannel {
     /// [`crate::shadowing::ShadowingProcess`]); 1.0 restores a clear path.
     pub fn set_blockage_gain(&mut self, gain: f64) {
         self.blockage_gain = gain.clamp(0.0, 1.0);
+    }
+
+    /// Apply an injected impairment state (ambient spike, occlusion,
+    /// saturation) from a [`crate::faults::FaultPlan`]. Composes with the
+    /// configured ambient and the blockage gain; call with
+    /// [`ChannelFaultState::CLEAR`] (or [`Self::clear_faults`]) to restore.
+    pub fn set_fault_state(&mut self, st: ChannelFaultState) {
+        self.fault = ChannelFaultState {
+            extra_ambient_lux: st.extra_ambient_lux.max(0.0),
+            gain: st.gain.clamp(0.0, 1.0),
+            saturated: st.saturated,
+        };
+    }
+
+    /// Remove all injected impairments.
+    pub fn clear_faults(&mut self) {
+        self.fault = ChannelFaultState::CLEAR;
+    }
+
+    /// The effective ambient illuminance including injected spikes, lux.
+    pub fn effective_ambient_lux(&self) -> f64 {
+        self.cfg.ambient_lux + self.fault.extra_ambient_lux
     }
 
     /// Current configuration.
@@ -115,7 +142,8 @@ impl OpticalChannel {
     }
 
     fn ambient_current(&self) -> f64 {
-        self.cfg.rx_diode.a_per_lux * self.cfg.ambient_lux + self.cfg.rx_diode.dark_current_a
+        self.cfg.rx_diode.a_per_lux * self.effective_ambient_lux()
+            + self.cfg.rx_diode.dark_current_a
     }
 
     /// Per-sample noise σ at the current operating point (input-referred,
@@ -143,14 +171,29 @@ impl OpticalChannel {
     pub fn transmit(&mut self, slots: &[bool]) -> Vec<f64> {
         let spp = self.cfg.samples_per_slot;
         let optical = self.cfg.led.synthesize(slots, self.cfg.tslot_s, spp);
-        let gain = self.cfg.geometry.path_gain() * self.blockage_gain;
+        let gain = self.cfg.geometry.path_gain() * self.blockage_gain * self.fault.gain;
         let i_amb = self.ambient_current();
         let i_amb_rin = self.cfg.ambient_rin * i_amb;
         let fs = spp as f64 / self.cfg.tslot_s;
+        // Injected saturation: the front end is pinned at the rail, every
+        // sample reads full-scale regardless of the slot waveform.
+        let rail = if self.fault.saturated {
+            Some(
+                self.cfg
+                    .frontend
+                    .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16),
+            )
+        } else {
+            None
+        };
         let mut levels = Vec::with_capacity(slots.len());
         for chunk in optical.chunks_exact(spp) {
             let mut acc = 0.0;
             for &p_opt in &chunk[1..] {
+                if let Some(max_i) = rail {
+                    acc += max_i;
+                    continue;
+                }
                 let i_sig = self.cfg.rx_diode.responsivity_a_per_w * p_opt * gain;
                 let shot = self.cfg.rx_diode.shot_noise_std_a(i_sig + i_amb, fs / 2.0);
                 // Shot + ambient RIN enter before the frontend; the
@@ -174,7 +217,7 @@ impl OpticalChannel {
 
     /// The expected detector operating point at the current configuration.
     pub fn analytic_detector(&self) -> SlotDetector {
-        let gain = self.cfg.geometry.path_gain() * self.blockage_gain;
+        let gain = self.cfg.geometry.path_gain() * self.blockage_gain * self.fault.gain;
         let r = self.cfg.rx_diode.responsivity_a_per_w;
         let mu_on = r * self.cfg.led.steady_power(1.0) * gain;
         let mu_off = r * self.cfg.led.steady_power(0.0) * gain;
@@ -183,8 +226,14 @@ impl OpticalChannel {
             .cfg
             .frontend
             .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16);
-        let mu_on = mu_on.min(max_i);
-        let mu_off = mu_off.min(max_i);
+        // Injected saturation pins both rails at full scale: the slot eye
+        // collapses entirely (same degenerate detector as a beyond-FoV
+        // receiver, which the detector already supports).
+        let (mu_on, mu_off) = if self.fault.saturated {
+            (max_i, max_i)
+        } else {
+            (mu_on.min(max_i), mu_off.min(max_i))
+        };
         let sigma = self.per_sample_sigma() / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
         // Quantization adds lsb/sqrt(12) per sample.
         let q = self.cfg.frontend.lsb_current_a()
@@ -324,5 +373,56 @@ mod tests {
         let mut a = channel(3.6);
         let mut b = channel(3.6);
         assert_eq!(a.transmit(&slots), b.transmit(&slots));
+    }
+
+    #[test]
+    fn fault_state_degrades_and_clears() {
+        use crate::faults::ChannelFaultState;
+        let clean = channel(3.6).analytic_error_probs().p_off_error;
+
+        // Ambient spike raises the noise floor.
+        let mut spiked = channel(3.6);
+        spiked.set_fault_state(ChannelFaultState {
+            extra_ambient_lux: 20_000.0,
+            gain: 1.0,
+            saturated: false,
+        });
+        assert!(spiked.analytic_error_probs().p_off_error > clean * 10.0);
+        assert_eq!(spiked.effective_ambient_lux(), 8080.0 + 20_000.0);
+
+        // Occlusion composes with the blockage gain.
+        let mut occluded = channel(2.0);
+        occluded.set_fault_state(ChannelFaultState {
+            extra_ambient_lux: 0.0,
+            gain: 0.001,
+            saturated: false,
+        });
+        let slots: Vec<bool> = (0..4000).map(|i| i % 3 == 0).collect();
+        let decided = occluded.transmit_and_decide(&slots);
+        let errors = decided.iter().zip(&slots).filter(|(a, b)| a != b).count();
+        assert!(errors > 500, "occlusion barely hurt: {errors} errors");
+
+        // Saturation collapses the slot eye entirely.
+        let mut sat = channel(1.0);
+        sat.set_fault_state(ChannelFaultState {
+            extra_ambient_lux: 0.0,
+            gain: 1.0,
+            saturated: true,
+        });
+        let d = sat.analytic_detector();
+        assert_eq!(d.mu_on_a, d.mu_off_a);
+        let levels = sat.transmit(&slots[..100]);
+        assert!(levels.windows(2).all(|w| w[0] == w[1]), "rail not flat");
+
+        // Clearing restores the baseline exactly.
+        sat.clear_faults();
+        assert_eq!(
+            sat.analytic_error_probs().p_off_error,
+            clean_channel_probs(1.0)
+        );
+    }
+
+    fn clean_channel_probs(d: f64) -> f64 {
+        channel(d).analytic_error_probs().p_off_error
     }
 }

@@ -137,7 +137,7 @@ fn cmd_sweep(scheme_name: &str) -> Result<String, String> {
     let mut rows = Vec::new();
     for i in 2..=18 {
         let l = DimmingLevel::new(i as f64 / 20.0).unwrap();
-        let d = scheme.descriptor(&cfg, l);
+        let d = scheme.descriptor(&cfg, l, 0);
         let rate = codec
             .modem_for(d)
             .map(|m| {

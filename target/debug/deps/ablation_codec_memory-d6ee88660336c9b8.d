@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_codec_memory-d6ee88660336c9b8.d: crates/bench/src/bin/ablation_codec_memory.rs
+
+/root/repo/target/debug/deps/ablation_codec_memory-d6ee88660336c9b8: crates/bench/src/bin/ablation_codec_memory.rs
+
+crates/bench/src/bin/ablation_codec_memory.rs:

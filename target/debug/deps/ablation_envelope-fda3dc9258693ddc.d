@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_envelope-fda3dc9258693ddc.d: crates/bench/src/bin/ablation_envelope.rs
+
+/root/repo/target/debug/deps/ablation_envelope-fda3dc9258693ddc: crates/bench/src/bin/ablation_envelope.rs
+
+crates/bench/src/bin/ablation_envelope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-c99cfc7d81fcfe70.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/ablation_interleaving-c99cfc7d81fcfe70: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

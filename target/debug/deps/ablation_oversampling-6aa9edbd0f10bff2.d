@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_oversampling-6aa9edbd0f10bff2.d: crates/bench/src/bin/ablation_oversampling.rs
+
+/root/repo/target/debug/deps/ablation_oversampling-6aa9edbd0f10bff2: crates/bench/src/bin/ablation_oversampling.rs
+
+crates/bench/src/bin/ablation_oversampling.rs:

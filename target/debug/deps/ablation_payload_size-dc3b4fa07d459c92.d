@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_size-dc3b4fa07d459c92.d: crates/bench/src/bin/ablation_payload_size.rs
+
+/root/repo/target/debug/deps/ablation_payload_size-dc3b4fa07d459c92: crates/bench/src/bin/ablation_payload_size.rs
+
+crates/bench/src/bin/ablation_payload_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/auditor-4984294f951265fd.d: crates/bench/benches/auditor.rs
+
+/root/repo/target/debug/deps/auditor-4984294f951265fd: crates/bench/benches/auditor.rs
+
+crates/bench/benches/auditor.rs:

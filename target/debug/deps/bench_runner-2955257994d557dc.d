@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_runner-2955257994d557dc.d: crates/bench/src/bin/bench_runner.rs
+
+/root/repo/target/debug/deps/bench_runner-2955257994d557dc: crates/bench/src/bin/bench_runner.rs
+
+crates/bench/src/bin/bench_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/channel-929ab0cb9844971d.d: crates/bench/benches/channel.rs
+
+/root/repo/target/debug/deps/channel-929ab0cb9844971d: crates/bench/benches/channel.rs
+
+crates/bench/benches/channel.rs:

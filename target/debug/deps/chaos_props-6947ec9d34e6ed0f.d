@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_props-6947ec9d34e6ed0f.d: crates/smartvlc-link/tests/chaos_props.rs
+
+/root/repo/target/debug/deps/chaos_props-6947ec9d34e6ed0f: crates/smartvlc-link/tests/chaos_props.rs
+
+crates/smartvlc-link/tests/chaos_props.rs:

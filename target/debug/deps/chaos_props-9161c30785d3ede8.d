@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_props-9161c30785d3ede8.d: crates/smartvlc-link/tests/chaos_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_props-9161c30785d3ede8.rmeta: crates/smartvlc-link/tests/chaos_props.rs Cargo.toml
+
+crates/smartvlc-link/tests/chaos_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

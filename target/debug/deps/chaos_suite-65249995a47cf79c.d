@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_suite-65249995a47cf79c.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/debug/deps/chaos_suite-65249995a47cf79c: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

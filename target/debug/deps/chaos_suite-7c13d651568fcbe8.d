@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_suite-7c13d651568fcbe8.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/debug/deps/chaos_suite-7c13d651568fcbe8: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

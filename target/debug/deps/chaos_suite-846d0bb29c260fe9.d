@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_suite-846d0bb29c260fe9.d: crates/bench/src/bin/chaos_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_suite-846d0bb29c260fe9.rmeta: crates/bench/src/bin/chaos_suite.rs Cargo.toml
+
+crates/bench/src/bin/chaos_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-35e1b811216e6ee5.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/codec-35e1b811216e6ee5: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_scratch-70454f60d0a0ae11.d: crates/bench/benches/codec_scratch.rs
+
+/root/repo/target/debug/deps/codec_scratch-70454f60d0a0ae11: crates/bench/benches/codec_scratch.rs
+
+crates/bench/benches/codec_scratch.rs:

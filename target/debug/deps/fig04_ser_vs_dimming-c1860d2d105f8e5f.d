@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-c1860d2d105f8e5f.d: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+/root/repo/target/debug/deps/fig04_ser_vs_dimming-c1860d2d105f8e5f: crates/bench/src/bin/fig04_ser_vs_dimming.rs
+
+crates/bench/src/bin/fig04_ser_vs_dimming.rs:

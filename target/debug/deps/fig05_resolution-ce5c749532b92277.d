@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_resolution-ce5c749532b92277.d: crates/bench/src/bin/fig05_resolution.rs
+
+/root/repo/target/debug/deps/fig05_resolution-ce5c749532b92277: crates/bench/src/bin/fig05_resolution.rs
+
+crates/bench/src/bin/fig05_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_multiplexing_levels-5c914954f1250b8f.d: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+/root/repo/target/debug/deps/fig06_multiplexing_levels-5c914954f1250b8f: crates/bench/src/bin/fig06_multiplexing_levels.rs
+
+crates/bench/src/bin/fig06_multiplexing_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_candidate_filter-7bee11bf1a34a9f1.d: crates/bench/src/bin/fig08_candidate_filter.rs
+
+/root/repo/target/debug/deps/fig08_candidate_filter-7bee11bf1a34a9f1: crates/bench/src/bin/fig08_candidate_filter.rs
+
+crates/bench/src/bin/fig08_candidate_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_envelope-69ca28e49eafebf1.d: crates/bench/src/bin/fig09_envelope.rs
+
+/root/repo/target/debug/deps/fig09_envelope-69ca28e49eafebf1: crates/bench/src/bin/fig09_envelope.rs
+
+crates/bench/src/bin/fig09_envelope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_adaptation_domains-c1ae0786843a18f1.d: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+/root/repo/target/debug/deps/fig10_adaptation_domains-c1ae0786843a18f1: crates/bench/src/bin/fig10_adaptation_domains.rs
+
+crates/bench/src/bin/fig10_adaptation_domains.rs:

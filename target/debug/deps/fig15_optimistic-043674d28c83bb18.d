@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimistic-043674d28c83bb18.d: crates/bench/src/bin/fig15_optimistic.rs
+
+/root/repo/target/debug/deps/fig15_optimistic-043674d28c83bb18: crates/bench/src/bin/fig15_optimistic.rs
+
+crates/bench/src/bin/fig15_optimistic.rs:

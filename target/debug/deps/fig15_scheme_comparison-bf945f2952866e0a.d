@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scheme_comparison-bf945f2952866e0a.d: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+/root/repo/target/debug/deps/fig15_scheme_comparison-bf945f2952866e0a: crates/bench/src/bin/fig15_scheme_comparison.rs
+
+crates/bench/src/bin/fig15_scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_distance-a11570362beb0d00.d: crates/bench/src/bin/fig16_distance.rs
+
+/root/repo/target/debug/deps/fig16_distance-a11570362beb0d00: crates/bench/src/bin/fig16_distance.rs
+
+crates/bench/src/bin/fig16_distance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_incidence-3bf0994647493e8f.d: crates/bench/src/bin/fig17_incidence.rs
+
+/root/repo/target/debug/deps/fig17_incidence-3bf0994647493e8f: crates/bench/src/bin/fig17_incidence.rs
+
+crates/bench/src/bin/fig17_incidence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-547bda80fa120394.d: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+/root/repo/target/debug/deps/fig19a_dynamic_throughput-547bda80fa120394: crates/bench/src/bin/fig19a_dynamic_throughput.rs
+
+crates/bench/src/bin/fig19a_dynamic_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19b_intensity_trace-1bd14fc4a66b7c09.d: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+/root/repo/target/debug/deps/fig19b_intensity_trace-1bd14fc4a66b7c09: crates/bench/src/bin/fig19b_intensity_trace.rs
+
+crates/bench/src/bin/fig19b_intensity_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19c_adaptation_count-7e11200aa18a80b2.d: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+/root/repo/target/debug/deps/fig19c_adaptation_count-7e11200aa18a80b2: crates/bench/src/bin/fig19c_adaptation_count.rs
+
+crates/bench/src/bin/fig19c_adaptation_count.rs:

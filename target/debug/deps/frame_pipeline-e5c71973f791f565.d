@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_pipeline-e5c71973f791f565.d: crates/bench/benches/frame_pipeline.rs
+
+/root/repo/target/debug/deps/frame_pipeline-e5c71973f791f565: crates/bench/benches/frame_pipeline.rs
+
+crates/bench/benches/frame_pipeline.rs:

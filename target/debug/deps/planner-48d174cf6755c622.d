@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner-48d174cf6755c622.d: crates/bench/benches/planner.rs
+
+/root/repo/target/debug/deps/planner-48d174cf6755c622: crates/bench/benches/planner.rs
+
+crates/bench/benches/planner.rs:

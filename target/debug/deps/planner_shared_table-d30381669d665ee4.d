@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_shared_table-d30381669d665ee4.d: crates/bench/benches/planner_shared_table.rs
+
+/root/repo/target/debug/deps/planner_shared_table-d30381669d665ee4: crates/bench/benches/planner_shared_table.rs
+
+crates/bench/benches/planner_shared_table.rs:

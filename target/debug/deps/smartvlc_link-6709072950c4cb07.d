@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/smartvlc_link-6709072950c4cb07.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs Cargo.toml
+/root/repo/target/debug/deps/smartvlc_link-6709072950c4cb07.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmartvlc_link-6709072950c4cb07.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs Cargo.toml
+/root/repo/target/debug/deps/libsmartvlc_link-6709072950c4cb07.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs Cargo.toml
 
 crates/smartvlc-link/src/lib.rs:
+crates/smartvlc-link/src/error.rs:
 crates/smartvlc-link/src/link.rs:
 crates/smartvlc-link/src/mac.rs:
 crates/smartvlc-link/src/rx.rs:

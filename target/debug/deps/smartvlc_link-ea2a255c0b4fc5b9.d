@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/smartvlc_link-ea2a255c0b4fc5b9.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/debug/deps/smartvlc_link-ea2a255c0b4fc5b9.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
-/root/repo/target/debug/deps/libsmartvlc_link-ea2a255c0b4fc5b9.rlib: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/debug/deps/libsmartvlc_link-ea2a255c0b4fc5b9.rlib: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
-/root/repo/target/debug/deps/libsmartvlc_link-ea2a255c0b4fc5b9.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/debug/deps/libsmartvlc_link-ea2a255c0b4fc5b9.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
 crates/smartvlc-link/src/lib.rs:
+crates/smartvlc-link/src/error.rs:
 crates/smartvlc-link/src/link.rs:
 crates/smartvlc-link/src/mac.rs:
 crates/smartvlc-link/src/rx.rs:

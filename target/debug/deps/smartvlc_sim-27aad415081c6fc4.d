@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/smartvlc_sim-27aad415081c6fc4.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs Cargo.toml
+/root/repo/target/debug/deps/smartvlc_sim-27aad415081c6fc4.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmartvlc_sim-27aad415081c6fc4.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs Cargo.toml
+/root/repo/target/debug/deps/libsmartvlc_sim-27aad415081c6fc4.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs Cargo.toml
 
 crates/smartvlc-sim/src/lib.rs:
 crates/smartvlc-sim/src/broadcast.rs:
+crates/smartvlc-sim/src/chaos.rs:
 crates/smartvlc-sim/src/daylong.rs:
 crates/smartvlc-sim/src/dynamic_run.rs:
 crates/smartvlc-sim/src/energy.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/smartvlc_sim-f7eb44e201c2c574.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/debug/deps/smartvlc_sim-f7eb44e201c2c574.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
-/root/repo/target/debug/deps/libsmartvlc_sim-f7eb44e201c2c574.rlib: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/debug/deps/libsmartvlc_sim-f7eb44e201c2c574.rlib: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
-/root/repo/target/debug/deps/libsmartvlc_sim-f7eb44e201c2c574.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/debug/deps/libsmartvlc_sim-f7eb44e201c2c574.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
 crates/smartvlc-sim/src/lib.rs:
 crates/smartvlc-sim/src/broadcast.rs:
+crates/smartvlc-sim/src/chaos.rs:
 crates/smartvlc-sim/src/daylong.rs:
 crates/smartvlc-sim/src/dynamic_run.rs:
 crates/smartvlc-sim/src/energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_user_study-b99d437c6431980a.d: crates/bench/src/bin/table2_user_study.rs
+
+/root/repo/target/debug/deps/table2_user_study-b99d437c6431980a: crates/bench/src/bin/table2_user_study.rs
+
+crates/bench/src/bin/table2_user_study.rs:

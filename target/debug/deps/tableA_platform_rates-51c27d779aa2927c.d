@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableA_platform_rates-51c27d779aa2927c.d: crates/bench/src/bin/tableA_platform_rates.rs
+
+/root/repo/target/debug/deps/tableA_platform_rates-51c27d779aa2927c: crates/bench/src/bin/tableA_platform_rates.rs
+
+crates/bench/src/bin/tableA_platform_rates.rs:

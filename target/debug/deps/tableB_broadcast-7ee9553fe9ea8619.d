@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableB_broadcast-7ee9553fe9ea8619.d: crates/bench/src/bin/tableB_broadcast.rs
+
+/root/repo/target/debug/deps/tableB_broadcast-7ee9553fe9ea8619: crates/bench/src/bin/tableB_broadcast.rs
+
+crates/bench/src/bin/tableB_broadcast.rs:

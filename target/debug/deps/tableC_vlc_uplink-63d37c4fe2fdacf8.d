@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableC_vlc_uplink-63d37c4fe2fdacf8.d: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+/root/repo/target/debug/deps/tableC_vlc_uplink-63d37c4fe2fdacf8: crates/bench/src/bin/tableC_vlc_uplink.rs
+
+crates/bench/src/bin/tableC_vlc_uplink.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/vlc_channel-4ac33839092fd11e.d: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs Cargo.toml
+/root/repo/target/debug/deps/vlc_channel-4ac33839092fd11e.d: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/faults.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs Cargo.toml
 
-/root/repo/target/debug/deps/libvlc_channel-4ac33839092fd11e.rmeta: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs Cargo.toml
+/root/repo/target/debug/deps/libvlc_channel-4ac33839092fd11e.rmeta: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/faults.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs Cargo.toml
 
 crates/vlc-channel/src/lib.rs:
 crates/vlc-channel/src/ambient.rs:
 crates/vlc-channel/src/detector.rs:
+crates/vlc-channel/src/faults.rs:
 crates/vlc-channel/src/frontend.rs:
 crates/vlc-channel/src/led.rs:
 crates/vlc-channel/src/link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_suite-28c3980dcafafab7.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/release/deps/chaos_suite-28c3980dcafafab7: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/smartvlc_link-c7f3d6cb3c139b6b.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/release/deps/smartvlc_link-c7f3d6cb3c139b6b.d: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
-/root/repo/target/release/deps/libsmartvlc_link-c7f3d6cb3c139b6b.rlib: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/release/deps/libsmartvlc_link-c7f3d6cb3c139b6b.rlib: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
-/root/repo/target/release/deps/libsmartvlc_link-c7f3d6cb3c139b6b.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
+/root/repo/target/release/deps/libsmartvlc_link-c7f3d6cb3c139b6b.rmeta: crates/smartvlc-link/src/lib.rs crates/smartvlc-link/src/error.rs crates/smartvlc-link/src/link.rs crates/smartvlc-link/src/mac.rs crates/smartvlc-link/src/rx.rs crates/smartvlc-link/src/stats.rs crates/smartvlc-link/src/sync.rs crates/smartvlc-link/src/tx.rs crates/smartvlc-link/src/uplink.rs crates/smartvlc-link/src/uplink_vlc.rs
 
 crates/smartvlc-link/src/lib.rs:
+crates/smartvlc-link/src/error.rs:
 crates/smartvlc-link/src/link.rs:
 crates/smartvlc-link/src/mac.rs:
 crates/smartvlc-link/src/rx.rs:

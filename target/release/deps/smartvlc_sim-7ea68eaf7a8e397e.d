@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/smartvlc_sim-7ea68eaf7a8e397e.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/release/deps/smartvlc_sim-7ea68eaf7a8e397e.d: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
-/root/repo/target/release/deps/libsmartvlc_sim-7ea68eaf7a8e397e.rlib: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/release/deps/libsmartvlc_sim-7ea68eaf7a8e397e.rlib: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
-/root/repo/target/release/deps/libsmartvlc_sim-7ea68eaf7a8e397e.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
+/root/repo/target/release/deps/libsmartvlc_sim-7ea68eaf7a8e397e.rmeta: crates/smartvlc-sim/src/lib.rs crates/smartvlc-sim/src/broadcast.rs crates/smartvlc-sim/src/chaos.rs crates/smartvlc-sim/src/daylong.rs crates/smartvlc-sim/src/dynamic_run.rs crates/smartvlc-sim/src/energy.rs crates/smartvlc-sim/src/perception.rs crates/smartvlc-sim/src/report.rs crates/smartvlc-sim/src/runner.rs crates/smartvlc-sim/src/static_run.rs crates/smartvlc-sim/src/stats_util.rs
 
 crates/smartvlc-sim/src/lib.rs:
 crates/smartvlc-sim/src/broadcast.rs:
+crates/smartvlc-sim/src/chaos.rs:
 crates/smartvlc-sim/src/daylong.rs:
 crates/smartvlc-sim/src/dynamic_run.rs:
 crates/smartvlc-sim/src/energy.rs:

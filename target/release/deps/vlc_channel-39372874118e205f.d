@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/vlc_channel-39372874118e205f.d: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
+/root/repo/target/release/deps/vlc_channel-39372874118e205f.d: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/faults.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
 
-/root/repo/target/release/deps/libvlc_channel-39372874118e205f.rlib: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
+/root/repo/target/release/deps/libvlc_channel-39372874118e205f.rlib: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/faults.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
 
-/root/repo/target/release/deps/libvlc_channel-39372874118e205f.rmeta: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
+/root/repo/target/release/deps/libvlc_channel-39372874118e205f.rmeta: crates/vlc-channel/src/lib.rs crates/vlc-channel/src/ambient.rs crates/vlc-channel/src/detector.rs crates/vlc-channel/src/faults.rs crates/vlc-channel/src/frontend.rs crates/vlc-channel/src/led.rs crates/vlc-channel/src/link.rs crates/vlc-channel/src/optics.rs crates/vlc-channel/src/photodiode.rs crates/vlc-channel/src/shadowing.rs
 
 crates/vlc-channel/src/lib.rs:
 crates/vlc-channel/src/ambient.rs:
 crates/vlc-channel/src/detector.rs:
+crates/vlc-channel/src/faults.rs:
 crates/vlc-channel/src/frontend.rs:
 crates/vlc-channel/src/led.rs:
 crates/vlc-channel/src/link.rs:

@@ -16,6 +16,7 @@ fn every_scheme_survives_the_sampled_channel() {
     let descriptors = [
         PatternDescriptor::Amppm {
             dimming_q: cfg.quantize_dimming(0.35),
+            tier: 0,
         },
         PatternDescriptor::Mppm { n: 20, k: 7 },
         PatternDescriptor::OokCt {
@@ -44,6 +45,7 @@ fn sample_level_receive_chain_recovers_frames() {
     let frame = Frame::new(
         PatternDescriptor::Amppm {
             dimming_q: cfg.quantize_dimming(0.5),
+            tier: 0,
         },
         b"sample-level pipeline".to_vec(),
     )
@@ -92,6 +94,7 @@ fn frames_survive_the_hw_transmit_path() {
     let frame = Frame::new(
         PatternDescriptor::Amppm {
             dimming_q: cfg.quantize_dimming(0.4),
+            tier: 0,
         },
         vec![0xA5; 64],
     )

@@ -20,6 +20,7 @@ fn amppm_frames_are_flicker_free_at_all_levels() {
         let frame = Frame::new(
             PatternDescriptor::Amppm {
                 dimming_q: cfg.quantize_dimming(l),
+                tier: 0,
             },
             vec![0x6C; 128],
         )

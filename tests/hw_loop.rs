@@ -24,6 +24,7 @@ fn full_prototype_loop_recovers_a_frame() {
     let frame = Frame::new(
         PatternDescriptor::Amppm {
             dimming_q: cfg.quantize_dimming(0.45),
+            tier: 0,
         },
         b"through the whole prototype".to_vec(),
     )

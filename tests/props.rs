@@ -17,7 +17,7 @@ proptest! {
         let l = level_pct as f64 / 100.0;
         let mut codec = FrameCodec::new(cfg.clone()).unwrap();
         let frame = Frame::new(
-            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(l) },
+            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(l), tier: 0 },
             payload.clone(),
         ).unwrap();
         let slots = codec.emit(&frame).unwrap();
@@ -55,7 +55,7 @@ proptest! {
         let mut payload = vec![0u8; 64];
         rng.fill_bytes(&mut payload);
         let frame = Frame::new(
-            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(0.5) },
+            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(0.5), tier: 0 },
             payload.clone(),
         ).unwrap();
         let mut slots = codec.emit(&frame).unwrap();
@@ -142,7 +142,7 @@ proptest! {
         let mut payload = vec![0u8; 48];
         rng.fill_bytes(&mut payload);
         let frame = Frame::new(
-            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(0.5) },
+            PatternDescriptor::Amppm { dimming_q: cfg.quantize_dimming(0.5), tier: 0 },
             payload,
         ).unwrap();
         let slots = codec.emit(&frame).unwrap();
