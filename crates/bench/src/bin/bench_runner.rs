@@ -10,8 +10,9 @@
 //! that changed the numbers would be a bug, not a win.
 
 use desim::SimDuration;
-use smartvlc_bench::results_dir;
+use smartvlc_bench::{indent_json, results_dir};
 use smartvlc_link::SchemeKind;
+use smartvlc_obs as obs;
 use smartvlc_sim::static_run::{
     paper_levels, run_distance_matrix, run_incidence_matrix, run_scheme_matrix,
 };
@@ -25,6 +26,9 @@ struct Timing {
     parallel_s: f64,
     threads: usize,
     identical: bool,
+    /// Telemetry from the serial leg (byte-identical to the parallel
+    /// leg's — asserted in `measure`). Wall-clock timings stay out of it.
+    telemetry: obs::Snapshot,
 }
 
 /// The pre-optimisation per-symbol unrank walk (owned `BigUint`s, a fresh
@@ -77,15 +81,25 @@ fn measure<R: PartialEq>(
     work: impl Fn() -> R,
 ) -> Timing {
     std::env::set_var("SMARTVLC_THREADS", "1");
+    let serial_rec = obs::Recorder::new();
     let t0 = Instant::now();
-    let serial = work();
+    let serial = obs::with_recorder(&serial_rec, &work);
     let serial_s = t0.elapsed().as_secs_f64();
 
     std::env::set_var("SMARTVLC_THREADS", threads.to_string());
+    let parallel_rec = obs::Recorder::new();
     let t1 = Instant::now();
-    let parallel = work();
+    let parallel = obs::with_recorder(&parallel_rec, &work);
     let parallel_s = t1.elapsed().as_secs_f64();
     std::env::remove_var("SMARTVLC_THREADS");
+
+    let serial_snap = serial_rec.snapshot();
+    let parallel_snap = parallel_rec.snapshot();
+    assert_eq!(
+        serial_snap.to_json(),
+        parallel_snap.to_json(),
+        "{figure}: telemetry snapshot differs between 1 and {threads} thread(s)"
+    );
 
     Timing {
         figure,
@@ -94,13 +108,14 @@ fn measure<R: PartialEq>(
         parallel_s,
         threads,
         identical: serial == parallel,
+        telemetry: serial_snap,
     }
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Honor SMARTVLC_THREADS for the parallel leg (invalid values fail
+    // loudly); fall back to the machine's parallelism when unset.
+    let threads = smartvlc_sim::thread_count();
     let dur = SimDuration::millis(400);
     println!("runner wall-clock audit: serial vs {threads} thread(s), 0.4 s points\n");
 
@@ -238,6 +253,24 @@ fn main() {
     let path = results_dir().join("BENCH_runner.json");
     std::fs::write(&path, &json).expect("write BENCH_runner.json");
     println!("\nwrote {}", path.display());
+
+    // Telemetry goes to its own file: BENCH_runner.json carries wall-clock
+    // timings (legitimately nondeterministic), while this file holds only
+    // sim-time metrics and must be byte-identical at any SMARTVLC_THREADS
+    // (the CI telemetry-determinism job diffs it at 1 vs 8).
+    let mut tele = String::from("{\n");
+    for (i, t) in timings.iter().enumerate() {
+        tele.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            t.figure,
+            indent_json(&t.telemetry.to_json(), "  "),
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    tele.push_str("}\n");
+    let tele_path = results_dir().join("TELEMETRY_runner.json");
+    std::fs::write(&tele_path, &tele).expect("write TELEMETRY_runner.json");
+    println!("wrote {}", tele_path.display());
     if threads == 1 {
         println!("note: this machine exposes 1 CPU; speedups ~1.0x are expected here.");
         println!("      The determinism cross-check (identical: true) is the load-bearing result;");

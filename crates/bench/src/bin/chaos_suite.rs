@@ -10,7 +10,8 @@
 //! determinism contract, enforced on the chaos path every time this
 //! binary runs (CI diffs the same pair).
 
-use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_bench::{f, full_run, indent_json, results_dir};
+use smartvlc_obs as obs;
 use smartvlc_sim::chaos::ChaosSummary;
 use smartvlc_sim::report::markdown_table;
 use smartvlc_sim::run_chaos_suite;
@@ -24,7 +25,7 @@ fn json_escape(s: &str) -> String {
 /// Hand-rolled JSON (the workspace is fully offline — no serde_json):
 /// stable key order, fixed float formatting, so equal results mean equal
 /// bytes.
-fn to_json(summaries: &[ChaosSummary], replicates: usize) -> String {
+fn to_json(summaries: &[ChaosSummary], replicates: usize, telemetry: &obs::Snapshot) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"base_seed\": {BASE_SEED},\n"));
@@ -73,27 +74,47 @@ fn to_json(summaries: &[ChaosSummary], replicates: usize) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Telemetry block: deterministic by construction (sim-time stamps,
+    // submission-order merge), so it participates in the byte-diff gate.
+    out.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        indent_json(&telemetry.to_json(), "  ")
+    ));
+    out.push_str("}\n");
     out
 }
 
-fn run_at(threads: Option<usize>, replicates: usize) -> String {
+/// One full suite run under a fresh root recorder. Returns the JSON report
+/// (with embedded telemetry) and the telemetry CSV export.
+fn suite_report(replicates: usize) -> (String, String, Vec<ChaosSummary>) {
+    let rec = obs::Recorder::new();
+    let summaries = obs::with_recorder(&rec, || run_chaos_suite(replicates, BASE_SEED));
+    let snap = rec.snapshot();
+    (
+        to_json(&summaries, replicates, &snap),
+        snap.to_csv(),
+        summaries,
+    )
+}
+
+fn run_at(threads: Option<usize>, replicates: usize) -> (String, String) {
     let old = std::env::var("SMARTVLC_THREADS").ok();
     if let Some(n) = threads {
         std::env::set_var("SMARTVLC_THREADS", n.to_string());
     }
-    let json = to_json(&run_chaos_suite(replicates, BASE_SEED), replicates);
+    let (json, csv, _) = suite_report(replicates);
     match old {
         Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
         None => std::env::remove_var("SMARTVLC_THREADS"),
     }
-    json
+    (json, csv)
 }
 
 fn main() {
     let replicates = if full_run() { 5 } else { 2 };
 
-    let summaries = run_chaos_suite(replicates, BASE_SEED);
+    let (_, _, summaries) = suite_report(replicates);
     let mut rows = Vec::new();
     for s in &summaries {
         rows.push(vec![
@@ -125,16 +146,24 @@ fn main() {
         )
     );
 
-    // Determinism gate: the whole suite, serial vs 8-way, byte-identical.
-    let serial = run_at(Some(1), replicates);
-    let parallel = run_at(Some(8), replicates);
+    // Determinism gate: the whole suite — results AND telemetry — serial
+    // vs 8-way, byte-identical.
+    let (serial, serial_csv) = run_at(Some(1), replicates);
+    let (parallel, parallel_csv) = run_at(Some(8), replicates);
     assert_eq!(
         serial, parallel,
         "chaos suite differs between SMARTVLC_THREADS=1 and 8"
+    );
+    assert_eq!(
+        serial_csv, parallel_csv,
+        "chaos telemetry CSV differs between SMARTVLC_THREADS=1 and 8"
     );
     println!("determinism: SMARTVLC_THREADS=1 and 8 reports are byte-identical");
 
     let path = results_dir().join("BENCH_chaos.json");
     std::fs::write(&path, &serial).expect("write BENCH_chaos.json");
     println!("wrote {}", path.display());
+    let csv_path = results_dir().join("TELEMETRY_chaos.csv");
+    std::fs::write(&csv_path, &serial_csv).expect("write TELEMETRY_chaos.csv");
+    println!("wrote {}", csv_path.display());
 }

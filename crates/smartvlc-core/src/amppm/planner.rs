@@ -16,6 +16,7 @@ use super::super_symbol::SuperSymbol;
 use crate::config::SystemConfig;
 use crate::dimming::DimmingLevel;
 use combinat::BinomialTable;
+use smartvlc_obs as obs;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -189,8 +190,10 @@ impl AmppmPlanner {
             .expect("plan cache poisoned")
             .get(&(q, tier))
         {
+            obs::counter_add(obs::key!("core.planner.cache_hits"), 1);
             return Ok(*plan);
         }
+        obs::counter_add(obs::key!("core.planner.cache_misses"), 1);
         let tier_cfg = self.tier_config(tier);
         let shared = self.shared_for_tier(tier, &tier_cfg)?;
         let l = self.cfg.dequantize_dimming(q);

@@ -17,6 +17,7 @@ use crate::frame::format::{DescriptorError, Frame, FrameHeader, PatternDescripto
 use crate::modem::{DemodError, SlotModem};
 use crate::schemes::{AmppmModem, DarklightModem, MppmModem, OokCtModem, OppmModem, VppmModem};
 use crate::symbol::SymbolPattern;
+use smartvlc_obs as obs;
 use std::fmt;
 
 /// Number of preamble slots (3 bytes of alternating ON/OFF, Table 1).
@@ -221,6 +222,8 @@ impl FrameCodec {
         slots.extend(std::iter::repeat_n(comp_state, comp_len));
         slots.push(!comp_state); // sync edge
         slots.extend(payload_slots);
+        obs::counter_add(obs::key!("core.codec.emits"), 1);
+        obs::observe(obs::key!("core.codec.emit_slots"), slots.len() as u64);
         Ok(slots)
     }
 
@@ -298,6 +301,10 @@ impl FrameCodec {
             symbol_failures: dstats.symbol_failures,
             symbols: dstats.symbols,
         };
+        obs::counter_add(obs::key!("core.codec.parses"), 1);
+        if !crc_ok {
+            obs::counter_add(obs::key!("core.codec.crc_fail"), 1);
+        }
         Ok((
             Frame {
                 header,

@@ -19,9 +19,10 @@ use crate::uplink::UplinkMsg;
 use crate::uplink_vlc::{VlcUplink, VlcUplinkConfig};
 use desim::{DetRng, SimDuration, SimTime};
 use smartvlc_core::SystemConfig;
+use smartvlc_obs as obs;
 use std::collections::HashMap;
 use vlc_channel::ambient::AmbientProfile;
-use vlc_channel::faults::{FaultPlan, UplinkFaultState};
+use vlc_channel::faults::{ChannelFaultState, FaultPlan, UplinkFaultState};
 use vlc_channel::link::{ChannelConfig, OpticalChannel};
 use vlc_channel::shadowing::{ShadowingModel, ShadowingProcess};
 use vlc_hw::wifi::SideChannel;
@@ -275,13 +276,25 @@ impl LinkSimulation {
         let recovery_from = self.cfg.faults.last_downlink_fault_end();
         let mut first_clean_after_fault: Option<SimTime> = None;
         let mut resync_overruns = 0u64;
+        let mut fault_was_clear = true;
 
         while now < SimTime::ZERO + self.cfg.duration {
             // Chaos mode: replay the scheduled impairment state for this
             // instant onto the optical channel.
             if chaos {
-                self.channel
-                    .set_fault_state(self.cfg.faults.channel_state_at(now));
+                let st = self.cfg.faults.channel_state_at(now);
+                let clear = st == ChannelFaultState::CLEAR;
+                if clear != fault_was_clear {
+                    // Journal the transition edge (1 = fault onset,
+                    // 0 = fault cleared) at sim time.
+                    obs::event(
+                        now,
+                        obs::key!("link.run.fault_transition"),
+                        u64::from(!clear),
+                    );
+                    fault_was_clear = clear;
+                }
+                self.channel.set_fault_state(st);
             }
             // Sense ambient and adapt (Steps 1-2 of Fig. 2).
             if now >= next_sense {
@@ -441,6 +454,7 @@ impl LinkSimulation {
                             && recovery_from.is_some_and(|end| rx_done >= end)
                         {
                             first_clean_after_fault = Some(rx_done);
+                            obs::event(rx_done, obs::key!("link.run.first_clean_after_fault"), 1);
                         }
                         if let Some((hdr, body)) = MacHeader::decapsulate(&frame.payload) {
                             // ACK over the side channel (which the fault
@@ -473,6 +487,10 @@ impl LinkSimulation {
         }
 
         stats.adaptation_steps = self.tx.smart_adaptation.adjustments;
+        obs::counter_add(obs::key!("link.run.completed"), 1);
+        // Simulated (virtual-clock) run length — deterministic, unlike any
+        // wall-clock timing, so it is safe to snapshot.
+        obs::observe(obs::key!("link.run.sim_ns"), self.cfg.duration.as_nanos());
         let duration_s = self.cfg.duration.as_secs_f64();
         let recovery = RecoveryReport {
             sync_losses: self.rx.sync_losses,
@@ -493,7 +511,9 @@ impl LinkSimulation {
             tier_recoveries: self.tx.degrade.recoveries,
         };
         LinkReport {
-            mean_goodput_bps: stats.payload_bytes_acked as f64 * 8.0 / duration_s,
+            // Duration-aware mean: idle time after the last delivery counts
+            // as zero-throughput time (see ThroughputRecorder::mean_bps_over).
+            mean_goodput_bps: recorder.mean_bps_over(self.cfg.duration),
             // Drop a trailing partial bucket: its bits/s would read low
             // only because the run ended mid-second.
             throughput_bps: recorder

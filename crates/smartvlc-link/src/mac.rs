@@ -20,6 +20,7 @@
 
 use crate::error::LinkError;
 use desim::{DetRng, SimDuration, SimTime};
+use smartvlc_obs as obs;
 use std::collections::HashMap;
 
 /// The MAC header carried in the first bytes of every payload.
@@ -181,6 +182,7 @@ impl AckTracker {
             self.next_seq = self.next_seq.wrapping_add(1);
             if self.outstanding.contains_key(&seq) {
                 self.seq_collisions += 1;
+                obs::counter_add(obs::key!("link.mac.seq_collisions"), 1);
                 continue;
             }
             self.outstanding.insert(
@@ -214,6 +216,11 @@ impl AckTracker {
             o.retries += 1;
             o.sent_at = now;
             o.jitter = self.draw_jitter(o.retries);
+            obs::counter_add(obs::key!("link.mac.retries"), 1);
+            obs::observe(
+                obs::key!("link.mac.backoff_wait_ns"),
+                (self.backed_off_timeout(o.retries) + o.jitter).as_nanos(),
+            );
             self.outstanding.insert(seq, o);
         }
     }
@@ -222,7 +229,11 @@ impl AckTracker {
     /// first time a sequence is ACKed, `None` for duplicates/unknown.
     pub fn on_ack(&mut self, seq: u16) -> Option<usize> {
         self.acks_seen += 1;
-        let o = self.outstanding.remove(&seq)?;
+        obs::counter_add(obs::key!("link.mac.acks"), 1);
+        let Some(o) = self.outstanding.remove(&seq) else {
+            obs::counter_add(obs::key!("link.mac.dup_acks"), 1);
+            return None;
+        };
         self.retry_queue.retain(|&s| s != seq);
         self.bytes_acked += o.data_bytes as u64;
         if o.retries > 0 {
@@ -252,6 +263,8 @@ impl AckTracker {
             if retries >= max_retries {
                 self.outstanding.remove(&seq);
                 self.abandoned += 1;
+                obs::counter_add(obs::key!("link.mac.abandoned"), 1);
+                obs::event(now, obs::key!("link.mac.abandoned"), seq as u64);
                 scan.abandoned_seqs.push(seq);
             } else {
                 self.retry_queue.push(seq);

@@ -9,6 +9,8 @@
 //! §6.1 describes.
 
 use crate::error::LinkError;
+use smartvlc_obs as obs;
+
 use smartvlc_core::frame::codec::{
     FrameCodec, FrameCodecError, FrameStats, PREAMBLE_SLOTS, PREAMBLE_TOLERANCE, PREFIX_SLOTS,
 };
@@ -138,9 +140,11 @@ impl Receiver {
     /// threshold *and* the resync budget in the same call.
     fn note_scan(&mut self, n: u64) {
         self.slots_since_frame += n;
+        obs::counter_add(obs::key!("link.rx.scan_skips"), n);
         if self.status == SyncStatus::InSync && self.slots_since_frame >= self.sync_loss_after {
             self.status = SyncStatus::Hunting;
             self.sync_losses += 1;
+            obs::counter_add(obs::key!("link.rx.sync_losses"), 1);
             // Budget measured from the last frame, not from wherever the
             // scan happened to stand when loss was declared.
             self.next_overrun_at = self.sync_loss_after + self.resync_budget;
@@ -148,6 +152,7 @@ impl Receiver {
         if self.status == SyncStatus::Hunting && self.slots_since_frame >= self.next_overrun_at {
             self.overrun = Some(self.slots_since_frame);
             self.next_overrun_at = self.slots_since_frame + self.resync_budget;
+            obs::counter_add(obs::key!("link.rx.resync_overruns"), 1);
         }
     }
 
@@ -155,7 +160,13 @@ impl Receiver {
     fn note_frame(&mut self) {
         if self.status == SyncStatus::Hunting {
             self.last_resync_slots = Some(self.slots_since_frame);
+            // Resync search depth: slots hunted before a clean frame.
+            obs::observe(
+                obs::key!("link.rx.resync_depth_slots"),
+                self.slots_since_frame,
+            );
         }
+        obs::counter_add(obs::key!("link.rx.frames_ok"), 1);
         self.status = SyncStatus::InSync;
         self.slots_since_frame = 0;
         self.next_overrun_at = u64::MAX;

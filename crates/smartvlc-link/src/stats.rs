@@ -92,13 +92,23 @@ impl ThroughputRecorder {
             .collect()
     }
 
-    /// Mean throughput across all buckets.
-    pub fn mean_bps(&self) -> f64 {
-        if self.bits.is_empty() {
+    /// Total bits credited so far.
+    pub fn total_bits(&self) -> u64 {
+        self.bits.iter().sum()
+    }
+
+    /// Mean throughput over an explicit experiment duration.
+    ///
+    /// Dividing by the number of *recorded* buckets would silently ignore
+    /// idle time after the last delivery — a run whose traffic dies at 3 s
+    /// of a 10 s experiment would report the 3-bucket mean, inflating
+    /// Fig. 19(a)-style throughput. The caller must therefore supply the
+    /// run duration; trailing idle time counts as zero-throughput time.
+    pub fn mean_bps_over(&self, duration: SimDuration) -> f64 {
+        if duration.is_zero() {
             return 0.0;
         }
-        let total: u64 = self.bits.iter().sum();
-        total as f64 / (self.bits.len() as f64 * self.bucket.as_secs_f64())
+        self.total_bits() as f64 / duration.as_secs_f64()
     }
 }
 
@@ -141,14 +151,28 @@ mod tests {
     }
 
     #[test]
-    fn recorder_mean() {
+    fn recorder_mean_over_duration() {
         let mut r = ThroughputRecorder::new(SimDuration::secs(1));
         r.record(SimTime::from_millis(500), 3000);
         r.record(SimTime::from_millis(2500), 1000); // bucket 2; bucket 1 empty
-        assert!((r.mean_bps() - 4000.0 / 3.0).abs() < 1e-9);
+        assert!((r.mean_bps_over(SimDuration::secs(4)) - 1000.0).abs() < 1e-9);
+        assert_eq!(r.total_bits(), 4000);
+        assert_eq!(r.mean_bps_over(SimDuration::ZERO), 0.0);
         assert_eq!(
-            ThroughputRecorder::new(SimDuration::secs(1)).mean_bps(),
+            ThroughputRecorder::new(SimDuration::secs(1)).mean_bps_over(SimDuration::secs(5)),
             0.0
         );
+    }
+
+    #[test]
+    fn recorder_mean_counts_trailing_idle_time() {
+        // Regression: traffic dies at 3 s of a 10 s experiment. The old
+        // bucket-count mean reported 3000/3 s = 1000 bps (inflated); the
+        // duration-aware mean must spread the same bits over all 10 s.
+        let mut r = ThroughputRecorder::new(SimDuration::secs(1));
+        r.record(SimTime::from_millis(500), 1000);
+        r.record(SimTime::from_millis(1500), 1000);
+        r.record(SimTime::from_millis(2500), 1000);
+        assert!((r.mean_bps_over(SimDuration::secs(10)) - 300.0).abs() < 1e-9);
     }
 }

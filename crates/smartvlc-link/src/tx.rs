@@ -17,6 +17,7 @@ use smartvlc_core::dimming::IlluminationTarget;
 use smartvlc_core::frame::codec::{FrameCodec, FrameCodecError};
 use smartvlc_core::frame::format::{Frame, PatternDescriptor, MAX_PAYLOAD};
 use smartvlc_core::{DimmingLevel, SystemConfig, MAX_DEGRADE_TIER};
+use smartvlc_obs as obs;
 
 /// Which payload modulation the link runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,10 +156,14 @@ impl DegradeController {
             self.max_tier = self.max_tier.max(self.tier);
             self.escalations += 1;
             self.ema = Self::REARM;
+            obs::counter_add(obs::key!("link.tx.tier_escalations"), 1);
+            obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier as f64);
         } else if self.ema < Self::LOWER_BELOW && self.tier > 0 {
             self.tier -= 1;
             self.recoveries += 1;
             self.ema = Self::REARM;
+            obs::counter_add(obs::key!("link.tx.tier_recoveries"), 1);
+            obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier as f64);
         }
         self.tier
     }
@@ -268,6 +273,7 @@ impl Transmitter {
             max: MAX_PAYLOAD,
         })?;
         let slots = self.codec.emit(&frame)?;
+        obs::counter_add(obs::key!("link.tx.frames_built"), 1);
         Ok((frame, slots))
     }
 

@@ -1,0 +1,85 @@
+//! Interned static metric keys.
+//!
+//! A [`Key`] is a small index into a process-global table of `&'static str`
+//! names. Interning happens once per call site (see the [`key!`](crate::key)
+//! macro); after that, addressing a metric slot is a bounds-checked array
+//! index — no hashing, no string comparison on the hot path.
+
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Maximum number of distinct metric keys a process may intern.
+///
+/// Recorders preallocate one slot per possible key, so this bounds the
+/// per-recorder footprint (`MAX_KEYS` counters + gauges + histogram slots).
+pub const MAX_KEYS: usize = 256;
+
+/// An interned metric key: a dense index into the global name table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key(pub(crate) u16);
+
+fn table() -> &'static Mutex<Vec<&'static str>> {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl Key {
+    /// Interns `name`, returning the existing key if it was seen before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_KEYS`] distinct names are interned — that is
+    /// a programming error (keys are meant to be static call-site literals,
+    /// not dynamic strings).
+    pub fn intern(name: &'static str) -> Key {
+        let mut tab = table().lock().expect("obs key table poisoned");
+        if let Some(idx) = tab.iter().position(|n| *n == name) {
+            return Key(idx as u16);
+        }
+        assert!(
+            tab.len() < MAX_KEYS,
+            "smartvlc-obs: key table overflow (> {MAX_KEYS} keys) interning {name:?}"
+        );
+        tab.push(name);
+        Key((tab.len() - 1) as u16)
+    }
+
+    /// The static name this key was interned with.
+    pub fn name(self) -> &'static str {
+        let tab = table().lock().expect("obs key table poisoned");
+        tab[self.0 as usize]
+    }
+
+    /// The dense index of this key (always `< MAX_KEYS`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Key::intern("test.key.idempotent");
+        let b = Key::intern("test.key.idempotent");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "test.key.idempotent");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_keys() {
+        let a = Key::intern("test.key.distinct_a");
+        let b = Key::intern("test.key.distinct_b");
+        assert_ne!(a, b);
+        assert!(a.index() < MAX_KEYS && b.index() < MAX_KEYS);
+    }
+
+    #[test]
+    fn key_macro_caches_per_callsite() {
+        let a = crate::key!("test.key.macro");
+        let b = crate::key!("test.key.macro");
+        assert_eq!(a, b);
+    }
+}

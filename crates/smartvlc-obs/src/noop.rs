@@ -1,0 +1,143 @@
+//! No-op implementations used when the `telemetry` feature is disabled.
+//!
+//! Every item mirrors the real API's signatures with zero-sized types and
+//! empty inline bodies, so instrumented call sites compile unchanged and the
+//! optimizer erases them completely.
+
+use desim::SimTime;
+
+use crate::snapshot::Snapshot;
+
+/// Maximum number of distinct metric keys (unused in no-op mode).
+pub const MAX_KEYS: usize = 256;
+
+/// Number of histogram buckets (unused in no-op mode).
+pub const HIST_BUCKETS: usize = 65;
+
+/// Zero-sized stand-in for an interned metric key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Key;
+
+impl Key {
+    /// No-op intern: every name maps to the same zero-sized key.
+    #[inline]
+    pub fn intern(_name: &'static str) -> Key {
+        Key
+    }
+
+    /// No-op name accessor.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        ""
+    }
+
+    /// No-op index accessor.
+    #[inline]
+    pub fn index(self) -> usize {
+        0
+    }
+}
+
+/// Returns the histogram bucket index for `v` (shared math, kept so tests
+/// and callers behave identically in both modes).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Returns the smallest value that lands in bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Zero-sized stand-in for a metrics recorder: records nothing.
+#[derive(Clone, Copy, Default)]
+pub struct Recorder;
+
+impl Recorder {
+    /// Creates a no-op recorder.
+    #[inline]
+    pub fn new() -> Recorder {
+        Recorder
+    }
+
+    /// Creates a no-op recorder (capacity is ignored).
+    #[inline]
+    pub fn with_journal_capacity(_capacity: usize) -> Recorder {
+        Recorder
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn counter_add(&self, _key: Key, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn gauge_set(&self, _key: Key, _v: f64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn observe(&self, _key: Key, _v: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn event(&self, _t: SimTime, _key: Key, _value: u64) {}
+
+    /// Always zero.
+    #[inline]
+    pub fn events_dropped(&self) -> u64 {
+        0
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn merge_in(&self, _child: &Recorder) {}
+
+    /// Always the empty snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// Runs `f` directly; no recorder is installed in no-op mode.
+#[inline]
+pub fn with_recorder<R>(_rec: &Recorder, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// Always `None` in no-op mode.
+#[inline]
+pub fn current_recorder() -> Option<Recorder> {
+    None
+}
+
+/// No-op.
+#[inline]
+pub fn counter_add(_key: Key, _n: u64) {}
+
+/// No-op.
+#[inline]
+pub fn gauge_set(_key: Key, _v: f64) {}
+
+/// No-op.
+#[inline]
+pub fn observe(_key: Key, _v: u64) {}
+
+/// No-op.
+#[inline]
+pub fn event(_t: SimTime, _key: Key, _value: u64) {}

@@ -1,0 +1,391 @@
+//! The per-task metric accumulator: counters, gauges, histograms, journal.
+//!
+//! A [`Recorder`] is cheap to clone (it is an `Arc` over its storage) and is
+//! the unit of determinism: parallel runners hand each task a fresh recorder
+//! and merge them back **in submission order**, so the aggregate never
+//! depends on worker interleaving.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use desim::SimTime;
+
+use crate::key::{Key, MAX_KEYS};
+use crate::snapshot::{EventSnapshot, HistogramSnapshot, Snapshot};
+
+/// Number of buckets in a log2-scale histogram: bucket 0 holds zero values,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`, up to bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Default bound on the event journal ring buffer.
+const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// Returns the histogram bucket index for `v` (log2 scale).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Returns the smallest value that lands in bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Fixed-bucket log2 histogram. All cells are relaxed atomics: per-recorder
+/// totals are only read at snapshot/merge time, after the recording scope
+/// has been joined, so no ordering stronger than `Relaxed` is needed.
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A gauge cell: latest f64 bits plus a set-count so merges can tell
+/// "never written" apart from "written with the default value".
+struct Gauge {
+    bits: AtomicU64,
+    sets: AtomicU64,
+}
+
+/// One journal entry: a sim-time-stamped `(key, value)` pair.
+#[derive(Clone, Copy)]
+struct Event {
+    t: SimTime,
+    key: Key,
+    value: u64,
+}
+
+/// Bounded ring buffer of events with drop accounting (drop-oldest).
+struct Journal {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    fn push(&mut self, ev: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+}
+
+struct Inner {
+    counters: Box<[AtomicU64]>,
+    gauges: Box<[Gauge]>,
+    hists: Box<[OnceLock<Histogram>]>,
+    journal: Mutex<Journal>,
+}
+
+/// A metrics accumulator scoped to one task (or one whole experiment).
+///
+/// Cloning shares the underlying storage. See the crate docs for the
+/// determinism rules recorders are designed around.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder with the default journal capacity.
+    pub fn new() -> Recorder {
+        Recorder::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates an empty recorder whose event journal holds at most
+    /// `capacity` entries (older entries are dropped, and counted, first).
+    pub fn with_journal_capacity(capacity: usize) -> Recorder {
+        let counters: Vec<AtomicU64> = (0..MAX_KEYS).map(|_| AtomicU64::new(0)).collect();
+        let gauges: Vec<Gauge> = (0..MAX_KEYS)
+            .map(|_| Gauge {
+                bits: AtomicU64::new(0),
+                sets: AtomicU64::new(0),
+            })
+            .collect();
+        let hists: Vec<OnceLock<Histogram>> = (0..MAX_KEYS).map(|_| OnceLock::new()).collect();
+        Recorder {
+            inner: Arc::new(Inner {
+                counters: counters.into_boxed_slice(),
+                gauges: gauges.into_boxed_slice(),
+                hists: hists.into_boxed_slice(),
+                journal: Mutex::new(Journal {
+                    ring: VecDeque::with_capacity(capacity.min(1024)),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Adds `n` to the monotonic counter `key`. Hot path: one relaxed RMW.
+    #[inline]
+    pub fn counter_add(&self, key: Key, n: u64) {
+        self.inner.counters[key.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets gauge `key` to `v` (last write wins; merge order is submission
+    /// order, so "last" is deterministic).
+    #[inline]
+    pub fn gauge_set(&self, key: Key, v: f64) {
+        let g = &self.inner.gauges[key.index()];
+        g.bits.store(v.to_bits(), Ordering::Relaxed);
+        g.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `v` into the log2 histogram `key`.
+    #[inline]
+    pub fn observe(&self, key: Key, v: u64) {
+        self.inner.hists[key.index()]
+            .get_or_init(Histogram::new)
+            .observe(v);
+    }
+
+    /// Appends a sim-time-stamped event to the journal.
+    pub fn event(&self, t: SimTime, key: Key, value: u64) {
+        let mut j = self.inner.journal.lock().expect("obs journal poisoned");
+        j.push(Event { t, key, value });
+    }
+
+    /// Number of events dropped from the journal so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .journal
+            .lock()
+            .expect("obs journal poisoned")
+            .dropped
+    }
+
+    /// Folds `child` into `self`.
+    ///
+    /// Counters and histograms add; a gauge the child ever set overwrites
+    /// the parent's value; the child's journal is appended entry-by-entry
+    /// (subject to `self`'s capacity) and its drop count carries over.
+    /// Calling this for each task **in submission order** is what makes the
+    /// merged recorder independent of worker scheduling.
+    pub fn merge_in(&self, child: &Recorder) {
+        for i in 0..MAX_KEYS {
+            let n = child.inner.counters[i].load(Ordering::Relaxed);
+            if n != 0 {
+                self.inner.counters[i].fetch_add(n, Ordering::Relaxed);
+            }
+            let g = &child.inner.gauges[i];
+            let sets = g.sets.load(Ordering::Relaxed);
+            if sets != 0 {
+                let pg = &self.inner.gauges[i];
+                pg.bits
+                    .store(g.bits.load(Ordering::Relaxed), Ordering::Relaxed);
+                pg.sets.fetch_add(sets, Ordering::Relaxed);
+            }
+            if let Some(h) = child.inner.hists[i].get() {
+                let ph = self.inner.hists[i].get_or_init(Histogram::new);
+                for (b, cell) in h.buckets.iter().enumerate() {
+                    let v = cell.load(Ordering::Relaxed);
+                    if v != 0 {
+                        ph.buckets[b].fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+                ph.count
+                    .fetch_add(h.count.load(Ordering::Relaxed), Ordering::Relaxed);
+                ph.sum
+                    .fetch_add(h.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        let cj = child.inner.journal.lock().expect("obs journal poisoned");
+        let mut pj = self.inner.journal.lock().expect("obs journal poisoned");
+        pj.dropped += cj.dropped;
+        for ev in cj.ring.iter() {
+            pj.push(*ev);
+        }
+    }
+
+    /// Exports a deterministic, name-sorted snapshot of everything recorded.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut gauges: Vec<(String, f64)> = Vec::new();
+        let mut histograms: Vec<HistogramSnapshot> = Vec::new();
+        for i in 0..MAX_KEYS {
+            let key = Key(i as u16);
+            let c = self.inner.counters[i].load(Ordering::Relaxed);
+            if c != 0 {
+                counters.push((key.name().to_string(), c));
+            }
+            let g = &self.inner.gauges[i];
+            if g.sets.load(Ordering::Relaxed) != 0 {
+                gauges.push((
+                    key.name().to_string(),
+                    f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                ));
+            }
+            if let Some(h) = self.inner.hists[i].get() {
+                let buckets: Vec<(u32, u64)> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(b, cell)| {
+                        let v = cell.load(Ordering::Relaxed);
+                        (v != 0).then_some((b as u32, v))
+                    })
+                    .collect();
+                histograms.push(HistogramSnapshot {
+                    name: key.name().to_string(),
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed),
+                    buckets,
+                });
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let j = self.inner.journal.lock().expect("obs journal poisoned");
+        let events: Vec<EventSnapshot> = j
+            .ring
+            .iter()
+            .map(|ev| EventSnapshot {
+                t_ns: ev.t.as_nanos(),
+                key: ev.key.name().to_string(),
+                value: ev.value,
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped: j.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..HIST_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_of(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_of(lo - 1), i - 1, "below bucket {i}");
+        }
+    }
+
+    #[test]
+    fn journal_overflow_drops_oldest_and_counts() {
+        let rec = Recorder::with_journal_capacity(4);
+        let k = Key::intern("test.reg.journal_overflow");
+        for v in 0..10u64 {
+            rec.event(SimTime::from_nanos(v), k, v);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.events_dropped, 6);
+        assert_eq!(snap.events.len(), 4);
+        let kept: Vec<u64> = snap.events.iter().map(|e| e.value).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_hists_and_overwrites_gauges() {
+        let parent = Recorder::new();
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let kc = Key::intern("test.reg.merge_counter");
+        let kg = Key::intern("test.reg.merge_gauge");
+        let kh = Key::intern("test.reg.merge_hist");
+        a.counter_add(kc, 2);
+        b.counter_add(kc, 5);
+        a.gauge_set(kg, 1.5);
+        b.gauge_set(kg, 2.5);
+        a.observe(kh, 3);
+        b.observe(kh, 1024);
+        parent.merge_in(&a);
+        parent.merge_in(&b);
+        let snap = parent.snapshot();
+        assert!(snap
+            .counters
+            .contains(&("test.reg.merge_counter".into(), 7)));
+        assert!(snap.gauges.contains(&("test.reg.merge_gauge".into(), 2.5)));
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.reg.merge_hist")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1027);
+        assert_eq!(h.buckets, vec![(2, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn gauge_unset_in_child_does_not_clobber_parent() {
+        let parent = Recorder::new();
+        let kg = Key::intern("test.reg.gauge_keep");
+        parent.gauge_set(kg, 9.0);
+        let child = Recorder::new();
+        parent.merge_in(&child);
+        let snap = parent.snapshot();
+        assert!(snap.gauges.contains(&("test.reg.gauge_keep".into(), 9.0)));
+    }
+
+    #[test]
+    fn merge_carries_journal_drops() {
+        let parent = Recorder::with_journal_capacity(2);
+        let child = Recorder::with_journal_capacity(2);
+        let k = Key::intern("test.reg.merge_drops");
+        for v in 0..5u64 {
+            child.event(SimTime::from_nanos(v), k, v);
+        }
+        parent.event(SimTime::ZERO, k, 100);
+        parent.merge_in(&child);
+        // child dropped 3; merging its 2 survivors into a cap-2 parent that
+        // already held 1 entry drops 1 more.
+        assert_eq!(parent.events_dropped(), 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Thread-local recorder scoping.
+//!
+//! Instrumented library code never sees a recorder directly: it calls the
+//! free functions here, which route to the innermost recorder installed on
+//! this thread by [`with_recorder`] — or do nothing when none is installed.
+//! This is what lets deep library crates stay recorder-agnostic while
+//! parallel runners swap per-task recorders in and out around each task.
+
+use std::cell::RefCell;
+
+use desim::SimTime;
+
+use crate::key::Key;
+use crate::registry::Recorder;
+
+thread_local! {
+    static STACK: RefCell<Vec<Recorder>> = const { RefCell::new(Vec::new()) };
+}
+
+struct PopGuard;
+
+impl Drop for PopGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `rec` installed as this thread's innermost recorder.
+///
+/// Scopes nest: the innermost recorder wins. The recorder is popped even if
+/// `f` panics.
+pub fn with_recorder<R>(rec: &Recorder, f: impl FnOnce() -> R) -> R {
+    STACK.with(|s| s.borrow_mut().push(rec.clone()));
+    let _guard = PopGuard;
+    f()
+}
+
+/// Returns a handle to this thread's innermost recorder, if any.
+pub fn current_recorder() -> Option<Recorder> {
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// Adds `n` to counter `key` on the innermost recorder (no-op if none).
+#[inline]
+pub fn counter_add(key: Key, n: u64) {
+    STACK.with(|s| {
+        if let Some(rec) = s.borrow().last() {
+            rec.counter_add(key, n);
+        }
+    });
+}
+
+/// Sets gauge `key` to `v` on the innermost recorder (no-op if none).
+#[inline]
+pub fn gauge_set(key: Key, v: f64) {
+    STACK.with(|s| {
+        if let Some(rec) = s.borrow().last() {
+            rec.gauge_set(key, v);
+        }
+    });
+}
+
+/// Records `v` into histogram `key` on the innermost recorder (no-op if none).
+#[inline]
+pub fn observe(key: Key, v: u64) {
+    STACK.with(|s| {
+        if let Some(rec) = s.borrow().last() {
+            rec.observe(key, v);
+        }
+    });
+}
+
+/// Journals a sim-time event on the innermost recorder (no-op if none).
+#[inline]
+pub fn event(t: SimTime, key: Key, value: u64) {
+    STACK.with(|s| {
+        if let Some(rec) = s.borrow().last() {
+            rec.event(t, key, value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_fns_are_noops_without_a_scope() {
+        // Must not panic or record anywhere.
+        counter_add(Key::intern("test.scope.unscoped"), 1);
+        assert!(current_recorder().is_none());
+    }
+
+    #[test]
+    fn innermost_recorder_wins() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        let k = Key::intern("test.scope.nested");
+        with_recorder(&outer, || {
+            counter_add(k, 1);
+            with_recorder(&inner, || {
+                counter_add(k, 10);
+            });
+            counter_add(k, 2);
+        });
+        let so = outer.snapshot();
+        let si = inner.snapshot();
+        assert!(so.counters.contains(&("test.scope.nested".into(), 3)));
+        assert!(si.counters.contains(&("test.scope.nested".into(), 10)));
+    }
+
+    #[test]
+    fn scope_pops_on_panic() {
+        let rec = Recorder::new();
+        let result = std::panic::catch_unwind(|| {
+            with_recorder(&rec, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(current_recorder().is_none());
+    }
+}

@@ -17,6 +17,7 @@ use crate::runner::{par_sweep, TaskId};
 use desim::{SimDuration, SimTime};
 use smartvlc_link::link::RecoveryReport;
 use smartvlc_link::{LinkConfig, LinkReport, LinkSimulation, SchemeKind};
+use smartvlc_obs as obs;
 use vlc_channel::ambient::ConstantAmbient;
 use vlc_channel::faults::{FaultEvent, FaultKind, FaultPlan};
 
@@ -189,6 +190,7 @@ fn run_once(seed: u64, plan: FaultPlan) -> LinkReport {
 
 /// Run one scenario replicate: faulted + control, both from `seed`.
 pub fn run_chaos_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosOutcome {
+    obs::counter_add(obs::key!("sim.chaos.replicates"), 1);
     let faulted = run_once(seed, scenario.plan());
     let control = run_once(seed, FaultPlan::default());
     let goodput_retained = if control.mean_goodput_bps <= 0.0 {

@@ -51,7 +51,10 @@ pub use daylong::{run_day, DayReport};
 pub use dynamic_run::{run_dynamic, DynamicOutcome};
 pub use energy::{energy_from_trace, EnergyReport};
 pub use perception::{StudyCondition, UserStudy, Viewing};
-pub use runner::{par_map, par_sweep, par_sweep_summaries, task_rng, task_seed, TaskId};
+pub use runner::{
+    par_map, par_sweep, par_sweep_summaries, parse_thread_count, task_rng, task_seed, thread_count,
+    TaskId,
+};
 pub use static_run::{
     run_distance_matrix, run_distance_sweep, run_incidence_matrix, run_incidence_sweep,
     run_scheme_comparison, run_scheme_matrix, StaticPoint,

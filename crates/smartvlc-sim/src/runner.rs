@@ -32,13 +32,48 @@
 
 use crate::stats_util::{try_summarize, Summary};
 use desim::DetRng;
+use smartvlc_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Worker threads to use: `SMARTVLC_THREADS` if set (clamped to ≥ 1),
-/// otherwise the machine's available parallelism.
+/// Parses a raw `SMARTVLC_THREADS` value into a worker count.
+///
+/// Leading/trailing whitespace is tolerated; anything else that is not a
+/// positive decimal integer (`abc`, `0x8`, `-3`, empty, `0`) is rejected
+/// with an error naming the offending value — a typo must fail loudly, not
+/// silently serialize every sweep.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(
+            "SMARTVLC_THREADS is set but empty/whitespace; expected a positive decimal integer"
+                .to_string(),
+        );
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "SMARTVLC_THREADS={trimmed:?} is zero; expected a positive decimal integer"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SMARTVLC_THREADS={trimmed:?} is not a positive decimal integer \
+             (hex like \"0x8\" is not accepted)"
+        )),
+    }
+}
+
+/// Worker threads to use: `SMARTVLC_THREADS` if set, otherwise the
+/// machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics with a message naming the bad value if `SMARTVLC_THREADS` is set
+/// but is not a positive decimal integer (see [`parse_thread_count`]).
 pub fn thread_count() -> usize {
     match std::env::var("SMARTVLC_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Ok(v) => match parse_thread_count(&v) {
+            Ok(n) => n,
+            Err(msg) => panic!("{msg}"),
+        },
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -76,12 +111,47 @@ where
     R: Send,
     F: Fn(usize, &P) -> R + Sync,
 {
+    /// One task's result plus the child recorder its telemetry went into.
+    type TaskOutput<R> = (R, Option<obs::Recorder>);
+
+    // Telemetry determinism: if the calling thread has a recorder in scope,
+    // each task records into its own child recorder, and children are merged
+    // into the parent in submission (task-index) order — never into a shared
+    // registry from racing workers. The serial and parallel paths therefore
+    // produce identical merged telemetry.
+    let parent = obs::current_recorder();
+    let run_task = |i: usize, p: &P| -> TaskOutput<R> {
+        if parent.is_some() {
+            let child = obs::Recorder::new();
+            let r = obs::with_recorder(&child, || {
+                obs::counter_add(obs::key!("sim.runner.tasks"), 1);
+                f(i, p)
+            });
+            (r, Some(child))
+        } else {
+            (f(i, p), None)
+        }
+    };
+    let merge = |parent: &Option<obs::Recorder>, child: Option<obs::Recorder>| {
+        if let (Some(parent), Some(child)) = (parent.as_ref(), child) {
+            parent.merge_in(&child);
+        }
+    };
+
     let threads = thread_count().min(points.len().max(1));
     if threads <= 1 {
-        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        return points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (r, child) = run_task(i, p);
+                merge(&parent, child);
+                r
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, R)>> = crossbeam::scope(|s| {
+    let mut per_worker: Vec<Vec<(usize, TaskOutput<R>)>> = crossbeam::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|_| {
@@ -91,7 +161,7 @@ where
                         if i >= points.len() {
                             break;
                         }
-                        local.push((i, f(i, &points[i])));
+                        local.push((i, run_task(i, &points[i])));
                     }
                     local
                 })
@@ -104,11 +174,17 @@ where
     })
     .expect("runner scope panicked");
 
-    // Reassemble in submission order.
-    let mut tagged: Vec<(usize, R)> = per_worker.drain(..).flatten().collect();
+    // Reassemble in submission order; merge telemetry in the same order.
+    let mut tagged: Vec<(usize, TaskOutput<R>)> = per_worker.drain(..).flatten().collect();
     tagged.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), points.len());
-    tagged.into_iter().map(|(_, r)| r).collect()
+    tagged
+        .into_iter()
+        .map(|(_, (r, child))| {
+            merge(&parent, child);
+            r
+        })
+        .collect()
 }
 
 /// One cell of a sweep × seed fan-out: which point, which replicate.
@@ -174,19 +250,25 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// Run `f` with `SMARTVLC_THREADS` pinned to `n`, serializing access
-    /// to the process-global env var across the test binary.
-    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    /// Run `f` with `SMARTVLC_THREADS` pinned to the raw string `raw`,
+    /// serializing access to the process-global env var across the test
+    /// binary.
+    fn with_threads_raw<R>(raw: &str, f: impl FnOnce() -> R) -> R {
         static ENV_LOCK: Mutex<()> = Mutex::new(());
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let old = std::env::var("SMARTVLC_THREADS").ok();
-        std::env::set_var("SMARTVLC_THREADS", n.to_string());
+        std::env::set_var("SMARTVLC_THREADS", raw);
         let out = f();
         match old {
             Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
             None => std::env::remove_var("SMARTVLC_THREADS"),
         }
         out
+    }
+
+    /// Run `f` with `SMARTVLC_THREADS` pinned to `n`.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        with_threads_raw(&n.to_string(), f)
     }
 
     #[test]
@@ -274,7 +356,90 @@ mod tests {
     fn thread_count_respects_env() {
         assert_eq!(with_threads(3, thread_count), 3);
         assert_eq!(with_threads(1, thread_count), 1);
-        // Garbage or zero falls back to 1, never 0.
+        // Surrounding whitespace around a valid integer is tolerated.
+        assert_eq!(with_threads_raw("  4 ", thread_count), 4);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parse_thread_count_accepts_positive_integers() {
+        assert_eq!(parse_thread_count("1"), Ok(1));
+        assert_eq!(parse_thread_count("8"), Ok(8));
+        assert_eq!(parse_thread_count(" 16\n"), Ok(16));
+    }
+
+    #[test]
+    fn parse_thread_count_rejects_invalid_empty_and_whitespace() {
+        for bad in ["abc", "0x8", "-3", "1.5", "8 workers", "0", "", "   ", "\t"] {
+            let err = parse_thread_count(bad)
+                .expect_err(&format!("value {bad:?} must be rejected, not mapped to 1"));
+            assert!(
+                err.contains("SMARTVLC_THREADS"),
+                "error names the variable: {err}"
+            );
+            let trimmed = bad.trim();
+            if !trimmed.is_empty() {
+                assert!(
+                    err.contains(trimmed),
+                    "error names the bad value {trimmed:?}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_panics_on_invalid_env() {
+        for bad in ["abc", "0x8", "0", ""] {
+            let caught = with_threads_raw(bad, || std::panic::catch_unwind(thread_count));
+            let payload = caught.expect_err(&format!("SMARTVLC_THREADS={bad:?} must panic"));
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("SMARTVLC_THREADS"),
+                "panic names the variable: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_merges_task_telemetry_in_submission_order() {
+        let points: Vec<u64> = (0..24).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let rec = obs::Recorder::new();
+                let out = obs::with_recorder(&rec, || {
+                    par_map(&points, |i, &p| {
+                        obs::counter_add(obs::key!("test.runner.work"), p + 1);
+                        obs::event(
+                            desim::SimTime::from_nanos(p * 10),
+                            obs::key!("test.runner.ev"),
+                            i as u64,
+                        );
+                        p
+                    })
+                });
+                (out, rec.snapshot())
+            })
+        };
+        let (out1, snap1) = run(1);
+        let (out8, snap8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(snap1, snap8, "telemetry must not depend on thread count");
+        assert_eq!(snap1.to_json(), snap8.to_json());
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(snap1
+                .counters
+                .contains(&("sim.runner.tasks".to_string(), 24)));
+            assert!(snap1
+                .counters
+                .contains(&("test.runner.work".to_string(), (1..=24).sum::<u64>())));
+            // Events arrive in submission order even at 8 threads.
+            let order: Vec<u64> = snap8.events.iter().map(|e| e.value).collect();
+            assert_eq!(order, (0..24).collect::<Vec<u64>>());
+        }
     }
 }

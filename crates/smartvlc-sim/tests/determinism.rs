@@ -159,7 +159,84 @@ fn chaos_suite_is_bit_identical_across_thread_counts() {
     assert_eq!(run(8), serial, "8 threads diverged from serial");
 }
 
+#[test]
+fn chaos_telemetry_snapshot_is_byte_identical_across_thread_counts() {
+    // The tentpole property: a telemetry snapshot (counters, gauges,
+    // histograms, journal) serializes to the same bytes at any thread
+    // count, because per-task recorders are merged in submission order.
+    use smartvlc_obs as obs;
+    let run = |n: usize| {
+        with_threads(n, || {
+            let rec = obs::Recorder::new();
+            let out = obs::with_recorder(&rec, || {
+                smartvlc_sim::run_chaos_suite(2, 77)
+                    .iter()
+                    .flat_map(|s| s.outcomes.iter().map(|o| o.goodput_bps.to_bits()))
+                    .collect::<Vec<_>>()
+            });
+            (out, rec.snapshot())
+        })
+    };
+    let (out1, snap1) = run(1);
+    let (out8, snap8) = run(8);
+    assert_eq!(out1, out8);
+    assert_eq!(
+        snap1.to_json(),
+        snap8.to_json(),
+        "telemetry JSON differs between 1 and 8 threads"
+    );
+    assert_eq!(snap1.to_csv(), snap8.to_csv());
+    #[cfg(feature = "telemetry")]
+    assert!(
+        !snap1.is_empty(),
+        "telemetry feature is on but the chaos suite recorded nothing"
+    );
+}
+
+#[test]
+fn telemetry_scope_does_not_perturb_results() {
+    // Enabling telemetry must change no experiment result: the same sweep
+    // with and without a recorder in scope is bit-identical.
+    use smartvlc_obs as obs;
+    let schemes = [SchemeKind::Amppm];
+    let levels = [0.3, 0.6];
+    let dur = SimDuration::millis(150);
+    let bare = with_threads(2, || {
+        fingerprint(&run_scheme_matrix(&schemes, &levels, dur, 15))
+    });
+    let rec = obs::Recorder::new();
+    let scoped = with_threads(2, || {
+        obs::with_recorder(&rec, || {
+            fingerprint(&run_scheme_matrix(&schemes, &levels, dur, 15))
+        })
+    });
+    assert_eq!(
+        bare, scoped,
+        "recording telemetry changed experiment results"
+    );
+}
+
 proptest! {
+    /// Recording telemetry must never change what an experiment returns,
+    /// across seeds and replicate counts (the runtime analog of the
+    /// `telemetry`-feature on/off bit-identity, which CI checks by running
+    /// this whole suite with `--no-default-features` too).
+    #[test]
+    fn telemetry_never_perturbs_sweeps(base in 0u64..10_000, reps in 1usize..3) {
+        use smartvlc_obs as obs;
+        let points = [0u8; 3];
+        let task = |_: &u8, id: smartvlc_sim::TaskId| {
+            let mut rng = task_rng(id.seed, 0);
+            (0..50).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+        };
+        let bare = with_threads(4, || par_sweep(&points, reps, base, task));
+        let rec = obs::Recorder::new();
+        let scoped = with_threads(4, || {
+            obs::with_recorder(&rec, || par_sweep(&points, reps, base, task))
+        });
+        prop_assert_eq!(bare, scoped);
+    }
+
     /// Distinct `(seed, point_id)` tuples must yield distinct streams —
     /// checked on the first two draws, over arbitrary tuples.
     #[test]

@@ -22,6 +22,7 @@ use crate::optics::LambertianLink;
 use crate::photodiode::Photodiode;
 use desim::{DetRng, SimTime};
 use serde::{Deserialize, Serialize};
+use smartvlc_obs as obs;
 
 /// All channel parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -98,11 +99,16 @@ impl OpticalChannel {
     /// configured ambient and the blockage gain; call with
     /// [`ChannelFaultState::CLEAR`] (or [`Self::clear_faults`]) to restore.
     pub fn set_fault_state(&mut self, st: ChannelFaultState) {
-        self.fault = ChannelFaultState {
+        let next = ChannelFaultState {
             extra_ambient_lux: st.extra_ambient_lux.max(0.0),
             gain: st.gain.clamp(0.0, 1.0),
             saturated: st.saturated,
         };
+        // A clear→impaired transition is one fault activation.
+        if self.fault == ChannelFaultState::CLEAR && next != ChannelFaultState::CLEAR {
+            obs::counter_add(obs::key!("channel.fault.activations"), 1);
+        }
+        self.fault = next;
     }
 
     /// Remove all injected impairments.
