@@ -1,0 +1,92 @@
+//! Cell suite: the multi-luminaire room under mobile load.
+//!
+//! Runs the grid-size × user-count battery from `smartvlc_sim::cell`
+//! (2×2 / 3×3 / 4×4 ceiling grids, each serving 2 / 6 / 12 waypoint
+//! users), prints the aggregate-goodput and handover tables, and writes
+//! the curves as JSON to `results/BENCH_cell.json` plus the telemetry
+//! export to `results/TELEMETRY_cell.csv`.
+//!
+//! The suite then re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
+//! verifies the two reports are byte-identical — the runner's
+//! determinism contract, enforced on the cell path every time this
+//! binary runs (CI diffs the same pair).
+
+use smartvlc_bench::{f, full_run, results_dir};
+use smartvlc_sim::cell::{cell_suite_artifacts, CellSuiteSummary};
+use smartvlc_sim::report::markdown_table;
+
+const BASE_SEED: u64 = 0xce11_5eed;
+
+fn run_at(threads: Option<usize>, replicates: usize) -> (String, String, Vec<CellSuiteSummary>) {
+    let old = std::env::var("SMARTVLC_THREADS").ok();
+    if let Some(n) = threads {
+        std::env::set_var("SMARTVLC_THREADS", n.to_string());
+    }
+    let out = cell_suite_artifacts(replicates, BASE_SEED);
+    match old {
+        Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
+        None => std::env::remove_var("SMARTVLC_THREADS"),
+    }
+    out
+}
+
+fn main() {
+    let replicates = if full_run() { 5 } else { 2 };
+
+    // Determinism gate first: the serial run both feeds the tables and
+    // becomes the written artifact, so what we print is what we checked.
+    let (serial, serial_csv, summaries) = run_at(Some(1), replicates);
+    let (parallel, parallel_csv, _) = run_at(Some(8), replicates);
+    assert_eq!(
+        serial, parallel,
+        "cell suite differs between SMARTVLC_THREADS=1 and 8"
+    );
+    assert_eq!(
+        serial_csv, parallel_csv,
+        "cell telemetry CSV differs between SMARTVLC_THREADS=1 and 8"
+    );
+
+    let mut rows = Vec::new();
+    for s in &summaries {
+        rows.push(vec![
+            s.scenario.name.clone(),
+            format!("{}x{}", s.scenario.nx, s.scenario.ny),
+            s.scenario.n_users.to_string(),
+            f(s.mean_aggregate_goodput_bps / 1000.0, 1),
+            f(s.mean_per_user_goodput_bps / 1000.0, 1),
+            s.handovers.to_string(),
+            f(s.handover_rate_per_user_min, 2),
+            s.mean_handover_latency_s
+                .map_or("-".into(), |v| f(v * 1000.0, 0)),
+            f(s.outage_fraction * 100.0, 2),
+            f(s.interference_limited_fraction * 100.0, 1),
+        ]);
+    }
+    println!("# Cell suite — multi-luminaire room under mobile load\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scenario",
+                "grid",
+                "users",
+                "aggregate kbit/s",
+                "per-user kbit/s",
+                "handovers",
+                "HO/user/min",
+                "HO latency ms",
+                "outage %",
+                "interf-limited %",
+            ],
+            &rows,
+        )
+    );
+    println!("determinism: SMARTVLC_THREADS=1 and 8 reports are byte-identical");
+
+    let path = results_dir().join("BENCH_cell.json");
+    std::fs::write(&path, &serial).expect("write BENCH_cell.json");
+    println!("wrote {}", path.display());
+    let csv_path = results_dir().join("TELEMETRY_cell.csv");
+    std::fs::write(&csv_path, &serial_csv).expect("write TELEMETRY_cell.csv");
+    println!("wrote {}", csv_path.display());
+}

@@ -25,6 +25,23 @@
 //!   plus an exhaustive-enumeration reference used by the property tests.
 //!
 //! The crate is dependency-free and `forbid(unsafe_code)`.
+//!
+//! # Example
+//!
+//! Round-trip a data word through Algorithm 1 (unrank) and Algorithm 2
+//! (rank) at the paper's S(21,11) operating point:
+//!
+//! ```
+//! use combinat::{decode_codeword, encode_codeword, BigUint, BinomialTable};
+//!
+//! let table = BinomialTable::new(21);
+//! let value = BigUint::from_u64(123_456);
+//! let codeword = encode_codeword(&table, 21, 11, &value).unwrap();
+//! // Constant weight: exactly 11 of the 21 slots are ON …
+//! assert_eq!(codeword.iter().filter(|&&b| b).count(), 11);
+//! // … and ranking the codeword recovers the exact data word.
+//! assert_eq!(decode_codeword(&table, 21, 11, &codeword).unwrap(), value);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -25,6 +25,25 @@
 //! everything physical (noise, distance, sampling) lives in the
 //! `vlc-channel` and `vlc-hw` substrate crates, and the end-to-end link in
 //! `smartvlc-link`.
+//!
+//! # Example
+//!
+//! Ask the §4.2 planner for the throughput-optimal AMPPM super-symbol at
+//! a dimming level — the core operation every transmitter tick performs:
+//!
+//! ```
+//! use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
+//!
+//! let planner = AmppmPlanner::new(SystemConfig::default()).expect("valid config");
+//! let plan = planner
+//!     .plan_clamped(DimmingLevel::clamped(0.5))
+//!     .expect("mid-range dimming is always plannable");
+//! // Mid-range dimming is AMPPM's sweet spot: plenty of both ON and OFF
+//! // slots to permute, so the planned rate is far above zero …
+//! assert!(plan.rate_bps > 10_000.0);
+//! // … and the emitted pattern really dims to ~50%.
+//! assert!((plan.achieved.value() - 0.5).abs() < 0.05);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

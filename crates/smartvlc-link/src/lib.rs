@@ -20,6 +20,24 @@
 //! * [`link`] — [`link::LinkSimulation`]: the whole system against a
 //!   scenario (geometry, ambient profile, scheme, duration), producing a
 //!   [`link::LinkReport`].
+//!
+//! # Example
+//!
+//! Fly a short AMPPM link at the paper's bench geometry under constant
+//! office ambient and read the goodput off the report:
+//!
+//! ```
+//! use desim::SimDuration;
+//! use smartvlc_link::{LinkConfig, LinkSimulation, SchemeKind};
+//! use vlc_channel::ambient::ConstantAmbient;
+//!
+//! let mut cfg = LinkConfig::paper_static(2.0, SchemeKind::Amppm, 7);
+//! cfg.duration = SimDuration::millis(60);
+//! let mut sim = LinkSimulation::new(cfg).expect("valid config");
+//! let report = sim.run(&mut ConstantAmbient { lux: 4000.0 });
+//! // 2 m is comfortably inside the Fig. 16 range: frames flow.
+//! assert!(report.mean_goodput_bps > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

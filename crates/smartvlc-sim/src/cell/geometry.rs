@@ -1,0 +1,376 @@
+//! Room and ceiling-grid geometry for the multi-luminaire workload.
+//!
+//! The single-link experiments aim a narrow retail spot at a bench-mounted
+//! photodiode; the smart-lighting deployment the paper targets is the
+//! opposite: a ceiling grid of *wide-beam* luminaires covering a room of
+//! moving users. This module maps that 3-D layout onto the existing
+//! [`LambertianLink`] model: a luminaire points straight down, a receiver
+//! points straight up, so the emission angle at the luminaire equals the
+//! incidence angle at the photodiode — exactly the single `off_axis_deg`
+//! the Lambertian model applies to both cosine terms.
+//!
+//! ```text
+//! ceiling   ●lum───────r───────┐
+//!                      \       │ drop
+//!                       \ d    │
+//! rx plane ──────────────▣user─┘      d = √(r² + drop²),  θ = atan(r/drop)
+//! ```
+//!
+//! Co-channel interference rides the same path: every *other* luminaire's
+//! light reaches the receiver through its own [`LambertianLink`] and the
+//! photodiode's responsivity, and shows up as extra photocurrent at the
+//! slot detector (see [`interference_sigma_a`]).
+
+use serde::{Deserialize, Serialize};
+use vlc_channel::link::ChannelConfig;
+use vlc_channel::optics::LambertianLink;
+
+/// A point on the receiver plane (or the ceiling), metres.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Distance along the room's width axis, m.
+    pub x_m: f64,
+    /// Distance along the room's depth axis, m.
+    pub y_m: f64,
+}
+
+impl Position {
+    /// Horizontal distance to another position, m.
+    pub fn horizontal_distance(&self, other: &Position) -> f64 {
+        (self.x_m - other.x_m).hypot(self.y_m - other.y_m)
+    }
+}
+
+/// The room: a rectangular floor plan with luminaires on the ceiling and
+/// receivers carried at desk/hand height.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RoomGeometry {
+    /// Room extent along x, m.
+    pub width_m: f64,
+    /// Room extent along y, m.
+    pub depth_m: f64,
+    /// Vertical drop from the luminaire plane to the receiver plane, m
+    /// (ceiling height minus receiver height).
+    pub drop_m: f64,
+}
+
+impl RoomGeometry {
+    /// A room sized for an `nx × ny` luminaire grid at `pitch_m` spacing
+    /// (one grid cell per luminaire), with the standard office drop:
+    /// 3 m ceiling, receivers carried at 0.8 m.
+    pub fn for_grid(nx: usize, ny: usize, pitch_m: f64) -> RoomGeometry {
+        RoomGeometry {
+            width_m: nx as f64 * pitch_m,
+            depth_m: ny as f64 * pitch_m,
+            drop_m: 2.2,
+        }
+    }
+
+    /// Clamp a position into the room.
+    pub fn clamp(&self, p: Position) -> Position {
+        Position {
+            x_m: p.x_m.clamp(0.0, self.width_m),
+            y_m: p.y_m.clamp(0.0, self.depth_m),
+        }
+    }
+}
+
+/// One ceiling luminaire: a wide-beam panel running its own SmartVLC
+/// transmitter stack.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Luminaire {
+    /// Dense cell index (row-major over the grid).
+    pub id: usize,
+    /// Ceiling position.
+    pub pos: Position,
+}
+
+/// Lay out an `nx × ny` grid of luminaires centred in their grid cells.
+pub fn ceiling_grid(room: &RoomGeometry, nx: usize, ny: usize) -> Vec<Luminaire> {
+    assert!(nx >= 1 && ny >= 1, "grid must have at least one luminaire");
+    let dx = room.width_m / nx as f64;
+    let dy = room.depth_m / ny as f64;
+    let mut out = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            out.push(Luminaire {
+                id: j * nx + i,
+                pos: Position {
+                    x_m: (i as f64 + 0.5) * dx,
+                    y_m: (j as f64 + 0.5) * dy,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Optical parameters of one cell downlink (as opposed to the paper's
+/// narrow bench spot).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CellOptics {
+    /// Luminaire half-power semi-angle, degrees. Ceiling panels are wide
+    /// (≈ 45°, Lambertian mode m ≈ 2), not the bench's 15° spot.
+    pub semi_angle_deg: f64,
+    /// Receiver field of view (half-angle), degrees. A handheld receiver
+    /// looks straight up with a generous acceptance cone.
+    pub rx_fov_deg: f64,
+    /// Luminaire full-drive optical power, W. A ceiling panel is an array
+    /// of the paper's LEDs — an order of magnitude above the 1.4 W bench
+    /// emitter.
+    pub tx_optical_w: f64,
+}
+
+impl CellOptics {
+    /// The default ceiling panel: 45° semi-angle, 70° receiver FoV, 11 W
+    /// optical (≈ a 30 W-electrical office panel). Calibrated so a user
+    /// directly under a luminaire at the standard 2.2 m drop sees a clean
+    /// link and a user at a 2.5 m-pitch cell corner sits near the error
+    /// cliff — the regime where handover decisions matter.
+    pub fn office_panel() -> CellOptics {
+        CellOptics {
+            semi_angle_deg: 45.0,
+            rx_fov_deg: 70.0,
+            tx_optical_w: 11.0,
+        }
+    }
+}
+
+/// The [`LambertianLink`] for one luminaire→user path.
+pub fn link_geometry(
+    optics: &CellOptics,
+    room: &RoomGeometry,
+    lum: &Position,
+    user: &Position,
+) -> LambertianLink {
+    let r = lum.horizontal_distance(user);
+    let d = r.hypot(room.drop_m);
+    // Down-pointing emitter, up-pointing receiver: one off-axis angle
+    // serves as both emission and incidence angle.
+    let theta_deg = r.atan2(room.drop_m).to_degrees();
+    let mut link = LambertianLink::paper_bench(d);
+    link.semi_angle_deg = optics.semi_angle_deg;
+    link.rx_fov_deg = optics.rx_fov_deg;
+    link.off_axis_deg = theta_deg;
+    link
+}
+
+/// The [`ChannelConfig`] for one luminaire→user path: the paper's receiver
+/// chain behind the cell geometry, under `ambient_lux` at the user.
+pub fn cell_channel(
+    optics: &CellOptics,
+    room: &RoomGeometry,
+    lum: &Position,
+    user: &Position,
+    ambient_lux: f64,
+) -> ChannelConfig {
+    let mut cfg = ChannelConfig::paper_bench(1.0);
+    cfg.geometry = link_geometry(optics, room, lum, user);
+    cfg.led.on_power_w = optics.tx_optical_w;
+    cfg.ambient_lux = ambient_lux.max(0.0);
+    cfg
+}
+
+/// Received signal power (W) at `user` from `lum` driving its LED at duty
+/// `level` — the RSS metric handover decisions rank cells by.
+pub fn received_power_w(
+    optics: &CellOptics,
+    room: &RoomGeometry,
+    lum: &Position,
+    user: &Position,
+    level: f64,
+) -> f64 {
+    link_geometry(optics, room, lum, user).received_power_w(optics.tx_optical_w * level.max(0.0))
+}
+
+/// Co-channel interference noise at the slot detector, as an equivalent
+/// photocurrent σ (A).
+///
+/// Each interfering luminaire `i` is an independent on-off source seen
+/// through its own Lambertian path: mean received power `P_i · l_i`,
+/// per-slot variance `(R·P_i)²·l_i(1−l_i)` for duty (dimming level)
+/// `l_i`. The interferers' slot clocks are unsynchronized, so their
+/// contribution is well modelled as additional Gaussian noise on the
+/// detector input — the standard treatment for unsynchronized co-channel
+/// VLC cells.
+pub fn interference_sigma_a(
+    optics: &CellOptics,
+    room: &RoomGeometry,
+    interferers: &[(Position, f64)],
+    user: &Position,
+) -> f64 {
+    let responsivity = vlc_channel::photodiode::Photodiode::sfh206k().responsivity_a_per_w;
+    let var: f64 = interferers
+        .iter()
+        .map(|(pos, level)| {
+            let l = level.clamp(0.0, 1.0);
+            let p_rx = link_geometry(optics, room, pos, user).received_power_w(optics.tx_optical_w);
+            let i_peak = responsivity * p_rx;
+            i_peak * i_peak * l * (1.0 - l)
+        })
+        .sum();
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room() -> RoomGeometry {
+        RoomGeometry::for_grid(3, 3, 2.5)
+    }
+
+    #[test]
+    fn grid_is_centred_and_row_major() {
+        let r = room();
+        let grid = ceiling_grid(&r, 3, 3);
+        assert_eq!(grid.len(), 9);
+        assert_eq!(
+            grid[0].pos,
+            Position {
+                x_m: 1.25,
+                y_m: 1.25
+            }
+        );
+        assert_eq!(
+            grid[1].pos,
+            Position {
+                x_m: 3.75,
+                y_m: 1.25
+            }
+        );
+        assert_eq!(
+            grid[3].pos,
+            Position {
+                x_m: 1.25,
+                y_m: 3.75
+            }
+        );
+        assert_eq!(
+            grid[8].pos,
+            Position {
+                x_m: 6.25,
+                y_m: 6.25
+            }
+        );
+        for (i, l) in grid.iter().enumerate() {
+            assert_eq!(l.id, i);
+        }
+    }
+
+    #[test]
+    fn boresight_link_is_clean_cell_corner_degraded() {
+        let r = room();
+        let optics = CellOptics::office_panel();
+        let lum = Position {
+            x_m: 1.25,
+            y_m: 1.25,
+        };
+        let under = cell_channel(&optics, &r, &lum, &lum, 8080.0);
+        let corner = cell_channel(&optics, &r, &lum, &Position { x_m: 2.5, y_m: 2.5 }, 8080.0);
+        let p_under = under.analytic_error_probs().p_off_error;
+        let p_corner = corner.analytic_error_probs().p_off_error;
+        assert!(p_under < 1e-5, "boresight p1={p_under:.2e}");
+        assert!(p_corner > p_under * 10.0, "corner p1={p_corner:.2e}");
+        assert!(
+            p_corner < 0.5,
+            "corner must not be pure noise: {p_corner:.2e}"
+        );
+    }
+
+    #[test]
+    fn rss_ranks_the_nearest_luminaire_first() {
+        let r = room();
+        let optics = CellOptics::office_panel();
+        let grid = ceiling_grid(&r, 3, 3);
+        let user = Position { x_m: 1.0, y_m: 1.4 };
+        let mut rss: Vec<(usize, f64)> = grid
+            .iter()
+            .map(|l| (l.id, received_power_w(&optics, &r, &l.pos, &user, 1.0)))
+            .collect();
+        rss.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        assert_eq!(rss[0].0, 0, "nearest cell must win: {rss:?}");
+        assert!(rss[0].1 > rss[4].1 * 2.0);
+    }
+
+    #[test]
+    fn rss_scales_with_dimming_level() {
+        let r = room();
+        let optics = CellOptics::office_panel();
+        let lum = Position {
+            x_m: 1.25,
+            y_m: 1.25,
+        };
+        let full = received_power_w(&optics, &r, &lum, &lum, 1.0);
+        let dim = received_power_w(&optics, &r, &lum, &lum, 0.25);
+        assert!(full > 0.0);
+        assert!((dim / full - 0.25).abs() < 0.02, "dim/full={}", dim / full);
+    }
+
+    #[test]
+    fn interference_peaks_at_half_duty_and_vanishes_at_rails() {
+        let r = room();
+        let optics = CellOptics::office_panel();
+        let neighbour = Position {
+            x_m: 3.75,
+            y_m: 1.25,
+        };
+        let user = Position {
+            x_m: 1.25,
+            y_m: 1.25,
+        };
+        let at = |l: f64| interference_sigma_a(&optics, &r, &[(neighbour, l)], &user);
+        assert!(
+            at(0.5) > at(0.1),
+            "σ(0.5)={:.2e} σ(0.1)={:.2e}",
+            at(0.5),
+            at(0.1)
+        );
+        assert_eq!(at(0.0), 0.0);
+        assert_eq!(at(1.0), 0.0);
+    }
+
+    #[test]
+    fn interference_is_material_near_cell_edges() {
+        // At the boundary between two cells, the neighbour's modulation
+        // must be a visible fraction of the serving signal swing —
+        // otherwise the multi-cell model degenerates to N independent
+        // links.
+        let r = room();
+        let optics = CellOptics::office_panel();
+        let serving = Position {
+            x_m: 1.25,
+            y_m: 1.25,
+        };
+        let neighbour = Position {
+            x_m: 3.75,
+            y_m: 1.25,
+        };
+        let edge = Position {
+            x_m: 2.5,
+            y_m: 1.25,
+        };
+        let sig = received_power_w(&optics, &r, &serving, &edge, 1.0);
+        let sigma = interference_sigma_a(&optics, &r, &[(neighbour, 0.5)], &edge);
+        let r_a_per_w = 0.62;
+        let ratio = sigma / (r_a_per_w * sig);
+        assert!(ratio > 0.05, "interference negligible at the edge: {ratio}");
+        assert!(ratio < 1.0, "interference cannot dwarf the signal: {ratio}");
+    }
+
+    #[test]
+    fn clamp_keeps_positions_in_the_room() {
+        let r = room();
+        let p = r.clamp(Position {
+            x_m: -1.0,
+            y_m: 99.0,
+        });
+        assert_eq!(
+            p,
+            Position {
+                x_m: 0.0,
+                y_m: r.depth_m
+            }
+        );
+    }
+}

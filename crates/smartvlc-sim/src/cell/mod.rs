@@ -1,0 +1,499 @@
+//! Multi-luminaire cell simulation with user mobility.
+//!
+//! The paper evaluates one LED serving one receiver; the smart-lighting
+//! setting it targets is a **ceiling grid** of luminaires covering a room
+//! of moving users. This module composes everything built so far into
+//! that workload:
+//!
+//! * each luminaire runs its own §4.3 perception-domain adaptation and
+//!   its own [`AmppmPlanner`] against a **shared** ambient model
+//!   ([`vlc_channel::ambient`]) seen through a window gradient — cells
+//!   near the window dim harder than cells deep in the room;
+//! * each user walks a random waypoint trajectory ([`mobility`]), ranks
+//!   cells by received signal strength through the Lambertian path
+//!   ([`geometry`]), and hands over with hysteresis ([`handover`]);
+//! * within a cell, associated users share the planned AMPPM rate by
+//!   TDMA (equal round-robin shares);
+//! * co-channel luminaires contribute interference at the slot detector
+//!   via the same optics/photodiode path ([`geometry::interference_sigma_a`]).
+//!
+//! Fidelity is planning-level (the [`crate::daylong`] altitude): the tick
+//! is the sensing cadence, the control plane — adaptation deadband,
+//! stepping, planning — is the real one, and per-slot noise is replaced
+//! by the analytic error probabilities of
+//! [`vlc_channel::link::ChannelConfig::detector_with`]. Every random draw
+//! comes from a keyed [`desim::DetRng`] stream per luminaire and per
+//! user, so a whole-room run is a pure function of its seed and
+//! bit-identical at any `SMARTVLC_THREADS`.
+
+pub mod geometry;
+pub mod handover;
+pub mod mobility;
+pub mod suite;
+
+pub use geometry::{
+    ceiling_grid, cell_channel, interference_sigma_a, received_power_w, CellOptics, Luminaire,
+    Position, RoomGeometry,
+};
+pub use handover::{Association, HandoverEvent, HandoverPolicy};
+pub use mobility::{MobileUser, WaypointModel};
+pub use suite::{
+    cell_scenarios, cell_suite_artifacts, cell_suite_json, run_cell_suite, CellScenario,
+    CellSuiteSummary,
+};
+
+use desim::{DetRng, SimTime};
+use serde::{Deserialize, Serialize};
+use smartvlc_core::adaptation::{perceived, AdaptationStepper, PerceptionStepper};
+use smartvlc_core::dimming::IlluminationTarget;
+use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
+use smartvlc_obs as obs;
+use vlc_channel::ambient::{AmbientProfile, BlindRamp};
+use vlc_channel::detector::SlotDetector;
+
+/// Configuration of one multi-cell run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Luminaires along the room's width.
+    pub nx: usize,
+    /// Luminaires along the room's depth.
+    pub ny: usize,
+    /// Grid pitch, m (one luminaire per `pitch × pitch` cell).
+    pub pitch_m: f64,
+    /// Number of mobile users.
+    pub n_users: usize,
+    /// Simulation length in ticks.
+    pub ticks: u32,
+    /// Tick length, s — the ambient sensing cadence.
+    pub tick_s: f64,
+    /// Luminaire/receiver optics.
+    pub optics: CellOptics,
+    /// Handover tuning.
+    pub policy: HandoverPolicy,
+    /// User mobility model.
+    pub mobility: WaypointModel,
+    /// Per-cell normalized illumination target (ambient + LED), as in
+    /// [`IlluminationTarget`].
+    pub i_sum: f64,
+    /// Full-scale ambient for normalization, lux.
+    pub full_scale_lux: f64,
+    /// Ambient-sensor noise σ at each luminaire, lux.
+    pub sensor_noise_lux: f64,
+    /// Link-layer frame payload, bits (sets frame error amplification).
+    pub frame_bits: f64,
+}
+
+impl CellConfig {
+    /// The standard cell workload: `nx × ny` grid at 2.5 m pitch, 100 ms
+    /// sensing tick, one simulated minute, office mobility and handover
+    /// defaults.
+    pub fn standard(nx: usize, ny: usize, n_users: usize) -> CellConfig {
+        CellConfig {
+            nx,
+            ny,
+            pitch_m: 2.5,
+            n_users,
+            ticks: 600,
+            tick_s: 0.1,
+            optics: CellOptics::office_panel(),
+            policy: HandoverPolicy::standard(),
+            mobility: WaypointModel::office(),
+            i_sum: 1.0,
+            full_scale_lux: 10_000.0,
+            sensor_noise_lux: 25.0,
+            frame_bits: 2048.0,
+        }
+    }
+
+    /// The room implied by the grid.
+    pub fn room(&self) -> RoomGeometry {
+        RoomGeometry::for_grid(self.nx, self.ny, self.pitch_m)
+    }
+
+    /// Number of luminaires.
+    pub fn n_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+/// Daylight gradient across the room: the window wall sits at `x = 0`, so
+/// a sensor's share of the shared ambient falls off with depth. The
+/// factors average ≈ 1 over the room, keeping the shared profile's lux
+/// scale meaningful.
+fn window_gain(room: &RoomGeometry, pos: &Position) -> f64 {
+    1.45 - 0.9 * (pos.x_m / room.width_m).clamp(0.0, 1.0)
+}
+
+/// Per-user outcome of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UserOutcome {
+    /// User index.
+    pub id: usize,
+    /// Payload bits delivered over the run.
+    pub delivered_bits: f64,
+    /// Mean goodput, bit/s.
+    pub goodput_bps: f64,
+    /// Completed handovers.
+    pub handovers: u64,
+    /// Ticks spent in association outage.
+    pub outage_ticks: u64,
+}
+
+/// Per-cell outcome of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Cell (luminaire) index.
+    pub id: usize,
+    /// Payload bits this cell delivered to its users.
+    pub delivered_bits: f64,
+    /// Time-mean LED level after adaptation.
+    pub mean_led: f64,
+    /// Time-mean associated users.
+    pub mean_users: f64,
+    /// Perception-domain adaptation steps taken.
+    pub smart_steps: u64,
+}
+
+/// Everything a multi-cell run reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Per-user outcomes (user order).
+    pub users: Vec<UserOutcome>,
+    /// Per-cell outcomes (cell order).
+    pub cells: Vec<CellOutcome>,
+    /// Sum of user goodputs, bit/s.
+    pub aggregate_goodput_bps: f64,
+    /// Total completed handovers.
+    pub handovers: u64,
+    /// Mean handover latency (dwell + association), seconds — `None` if
+    /// no handover completed.
+    pub mean_handover_latency_s: Option<f64>,
+    /// Fraction of user-ticks spent in association outage.
+    pub outage_fraction: f64,
+    /// Fraction of served user-ticks where co-channel interference
+    /// exceeded the channel's own noise σ.
+    pub interference_limited_fraction: f64,
+    /// Simulated wall-clock, s.
+    pub duration_s: f64,
+}
+
+struct LuminaireState {
+    led: f64,
+    rate_bps: f64,
+    smart_steps: u64,
+    led_sum: f64,
+    users_sum: f64,
+    delivered_bits: f64,
+    rng: DetRng,
+}
+
+/// Run one multi-cell scenario to completion. Deterministic per
+/// `(cfg, seed)`: the shared ambient, every luminaire's sensor noise and
+/// every user's walk derive from keyed forks of `seed`.
+pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
+    assert!(cfg.n_cells() >= 1, "need at least one luminaire");
+    assert!(cfg.n_users >= 1, "need at least one user");
+    assert!(cfg.tick_s > 0.0 && cfg.ticks > 0, "need a positive horizon");
+    obs::counter_add(obs::key!("sim.cell.runs"), 1);
+
+    let root = DetRng::seed_from_u64(seed);
+    let room = cfg.room();
+    let grid = ceiling_grid(&room, cfg.nx, cfg.ny);
+    let sys = SystemConfig::default();
+    let planner = AmppmPlanner::new(sys.clone()).expect("valid system config");
+    let illum = IlluminationTarget::new(cfg.i_sum);
+    let stepper = PerceptionStepper::new(sys.tau_p);
+
+    // The shared sky: one blind pull sweeping near-dark to bright sunny
+    // office over the run, so every cell adapts — at a depth set by its
+    // window gradient.
+    let mut ambient = BlindRamp::paper_dynamic(root.fork("ambient"));
+    ambient.duration_s = (cfg.ticks as f64 * cfg.tick_s * 0.66).max(1.0);
+
+    let rate_for = |led: f64| -> f64 {
+        planner
+            .plan_clamped(DimmingLevel::clamped(led))
+            .map(|p| p.rate_bps)
+            .unwrap_or(0.0)
+    };
+
+    let mut lums: Vec<LuminaireState> = grid
+        .iter()
+        .map(|l| LuminaireState {
+            led: 1.0,
+            rate_bps: rate_for(1.0),
+            smart_steps: 0,
+            led_sum: 0.0,
+            users_sum: 0.0,
+            delivered_bits: 0.0,
+            rng: root.fork("lum").fork_idx(l.id as u64),
+        })
+        .collect();
+
+    let mut users: Vec<MobileUser> = (0..cfg.n_users)
+        .map(|j| {
+            MobileUser::new(
+                j,
+                &room,
+                &cfg.mobility,
+                root.fork("user").fork_idx(j as u64),
+            )
+        })
+        .collect();
+
+    // Initial association: strongest cell at the spawn position.
+    let mut assocs: Vec<Association> = users
+        .iter()
+        .map(|u| {
+            let mut best = 0usize;
+            let mut best_p = f64::NEG_INFINITY;
+            for l in &grid {
+                let p = received_power_w(&cfg.optics, &room, &l.pos, &u.pos, 1.0);
+                if p > best_p {
+                    best_p = p;
+                    best = l.id;
+                }
+            }
+            Association::new(best)
+        })
+        .collect();
+
+    let mut user_bits = vec![0.0f64; cfg.n_users];
+    let mut user_handovers = vec![0u64; cfg.n_users];
+    let mut user_outage = vec![0u64; cfg.n_users];
+    let mut latency_ticks_sum = 0u64;
+    let mut handovers = 0u64;
+    let mut served_ticks = 0u64;
+    let mut interference_limited = 0u64;
+    let tslot_s = vlc_channel::link::ChannelConfig::paper_bench(1.0).tslot_s;
+
+    let mut rss = vec![0.0f64; grid.len()];
+    let mut members = vec![0u32; grid.len()];
+
+    for tick in 0..cfg.ticks {
+        let t = SimTime::from_nanos((tick as f64 * cfg.tick_s * 1e9) as u64);
+        let base_lux = ambient.lux_at(t);
+
+        // Luminaires: sense (own sensor, own noise stream), adapt through
+        // the perception deadband, replan only when the level moved.
+        for (st, l) in lums.iter_mut().zip(&grid) {
+            let lux = base_lux * window_gain(&room, &l.pos)
+                + st.rng.next_gaussian() * cfg.sensor_noise_lux;
+            let norm = (lux / cfg.full_scale_lux).clamp(0.0, 1.0);
+            let target = illum.led_level_for(norm).value();
+            if (perceived(target) - perceived(st.led)).abs() >= sys.tau_p {
+                st.smart_steps += stepper.step_count(st.led, target) as u64;
+                st.led = target;
+                st.rate_bps = rate_for(target);
+            }
+            st.led_sum += st.led;
+        }
+
+        // Users: walk, rank cells by RSS at the *current* LED levels,
+        // run the handover state machine.
+        for (j, u) in users.iter_mut().enumerate() {
+            u.step(&room, &cfg.mobility, cfg.tick_s);
+            for (l, st) in grid.iter().zip(&lums) {
+                rss[l.id] = received_power_w(&cfg.optics, &room, &l.pos, &u.pos, st.led);
+            }
+            if let Some(ev) = assocs[j].step(&rss, &cfg.policy) {
+                handovers += 1;
+                user_handovers[j] += 1;
+                latency_ticks_sum += ev.latency_ticks as u64;
+                obs::counter_add(obs::key!("sim.cell.handovers"), 1);
+                obs::observe(
+                    obs::key!("sim.cell.handover_latency_ms"),
+                    (ev.latency_ticks as f64 * cfg.tick_s * 1e3) as u64,
+                );
+                obs::event(t, obs::key!("sim.cell.handover"), j as u64);
+            }
+        }
+
+        // TDMA membership: every associated user owns an equal share of
+        // its cell's planned rate, outage or not (the slot is reserved
+        // while the user re-associates).
+        members.iter_mut().for_each(|m| *m = 0);
+        for a in &assocs {
+            members[a.serving] += 1;
+        }
+        for (st, &m) in lums.iter_mut().zip(&members) {
+            st.users_sum += m as f64;
+        }
+
+        // Delivery: analytic slot error probabilities at the user's
+        // geometry and local ambient, with every co-channel luminaire's
+        // modulation folded in as detector noise.
+        for (j, u) in users.iter().enumerate() {
+            let a = &assocs[j];
+            if a.in_outage() {
+                user_outage[j] += 1;
+                obs::counter_add(obs::key!("sim.cell.outage_ticks"), 1);
+                continue;
+            }
+            let serving = a.serving;
+            let rate = lums[serving].rate_bps;
+            if rate <= 0.0 {
+                continue;
+            }
+            served_ticks += 1;
+            let lum_pos = &grid[serving].pos;
+            let lux_here = (base_lux * window_gain(&room, &u.pos)).max(0.0);
+            let ch = cell_channel(&cfg.optics, &room, lum_pos, &u.pos, lux_here);
+            let det = ch.analytic_detector();
+            let interferers: Vec<(Position, f64)> = grid
+                .iter()
+                .zip(&lums)
+                .filter(|(l, _)| l.id != serving)
+                .map(|(l, st)| (l.pos, st.led))
+                .collect();
+            let sigma_cci = interference_sigma_a(&cfg.optics, &room, &interferers, &u.pos);
+            if sigma_cci > det.sigma_a {
+                interference_limited += 1;
+            }
+            let det =
+                SlotDetector::from_levels(det.mu_on_a, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
+            let probs = det.error_probs();
+            let p_slot = 0.5 * (probs.p_off_error + probs.p_on_error);
+            // Frame error amplification: a frame of `frame_bits` payload
+            // occupies `frame_bits / rate` seconds of slots.
+            let slots_per_frame = (cfg.frame_bits / rate / tslot_s).max(1.0);
+            let p_frame_ok = (1.0 - p_slot).powf(slots_per_frame);
+            let share = rate / members[serving].max(1) as f64;
+            let bits = share * p_frame_ok * cfg.tick_s;
+            user_bits[j] += bits;
+            lums[serving].delivered_bits += bits;
+        }
+    }
+
+    let duration_s = cfg.ticks as f64 * cfg.tick_s;
+    let users_out: Vec<UserOutcome> = (0..cfg.n_users)
+        .map(|j| UserOutcome {
+            id: j,
+            delivered_bits: user_bits[j],
+            goodput_bps: user_bits[j] / duration_s,
+            handovers: user_handovers[j],
+            outage_ticks: user_outage[j],
+        })
+        .collect();
+    let cells_out: Vec<CellOutcome> = grid
+        .iter()
+        .zip(&lums)
+        .map(|(l, st)| CellOutcome {
+            id: l.id,
+            delivered_bits: st.delivered_bits,
+            mean_led: st.led_sum / cfg.ticks as f64,
+            mean_users: st.users_sum / cfg.ticks as f64,
+            smart_steps: st.smart_steps,
+        })
+        .collect();
+    let aggregate_goodput_bps = users_out.iter().map(|u| u.goodput_bps).sum();
+    CellReport {
+        aggregate_goodput_bps,
+        handovers,
+        mean_handover_latency_s: if handovers > 0 {
+            Some(latency_ticks_sum as f64 / handovers as f64 * cfg.tick_s)
+        } else {
+            None
+        },
+        outage_fraction: user_outage.iter().sum::<u64>() as f64
+            / (cfg.ticks as u64 * cfg.n_users as u64) as f64,
+        interference_limited_fraction: if served_ticks > 0 {
+            interference_limited as f64 / served_ticks as f64
+        } else {
+            0.0
+        },
+        users: users_out,
+        cells: cells_out,
+        duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_single_user_moves_data() {
+        let cfg = CellConfig::standard(1, 1, 1);
+        let r = run_cell(&cfg, 1);
+        assert!(r.aggregate_goodput_bps > 1_000.0, "{r:?}");
+        assert_eq!(r.handovers, 0, "one cell cannot hand over");
+        assert_eq!(r.outage_fraction, 0.0);
+    }
+
+    #[test]
+    fn mobile_users_hand_over_in_a_grid() {
+        let cfg = CellConfig::standard(3, 3, 6);
+        let r = run_cell(&cfg, 7);
+        assert!(
+            r.handovers > 0,
+            "a minute of walking across 2.5 m cells must cross a boundary: {r:?}"
+        );
+        let lat = r.mean_handover_latency_s.expect("handovers happened");
+        let expect = (cfg.policy.dwell_ticks + cfg.policy.assoc_delay_ticks) as f64 * cfg.tick_s;
+        assert!((lat - expect).abs() < 1e-9, "latency {lat} vs {expect}");
+        assert!(r.outage_fraction > 0.0, "handover must cost outage");
+        assert!(r.outage_fraction < 0.2, "outage dominates: {r:?}");
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let cfg = CellConfig::standard(2, 2, 4);
+        let a = run_cell(&cfg, 42);
+        let b = run_cell(&cfg, 42);
+        assert_eq!(
+            a.aggregate_goodput_bps.to_bits(),
+            b.aggregate_goodput_bps.to_bits()
+        );
+        assert_eq!(a.handovers, b.handovers);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.delivered_bits.to_bits(), y.delivered_bits.to_bits());
+        }
+        let c = run_cell(&cfg, 43);
+        assert_ne!(
+            a.aggregate_goodput_bps.to_bits(),
+            c.aggregate_goodput_bps.to_bits(),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn luminaires_adapt_to_the_window_gradient() {
+        // By the end of the blind pull the window-side column sees far
+        // more daylight than the deep column, so it must dim harder.
+        let cfg = CellConfig::standard(3, 3, 2);
+        let r = run_cell(&cfg, 5);
+        let window_col: f64 = [0, 3, 6].iter().map(|&i| r.cells[i].mean_led).sum();
+        let deep_col: f64 = [2, 5, 8].iter().map(|&i| r.cells[i].mean_led).sum();
+        assert!(
+            window_col < deep_col - 0.1,
+            "window {window_col:.2} deep {deep_col:.2}"
+        );
+        assert!(r.cells.iter().all(|c| c.smart_steps > 0), "{r:?}");
+    }
+
+    #[test]
+    fn interference_shows_up_in_dense_grids() {
+        let cfg = CellConfig::standard(3, 3, 6);
+        let r = run_cell(&cfg, 11);
+        assert!(
+            r.interference_limited_fraction > 0.05,
+            "co-channel interference must matter in a 3×3 grid: {r:?}"
+        );
+    }
+
+    #[test]
+    fn tdma_conserves_cell_capacity() {
+        // Many users in one cell share it: aggregate goodput with 8 users
+        // in a 1×1 room must not exceed the single-user goodput (equal
+        // shares of the same planned rate).
+        let solo = run_cell(&CellConfig::standard(1, 1, 1), 9);
+        let crowd = run_cell(&CellConfig::standard(1, 1, 8), 9);
+        assert!(
+            crowd.aggregate_goodput_bps <= solo.aggregate_goodput_bps * 1.05,
+            "solo {} crowd {}",
+            solo.aggregate_goodput_bps,
+            crowd.aggregate_goodput_bps
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The cell scenario battery behind `results/BENCH_cell.json`.
+//!
+//! A grid-size × user-count sweep over [`run_cell`],
+//! fanned out on the deterministic runner: the aggregate-goodput-vs-users
+//! and handover-latency curves the bench bin writes, plus the JSON
+//! encoder both the bin and the determinism tests share (so "the file is
+//! byte-identical at any `SMARTVLC_THREADS`" is asserted on exactly the
+//! bytes that get written).
+
+use super::{run_cell, CellConfig, CellReport};
+use crate::runner::{par_sweep, TaskId};
+
+/// One point of the cell sweep.
+#[derive(Clone, Debug)]
+pub struct CellScenario {
+    /// Stable identifier (also the JSON key).
+    pub name: String,
+    /// Grid extent along x.
+    pub nx: usize,
+    /// Grid extent along y.
+    pub ny: usize,
+    /// Mobile users in the room.
+    pub n_users: usize,
+}
+
+impl CellScenario {
+    /// The run configuration for this scenario.
+    pub fn config(&self) -> CellConfig {
+        CellConfig::standard(self.nx, self.ny, self.n_users)
+    }
+}
+
+/// The standard battery: 2×2, 3×3 and 4×4 grids, each serving 2, 6 and
+/// 12 users — ≥ 3 grid sizes × ≥ 3 user counts, covering both the
+/// sparse regime (cells idle) and the contended one (TDMA shares thin,
+/// handovers frequent).
+pub fn cell_scenarios() -> Vec<CellScenario> {
+    let mut out = Vec::new();
+    for &(nx, ny) in &[(2usize, 2usize), (3, 3), (4, 4)] {
+        for &n_users in &[2usize, 6, 12] {
+            out.push(CellScenario {
+                name: format!("grid{nx}x{ny}_users{n_users}"),
+                nx,
+                ny,
+                n_users,
+            });
+        }
+    }
+    out
+}
+
+/// Replicate-aggregated outcome of one scenario.
+#[derive(Clone, Debug)]
+pub struct CellSuiteSummary {
+    /// The scenario.
+    pub scenario: CellScenario,
+    /// Mean aggregate goodput over replicates, bit/s.
+    pub mean_aggregate_goodput_bps: f64,
+    /// Worst replicate's aggregate goodput, bit/s.
+    pub min_aggregate_goodput_bps: f64,
+    /// Mean per-user goodput over replicates, bit/s.
+    pub mean_per_user_goodput_bps: f64,
+    /// Total completed handovers across replicates.
+    pub handovers: u64,
+    /// Handovers per user per simulated minute.
+    pub handover_rate_per_user_min: f64,
+    /// Mean handover latency, s (`None` if nothing handed over).
+    pub mean_handover_latency_s: Option<f64>,
+    /// Mean fraction of user-ticks in association outage.
+    pub outage_fraction: f64,
+    /// Mean fraction of served ticks that were interference-limited.
+    pub interference_limited_fraction: f64,
+    /// Raw per-replicate reports (replicate order).
+    pub replicates: Vec<CellReport>,
+}
+
+/// Run the whole battery: `replicates` seeds per scenario on the
+/// deterministic work pool. Byte-identical output at any
+/// `SMARTVLC_THREADS`.
+pub fn run_cell_suite(replicates: usize, base_seed: u64) -> Vec<CellSuiteSummary> {
+    let scenarios = cell_scenarios();
+    let grouped = par_sweep(
+        &scenarios,
+        replicates,
+        base_seed,
+        |sc: &CellScenario, id: TaskId| run_cell(&sc.config(), id.seed),
+    );
+    scenarios
+        .into_iter()
+        .zip(grouped)
+        .map(|(scenario, reps)| summarize(scenario, reps))
+        .collect()
+}
+
+fn summarize(scenario: CellScenario, reps: Vec<CellReport>) -> CellSuiteSummary {
+    let n = reps.len().max(1) as f64;
+    let mean_aggregate = reps.iter().map(|r| r.aggregate_goodput_bps).sum::<f64>() / n;
+    let min_aggregate = reps
+        .iter()
+        .map(|r| r.aggregate_goodput_bps)
+        .fold(f64::INFINITY, f64::min);
+    let handovers: u64 = reps.iter().map(|r| r.handovers).sum();
+    let sim_minutes: f64 = reps.iter().map(|r| r.duration_s).sum::<f64>() / 60.0;
+    let latencies: Vec<f64> = reps
+        .iter()
+        .filter_map(|r| r.mean_handover_latency_s.map(|l| (l, r.handovers)))
+        .map(|(l, h)| l * h as f64)
+        .collect();
+    CellSuiteSummary {
+        mean_aggregate_goodput_bps: mean_aggregate,
+        min_aggregate_goodput_bps: if min_aggregate.is_finite() {
+            min_aggregate
+        } else {
+            0.0
+        },
+        mean_per_user_goodput_bps: mean_aggregate / scenario.n_users.max(1) as f64,
+        handovers,
+        handover_rate_per_user_min: if sim_minutes > 0.0 {
+            handovers as f64 / (scenario.n_users as f64 * sim_minutes)
+        } else {
+            0.0
+        },
+        mean_handover_latency_s: if handovers > 0 {
+            Some(latencies.iter().sum::<f64>() / handovers as f64)
+        } else {
+            None
+        },
+        outage_fraction: reps.iter().map(|r| r.outage_fraction).sum::<f64>() / n,
+        interference_limited_fraction: reps
+            .iter()
+            .map(|r| r.interference_limited_fraction)
+            .sum::<f64>()
+            / n,
+        replicates: reps,
+        scenario,
+    }
+}
+
+fn f6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Re-indent every line after the first of an embedded JSON block.
+fn indent(json: &str, pad: &str) -> String {
+    json.trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Deterministic JSON for the suite: stable key order, fixed float
+/// formatting, the telemetry snapshot embedded — the exact bytes
+/// `cell_suite` writes to `results/BENCH_cell.json`, so byte-equality of
+/// this string *is* the determinism contract (asserted at
+/// `SMARTVLC_THREADS=1` vs `=8` by both the bench bin and the
+/// `determinism` test suite).
+pub fn cell_suite_json(
+    summaries: &[CellSuiteSummary],
+    replicates: usize,
+    seed: u64,
+    telemetry: &smartvlc_obs::Snapshot,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"suite\": \"cell\",\n");
+    s.push_str(&format!("  \"replicates\": {replicates},\n"));
+    s.push_str(&format!("  \"base_seed\": {seed},\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sm) in summaries.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", sm.scenario.name));
+        s.push_str(&format!(
+            "      \"grid\": [{}, {}],\n",
+            sm.scenario.nx, sm.scenario.ny
+        ));
+        s.push_str(&format!("      \"users\": {},\n", sm.scenario.n_users));
+        s.push_str(&format!(
+            "      \"mean_aggregate_goodput_bps\": {},\n",
+            f6(sm.mean_aggregate_goodput_bps)
+        ));
+        s.push_str(&format!(
+            "      \"min_aggregate_goodput_bps\": {},\n",
+            f6(sm.min_aggregate_goodput_bps)
+        ));
+        s.push_str(&format!(
+            "      \"mean_per_user_goodput_bps\": {},\n",
+            f6(sm.mean_per_user_goodput_bps)
+        ));
+        s.push_str(&format!("      \"handovers\": {},\n", sm.handovers));
+        s.push_str(&format!(
+            "      \"handover_rate_per_user_min\": {},\n",
+            f6(sm.handover_rate_per_user_min)
+        ));
+        match sm.mean_handover_latency_s {
+            Some(l) => s.push_str(&format!("      \"mean_handover_latency_s\": {},\n", f6(l))),
+            None => s.push_str("      \"mean_handover_latency_s\": null,\n"),
+        }
+        s.push_str(&format!(
+            "      \"outage_fraction\": {},\n",
+            f6(sm.outage_fraction)
+        ));
+        s.push_str(&format!(
+            "      \"interference_limited_fraction\": {},\n",
+            f6(sm.interference_limited_fraction)
+        ));
+        s.push_str("      \"per_user_goodput_bps\": [");
+        let per_user: Vec<String> = sm
+            .replicates
+            .first()
+            .map(|r| r.users.iter().map(|u| f6(u.goodput_bps)).collect())
+            .unwrap_or_default();
+        s.push_str(&per_user.join(", "));
+        s.push_str("]\n");
+        s.push_str(if i + 1 < summaries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n");
+    // Deterministic by construction: sim-time stamps, submission-order
+    // recorder merge — so the telemetry participates in the byte gate.
+    s.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        indent(&telemetry.to_json(), "  ")
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// One full suite run under a fresh recorder: the JSON report (with
+/// embedded telemetry) plus the telemetry CSV — the two artifacts the
+/// bench bin writes and the determinism tests byte-compare.
+pub fn cell_suite_artifacts(
+    replicates: usize,
+    base_seed: u64,
+) -> (String, String, Vec<CellSuiteSummary>) {
+    let rec = smartvlc_obs::Recorder::new();
+    let summaries = smartvlc_obs::with_recorder(&rec, || run_cell_suite(replicates, base_seed));
+    let snap = rec.snapshot();
+    (
+        cell_suite_json(&summaries, replicates, base_seed, &snap),
+        snap.to_csv(),
+        summaries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_covers_three_grids_by_three_user_counts() {
+        let scs = cell_scenarios();
+        assert_eq!(scs.len(), 9);
+        let grids: std::collections::HashSet<(usize, usize)> =
+            scs.iter().map(|s| (s.nx, s.ny)).collect();
+        let users: std::collections::HashSet<usize> = scs.iter().map(|s| s.n_users).collect();
+        assert!(grids.len() >= 3, "{grids:?}");
+        assert!(users.len() >= 3, "{users:?}");
+        let names: std::collections::HashSet<&str> = scs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), scs.len(), "names must be unique");
+    }
+
+    #[test]
+    fn json_is_stable_and_reports_required_fields() {
+        // A tiny battery (first scenario only) through the real encoder.
+        let scs = cell_scenarios();
+        let snap = smartvlc_obs::Recorder::new().snapshot();
+        let reps = vec![run_cell(&scs[0].config(), 123)];
+        let sm = summarize(scs[0].clone(), reps);
+        let json = cell_suite_json(&[sm], 1, 123, &snap);
+        for field in [
+            "\"mean_aggregate_goodput_bps\"",
+            "\"handovers\"",
+            "\"mean_handover_latency_s\"",
+            "\"grid\": [2, 2]",
+            "\"users\": 2",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // Stable: same inputs, same bytes.
+        let reps2 = vec![run_cell(&scs[0].config(), 123)];
+        let sm2 = summarize(scs[0].clone(), reps2);
+        assert_eq!(json, cell_suite_json(&[sm2], 1, 123, &snap));
+    }
+}

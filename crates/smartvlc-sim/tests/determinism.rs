@@ -194,6 +194,45 @@ fn chaos_telemetry_snapshot_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn cell_suite_is_byte_identical_across_thread_counts() {
+    // The multi-cell workload end to end: ceiling-grid adaptation,
+    // waypoint mobility, handover, TDMA, interference — the full battery
+    // must serialize to the same bytes (and the same result bits) at any
+    // thread count. This is exactly the artifact `cell_suite` writes to
+    // `results/BENCH_cell.json`, so this test is the file-level
+    // determinism gate in unit-test form.
+    let run = |n: usize| with_threads(n, || smartvlc_sim::cell_suite_artifacts(1, 2026));
+    let (json1, csv1, sums1) = run(1);
+    let (json8, csv8, sums8) = run(8);
+    assert_eq!(
+        json1, json8,
+        "BENCH_cell.json differs between SMARTVLC_THREADS=1 and 8"
+    );
+    assert_eq!(
+        csv1, csv8,
+        "TELEMETRY_cell.csv differs between SMARTVLC_THREADS=1 and 8"
+    );
+    // Bit-level, below the 6-decimal JSON formatting: per-user delivered
+    // bits and handover counters must match exactly.
+    let bits = |sums: &[smartvlc_sim::CellSuiteSummary]| {
+        sums.iter()
+            .flat_map(|s| {
+                s.replicates.iter().flat_map(|r| {
+                    r.users
+                        .iter()
+                        .map(|u| (u.delivered_bits.to_bits(), u.handovers, u.outage_ticks))
+                })
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&sums1), bits(&sums8));
+    assert!(
+        sums1.iter().any(|s| s.handovers > 0),
+        "battery exercised no handovers — the gate would be vacuous"
+    );
+}
+
+#[test]
 fn telemetry_scope_does_not_perturb_results() {
     // Enabling telemetry must change no experiment result: the same sweep
     // with and without a recorder in scope is bit-identical.

@@ -27,6 +27,26 @@
 //!
 //! Everything is deterministic given a seed ([`desim::DetRng`]), and all
 //! physical constants carry their units in the field names.
+//!
+//! # Example
+//!
+//! The channel's operating point is a pure function of its configuration:
+//! the analytic slot error probabilities (the paper's `P1`/`P2`) fall out
+//! of the composed geometry + ambient + receiver chain without flying a
+//! single slot:
+//!
+//! ```
+//! use vlc_channel::link::ChannelConfig;
+//!
+//! // §6.1's measurement point: 3.6 m under bright ambient …
+//! let probs = ChannelConfig::paper_bench(3.6).analytic_error_probs();
+//! // … lands in the measured P1 ≈ 9e-5 decade.
+//! assert!(probs.p_off_error > 1e-5 && probs.p_off_error < 1e-3);
+//!
+//! // Closer in, the same chain is essentially error-free.
+//! let near = ChannelConfig::paper_bench(2.0).analytic_error_probs();
+//! assert!(near.p_off_error < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

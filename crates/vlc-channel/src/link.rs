@@ -62,6 +62,71 @@ impl ChannelConfig {
             ambient_rin: 4.7e-3,
         }
     }
+
+    /// Total DC photocurrent from ambient light plus dark current, A.
+    fn ambient_current(&self) -> f64 {
+        self.rx_diode.a_per_lux * self.ambient_lux + self.rx_diode.dark_current_a
+    }
+
+    /// Per-sample noise σ at this operating point (input-referred, before
+    /// slot averaging): thermal ⊕ ambient RIN ⊕ shot. The signal shot term
+    /// conservatively uses the clear-path received power (an attenuated
+    /// signal sheds shot noise, but ambient dominates the budget).
+    fn per_sample_sigma(&self) -> f64 {
+        let i_amb = self.ambient_current();
+        let i_sig_mid = 0.5
+            * self.rx_diode.responsivity_a_per_w
+            * self.geometry.received_power_w(self.led.on_power_w);
+        let fs = self.samples_per_slot as f64 / self.tslot_s;
+        let shot = self.rx_diode.shot_noise_std_a(i_amb + i_sig_mid, fs / 2.0);
+        let rin = self.ambient_rin * i_amb;
+        let th = self.frontend.thermal_noise_a_rms;
+        (th * th + rin * rin + shot * shot).sqrt()
+    }
+
+    /// The expected slot-detector operating point for this configuration,
+    /// with an extra multiplicative optical gain (blockage/occlusion) and
+    /// an optional railed (saturated) front end folded in.
+    ///
+    /// This is the pure-configuration form of
+    /// [`OpticalChannel::analytic_detector`]: no channel state, no RNG —
+    /// callers that only need error probabilities (planning-level
+    /// simulations such as `smartvlc-sim`'s multi-cell workload) can query
+    /// it per geometry without instantiating a stateful channel.
+    pub fn detector_with(&self, extra_gain: f64, saturated: bool) -> SlotDetector {
+        let gain = self.geometry.path_gain() * extra_gain;
+        let r = self.rx_diode.responsivity_a_per_w;
+        let mu_on = r * self.led.steady_power(1.0) * gain;
+        let mu_off = r * self.led.steady_power(0.0) * gain;
+        // Saturation: the frontend clips; fold the clipped swing in.
+        let max_i = self
+            .frontend
+            .code_to_current(((1u64 << self.frontend.adc_bits) - 1) as u16);
+        // A railed front end pins both levels at full scale: the slot eye
+        // collapses entirely (same degenerate detector as a beyond-FoV
+        // receiver, which the detector already supports).
+        let (mu_on, mu_off) = if saturated {
+            (max_i, max_i)
+        } else {
+            (mu_on.min(max_i), mu_off.min(max_i))
+        };
+        let sigma = self.per_sample_sigma() / ((self.samples_per_slot - 1) as f64).sqrt();
+        // Quantization adds lsb/sqrt(12) per sample.
+        let q = self.frontend.lsb_current_a()
+            / 12f64.sqrt()
+            / ((self.samples_per_slot - 1) as f64).sqrt();
+        SlotDetector::from_levels(mu_on, mu_off, (sigma * sigma + q * q).sqrt())
+    }
+
+    /// Clear-path analytic detector for this configuration.
+    pub fn analytic_detector(&self) -> SlotDetector {
+        self.detector_with(1.0, false)
+    }
+
+    /// Clear-path analytic P1/P2 for this configuration.
+    pub fn analytic_error_probs(&self) -> ChannelErrorProbs {
+        self.analytic_detector().error_probs()
+    }
 }
 
 /// A stateful channel instance (owns its noise stream).
@@ -152,21 +217,13 @@ impl OpticalChannel {
             + self.cfg.rx_diode.dark_current_a
     }
 
-    /// Per-sample noise σ at the current operating point (input-referred,
-    /// before slot averaging): thermal ⊕ ambient RIN ⊕ shot.
-    fn per_sample_sigma(&self) -> f64 {
-        let i_amb = self.ambient_current();
-        let i_sig_mid = 0.5
-            * self.cfg.rx_diode.responsivity_a_per_w
-            * self.cfg.geometry.received_power_w(self.cfg.led.on_power_w);
-        let fs = self.cfg.samples_per_slot as f64 / self.cfg.tslot_s;
-        let shot = self
-            .cfg
-            .rx_diode
-            .shot_noise_std_a(i_amb + i_sig_mid, fs / 2.0);
-        let rin = self.cfg.ambient_rin * i_amb;
-        let th = self.cfg.frontend.thermal_noise_a_rms;
-        (th * th + rin * rin + shot * shot).sqrt()
+    /// The configuration with injected ambient spikes folded into the
+    /// ambient field, so [`ChannelConfig`]'s analytic math sees the
+    /// effective operating point.
+    fn effective_cfg(&self) -> ChannelConfig {
+        let mut cfg = self.cfg;
+        cfg.ambient_lux = self.effective_ambient_lux();
+        cfg
     }
 
     /// Transmit a slot waveform; returns the per-slot detected current
@@ -221,31 +278,11 @@ impl OpticalChannel {
         detector.decide_all(&levels)
     }
 
-    /// The expected detector operating point at the current configuration.
+    /// The expected detector operating point at the current configuration,
+    /// including blockage and injected fault state.
     pub fn analytic_detector(&self) -> SlotDetector {
-        let gain = self.cfg.geometry.path_gain() * self.blockage_gain * self.fault.gain;
-        let r = self.cfg.rx_diode.responsivity_a_per_w;
-        let mu_on = r * self.cfg.led.steady_power(1.0) * gain;
-        let mu_off = r * self.cfg.led.steady_power(0.0) * gain;
-        // Saturation: the frontend clips; fold the clipped swing in.
-        let max_i = self
-            .cfg
-            .frontend
-            .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16);
-        // Injected saturation pins both rails at full scale: the slot eye
-        // collapses entirely (same degenerate detector as a beyond-FoV
-        // receiver, which the detector already supports).
-        let (mu_on, mu_off) = if self.fault.saturated {
-            (max_i, max_i)
-        } else {
-            (mu_on.min(max_i), mu_off.min(max_i))
-        };
-        let sigma = self.per_sample_sigma() / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
-        // Quantization adds lsb/sqrt(12) per sample.
-        let q = self.cfg.frontend.lsb_current_a()
-            / 12f64.sqrt()
-            / ((self.cfg.samples_per_slot - 1) as f64).sqrt();
-        SlotDetector::from_levels(mu_on, mu_off, (sigma * sigma + q * q).sqrt())
+        self.effective_cfg()
+            .detector_with(self.blockage_gain * self.fault.gain, self.fault.saturated)
     }
 
     /// Analytic P1/P2 at the current operating point — what the paper

@@ -23,6 +23,25 @@
 //! * [`wifi`] — the ESP8266 Wi-Fi side channel used for ACKs and
 //!   ambient-light reports (§3/§5.1), modeled as latency + jitter + loss.
 //! * [`board`] — transmitter and receiver board compositions.
+//!
+//! # Example
+//!
+//! The §5.2 claim in executable form: of the four GPIO access methods,
+//! only the PRU sustains the paper's `ftx = 125 kHz` slot clock:
+//!
+//! ```
+//! use vlc_hw::{AccessMethod, PruTimingModel};
+//!
+//! let ftx_hz = 125_000.0;
+//! assert!(PruTimingModel::bbb(AccessMethod::Pru).supports_hz(ftx_hz));
+//! for slow in [
+//!     AccessMethod::SysfsFile,
+//!     AccessMethod::MmapRegisters,
+//!     AccessMethod::XenomaiTask,
+//! ] {
+//!     assert!(!PruTimingModel::bbb(slow).supports_hz(ftx_hz));
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
