@@ -9,15 +9,17 @@
 //! against its serial output before reporting the timing — a speedup
 //! that changed the numbers would be a bug, not a win.
 
-use desim::SimDuration;
+use desim::{DetRng, SimDuration};
 use smartvlc_bench::{indent_json, results_dir};
-use smartvlc_link::SchemeKind;
+use smartvlc_core::SystemConfig;
+use smartvlc_link::{SchemeKind, Transmitter};
 use smartvlc_obs as obs;
 use smartvlc_sim::static_run::{
     paper_levels, run_distance_matrix, run_incidence_matrix, run_scheme_matrix,
 };
 use smartvlc_sim::{run_broadcast, Seat, StaticPoint};
 use std::time::Instant;
+use vlc_channel::link::{ChannelConfig, OpticalChannel, RxScratch};
 
 struct Timing {
     figure: &'static str,
@@ -62,6 +64,172 @@ fn encode_biguint_baseline(
         }
     }
     out
+}
+
+/// Time the RX hot path before and after the speed pass, reconstructing
+/// each "before" shape in-binary from public API (the same pattern as
+/// `encode_biguint_baseline`):
+///
+/// * **analytic** — the old per-frame/per-tick cost: a full
+///   `detector_with(..).error_probs()` recompute from the channel config
+///   on every call, vs. the memoized `analytic_error_probs()` backed by
+///   the operating-point intern cache. The memo is invalidated every 256
+///   iterations so the shared intern map (not just the per-channel L0
+///   slot) stays on the timed path. This ratio is the headline gate.
+/// * **sampled** — the old frame pipeline (fresh detector + allocating
+///   `transmit` + allocating `decide_all` per frame) vs. the reused
+///   `RxScratch` pipeline, verified bit-identical on the same seed first.
+/// * **decide** — threshold recomputed per slot (`decide` in a loop) vs.
+///   the batch `decide_into`.
+fn rx_hot_path_section() -> String {
+    let ch_cfg = ChannelConfig::paper_bench(2.5);
+
+    // A realistic slot batch: one AMPPM frame plus the 32-slot gap — the
+    // unit link.rs and broadcast.rs push through the channel per frame.
+    let root = DetRng::seed_from_u64(0x5ee0);
+    let mut tx = Transmitter::new(
+        SystemConfig::default(),
+        SchemeKind::Amppm,
+        1.308,
+        0.808,
+        0.1,
+        root.fork("tx"),
+    )
+    .expect("valid config");
+    let data = tx.random_data();
+    let (_, mut slots) = tx.build_frame(0, &data).expect("level carries data");
+    slots.extend(std::iter::repeat_n(false, 32));
+    let frame_slots = slots.len();
+
+    // Analytic operating point: recompute-per-call vs. interned.
+    let iters = 200_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(ch_cfg.detector_with(1.0, false).error_probs());
+    }
+    let analytic_baseline_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    let mut ch = OpticalChannel::new(ch_cfg, root.fork("analytic"));
+    let lux = ch_cfg.ambient_lux;
+    let t1 = Instant::now();
+    for i in 0..iters {
+        if i % 256 == 0 {
+            // State "change" clears the memo; the next query is an intern
+            // map hit, so the map probe is part of what we time.
+            ch.set_ambient_lux(lux);
+        }
+        std::hint::black_box(ch.analytic_error_probs());
+    }
+    let analytic_cached_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    let analytic_ratio = analytic_baseline_ns / analytic_cached_ns.max(1e-9);
+
+    // Semantics gate before the speed gate: the interned operating point
+    // must be the freshly computed one, bit for bit (cache force-disabled
+    // on a twin channel).
+    let mut ch_off = OpticalChannel::new(ch_cfg, root.fork("analytic"));
+    ch_off.set_op_cache(vlc_channel::OperatingPointCache::with_enabled(false));
+    let cached = ch.analytic_error_probs();
+    let fresh = ch_off.analytic_error_probs();
+    assert_eq!(
+        (cached.p_on_error.to_bits(), cached.p_off_error.to_bits()),
+        (fresh.p_on_error.to_bits(), fresh.p_off_error.to_bits()),
+        "interned operating point diverged from the uncached recompute"
+    );
+    assert!(
+        analytic_ratio >= 5.0,
+        "operating-point cache speedup regressed below the 5x gate: {analytic_ratio:.2}x"
+    );
+
+    // Sampled pipeline: verify bit-identity on twin seeds, then time.
+    let mut ch_old = OpticalChannel::new(ch_cfg, DetRng::seed_from_u64(77));
+    let mut ch_new = OpticalChannel::new(ch_cfg, DetRng::seed_from_u64(77));
+    let mut scratch = RxScratch::new();
+    for _ in 0..16 {
+        let det = ch_old.analytic_detector();
+        let levels = ch_old.transmit(&slots);
+        let old = det.decide_all(&levels);
+        ch_new.transmit_and_decide_into(&slots, &mut scratch);
+        assert_eq!(
+            old, scratch.decided,
+            "scratch RX pipeline diverged from the allocating one"
+        );
+    }
+
+    let frames = 4_000u32;
+    let slot_norm = frames as f64 * frame_slots as f64;
+    let t2 = Instant::now();
+    for _ in 0..frames {
+        let det = ch_cfg.detector_with(1.0, false);
+        let levels = ch_old.transmit(&slots);
+        std::hint::black_box(det.decide_all(&levels));
+    }
+    let sampled_baseline_ns = t2.elapsed().as_nanos() as f64 / slot_norm;
+
+    let t3 = Instant::now();
+    for _ in 0..frames {
+        ch_new.transmit_and_decide_into(&slots, &mut scratch);
+        std::hint::black_box(scratch.decided.len());
+    }
+    let sampled_scratch_ns = t3.elapsed().as_nanos() as f64 / slot_norm;
+    let sampled_ratio = sampled_baseline_ns / sampled_scratch_ns.max(1e-9);
+
+    // Batch decision: per-slot threshold recompute vs. decide_into.
+    let det = ch_new.analytic_detector();
+    let levels = ch_new.transmit(&slots);
+    let reps = 100_000u32;
+    let decide_norm = reps as f64 * frame_slots as f64;
+    let t4 = Instant::now();
+    for _ in 0..reps {
+        let out: Vec<bool> = levels.iter().map(|&v| det.decide(v)).collect();
+        std::hint::black_box(out.as_slice());
+    }
+    let decide_baseline_ns = t4.elapsed().as_nanos() as f64 / decide_norm;
+
+    let mut decided = Vec::new();
+    let t5 = Instant::now();
+    for _ in 0..reps {
+        det.decide_into(&levels, &mut decided);
+        std::hint::black_box(decided.as_slice());
+    }
+    let decide_into_ns = t5.elapsed().as_nanos() as f64 / decide_norm;
+    let decide_ratio = decide_baseline_ns / decide_into_ns.max(1e-9);
+
+    println!();
+    println!(
+        "rx analytic op-point: recompute {analytic_baseline_ns:7.1} ns/call  \
+         interned {analytic_cached_ns:7.1} ns/call  ({analytic_ratio:.1}x)"
+    );
+    println!(
+        "rx sampled frame ({frame_slots} slots): alloc {sampled_baseline_ns:6.1} ns/slot  \
+         scratch {sampled_scratch_ns:6.1} ns/slot  ({sampled_ratio:.2}x, bit-identical)"
+    );
+    println!(
+        "rx decide: per-slot-threshold {decide_baseline_ns:5.2} ns/slot  \
+         decide_into {decide_into_ns:5.2} ns/slot  ({decide_ratio:.2}x)"
+    );
+
+    format!(
+        "  \"rx_ns_per_slot\": {{\n    \"frame_slots\": {},\n    \
+         \"analytic\": {{\"baseline_ns_per_call\": {:.1}, \"cached_ns_per_call\": {:.1}, \
+         \"baseline_ns_per_slot\": {:.3}, \"cached_ns_per_slot\": {:.3}, \"ratio\": {:.2}}},\n    \
+         \"sampled\": {{\"baseline_ns_per_slot\": {:.2}, \"scratch_ns_per_slot\": {:.2}, \
+         \"ratio\": {:.3}, \"bit_identical\": true}},\n    \
+         \"decide\": {{\"baseline_ns_per_slot\": {:.3}, \"into_ns_per_slot\": {:.3}, \
+         \"ratio\": {:.2}}},\n    \"headline_ratio\": {:.2}\n  }}\n",
+        frame_slots,
+        analytic_baseline_ns,
+        analytic_cached_ns,
+        analytic_baseline_ns / frame_slots as f64,
+        analytic_cached_ns / frame_slots as f64,
+        analytic_ratio,
+        sampled_baseline_ns,
+        sampled_scratch_ns,
+        sampled_ratio,
+        decide_baseline_ns,
+        decide_into_ns,
+        decide_ratio,
+        analytic_ratio,
+    )
 }
 
 fn fingerprint(sweeps: &[Vec<StaticPoint>]) -> Vec<u64> {
@@ -248,7 +416,9 @@ fn main() {
             if ci + 1 < codec_cases.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&rx_hot_path_section());
+    json.push_str("}\n");
 
     let path = results_dir().join("BENCH_runner.json");
     std::fs::write(&path, &json).expect("write BENCH_runner.json");

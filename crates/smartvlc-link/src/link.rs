@@ -23,7 +23,7 @@ use smartvlc_obs as obs;
 use std::collections::HashMap;
 use vlc_channel::ambient::AmbientProfile;
 use vlc_channel::faults::{ChannelFaultState, FaultPlan, UplinkFaultState};
-use vlc_channel::link::{ChannelConfig, OpticalChannel};
+use vlc_channel::link::{ChannelConfig, OpticalChannel, RxScratch};
 use vlc_channel::shadowing::{ShadowingModel, ShadowingProcess};
 use vlc_hw::wifi::SideChannel;
 
@@ -207,6 +207,11 @@ pub struct LinkSimulation {
     /// above the adaptation deadband would otherwise trigger spurious
     /// brightness adjustments in both directions.
     ambient_ema: Option<f64>,
+    /// Reused receive-path buffers: on-air slot stream, sampled-channel
+    /// scratch, and decided slots. Steady-state frames allocate nothing.
+    air_buf: Vec<bool>,
+    rx_scratch: RxScratch,
+    decided_buf: Vec<bool>,
 }
 
 impl LinkSimulation {
@@ -257,6 +262,9 @@ impl LinkSimulation {
             payload_store: HashMap::new(),
             rx_ambient: None,
             ambient_ema: None,
+            air_buf: Vec::new(),
+            rx_scratch: RxScratch::new(),
+            decided_buf: Vec::new(),
         })
     }
 
@@ -426,10 +434,15 @@ impl LinkSimulation {
                 now += self.cfg.sense_interval;
                 continue;
             };
-            let gap = self.tx.idle_filler(self.cfg.interframe_gap_slots);
-            let mut air: Vec<bool> = gap;
-            air.extend(&slots);
-            let mut decided = self.fly(&air);
+            // Reused buffers: take them out of self for the duration of
+            // the borrow-heavy stretch, hand them back at the bottom.
+            let mut air = std::mem::take(&mut self.air_buf);
+            air.clear();
+            self.tx
+                .idle_filler_into(self.cfg.interframe_gap_slots, &mut air);
+            air.extend_from_slice(&slots);
+            let mut decided = std::mem::take(&mut self.decided_buf);
+            self.fly_into(&air, &mut decided);
             stats.frames_sent += 1;
             stats.slots_sent += air.len() as u64;
             let airtime = tslot * air.len() as u64;
@@ -483,6 +496,8 @@ impl LinkSimulation {
                 // locked (deep-fade region of Fig. 16).
                 stats.frames_lost += 1;
             }
+            self.air_buf = air;
+            self.decided_buf = decided;
             now = rx_done;
         }
 
@@ -569,26 +584,32 @@ impl LinkSimulation {
         }
     }
 
-    fn fly(&mut self, slots: &[bool]) -> Vec<bool> {
+    /// Fly a slot stream through the channel into a reused output buffer.
+    ///
+    /// The per-frame `analytic_error_probs` query is served from the
+    /// channel's operating-point memo — it recomputes only when the sense
+    /// tick, shadowing, or fault replay actually changed the channel state
+    /// since the previous frame.
+    fn fly_into(&mut self, slots: &[bool], out: &mut Vec<bool>) {
         match self.cfg.fidelity {
-            ChannelFidelity::Sampled => self.channel.transmit_and_decide(slots),
+            ChannelFidelity::Sampled => {
+                self.channel
+                    .transmit_and_decide_into(slots, &mut self.rx_scratch);
+                out.clear();
+                std::mem::swap(out, &mut self.rx_scratch.decided);
+            }
             ChannelFidelity::SlotIid => {
                 let probs = self.channel.analytic_error_probs();
-                slots
-                    .iter()
-                    .map(|&s| {
-                        let p = if s {
-                            probs.p_on_error
-                        } else {
-                            probs.p_off_error
-                        };
-                        if self.rng.chance(p) {
-                            !s
-                        } else {
-                            s
-                        }
-                    })
-                    .collect()
+                out.clear();
+                out.reserve(slots.len());
+                for &s in slots {
+                    let p = if s {
+                        probs.p_on_error
+                    } else {
+                        probs.p_off_error
+                    };
+                    out.push(if self.rng.chance(p) { !s } else { s });
+                }
             }
         }
     }

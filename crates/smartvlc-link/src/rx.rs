@@ -188,9 +188,7 @@ impl Receiver {
     }
 
     fn pop_front(&mut self, n: usize) {
-        for _ in 0..n.min(self.buffer.len()) {
-            self.buffer.pop_front();
-        }
+        self.buffer.drain(..n.min(self.buffer.len()));
         self.consumed += n as u64;
     }
 
@@ -218,8 +216,10 @@ impl Receiver {
             if self.buffer.len() < PREFIX_SLOTS + 2 {
                 return events; // need more input
             }
-            let contiguous: Vec<bool> = self.buffer.iter().copied().collect();
-            match self.codec.parse(&contiguous) {
+            // `make_contiguous` rotates in place (amortized free: the
+            // buffer is drained from the front and refilled at the back,
+            // so it is usually already contiguous) — no per-parse copy.
+            match self.codec.parse(self.buffer.make_contiguous()) {
                 Ok((frame, stats)) => {
                     let at_slot = self.consumed;
                     if stats.crc_ok {

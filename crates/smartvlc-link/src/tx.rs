@@ -304,9 +304,17 @@ impl Transmitter {
     /// `l = 0.5` an evenly-spread single-slot pattern would be exactly
     /// the preamble and keep the receiver chasing false locks).
     pub fn idle_filler(&self, slots: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(slots);
+        self.idle_filler_into(slots, &mut out);
+        out
+    }
+
+    /// Append the idle filler to `out` without clearing it — callers
+    /// building an on-air stream (gap + frame) extend one reused buffer.
+    pub fn idle_filler_into(&self, slots: usize, out: &mut Vec<bool>) {
         let pairs = slots / 2;
         let ones = (self.led_level * pairs as f64).round() as usize;
-        let mut out = Vec::with_capacity(slots);
+        out.reserve(slots);
         for i in 0..pairs {
             let on = (i * ones) / pairs.max(1) != ((i + 1) * ones) / pairs.max(1);
             out.push(on);
@@ -315,7 +323,6 @@ impl Transmitter {
         if slots % 2 == 1 {
             out.push(false);
         }
-        out
     }
 }
 

@@ -13,7 +13,7 @@ use desim::{DetRng, SimDuration};
 use smartvlc_core::SystemConfig;
 use smartvlc_link::mac::MacHeader;
 use smartvlc_link::{Receiver, RxEvent, SchemeKind, Transmitter};
-use vlc_channel::link::{ChannelConfig, OpticalChannel};
+use vlc_channel::link::{ChannelConfig, OpticalChannel, RxScratch};
 
 /// One receiver's placement.
 #[derive(Clone, Copy, Debug)]
@@ -84,14 +84,15 @@ fn run_seat(level: f64, seat: Seat, seat_idx: u64, duration: SimDuration, seed: 
     let tslot_ns = cfg.tslot_nanos();
     let mut elapsed_ns = 0u64;
     let mut seq = 0u16;
+    let mut scratch = RxScratch::new();
     while elapsed_ns < duration.as_nanos() {
         let data = tx.random_data();
         let (_, slots) = tx.build_frame(seq, &data).expect("level carries data");
         seq = seq.wrapping_add(1);
         elapsed_ns += slots.len() as u64 * tslot_ns;
         // The SAME waveform every other seat sees, through THIS channel.
-        let decided = channel.transmit_and_decide(&slots);
-        for ev in receiver.push_slots(&decided) {
+        channel.transmit_and_decide_into(&slots, &mut scratch);
+        for ev in receiver.push_slots(&scratch.decided) {
             match ev {
                 RxEvent::Frame { frame, .. } => {
                     ok += 1;

@@ -50,6 +50,7 @@ use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
 use smartvlc_obs as obs;
 use vlc_channel::ambient::{AmbientProfile, BlindRamp};
 use vlc_channel::detector::SlotDetector;
+use vlc_channel::opcache::OperatingPointCache;
 
 /// Configuration of one multi-cell run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -175,6 +176,16 @@ pub struct CellReport {
     pub interference_limited_fraction: f64,
     /// Simulated wall-clock, s.
     pub duration_s: f64,
+    /// Operating-point cache hits over the run (deterministic: the cache
+    /// is per-run, so the hit/miss sequence is a pure function of the
+    /// query sequence).
+    pub opcache_hits: u64,
+    /// Operating-point cache misses (= distinct operating points queried).
+    pub opcache_misses: u64,
+    /// Slot-equivalents processed by the analytic RX path: each served
+    /// user-tick covers `tick_s / tslot_s` slots of airtime. Deterministic;
+    /// the denominator for ns/slot in `cell_suite`.
+    pub slots_equivalent: f64,
 }
 
 struct LuminaireState {
@@ -267,6 +278,17 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
     let mut interference_limited = 0u64;
     let tslot_s = vlc_channel::link::ChannelConfig::paper_bench(1.0).tslot_s;
 
+    // One operating-point cache per run (never process-global: a shared
+    // map would make hit/miss attribution scheduling-dependent and break
+    // byte-identical telemetry across thread counts). Hits appear when
+    // users pause AND the ambient holds bit-exactly (constant-ambient
+    // studies, unit tests); under the suite's wobbling blind ramp every
+    // tick is a distinct operating point, so the miss count doubles as a
+    // truthful "distinct operating points" measure and the per-frame wins
+    // live in the link/broadcast memo paths instead.
+    let opcache = OperatingPointCache::new();
+    let mut interferers: Vec<(Position, f64)> = Vec::with_capacity(grid.len());
+
     let mut rss = vec![0.0f64; grid.len()];
     let mut members = vec![0u32; grid.len()];
 
@@ -339,13 +361,14 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
             let lum_pos = &grid[serving].pos;
             let lux_here = (base_lux * window_gain(&room, &u.pos)).max(0.0);
             let ch = cell_channel(&cfg.optics, &room, lum_pos, &u.pos, lux_here);
-            let det = ch.analytic_detector();
-            let interferers: Vec<(Position, f64)> = grid
-                .iter()
-                .zip(&lums)
-                .filter(|(l, _)| l.id != serving)
-                .map(|(l, st)| (l.pos, st.led))
-                .collect();
+            let det = opcache.query(&ch, 1.0, false).detector;
+            interferers.clear();
+            interferers.extend(
+                grid.iter()
+                    .zip(&lums)
+                    .filter(|(l, _)| l.id != serving)
+                    .map(|(l, st)| (l.pos, st.led)),
+            );
             let sigma_cci = interference_sigma_a(&cfg.optics, &room, &interferers, &u.pos);
             if sigma_cci > det.sigma_a {
                 interference_limited += 1;
@@ -405,6 +428,9 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         users: users_out,
         cells: cells_out,
         duration_s,
+        opcache_hits: opcache.hits(),
+        opcache_misses: opcache.misses(),
+        slots_equivalent: served_ticks as f64 * (cfg.tick_s / tslot_s),
     }
 }
 
@@ -454,6 +480,24 @@ mod tests {
             a.aggregate_goodput_bps.to_bits(),
             c.aggregate_goodput_bps.to_bits(),
             "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn opcache_accounting_is_deterministic_and_consistent() {
+        let cfg = CellConfig::standard(2, 2, 3);
+        let a = run_cell(&cfg, 17);
+        let b = run_cell(&cfg, 17);
+        assert_eq!(a.opcache_hits, b.opcache_hits);
+        assert_eq!(a.opcache_misses, b.opcache_misses);
+        assert!(a.opcache_misses > 0, "served ticks must query the cache");
+        // One query per served tick; slots_equivalent is that count scaled
+        // by the slots each tick covers.
+        let queries = (a.opcache_hits + a.opcache_misses) as f64;
+        let slots_per_tick = cfg.tick_s / 8e-6;
+        assert_eq!(
+            a.slots_equivalent.to_bits(),
+            (queries * slots_per_tick).to_bits()
         );
     }
 

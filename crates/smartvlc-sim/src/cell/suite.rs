@@ -70,6 +70,14 @@ pub struct CellSuiteSummary {
     pub outage_fraction: f64,
     /// Mean fraction of served ticks that were interference-limited.
     pub interference_limited_fraction: f64,
+    /// Operating-point cache hits summed across replicates (deterministic:
+    /// per-run caches, replicate-order sum).
+    pub opcache_hits: u64,
+    /// Operating-point cache misses summed across replicates.
+    pub opcache_misses: u64,
+    /// Analytic-RX slot-equivalents summed across replicates (the ns/slot
+    /// denominator the bench bin uses).
+    pub slots_equivalent: f64,
     /// Raw per-replicate reports (replicate order).
     pub replicates: Vec<CellReport>,
 }
@@ -131,6 +139,9 @@ fn summarize(scenario: CellScenario, reps: Vec<CellReport>) -> CellSuiteSummary 
             .map(|r| r.interference_limited_fraction)
             .sum::<f64>()
             / n,
+        opcache_hits: reps.iter().map(|r| r.opcache_hits).sum(),
+        opcache_misses: reps.iter().map(|r| r.opcache_misses).sum(),
+        slots_equivalent: reps.iter().map(|r| r.slots_equivalent).sum(),
         replicates: reps,
         scenario,
     }
@@ -210,6 +221,24 @@ pub fn cell_suite_json(
         s.push_str(&format!(
             "      \"interference_limited_fraction\": {},\n",
             f6(sm.interference_limited_fraction)
+        ));
+        s.push_str(&format!("      \"opcache_hits\": {},\n", sm.opcache_hits));
+        s.push_str(&format!(
+            "      \"opcache_misses\": {},\n",
+            sm.opcache_misses
+        ));
+        let queries = sm.opcache_hits + sm.opcache_misses;
+        s.push_str(&format!(
+            "      \"opcache_hit_rate\": {},\n",
+            f6(if queries > 0 {
+                sm.opcache_hits as f64 / queries as f64
+            } else {
+                0.0
+            })
+        ));
+        s.push_str(&format!(
+            "      \"slots_equivalent\": {},\n",
+            f6(sm.slots_equivalent)
         ));
         s.push_str("      \"per_user_goodput_bps\": [");
         let per_user: Vec<String> = sm

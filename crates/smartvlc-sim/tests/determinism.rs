@@ -17,16 +17,29 @@ use std::sync::Mutex;
 /// Serialize env mutation across the test binary's threads.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+fn with_env<R>(threads: usize, opcache: Option<&str>, f: impl FnOnce() -> R) -> R {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let old = std::env::var("SMARTVLC_THREADS").ok();
-    std::env::set_var("SMARTVLC_THREADS", n.to_string());
+    let old_threads = std::env::var("SMARTVLC_THREADS").ok();
+    let old_opcache = std::env::var("SMARTVLC_OPCACHE").ok();
+    std::env::set_var("SMARTVLC_THREADS", threads.to_string());
+    match opcache {
+        Some(v) => std::env::set_var("SMARTVLC_OPCACHE", v),
+        None => std::env::remove_var("SMARTVLC_OPCACHE"),
+    }
     let out = f();
-    match old {
+    match old_threads {
         Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
         None => std::env::remove_var("SMARTVLC_THREADS"),
     }
+    match old_opcache {
+        Some(v) => std::env::set_var("SMARTVLC_OPCACHE", v),
+        None => std::env::remove_var("SMARTVLC_OPCACHE"),
+    }
     out
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    with_env(n, None, f)
 }
 
 /// A sweep result reduced to exact bits, so equality is byte equality.
@@ -230,6 +243,33 @@ fn cell_suite_is_byte_identical_across_thread_counts() {
         sums1.iter().any(|s| s.handovers > 0),
         "battery exercised no handovers — the gate would be vacuous"
     );
+}
+
+#[test]
+fn cell_suite_is_byte_identical_with_opcache_disabled() {
+    // The operating-point cache is an interning layer, not an
+    // approximation: force-disabling it (`SMARTVLC_OPCACHE=off`) must
+    // reproduce the exact artifact bytes — including the hit/miss
+    // counters, which the disabled cache still books identically.
+    let cached = with_env(1, None, || smartvlc_sim::cell_suite_artifacts(1, 2026));
+    let uncached = with_env(1, Some("off"), || {
+        smartvlc_sim::cell_suite_artifacts(1, 2026)
+    });
+    assert_eq!(
+        cached.0, uncached.0,
+        "BENCH_cell.json differs with the operating-point cache disabled"
+    );
+    assert_eq!(
+        cached.1, uncached.1,
+        "TELEMETRY_cell.csv differs with the operating-point cache disabled"
+    );
+    // The cache must actually be exercised for this gate to mean anything.
+    let queries: u64 = cached
+        .2
+        .iter()
+        .map(|s| s.opcache_hits + s.opcache_misses)
+        .sum();
+    assert!(queries > 0, "battery issued no operating-point queries");
 }
 
 #[test]

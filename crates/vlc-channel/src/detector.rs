@@ -62,9 +62,13 @@ pub struct SlotDetector {
 impl SlotDetector {
     /// Train a detector from known alternating preamble slot levels.
     /// `levels` are per-slot detected currents; `pattern` marks which were
-    /// transmitted ON. Returns `None` if either class is missing.
+    /// transmitted ON. Returns `None` if either class is missing or the
+    /// inputs disagree in length (a truncated preamble capture is a
+    /// recoverable condition, not a programming error).
     pub fn train(levels: &[f64], pattern: &[bool]) -> Option<SlotDetector> {
-        assert_eq!(levels.len(), pattern.len());
+        if levels.len() != pattern.len() {
+            return None;
+        }
         let (mut on_sum, mut on_n, mut off_sum, mut off_n) = (0.0, 0usize, 0.0, 0usize);
         for (&v, &p) in levels.iter().zip(pattern) {
             if p {
@@ -115,7 +119,20 @@ impl SlotDetector {
 
     /// Decide a whole slot-level vector.
     pub fn decide_all(&self, levels: &[f64]) -> Vec<bool> {
-        levels.iter().map(|&v| self.decide(v)).collect()
+        let mut out = Vec::with_capacity(levels.len());
+        self.decide_into(levels, &mut out);
+        out
+    }
+
+    /// Allocation-free batch decision: clears and fills `out`. The
+    /// threshold is computed once per call (not once per slot as
+    /// `decide` does) and the comparison loop is branch-free, so the
+    /// autovectorizer can chew through a frame of levels.
+    pub fn decide_into(&self, levels: &[f64], out: &mut Vec<bool>) {
+        let thr = self.threshold();
+        out.clear();
+        out.reserve(levels.len());
+        out.extend(levels.iter().map(|&v| v > thr));
     }
 
     /// Q-factor of the operating point: `(μ_on − μ_off) / 2σ`.
@@ -172,6 +189,25 @@ mod tests {
     fn train_requires_both_classes() {
         assert!(SlotDetector::train(&[1.0, 1.0], &[true, true]).is_none());
         assert!(SlotDetector::train(&[0.0, 0.0], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn train_rejects_mismatched_lengths() {
+        // A truncated preamble capture must not panic.
+        assert!(SlotDetector::train(&[1.0, 0.0, 1.0], &[true, false]).is_none());
+        assert!(SlotDetector::train(&[1.0], &[true, false]).is_none());
+        assert!(SlotDetector::train(&[], &[true]).is_none());
+    }
+
+    #[test]
+    fn decide_into_matches_decide() {
+        let d = SlotDetector::from_levels(1.0, 0.0, 0.1);
+        let levels = [0.9, 0.1, 0.6, 0.5, 0.500001];
+        let mut out = vec![true; 2]; // stale content must be cleared
+        d.decide_into(&levels, &mut out);
+        let expected: Vec<bool> = levels.iter().map(|&v| d.decide(v)).collect();
+        assert_eq!(out, expected);
+        assert_eq!(out, d.decide_all(&levels));
     }
 
     #[test]

@@ -66,32 +66,62 @@ impl LedModel {
     /// rise/fall constants. The initial state is the first slot's target
     /// (steady operation, not cold start).
     pub fn synthesize(&self, slots: &[bool], tslot_s: f64, samples_per_slot: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.synthesize_into(slots, tslot_s, samples_per_slot, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`LedModel::synthesize`]: clears and fills
+    /// `out` in place (bit-identical output; the per-sample `exp` of the
+    /// step response is hoisted — `alpha` depends only on `dt` and the
+    /// rise/fall constant, both loop-invariant).
+    pub fn synthesize_into(
+        &self,
+        slots: &[bool],
+        tslot_s: f64,
+        samples_per_slot: usize,
+        out: &mut Vec<f64>,
+    ) {
         assert!(samples_per_slot >= 1, "need at least one sample per slot");
         assert!(tslot_s > 0.0, "slot duration must be positive");
         let dt = tslot_s / samples_per_slot as f64;
-        let mut out = Vec::with_capacity(slots.len() * samples_per_slot);
+        out.clear();
         let mut power = match slots.first() {
             Some(&s) => self.steady_power(s as u8 as f64),
-            None => return out,
+            None => return,
+        };
+        out.reserve(slots.len() * samples_per_slot);
+        let rise_alpha = if self.rise_tau_s > 0.0 {
+            1.0 - (-dt / self.rise_tau_s).exp()
+        } else {
+            1.0
+        };
+        let fall_alpha = if self.fall_tau_s > 0.0 {
+            1.0 - (-dt / self.fall_tau_s).exp()
+        } else {
+            1.0
         };
         for &slot in slots {
             let target = self.steady_power(slot as u8 as f64);
-            let tau = if target > power {
+            let rising = target > power;
+            let tau = if rising {
                 self.rise_tau_s
             } else {
                 self.fall_tau_s
             };
-            for _ in 0..samples_per_slot {
-                if tau <= 0.0 {
+            if tau <= 0.0 {
+                for _ in 0..samples_per_slot {
                     power = target;
-                } else {
-                    let alpha = 1.0 - (-dt / tau).exp();
-                    power += (target - power) * alpha;
+                    out.push(power);
                 }
-                out.push(power);
+            } else {
+                let alpha = if rising { rise_alpha } else { fall_alpha };
+                for _ in 0..samples_per_slot {
+                    power += (target - power) * alpha;
+                    out.push(power);
+                }
             }
         }
-        out
     }
 
     /// Eye-opening metric for a given slot duration: the fraction of the
@@ -170,6 +200,47 @@ mod tests {
     fn empty_slots_give_empty_waveform() {
         let led = LedModel::philips_4w7();
         assert!(led.synthesize(&[], 8e-6, 4).is_empty());
+    }
+
+    #[test]
+    fn hoisted_alpha_is_bit_identical_to_per_sample_exp() {
+        // The original loop recomputed `1 - exp(-dt/tau)` per sample;
+        // synthesize_into hoists it. Pin bit-identity against a direct
+        // transcription of the per-sample form.
+        let led = LedModel::philips_4w7();
+        let slots: Vec<bool> = (0..257).map(|i| i % 7 < 3).collect();
+        let (tslot_s, spp) = (8e-6, 4usize);
+        let dt = tslot_s / spp as f64;
+        let mut power = led.steady_power(slots[0] as u8 as f64);
+        let mut reference = Vec::new();
+        for &slot in &slots {
+            let target = led.steady_power(slot as u8 as f64);
+            let tau = if target > power {
+                led.rise_tau_s
+            } else {
+                led.fall_tau_s
+            };
+            for _ in 0..spp {
+                let alpha = 1.0 - (-dt / tau).exp();
+                power += (target - power) * alpha;
+                reference.push(power);
+            }
+        }
+        let wave = led.synthesize(&slots, tslot_s, spp);
+        assert_eq!(wave.len(), reference.len());
+        for (a, b) in wave.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn synthesize_into_reuses_and_clears() {
+        let led = LedModel::philips_4w7();
+        let mut buf = vec![123.0; 9];
+        led.synthesize_into(&[true, false], 8e-6, 4, &mut buf);
+        assert_eq!(buf, led.synthesize(&[true, false], 8e-6, 4));
+        led.synthesize_into(&[], 8e-6, 4, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

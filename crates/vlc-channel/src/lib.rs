@@ -57,6 +57,7 @@ pub mod faults;
 pub mod frontend;
 pub mod led;
 pub mod link;
+pub mod opcache;
 pub mod optics;
 pub mod photodiode;
 pub mod shadowing;
@@ -64,6 +65,7 @@ pub mod shadowing;
 pub use ambient::AmbientProfile;
 pub use detector::{ChannelErrorProbs, SlotDetector};
 pub use faults::{ChannelFaultState, FaultEvent, FaultKind, FaultPlan, UplinkFaultState};
-pub use link::{ChannelConfig, OpticalChannel};
+pub use link::{ChannelConfig, OpticalChannel, RxScratch};
+pub use opcache::{CachedOp, OperatingPointCache};
 pub use optics::LambertianLink;
 pub use shadowing::{ShadowingModel, ShadowingProcess};

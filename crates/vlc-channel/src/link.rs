@@ -18,11 +18,16 @@ use crate::detector::{ChannelErrorProbs, SlotDetector};
 use crate::faults::ChannelFaultState;
 use crate::frontend::AnalogFrontend;
 use crate::led::LedModel;
+use crate::opcache::{CachedOp, OperatingPointCache};
 use crate::optics::LambertianLink;
 use crate::photodiode::Photodiode;
 use desim::{DetRng, SimTime};
 use serde::{Deserialize, Serialize};
 use smartvlc_obs as obs;
+use std::cell::Cell;
+
+/// Number of `u64` words in a [`ChannelConfig::fingerprint`].
+pub const CONFIG_FINGERPRINT_WORDS: usize = 25;
 
 /// All channel parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -127,6 +132,71 @@ impl ChannelConfig {
     pub fn analytic_error_probs(&self) -> ChannelErrorProbs {
         self.analytic_detector().error_probs()
     }
+
+    /// The exact bit pattern of every field that feeds the analytic
+    /// operating-point math, as `f64::to_bits` words (integers widened;
+    /// the optional diffuse component tagged by presence). Two configs
+    /// with equal fingerprints produce bit-identical
+    /// [`ChannelConfig::detector_with`] outputs for equal extra inputs —
+    /// the keying contract of [`crate::opcache::OperatingPointCache`].
+    pub fn fingerprint(&self) -> [u64; CONFIG_FINGERPRINT_WORDS] {
+        let g = &self.geometry;
+        let (diffuse_tag, diffuse_rho, diffuse_area) = match g.diffuse {
+            Some(d) => (1u64, d.reflectivity.to_bits(), d.room_area_m2.to_bits()),
+            None => (0, 0, 0),
+        };
+        [
+            self.led.rise_tau_s.to_bits(),
+            self.led.fall_tau_s.to_bits(),
+            self.led.on_power_w.to_bits(),
+            self.led.off_fraction.to_bits(),
+            g.semi_angle_deg.to_bits(),
+            g.rx_area_m2.to_bits(),
+            g.rx_fov_deg.to_bits(),
+            g.distance_m.to_bits(),
+            g.off_axis_deg.to_bits(),
+            diffuse_tag,
+            diffuse_rho,
+            diffuse_area,
+            self.rx_diode.responsivity_a_per_w.to_bits(),
+            self.rx_diode.area_m2.to_bits(),
+            self.rx_diode.dark_current_a.to_bits(),
+            self.rx_diode.a_per_lux.to_bits(),
+            self.frontend.tia_gain_v_per_a.to_bits(),
+            self.frontend.thermal_noise_a_rms.to_bits(),
+            u64::from(self.frontend.adc_bits),
+            self.frontend.adc_vref_v.to_bits(),
+            self.frontend.bias_v.to_bits(),
+            self.tslot_s.to_bits(),
+            self.samples_per_slot as u64,
+            self.ambient_lux.to_bits(),
+            self.ambient_rin.to_bits(),
+        ]
+    }
+}
+
+/// Reusable receive-path buffers for the batched sampled pipeline.
+///
+/// One `RxScratch` threaded through [`OpticalChannel::transmit_into`] /
+/// [`OpticalChannel::transmit_and_decide_into`] replaces the per-frame
+/// `Vec<f64>`/`Vec<bool>` allocations of the original API: buffers are
+/// cleared and refilled in place, so steady-state frames allocate nothing.
+#[derive(Default)]
+pub struct RxScratch {
+    /// LED optical waveform, one entry per ADC sample.
+    pub optical: Vec<f64>,
+    /// Per-slot averaged current levels (the output of the sampled path).
+    pub levels: Vec<f64>,
+    /// Per-slot decisions (filled by `transmit_and_decide_into`).
+    pub decided: Vec<bool>,
+}
+
+impl RxScratch {
+    /// Empty scratch; buffers grow to frame size on first use and are
+    /// reused afterwards.
+    pub fn new() -> RxScratch {
+        RxScratch::default()
+    }
 }
 
 /// A stateful channel instance (owns its noise stream).
@@ -139,6 +209,14 @@ pub struct OpticalChannel {
     /// Injected impairments (see [`crate::faults::FaultPlan`]); composes
     /// with the blockage gain and configured ambient.
     fault: ChannelFaultState,
+    /// Interned operating points; shared (Arc) if installed via
+    /// [`OpticalChannel::set_op_cache`].
+    opcache: OperatingPointCache,
+    /// Memo of the operating point for the *current* channel state.
+    /// Cleared by every mutator; while valid, `analytic_detector` /
+    /// `analytic_error_probs` are a pointer-free `Cell` read — no key
+    /// construction, no map probe, no counters.
+    op_memo: Cell<Option<CachedOp>>,
 }
 
 impl OpticalChannel {
@@ -150,13 +228,28 @@ impl OpticalChannel {
             rng,
             blockage_gain: 1.0,
             fault: ChannelFaultState::CLEAR,
+            opcache: OperatingPointCache::new(),
+            op_memo: Cell::new(None),
         }
+    }
+
+    /// Install a shared operating-point cache (e.g. one cache across the
+    /// channels of a sweep); clears the state memo.
+    pub fn set_op_cache(&mut self, cache: OperatingPointCache) {
+        self.opcache = cache;
+        self.op_memo.set(None);
+    }
+
+    /// The channel's operating-point cache (hit/miss stats live here).
+    pub fn op_cache(&self) -> &OperatingPointCache {
+        &self.opcache
     }
 
     /// Apply a blockage attenuation factor (see
     /// [`crate::shadowing::ShadowingProcess`]); 1.0 restores a clear path.
     pub fn set_blockage_gain(&mut self, gain: f64) {
         self.blockage_gain = gain.clamp(0.0, 1.0);
+        self.op_memo.set(None);
     }
 
     /// Apply an injected impairment state (ambient spike, occlusion,
@@ -174,11 +267,13 @@ impl OpticalChannel {
             obs::counter_add(obs::key!("channel.fault.activations"), 1);
         }
         self.fault = next;
+        self.op_memo.set(None);
     }
 
     /// Remove all injected impairments.
     pub fn clear_faults(&mut self) {
         self.fault = ChannelFaultState::CLEAR;
+        self.op_memo.set(None);
     }
 
     /// The effective ambient illuminance including injected spikes, lux.
@@ -194,16 +289,19 @@ impl OpticalChannel {
     /// Move the receiver (distance sweep of Fig. 16).
     pub fn set_distance(&mut self, d_m: f64) {
         self.cfg.geometry.distance_m = d_m;
+        self.op_memo.set(None);
     }
 
     /// Rotate the receiver off-axis (incidence sweep of Fig. 17).
     pub fn set_off_axis(&mut self, deg: f64) {
         self.cfg.geometry.off_axis_deg = deg;
+        self.op_memo.set(None);
     }
 
     /// Update ambient illuminance (driven by an [`AmbientProfile`]).
     pub fn set_ambient_lux(&mut self, lux: f64) {
         self.cfg.ambient_lux = lux.max(0.0);
+        self.op_memo.set(None);
     }
 
     /// Track an ambient profile at simulation time `t`.
@@ -231,64 +329,114 @@ impl OpticalChannel {
     ///
     /// Each slot's level is the mean of its ADC samples excluding the
     /// first (which straddles the LED transition).
+    ///
+    /// Allocates fresh buffers per call; batched callers use
+    /// [`OpticalChannel::transmit_into`] with a reusable [`RxScratch`].
     pub fn transmit(&mut self, slots: &[bool]) -> Vec<f64> {
+        let mut scratch = RxScratch::new();
+        self.transmit_into(slots, &mut scratch);
+        scratch.levels
+    }
+
+    /// Allocation-free form of [`OpticalChannel::transmit`]: fills
+    /// `scratch.levels` (and `scratch.optical`) in place, bit-identical to
+    /// the allocating path — same noise-stream draw order, same float
+    /// expression shapes, only the loop-invariant factors hoisted.
+    pub fn transmit_into(&mut self, slots: &[bool], scratch: &mut RxScratch) {
         let spp = self.cfg.samples_per_slot;
-        let optical = self.cfg.led.synthesize(slots, self.cfg.tslot_s, spp);
+        self.cfg
+            .led
+            .synthesize_into(slots, self.cfg.tslot_s, spp, &mut scratch.optical);
         let gain = self.cfg.geometry.path_gain() * self.blockage_gain * self.fault.gain;
         let i_amb = self.ambient_current();
         let i_amb_rin = self.cfg.ambient_rin * i_amb;
-        let fs = spp as f64 / self.cfg.tslot_s;
+        let rin_var = i_amb_rin * i_amb_rin;
+        let half_bw = spp as f64 / self.cfg.tslot_s / 2.0;
+        let responsivity = self.cfg.rx_diode.responsivity_a_per_w;
+        let slot_norm = (spp - 1) as f64;
+        scratch.levels.clear();
+        scratch.levels.reserve(slots.len());
         // Injected saturation: the front end is pinned at the rail, every
-        // sample reads full-scale regardless of the slot waveform.
-        let rail = if self.fault.saturated {
-            Some(
-                self.cfg
-                    .frontend
-                    .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16),
-            )
-        } else {
-            None
-        };
-        let mut levels = Vec::with_capacity(slots.len());
-        for chunk in optical.chunks_exact(spp) {
+        // sample reads full-scale regardless of the slot waveform — and
+        // consumes no noise draws. Hoisted out of the per-sample loop so
+        // the clear path below stays branch-free.
+        if self.fault.saturated {
+            let max_i = self
+                .cfg
+                .frontend
+                .code_to_current(((1u64 << self.cfg.frontend.adc_bits) - 1) as u16);
+            for _ in 0..slots.len() {
+                // Keep the original repeated-add average: `max_i * n / n`
+                // is not bit-identical to summing n copies.
+                let mut acc = 0.0;
+                for _ in 1..spp {
+                    acc += max_i;
+                }
+                scratch.levels.push(acc / slot_norm);
+            }
+            return;
+        }
+        for chunk in scratch.optical.chunks_exact(spp) {
             let mut acc = 0.0;
             for &p_opt in &chunk[1..] {
-                if let Some(max_i) = rail {
-                    acc += max_i;
-                    continue;
-                }
-                let i_sig = self.cfg.rx_diode.responsivity_a_per_w * p_opt * gain;
-                let shot = self.cfg.rx_diode.shot_noise_std_a(i_sig + i_amb, fs / 2.0);
+                let i_sig = responsivity * p_opt * gain;
+                let shot = self.cfg.rx_diode.shot_noise_std_a(i_sig + i_amb, half_bw);
                 // Shot + ambient RIN enter before the frontend; the
                 // frontend adds its own thermal noise and quantizes.
-                let noise = self.rng.next_gaussian() * (shot * shot + i_amb_rin * i_amb_rin).sqrt();
+                let noise = self.rng.next_gaussian() * (shot * shot + rin_var).sqrt();
                 let code = self.cfg.frontend.sample(i_sig + noise, &mut self.rng);
                 acc += self.cfg.frontend.code_to_current(code);
             }
-            levels.push(acc / (spp - 1) as f64);
+            scratch.levels.push(acc / slot_norm);
         }
-        levels
     }
 
     /// Transmit and decide with an ideal (analytically-trained) detector —
     /// the common path for link simulations.
+    ///
+    /// Allocates fresh buffers per call; batched callers use
+    /// [`OpticalChannel::transmit_and_decide_into`].
     pub fn transmit_and_decide(&mut self, slots: &[bool]) -> Vec<bool> {
+        let mut scratch = RxScratch::new();
+        self.transmit_and_decide_into(slots, &mut scratch);
+        scratch.decided
+    }
+
+    /// Allocation-free form of [`OpticalChannel::transmit_and_decide`]:
+    /// fills `scratch.decided` in place (threshold computed once per
+    /// frame, detector served from the operating-point cache).
+    pub fn transmit_and_decide_into(&mut self, slots: &[bool], scratch: &mut RxScratch) {
         let detector = self.analytic_detector();
-        let levels = self.transmit(slots);
-        detector.decide_all(&levels)
+        self.transmit_into(slots, scratch);
+        detector.decide_into(&scratch.levels, &mut scratch.decided);
     }
 
     /// The expected detector operating point at the current configuration,
-    /// including blockage and injected fault state.
+    /// including blockage and injected fault state. Served from the
+    /// operating-point cache; recomputed only when gain/ambient/fault
+    /// state actually changed since the last query.
     pub fn analytic_detector(&self) -> SlotDetector {
-        self.effective_cfg()
-            .detector_with(self.blockage_gain * self.fault.gain, self.fault.saturated)
+        self.cached_op().detector
     }
 
     /// Analytic P1/P2 at the current operating point — what the paper
-    /// measured empirically and fed into Eq. 3.
+    /// measured empirically and fed into Eq. 3. Cached alongside the
+    /// detector.
     pub fn analytic_error_probs(&self) -> ChannelErrorProbs {
-        self.analytic_detector().error_probs()
+        self.cached_op().probs
+    }
+
+    fn cached_op(&self) -> CachedOp {
+        if let Some(op) = self.op_memo.get() {
+            return op;
+        }
+        let op = self.opcache.query(
+            &self.effective_cfg(),
+            self.blockage_gain * self.fault.gain,
+            self.fault.saturated,
+        );
+        self.op_memo.set(Some(op));
+        op
     }
 }
 
@@ -416,6 +564,52 @@ mod tests {
         let mut a = channel(3.6);
         let mut b = channel(3.6);
         assert_eq!(a.transmit(&slots), b.transmit(&slots));
+    }
+
+    #[test]
+    fn scratch_pipeline_matches_allocating_pipeline() {
+        let slots: Vec<bool> = (0..700).map(|i| i % 4 < 2).collect();
+        let mut a = channel(3.8);
+        let mut b = channel(3.8);
+        let mut scratch = RxScratch::new();
+        // Same seed, same draws: levels and decisions must match bitwise.
+        b.transmit_into(&slots, &mut scratch);
+        let levels_a = a.transmit(&slots);
+        assert_eq!(levels_a.len(), scratch.levels.len());
+        for (x, y) in levels_a.iter().zip(&scratch.levels) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut c = channel(3.8);
+        let mut d = channel(3.8);
+        c.transmit_and_decide_into(&slots, &mut scratch);
+        assert_eq!(d.transmit_and_decide(&slots), scratch.decided);
+    }
+
+    #[test]
+    fn memoized_operating_point_tracks_every_mutator() {
+        // Each mutator must invalidate the memo: the cached answer after a
+        // mutation equals a fresh channel put in the same state.
+        let mut ch = channel(3.6);
+        let _warm = ch.analytic_detector(); // populate the memo
+        ch.set_distance(4.1);
+        ch.set_off_axis(7.0);
+        ch.set_ambient_lux(5000.0);
+        ch.set_blockage_gain(0.4);
+        let mut fresh = channel(4.1);
+        fresh.set_off_axis(7.0);
+        fresh.set_ambient_lux(5000.0);
+        fresh.set_blockage_gain(0.4);
+        let a = ch.analytic_detector();
+        let b = fresh.analytic_detector();
+        assert_eq!(a.mu_on_a.to_bits(), b.mu_on_a.to_bits());
+        assert_eq!(a.sigma_a.to_bits(), b.sigma_a.to_bits());
+        // Repeated queries with no mutation are memo hits: the shared
+        // cache records no extra traffic.
+        let before = ch.op_cache().hits() + ch.op_cache().misses();
+        for _ in 0..10 {
+            let _ = ch.analytic_error_probs();
+        }
+        assert_eq!(ch.op_cache().hits() + ch.op_cache().misses(), before);
     }
 
     #[test]
