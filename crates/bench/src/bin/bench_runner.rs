@@ -93,6 +93,7 @@ fn rx_hot_path_section() -> String {
         1.308,
         0.808,
         0.1,
+        smartvlc_core::frame::format::FecMode::Off,
         root.fork("tx"),
     )
     .expect("valid config");

@@ -1,20 +1,25 @@
 //! Chaos suite: scheduled channel faults against the self-healing link.
 //!
 //! Runs the scenario battery from `smartvlc_sim::chaos` (ambient spikes,
-//! occlusion, clock drift, symbol slips, saturation, flaky uplink, and a
-//! kitchen-sink combination), prints a markdown recovery table, and
-//! writes the per-scenario metrics as JSON to `results/BENCH_chaos.json`.
+//! occlusion, clock drift, symbol slips, saturation, flaky uplink, a
+//! kitchen-sink combination, and the deep fade) **twice per seed** —
+//! ARQ-only and with the nominal FEC outer code — prints a markdown
+//! recovery table, and writes the per-scenario metrics as JSON to
+//! `results/BENCH_chaos.json`. The legacy per-scenario keys come from
+//! the ARQ-only leg; the coded leg rides along as a one-line `fec_on`
+//! object plus a `goodput_retained_delta`, so
+//! `grep '"fec_on"' results/BENCH_chaos.json` shows what the code buys.
 //!
 //! The suite then re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
 //! verifies the two JSON reports are byte-identical — the runner's
-//! determinism contract, enforced on the chaos path every time this
-//! binary runs (CI diffs the same pair).
+//! determinism contract, enforced on the chaos path (both legs) every
+//! time this binary runs (CI diffs the same pair).
 
 use smartvlc_bench::{f, full_run, indent_json, results_dir};
 use smartvlc_obs as obs;
-use smartvlc_sim::chaos::ChaosSummary;
+use smartvlc_sim::chaos::{ChaosFecComparison, ChaosSummary};
 use smartvlc_sim::report::markdown_table;
-use smartvlc_sim::run_chaos_suite;
+use smartvlc_sim::run_chaos_suite_fec;
 
 const BASE_SEED: u64 = 0x5eed_c4a0;
 
@@ -22,16 +27,36 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The coded leg, as a single JSON line so it stays grep-filterable.
+fn fec_on_json(s: &ChaosSummary) -> String {
+    format!(
+        "{{\"mean_goodput_retained\": {:.6}, \"min_goodput_retained\": {:.6}, \
+         \"mean_goodput_bps\": {:.3}, \"fec_corrected_symbols\": {}, \
+         \"fec_decode_failures\": {}, \"mean_fec_overhead\": {:.6}}}",
+        s.mean_goodput_retained,
+        s.min_goodput_retained,
+        s.mean_goodput_bps,
+        s.fec_corrected_symbols,
+        s.fec_decode_failures,
+        s.mean_fec_overhead
+    )
+}
+
 /// Hand-rolled JSON (the workspace is fully offline — no serde_json):
 /// stable key order, fixed float formatting, so equal results mean equal
 /// bytes.
-fn to_json(summaries: &[ChaosSummary], replicates: usize, telemetry: &obs::Snapshot) -> String {
+fn to_json(
+    comparisons: &[ChaosFecComparison],
+    replicates: usize,
+    telemetry: &obs::Snapshot,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"base_seed\": {BASE_SEED},\n"));
     out.push_str(&format!("  \"replicates\": {replicates},\n"));
     out.push_str("  \"scenarios\": [\n");
-    for (i, s) in summaries.iter().enumerate() {
+    for (i, c) in comparisons.iter().enumerate() {
+        let s = &c.off;
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(s.name)));
         out.push_str(&format!(
@@ -65,10 +90,15 @@ fn to_json(summaries: &[ChaosSummary], replicates: usize, telemetry: &obs::Snaps
             s.resync_overruns
         ));
         out.push_str(&format!(
-            "      \"max_degrade_tier\": {}\n",
+            "      \"max_degrade_tier\": {},\n",
             s.max_degrade_tier
         ));
-        out.push_str(if i + 1 == summaries.len() {
+        out.push_str(&format!("      \"fec_on\": {},\n", fec_on_json(&c.on)));
+        out.push_str(&format!(
+            "      \"goodput_retained_delta\": {:.6}\n",
+            c.goodput_retained_delta()
+        ));
+        out.push_str(if i + 1 == comparisons.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -87,14 +117,14 @@ fn to_json(summaries: &[ChaosSummary], replicates: usize, telemetry: &obs::Snaps
 
 /// One full suite run under a fresh root recorder. Returns the JSON report
 /// (with embedded telemetry) and the telemetry CSV export.
-fn suite_report(replicates: usize) -> (String, String, Vec<ChaosSummary>) {
+fn suite_report(replicates: usize) -> (String, String, Vec<ChaosFecComparison>) {
     let rec = obs::Recorder::new();
-    let summaries = obs::with_recorder(&rec, || run_chaos_suite(replicates, BASE_SEED));
+    let comparisons = obs::with_recorder(&rec, || run_chaos_suite_fec(replicates, BASE_SEED));
     let snap = rec.snapshot();
     (
-        to_json(&summaries, replicates, &snap),
+        to_json(&comparisons, replicates, &snap),
         snap.to_csv(),
-        summaries,
+        comparisons,
     )
 }
 
@@ -114,18 +144,20 @@ fn run_at(threads: Option<usize>, replicates: usize) -> (String, String) {
 fn main() {
     let replicates = if full_run() { 5 } else { 2 };
 
-    let (_, _, summaries) = suite_report(replicates);
+    let (_, _, comparisons) = suite_report(replicates);
     let mut rows = Vec::new();
-    for s in &summaries {
+    for c in &comparisons {
+        let s = &c.off;
         rows.push(vec![
             s.name.to_string(),
             f(s.mean_goodput_retained * 100.0, 1),
+            f(c.on.mean_goodput_retained * 100.0, 1),
+            f(c.goodput_retained_delta() * 100.0, 1),
             f(s.mean_goodput_bps / 1000.0, 1),
             s.mean_resync_s.map_or("-".into(), |v| f(v * 1000.0, 0)),
-            s.late_deliveries.to_string(),
             s.frames_lost.to_string(),
-            s.sync_losses.to_string(),
-            s.max_degrade_tier.to_string(),
+            c.on.fec_corrected_symbols.to_string(),
+            c.on.fec_decode_failures.to_string(),
         ]);
     }
     println!("# Chaos suite — fault injection vs the self-healing link\n");
@@ -134,20 +166,21 @@ fn main() {
         markdown_table(
             &[
                 "scenario",
-                "goodput retained %",
+                "arq-only retained %",
+                "fec-on retained %",
+                "delta %",
                 "goodput kbit/s",
                 "resync ms",
-                "late",
                 "lost",
-                "sync losses",
-                "max tier",
+                "fec corrected",
+                "fec failures",
             ],
             &rows,
         )
     );
 
-    // Determinism gate: the whole suite — results AND telemetry — serial
-    // vs 8-way, byte-identical.
+    // Determinism gate: the whole suite — both legs AND telemetry —
+    // serial vs 8-way, byte-identical.
     let (serial, serial_csv) = run_at(Some(1), replicates);
     let (parallel, parallel_csv) = run_at(Some(8), replicates);
     assert_eq!(

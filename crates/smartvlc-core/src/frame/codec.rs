@@ -13,7 +13,7 @@ use crate::amppm::planner::{AmppmPlanner, PlanError};
 use crate::config::SystemConfig;
 use crate::dimming::DimmingLevel;
 use crate::frame::crc::Crc16;
-use crate::frame::format::{DescriptorError, Frame, FrameHeader, PatternDescriptor};
+use crate::frame::format::{DescriptorError, FecMode, Frame, FrameHeader, PatternDescriptor};
 use crate::modem::{DemodError, SlotModem};
 use crate::schemes::{AmppmModem, DarklightModem, MppmModem, OokCtModem, OppmModem, VppmModem};
 use crate::symbol::SymbolPattern;
@@ -39,6 +39,11 @@ pub struct FrameStats {
     pub symbol_failures: u32,
     /// Total payload symbols processed.
     pub symbols: u32,
+    /// Symbol errors the outer code corrected in place (0 when FEC off).
+    pub fec_corrected: u32,
+    /// Codewords the outer decoder could not repair — when nonzero the
+    /// frame falls back to CRC + ARQ exactly as an uncoded frame would.
+    pub fec_failed_codewords: u32,
 }
 
 /// Errors from frame emission or parsing.
@@ -105,13 +110,28 @@ impl From<PlanError> for FrameCodecError {
 pub struct FrameCodec {
     cfg: SystemConfig,
     planner: AmppmPlanner,
+    accept_fec: bool,
 }
 
 impl FrameCodec {
     /// Build a codec for a configuration.
     pub fn new(cfg: SystemConfig) -> Result<FrameCodec, PlanError> {
         let planner = AmppmPlanner::new(cfg.clone())?;
-        Ok(FrameCodec { cfg, planner })
+        Ok(FrameCodec {
+            cfg,
+            planner,
+            accept_fec: true,
+        })
+    }
+
+    /// Whether parsing accepts FEC-flagged headers. A receiver that is
+    /// not provisioned for the outer code sets this false: no legitimate
+    /// peer sends coded frames at it, so an observed FEC flag can only
+    /// be header corruption — rejecting it up front keeps the fec-off
+    /// bookkeeping (stats, telemetry keys) identical to a build without
+    /// FEC at all.
+    pub fn set_accept_fec(&mut self, accept: bool) {
+        self.accept_fec = accept;
     }
 
     /// The configuration in use.
@@ -202,11 +222,17 @@ impl FrameCodec {
         }
         debug_assert_eq!(slots.len(), PREFIX_SLOTS);
 
-        // Payload block: payload ++ CRC(header ++ payload).
+        // Payload block: payload ++ CRC(header ++ payload), then the
+        // outer code when the header asks for one. The CRC sits *inside*
+        // the codeword, so corrected symbols still verify and only
+        // uncorrectable blocks fall back to ARQ.
         let mut crc = Crc16::new();
         crc.update(&header_bytes).update(&frame.payload);
         let mut block = frame.payload.clone();
         block.extend_from_slice(&crc.finish().to_be_bytes());
+        if let Some(profile) = frame.header.fec.profile() {
+            block = smartvlc_fec::encode(profile, &block);
+        }
         let payload_slots = modem.modulate(table, &block);
 
         // Compensation + sync: align the prefix brightness to the payload
@@ -257,6 +283,11 @@ impl FrameCodec {
             }
         }
         let header = FrameHeader::from_bytes(&header_bytes).map_err(FrameCodecError::BadHeader)?;
+        if !self.accept_fec && header.fec != FecMode::Off {
+            return Err(FrameCodecError::BadHeader(DescriptorError::UnknownFec(
+                header.fec.wire_bits(),
+            )));
+        }
 
         // Compensation run: scan for the sync edge.
         let comp_start = PREFIX_SLOTS;
@@ -274,22 +305,37 @@ impl FrameCodec {
         }
         let payload_start = i + 1; // the flip slot is the sync bit
 
-        // Payload block.
+        // Payload block. With FEC on, the on-air block is the coded
+        // length; both ends derive it from (profile, payload_len) alone.
         let modem = self.modem_for(header.pattern)?;
         let table = self.planner.table();
         let block_bytes = header.payload_len as usize + 2;
-        let n_slots = modem.slots_for_payload(table, block_bytes);
+        let air_bytes = header.fec.coded_len(block_bytes);
+        let n_slots = modem.slots_for_payload(table, air_bytes);
         if slots.len() < payload_start + n_slots {
             return Err(FrameCodecError::Truncated {
                 needed: payload_start + n_slots,
                 got: slots.len(),
             });
         }
-        let (block, dstats) = modem.demodulate(
+        let (raw, dstats) = modem.demodulate(
             table,
             &slots[payload_start..payload_start + n_slots],
-            block_bytes,
+            air_bytes,
         )?;
+        let (block, fec_corrected, fec_failed_codewords) = match header.fec.profile() {
+            Some(profile) => {
+                let out = smartvlc_fec::decode(profile, &raw, block_bytes);
+                if out.corrected > 0 {
+                    obs::counter_add(obs::key!("fec.corrected_symbols"), out.corrected as u64);
+                }
+                if out.failed_codewords > 0 {
+                    obs::counter_add(obs::key!("fec.decode_failures"), 1);
+                }
+                (out.data, out.corrected, out.failed_codewords)
+            }
+            None => (raw, 0, 0),
+        };
         let (payload, crc_bytes) = block.split_at(header.payload_len as usize);
         let mut crc = Crc16::new();
         crc.update(&header_bytes).update(payload);
@@ -300,6 +346,8 @@ impl FrameCodec {
             total_slots: payload_start + n_slots,
             symbol_failures: dstats.symbol_failures,
             symbols: dstats.symbols,
+            fec_corrected,
+            fec_failed_codewords,
         };
         obs::counter_add(obs::key!("core.codec.parses"), 1);
         if !crc_ok {
@@ -417,6 +465,95 @@ mod tests {
             let (back, stats) = c.parse(&slots).unwrap();
             assert!(stats.crc_ok, "{d:?}");
             assert_eq!(back, frame, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn fec_frame_roundtrip_all_modes() {
+        use crate::frame::format::FecMode;
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        for fec in [FecMode::Light, FecMode::Medium, FecMode::Heavy] {
+            let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+            let frame = Frame::with_fec(d, fec, payload(128)).unwrap();
+            let slots = c.emit(&frame).unwrap();
+            let (back, stats) = c.parse(&slots).unwrap();
+            assert!(stats.crc_ok, "{fec}");
+            assert_eq!(back, frame, "{fec}");
+            assert_eq!(stats.fec_corrected, 0, "{fec}");
+            assert_eq!(stats.fec_failed_codewords, 0, "{fec}");
+        }
+    }
+
+    #[test]
+    fn unprovisioned_codec_rejects_fec_flagged_headers() {
+        use crate::frame::format::FecMode;
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        c.set_accept_fec(false);
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+        // A coded frame arriving at an uncoded receiver is, from its
+        // point of view, a corrupted header — typed rejection, no decode.
+        let frame = Frame::with_fec(d, FecMode::Medium, payload(64)).unwrap();
+        let mut other = codec();
+        let slots = other.emit(&frame).unwrap();
+        assert_eq!(
+            c.parse(&slots).unwrap_err(),
+            FrameCodecError::BadHeader(DescriptorError::UnknownFec(FecMode::Medium.wire_bits()))
+        );
+        // Uncoded frames still parse.
+        let plain = Frame::new(d, payload(64)).unwrap();
+        let slots = other.emit(&plain).unwrap();
+        assert!(c.parse(&slots).unwrap().1.crc_ok);
+    }
+
+    #[test]
+    fn fec_corrects_payload_burst_that_kills_uncoded_crc() {
+        use crate::frame::format::FecMode;
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+
+        // Same payload, coded and uncoded; flip a run of payload slots
+        // near the end of each frame (well past the OOK prefix).
+        let coded = Frame::with_fec(d, FecMode::Medium, payload(128)).unwrap();
+        let uncoded = Frame::new(d, payload(128)).unwrap();
+        for (frame, expect_clean) in [(&coded, true), (&uncoded, false)] {
+            let mut slots = c.emit(frame).unwrap();
+            let n = slots.len();
+            for s in &mut slots[n - 40..n - 20] {
+                *s = !*s;
+            }
+            let (back, stats) = c.parse(&slots).unwrap();
+            assert_eq!(stats.crc_ok, expect_clean, "fec={}", frame.header.fec);
+            if expect_clean {
+                assert_eq!(&back, frame);
+                assert!(stats.fec_corrected > 0);
+                assert_eq!(stats.fec_failed_codewords, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fec_overwhelmed_falls_back_to_crc_failure() {
+        use crate::frame::format::FecMode;
+        let cfg = SystemConfig::default();
+        let mut c = codec();
+        let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+        let frame = Frame::with_fec(d, FecMode::Light, payload(128)).unwrap();
+        let slots = c.emit(&frame).unwrap();
+        // Scramble the whole payload region deterministically.
+        let mut s = slots.clone();
+        let start = PREFIX_SLOTS + 40;
+        for (i, slot) in s[start..].iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *slot = !*slot;
+            }
+        }
+        // A structural demod failure is an equally valid outcome; any
+        // parse that *does* succeed must fail the CRC.
+        if let Ok((_, stats)) = c.parse(&s) {
+            assert!(!stats.crc_ok, "must not accept scrambled payload");
         }
     }
 

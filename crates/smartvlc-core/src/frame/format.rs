@@ -12,10 +12,96 @@
 use crate::dimming::DimmingLevel;
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
+use smartvlc_fec::FecProfile;
 use std::fmt;
 
 /// Maximum payload length accepted by the frame layer.
+///
+/// Must fit in the 13-bit Length field ([`FrameHeader`] packs the FEC
+/// mode into the top three bits of the 2-byte Length word).
 pub const MAX_PAYLOAD: usize = 4096;
+
+/// Outer-code setting carried in the frame header: off, or one of the
+/// three Reed–Solomon profiles of [`smartvlc_fec::FecProfile`].
+///
+/// Wire encoding lives in the top three bits of the Length word: bit 15
+/// is the FEC flag, bits 14–13 the profile index. `Off` encodes as all
+/// zeros, so uncoded frames are bit-identical to the pre-FEC wire format.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Serialize, Deserialize)]
+pub enum FecMode {
+    /// No outer code; the CRC alone gates the frame (pre-FEC behavior).
+    #[default]
+    Off,
+    /// RS parity 8 per codeword (t = 4).
+    Light,
+    /// RS parity 16 per codeword (t = 8).
+    Medium,
+    /// RS parity 32 per codeword (t = 16).
+    Heavy,
+}
+
+impl FecMode {
+    /// The coding profile, or `None` when the outer code is off.
+    pub fn profile(self) -> Option<FecProfile> {
+        match self {
+            FecMode::Off => None,
+            FecMode::Light => Some(FecProfile::Light),
+            FecMode::Medium => Some(FecProfile::Medium),
+            FecMode::Heavy => Some(FecProfile::Heavy),
+        }
+    }
+
+    /// The mode carrying a given profile.
+    pub fn from_profile(p: FecProfile) -> FecMode {
+        match p {
+            FecProfile::Light => FecMode::Light,
+            FecProfile::Medium => FecMode::Medium,
+            FecProfile::Heavy => FecMode::Heavy,
+        }
+    }
+
+    /// On-air bytes for a `block_len`-byte payload+CRC block under this
+    /// mode.
+    pub fn coded_len(self, block_len: usize) -> usize {
+        match self.profile() {
+            Some(p) => p.coded_len(block_len),
+            None => block_len,
+        }
+    }
+
+    /// The 3-bit wire value (bit 2 = FEC flag, bits 1–0 = profile index).
+    pub fn wire_bits(self) -> u8 {
+        match self.profile() {
+            Some(p) => 0b100 | p.index(),
+            None => 0,
+        }
+    }
+
+    /// Parse the 3-bit wire value. The five unused patterns (flag clear
+    /// with profile bits set, or flag set with the reserved index 3) are
+    /// rejected: accepting them would leave both ends disagreeing on the
+    /// on-air block layout, so they can only be header corruption.
+    pub fn from_wire_bits(bits: u8) -> Result<FecMode, DescriptorError> {
+        match bits {
+            0b000 => Ok(FecMode::Off),
+            0b100 => Ok(FecMode::Light),
+            0b101 => Ok(FecMode::Medium),
+            0b110 => Ok(FecMode::Heavy),
+            b => Err(DescriptorError::UnknownFec(b)),
+        }
+    }
+}
+
+impl fmt::Display for FecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FecMode::Off => write!(f, "off"),
+            FecMode::Light => write!(f, "rs-light"),
+            FecMode::Medium => write!(f, "rs-medium"),
+            FecMode::Heavy => write!(f, "rs-heavy"),
+        }
+    }
+}
 
 /// Which payload modulation a frame uses, with its parameters — the
 /// 4-byte Pattern field of Table 1.
@@ -74,6 +160,13 @@ pub enum DescriptorError {
     UnknownTag(u8),
     /// Parameters violate the scheme's invariants.
     InvalidParams,
+    /// Reserved FEC bit pattern in the Length word.
+    UnknownFec(u8),
+    /// The Length field declares more payload than [`MAX_PAYLOAD`] —
+    /// structurally impossible for a genuine frame, so the header is
+    /// rejected outright rather than letting a corrupted length drive
+    /// downstream buffer sizing.
+    OversizeLength(u16),
 }
 
 impl fmt::Display for DescriptorError {
@@ -81,6 +174,13 @@ impl fmt::Display for DescriptorError {
         match self {
             DescriptorError::UnknownTag(t) => write!(f, "unknown scheme tag {t:#04x}"),
             DescriptorError::InvalidParams => write!(f, "invalid scheme parameters"),
+            DescriptorError::UnknownFec(b) => write!(f, "reserved FEC bits {b:#05b}"),
+            DescriptorError::OversizeLength(n) => {
+                write!(
+                    f,
+                    "declared payload {n} B exceeds the {MAX_PAYLOAD} B maximum"
+                )
+            }
         }
     }
 }
@@ -173,13 +273,26 @@ impl PatternDescriptor {
 }
 
 /// The frame header: Length + Pattern fields of Table 1.
+///
+/// The 2-byte Length word is split: bits 12..0 carry the payload length
+/// (≤ [`MAX_PAYLOAD`] = 4096 fits in 13 bits), bit 15 flags an FEC-coded
+/// payload block, bits 14–13 select the [`FecMode`] profile. With FEC off
+/// all three top bits are zero and the wire bytes are unchanged from the
+/// pre-FEC format.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct FrameHeader {
     /// Payload bytes (not counting the CRC).
     pub payload_len: u16,
+    /// Outer-code setting for the payload+CRC block.
+    pub fec: FecMode,
     /// Payload modulation descriptor.
     pub pattern: PatternDescriptor,
 }
+
+/// Bit offset of the FEC field inside the Length word.
+const FEC_SHIFT: u16 = 13;
+/// Mask of the payload-length bits inside the Length word.
+const LEN_MASK: u16 = (1 << FEC_SHIFT) - 1;
 
 impl FrameHeader {
     /// Header wire size in bytes (2 + 4, Table 1).
@@ -189,23 +302,33 @@ impl FrameHeader {
 
     /// Serialize to wire bytes.
     pub fn to_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        debug_assert!(self.payload_len as usize <= MAX_PAYLOAD);
         let mut out = [0u8; Self::WIRE_BYTES];
         let mut buf = &mut out[..];
-        buf.put_u16(self.payload_len);
+        buf.put_u16(((self.fec.wire_bits() as u16) << FEC_SHIFT) | (self.payload_len & LEN_MASK));
         buf.put_slice(&self.pattern.to_bytes());
         out
     }
 
-    /// Parse from wire bytes.
+    /// Parse from wire bytes. Rejects reserved FEC bit patterns and
+    /// lengths beyond [`MAX_PAYLOAD`] — a header that passed the OOK
+    /// prefix but declares an impossible structure is corruption, and
+    /// must surface as an error rather than drive buffer sizing.
     pub fn from_bytes(mut b: &[u8]) -> Result<FrameHeader, DescriptorError> {
         if b.len() < Self::WIRE_BYTES {
             return Err(DescriptorError::InvalidParams);
         }
-        let payload_len = b.get_u16();
+        let word = b.get_u16();
+        let fec = FecMode::from_wire_bits((word >> FEC_SHIFT) as u8)?;
+        let payload_len = word & LEN_MASK;
+        if payload_len as usize > MAX_PAYLOAD {
+            return Err(DescriptorError::OversizeLength(payload_len));
+        }
         let mut pb = [0u8; 4];
         b.copy_to_slice(&mut pb);
         Ok(FrameHeader {
             payload_len,
+            fec,
             pattern: PatternDescriptor::from_bytes(pb)?,
         })
     }
@@ -221,14 +344,20 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Build a frame; validates length consistency.
+    /// Build an uncoded frame; validates length consistency.
     pub fn new(pattern: PatternDescriptor, payload: Vec<u8>) -> Option<Frame> {
+        Frame::with_fec(pattern, FecMode::Off, payload)
+    }
+
+    /// Build a frame with an explicit outer-code setting.
+    pub fn with_fec(pattern: PatternDescriptor, fec: FecMode, payload: Vec<u8>) -> Option<Frame> {
         if payload.len() > MAX_PAYLOAD {
             return None;
         }
         Some(Frame {
             header: FrameHeader {
                 payload_len: payload.len() as u16,
+                fec,
                 pattern,
             },
             payload,
@@ -311,16 +440,55 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
+        for fec in [
+            FecMode::Off,
+            FecMode::Light,
+            FecMode::Medium,
+            FecMode::Heavy,
+        ] {
+            let h = FrameHeader {
+                payload_len: 128,
+                fec,
+                pattern: PatternDescriptor::Amppm {
+                    dimming_q: 300,
+                    tier: 1,
+                },
+            };
+            let bytes = h.to_bytes();
+            assert_eq!(bytes.len(), 6); // Table 1: Length 2 B + Pattern 4 B
+            assert_eq!(FrameHeader::from_bytes(&bytes), Ok(h), "{fec}");
+        }
+    }
+
+    #[test]
+    fn fec_off_wire_bytes_unchanged_from_pre_fec_format() {
+        // The legacy format put the bare payload length in the Length
+        // word; FecMode::Off must reproduce it bit-for-bit.
         let h = FrameHeader {
             payload_len: 128,
-            pattern: PatternDescriptor::Amppm {
-                dimming_q: 300,
-                tier: 1,
-            },
+            fec: FecMode::Off,
+            pattern: PatternDescriptor::OokCt { dimming_q: 512 },
         };
         let bytes = h.to_bytes();
-        assert_eq!(bytes.len(), 6); // Table 1: Length 2 B + Pattern 4 B
-        assert_eq!(FrameHeader::from_bytes(&bytes), Ok(h));
+        assert_eq!(&bytes[..2], &128u16.to_be_bytes());
+    }
+
+    #[test]
+    fn fec_wire_bits_roundtrip_and_reserved_patterns_rejected() {
+        for fec in [
+            FecMode::Off,
+            FecMode::Light,
+            FecMode::Medium,
+            FecMode::Heavy,
+        ] {
+            assert_eq!(FecMode::from_wire_bits(fec.wire_bits()), Ok(fec));
+        }
+        for bits in [0b001u8, 0b010, 0b011, 0b111] {
+            assert_eq!(
+                FecMode::from_wire_bits(bits),
+                Err(DescriptorError::UnknownFec(bits))
+            );
+        }
     }
 
     #[test]
@@ -329,10 +497,53 @@ mod tests {
     }
 
     #[test]
+    fn header_rejects_oversize_declared_length() {
+        // A 13-bit length can declare up to 8191 B, but MAX_PAYLOAD is
+        // 4096: anything above must be rejected at parse time, not
+        // silently accepted into buffer sizing.
+        let pattern = PatternDescriptor::OokCt { dimming_q: 512 }.to_bytes();
+        let mut wire = [0u8; FrameHeader::WIRE_BYTES];
+        wire[..2].copy_from_slice(&8191u16.to_be_bytes());
+        wire[2..].copy_from_slice(&pattern);
+        assert_eq!(
+            FrameHeader::from_bytes(&wire),
+            Err(DescriptorError::OversizeLength(8191))
+        );
+        // The boundary itself is fine.
+        wire[..2].copy_from_slice(&(MAX_PAYLOAD as u16).to_be_bytes());
+        assert!(FrameHeader::from_bytes(&wire).is_ok());
+    }
+
+    #[test]
+    fn header_rejects_reserved_fec_bits() {
+        let pattern = PatternDescriptor::OokCt { dimming_q: 512 }.to_bytes();
+        let mut wire = [0u8; FrameHeader::WIRE_BYTES];
+        // Flag clear but profile bits set: only corruption produces this.
+        wire[..2].copy_from_slice(&(128u16 | (0b011 << 13)).to_be_bytes());
+        wire[2..].copy_from_slice(&pattern);
+        assert_eq!(
+            FrameHeader::from_bytes(&wire),
+            Err(DescriptorError::UnknownFec(0b011))
+        );
+    }
+
+    #[test]
     fn frame_rejects_oversize_payload() {
         let d = PatternDescriptor::OokCt { dimming_q: 512 };
         assert!(Frame::new(d, vec![0; MAX_PAYLOAD]).is_some());
         assert!(Frame::new(d, vec![0; MAX_PAYLOAD + 1]).is_none());
+        assert!(Frame::with_fec(d, FecMode::Medium, vec![0; MAX_PAYLOAD + 1]).is_none());
+    }
+
+    #[test]
+    fn fec_mode_profile_mapping() {
+        assert_eq!(FecMode::Off.profile(), None);
+        for p in FecProfile::ALL {
+            let m = FecMode::from_profile(p);
+            assert_eq!(m.profile(), Some(p));
+            assert_eq!(m.coded_len(130), p.coded_len(130));
+        }
+        assert_eq!(FecMode::Off.coded_len(130), 130);
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod format;
 
 pub use codec::{emit_frame, parse_frame, FrameCodecError, FrameStats};
 pub use crc::crc16_ccitt;
-pub use format::{Frame, FrameHeader, PatternDescriptor};
+pub use format::{FecMode, Frame, FrameHeader, PatternDescriptor};

@@ -4,7 +4,7 @@ use combinat::{BinomialTable, BitReader, BitWriter};
 use proptest::prelude::*;
 use smartvlc_core::adaptation::{measured, perceived};
 use smartvlc_core::amppm::SuperSymbol;
-use smartvlc_core::frame::format::{FrameHeader, PatternDescriptor};
+use smartvlc_core::frame::format::{FecMode, FrameHeader, PatternDescriptor, MAX_PAYLOAD};
 use smartvlc_core::{DimmingLevel, SlotErrorProbs, SymbolPattern, SystemConfig};
 
 proptest! {
@@ -32,9 +32,26 @@ proptest! {
             },
         };
         prop_assert_eq!(PatternDescriptor::from_bytes(d.to_bytes()), Ok(d));
-        // And through the full header.
-        let h = FrameHeader { payload_len: a, pattern: d };
-        prop_assert_eq!(FrameHeader::from_bytes(&h.to_bytes()), Ok(h));
+        // And through the full header, under every FEC mode.
+        for fec in [FecMode::Off, FecMode::Light, FecMode::Medium, FecMode::Heavy] {
+            let h = FrameHeader {
+                payload_len: a % (MAX_PAYLOAD as u16 + 1),
+                fec,
+                pattern: d,
+            };
+            prop_assert_eq!(FrameHeader::from_bytes(&h.to_bytes()), Ok(h));
+        }
+    }
+
+    /// Arbitrary 6-byte strings never panic the header parser; anything
+    /// it accepts declares an in-bounds payload length and survives a
+    /// re-serialization round trip.
+    #[test]
+    fn header_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 6..=6)) {
+        if let Ok(h) = FrameHeader::from_bytes(&bytes) {
+            prop_assert!(h.payload_len as usize <= MAX_PAYLOAD);
+            prop_assert_eq!(FrameHeader::from_bytes(&h.to_bytes()), Ok(h));
+        }
     }
 
     /// Arbitrary 4-byte strings never panic the descriptor parser, and

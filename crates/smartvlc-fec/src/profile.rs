@@ -1,0 +1,176 @@
+//! The three operating points of the outer code.
+//!
+//! A profile fixes the parity budget per codeword and a minimum
+//! interleaving depth; everything else (codeword count, coded length) is
+//! a pure function of the block length, so transmitter and receiver
+//! derive identical layouts from the 2-bit profile index in the frame
+//! header — no per-frame negotiation.
+//!
+//! | profile | parity/cw | t/cw | min depth | overhead on a 130 B block |
+//! |---|---|---|---|---|
+//! | Light  | 8  | 4  | 1 | ~6 % |
+//! | Medium | 16 | 8  | 2 | ~25 % |
+//! | Heavy  | 32 | 16 | 2 | ~49 % |
+//!
+//! The ladder Light → Medium → Heavy is what the link layer's
+//! degradation controller climbs *before* sacrificing AMPPM tiers: parity
+//! costs airtime at the same brightness, while a tier drop costs both
+//! rate and payload size.
+
+use crate::rs::MAX_CODEWORD;
+
+/// An outer-code operating point. Encoded in two header bits, so at most
+/// four (one pattern is "off" at the frame layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FecProfile {
+    /// 8 parity symbols per codeword (t = 4), no forced interleaving.
+    Light,
+    /// 16 parity symbols per codeword (t = 8), depth ≥ 2.
+    Medium,
+    /// 32 parity symbols per codeword (t = 16), depth ≥ 2.
+    Heavy,
+}
+
+impl FecProfile {
+    /// All profiles, lightest first (ladder order).
+    pub const ALL: [FecProfile; 3] = [FecProfile::Light, FecProfile::Medium, FecProfile::Heavy];
+
+    /// Parity symbols per codeword.
+    pub fn parity(self) -> usize {
+        match self {
+            FecProfile::Light => 8,
+            FecProfile::Medium => 16,
+            FecProfile::Heavy => 32,
+        }
+    }
+
+    /// Correctable symbol errors per codeword.
+    pub fn t(self) -> usize {
+        self.parity() / 2
+    }
+
+    /// Minimum interleaving depth (codeword count floor).
+    pub fn min_depth(self) -> usize {
+        match self {
+            FecProfile::Light => 1,
+            FecProfile::Medium => 2,
+            FecProfile::Heavy => 2,
+        }
+    }
+
+    /// Stable wire index (0..3).
+    pub fn index(self) -> u8 {
+        match self {
+            FecProfile::Light => 0,
+            FecProfile::Medium => 1,
+            FecProfile::Heavy => 2,
+        }
+    }
+
+    /// Inverse of [`index`](FecProfile::index).
+    pub fn from_index(idx: u8) -> Option<FecProfile> {
+        match idx {
+            0 => Some(FecProfile::Light),
+            1 => Some(FecProfile::Medium),
+            2 => Some(FecProfile::Heavy),
+            _ => None,
+        }
+    }
+
+    /// One rung up the parity ladder (saturates at Heavy).
+    pub fn escalate(self) -> FecProfile {
+        match self {
+            FecProfile::Light => FecProfile::Medium,
+            _ => FecProfile::Heavy,
+        }
+    }
+
+    /// Ladder rungs above this profile (how much room the degradation
+    /// controller has before it must start dropping modulation tiers).
+    pub fn rungs_above(self) -> u8 {
+        (FecProfile::ALL.len() - 1) as u8 - self.index()
+    }
+
+    /// Codewords an interleaved `data_len`-byte block is dealt across:
+    /// enough that every codeword fits in 255 symbols, and at least the
+    /// profile's burst-spreading floor. An empty block carries no
+    /// codewords (and no parity) at all.
+    pub fn codewords_for(self, data_len: usize) -> usize {
+        if data_len == 0 {
+            return 0;
+        }
+        let cap = MAX_CODEWORD - self.parity();
+        // Depth never exceeds the block length: every lane carries data.
+        data_len.div_ceil(cap).max(self.min_depth()).min(data_len)
+    }
+
+    /// On-air bytes for a `data_len`-byte block: data plus per-codeword
+    /// parity.
+    pub fn coded_len(self, data_len: usize) -> usize {
+        data_len + self.codewords_for(data_len) * self.parity()
+    }
+
+    /// Parity overhead as a fraction of the data (`coded/data - 1`).
+    pub fn overhead_ratio(self, data_len: usize) -> f64 {
+        if data_len == 0 {
+            return 0.0;
+        }
+        self.coded_len(data_len) as f64 / data_len as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for p in FecProfile::ALL {
+            assert_eq!(FecProfile::from_index(p.index()), Some(p));
+        }
+        assert_eq!(FecProfile::from_index(3), None);
+        assert_eq!(FecProfile::from_index(255), None);
+    }
+
+    #[test]
+    fn every_codeword_fits_the_field() {
+        for p in FecProfile::ALL {
+            for len in [1usize, 130, 247, 248, 4096, 10_000] {
+                let c = p.codewords_for(len);
+                let longest_lane = len.div_ceil(c);
+                assert!(
+                    longest_lane + p.parity() <= MAX_CODEWORD,
+                    "{p:?} len={len} lane={longest_lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_overhead() {
+        for len in [64usize, 130, 1024] {
+            let o: Vec<f64> = FecProfile::ALL
+                .iter()
+                .map(|p| p.overhead_ratio(len))
+                .collect();
+            assert!(o[0] < o[1] && o[1] < o[2], "len={len} {o:?}");
+        }
+    }
+
+    #[test]
+    fn escalate_saturates() {
+        assert_eq!(FecProfile::Light.escalate(), FecProfile::Medium);
+        assert_eq!(FecProfile::Medium.escalate(), FecProfile::Heavy);
+        assert_eq!(FecProfile::Heavy.escalate(), FecProfile::Heavy);
+        assert_eq!(FecProfile::Light.rungs_above(), 2);
+        assert_eq!(FecProfile::Heavy.rungs_above(), 0);
+    }
+
+    #[test]
+    fn paper_block_overheads_are_sane() {
+        // The paper's 128 B payload + 2 B CRC.
+        let len = 130;
+        assert!(FecProfile::Light.overhead_ratio(len) < 0.10);
+        assert!(FecProfile::Heavy.overhead_ratio(len) < 0.55);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the Reed–Solomon + interleaver pipeline.
+//!
+//! Two invariants the hybrid-ARQ design rests on:
+//!
+//! 1. **Totality** — decoding *arbitrarily* corrupted codewords never
+//!    panics. Whatever bytes arrive, the decoder returns data of the
+//!    right length plus an honest `ok` flag; the outer CRC (exercised in
+//!    `smartvlc-link`'s chaos proptests) delivers the final verdict.
+//! 2. **Correction guarantee** — encode → corrupt ≤ t symbols per
+//!    codeword → decode round-trips bit-exactly at every shortened
+//!    length, for every profile.
+
+use proptest::prelude::*;
+use smartvlc_fec::{decode, encode, FecProfile, ReedSolomon};
+
+fn profile_from(idx: u8) -> FecProfile {
+    FecProfile::ALL[idx as usize % FecProfile::ALL.len()]
+}
+
+proptest! {
+    /// Arbitrary garbage of arbitrary length: decode never panics, and
+    /// the output block always has the requested length.
+    #[test]
+    fn decoding_garbage_never_panics(
+        profile_idx in any::<u8>(),
+        data_len in 0usize..600,
+        garbage in proptest::collection::vec(any::<u8>(), 0..900),
+    ) {
+        let profile = profile_from(profile_idx);
+        let out = decode(profile, &garbage, data_len);
+        prop_assert_eq!(out.data.len(), data_len);
+        // An input of the wrong length can never report clean decode.
+        if garbage.len() != profile.coded_len(data_len) {
+            prop_assert!(!out.ok);
+        }
+    }
+
+    /// Arbitrary corruption of a *valid-length* coded block: never
+    /// panics; when the decoder claims `ok`, re-encoding its output must
+    /// reproduce a codeword-consistent block (RS decoders may land on a
+    /// different valid codeword under overwhelming corruption — that is
+    /// what the outer CRC is for — but they must stay self-consistent).
+    #[test]
+    fn corrupted_codewords_decode_totally(
+        profile_idx in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+        corruption in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..80),
+    ) {
+        let profile = profile_from(profile_idx);
+        let mut coded = encode(profile, &data);
+        let n = coded.len();
+        for (pos, val) in corruption {
+            coded[pos as usize % n] ^= val;
+        }
+        let out = decode(profile, &coded, data.len());
+        prop_assert_eq!(out.data.len(), data.len());
+        if out.ok {
+            let recheck = decode(profile, &encode(profile, &out.data), data.len());
+            prop_assert!(recheck.ok);
+            prop_assert_eq!(recheck.corrected, 0);
+        }
+    }
+
+    /// The correction guarantee: at most t errors per codeword (placed
+    /// anywhere, data or parity) always round-trips bit-exactly, for all
+    /// shortened lengths and profiles.
+    #[test]
+    fn within_t_corruption_roundtrips_exactly(
+        profile_idx in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 1..520),
+        err_seed in any::<u64>(),
+    ) {
+        let profile = profile_from(profile_idx);
+        let c = profile.codewords_for(data.len());
+        let t = profile.t();
+        let mut coded = encode(profile, &data);
+        // Deal ≤ t errors into every codeword's lane. Lane j owns data
+        // bytes j, j+c, … and parity bytes data_len + r·c + j.
+        let mut rng = err_seed;
+        let mut step = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut injected = 0u32;
+        for j in 0..c {
+            let lane_data = (data.len() + c - 1 - j) / c;
+            let lane_total = lane_data + profile.parity();
+            let n_err = (step() as usize) % (t + 1);
+            let mut hit = vec![false; lane_total];
+            let mut placed = 0;
+            while placed < n_err {
+                let k = (step() as usize) % lane_total;
+                if hit[k] {
+                    continue;
+                }
+                hit[k] = true;
+                let byte_idx = if k < lane_data {
+                    j + k * c
+                } else {
+                    data.len() + (k - lane_data) * c + j
+                };
+                coded[byte_idx] ^= (step() as u8) | 1;
+                placed += 1;
+            }
+            injected += n_err as u32;
+        }
+        let out = decode(profile, &coded, data.len());
+        prop_assert!(out.ok);
+        prop_assert_eq!(out.corrected, injected);
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// The raw code, without interleaving: ≤ t random errors always
+    /// correct, for every shortened length the field admits.
+    #[test]
+    fn raw_rs_roundtrips_all_shortened_lengths(
+        parity_pick in 0usize..3,
+        len_frac in any::<u16>(),
+        err_seed in any::<u64>(),
+    ) {
+        let parity = [8usize, 16, 32][parity_pick];
+        let rs = ReedSolomon::new(parity);
+        let max_data = 255 - parity;
+        let data_len = 1 + (len_frac as usize) % max_data;
+        let data: Vec<u8> = (0..data_len).map(|i| (i * 193 + 7) as u8).collect();
+        let mut parity_out = Vec::new();
+        rs.encode(&data, &mut parity_out);
+        let mut cw = data.clone();
+        cw.extend_from_slice(&parity_out);
+        let clean = cw.clone();
+        let mut rng = err_seed | 1;
+        let mut step = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let n_err = (step() as usize) % (rs.t() + 1);
+        let mut hit = vec![false; cw.len()];
+        let mut placed = 0;
+        while placed < n_err {
+            let k = (step() as usize) % cw.len();
+            if hit[k] {
+                continue;
+            }
+            hit[k] = true;
+            cw[k] ^= (step() as u8) | 1;
+            placed += 1;
+        }
+        prop_assert_eq!(rs.correct(&mut cw), Ok(n_err as u32));
+        prop_assert_eq!(cw, clean);
+    }
+}

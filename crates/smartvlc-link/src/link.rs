@@ -18,6 +18,7 @@ use crate::tx::Transmitter;
 use crate::uplink::UplinkMsg;
 use crate::uplink_vlc::{VlcUplink, VlcUplinkConfig};
 use desim::{DetRng, SimDuration, SimTime};
+use smartvlc_core::frame::format::FecMode;
 use smartvlc_core::SystemConfig;
 use smartvlc_obs as obs;
 use std::collections::HashMap;
@@ -85,6 +86,11 @@ pub struct LinkConfig {
     /// Chaos-mode fault schedule (empty = the cooperative channel the
     /// paper evaluates on). See [`vlc_channel::faults`].
     pub faults: FaultPlan,
+    /// Nominal outer-code profile ([`FecMode::Off`] = the uncoded
+    /// pre-FEC pipeline). The degradation ladder may escalate it toward
+    /// Heavy before dropping AMPPM tiers. `SMARTVLC_FEC=off` (or `0`)
+    /// forces `Off` regardless of this field.
+    pub fec: FecMode,
 }
 
 /// The reverse path's physical medium.
@@ -122,6 +128,7 @@ impl LinkConfig {
             shadowing: None,
             uplink: UplinkKind::Wifi,
             faults: FaultPlan::default(),
+            fec: FecMode::Off,
         }
     }
 }
@@ -159,10 +166,18 @@ pub struct RecoveryReport {
     /// Highest AMPPM degradation tier the ARQ feedback drove the
     /// transmitter to.
     pub max_degrade_tier: u8,
-    /// Tier escalations (link got worse) and recoveries (link healed).
+    /// Ladder escalations (link got worse) and recoveries (link healed);
+    /// with FEC on these count parity-rung moves too.
     pub tier_escalations: u64,
-    /// Tier steps back toward nominal.
+    /// Ladder steps back toward nominal.
     pub tier_recoveries: u64,
+    /// Symbol errors the outer code corrected in place across the run
+    /// (0 with FEC off).
+    pub fec_corrected_symbols: u64,
+    /// Frames whose outer decode failed and fell back to CRC + ARQ.
+    pub fec_decode_failures: u64,
+    /// Parity overhead actually spent on the air (`coded/data - 1`).
+    pub fec_overhead_ratio: f64,
 }
 
 /// The measurements of one run.
@@ -225,15 +240,28 @@ impl LinkSimulation {
         }
         let root = DetRng::seed_from_u64(cfg.seed);
         let initial_ambient = 0.0; // set properly on the first sense tick
+                                   // The kill switch is read once per simulation, not per frame:
+                                   // `SMARTVLC_FEC=off` forces the uncoded pipeline with identical
+                                   // bookkeeping, keeping fec-off artifacts byte-identical.
+        let fec = if smartvlc_fec::enabled_from_env() {
+            cfg.fec
+        } else {
+            FecMode::Off
+        };
         let tx = Transmitter::new(
             cfg.sys.clone(),
             cfg.scheme,
             cfg.illum_target,
             initial_ambient,
             cfg.fixed_step_floor,
+            fec,
             root.fork("tx-payload"),
         )?;
-        let rx = Receiver::new(cfg.sys.clone()).map_err(LinkError::from)?;
+        let mut rx = Receiver::new(cfg.sys.clone()).map_err(LinkError::from)?;
+        // An uncoded link rejects FEC-flagged headers as corruption
+        // (nobody legitimately sends them), so the fec-off event stream
+        // and telemetry match a build without the outer code at all.
+        rx.set_accept_fec(fec != FecMode::Off);
         let channel = OpticalChannel::new(cfg.channel, root.fork("channel"));
         let tracker = AckTracker::with_backoff(cfg.ack_timeout, cfg.max_retries, root.fork("mac"));
         let wifi: Box<dyn SideChannel<UplinkMsg>> = match cfg.uplink {
@@ -285,6 +313,8 @@ impl LinkSimulation {
         let mut first_clean_after_fault: Option<SimTime> = None;
         let mut resync_overruns = 0u64;
         let mut fault_was_clear = true;
+        let mut fec_corrected_symbols = 0u64;
+        let mut fec_decode_failures = 0u64;
 
         while now < SimTime::ZERO + self.cfg.duration {
             // Chaos mode: replay the scheduled impairment state for this
@@ -460,9 +490,15 @@ impl LinkSimulation {
             let mut got_ok = false;
             for ev in self.rx.push_slots(&decided) {
                 match ev {
-                    RxEvent::Frame { frame, .. } => {
+                    RxEvent::Frame {
+                        frame,
+                        stats: fstats,
+                        ..
+                    } => {
                         got_ok = true;
                         stats.frames_ok += 1;
+                        fec_corrected_symbols += fstats.fec_corrected as u64;
+                        fec_decode_failures += u64::from(fstats.fec_failed_codewords > 0);
                         if first_clean_after_fault.is_none()
                             && recovery_from.is_some_and(|end| rx_done >= end)
                         {
@@ -480,8 +516,10 @@ impl LinkSimulation {
                             }
                         }
                     }
-                    RxEvent::CrcFailed { .. } => {
+                    RxEvent::CrcFailed { stats: fstats, .. } => {
                         stats.frames_crc_fail += 1;
+                        fec_corrected_symbols += fstats.fec_corrected as u64;
+                        fec_decode_failures += u64::from(fstats.fec_failed_codewords > 0);
                     }
                 }
             }
@@ -524,7 +562,15 @@ impl LinkSimulation {
             max_degrade_tier: self.tx.degrade.max_tier,
             tier_escalations: self.tx.degrade.escalations,
             tier_recoveries: self.tx.degrade.recoveries,
+            fec_corrected_symbols,
+            fec_decode_failures,
+            fec_overhead_ratio: self.tx.fec_overhead_ratio(),
         };
+        // Telemetry: only a coded run emits the fec.* gauge, so fec-off
+        // snapshots stay byte-identical to the pre-FEC pipeline's.
+        if self.tx.current_fec() != FecMode::Off || recovery.fec_corrected_symbols > 0 {
+            obs::gauge_set(obs::key!("fec.overhead_ratio"), recovery.fec_overhead_ratio);
+        }
         LinkReport {
             // Duration-aware mean: idle time after the last delivery counts
             // as zero-throughput time (see ThroughputRecorder::mean_bps_over).

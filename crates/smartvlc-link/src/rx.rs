@@ -265,6 +265,13 @@ impl Receiver {
     pub fn buffered(&self) -> usize {
         self.buffer.len()
     }
+
+    /// Provision (or de-provision) the receiver for the FEC outer code.
+    /// An unprovisioned receiver rejects FEC-flagged headers as
+    /// corruption — see [`FrameCodec::set_accept_fec`].
+    pub fn set_accept_fec(&mut self, accept: bool) {
+        self.codec.set_accept_fec(accept);
+    }
 }
 
 #[cfg(test)]

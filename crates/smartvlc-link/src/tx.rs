@@ -15,7 +15,7 @@ use smartvlc_core::adaptation::{
 };
 use smartvlc_core::dimming::IlluminationTarget;
 use smartvlc_core::frame::codec::{FrameCodec, FrameCodecError};
-use smartvlc_core::frame::format::{Frame, PatternDescriptor, MAX_PAYLOAD};
+use smartvlc_core::frame::format::{FecMode, Frame, PatternDescriptor, MAX_PAYLOAD};
 use smartvlc_core::{DimmingLevel, SystemConfig, MAX_DEGRADE_TIER};
 use smartvlc_obs as obs;
 
@@ -91,37 +91,42 @@ impl SchemeKind {
 /// visibility into link health is the ACK stream: an ACK is a delivered
 /// frame, an expired/abandoned retry is a (probably) lost one. This
 /// controller keeps an exponential moving average of that loss signal
-/// and moves the AMPPM degradation tier with hysteresis:
+/// and climbs a unified degradation ladder with hysteresis:
 ///
-/// * EMA above [`DegradeController::RAISE_ABOVE`] → step one tier up
-///   (sturdier, slower plan at the *same* dimming level — illumination
-///   is never sacrificed for goodput).
-/// * EMA below [`DegradeController::LOWER_BELOW`] → step one tier down.
+/// * EMA above [`DegradeController::RAISE_ABOVE`] → one rung up.
+/// * EMA below [`DegradeController::LOWER_BELOW`] → one rung down.
+///
+/// The ladder's *lower* rungs (when the link runs an outer code) raise
+/// the FEC parity profile — more correction power at the same dimming
+/// level and the same payload size, costing only airtime. Only once the
+/// parity ladder is exhausted do further rungs raise the AMPPM
+/// degradation tier (sturdier, slower plan — still never sacrificing
+/// illumination). Recovery walks back down in the same order: tiers
+/// first, then parity. With `fec_rungs = 0` (no outer code) the ladder
+/// reduces exactly to the original tier-only controller.
 ///
 /// After each move the EMA is re-armed to the midpoint so a single
-/// outcome cannot bounce the tier; several consecutive frames must agree
+/// outcome cannot bounce the rung; several consecutive frames must agree
 /// before the next move.
 #[derive(Clone, Debug)]
 pub struct DegradeController {
     ema: f64,
-    tier: u8,
-    /// Tier increases performed (link got worse).
+    rung: u8,
+    /// Parity rungs available below the modulation tiers.
+    fec_rungs: u8,
+    /// Rung increases performed (link got worse).
     pub escalations: u64,
-    /// Tier decreases performed (link recovered).
+    /// Rung decreases performed (link recovered).
     pub recoveries: u64,
-    /// Highest tier reached so far.
+    /// Highest AMPPM tier reached so far.
     pub max_tier: u8,
+    /// Highest FEC boost (parity rungs above nominal) reached so far.
+    pub max_fec_boost: u8,
 }
 
 impl Default for DegradeController {
     fn default() -> Self {
-        DegradeController {
-            ema: 0.0,
-            tier: 0,
-            escalations: 0,
-            recoveries: 0,
-            max_tier: 0,
-        }
+        DegradeController::with_fec_rungs(0)
     }
 }
 
@@ -132,12 +137,32 @@ impl DegradeController {
     pub const RAISE_ABOVE: f64 = 0.5;
     /// Recover when the loss EMA falls below this.
     pub const LOWER_BELOW: f64 = 0.1;
-    /// Re-arm value after a tier move (midway between the thresholds).
+    /// Re-arm value after a rung move (midway between the thresholds).
     const REARM: f64 = 0.25;
 
-    /// Current degradation tier (0 = nominal rate).
+    /// A controller whose ladder starts with `fec_rungs` parity rungs
+    /// before the AMPPM tiers (0 = tier-only, the pre-FEC behavior).
+    pub fn with_fec_rungs(fec_rungs: u8) -> DegradeController {
+        DegradeController {
+            ema: 0.0,
+            rung: 0,
+            fec_rungs,
+            escalations: 0,
+            recoveries: 0,
+            max_tier: 0,
+            max_fec_boost: 0,
+        }
+    }
+
+    /// Current AMPPM degradation tier (0 = nominal rate). Stays at 0
+    /// while the parity ladder still has room.
     pub fn tier(&self) -> u8 {
-        self.tier
+        self.rung.saturating_sub(self.fec_rungs)
+    }
+
+    /// Parity rungs currently engaged above the nominal FEC profile.
+    pub fn fec_boost(&self) -> u8 {
+        self.rung.min(self.fec_rungs)
     }
 
     /// Current loss-rate estimate in [0, 1].
@@ -147,25 +172,39 @@ impl DegradeController {
 
     /// Record one frame outcome from the ARQ: `delivered` = an ACK came
     /// back; `!delivered` = the retry timer expired (or the frame was
-    /// abandoned). Returns the tier to use for the next frame.
+    /// abandoned). Returns the AMPPM tier to use for the next frame.
     pub fn record_outcome(&mut self, delivered: bool) -> u8 {
         let sample = if delivered { 0.0 } else { 1.0 };
         self.ema += Self::ALPHA * (sample - self.ema);
-        if self.ema > Self::RAISE_ABOVE && self.tier < MAX_DEGRADE_TIER {
-            self.tier += 1;
-            self.max_tier = self.max_tier.max(self.tier);
+        let top = self.fec_rungs + MAX_DEGRADE_TIER;
+        if self.ema > Self::RAISE_ABOVE && self.rung < top {
+            let tier_before = self.tier();
+            self.rung += 1;
+            self.max_tier = self.max_tier.max(self.tier());
+            self.max_fec_boost = self.max_fec_boost.max(self.fec_boost());
             self.escalations += 1;
             self.ema = Self::REARM;
-            obs::counter_add(obs::key!("link.tx.tier_escalations"), 1);
-            obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier as f64);
-        } else if self.ema < Self::LOWER_BELOW && self.tier > 0 {
-            self.tier -= 1;
+            if self.tier() != tier_before {
+                obs::counter_add(obs::key!("link.tx.tier_escalations"), 1);
+                obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier() as f64);
+            } else {
+                obs::counter_add(obs::key!("link.tx.fec_escalations"), 1);
+                obs::gauge_set(obs::key!("link.tx.fec_boost"), self.fec_boost() as f64);
+            }
+        } else if self.ema < Self::LOWER_BELOW && self.rung > 0 {
+            let tier_before = self.tier();
+            self.rung -= 1;
             self.recoveries += 1;
             self.ema = Self::REARM;
-            obs::counter_add(obs::key!("link.tx.tier_recoveries"), 1);
-            obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier as f64);
+            if self.tier() != tier_before {
+                obs::counter_add(obs::key!("link.tx.tier_recoveries"), 1);
+                obs::gauge_set(obs::key!("link.tx.degrade_tier"), self.tier() as f64);
+            } else {
+                obs::counter_add(obs::key!("link.tx.fec_recoveries"), 1);
+                obs::gauge_set(obs::key!("link.tx.fec_boost"), self.fec_boost() as f64);
+            }
         }
-        self.tier
+        self.tier()
     }
 }
 
@@ -184,8 +223,17 @@ pub struct Transmitter {
     pub smart_adaptation: AdaptationCounter,
     /// Hypothetical accounting for the fixed-step baseline.
     pub fixed_adaptation: AdaptationCounter,
-    /// ARQ-fed graceful rate degradation (AMPPM tiers).
+    /// ARQ-fed graceful rate degradation (parity rungs, then AMPPM
+    /// tiers).
     pub degrade: DegradeController,
+    /// Outer-code profile used while the ladder sits at rung 0
+    /// ([`FecMode::Off`] = uncoded, the pre-FEC pipeline).
+    nominal_fec: FecMode,
+    /// Payload+CRC bytes handed to the outer encoder, cumulative.
+    pub fec_data_bytes: u64,
+    /// On-air block bytes after coding, cumulative (equal to
+    /// `fec_data_bytes` when FEC is off).
+    pub fec_coded_bytes: u64,
     rng: DetRng,
 }
 
@@ -199,18 +247,22 @@ impl Transmitter {
     ///   power-on).
     /// * `fixed_floor` — the darkest LED level the deployment can reach,
     ///   used to size the flicker-safe fixed step of the baseline.
+    /// * `fec` — nominal outer-code profile; the degradation ladder can
+    ///   escalate it toward Heavy before touching the AMPPM tiers.
     pub fn new(
         cfg: SystemConfig,
         scheme: SchemeKind,
         illum_target: f64,
         initial_ambient: f64,
         fixed_floor: f64,
+        fec: FecMode,
         rng: DetRng,
     ) -> Result<Transmitter, LinkError> {
         let codec = FrameCodec::new(cfg.clone()).map_err(FrameCodecError::Plan)?;
         let illum = IlluminationTarget::new(illum_target);
         let led_level = illum.led_level_for(initial_ambient).value();
         let tau_p = cfg.tau_p;
+        let fec_rungs = fec.profile().map_or(0, |p| p.rungs_above());
         Ok(Transmitter {
             cfg,
             codec,
@@ -221,7 +273,10 @@ impl Transmitter {
             led_level,
             smart_adaptation: AdaptationCounter::default(),
             fixed_adaptation: AdaptationCounter::default(),
-            degrade: DegradeController::default(),
+            degrade: DegradeController::with_fec_rungs(fec_rungs),
+            nominal_fec: fec,
+            fec_data_bytes: 0,
+            fec_coded_bytes: 0,
             rng,
         })
     }
@@ -234,6 +289,31 @@ impl Transmitter {
     /// Current LED dimming level (measured domain, normalized).
     pub fn led_level(&self) -> f64 {
         self.led_level
+    }
+
+    /// The outer-code mode the next frame will carry: the nominal profile
+    /// escalated by however many parity rungs the ARQ feedback has
+    /// engaged. [`FecMode::Off`] stays off — the ladder then has no
+    /// parity rungs at all.
+    pub fn current_fec(&self) -> FecMode {
+        match self.nominal_fec.profile() {
+            None => FecMode::Off,
+            Some(mut p) => {
+                for _ in 0..self.degrade.fec_boost() {
+                    p = p.escalate();
+                }
+                FecMode::from_profile(p)
+            }
+        }
+    }
+
+    /// Cumulative parity overhead actually spent on the air
+    /// (`coded/data - 1`; 0 while FEC is off or nothing was sent).
+    pub fn fec_overhead_ratio(&self) -> f64 {
+        if self.fec_data_bytes == 0 {
+            return 0.0;
+        }
+        self.fec_coded_bytes as f64 / self.fec_data_bytes as f64 - 1.0
     }
 
     /// Step 1 + 2: sense ambient (normalized) and adapt the LED to the
@@ -268,10 +348,16 @@ impl Transmitter {
             .descriptor(&self.cfg, level, self.degrade.tier());
         let payload = MacHeader { seq }.encapsulate(data);
         let len = payload.len();
-        let frame = Frame::new(descriptor, payload).ok_or(LinkError::PayloadTooLarge {
-            len,
-            max: MAX_PAYLOAD,
-        })?;
+        let fec = self.current_fec();
+        let frame =
+            Frame::with_fec(descriptor, fec, payload).ok_or(LinkError::PayloadTooLarge {
+                len,
+                max: MAX_PAYLOAD,
+            })?;
+        // Overhead accounting: the payload+CRC block vs its on-air size.
+        let block = len as u64 + 2;
+        self.fec_data_bytes += block;
+        self.fec_coded_bytes += fec.coded_len(block as usize) as u64;
         let slots = self.codec.emit(&frame)?;
         obs::counter_add(obs::key!("link.tx.frames_built"), 1);
         Ok((frame, slots))
@@ -331,12 +417,17 @@ mod tests {
     use super::*;
 
     fn tx(scheme: SchemeKind) -> Transmitter {
+        tx_fec(scheme, FecMode::Off)
+    }
+
+    fn tx_fec(scheme: SchemeKind, fec: FecMode) -> Transmitter {
         Transmitter::new(
             SystemConfig::default(),
             scheme,
             1.0,
             0.5,
             0.1,
+            fec,
             DetRng::seed_from_u64(3),
         )
         .unwrap()
@@ -484,6 +575,82 @@ mod tests {
         assert_eq!(d.tier(), 0);
         assert!(d.recoveries as u8 >= peak);
         assert_eq!(d.max_tier, peak);
+    }
+
+    #[test]
+    fn fec_ladder_escalates_before_tiers_and_recovers_after() {
+        // Two parity rungs (Light → Medium → Heavy) absorb the first two
+        // escalations; only then do AMPPM tiers move. Recovery unwinds in
+        // the opposite order.
+        let mut d = DegradeController::with_fec_rungs(2);
+        let mut boosts = Vec::new();
+        let mut tiers = Vec::new();
+        for _ in 0..(2 + MAX_DEGRADE_TIER) {
+            let before = (d.fec_boost(), d.tier());
+            while (d.fec_boost(), d.tier()) == before {
+                d.record_outcome(false);
+            }
+            boosts.push(d.fec_boost());
+            tiers.push(d.tier());
+        }
+        assert_eq!(&boosts[..2], &[1, 2], "parity first");
+        assert_eq!(&tiers[..2], &[0, 0], "tiers untouched while parity climbs");
+        assert_eq!(*tiers.last().unwrap(), MAX_DEGRADE_TIER);
+        assert_eq!(d.max_fec_boost, 2);
+        assert_eq!(d.max_tier, MAX_DEGRADE_TIER);
+        // Saturated: further losses change nothing.
+        for _ in 0..1000 {
+            d.record_outcome(false);
+        }
+        assert_eq!((d.fec_boost(), d.tier()), (2, MAX_DEGRADE_TIER));
+        // Clean delivery walks tiers down first, then parity.
+        while d.tier() > 0 {
+            d.record_outcome(true);
+            assert_eq!(d.fec_boost(), 2, "parity stays up while tiers recover");
+        }
+        while d.fec_boost() > 0 {
+            d.record_outcome(true);
+            assert_eq!(d.tier(), 0);
+        }
+    }
+
+    #[test]
+    fn transmitter_fec_mode_follows_the_ladder() {
+        let mut t = tx_fec(SchemeKind::Amppm, FecMode::Light);
+        assert_eq!(t.current_fec(), FecMode::Light);
+        // Climb the whole ladder.
+        for _ in 0..10_000 {
+            t.degrade.record_outcome(false);
+        }
+        assert_eq!(t.current_fec(), FecMode::Heavy);
+        assert_eq!(t.degrade.tier(), MAX_DEGRADE_TIER);
+        // The boosted profile reaches the wire and still roundtrips.
+        let data = t.random_data();
+        let (frame, slots) = t.build_frame(4, &data).unwrap();
+        assert_eq!(frame.header.fec, FecMode::Heavy);
+        let mut codec = FrameCodec::new(SystemConfig::default()).unwrap();
+        let (parsed, stats) = codec.parse(&slots).unwrap();
+        assert!(stats.crc_ok);
+        assert_eq!(parsed, frame);
+        assert!(t.fec_overhead_ratio() > 0.0);
+    }
+
+    #[test]
+    fn fec_off_transmitter_has_no_parity_rungs() {
+        let mut t = tx(SchemeKind::Amppm);
+        assert_eq!(t.current_fec(), FecMode::Off);
+        for _ in 0..10_000 {
+            t.degrade.record_outcome(false);
+        }
+        // The ladder is tier-only: identical to the pre-FEC controller.
+        assert_eq!(t.current_fec(), FecMode::Off);
+        assert_eq!(t.degrade.tier(), MAX_DEGRADE_TIER);
+        assert_eq!(t.degrade.escalations, MAX_DEGRADE_TIER as u64);
+        assert_eq!(t.degrade.max_fec_boost, 0);
+        let data = t.random_data();
+        let (frame, _) = t.build_frame(5, &data).unwrap();
+        assert_eq!(frame.header.fec, FecMode::Off);
+        assert_eq!(t.fec_overhead_ratio(), 0.0);
     }
 
     #[test]

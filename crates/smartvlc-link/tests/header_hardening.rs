@@ -1,0 +1,93 @@
+//! Regression tests: a frame header that declares more payload than the
+//! format allows — or than the receiver actually holds — must surface as
+//! a typed [`LinkError`], never be silently truncated or panic.
+//!
+//! A corrupted Length word is routine under occlusion (the OOK header is
+//! uncoded), so this is an operating condition, not a programming error.
+
+use smartvlc_core::frame::codec::{FrameCodec, FrameCodecError, PREAMBLE_SLOTS};
+use smartvlc_core::frame::format::{
+    amppm_descriptor, DescriptorError, Frame, FrameHeader, MAX_PAYLOAD,
+};
+use smartvlc_core::{DimmingLevel, SystemConfig};
+use smartvlc_link::error::LinkError;
+
+/// Overwrite the 16 OOK slots of the Length word with `value`, MSB first.
+fn forge_length_word(slots: &mut [bool], value: u16) {
+    for bit in 0..16 {
+        slots[PREAMBLE_SLOTS + bit] = (value >> (15 - bit)) & 1 == 1;
+    }
+}
+
+fn emitted_frame() -> (FrameCodec, Vec<bool>) {
+    let cfg = SystemConfig::default();
+    let mut codec = FrameCodec::new(cfg.clone()).unwrap();
+    let d = amppm_descriptor(&cfg, DimmingLevel::new(0.5).unwrap());
+    let frame = Frame::new(d, vec![0xA5; 64]).unwrap();
+    let slots = codec.emit(&frame).unwrap();
+    (codec, slots)
+}
+
+#[test]
+fn declared_length_beyond_max_payload_is_a_typed_error() {
+    let (mut codec, mut slots) = emitted_frame();
+    // 8191 fits the 13-bit length field but exceeds MAX_PAYLOAD.
+    forge_length_word(&mut slots, 8191);
+    let err = codec.parse(&slots).unwrap_err();
+    assert_eq!(
+        err,
+        FrameCodecError::BadHeader(DescriptorError::OversizeLength(8191))
+    );
+    // And it maps to a typed LinkError, not a panic or a truncated frame.
+    let link_err: LinkError = err.into();
+    assert!(
+        matches!(
+            link_err,
+            LinkError::Codec(FrameCodecError::BadHeader(DescriptorError::OversizeLength(
+                8191
+            )))
+        ),
+        "{link_err}"
+    );
+}
+
+#[test]
+fn declared_length_beyond_received_buffer_is_a_typed_error() {
+    let (mut codec, mut slots) = emitted_frame();
+    // 2000 B is a legal payload length, but this buffer only carries a
+    // 64 B frame: the parser must report the shortfall, not truncate.
+    forge_length_word(&mut slots, 2000);
+    match codec.parse(&slots) {
+        Err(FrameCodecError::Truncated { needed, got }) => {
+            assert!(needed > got, "needed={needed} got={got}");
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn reserved_fec_bits_in_length_word_are_a_typed_error() {
+    let (mut codec, mut slots) = emitted_frame();
+    // Profile bits set without the FEC flag: only corruption does this.
+    forge_length_word(&mut slots, 64 | (0b011 << 13));
+    assert_eq!(
+        codec.parse(&slots).unwrap_err(),
+        FrameCodecError::BadHeader(DescriptorError::UnknownFec(0b011))
+    );
+}
+
+#[test]
+fn max_payload_boundary_still_parses() {
+    // The hardening must not reject the legal extreme.
+    let h = FrameHeader::from_bytes(
+        &Frame::new(
+            amppm_descriptor(&SystemConfig::default(), DimmingLevel::new(0.5).unwrap()),
+            vec![0; MAX_PAYLOAD],
+        )
+        .unwrap()
+        .header
+        .to_bytes(),
+    );
+    assert!(h.is_ok());
+    assert_eq!(h.unwrap().payload_len as usize, MAX_PAYLOAD);
+}

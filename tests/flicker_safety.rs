@@ -66,6 +66,7 @@ fn transmitter_stream_with_gaps_and_adaptation_is_clean() {
         1.0,
         0.55,
         0.1,
+        smartvlc_core::frame::format::FecMode::Off,
         DetRng::seed_from_u64(8),
     )
     .unwrap();
