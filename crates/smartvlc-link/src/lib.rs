@@ -53,7 +53,10 @@ pub mod uplink;
 pub mod uplink_vlc;
 
 pub use error::LinkError;
-pub use link::{ChannelFidelity, LinkConfig, LinkReport, LinkSimulation, SchemeKind};
+pub use link::{
+    ChannelFidelity, LinkConfig, LinkReport, LinkSimulation, RandomTraffic, SchemeKind,
+    TrafficSource, UplinkKind, TRAFFIC_IDLE_STEP,
+};
 pub use mac::{AckTracker, MacHeader, TimeoutScan};
 pub use rx::{Receiver, RxEvent, SyncStatus};
 pub use stats::{LinkStats, ThroughputRecorder};

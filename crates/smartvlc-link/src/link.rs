@@ -93,6 +93,49 @@ pub struct LinkConfig {
     pub fec: FecMode,
 }
 
+/// How long the simulation idles when a traffic source has nothing to
+/// send right now (a datagram layer between bursts). Short enough that
+/// queued arrivals see at most ~1 ms of polling latency, long enough
+/// that an idle link doesn't spin the event loop per slot.
+pub const TRAFFIC_IDLE_STEP: SimDuration = SimDuration::millis(1);
+
+/// Where the frames come from: the MAC pulls its next payload from a
+/// traffic source and reports per-frame fates back to it. The legacy
+/// saturating random generator ([`RandomTraffic`]) is one such source;
+/// `smartvlc-net` plugs a fragmenting datagram scheduler into the same
+/// four hooks.
+pub trait TrafficSource {
+    /// Produce the next frame body, or `None` if nothing is ready to send
+    /// (the link then idles [`TRAFFIC_IDLE_STEP`] and polls again). The
+    /// transmitter is passed so sources can size payloads against
+    /// [`Transmitter::payload_budget`] (tier-shrunk MTU).
+    fn next_data(&mut self, now: SimTime, tx: &mut Transmitter) -> Option<Vec<u8>>;
+
+    /// A frame carrying `body` was delivered for the first time (clean
+    /// decode at the receiver, not a duplicate).
+    fn on_delivered(&mut self, _now: SimTime, _body: &[u8]) {}
+
+    /// A frame carrying `body` exhausted its retry budget and was
+    /// abandoned by the ARQ — the bytes are lost.
+    fn on_abandoned(&mut self, _now: SimTime, _body: &[u8]) {}
+
+    /// Called once per MAC loop iteration before the frame pick; sources
+    /// with internal clocks (workload generators) advance them here.
+    fn on_tick(&mut self, _now: SimTime) {}
+}
+
+/// The pre-net behavior: every frame is a fresh random payload sized by
+/// the transmitter's current budget. Never idles, never tracks fates —
+/// [`LinkSimulation::run`] with this source is bit-identical to the
+/// original loop.
+pub struct RandomTraffic;
+
+impl TrafficSource for RandomTraffic {
+    fn next_data(&mut self, _now: SimTime, tx: &mut Transmitter) -> Option<Vec<u8>> {
+        Some(tx.random_data())
+    }
+}
+
 /// The reverse path's physical medium.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum UplinkKind {
@@ -296,8 +339,20 @@ impl LinkSimulation {
         })
     }
 
-    /// Run the scenario against an ambient profile.
+    /// Run the scenario against an ambient profile with the legacy
+    /// saturating random-payload source (bit-identical to the pre-net
+    /// loop).
     pub fn run(&mut self, ambient: &mut dyn AmbientProfile) -> LinkReport {
+        self.run_traffic(ambient, &mut RandomTraffic)
+    }
+
+    /// Run the scenario pulling frame payloads from `src` and reporting
+    /// per-frame fates (first delivery, abandonment) back to it.
+    pub fn run_traffic(
+        &mut self,
+        ambient: &mut dyn AmbientProfile,
+        src: &mut dyn TrafficSource,
+    ) -> LinkReport {
         let tslot = SimDuration::nanos(self.cfg.sys.tslot_nanos());
         let tslot_s = tslot.as_secs_f64();
         let mut now = SimTime::ZERO;
@@ -404,8 +459,11 @@ impl LinkSimulation {
             let scan = self.tracker.scan_timeouts(now);
             for &seq in &scan.abandoned_seqs {
                 // The retry budget is spent; nothing will ever need this
-                // payload again.
-                self.payload_store.remove(&seq);
+                // payload again — but the traffic source learns its bytes
+                // are gone (a net layer marks the fragment lost).
+                if let Some(data) = self.payload_store.remove(&seq) {
+                    src.on_abandoned(now, &data);
+                }
             }
             stats.frames_abandoned += scan.abandoned() as u64;
             // Every expiry/abandonment is a loss sample for the graceful
@@ -415,6 +473,7 @@ impl LinkSimulation {
             }
 
             // Pick the next frame: retransmission first, else fresh data.
+            src.on_tick(now);
             let (seq, data, is_retry) = match self.tracker.next_retry() {
                 Some(seq) => match self.payload_store.get(&seq) {
                     Some(data) => {
@@ -430,9 +489,8 @@ impl LinkSimulation {
                         continue;
                     }
                 },
-                None => {
-                    let data = self.tx.random_data();
-                    match self.tracker.register_new(now, data.len()) {
+                None => match src.next_data(now, &mut self.tx) {
+                    Some(data) => match self.tracker.register_new(now, data.len()) {
                         Ok(seq) => {
                             self.payload_store.insert(seq, data.clone());
                             (seq, data, false)
@@ -440,12 +498,20 @@ impl LinkSimulation {
                         Err(_) => {
                             // Entire sequence space in flight: idle one
                             // timeout so scans can abandon/expire entries,
-                            // then try again.
+                            // then try again. The produced payload is
+                            // dropped — only reachable with 65536 frames
+                            // simultaneously outstanding.
                             now += self.cfg.ack_timeout;
                             continue;
                         }
+                    },
+                    None => {
+                        // Nothing to send right now: hold the light and
+                        // poll the source again shortly.
+                        now += TRAFFIC_IDLE_STEP;
+                        continue;
                     }
-                }
+                },
             };
             if is_retry {
                 stats.retransmissions += 1;
@@ -513,6 +579,7 @@ impl LinkSimulation {
                             if delivered_seqs.insert(hdr.seq) {
                                 stats.payload_bytes_acked += body.len() as u64;
                                 recorder.record(rx_done, body.len() as u64 * 8);
+                                src.on_delivered(rx_done, body);
                             }
                         }
                     }

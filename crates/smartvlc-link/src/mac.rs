@@ -21,7 +21,7 @@
 use crate::error::LinkError;
 use desim::{DetRng, SimDuration, SimTime};
 use smartvlc_obs as obs;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The MAC header carried in the first bytes of every payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,8 +93,12 @@ pub struct AckTracker {
     max_retries: u32,
     next_seq: u16,
     outstanding: HashMap<u16, Outstanding>,
-    /// Sequence numbers due for retransmission.
-    retry_queue: Vec<u16>,
+    /// Sequence numbers due for retransmission, in FIFO order.
+    retry_queue: VecDeque<u16>,
+    /// Membership mirror of `retry_queue` for O(1) `contains` checks:
+    /// deep retry backlogs (chaos regimes) used to pay O(n²) for linear
+    /// scans on every timeout sweep.
+    retry_pending: HashSet<u16>,
     /// Jitter source for backoff (None = fixed deadlines, legacy tests).
     jitter_rng: Option<DetRng>,
     /// Frames abandoned after max retries.
@@ -125,7 +129,8 @@ impl AckTracker {
             max_retries,
             next_seq: 0,
             outstanding: HashMap::new(),
-            retry_queue: Vec::new(),
+            retry_queue: VecDeque::new(),
+            retry_pending: HashSet::new(),
             jitter_rng: None,
             abandoned: 0,
             bytes_acked: 0,
@@ -149,11 +154,17 @@ impl AckTracker {
     /// timeout doubled per retry, capped at 2^6×. Evaluated lazily at
     /// scan time so a later `ensure_timeout_covers` still protects frames
     /// already in flight.
+    ///
+    /// Saturates at the end of representable time: a base timeout large
+    /// enough to overflow the multiplication must clamp to the *maximum*
+    /// deadline, not silently reset to the base (which would make an
+    /// overflowing backoff the most aggressive retransmitter in the
+    /// system — the exact opposite of backing off).
     fn backed_off_timeout(&self, retries: u32) -> SimDuration {
         let shift = retries.min(MAX_BACKOFF_SHIFT);
         self.timeout
             .checked_mul(1u64 << shift)
-            .unwrap_or(self.timeout)
+            .unwrap_or(SimDuration::nanos(u64::MAX))
     }
 
     /// Draw the jitter for a retry numbered `retries` (first transmission
@@ -219,7 +230,9 @@ impl AckTracker {
             obs::counter_add(obs::key!("link.mac.retries"), 1);
             obs::observe(
                 obs::key!("link.mac.backoff_wait_ns"),
-                (self.backed_off_timeout(o.retries) + o.jitter).as_nanos(),
+                self.backed_off_timeout(o.retries)
+                    .as_nanos()
+                    .saturating_add(o.jitter.as_nanos()),
             );
             self.outstanding.insert(seq, o);
         }
@@ -234,7 +247,11 @@ impl AckTracker {
             obs::counter_add(obs::key!("link.mac.dup_acks"), 1);
             return None;
         };
-        self.retry_queue.retain(|&s| s != seq);
+        // O(1) membership probe; the O(n) queue sweep runs only on the
+        // rare ACK that races an already-queued retransmission.
+        if self.retry_pending.remove(&seq) {
+            self.retry_queue.retain(|&s| s != seq);
+        }
         self.bytes_acked += o.data_bytes as u64;
         if o.retries > 0 {
             self.late_deliveries += 1;
@@ -251,8 +268,14 @@ impl AckTracker {
             .outstanding
             .iter()
             .filter(|(seq, o)| {
-                let deadline = o.sent_at + self.backed_off_timeout(o.retries) + o.jitter;
-                now >= deadline && !self.retry_queue.contains(seq)
+                // Saturating deadline arithmetic: a near-end-of-time
+                // backoff means "never expires within this run", not an
+                // overflow panic.
+                let deadline = o
+                    .sent_at
+                    .saturating_add(self.backed_off_timeout(o.retries))
+                    .saturating_add(o.jitter);
+                now >= deadline && !self.retry_pending.contains(seq)
             })
             .map(|(&seq, _)| seq)
             .collect();
@@ -267,20 +290,21 @@ impl AckTracker {
                 obs::event(now, obs::key!("link.mac.abandoned"), seq as u64);
                 scan.abandoned_seqs.push(seq);
             } else {
-                self.retry_queue.push(seq);
+                self.retry_queue.push_back(seq);
+                self.retry_pending.insert(seq);
                 scan.expired += 1;
             }
         }
         scan
     }
 
-    /// Pop the next frame due for retransmission, if any.
+    /// Pop the next frame due for retransmission, if any. FIFO: the pop
+    /// order is exactly the order `scan_timeouts` queued the expiries
+    /// (bit-identical to the pre-`VecDeque` drain, minus the O(n) shift).
     pub fn next_retry(&mut self) -> Option<u16> {
-        if self.retry_queue.is_empty() {
-            None
-        } else {
-            Some(self.retry_queue.remove(0))
-        }
+        let seq = self.retry_queue.pop_front()?;
+        self.retry_pending.remove(&seq);
+        Some(seq)
     }
 
     /// Frames in flight (sent, not yet ACKed or abandoned).
@@ -464,6 +488,57 @@ mod backoff_tests {
         let d_hi = a.backed_off_timeout(MAX_BACKOFF_SHIFT + 20);
         assert_eq!(d_lo, d_hi, "backoff must saturate");
         assert_eq!(d_lo, SimDuration::millis(64));
+    }
+
+    #[test]
+    fn backoff_overflow_saturates_at_cap() {
+        // Regression: `backed_off_timeout` used to fall back to the *base*
+        // timeout when the shift overflowed `u64` — an overflowing backoff
+        // silently became the most aggressive deadline in the system. It
+        // must instead clamp to the maximum representable duration.
+        let base = SimDuration::nanos(u64::MAX - 10);
+        let mut a = AckTracker::new(base, 3);
+        assert_eq!(a.backed_off_timeout(0), base, "no retries: base timeout");
+        for retries in 1..=MAX_BACKOFF_SHIFT + 5 {
+            assert_eq!(
+                a.backed_off_timeout(retries),
+                SimDuration::nanos(u64::MAX),
+                "retry {retries}: overflowed backoff must saturate, not reset"
+            );
+        }
+        // And a frame under that saturated deadline never spuriously
+        // expires (deadline arithmetic saturates instead of panicking).
+        let seq = a.register_new(SimTime::ZERO, 8).unwrap();
+        a.register_retry(seq, SimTime::ZERO);
+        let scan = a.scan_timeouts(SimTime::from_millis(u64::MAX / 2_000_000));
+        assert_eq!(scan, TimeoutScan::default(), "saturated deadline expired");
+        assert_eq!(a.next_retry(), None);
+    }
+
+    #[test]
+    fn retry_pop_order_is_fifo_minus_acked() {
+        // Regression guard for the `Vec` → `VecDeque` + membership-set
+        // swap: pops must come out in exactly the order `scan_timeouts`
+        // queued them (ascending seq per scan), with ACKed entries
+        // surgically removed and the rest undisturbed.
+        let mut a = AckTracker::new(SimDuration::millis(10), 5);
+        let n: u16 = 100;
+        for _ in 0..n {
+            a.register_new(SimTime::ZERO, 4).unwrap();
+        }
+        let scan = a.scan_timeouts(SimTime::from_millis(20));
+        assert_eq!(scan.expired, n as u32);
+        // ACK a scattered subset while they sit in the retry queue.
+        let acked: Vec<u16> = (0..n).filter(|s| s % 7 == 3).collect();
+        for &s in &acked {
+            assert!(a.on_ack(s).is_some());
+        }
+        let mut popped = Vec::new();
+        while let Some(s) = a.next_retry() {
+            popped.push(s);
+        }
+        let expected: Vec<u16> = (0..n).filter(|s| s % 7 != 3).collect();
+        assert_eq!(popped, expected, "pop order must be scan order minus ACKs");
     }
 
     #[test]

@@ -374,12 +374,19 @@ impl Transmitter {
     /// with the sturdier tier plan this is the "lower rate, higher
     /// success" fallback; recovery restores the full payload.
     pub fn random_data(&mut self) -> Vec<u8> {
-        let full = self.cfg.payload_len;
-        let shrunk = (full >> self.degrade.tier()).max(16);
-        let n = shrunk.saturating_sub(MacHeader::WIRE_BYTES);
-        let mut out = vec![0u8; n];
+        let mut out = vec![0u8; self.payload_budget()];
         self.rng.fill_bytes(&mut out);
         out
+    }
+
+    /// How many user-data bytes the next MAC frame can carry at the
+    /// current degradation tier (the MTU a datagram layer fragments
+    /// against). Same halving-per-tier math as [`Self::random_data`]:
+    /// full payload at tier 0, floor 16 B, minus the MAC header.
+    pub fn payload_budget(&self) -> usize {
+        let full = self.cfg.payload_len;
+        let shrunk = (full >> self.degrade.tier()).max(16);
+        shrunk.saturating_sub(MacHeader::WIRE_BYTES)
     }
 
     /// Idle filler holding the current dimming level between frames.

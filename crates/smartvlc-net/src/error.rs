@@ -1,0 +1,63 @@
+//! Typed errors of the datagram layer.
+
+use std::fmt;
+
+/// What went wrong in the fragmentation/reassembly/scheduling pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A payload too short to carry a fragment header.
+    Truncated {
+        /// Observed payload length, bytes.
+        len: usize,
+    },
+    /// A fragment header with an unknown wire version — stale-format or
+    /// CRC-colliding garbage that must not reach reassembly as data.
+    BadVersion {
+        /// The version nibble found on the wire.
+        got: u8,
+    },
+    /// A flow id outside the 4-bit wire range.
+    FlowOutOfRange {
+        /// The offending flow id.
+        flow: u8,
+    },
+    /// A datagram larger than the layer can fragment and reassemble.
+    DatagramTooLarge {
+        /// Offered datagram size, bytes.
+        len: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The per-flow transmit queue is full; the datagram was refused.
+    QueueFull {
+        /// The saturated flow.
+        flow: u8,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NetError::Truncated { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes is too short for a fragment header"
+                )
+            }
+            NetError::BadVersion { got } => {
+                write!(f, "unknown fragment wire version {got}")
+            }
+            NetError::FlowOutOfRange { flow } => {
+                write!(f, "flow id {flow} exceeds the 4-bit wire range")
+            }
+            NetError::DatagramTooLarge { len, max } => {
+                write!(f, "datagram of {len} bytes exceeds the {max}-byte ceiling")
+            }
+            NetError::QueueFull { flow } => {
+                write!(f, "transmit queue for flow {flow} is full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,277 @@
+//! Per-flow transmit queues with deficit-round-robin service.
+//!
+//! One bulk flow must not starve IoT keepalives: each flow owns a FIFO
+//! of pending datagrams, and fragments are cut lazily from the head
+//! datagram of whichever flow the DRR rotation currently credits. Lazy
+//! cutting matters under graceful degradation — the MAC's payload
+//! budget halves per AMPPM tier, and a fragment sized for the old MTU
+//! would no longer fit; cutting at emission time always matches the
+//! budget of the frame that will actually carry the bytes.
+//!
+//! Everything is deterministic: flows are visited in a `VecDeque`
+//! rotation, quanta and deficits are plain integers, and no iteration
+//! order depends on a hash map.
+
+use crate::error::NetError;
+use crate::frag::{FragHeader, MAX_FLOWS, MAX_FRAG_INDEX};
+use smartvlc_obs as obs;
+use std::collections::VecDeque;
+
+/// A fragment ready to become one MAC frame body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxFragment {
+    /// Flow the fragment belongs to.
+    pub flow: u8,
+    /// Per-flow datagram sequence number.
+    pub seq: u8,
+    /// Encapsulated bytes (fragment header + chunk).
+    pub payload: Vec<u8>,
+    /// Whether this fragment finishes its datagram.
+    pub dgram_done: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PendingDgram {
+    seq: u8,
+    data: Vec<u8>,
+    /// Bytes already emitted.
+    offset: usize,
+    /// Next fragment index.
+    next_index: u16,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FlowState {
+    queue: VecDeque<PendingDgram>,
+    next_seq: u8,
+    deficit: usize,
+    /// Whether the flow has received its quantum for the current visit.
+    credited: bool,
+    /// Whether the flow sits in the active rotation.
+    in_active: bool,
+}
+
+/// The deficit-round-robin fragment scheduler.
+#[derive(Clone, Debug)]
+pub struct DrrScheduler {
+    /// Deficit credit per rotation visit, bytes.
+    quantum: usize,
+    /// Most datagrams queued per flow before `enqueue` refuses.
+    max_queued: usize,
+    flows: Vec<FlowState>,
+    active: VecDeque<u8>,
+}
+
+impl DrrScheduler {
+    /// Create a scheduler. `quantum` is the byte credit each flow earns
+    /// per rotation visit; `max_queued` bounds each flow's FIFO.
+    pub fn new(quantum: usize, max_queued: usize) -> DrrScheduler {
+        DrrScheduler {
+            quantum: quantum.max(1),
+            max_queued: max_queued.max(1),
+            flows: (0..MAX_FLOWS).map(|_| FlowState::default()).collect(),
+            active: VecDeque::new(),
+        }
+    }
+
+    /// Queue a datagram on `flow`. Returns the per-flow sequence number
+    /// it will travel under.
+    pub fn enqueue(&mut self, flow: u8, data: Vec<u8>) -> Result<u8, NetError> {
+        if flow >= MAX_FLOWS {
+            return Err(NetError::FlowOutOfRange { flow });
+        }
+        // The 15-bit fragment index must cover the worst case: the
+        // degraded MAC budget can shrink to 16 B frames (12 B chunks).
+        let max = u16::MAX as usize;
+        if data.len() > max {
+            return Err(NetError::DatagramTooLarge {
+                len: data.len(),
+                max,
+            });
+        }
+        let st = &mut self.flows[flow as usize];
+        if st.queue.len() >= self.max_queued {
+            obs::counter_add(obs::key!("net.tx.queue_drops"), 1);
+            return Err(NetError::QueueFull { flow });
+        }
+        let seq = st.next_seq;
+        st.next_seq = st.next_seq.wrapping_add(1);
+        st.queue.push_back(PendingDgram {
+            seq,
+            data,
+            offset: 0,
+            next_index: 0,
+        });
+        if !st.in_active {
+            st.in_active = true;
+            self.active.push_back(flow);
+        }
+        obs::counter_add(obs::key!("net.tx.datagrams"), 1);
+        Ok(seq)
+    }
+
+    /// Cut and emit the next fragment under DRR service, sized to fit
+    /// `mtu` bytes of MAC frame body (header included). `None` when
+    /// every queue is empty.
+    pub fn next_fragment(&mut self, mtu: usize) -> Option<TxFragment> {
+        let budget = mtu.saturating_sub(FragHeader::WIRE_BYTES).max(1);
+        // Each rotation either emits or removes/rotates a flow; with
+        // deficits growing by a quantum per visit this terminates in at
+        // most O(flows * ceil(budget/quantum)) steps.
+        loop {
+            let flow = *self.active.front()?;
+            let quantum = self.quantum;
+            let st = &mut self.flows[flow as usize];
+            if st.queue.is_empty() {
+                // A flow with nothing queued leaves the rotation and
+                // forfeits its deficit (classic DRR: credit does not
+                // accumulate across idle periods).
+                st.deficit = 0;
+                st.credited = false;
+                st.in_active = false;
+                self.active.pop_front();
+                continue;
+            }
+            if !st.credited {
+                st.deficit = st.deficit.saturating_add(quantum);
+                st.credited = true;
+            }
+            let head = st.queue.front_mut().expect("non-empty");
+            let remaining = head.data.len() - head.offset;
+            let chunk_len = remaining.min(budget);
+            // A zero-length datagram still costs one byte of deficit so
+            // a flood of empty datagrams cannot monopolize the rotation.
+            let cost = chunk_len.max(1);
+            if st.deficit < cost {
+                // Out of credit: move to the back of the rotation and
+                // earn a fresh quantum on the next visit.
+                st.credited = false;
+                self.active.rotate_left(1);
+                continue;
+            }
+            st.deficit -= cost;
+            let last = head.offset + chunk_len == head.data.len();
+            let hdr = FragHeader {
+                flow,
+                seq: head.seq,
+                index: head.next_index,
+                last,
+            };
+            let payload = hdr.encapsulate(&head.data[head.offset..head.offset + chunk_len]);
+            head.offset += chunk_len;
+            head.next_index = head.next_index.min(MAX_FRAG_INDEX - 1) + 1;
+            let seq = head.seq;
+            if last {
+                st.queue.pop_front();
+            }
+            obs::counter_add(obs::key!("net.tx.frags"), 1);
+            return Some(TxFragment {
+                flow,
+                seq,
+                payload,
+                dgram_done: last,
+            });
+        }
+    }
+
+    /// Datagrams queued across all flows (the one currently being cut
+    /// counts until its last fragment is emitted).
+    pub fn queued(&self) -> usize {
+        self.flows.iter().map(|f| f.queue.len()).sum()
+    }
+
+    /// Unsent bytes across all flows.
+    pub fn queued_bytes(&self) -> usize {
+        self.flows
+            .iter()
+            .flat_map(|f| f.queue.iter())
+            .map(|d| d.data.len() - d.offset)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_emits_in_order() {
+        let mut s = DrrScheduler::new(512, 8);
+        s.enqueue(0, vec![1u8; 100]).unwrap();
+        s.enqueue(0, vec![2u8; 50]).unwrap();
+        let mut seen = Vec::new();
+        while let Some(f) = s.next_fragment(64) {
+            let (h, chunk) = FragHeader::decapsulate(&f.payload).unwrap();
+            seen.push((h.seq, h.index, h.last, chunk.to_vec()));
+        }
+        // 100 B at 60 B chunks = 2 fragments, then 50 B = 1 fragment.
+        assert_eq!(seen.len(), 3);
+        assert_eq!((seen[0].0, seen[0].1, seen[0].2), (0, 0, false));
+        assert_eq!((seen[1].0, seen[1].1, seen[1].2), (0, 1, true));
+        assert_eq!((seen[2].0, seen[2].1, seen[2].2), (1, 0, true));
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn drr_interleaves_bulk_and_keepalive() {
+        // Flow 0 queues one huge datagram; flow 1 queues small ones.
+        // With equal quanta flow 1 must get roughly every other slot,
+        // not wait for the bulk transfer to finish.
+        let mut s = DrrScheduler::new(64, 64);
+        s.enqueue(0, vec![0u8; 4000]).unwrap();
+        for _ in 0..10 {
+            s.enqueue(1, vec![1u8; 40]).unwrap();
+        }
+        let first: Vec<u8> = (0..20)
+            .filter_map(|_| s.next_fragment(64))
+            .map(|f| f.flow)
+            .collect();
+        let keepalives = first.iter().filter(|&&f| f == 1).count();
+        assert!(
+            keepalives >= 8,
+            "keepalives starved: {keepalives}/20 early slots ({first:?})"
+        );
+    }
+
+    #[test]
+    fn fragments_adapt_to_a_shrinking_mtu() {
+        let mut s = DrrScheduler::new(512, 8);
+        s.enqueue(0, (0..=199u8).cycle().take(200).collect())
+            .unwrap();
+        let f1 = s.next_fragment(126).unwrap();
+        assert_eq!(f1.payload.len(), 126);
+        // Tier escalation shrinks the budget mid-datagram; the next cut
+        // fits the new frame size instead of overflowing it.
+        let f2 = s.next_fragment(14).unwrap();
+        assert_eq!(f2.payload.len(), 14);
+        let (h2, _) = FragHeader::decapsulate(&f2.payload).unwrap();
+        assert_eq!(h2.index, 1);
+    }
+
+    #[test]
+    fn enqueue_limits_are_typed() {
+        let mut s = DrrScheduler::new(512, 2);
+        assert_eq!(
+            s.enqueue(16, vec![0]),
+            Err(NetError::FlowOutOfRange { flow: 16 })
+        );
+        assert!(s
+            .enqueue(0, vec![0u8; 100_000])
+            .is_err_and(|e| matches!(e, NetError::DatagramTooLarge { .. })));
+        s.enqueue(3, vec![1]).unwrap();
+        s.enqueue(3, vec![2]).unwrap();
+        assert_eq!(s.enqueue(3, vec![3]), Err(NetError::QueueFull { flow: 3 }));
+    }
+
+    #[test]
+    fn empty_datagram_emits_one_fragment() {
+        let mut s = DrrScheduler::new(512, 8);
+        s.enqueue(7, Vec::new()).unwrap();
+        let f = s.next_fragment(64).unwrap();
+        assert!(f.dgram_done);
+        let (h, chunk) = FragHeader::decapsulate(&f.payload).unwrap();
+        assert_eq!((h.flow, h.index, h.last), (7, 0, true));
+        assert!(chunk.is_empty());
+        assert!(s.next_fragment(64).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! The versioned fragment header and datagram fragmentation.
+//!
+//! Every MAC frame body carries one fragment of one datagram, prefixed
+//! by a 4-byte header:
+//!
+//! ```text
+//! byte 0: [version:4][flow:4]
+//! byte 1: per-flow datagram sequence number (wrapping u8)
+//! bytes 2..4 (big-endian u16): [last:1][fragment index:15]
+//! ```
+//!
+//! The version nibble is the discriminant satellite 3 of the issue asks
+//! for: `MacHeader::decapsulate` accepts any ≥2-byte payload, so a
+//! corrupted-but-CRC-colliding or stale-format frame would otherwise
+//! decapsulate as garbage and feed straight into reassembly. Unknown
+//! versions are rejected with a typed error and counted
+//! (`net.rx.bad_version`); the MAC wire format itself is unchanged.
+
+use crate::error::NetError;
+
+/// Current fragment wire version. Version 0 is deliberately invalid:
+/// an all-zero (or zero-prefixed) payload — the most common corruption
+/// pattern — must not parse as a fragment.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Flow ids occupy 4 bits on the wire.
+pub const MAX_FLOWS: u8 = 16;
+
+/// Fragment indices occupy 15 bits (bit 15 is the last-fragment flag).
+pub const MAX_FRAG_INDEX: u16 = 0x7FFF;
+
+/// The per-fragment header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragHeader {
+    /// Flow id, `0..MAX_FLOWS`.
+    pub flow: u8,
+    /// Per-flow datagram sequence number (wraps at 256).
+    pub seq: u8,
+    /// Fragment index within the datagram, starting at 0.
+    pub index: u16,
+    /// Whether this is the datagram's final fragment.
+    pub last: bool,
+}
+
+impl FragHeader {
+    /// Wire size of the header.
+    pub const WIRE_BYTES: usize = 4;
+
+    /// Prepend this header to a fragment chunk.
+    pub fn encapsulate(&self, chunk: &[u8]) -> Vec<u8> {
+        debug_assert!(self.flow < MAX_FLOWS);
+        debug_assert!(self.index <= MAX_FRAG_INDEX);
+        let mut out = Vec::with_capacity(Self::WIRE_BYTES + chunk.len());
+        out.push((WIRE_VERSION << 4) | (self.flow & 0x0F));
+        out.push(self.seq);
+        let word = self.index | if self.last { 0x8000 } else { 0 };
+        out.extend_from_slice(&word.to_be_bytes());
+        out.extend_from_slice(chunk);
+        out
+    }
+
+    /// Split a MAC frame body into header and chunk, rejecting payloads
+    /// that are too short or carry an unknown wire version.
+    pub fn decapsulate(payload: &[u8]) -> Result<(FragHeader, &[u8]), NetError> {
+        if payload.len() < Self::WIRE_BYTES {
+            return Err(NetError::Truncated { len: payload.len() });
+        }
+        let version = payload[0] >> 4;
+        if version != WIRE_VERSION {
+            return Err(NetError::BadVersion { got: version });
+        }
+        let word = u16::from_be_bytes([payload[2], payload[3]]);
+        Ok((
+            FragHeader {
+                flow: payload[0] & 0x0F,
+                seq: payload[1],
+                index: word & MAX_FRAG_INDEX,
+                last: word & 0x8000 != 0,
+            },
+            &payload[Self::WIRE_BYTES..],
+        ))
+    }
+}
+
+/// Cut `data` into encapsulated fragments of at most `mtu` bytes each
+/// (header included). A zero-length datagram still produces one (empty)
+/// fragment so the receiver learns it exists. Used by tests and
+/// property checks; the scheduler cuts fragments lazily with the same
+/// boundaries when the MTU is constant.
+pub fn fragment(flow: u8, seq: u8, data: &[u8], mtu: usize) -> Vec<Vec<u8>> {
+    let budget = mtu.saturating_sub(FragHeader::WIRE_BYTES).max(1);
+    let count = data.len().div_ceil(budget).max(1);
+    (0..count)
+        .map(|i| {
+            let start = i * budget;
+            let end = (start + budget).min(data.len());
+            FragHeader {
+                flow,
+                seq,
+                index: i as u16,
+                last: i + 1 == count,
+            }
+            .encapsulate(&data[start..end])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = FragHeader {
+            flow: 11,
+            seq: 250,
+            index: 0x7ABC,
+            last: true,
+        };
+        let p = h.encapsulate(&[9, 8, 7]);
+        assert_eq!(p.len(), 7);
+        let (back, chunk) = FragHeader::decapsulate(&p).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(chunk, &[9, 8, 7]);
+    }
+
+    #[test]
+    fn truncated_and_bad_version_are_typed() {
+        assert_eq!(
+            FragHeader::decapsulate(&[1, 2, 3]),
+            Err(NetError::Truncated { len: 3 })
+        );
+        // Version nibble 0: garbage zeros must not parse.
+        assert_eq!(
+            FragHeader::decapsulate(&[0, 0, 0, 0]),
+            Err(NetError::BadVersion { got: 0 })
+        );
+        // A future version is rejected, not misparsed.
+        assert_eq!(
+            FragHeader::decapsulate(&[0x2A, 0, 0, 0]),
+            Err(NetError::BadVersion { got: 2 })
+        );
+    }
+
+    #[test]
+    fn fragment_covers_data_exactly() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let frags = fragment(3, 7, &data, 64);
+        assert_eq!(frags.len(), 256usize.div_ceil(60));
+        let mut rebuilt = Vec::new();
+        for (i, f) in frags.iter().enumerate() {
+            let (h, chunk) = FragHeader::decapsulate(f).unwrap();
+            assert_eq!(h.index as usize, i);
+            assert_eq!(h.last, i + 1 == frags.len());
+            assert!(f.len() <= 64);
+            rebuilt.extend_from_slice(chunk);
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn empty_datagram_is_one_empty_fragment() {
+        let frags = fragment(0, 0, &[], 32);
+        assert_eq!(frags.len(), 1);
+        let (h, chunk) = FragHeader::decapsulate(&frags[0]).unwrap();
+        assert!(h.last);
+        assert_eq!(h.index, 0);
+        assert!(chunk.is_empty());
+    }
+}

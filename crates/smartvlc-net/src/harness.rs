@@ -1,0 +1,400 @@
+//! `NetOverLink` — the datagram layer plugged into the MAC loop.
+//!
+//! Implements [`TrafficSource`]: each MAC tick polls the workload
+//! generators (timeline-ordered, so the draw sequence is cadence-
+//! independent), datagrams enter the DRR scheduler, fragments are cut
+//! against the transmitter's live payload budget, and delivered frame
+//! bodies feed reassembly. Abandoned frames propagate as lost fragments
+//! — the reassembly buffer for that datagram is dropped immediately
+//! instead of waiting out the timeout.
+
+use crate::error::NetError;
+use crate::flow::DrrScheduler;
+use crate::frag::{FragHeader, MAX_FLOWS};
+use crate::reassembly::{Reassembler, ReassemblyConfig, ReassemblyStats};
+use crate::workload::{WorkloadGen, WorkloadSpec};
+use desim::{DetRng, SimTime};
+use smartvlc_link::{
+    LinkConfig, LinkError, LinkReport, LinkSimulation, TrafficSource, Transmitter,
+};
+use smartvlc_obs as obs;
+use std::collections::{BTreeMap, HashMap};
+use vlc_channel::ambient::ConstantAmbient;
+
+/// Datagram-layer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Reassembly limits.
+    pub reassembly: ReassemblyConfig,
+    /// DRR byte quantum per rotation visit.
+    pub quantum: usize,
+    /// Per-flow transmit queue depth.
+    pub max_queued: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            reassembly: ReassemblyConfig::default(),
+            quantum: 512,
+            max_queued: 64,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fate {
+    Pending,
+    Delivered,
+    Lost,
+}
+
+#[derive(Clone, Debug)]
+struct DgramRecord {
+    created_at: SimTime,
+    bytes: usize,
+    mac_flow: u8,
+    app_flow: u64,
+    fate: Fate,
+    delivered_at: Option<SimTime>,
+}
+
+#[derive(Clone, Debug)]
+struct AppFlow {
+    first_at: SimTime,
+    total: u32,
+    delivered: u32,
+    lost: bool,
+    done_at: Option<SimTime>,
+}
+
+/// Per-MAC-flow datagram accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MacFlowSummary {
+    /// Datagrams offered on this flow.
+    pub offered: u64,
+    /// Datagrams fully delivered.
+    pub delivered: u64,
+    /// Datagrams lost (queue drop, abandonment, eviction).
+    pub lost: u64,
+}
+
+/// What the datagram layer measured over one run.
+#[derive(Clone, Debug, Default)]
+pub struct NetReport {
+    /// Datagrams the workloads offered.
+    pub offered_dgrams: u64,
+    /// Datagrams reassembled at the receiver.
+    pub delivered_dgrams: u64,
+    /// Datagrams known lost (refused at the queue, abandoned by the
+    /// ARQ, or evicted from reassembly).
+    pub lost_dgrams: u64,
+    /// Datagrams still in flight when the run ended.
+    pub unfinished_dgrams: u64,
+    /// Bytes offered / delivered.
+    pub offered_bytes: u64,
+    /// Bytes of reassembled datagrams.
+    pub delivered_bytes: u64,
+    /// Per-delivered-datagram latency (scheduled arrival → reassembly),
+    /// milliseconds, in datagram creation order.
+    pub latency_ms: Vec<f64>,
+    /// Per-completed-application-flow completion time, milliseconds.
+    pub fct_ms: Vec<f64>,
+    /// Application flows offered / fully completed / touched by loss.
+    pub flows_offered: u64,
+    /// Flows whose every datagram was delivered.
+    pub flows_completed: u64,
+    /// Flows that lost at least one datagram.
+    pub flows_lost: u64,
+    /// Datagrams refused because a transmit queue was full.
+    pub queue_drops: u64,
+    /// Receive-side reassembly counters.
+    pub reassembly: ReassemblyStats,
+    /// Accounting per MAC flow (one per workload).
+    pub per_flow: Vec<MacFlowSummary>,
+}
+
+/// The datagram layer as a MAC traffic source.
+pub struct NetOverLink {
+    sched: DrrScheduler,
+    reasm: Reassembler,
+    gens: Vec<WorkloadGen>,
+    /// In-flight datagrams: `(mac_flow, seq)` → index into `dgrams`.
+    live: HashMap<(u8, u8), usize>,
+    dgrams: Vec<DgramRecord>,
+    flows: BTreeMap<u64, AppFlow>,
+    queue_drops: u64,
+}
+
+impl NetOverLink {
+    /// Build a source running one workload per MAC flow. `rng` should be
+    /// forked from the link seed so runs stay reproducible end to end.
+    pub fn new(
+        cfg: NetConfig,
+        specs: &[WorkloadSpec],
+        rng: &DetRng,
+    ) -> Result<NetOverLink, NetError> {
+        if specs.len() > MAX_FLOWS as usize {
+            return Err(NetError::FlowOutOfRange {
+                flow: specs.len() as u8,
+            });
+        }
+        Ok(NetOverLink {
+            sched: DrrScheduler::new(cfg.quantum, cfg.max_queued),
+            reasm: Reassembler::new(cfg.reassembly),
+            gens: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| WorkloadGen::new(s, rng.fork_idx(i as u64)))
+                .collect(),
+            live: HashMap::new(),
+            dgrams: Vec::new(),
+            flows: BTreeMap::new(),
+            queue_drops: 0,
+        })
+    }
+
+    fn mark_lost(&mut self, id: usize) {
+        let rec = &mut self.dgrams[id];
+        if rec.fate != Fate::Pending {
+            return;
+        }
+        rec.fate = Fate::Lost;
+        obs::counter_add(obs::key!("net.dgram.lost"), 1);
+        if let Some(flow) = self.flows.get_mut(&rec.app_flow) {
+            flow.lost = true;
+        }
+    }
+
+    fn mark_delivered(&mut self, id: usize, now: SimTime) {
+        let rec = &mut self.dgrams[id];
+        if rec.fate != Fate::Pending {
+            return;
+        }
+        rec.fate = Fate::Delivered;
+        rec.delivered_at = Some(now);
+        if let Some(lat) = now.checked_duration_since(rec.created_at) {
+            obs::observe(obs::key!("net.rx.latency_ns"), lat.as_nanos());
+        }
+        if let Some(flow) = self.flows.get_mut(&rec.app_flow) {
+            flow.delivered += 1;
+            if flow.delivered == flow.total && !flow.lost && flow.done_at.is_none() {
+                flow.done_at = Some(now);
+                if let Some(fct) = now.checked_duration_since(flow.first_at) {
+                    obs::observe(obs::key!("net.flow.fct_ns"), fct.as_nanos());
+                }
+            }
+        }
+    }
+
+    /// Summarize the run. Call after `run_traffic` returns.
+    pub fn finish(&mut self) -> NetReport {
+        let mut r = NetReport {
+            queue_drops: self.queue_drops,
+            reassembly: self.reasm.stats,
+            per_flow: vec![MacFlowSummary::default(); self.gens.len()],
+            ..NetReport::default()
+        };
+        for rec in &self.dgrams {
+            r.offered_dgrams += 1;
+            r.offered_bytes += rec.bytes as u64;
+            let pf = &mut r.per_flow[rec.mac_flow as usize];
+            pf.offered += 1;
+            match rec.fate {
+                Fate::Delivered => {
+                    r.delivered_dgrams += 1;
+                    r.delivered_bytes += rec.bytes as u64;
+                    pf.delivered += 1;
+                    let lat = rec
+                        .delivered_at
+                        .and_then(|at| at.checked_duration_since(rec.created_at))
+                        .map_or(0.0, |d| d.as_secs_f64() * 1e3);
+                    r.latency_ms.push(lat);
+                }
+                Fate::Lost => {
+                    r.lost_dgrams += 1;
+                    pf.lost += 1;
+                }
+                Fate::Pending => r.unfinished_dgrams += 1,
+            }
+        }
+        for flow in self.flows.values() {
+            r.flows_offered += 1;
+            if flow.lost {
+                r.flows_lost += 1;
+            } else if let Some(done) = flow.done_at {
+                r.flows_completed += 1;
+                let fct = done
+                    .checked_duration_since(flow.first_at)
+                    .map_or(0.0, |d| d.as_secs_f64() * 1e3);
+                r.fct_ms.push(fct);
+            }
+        }
+        r
+    }
+}
+
+impl TrafficSource for NetOverLink {
+    fn on_tick(&mut self, now: SimTime) {
+        for gi in 0..self.gens.len() {
+            let arrivals = self.gens[gi].poll(now);
+            for a in arrivals {
+                let app_flow = ((gi as u64) << 32) | a.app_flow as u64;
+                self.flows.entry(app_flow).or_insert(AppFlow {
+                    first_at: a.at,
+                    total: a.flow_dgrams,
+                    delivered: 0,
+                    lost: false,
+                    done_at: None,
+                });
+                let id = self.dgrams.len();
+                self.dgrams.push(DgramRecord {
+                    created_at: a.at,
+                    bytes: a.bytes,
+                    mac_flow: gi as u8,
+                    app_flow,
+                    fate: Fate::Pending,
+                    delivered_at: None,
+                });
+                match self.sched.enqueue(gi as u8, vec![0xA5; a.bytes]) {
+                    Ok(seq) => {
+                        // A (flow, seq) pair still live after a full u8
+                        // wrap means the old datagram can never be told
+                        // apart on the wire — count it lost.
+                        if let Some(old) = self.live.insert((gi as u8, seq), id) {
+                            self.mark_lost(old);
+                        }
+                    }
+                    Err(_) => {
+                        self.queue_drops += 1;
+                        self.mark_lost(id);
+                    }
+                }
+            }
+        }
+        self.reasm.evict_expired(now);
+        for key in self.reasm.drain_dropped() {
+            if let Some(id) = self.live.remove(&key) {
+                self.mark_lost(id);
+            }
+        }
+    }
+
+    fn next_data(&mut self, _now: SimTime, tx: &mut Transmitter) -> Option<Vec<u8>> {
+        self.sched
+            .next_fragment(tx.payload_budget())
+            .map(|f| f.payload)
+    }
+
+    fn on_delivered(&mut self, now: SimTime, body: &[u8]) {
+        if let Ok(Some(dg)) = self.reasm.push(now, body) {
+            if let Some(id) = self.live.remove(&(dg.flow, dg.seq)) {
+                // Guard against size forgery surviving everything: a
+                // reassembled datagram of the wrong length is a loss,
+                // not a delivery.
+                if self.dgrams[id].bytes == dg.bytes.len() {
+                    self.mark_delivered(id, now);
+                } else {
+                    self.mark_lost(id);
+                }
+            }
+        }
+    }
+
+    fn on_abandoned(&mut self, _now: SimTime, body: &[u8]) {
+        if let Ok((hdr, _)) = FragHeader::decapsulate(body) {
+            let key = (hdr.flow, hdr.seq);
+            self.reasm.abandon(key);
+            if let Some(id) = self.live.remove(&key) {
+                self.mark_lost(id);
+            }
+        }
+    }
+}
+
+/// Run a workload mix over one link scenario under constant ambient.
+/// One MAC flow per workload spec; everything derives from the link
+/// seed, so the pair of reports is byte-reproducible.
+pub fn run_net_over_link(
+    link_cfg: LinkConfig,
+    net_cfg: NetConfig,
+    specs: &[WorkloadSpec],
+    lux: f64,
+) -> Result<(NetReport, LinkReport), LinkError> {
+    let rng = DetRng::seed_from_u64(link_cfg.seed).fork("net");
+    let mut net = NetOverLink::new(net_cfg, specs, &rng)
+        .map_err(|_| LinkError::Config("too many workloads"))?;
+    let mut sim = LinkSimulation::new(link_cfg)?;
+    let link = sim.run_traffic(&mut ConstantAmbient { lux }, &mut net);
+    Ok((net.finish(), link))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use smartvlc_link::SchemeKind;
+
+    fn base_cfg(seed: u64) -> LinkConfig {
+        let mut cfg = LinkConfig::paper_static(3.0, SchemeKind::Amppm, seed);
+        cfg.duration = SimDuration::secs(3);
+        cfg
+    }
+
+    #[test]
+    fn datagrams_flow_end_to_end() {
+        let (net, link) = run_net_over_link(
+            base_cfg(11),
+            NetConfig::default(),
+            &[WorkloadSpec::web(), WorkloadSpec::iot()],
+            4000.0,
+        )
+        .unwrap();
+        assert!(net.offered_dgrams > 5, "{net:?}");
+        assert!(net.delivered_dgrams > 0, "{net:?}");
+        assert!(
+            net.delivered_dgrams + net.lost_dgrams + net.unfinished_dgrams == net.offered_dgrams
+        );
+        assert!(net.flows_completed > 0);
+        assert_eq!(net.latency_ms.len(), net.delivered_dgrams as usize);
+        assert!(net.latency_ms.iter().all(|&l| l >= 0.0));
+        assert!(link.stats.frames_ok > 0);
+        assert_eq!(net.reassembly.bad_version, 0, "clean link, no garbage");
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let run = || {
+            run_net_over_link(
+                base_cfg(7),
+                NetConfig::default(),
+                &[WorkloadSpec::web(), WorkloadSpec::video()],
+                4000.0,
+            )
+            .unwrap()
+        };
+        let (a, _) = run();
+        let (b, _) = run();
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.fct_ms, b.fct_ms);
+        assert_eq!(a.offered_dgrams, b.offered_dgrams);
+        assert_eq!(a.reassembly, b.reassembly);
+    }
+
+    #[test]
+    fn abandoned_frames_lose_their_datagrams() {
+        // At 6 m the downlink is dead (see `dead_link_delivers_nothing`):
+        // no frame ever decodes, so no ACK ever returns, and the MAC
+        // abandons every frame after its retry budget. Abandonment must
+        // propagate to the datagram layer as loss — not leave datagrams
+        // dangling "unfinished" forever.
+        let mut cfg = LinkConfig::paper_static(6.0, SchemeKind::Amppm, 23);
+        cfg.duration = SimDuration::secs(2);
+        let (net, link) =
+            run_net_over_link(cfg, NetConfig::default(), &[WorkloadSpec::video()], 4000.0).unwrap();
+        assert!(link.stats.frames_abandoned > 0, "{:?}", link.stats);
+        assert_eq!(net.delivered_dgrams, 0, "{net:?}");
+        assert!(net.lost_dgrams > 0, "{net:?}");
+        assert!(net.flows_lost > 0, "{net:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # smartvlc-net — real traffic over the VLC link
+//!
+//! The MAC ships frames; this crate decides what goes in them. It is
+//! the datagram layer ROADMAP item 2 calls for, layered over the
+//! existing ARQ+FEC pipeline through the [`smartvlc_link::TrafficSource`]
+//! hooks:
+//!
+//! * [`frag`] — the versioned 4-byte fragment header (flow id, per-flow
+//!   datagram sequence, fragment index + last flag) and MTU-bounded
+//!   fragmentation. The version nibble rejects stale-format or
+//!   CRC-colliding garbage before it reaches reassembly.
+//! * [`flow`] — per-flow transmit queues under deficit-round-robin
+//!   service, so one bulk transfer cannot starve IoT keepalives.
+//!   Fragments are cut lazily against the transmitter's live payload
+//!   budget (the MTU shrinks as AMPPM tiers degrade).
+//! * [`reassembly`] — the receive-side table: tolerant of reordering,
+//!   duplicates and holes, with deterministic timeout eviction on the
+//!   `desim` clock bounding memory under partial-fragment floods.
+//! * [`workload`] — three deterministic synthetic generators (web-like
+//!   short flows, constant-rate video, Poisson-ish IoT bursts) on keyed
+//!   [`desim::DetRng`] streams, byte-identical at any `SMARTVLC_THREADS`.
+//! * [`harness`] — [`harness::NetOverLink`] wires all of it into a
+//!   [`smartvlc_link::LinkSimulation`] run and reports datagram
+//!   latency, flow-completion time, and loss accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::SimDuration;
+//! use smartvlc_link::{LinkConfig, SchemeKind};
+//! use smartvlc_net::{run_net_over_link, NetConfig, WorkloadSpec};
+//!
+//! let mut cfg = LinkConfig::paper_static(3.0, SchemeKind::Amppm, 7);
+//! cfg.duration = SimDuration::millis(800);
+//! let (net, _link) = run_net_over_link(
+//!     cfg,
+//!     NetConfig::default(),
+//!     &[WorkloadSpec::iot()],
+//!     4000.0,
+//! )
+//! .unwrap();
+//! assert_eq!(
+//!     net.offered_dgrams,
+//!     net.delivered_dgrams + net.lost_dgrams + net.unfinished_dgrams
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod flow;
+pub mod frag;
+pub mod harness;
+pub mod reassembly;
+pub mod workload;
+
+pub use error::NetError;
+pub use flow::{DrrScheduler, TxFragment};
+pub use frag::{fragment, FragHeader, MAX_FLOWS, MAX_FRAG_INDEX, WIRE_VERSION};
+pub use harness::{run_net_over_link, MacFlowSummary, NetConfig, NetOverLink, NetReport};
+pub use reassembly::{Datagram, Reassembler, ReassemblyConfig, ReassemblyStats};
+pub use workload::{Arrival, WorkloadGen, WorkloadSpec};

@@ -1,0 +1,417 @@
+//! Datagram reassembly with deterministic timeout eviction.
+//!
+//! Fragments arrive in order on a clean link, but retransmission
+//! reordering, duplicate deliveries, and abandoned frames mean the
+//! reassembler must tolerate anything: out-of-order indices, repeats,
+//! holes that never fill. Buffers are keyed `(flow, seq)` in a
+//! `BTreeMap` so iteration (and therefore eviction) order is
+//! deterministic, and every partial datagram carries its admission
+//! timestamp on the `desim` clock — `evict_expired` walks the map and
+//! drops anything older than the configured timeout, bounding memory
+//! under pathological partial-fragment floods.
+
+use crate::error::NetError;
+use crate::frag::FragHeader;
+use desim::{SimDuration, SimTime};
+use smartvlc_obs as obs;
+use std::collections::BTreeMap;
+
+/// Reassembly limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ReassemblyConfig {
+    /// How long a partial datagram may wait for its missing fragments.
+    pub timeout: SimDuration,
+    /// Most partial datagrams held at once; admitting one more evicts
+    /// the oldest (deterministically: earliest admission, then smallest
+    /// key).
+    pub max_buffers: usize,
+    /// Largest datagram the layer will reassemble; a buffer growing past
+    /// this is dropped as corrupt.
+    pub max_datagram_bytes: usize,
+}
+
+impl Default for ReassemblyConfig {
+    fn default() -> Self {
+        ReassemblyConfig {
+            timeout: SimDuration::secs(2),
+            max_buffers: 64,
+            max_datagram_bytes: u16::MAX as usize,
+        }
+    }
+}
+
+/// A fully reassembled datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Flow it arrived on.
+    pub flow: u8,
+    /// Per-flow sequence number.
+    pub seq: u8,
+    /// The reassembled bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Counters the reassembler keeps (all deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReassemblyStats {
+    /// Datagrams completed.
+    pub completed: u64,
+    /// Fragments rejected for an unknown wire version.
+    pub bad_version: u64,
+    /// Payloads too short to carry a header.
+    pub truncated: u64,
+    /// Duplicate fragments ignored (first copy wins).
+    pub duplicates: u64,
+    /// Buffers dropped for inconsistent structure (conflicting last
+    /// flags, indices past the announced end, oversize growth).
+    pub inconsistent: u64,
+    /// Buffers evicted by timeout.
+    pub evicted_timeout: u64,
+    /// Buffers evicted to admit a newer datagram at `max_buffers`.
+    pub evicted_overflow: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Partial {
+    first_at: SimTime,
+    frags: BTreeMap<u16, Vec<u8>>,
+    last_index: Option<u16>,
+    bytes: usize,
+}
+
+/// The receive-side reassembly table.
+#[derive(Clone, Debug)]
+pub struct Reassembler {
+    cfg: ReassemblyConfig,
+    buffers: BTreeMap<(u8, u8), Partial>,
+    /// Keys dropped since the last `drain_dropped` call (evictions,
+    /// inconsistency drops, abandonments) — the harness marks these
+    /// datagrams lost.
+    dropped: Vec<(u8, u8)>,
+    /// Counters.
+    pub stats: ReassemblyStats,
+}
+
+impl Reassembler {
+    /// Create a table with the given limits.
+    pub fn new(cfg: ReassemblyConfig) -> Reassembler {
+        Reassembler {
+            cfg,
+            buffers: BTreeMap::new(),
+            dropped: Vec::new(),
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Partial datagrams currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Total fragment bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffers.values().map(|p| p.bytes).sum()
+    }
+
+    /// Feed one received MAC frame body. Returns a completed datagram
+    /// when this fragment was the last missing piece, `Ok(None)` while
+    /// the datagram is still partial, and a typed error for payloads
+    /// that do not parse as fragments (unknown version, truncation).
+    pub fn push(&mut self, now: SimTime, payload: &[u8]) -> Result<Option<Datagram>, NetError> {
+        let (hdr, chunk) = match FragHeader::decapsulate(payload) {
+            Ok(ok) => ok,
+            Err(e) => {
+                match e {
+                    NetError::BadVersion { .. } => {
+                        self.stats.bad_version += 1;
+                        obs::counter_add(obs::key!("net.rx.bad_version"), 1);
+                    }
+                    _ => {
+                        self.stats.truncated += 1;
+                        obs::counter_add(obs::key!("net.rx.truncated"), 1);
+                    }
+                }
+                return Err(e);
+            }
+        };
+        let key = (hdr.flow, hdr.seq);
+        if !self.buffers.contains_key(&key) {
+            self.admit(now, key);
+        }
+        let partial = self.buffers.get_mut(&key).expect("just admitted");
+        // Structural consistency: conflicting last flags or indices past
+        // the announced end mean the buffer mixes two incarnations of
+        // the (flow, seq) pair (or corruption survived the CRC). Drop
+        // the whole buffer — a half-trusted datagram is worse than none.
+        let inconsistent = match partial.last_index {
+            Some(l) => hdr.index > l || (hdr.last && hdr.index != l),
+            None => {
+                hdr.last
+                    && partial
+                        .frags
+                        .keys()
+                        .next_back()
+                        .is_some_and(|&i| i > hdr.index)
+            }
+        };
+        if inconsistent {
+            self.drop_buffer(key);
+            self.stats.inconsistent += 1;
+            obs::counter_add(obs::key!("net.rx.inconsistent"), 1);
+            return Ok(None);
+        }
+        if partial.frags.contains_key(&hdr.index) {
+            self.stats.duplicates += 1;
+            obs::counter_add(obs::key!("net.rx.dup_frags"), 1);
+            return Ok(None);
+        }
+        if partial.bytes + chunk.len() > self.cfg.max_datagram_bytes {
+            self.drop_buffer(key);
+            self.stats.inconsistent += 1;
+            obs::counter_add(obs::key!("net.rx.inconsistent"), 1);
+            return Ok(None);
+        }
+        if hdr.last {
+            partial.last_index = Some(hdr.index);
+        }
+        partial.bytes += chunk.len();
+        partial.frags.insert(hdr.index, chunk.to_vec());
+        obs::counter_add(obs::key!("net.rx.frags"), 1);
+        // Complete when the last index is known and every index up to it
+        // is present (indices are unique and bounded by the check above).
+        if partial
+            .last_index
+            .is_some_and(|l| partial.frags.len() == l as usize + 1)
+        {
+            let partial = self.buffers.remove(&key).expect("present");
+            let mut bytes = Vec::with_capacity(partial.bytes);
+            for chunk in partial.frags.values() {
+                bytes.extend_from_slice(chunk);
+            }
+            self.stats.completed += 1;
+            obs::counter_add(obs::key!("net.rx.datagrams"), 1);
+            return Ok(Some(Datagram {
+                flow: key.0,
+                seq: key.1,
+                bytes,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Drop every partial datagram whose first fragment is older than
+    /// the timeout. Dropped keys are reported via [`Self::drain_dropped`].
+    pub fn evict_expired(&mut self, now: SimTime) {
+        let timeout = self.cfg.timeout;
+        let expired: Vec<(u8, u8)> = self
+            .buffers
+            .iter()
+            .filter(|(_, p)| {
+                now.checked_duration_since(p.first_at)
+                    .is_some_and(|age| age > timeout)
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            self.drop_buffer(key);
+            self.stats.evicted_timeout += 1;
+            obs::counter_add(obs::key!("net.rx.evicted"), 1);
+        }
+    }
+
+    /// Abandon the buffer for `key` (the MAC gave up on one of its
+    /// fragments — the datagram can never complete).
+    pub fn abandon(&mut self, key: (u8, u8)) {
+        if self.buffers.contains_key(&key) {
+            self.drop_buffer(key);
+        } else {
+            // No fragments buffered yet, but the datagram is still dead;
+            // report the key so the harness can mark it lost.
+            self.dropped.push(key);
+        }
+    }
+
+    /// Take the keys dropped since the last call (timeouts, overflow
+    /// evictions, inconsistency drops, abandonments).
+    pub fn drain_dropped(&mut self) -> Vec<(u8, u8)> {
+        std::mem::take(&mut self.dropped)
+    }
+
+    fn drop_buffer(&mut self, key: (u8, u8)) {
+        self.buffers.remove(&key);
+        self.dropped.push(key);
+    }
+
+    /// Admit a new buffer, evicting the oldest if the table is full.
+    fn admit(&mut self, now: SimTime, key: (u8, u8)) {
+        if self.buffers.len() >= self.cfg.max_buffers.max(1) {
+            if let Some(oldest) = self
+                .buffers
+                .iter()
+                .min_by_key(|(&k, p)| (p.first_at, k))
+                .map(|(&k, _)| k)
+            {
+                self.drop_buffer(oldest);
+                self.stats.evicted_overflow += 1;
+                obs::counter_add(obs::key!("net.rx.evicted"), 1);
+            }
+        }
+        self.buffers.insert(
+            key,
+            Partial {
+                first_at: now,
+                frags: BTreeMap::new(),
+                last_index: None,
+                bytes: 0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag::fragment;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn reasm() -> Reassembler {
+        Reassembler::new(ReassemblyConfig::default())
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let mut r = reasm();
+        let data: Vec<u8> = (0..200u8).collect();
+        let frags = fragment(2, 9, &data, 64);
+        let mut done = None;
+        for f in &frags {
+            done = r.push(t(1), f).unwrap();
+        }
+        let dg = done.expect("last fragment completes");
+        assert_eq!(dg.flow, 2);
+        assert_eq!(dg.seq, 9);
+        assert_eq!(dg.bytes, data);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.stats.completed, 1);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_fragments_still_complete() {
+        let mut r = reasm();
+        let data: Vec<u8> = (0..150u8).collect();
+        let mut frags = fragment(0, 1, &data, 50);
+        frags.reverse();
+        let dup = frags[1].clone();
+        frags.insert(1, dup);
+        let mut done = None;
+        for f in &frags {
+            if let Some(dg) = r.push(t(1), f).unwrap() {
+                done = Some(dg);
+            }
+        }
+        assert_eq!(done.unwrap().bytes, data);
+        assert_eq!(r.stats.duplicates, 1);
+    }
+
+    #[test]
+    fn bad_version_is_rejected_and_counted() {
+        let mut r = reasm();
+        assert_eq!(
+            r.push(t(0), &[0x00, 1, 0, 0, 42]),
+            Err(NetError::BadVersion { got: 0 })
+        );
+        assert_eq!(r.push(t(0), &[0xFF]), Err(NetError::Truncated { len: 1 }));
+        assert_eq!(r.stats.bad_version, 1);
+        assert_eq!(r.stats.truncated, 1);
+        assert_eq!(r.buffered(), 0, "rejected payloads must not buffer");
+    }
+
+    #[test]
+    fn timeout_evicts_partials() {
+        let mut r = reasm();
+        let frags = fragment(1, 1, &[7u8; 300], 64);
+        r.push(t(0), &frags[0]).unwrap();
+        assert_eq!(r.buffered(), 1);
+        r.evict_expired(t(1999));
+        assert_eq!(r.buffered(), 1, "not expired yet");
+        r.evict_expired(t(2001));
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.stats.evicted_timeout, 1);
+        assert_eq!(r.drain_dropped(), vec![(1, 1)]);
+        // A late straggler re-admits a fresh buffer; it never completes
+        // (fragment 0 is gone) but also never panics.
+        assert_eq!(r.push(t(2002), &frags[1]).unwrap(), None);
+    }
+
+    #[test]
+    fn overflow_evicts_the_oldest_buffer() {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            max_buffers: 2,
+            ..ReassemblyConfig::default()
+        });
+        let f0 = &fragment(0, 0, &[1u8; 100], 64)[0];
+        let f1 = &fragment(0, 1, &[2u8; 100], 64)[0];
+        let f2 = &fragment(0, 2, &[3u8; 100], 64)[0];
+        r.push(t(0), f0).unwrap();
+        r.push(t(1), f1).unwrap();
+        r.push(t(2), f2).unwrap();
+        assert_eq!(r.buffered(), 2);
+        assert_eq!(r.stats.evicted_overflow, 1);
+        assert_eq!(r.drain_dropped(), vec![(0, 0)], "oldest goes first");
+    }
+
+    #[test]
+    fn inconsistent_last_flag_drops_the_buffer() {
+        let mut r = reasm();
+        // Announce the end at index 1...
+        let h_last = FragHeader {
+            flow: 0,
+            seq: 0,
+            index: 1,
+            last: true,
+        };
+        r.push(t(0), &h_last.encapsulate(&[1, 2])).unwrap();
+        // ...then claim index 3 exists.
+        let h_past = FragHeader {
+            flow: 0,
+            seq: 0,
+            index: 3,
+            last: false,
+        };
+        assert_eq!(r.push(t(0), &h_past.encapsulate(&[9])).unwrap(), None);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.stats.inconsistent, 1);
+    }
+
+    #[test]
+    fn oversized_growth_drops_the_buffer() {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            max_datagram_bytes: 100,
+            ..ReassemblyConfig::default()
+        });
+        let h = |i, last| FragHeader {
+            flow: 0,
+            seq: 0,
+            index: i,
+            last,
+        };
+        r.push(t(0), &h(0, false).encapsulate(&[0u8; 80])).unwrap();
+        assert_eq!(
+            r.push(t(0), &h(1, false).encapsulate(&[0u8; 80])).unwrap(),
+            None
+        );
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.stats.inconsistent, 1);
+    }
+
+    #[test]
+    fn zero_length_datagram_completes() {
+        let mut r = reasm();
+        let frags = fragment(5, 0, &[], 32);
+        let dg = r.push(t(0), &frags[0]).unwrap().unwrap();
+        assert_eq!(dg.bytes, Vec::<u8>::new());
+    }
+}

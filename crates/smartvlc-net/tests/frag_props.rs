@@ -1,0 +1,155 @@
+//! Property tests for the fragment → reassemble pipeline (issue
+//! satellite: corrupt/reorder/drop must never panic, never yield a
+//! datagram differing from the original, and eviction must bound
+//! memory under partial-fragment floods).
+
+use desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use smartvlc_net::{fragment, DrrScheduler, FragHeader, NetError, Reassembler, ReassemblyConfig};
+
+fn reasm() -> Reassembler {
+    Reassembler::new(ReassemblyConfig::default())
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+proptest! {
+    /// Reordering, duplication and dropping of a datagram's fragments:
+    /// reassembly never panics, and a completed datagram is always
+    /// byte-identical to the original. With nothing dropped it must
+    /// complete.
+    #[test]
+    fn reorder_dup_drop_never_differs(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        mtu in 8usize..128,
+        order in proptest::collection::vec(any::<u16>(), 0..64),
+        drop_mask in any::<u64>(),
+    ) {
+        let frags = fragment(3, 42, &data, mtu);
+        // Build a delivery schedule: the shuffled prefix (with repeats)
+        // followed by every fragment once, minus dropped ones.
+        let mut schedule: Vec<&Vec<u8>> =
+            order.iter().map(|&i| &frags[i as usize % frags.len()]).collect();
+        let mut any_dropped = false;
+        for (i, f) in frags.iter().enumerate() {
+            if i < 64 && drop_mask & (1 << i) != 0 {
+                any_dropped = true;
+            } else {
+                schedule.push(f);
+            }
+        }
+        let mut r = reasm();
+        let mut completions = 0u32;
+        for f in schedule {
+            // Duplicates arriving after a completion may legitimately
+            // complete the datagram again (the receiver cannot tell a
+            // replay from a new incarnation of the (flow, seq) pair) —
+            // but every completion must carry the exact original bytes.
+            if let Some(dg) = r.push(t(1), f).unwrap() {
+                prop_assert_eq!(&dg.bytes, &data, "reassembly differs from the original");
+                completions += 1;
+            }
+        }
+        if !any_dropped {
+            prop_assert!(completions > 0, "nothing dropped but never completed");
+        }
+    }
+
+    /// Arbitrary byte corruption (including version-nibble damage) and
+    /// interleaved garbage payloads: reassembly never panics, rejects
+    /// unknown versions with the typed error, and keeps counting them.
+    #[test]
+    fn corruption_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+        mtu in 8usize..96,
+        corrupt in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 0..16),
+        garbage in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..8),
+    ) {
+        let mut frags = fragment(1, 7, &data, mtu);
+        for &(fi, bi, val) in &corrupt {
+            let n = frags.len();
+            let f = &mut frags[fi as usize % n];
+            let i = bi as usize % f.len();
+            f[i] ^= val;
+        }
+        let mut r = reasm();
+        let mut bad_versions = 0u64;
+        for payload in frags.iter().chain(garbage.iter()) {
+            match r.push(t(1), payload) {
+                Ok(_) => {}
+                Err(NetError::BadVersion { .. }) => bad_versions += 1,
+                Err(NetError::Truncated { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert_eq!(r.stats.bad_version, bad_versions,
+            "every BadVersion rejection must be counted exactly once");
+    }
+
+    /// A pathological flood of first-fragments (each starting a new
+    /// partial datagram, none ever completing) must keep the table at
+    /// its configured bound, and timeout eviction must empty it.
+    #[test]
+    fn partial_flood_stays_bounded(
+        max_buffers in 1usize..24,
+        flood in 30usize..300,
+        chunk_len in 1usize..64,
+    ) {
+        let mut r = Reassembler::new(ReassemblyConfig {
+            max_buffers,
+            ..ReassemblyConfig::default()
+        });
+        let chunk = vec![0x5Au8; chunk_len];
+        for i in 0..flood {
+            let hdr = FragHeader {
+                flow: (i % 16) as u8,
+                seq: (i / 16) as u8,
+                index: 0,
+                last: false,
+            };
+            r.push(t(i as u64), &hdr.encapsulate(&chunk)).unwrap();
+            prop_assert!(r.buffered() <= max_buffers,
+                "table grew past its bound: {} > {max_buffers}", r.buffered());
+            prop_assert!(r.buffered_bytes() <= max_buffers * chunk_len);
+        }
+        prop_assert_eq!(
+            r.stats.evicted_overflow as usize,
+            flood.saturating_sub(max_buffers).min(256 * 16),
+            "every admission past the bound evicts exactly one buffer"
+        );
+        // The clock advancing past the timeout clears everything.
+        r.evict_expired(t(flood as u64) + SimDuration::secs(3));
+        prop_assert_eq!(r.buffered(), 0);
+        prop_assert_eq!(r.buffered_bytes(), 0);
+    }
+
+    /// End to end through the DRR scheduler with a fluctuating MTU:
+    /// every emitted fragment fits the MTU of its emission instant, and
+    /// in-order delivery reassembles every datagram byte-identically.
+    #[test]
+    fn scheduler_roundtrip_with_varying_mtu(
+        dgrams in proptest::collection::vec(
+            (0u8..4, proptest::collection::vec(any::<u8>(), 0..400)), 1..8),
+        mtus in proptest::collection::vec(14usize..130, 1..32),
+    ) {
+        let mut s = DrrScheduler::new(256, 64);
+        let mut expected = std::collections::HashMap::new();
+        for (flow, data) in &dgrams {
+            let seq = s.enqueue(*flow, data.clone()).unwrap();
+            expected.insert((*flow, seq), data.clone());
+        }
+        let mut r = reasm();
+        let mut completed = std::collections::HashMap::new();
+        let mut step = 0usize;
+        while let Some(f) = s.next_fragment(mtus[step % mtus.len()]) {
+            prop_assert!(f.payload.len() <= mtus[step % mtus.len()]);
+            step += 1;
+            if let Some(dg) = r.push(t(step as u64), &f.payload).unwrap() {
+                completed.insert((dg.flow, dg.seq), dg.bytes);
+            }
+        }
+        prop_assert_eq!(completed, expected, "every datagram must survive the trip");
+    }
+}

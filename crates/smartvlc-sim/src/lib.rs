@@ -68,6 +68,7 @@ pub mod chaos;
 pub mod daylong;
 pub mod dynamic_run;
 pub mod energy;
+pub mod net_suite;
 pub mod perception;
 pub mod report;
 pub mod runner;
@@ -87,6 +88,10 @@ pub use chaos::{
 pub use daylong::{run_day, DayReport};
 pub use dynamic_run::{run_dynamic, DynamicOutcome};
 pub use energy::{energy_from_trace, EnergyReport};
+pub use net_suite::{
+    net_scenarios, run_net_scenario, run_net_suite_fec, NetFecComparison, NetOutcome, NetScenario,
+    NetSummary, NET_DURATION_S, NET_FEC_NOMINAL,
+};
 pub use perception::{StudyCondition, UserStudy, Viewing};
 pub use runner::{
     par_map, par_sweep, par_sweep_summaries, parse_thread_count, task_rng, task_seed, thread_count,
@@ -96,4 +101,6 @@ pub use static_run::{
     run_distance_matrix, run_distance_sweep, run_incidence_matrix, run_incidence_sweep,
     run_scheme_comparison, run_scheme_matrix, StaticPoint,
 };
-pub use stats_util::{summarize, try_summarize, Summary};
+pub use stats_util::{
+    percentiles, summarize, try_percentiles, try_summarize, Percentiles, Summary,
+};

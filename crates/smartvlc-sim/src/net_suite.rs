@@ -1,0 +1,355 @@
+//! Net-suite battery: workload mixes over the datagram layer, with and
+//! without faults, FEC off and on.
+//!
+//! Where the chaos battery asks "how much *goodput* survives a fault?",
+//! this battery asks the question a deployment actually cares about:
+//! **did the user's flow finish, and how long did its datagrams wait?**
+//! Each [`NetScenario`] pairs a workload mix (one MAC flow per
+//! workload) with a fault plan; every replicate runs the same seed
+//! twice — FEC off and FEC on — so the tail-latency delta isolates what
+//! the outer code buys under identical impairments.
+//!
+//! The suite fans out on [`crate::runner::par_sweep`], so the whole
+//! report (including every percentile) is bit-identical at any
+//! `SMARTVLC_THREADS`.
+
+use crate::chaos::{CHAOS_AMBIENT_LUX, CHAOS_DISTANCE_M};
+use crate::runner::{par_sweep, TaskId};
+use crate::stats_util::{try_percentiles, Percentiles};
+use desim::{SimDuration, SimTime};
+use smartvlc_core::frame::format::FecMode;
+use smartvlc_link::{LinkConfig, SchemeKind};
+use smartvlc_net::{run_net_over_link, NetConfig, NetReport, WorkloadSpec};
+use smartvlc_obs as obs;
+use vlc_channel::faults::{FaultEvent, FaultKind, FaultPlan};
+
+/// Wall-clock length of each net run, seconds. Longer than a chaos run:
+/// flow-completion tails need room after the fault clears.
+pub const NET_DURATION_S: u64 = 6;
+/// Nominal outer-code profile for the fec-on leg.
+pub const NET_FEC_NOMINAL: FecMode = FecMode::Medium;
+
+/// A named workload mix + fault schedule.
+#[derive(Clone)]
+pub struct NetScenario {
+    /// Stable identifier (also the JSON key in `BENCH_net.json`).
+    pub name: &'static str,
+    /// One-line description of the mix.
+    pub description: &'static str,
+    /// Workload builder — pure, one MAC flow per entry.
+    workloads: fn() -> Vec<WorkloadSpec>,
+    /// Fault schedule builder — pure, so every replicate sees the same
+    /// plan (empty = the cooperative channel).
+    events: fn() -> Vec<FaultEvent>,
+}
+
+impl NetScenario {
+    /// The scenario's workload mix.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        (self.workloads)()
+    }
+
+    /// The scenario's fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new((self.events)())
+    }
+}
+
+fn at_ms(ms: u64, dur_ms: u64, kind: FaultKind) -> FaultEvent {
+    FaultEvent {
+        at: SimTime::from_millis(ms),
+        duration: SimDuration::millis(dur_ms),
+        kind,
+    }
+}
+
+fn mid_run_fade() -> Vec<FaultEvent> {
+    // The occlusion-burst shape from the chaos battery, stretched to the
+    // longer net run: a body clipping the beam mid-run. Queues build
+    // while frames die; the latency tail records the drain afterwards.
+    vec![at_ms(2500, 900, FaultKind::Occlusion { gain: 0.32 })]
+}
+
+fn web_pair() -> Vec<WorkloadSpec> {
+    vec![WorkloadSpec::web(), WorkloadSpec::web()]
+}
+
+fn video_call() -> Vec<WorkloadSpec> {
+    vec![WorkloadSpec::video(), WorkloadSpec::iot()]
+}
+
+fn iot_swarm() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::iot(),
+        WorkloadSpec::iot(),
+        WorkloadSpec::iot(),
+        WorkloadSpec::iot(),
+    ]
+}
+
+fn bulk_vs_keepalive() -> Vec<WorkloadSpec> {
+    // Oversubscription on purpose: two video streams plus web traffic
+    // exceed the ~90 kbit/s fault-free capacity at the chaos operating
+    // point. The DRR scheduler must keep the IoT keepalives flowing
+    // while the bulk flows absorb the queueing.
+    vec![
+        WorkloadSpec::video(),
+        WorkloadSpec::video(),
+        WorkloadSpec::web(),
+        WorkloadSpec::iot(),
+    ]
+}
+
+/// The standard mix battery, in report order.
+pub fn net_scenarios() -> Vec<NetScenario> {
+    vec![
+        NetScenario {
+            name: "web_pair",
+            description: "two web-browsing flows, mid-run beam fade",
+            workloads: web_pair,
+            events: mid_run_fade,
+        },
+        NetScenario {
+            name: "video_call",
+            description: "56 kbit/s video + IoT telemetry, mid-run beam fade",
+            workloads: video_call,
+            events: mid_run_fade,
+        },
+        NetScenario {
+            name: "iot_swarm",
+            description: "four bursty IoT telemetry flows, mid-run beam fade",
+            workloads: iot_swarm,
+            events: mid_run_fade,
+        },
+        NetScenario {
+            name: "bulk_vs_keepalive",
+            description: "oversubscribed: 2x video + web vs IoT keepalives (DRR fairness)",
+            workloads: bulk_vs_keepalive,
+            events: Vec::new,
+        },
+    ]
+}
+
+/// One replicate of one scenario at one FEC mode.
+#[derive(Clone, Debug)]
+pub struct NetOutcome {
+    /// The datagram-layer report.
+    pub net: NetReport,
+    /// Mean link goodput, bit/s (frame-level context for the mix).
+    pub goodput_bps: f64,
+}
+
+fn net_config(seed: u64, plan: FaultPlan, fec: FecMode) -> LinkConfig {
+    let mut cfg = LinkConfig::paper_static(CHAOS_DISTANCE_M, SchemeKind::Amppm, seed);
+    cfg.duration = SimDuration::secs(NET_DURATION_S);
+    cfg.faults = plan;
+    cfg.fec = fec;
+    cfg
+}
+
+/// Run one scenario replicate at one FEC mode.
+pub fn run_net_scenario(scenario: &NetScenario, seed: u64, fec: FecMode) -> NetOutcome {
+    obs::counter_add(obs::key!("sim.net.replicates"), 1);
+    let (net, link) = run_net_over_link(
+        net_config(seed, scenario.plan(), fec),
+        NetConfig::default(),
+        &scenario.workloads(),
+        CHAOS_AMBIENT_LUX,
+    )
+    .expect("valid net scenario");
+    NetOutcome {
+        net,
+        goodput_bps: link.mean_goodput_bps,
+    }
+}
+
+/// Per-scenario aggregate over the replicates at one FEC mode.
+#[derive(Clone, Debug)]
+pub struct NetSummary {
+    /// Scenario identifier.
+    pub name: &'static str,
+    /// Scenario description.
+    pub description: &'static str,
+    /// Datagrams offered / delivered / lost across replicates.
+    pub offered_dgrams: u64,
+    /// Datagrams reassembled.
+    pub delivered_dgrams: u64,
+    /// Datagrams known lost.
+    pub lost_dgrams: u64,
+    /// Application flows offered / fully completed.
+    pub flows_offered: u64,
+    /// Flows whose every datagram arrived.
+    pub flows_completed: u64,
+    /// Fraction of offered datagrams delivered.
+    pub delivery_ratio: f64,
+    /// Datagram latency percentiles (pooled across replicates), ms.
+    pub latency_ms: Option<Percentiles>,
+    /// Flow-completion-time percentiles (pooled), ms.
+    pub fct_ms: Option<Percentiles>,
+    /// Fragments rejected for an unknown wire version.
+    pub bad_version: u64,
+    /// Datagrams refused at a full transmit queue.
+    pub queue_drops: u64,
+    /// Partial datagrams evicted (timeout + overflow).
+    pub evicted: u64,
+    /// Mean link goodput across replicates, bit/s.
+    pub mean_goodput_bps: f64,
+    /// The raw per-replicate outcomes (replicate order).
+    pub outcomes: Vec<NetOutcome>,
+}
+
+fn summarize_scenario(sc: &NetScenario, outcomes: Vec<NetOutcome>) -> NetSummary {
+    let n = outcomes.len().max(1) as f64;
+    let offered: u64 = outcomes.iter().map(|o| o.net.offered_dgrams).sum();
+    let delivered: u64 = outcomes.iter().map(|o| o.net.delivered_dgrams).sum();
+    // Pool raw samples across replicates (replicate order, then datagram
+    // creation order — fully deterministic).
+    let latency: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.net.latency_ms.iter().copied())
+        .collect();
+    let fct: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.net.fct_ms.iter().copied())
+        .collect();
+    NetSummary {
+        name: sc.name,
+        description: sc.description,
+        offered_dgrams: offered,
+        delivered_dgrams: delivered,
+        lost_dgrams: outcomes.iter().map(|o| o.net.lost_dgrams).sum(),
+        flows_offered: outcomes.iter().map(|o| o.net.flows_offered).sum(),
+        flows_completed: outcomes.iter().map(|o| o.net.flows_completed).sum(),
+        delivery_ratio: if offered == 0 {
+            1.0
+        } else {
+            delivered as f64 / offered as f64
+        },
+        latency_ms: try_percentiles(&latency),
+        fct_ms: try_percentiles(&fct),
+        bad_version: outcomes.iter().map(|o| o.net.reassembly.bad_version).sum(),
+        queue_drops: outcomes.iter().map(|o| o.net.queue_drops).sum(),
+        evicted: outcomes
+            .iter()
+            .map(|o| o.net.reassembly.evicted_timeout + o.net.reassembly.evicted_overflow)
+            .sum(),
+        mean_goodput_bps: outcomes.iter().map(|o| o.goodput_bps).sum::<f64>() / n,
+        outcomes,
+    }
+}
+
+/// One scenario's FEC-off and FEC-on summaries, same seeds.
+#[derive(Clone, Debug)]
+pub struct NetFecComparison {
+    /// The uncoded leg.
+    pub off: NetSummary,
+    /// The coded leg at [`NET_FEC_NOMINAL`], same seeds.
+    pub on: NetSummary,
+}
+
+/// Run the whole battery twice per seed — FEC off and on — fanned out on
+/// the deterministic runner.
+pub fn run_net_suite_fec(replicates: usize, base_seed: u64) -> Vec<NetFecComparison> {
+    let scenarios = net_scenarios();
+    let grouped = par_sweep(
+        &scenarios,
+        replicates,
+        base_seed,
+        |sc: &NetScenario, id: TaskId| {
+            (
+                run_net_scenario(sc, id.seed, FecMode::Off),
+                run_net_scenario(sc, id.seed, NET_FEC_NOMINAL),
+            )
+        },
+    );
+    scenarios
+        .iter()
+        .zip(grouped)
+        .map(|(sc, pairs)| {
+            let (offs, ons): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+            NetFecComparison {
+                off: summarize_scenario(sc, offs),
+                on: summarize_scenario(sc, ons),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        let scs = net_scenarios();
+        assert!(scs.len() >= 3, "acceptance: at least 3 workload mixes");
+        for sc in &scs {
+            let w = sc.workloads();
+            assert!(!w.is_empty() && w.len() <= 16, "{}", sc.name);
+            for e in sc.plan().events() {
+                assert!(
+                    e.end() < SimTime::from_secs(NET_DURATION_S),
+                    "{}: fault outlives the run",
+                    sc.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_deliver_and_measure() {
+        for sc in &net_scenarios()[..2] {
+            let o = run_net_scenario(sc, 42, FecMode::Off);
+            assert!(o.net.delivered_dgrams > 0, "{}: {:?}", sc.name, o.net);
+            assert!(o.net.flows_completed > 0, "{}: {:?}", sc.name, o.net);
+            assert!(!o.net.latency_ms.is_empty(), "{}", sc.name);
+            assert_eq!(o.net.reassembly.bad_version, 0, "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn drr_protects_keepalives_when_oversubscribed() {
+        let scs = net_scenarios();
+        let sc = scs.last().expect("battery is nonempty");
+        assert_eq!(sc.name, "bulk_vs_keepalive");
+        let o = run_net_scenario(sc, 7, FecMode::Off);
+        // The mix oversubscribes the link: something must queue-drop or
+        // end unfinished on the bulk flows...
+        let bulk_struggle: u64 =
+            o.net.per_flow[..3].iter().map(|f| f.lost).sum::<u64>() + o.net.unfinished_dgrams;
+        assert!(bulk_struggle > 0, "{:?}", o.net);
+        // ...while the IoT keepalive flow (index 3) still delivers the
+        // lion's share of its datagrams.
+        let iot = o.net.per_flow[3];
+        assert!(
+            iot.delivered * 10 >= iot.offered * 7,
+            "keepalives starved: {iot:?} ({:?})",
+            o.net.per_flow
+        );
+    }
+
+    #[test]
+    fn suite_is_deterministic_per_seed() {
+        let sc = &net_scenarios()[1];
+        let a = run_net_scenario(sc, 5, NET_FEC_NOMINAL);
+        let b = run_net_scenario(sc, 5, NET_FEC_NOMINAL);
+        assert_eq!(a.net.latency_ms, b.net.latency_ms);
+        assert_eq!(a.net.fct_ms, b.net.fct_ms);
+        assert_eq!(a.goodput_bps, b.goodput_bps);
+    }
+
+    #[test]
+    fn fec_comparison_runs_both_legs() {
+        let cmp = run_net_suite_fec(1, 9);
+        assert_eq!(cmp.len(), net_scenarios().len());
+        for c in &cmp {
+            assert_eq!(c.off.name, c.on.name);
+            assert!(c.off.offered_dgrams > 0, "{}", c.off.name);
+            // Percentiles exist wherever anything was delivered.
+            if c.off.delivered_dgrams > 0 {
+                let p = c.off.latency_ms.expect("delivered but no percentiles");
+                assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "{p:?}");
+            }
+        }
+    }
+}

@@ -49,6 +49,50 @@ pub fn summarize(samples: &[f64]) -> Summary {
     try_summarize(samples).expect("no samples")
 }
 
+/// Nearest-rank percentile summary of one sample set — the tail-latency
+/// view (p50/p95/p99) the net battery reports. Nearest-rank (rank
+/// `⌈p/100·N⌉`, 1-indexed) always returns an observed sample, so the
+/// values are exactly reproducible with no interpolation-order concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub n: usize,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Nearest-rank percentiles of a sample set, or `None` when empty.
+/// NaN samples sort last (via `total_cmp`), so a stray NaN perturbs the
+/// p99 rather than poisoning the whole summary.
+pub fn try_percentiles(samples: &[f64]) -> Option<Percentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let at = |p: f64| -> f64 {
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    };
+    Some(Percentiles {
+        n,
+        p50: at(50.0),
+        p95: at(95.0),
+        p99: at(99.0),
+    })
+}
+
+/// Nearest-rank percentiles. Panics on an empty slice; use
+/// [`try_percentiles`] where emptiness is a real possibility.
+pub fn percentiles(samples: &[f64]) -> Percentiles {
+    try_percentiles(samples).expect("no samples")
+}
+
 impl Summary {
     /// `mean ± ci95` formatted at the given precision.
     pub fn fmt(&self, prec: usize) -> String {
@@ -116,6 +160,30 @@ mod tests {
             "{}",
             s.fmt(2)
         );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        // 1..=100: nearest-rank percentiles are exactly the pth values.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = percentiles(&samples);
+        assert_eq!((p.n, p.p50, p.p95, p.p99), (100, 50.0, 95.0, 99.0));
+        // Order must not matter.
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(percentiles(&rev), p);
+        // Small sets: nearest rank always returns an observed sample.
+        let p = percentiles(&[7.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (7.0, 7.0, 7.0));
+        let p = percentiles(&[1.0, 2.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (1.0, 2.0, 2.0));
+        assert_eq!(try_percentiles(&[]), None);
+    }
+
+    #[test]
+    fn percentiles_tolerate_nan() {
+        let p = percentiles(&[f64::NAN, 3.0, 1.0, 2.0]);
+        assert_eq!(p.p50, 2.0, "NaN must sort last, not poison the median");
     }
 
     #[test]
