@@ -2,32 +2,49 @@
 //!
 //! Runs the grid-size × user-count battery from `smartvlc_sim::cell`
 //! (2×2 / 3×3 / 4×4 ceiling grids, each serving 2 / 6 / 12 waypoint
-//! users), prints the aggregate-goodput and handover tables, and writes
-//! the curves as JSON to `results/BENCH_cell.json` plus the telemetry
-//! export to `results/TELEMETRY_cell.csv`.
+//! users) on the event-driven core, prints the aggregate-goodput and
+//! handover tables, and writes the curves as JSON to
+//! `results/BENCH_cell.json` plus the telemetry export to
+//! `results/TELEMETRY_cell.csv`.
 //!
-//! The suite then re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
-//! verifies the two reports are byte-identical — the runner's
+//! On top of the legacy battery, the **scale battery** (8×8×100 up to
+//! 32×32×1000 — the grids the event queue's per-user FoV window exists
+//! for) is run once per scenario, timed, and reported as the
+//! wall-clock/events-per-second scaling curve: a deterministic
+//! `"scaling"` section plus a nondeterministic `"scaling_wall"` line
+//! that is spliced in only after the byte-equality gates (CI's
+//! determinism diff filters it out; CI's perf gate asserts its 8×8
+//! events/sec against a tracked floor).
+//!
+//! The suite re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
+//! verifies both batteries' reports are byte-identical — the runner's
 //! determinism contract, enforced on the cell path every time this
 //! binary runs (CI diffs the same pair).
 
 use smartvlc_bench::{f, full_run, results_dir};
-use smartvlc_sim::cell::{cell_suite_artifacts, CellSuiteSummary};
+use smartvlc_sim::cell::{
+    cell_scale_json, cell_scale_scenarios, cell_suite_artifacts, run_cell, run_cell_scale,
+    CellSuiteSummary, ScalePoint,
+};
 use smartvlc_sim::report::markdown_table;
+use smartvlc_sim::task_seed;
 
 const BASE_SEED: u64 = 0xce11_5eed;
+const SCALE_SEED: u64 = 0x5ca1_ab1e;
 
-fn run_at(threads: Option<usize>, replicates: usize) -> (String, String, Vec<CellSuiteSummary>) {
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     let old = std::env::var("SMARTVLC_THREADS").ok();
-    if let Some(n) = threads {
-        std::env::set_var("SMARTVLC_THREADS", n.to_string());
-    }
-    let out = cell_suite_artifacts(replicates, BASE_SEED);
+    std::env::set_var("SMARTVLC_THREADS", threads.to_string());
+    let out = f();
     match old {
         Some(v) => std::env::set_var("SMARTVLC_THREADS", v),
         None => std::env::remove_var("SMARTVLC_THREADS"),
     }
     out
+}
+
+fn run_at(threads: usize, replicates: usize) -> (String, String, Vec<CellSuiteSummary>) {
+    with_threads(threads, || cell_suite_artifacts(replicates, BASE_SEED))
 }
 
 fn main() {
@@ -36,9 +53,9 @@ fn main() {
     // Determinism gate first: the serial run both feeds the tables and
     // becomes the written artifact, so what we print is what we checked.
     let t0 = std::time::Instant::now();
-    let (serial, serial_csv, summaries) = run_at(Some(1), replicates);
+    let (serial, serial_csv, summaries) = run_at(1, replicates);
     let serial_wall_s = t0.elapsed().as_secs_f64();
-    let (parallel, parallel_csv, _) = run_at(Some(8), replicates);
+    let (parallel, parallel_csv, _) = run_at(8, replicates);
     assert_eq!(
         serial, parallel,
         "cell suite differs between SMARTVLC_THREADS=1 and 8"
@@ -48,17 +65,63 @@ fn main() {
         "cell telemetry CSV differs between SMARTVLC_THREADS=1 and 8"
     );
 
+    // Scale battery: each scenario run serially (timed — the wall-clock
+    // curve is the point), reproducing the pool's per-scenario seeds so
+    // the 8-thread pool leg below must match byte-for-byte.
+    let scale_scenarios = cell_scale_scenarios();
+    let mut points: Vec<ScalePoint> = Vec::new();
+    let mut wall_ms: Vec<f64> = Vec::new();
+    for (i, sc) in scale_scenarios.iter().enumerate() {
+        let seed = task_seed(SCALE_SEED, i as u64);
+        let t = std::time::Instant::now();
+        let r = run_cell(&sc.config(), seed);
+        wall_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        points.push(ScalePoint::from_report(sc, &r));
+    }
+    let scale_json = cell_scale_json(&points);
+    let pooled = with_threads(8, || run_cell_scale(SCALE_SEED));
+    assert_eq!(
+        scale_json,
+        cell_scale_json(&pooled),
+        "scale battery differs between serial and SMARTVLC_THREADS=8"
+    );
+
     // Wall-clock is legitimately nondeterministic, so it is spliced into
-    // the artifact only AFTER the 1-vs-8 byte-equality gate above ran on
-    // the pristine strings (CI's determinism diff filters this line out).
+    // the artifact only AFTER the byte-equality gates above ran on the
+    // pristine strings (CI's determinism diff filters these lines out).
     let slots: f64 = summaries.iter().map(|s| s.slots_equivalent).sum();
     let wall_ns_per_slot = serial_wall_s * 1e9 / slots.max(1.0);
     let hits: u64 = summaries.iter().map(|s| s.opcache_hits).sum();
     let misses: u64 = summaries.iter().map(|s| s.opcache_misses).sum();
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let qhits: u64 = summaries.iter().map(|s| s.opcache_hits_quantized).sum();
+    let qmisses: u64 = summaries.iter().map(|s| s.opcache_misses_quantized).sum();
+    let qhit_rate = qhits as f64 / (qhits + qmisses).max(1) as f64;
+    let scaling_wall: Vec<String> = points
+        .iter()
+        .zip(&wall_ms)
+        .map(|(p, w)| {
+            format!(
+                "{{\"name\": \"{}\", \"wall_ms\": {w:.1}, \"events_per_sec\": {:.0}}}",
+                p.name,
+                p.events as f64 / (w / 1e3).max(1e-9)
+            )
+        })
+        .collect();
     let serial = serial.replacen(
         "  \"suite\": \"cell\",\n",
-        &format!("  \"suite\": \"cell\",\n  \"wall_ns_per_slot\": {wall_ns_per_slot:.1},\n"),
+        &format!(
+            "  \"suite\": \"cell\",\n  \"wall_ns_per_slot\": {wall_ns_per_slot:.1},\n  \
+             \"scaling_wall\": [{}],\n",
+            scaling_wall.join(", ")
+        ),
+        1,
+    );
+    // The deterministic half of the scaling curve participated in the
+    // byte gate above, so it can live as a regular section.
+    let serial = serial.replacen(
+        "  \"scenarios\": [",
+        &format!("  \"scaling\": {scale_json},\n  \"scenarios\": ["),
         1,
     );
 
@@ -66,8 +129,8 @@ fn main() {
     for s in &summaries {
         rows.push(vec![
             s.scenario.name.clone(),
-            format!("{}x{}", s.scenario.nx, s.scenario.ny),
-            s.scenario.n_users.to_string(),
+            format!("{}x{}", s.scenario.cfg.nx, s.scenario.cfg.ny),
+            s.scenario.cfg.n_users.to_string(),
             f(s.mean_aggregate_goodput_bps / 1000.0, 1),
             f(s.mean_per_user_goodput_bps / 1000.0, 1),
             s.handovers.to_string(),
@@ -99,10 +162,42 @@ fn main() {
     );
     println!("determinism: SMARTVLC_THREADS=1 and 8 reports are byte-identical");
     println!(
-        "rx hot path: {hits} op-point cache hits / {misses} misses ({:.2}% hit rate; \
-         the wobbling blind ramp makes every tick a distinct operating point), \
+        "rx hot path: {hits} op-point cache hits / {misses} misses ({:.2}% hit rate raw, \
+         {:.1}% with 50-lux sensor quantization), \
          {wall_ns_per_slot:.0} ns per slot-equivalent (serial wall-clock)",
-        hit_rate * 100.0
+        hit_rate * 100.0,
+        qhit_rate * 100.0,
+    );
+
+    let mut scale_rows = Vec::new();
+    for (p, w) in points.iter().zip(&wall_ms) {
+        scale_rows.push(vec![
+            p.name.clone(),
+            format!("{}x{}", p.nx, p.ny),
+            p.users.to_string(),
+            p.events.to_string(),
+            p.queue_peak.to_string(),
+            f(*w, 0),
+            f(p.events as f64 / (w / 1e3).max(1e-9) / 1000.0, 0),
+            f(p.aggregate_goodput_bps / 1000.0, 0),
+        ]);
+    }
+    println!("\n# Scaling — event-driven core, one simulated minute per point\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scenario",
+                "grid",
+                "users",
+                "events",
+                "queue peak",
+                "wall ms",
+                "k events/s",
+                "aggregate kbit/s",
+            ],
+            &scale_rows,
+        )
     );
 
     let path = results_dir().join("BENCH_cell.json");

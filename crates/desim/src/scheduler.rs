@@ -4,6 +4,15 @@
 //! the same instant are delivered in the order they were scheduled
 //! (FIFO), which makes simulations deterministic without requiring event
 //! payloads to be comparable.
+//!
+//! For simulations whose correctness depends on a *fixed* same-instant
+//! order — not the order events happened to be scheduled in —
+//! [`Scheduler::schedule_keyed`] attaches an ordering key: events at the
+//! same instant fire in ascending key order, FIFO within a key. That is
+//! what lets a handler cancel and re-schedule an event (e.g. a TDMA grant
+//! deferred by a handover outage) without perturbing the delivery order
+//! of everything else at that instant — the key, not the scheduling
+//! moment, decides.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -17,17 +26,19 @@ pub struct EventHandle(u64);
 
 struct Entry<E> {
     time: SimTime,
+    key: u64,
     seq: u64,
     payload: E,
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop the earliest event
-// first, breaking ties by scheduling order.
+// first, breaking same-instant ties by key, then by scheduling order.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -56,8 +67,11 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
+    /// Seqs scheduled but neither fired nor cancelled — O(1) membership
+    /// for `cancel` instead of a heap scan.
+    pending: std::collections::HashSet<u64>,
     cancelled: std::collections::HashSet<u64>,
-    live: usize,
+    high_water: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -73,8 +87,9 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            pending: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
-            live: 0,
+            high_water: 0,
         }
     }
 
@@ -85,20 +100,38 @@ impl<E> Scheduler<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
-    /// Schedule `payload` to fire at absolute time `at`.
+    /// The most events that were ever pending at once — the queue-depth
+    /// high-water mark, for capacity gauges.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`, in FIFO order
+    /// among events at the same instant (ordering key 0).
     ///
     /// # Panics
     /// Panics if `at` is earlier than [`Scheduler::now`]: an event cannot
     /// fire in the past.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        self.schedule_keyed(at, 0, payload)
+    }
+
+    /// Schedule `payload` to fire at absolute time `at` with an explicit
+    /// same-instant ordering `key`: events at one instant fire in ascending
+    /// key order, FIFO (scheduling order) within a key. [`Scheduler::schedule`]
+    /// is `schedule_keyed` with key 0, so plain-FIFO and keyed users compose.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than [`Scheduler::now`].
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) -> EventHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={}, at={}",
@@ -109,10 +142,12 @@ impl<E> Scheduler<E> {
         self.next_seq += 1;
         self.heap.push(Entry {
             time: at,
+            key,
             seq,
             payload,
         });
-        self.live += 1;
+        self.pending.insert(seq);
+        self.high_water = self.high_water.max(self.pending.len());
         EventHandle(seq)
     }
 
@@ -120,17 +155,11 @@ impl<E> Scheduler<E> {
     /// still pending (and is now guaranteed not to fire), `false` if it had
     /// already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false; // never issued by this scheduler
-        }
-        // An event is pending iff its seq is still in the heap. We can't
-        // search the heap cheaply, so mark it and skip lazily on pop. Guard
-        // against double-cancel / cancel-after-fire by checking `fired`
-        // bookkeeping: a fired event's seq can no longer be in the heap, and
-        // pop() removes marks it consumed. We conservatively record the mark
-        // only if some heap entry still carries the seq.
-        if self.heap.iter().any(|e| e.seq == handle.0) && self.cancelled.insert(handle.0) {
-            self.live -= 1;
+        // Pending-set membership distinguishes live events from fired,
+        // cancelled, and foreign handles in O(1); the heap entry is skipped
+        // lazily on pop via the cancelled mark.
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
             true
         } else {
             false
@@ -144,7 +173,7 @@ impl<E> Scheduler<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue; // skip cancelled
             }
-            self.live -= 1;
+            self.pending.remove(&entry.seq);
             debug_assert!(entry.time >= self.now);
             self.now = entry.time;
             return Some((entry.time, entry.payload));
@@ -306,6 +335,60 @@ mod tests {
         s.run_with(Some(t(2)), |_, _, n| seen.push(n));
         assert_eq!(seen, vec![1, 2]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keyed_events_fire_in_key_order_regardless_of_scheduling_order() {
+        let mut s = Scheduler::new();
+        s.schedule_keyed(t(5), 3, "c");
+        s.schedule_keyed(t(5), 1, "a");
+        s.schedule_keyed(t(5), 2, "b");
+        assert_eq!(s.pop(), Some((t(5), "a")));
+        assert_eq!(s.pop(), Some((t(5), "b")));
+        assert_eq!(s.pop(), Some((t(5), "c")));
+    }
+
+    #[test]
+    fn keyed_cancel_and_reschedule_preserves_key_order() {
+        // Re-scheduling an event must not demote it to "last at its
+        // instant": the key decides, not the scheduling moment.
+        let mut s = Scheduler::new();
+        let h = s.schedule_keyed(t(5), 2, "mid-old");
+        s.schedule_keyed(t(5), 1, "lo");
+        s.schedule_keyed(t(5), 3, "hi");
+        assert!(s.cancel(h));
+        s.schedule_keyed(t(5), 2, "mid-new");
+        let mut seen = Vec::new();
+        while let Some((_, e)) = s.pop() {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec!["lo", "mid-new", "hi"]);
+    }
+
+    #[test]
+    fn same_key_falls_back_to_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_keyed(t(5), 7, i);
+        }
+        for i in 0..10 {
+            assert_eq!(s.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn high_water_tracks_peak_pending() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.high_water(), 0);
+        let h = s.schedule(t(1), 1);
+        s.schedule(t(2), 2);
+        s.schedule(t(3), 3);
+        assert_eq!(s.high_water(), 3);
+        s.cancel(h);
+        s.pop();
+        s.pop();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.high_water(), 3, "high-water never decays");
     }
 
     #[test]

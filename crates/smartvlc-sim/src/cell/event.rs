@@ -1,0 +1,489 @@
+//! The event-driven cell simulation core.
+//!
+//! [`run_cell`](super::run_cell) executes here: every piece of per-tick
+//! work is a typed [`CellEvent`] on a [`desim::Scheduler`] queue, and
+//! simulated time advances event-to-event instead of sweeping every
+//! component in a lockstep loop. Two properties fall out:
+//!
+//! * **Idle components cost nothing.** A user in association outage has
+//!   no `Grant` event queued at all — its delivery work is cancelled at
+//!   handover time and re-scheduled for the tick the outage ends, instead
+//!   of being skipped tick after tick.
+//! * **Per-user work is local.** The Lambertian path through a 70° FoV
+//!   receiver is *exactly* 0 W beyond `drop · tan(FoV)` ≈ 6 m of
+//!   horizontal range, so RSS ranking and interference sums visit only
+//!   the luminaire window around the user (the engine computes the
+//!   index window directly from the regular grid). On a 32×32 grid that
+//!   turns O(users × 1024) scans into O(users × ~25) — the unlock for
+//!   building-scale batteries.
+//!
+//! # Determinism
+//!
+//! The lockstep loop was deterministic because it visited components in
+//! a fixed order; an event queue is deterministic only if same-instant
+//! delivery order is pinned. Every event therefore carries an explicit
+//! ordering key ([`CellEvent::order_key`]): phase first — ambient →
+//! sense → walk → TDMA → grant, the exact lockstep sweep order — then
+//! entity id within the phase. [`Scheduler::schedule_keyed`] orders
+//! same-instant events by that key *regardless of when they were
+//! scheduled*, so cancelling and re-scheduling a grant around a handover
+//! cannot demote it behind another user's grant and perturb the
+//! (order-sensitive) per-cell f64 accumulation. The result is
+//! bit-identical to [`run_cell_lockstep`](super::run_cell_lockstep) on
+//! every configuration — the `cell_equivalence` suite asserts it — and
+//! byte-identical across `SMARTVLC_THREADS` like every other battery.
+//!
+//! # Adding a new event type
+//!
+//! See ARCHITECTURE.md ("Event-driven cell core"): add a variant to
+//! [`CellEvent`], give it a phase slot in [`CellEvent::order_key`] that
+//! states *where in the tick* it fires relative to the existing phases,
+//! handle it in `EventEngine::handle`, and seed/re-schedule it like the
+//! others. The keyed queue does the rest.
+
+use super::{
+    cell_channel, finish_report, interference_sigma_a, quantize_lux, rate_for, received_power_w,
+    sim_parts, window_gain, CellConfig, CellReport, Position, RunTallies, SimParts,
+};
+use desim::{EventHandle, Scheduler, SimTime};
+use smartvlc_core::adaptation::{perceived, AdaptationStepper};
+use smartvlc_obs as obs;
+use vlc_channel::detector::SlotDetector;
+use vlc_channel::opcache::OperatingPointCache;
+
+/// One typed event on the cell simulation's queue.
+///
+/// A tick of simulated time is the set of events sharing one timestamp;
+/// their delivery order is pinned by [`CellEvent::order_key`], which
+/// reproduces the lockstep sweep: the shared ambient advances first,
+/// then every luminaire senses (id order), every user walks and runs
+/// handover (id order), TDMA membership is recounted, and finally each
+/// granted user's delivery fires (id order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellEvent {
+    /// Advance the shared ambient field and cache this tick's base lux.
+    AmbientSample,
+    /// Luminaire `lum` senses its local ambient (own noise stream) and
+    /// adapts through the perception deadband.
+    Sense {
+        /// Luminaire (cell) id.
+        lum: usize,
+    },
+    /// User `user` advances its waypoint walk and runs the handover
+    /// state machine against the local RSS slate.
+    Walk {
+        /// User id.
+        user: usize,
+    },
+    /// Recount TDMA membership from the current associations.
+    TdmaReschedule,
+    /// User `user`'s TDMA grant: deliver this tick's share. Only queued
+    /// for ticks the user is *not* in association outage — handover
+    /// cancels the pending grant and re-schedules it past the outage.
+    Grant {
+        /// User id.
+        user: usize,
+    },
+}
+
+/// Phase slots for [`CellEvent::order_key`]: the lockstep sweep order.
+const PHASE_AMBIENT: u64 = 0;
+const PHASE_SENSE: u64 = 1;
+const PHASE_WALK: u64 = 2;
+const PHASE_TDMA: u64 = 3;
+const PHASE_GRANT: u64 = 4;
+/// Entity ids occupy the low bits of the key; 40 bits is room for a
+/// trillion luminaires/users per phase.
+const PHASE_SHIFT: u32 = 40;
+
+impl CellEvent {
+    /// The same-instant ordering key this event is scheduled under:
+    /// phase in the high bits, entity id in the low bits. Events at one
+    /// timestamp always fire in ascending key order, no matter when (or
+    /// how often) they were scheduled or re-scheduled.
+    pub fn order_key(&self) -> u64 {
+        let (phase, id) = match *self {
+            CellEvent::AmbientSample => (PHASE_AMBIENT, 0),
+            CellEvent::Sense { lum } => (PHASE_SENSE, lum as u64),
+            CellEvent::Walk { user } => (PHASE_WALK, user as u64),
+            CellEvent::TdmaReschedule => (PHASE_TDMA, 0),
+            CellEvent::Grant { user } => (PHASE_GRANT, user as u64),
+        };
+        debug_assert!(id < 1 << PHASE_SHIFT);
+        (phase << PHASE_SHIFT) | id
+    }
+}
+
+/// The timestamp of tick `tick` — the same expression the lockstep loop
+/// used, so `lux_at` sees identical instants.
+fn tick_time(cfg: &CellConfig, tick: u32) -> SimTime {
+    SimTime::from_nanos((tick as f64 * cfg.tick_s * 1e9) as u64)
+}
+
+struct EventEngine<'a> {
+    cfg: &'a CellConfig,
+    parts: SimParts,
+    tallies: RunTallies,
+    opcache: OperatingPointCache,
+    /// This tick's shared ambient sample (set by `AmbientSample`, the
+    /// first event of every tick).
+    base_lux: f64,
+    /// The tick currently being delivered; advanced by `AmbientSample`.
+    tick: u32,
+    next_tick: u32,
+    /// Per-user handle of the pending `Grant` event, if one is queued.
+    grant: Vec<Option<EventHandle>>,
+    /// First tick at which each user's current outage has fully elapsed.
+    outage_until: Vec<u32>,
+    members: Vec<u32>,
+    rss: Vec<f64>,
+    /// Scratch: ascending ids of the luminaires inside the window.
+    cand: Vec<usize>,
+    interferers: Vec<(Position, f64)>,
+    /// Horizontal range beyond which received power is exactly 0 W
+    /// (FoV cutoff), padded so float rounding can only *include* cells.
+    window_r_m: f64,
+    /// Grid cell pitch along x/y as `ceiling_grid` computed it.
+    dx_m: f64,
+    dy_m: f64,
+    tslot_s: f64,
+}
+
+impl<'a> EventEngine<'a> {
+    fn new(cfg: &'a CellConfig, parts: SimParts) -> EventEngine<'a> {
+        let n_cells = cfg.n_cells();
+        // Beyond drop·tan(FoV) the off-axis angle exceeds the receiver
+        // FoV and `path_gain` returns exactly 0.0; the micro-padding
+        // absorbs rounding at the boundary (inclusion is always safe —
+        // an included far cell just contributes exact zeros).
+        let fov = cfg.optics.rx_fov_deg;
+        let window_r_m = if fov < 89.0 {
+            parts.room.drop_m * fov.to_radians().tan() * (1.0 + 1e-9) + 1e-6
+        } else {
+            f64::INFINITY
+        };
+        EventEngine {
+            cfg,
+            tallies: RunTallies::new(cfg.n_users),
+            opcache: OperatingPointCache::new(),
+            base_lux: 0.0,
+            tick: 0,
+            next_tick: 0,
+            grant: vec![None; cfg.n_users],
+            outage_until: vec![0; cfg.n_users],
+            members: vec![0; n_cells],
+            rss: vec![0.0; n_cells],
+            cand: Vec::with_capacity(n_cells.min(64)),
+            interferers: Vec::with_capacity(n_cells.min(64)),
+            window_r_m,
+            dx_m: parts.room.width_m / cfg.nx as f64,
+            dy_m: parts.room.depth_m / cfg.ny as f64,
+            tslot_s: vlc_channel::link::ChannelConfig::paper_bench(1.0).tslot_s,
+            parts,
+        }
+    }
+
+    /// Ascending ids of every luminaire whose center lies within the
+    /// FoV window box around `pos` — a superset of all cells with
+    /// nonzero received power, read straight off the regular grid.
+    fn fill_window(&mut self, pos: &Position) {
+        self.cand.clear();
+        let (ix_lo, ix_hi) = axis_range(pos.x_m, self.window_r_m, self.dx_m, self.cfg.nx);
+        let (iy_lo, iy_hi) = axis_range(pos.y_m, self.window_r_m, self.dy_m, self.cfg.ny);
+        for j in iy_lo..=iy_hi {
+            for i in ix_lo..=ix_hi {
+                self.cand.push(j * self.cfg.nx + i);
+            }
+        }
+    }
+
+    fn schedule_next(
+        &self,
+        sched: &mut Scheduler<CellEvent>,
+        ev: CellEvent,
+    ) -> Option<EventHandle> {
+        let next = self.tick + 1;
+        if next < self.cfg.ticks {
+            Some(sched.schedule_keyed(tick_time(self.cfg, next), ev.order_key(), ev))
+        } else {
+            None
+        }
+    }
+
+    fn handle(&mut self, sched: &mut Scheduler<CellEvent>, t: SimTime, ev: CellEvent) {
+        match ev {
+            CellEvent::AmbientSample => self.on_ambient(sched, t),
+            CellEvent::Sense { lum } => self.on_sense(sched, lum),
+            CellEvent::Walk { user } => self.on_walk(sched, t, user),
+            CellEvent::TdmaReschedule => self.on_tdma(sched),
+            CellEvent::Grant { user } => self.on_grant(sched, user),
+        }
+    }
+
+    fn on_ambient(&mut self, sched: &mut Scheduler<CellEvent>, t: SimTime) {
+        self.tick = self.next_tick;
+        self.next_tick += 1;
+        self.base_lux = self.parts.ambient.lux_at(t);
+        self.schedule_next(sched, CellEvent::AmbientSample);
+    }
+
+    fn on_sense(&mut self, sched: &mut Scheduler<CellEvent>, lum: usize) {
+        let cfg = self.cfg;
+        let gain = window_gain(&self.parts.room, &self.parts.grid[lum].pos);
+        let st = &mut self.parts.lums[lum];
+        let lux = quantize_lux(
+            self.base_lux * gain + st.rng.next_gaussian() * cfg.sensor_noise_lux,
+            cfg.sensor_res_lux,
+        );
+        let norm = (lux / cfg.full_scale_lux).clamp(0.0, 1.0);
+        let target = self.parts.illum.led_level_for(norm).value();
+        if (perceived(target) - perceived(st.led)).abs() >= self.parts.tau_p {
+            st.smart_steps += self.parts.stepper.step_count(st.led, target) as u64;
+            st.led = target;
+            st.rate_bps = rate_for(&self.parts.planner, target);
+        }
+        st.led_sum += st.led;
+        self.schedule_next(sched, CellEvent::Sense { lum });
+    }
+
+    fn on_walk(&mut self, sched: &mut Scheduler<CellEvent>, t: SimTime, user: usize) {
+        let cfg = self.cfg;
+        self.parts.users[user].step(&self.parts.room, &cfg.mobility, cfg.tick_s);
+        let pos = self.parts.users[user].pos;
+        let serving = self.parts.assocs[user].serving;
+
+        // RSS over the window (plus the serving cell, wherever it is):
+        // everything outside is exactly 0 W, so the subset ranking is
+        // bit-identical to the lockstep full scan.
+        self.fill_window(&pos);
+        if let Err(at) = self.cand.binary_search(&serving) {
+            self.cand.insert(at, serving);
+        }
+        for &i in &self.cand {
+            self.rss[i] = received_power_w(
+                &cfg.optics,
+                &self.parts.room,
+                &self.parts.grid[i].pos,
+                &pos,
+                self.parts.lums[i].led,
+            );
+        }
+
+        if let Some(ev) = self.parts.assocs[user].step_subset(&self.rss, &self.cand, &cfg.policy) {
+            self.tallies.handovers += 1;
+            self.tallies.user_handovers[user] += 1;
+            self.tallies.latency_ticks_sum += ev.latency_ticks as u64;
+            obs::counter_add(obs::key!("sim.cell.handovers"), 1);
+            obs::observe(
+                obs::key!("sim.cell.handover_latency_ms"),
+                (ev.latency_ticks as f64 * cfg.tick_s * 1e3) as u64,
+            );
+            obs::event(t, obs::key!("sim.cell.handover"), user as u64);
+
+            let delay = cfg.policy.assoc_delay_ticks;
+            if delay > 0 {
+                // Account the whole outage window now (the lockstep loop
+                // counted it tick by tick; overlapping handovers extend,
+                // never double-count) and move the user's grant past it.
+                let until_new = self.tick + delay;
+                let lo = self.outage_until[user].max(self.tick);
+                let hi = until_new.min(cfg.ticks);
+                let add = hi.saturating_sub(lo) as u64;
+                self.tallies.user_outage[user] += add;
+                if add > 0 {
+                    obs::counter_add(obs::key!("sim.cell.outage_ticks"), add);
+                }
+                self.outage_until[user] = until_new;
+                if let Some(h) = self.grant[user].take() {
+                    sched.cancel(h);
+                }
+                if until_new < cfg.ticks {
+                    let ev = CellEvent::Grant { user };
+                    self.grant[user] =
+                        Some(sched.schedule_keyed(tick_time(cfg, until_new), ev.order_key(), ev));
+                }
+            }
+        }
+        self.schedule_next(sched, CellEvent::Walk { user });
+    }
+
+    fn on_tdma(&mut self, sched: &mut Scheduler<CellEvent>) {
+        self.members.iter_mut().for_each(|m| *m = 0);
+        for a in &self.parts.assocs {
+            self.members[a.serving] += 1;
+        }
+        for (st, &m) in self.parts.lums.iter_mut().zip(&self.members) {
+            st.users_sum += m as f64;
+        }
+        self.schedule_next(sched, CellEvent::TdmaReschedule);
+    }
+
+    fn on_grant(&mut self, sched: &mut Scheduler<CellEvent>, user: usize) {
+        let cfg = self.cfg;
+        self.grant[user] = None;
+        self.tallies.user_grants[user] += 1;
+        let serving = self.parts.assocs[user].serving;
+        let rate = self.parts.lums[serving].rate_bps;
+        if rate > 0.0 {
+            self.tallies.served_ticks += 1;
+            let pos = self.parts.users[user].pos;
+            let lux_here = quantize_lux(
+                (self.base_lux * window_gain(&self.parts.room, &pos)).max(0.0),
+                cfg.sensor_res_lux,
+            );
+            let ch = cell_channel(
+                &cfg.optics,
+                &self.parts.room,
+                &self.parts.grid[serving].pos,
+                &pos,
+                lux_here,
+            );
+            let det = self.opcache.query(&ch, 1.0, false).detector;
+            // Co-channel luminaires within the window, id order, serving
+            // excluded — cells beyond it contribute exact-zero variance
+            // terms, so the pruned sum is bit-identical to the full one.
+            self.fill_window(&pos);
+            self.interferers.clear();
+            self.interferers.extend(
+                self.cand
+                    .iter()
+                    .filter(|&&i| i != serving)
+                    .map(|&i| (self.parts.grid[i].pos, self.parts.lums[i].led)),
+            );
+            let sigma_cci =
+                interference_sigma_a(&cfg.optics, &self.parts.room, &self.interferers, &pos);
+            if sigma_cci > det.sigma_a {
+                self.tallies.interference_limited += 1;
+            }
+            let det =
+                SlotDetector::from_levels(det.mu_on_a, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
+            let probs = det.error_probs();
+            let p_slot = 0.5 * (probs.p_off_error + probs.p_on_error);
+            let slots_per_frame = (cfg.frame_bits / rate / self.tslot_s).max(1.0);
+            let p_frame_ok = (1.0 - p_slot).powf(slots_per_frame);
+            let share = rate / self.members[serving].max(1) as f64;
+            let bits = share * p_frame_ok * cfg.tick_s;
+            self.tallies.user_bits[user] += bits;
+            self.parts.lums[serving].delivered_bits += bits;
+        }
+        self.grant[user] = self.schedule_next(sched, CellEvent::Grant { user });
+    }
+}
+
+/// Index window along one grid axis: every cell whose center coordinate
+/// `(i + 0.5) · pitch` lies within `r` of `center`, clamped to the grid.
+fn axis_range(center: f64, r: f64, pitch: f64, n: usize) -> (usize, usize) {
+    let lo = ((center - r) / pitch - 0.5).ceil().max(0.0);
+    let hi = ((center + r) / pitch - 0.5).floor().min((n - 1) as f64);
+    if hi < lo {
+        // Can only happen for degenerate optics (FoV window narrower
+        // than half a pitch); an empty window means every cell is at
+        // exactly 0 W, which the handover machine treats as "stay put".
+        (0, 0)
+    } else {
+        (lo as usize, hi as usize)
+    }
+}
+
+/// The event-core implementation behind [`super::run_cell`].
+pub(crate) fn run_cell_event(cfg: &CellConfig, seed: u64) -> CellReport {
+    assert!(cfg.n_cells() >= 1, "need at least one luminaire");
+    assert!(cfg.n_users >= 1, "need at least one user");
+    assert!(cfg.tick_s > 0.0 && cfg.ticks > 0, "need a positive horizon");
+    obs::counter_add(obs::key!("sim.cell.runs"), 1);
+
+    let parts = sim_parts(cfg, seed);
+    let mut eng = EventEngine::new(cfg, parts);
+    let mut sched: Scheduler<CellEvent> = Scheduler::new();
+
+    // Seed tick 0. Order here is irrelevant — the keys decide — but
+    // id-order seeding keeps handles aligned for the grant table.
+    let t0 = tick_time(cfg, 0);
+    let seed_ev = |sched: &mut Scheduler<CellEvent>, ev: CellEvent| {
+        sched.schedule_keyed(t0, ev.order_key(), ev)
+    };
+    seed_ev(&mut sched, CellEvent::AmbientSample);
+    for lum in 0..cfg.n_cells() {
+        seed_ev(&mut sched, CellEvent::Sense { lum });
+    }
+    for user in 0..cfg.n_users {
+        seed_ev(&mut sched, CellEvent::Walk { user });
+    }
+    seed_ev(&mut sched, CellEvent::TdmaReschedule);
+    for user in 0..cfg.n_users {
+        let ev = CellEvent::Grant { user };
+        eng.grant[user] = Some(seed_ev(&mut sched, ev));
+    }
+
+    let events = sched.run_with(None, |s, t, ev| eng.handle(s, t, ev));
+    let queue_peak = sched.high_water() as u64;
+    obs::counter_add(obs::key!("sim.cell.events"), events);
+    obs::gauge_set(obs::key!("sim.cell.queue_peak"), queue_peak as f64);
+
+    let EventEngine {
+        parts,
+        tallies,
+        opcache,
+        tslot_s,
+        ..
+    } = eng;
+    finish_report(cfg, &parts, &tallies, &opcache, tslot_s, events, queue_peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_keys_reproduce_the_lockstep_sweep() {
+        let tick: Vec<u64> = [
+            CellEvent::AmbientSample,
+            CellEvent::Sense { lum: 0 },
+            CellEvent::Sense { lum: 5 },
+            CellEvent::Walk { user: 0 },
+            CellEvent::Walk { user: 9 },
+            CellEvent::TdmaReschedule,
+            CellEvent::Grant { user: 0 },
+            CellEvent::Grant { user: 9 },
+        ]
+        .iter()
+        .map(CellEvent::order_key)
+        .collect();
+        let mut sorted = tick.clone();
+        sorted.sort_unstable();
+        assert_eq!(tick, sorted, "phase/id order must be ascending");
+        assert!(
+            tick.windows(2).all(|w| w[0] < w[1]),
+            "keys must be distinct"
+        );
+    }
+
+    #[test]
+    fn axis_range_covers_the_window_and_clamps_to_the_grid() {
+        // 8 cells at 2.5 m pitch, centers at 1.25, 3.75, ..., 18.75.
+        let (lo, hi) = axis_range(10.0, 6.05, 2.5, 8);
+        assert_eq!((lo, hi), (2, 5)); // centers 6.25..=13.75 within ±6.05
+        let (lo, hi) = axis_range(0.0, 6.05, 2.5, 8);
+        assert_eq!((lo, hi), (0, 1));
+        let (lo, hi) = axis_range(20.0, 6.05, 2.5, 8);
+        assert_eq!((lo, hi), (6, 7));
+        // A window wider than the room covers everything.
+        let (lo, hi) = axis_range(5.0, f64::INFINITY, 2.5, 8);
+        assert_eq!((lo, hi), (0, 7));
+    }
+
+    #[test]
+    fn event_count_and_queue_peak_are_deterministic_and_plausible() {
+        let cfg = CellConfig::standard(2, 2, 3);
+        let a = run_cell_event(&cfg, 99);
+        let b = run_cell_event(&cfg, 99);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.queue_peak, b.queue_peak);
+        // Per tick: 1 ambient + 4 senses + 3 walks + 1 TDMA + ≤3 grants
+        // (grants go missing only during association outages).
+        let ticks = cfg.ticks as u64;
+        assert!(a.events <= ticks * 12, "{}", a.events);
+        assert!(a.events >= ticks * 9, "{}", a.events);
+        assert!(a.queue_peak >= 12, "{}", a.queue_peak);
+    }
+}

@@ -89,15 +89,60 @@ impl Association {
     /// id wins, so the decision is deterministic.
     pub fn step(&mut self, rss_w: &[f64], policy: &HandoverPolicy) -> Option<HandoverEvent> {
         assert!(self.serving < rss_w.len(), "serving cell out of range");
-        if self.outage_left > 0 {
-            self.outage_left -= 1;
-        }
+        self.tick_outage();
         let mut best = 0usize;
         for (i, &p) in rss_w.iter().enumerate() {
             if p > rss_w[best] {
                 best = i;
             }
         }
+        self.decide(rss_w, best, policy)
+    }
+
+    /// Like [`Association::step`], but ranks only the cells in
+    /// `candidates` (ascending cell ids; must include the serving cell).
+    ///
+    /// Reaches a bit-identical decision to [`Association::step`] whenever
+    /// `candidates` contains every cell with nonzero received power:
+    /// luminaires outside the receiver's field of view contribute exactly
+    /// 0 W through the Lambertian path, so the event-driven core's
+    /// neighbourhood window can prune them without perturbing the argmax
+    /// (ties resolve to the lowest id in both variants, and an all-zero
+    /// slate never clears the hysteresis margin either way).
+    pub fn step_subset(
+        &mut self,
+        rss_w: &[f64],
+        candidates: &[usize],
+        policy: &HandoverPolicy,
+    ) -> Option<HandoverEvent> {
+        assert!(self.serving < rss_w.len(), "serving cell out of range");
+        debug_assert!(
+            candidates.contains(&self.serving),
+            "candidates must include the serving cell"
+        );
+        debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        self.tick_outage();
+        let mut best = candidates[0];
+        for &i in candidates {
+            if rss_w[i] > rss_w[best] {
+                best = i;
+            }
+        }
+        self.decide(rss_w, best, policy)
+    }
+
+    fn tick_outage(&mut self) {
+        if self.outage_left > 0 {
+            self.outage_left -= 1;
+        }
+    }
+
+    fn decide(
+        &mut self,
+        rss_w: &[f64],
+        best: usize,
+        policy: &HandoverPolicy,
+    ) -> Option<HandoverEvent> {
         let clears_margin =
             best != self.serving && rss_w[best] > rss_w[self.serving] * policy.hysteresis_ratio();
         if !clears_margin {
@@ -220,6 +265,37 @@ mod tests {
         }
         let ev = assoc.step(&cand2, &p).expect("handover to cell 2");
         assert_eq!(ev.to, 2);
+    }
+
+    #[test]
+    fn step_subset_matches_full_step_on_zero_padded_slates() {
+        // A slate where the far cells are exactly 0 W (outside the FoV):
+        // ranking only the nonzero neighbourhood + serving must reproduce
+        // the full scan, including through a complete handover.
+        let p = policy();
+        let mut full = Association::new(1);
+        let mut sub = Association::new(1);
+        let rss = [0.0, 1.0e-6, 4.1e-6, 0.0, 0.0];
+        for _ in 0..p.dwell_ticks + 4 {
+            let a = full.step(&rss, &p);
+            let b = sub.step_subset(&rss, &[1, 2], &p);
+            assert_eq!(a, b);
+            assert_eq!(full.serving, sub.serving);
+        }
+        assert_eq!(full.serving, 2);
+    }
+
+    #[test]
+    fn step_subset_all_zero_slate_is_inert() {
+        // Every candidate at exactly 0 W (user outside everyone's FoV):
+        // no margin can clear, the serving cell is retained — matching
+        // the full scan, whose argmax lands on index 0 but goes unused.
+        let p = policy();
+        let mut sub = Association::new(3);
+        for _ in 0..100 {
+            assert_eq!(sub.step_subset(&[0.0; 5], &[2, 3, 4], &p), None);
+            assert_eq!(sub.serving, 3);
+        }
     }
 
     #[test]

@@ -25,12 +25,24 @@
 //! comes from a keyed [`desim::DetRng`] stream per luminaire and per
 //! user, so a whole-room run is a pure function of its seed and
 //! bit-identical at any `SMARTVLC_THREADS`.
+//!
+//! Since the event-driven refactor, [`run_cell`] executes on the
+//! [`desim::Scheduler`] event queue ([`event`]): every ambient sample,
+//! luminaire sensing pass, user walk, TDMA recount and per-user grant is
+//! a typed [`CellEvent`], and per-user work touches only the luminaires
+//! inside the receiver's field of view — which is what lets the battery
+//! scale to 32×32 grids serving 1000 users. The retired lockstep loop
+//! survives as [`run_cell_lockstep`] (deprecated) purely as the
+//! equivalence oracle: on any configuration the two produce bit-identical
+//! [`CellReport`]s, and the `cell_equivalence` test suite asserts it.
 
+pub mod event;
 pub mod geometry;
 pub mod handover;
 pub mod mobility;
 pub mod suite;
 
+pub use event::CellEvent;
 pub use geometry::{
     ceiling_grid, cell_channel, interference_sigma_a, received_power_w, CellOptics, Luminaire,
     Position, RoomGeometry,
@@ -38,8 +50,9 @@ pub use geometry::{
 pub use handover::{Association, HandoverEvent, HandoverPolicy};
 pub use mobility::{MobileUser, WaypointModel};
 pub use suite::{
-    cell_scenarios, cell_suite_artifacts, cell_suite_json, run_cell_suite, CellScenario,
-    CellSuiteSummary,
+    cell_scale_json, cell_scale_scenarios, cell_scenarios, cell_suite_artifacts, cell_suite_json,
+    run_cell_scale, run_cell_suite, CellScenario, CellSuiteSummary, ScalePoint,
+    QUANTIZED_SENSOR_RES_LUX,
 };
 
 use desim::{DetRng, SimTime};
@@ -48,9 +61,33 @@ use smartvlc_core::adaptation::{perceived, AdaptationStepper, PerceptionStepper}
 use smartvlc_core::dimming::IlluminationTarget;
 use smartvlc_core::{AmppmPlanner, DimmingLevel, SystemConfig};
 use smartvlc_obs as obs;
-use vlc_channel::ambient::{AmbientProfile, BlindRamp};
+use vlc_channel::ambient::{AmbientProfile, BlindRamp, ConstantAmbient};
 use vlc_channel::detector::SlotDetector;
 use vlc_channel::opcache::OperatingPointCache;
+
+/// The ambient field a cell run adapts against.
+///
+/// Selected through [`crate::scenario::CellScenarioBuilder::ambient`];
+/// [`AmbientSpec::PaperDynamic`] is the battery default.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AmbientSpec {
+    /// The paper's wobbling blind pull, scaled to sweep over ~2/3 of the
+    /// run ([`BlindRamp::paper_dynamic`] with the run-sized duration).
+    PaperDynamic,
+    /// A constant field (adaptation settles once, then holds).
+    Constant {
+        /// The fixed illuminance, lux.
+        lux: f64,
+    },
+    /// A smooth-step ramp without fluctuation, over the same run-sized
+    /// duration as [`AmbientSpec::PaperDynamic`].
+    Linearized {
+        /// Illuminance at the start of the ramp, lux.
+        start_lux: f64,
+        /// Illuminance at the end of the ramp, lux.
+        end_lux: f64,
+    },
+}
 
 /// Configuration of one multi-cell run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -82,6 +119,13 @@ pub struct CellConfig {
     pub sensor_noise_lux: f64,
     /// Link-layer frame payload, bits (sets frame error amplification).
     pub frame_bits: f64,
+    /// The shared ambient field driving adaptation.
+    pub ambient: AmbientSpec,
+    /// Ambient-sensor quantization resolution, lux — real sensors report
+    /// in finite steps, which makes operating points repeat and the
+    /// per-run op-point cache earn hits. `0.0` disables quantization
+    /// (the historical behaviour, and the artifact-stable default).
+    pub sensor_res_lux: f64,
 }
 
 impl CellConfig {
@@ -103,6 +147,8 @@ impl CellConfig {
             full_scale_lux: 10_000.0,
             sensor_noise_lux: 25.0,
             frame_bits: 2048.0,
+            ambient: AmbientSpec::PaperDynamic,
+            sensor_res_lux: 0.0,
         }
     }
 
@@ -138,6 +184,12 @@ pub struct UserOutcome {
     pub handovers: u64,
     /// Ticks spent in association outage.
     pub outage_ticks: u64,
+    /// Ticks holding a usable TDMA grant (whether or not the serving
+    /// cell's planned rate was nonzero). Every tick is either a grant
+    /// tick or an outage tick: `grant_ticks + outage_ticks == ticks` —
+    /// the conservation law the event core's grant cancellation and
+    /// re-scheduling must preserve (property-tested).
+    pub grant_ticks: u64,
 }
 
 /// Per-cell outcome of a run.
@@ -186,27 +238,79 @@ pub struct CellReport {
     /// user-tick covers `tick_s / tslot_s` slots of airtime. Deterministic;
     /// the denominator for ns/slot in `cell_suite`.
     pub slots_equivalent: f64,
+    /// Events delivered off the scheduler queue over the run — a pure
+    /// function of `(cfg, seed)`, so it participates in the byte-equality
+    /// gate. Zero when the run came from the deprecated lockstep path.
+    pub events: u64,
+    /// Scheduler queue-depth high-water mark. Deterministic; zero on the
+    /// lockstep path.
+    pub queue_peak: u64,
 }
 
-struct LuminaireState {
-    led: f64,
-    rate_bps: f64,
-    smart_steps: u64,
-    led_sum: f64,
-    users_sum: f64,
-    delivered_bits: f64,
-    rng: DetRng,
+pub(crate) struct LuminaireState {
+    pub(crate) led: f64,
+    pub(crate) rate_bps: f64,
+    pub(crate) smart_steps: u64,
+    pub(crate) led_sum: f64,
+    pub(crate) users_sum: f64,
+    pub(crate) delivered_bits: f64,
+    pub(crate) rng: DetRng,
 }
 
-/// Run one multi-cell scenario to completion. Deterministic per
-/// `(cfg, seed)`: the shared ambient, every luminaire's sensor noise and
-/// every user's walk derive from keyed forks of `seed`.
-pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
-    assert!(cfg.n_cells() >= 1, "need at least one luminaire");
-    assert!(cfg.n_users >= 1, "need at least one user");
-    assert!(cfg.tick_s > 0.0 && cfg.ticks > 0, "need a positive horizon");
-    obs::counter_add(obs::key!("sim.cell.runs"), 1);
+/// Quantize a sensed illuminance to the sensor's reporting resolution
+/// (`res <= 0` disables — bit-exact identity).
+pub(crate) fn quantize_lux(lux: f64, res: f64) -> f64 {
+    if res > 0.0 {
+        (lux / res).round() * res
+    } else {
+        lux
+    }
+}
 
+/// Everything both simulation cores build identically from `(cfg, seed)`
+/// before the first tick: geometry, planner, keyed RNG streams, the
+/// shared ambient field, and the initial (strongest-cell) associations.
+/// Factoring this out is what makes "the event core reproduces the
+/// lockstep core bit-for-bit" a statement about the tick loop alone.
+pub(crate) struct SimParts {
+    pub(crate) room: RoomGeometry,
+    pub(crate) grid: Vec<Luminaire>,
+    pub(crate) tau_p: f64,
+    pub(crate) planner: AmppmPlanner,
+    pub(crate) illum: IlluminationTarget,
+    pub(crate) stepper: PerceptionStepper,
+    pub(crate) ambient: Box<dyn AmbientProfile>,
+    pub(crate) lums: Vec<LuminaireState>,
+    pub(crate) users: Vec<MobileUser>,
+    pub(crate) assocs: Vec<Association>,
+}
+
+pub(crate) fn rate_for(planner: &AmppmPlanner, led: f64) -> f64 {
+    planner
+        .plan_clamped(DimmingLevel::clamped(led))
+        .map(|p| p.rate_bps)
+        .unwrap_or(0.0)
+}
+
+fn build_ambient(cfg: &CellConfig, root: &DetRng) -> Box<dyn AmbientProfile> {
+    let run_duration_s = (cfg.ticks as f64 * cfg.tick_s * 0.66).max(1.0);
+    match cfg.ambient {
+        AmbientSpec::PaperDynamic => {
+            // The shared sky: one blind pull sweeping near-dark to bright
+            // sunny office over the run, so every cell adapts — at a depth
+            // set by its window gradient.
+            let mut a = BlindRamp::paper_dynamic(root.fork("ambient"));
+            a.duration_s = run_duration_s;
+            Box::new(a)
+        }
+        AmbientSpec::Constant { lux } => Box::new(ConstantAmbient { lux }),
+        AmbientSpec::Linearized { start_lux, end_lux } => {
+            Box::new(BlindRamp::linearized(start_lux, end_lux, run_duration_s))
+        }
+    }
+}
+
+pub(crate) fn sim_parts(cfg: &CellConfig, seed: u64) -> SimParts {
     let root = DetRng::seed_from_u64(seed);
     let room = cfg.room();
     let grid = ceiling_grid(&room, cfg.nx, cfg.ny);
@@ -214,25 +318,13 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
     let planner = AmppmPlanner::new(sys.clone()).expect("valid system config");
     let illum = IlluminationTarget::new(cfg.i_sum);
     let stepper = PerceptionStepper::new(sys.tau_p);
+    let ambient = build_ambient(cfg, &root);
 
-    // The shared sky: one blind pull sweeping near-dark to bright sunny
-    // office over the run, so every cell adapts — at a depth set by its
-    // window gradient.
-    let mut ambient = BlindRamp::paper_dynamic(root.fork("ambient"));
-    ambient.duration_s = (cfg.ticks as f64 * cfg.tick_s * 0.66).max(1.0);
-
-    let rate_for = |led: f64| -> f64 {
-        planner
-            .plan_clamped(DimmingLevel::clamped(led))
-            .map(|p| p.rate_bps)
-            .unwrap_or(0.0)
-    };
-
-    let mut lums: Vec<LuminaireState> = grid
+    let lums: Vec<LuminaireState> = grid
         .iter()
         .map(|l| LuminaireState {
             led: 1.0,
-            rate_bps: rate_for(1.0),
+            rate_bps: rate_for(&planner, 1.0),
             smart_steps: 0,
             led_sum: 0.0,
             users_sum: 0.0,
@@ -241,7 +333,7 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         })
         .collect();
 
-    let mut users: Vec<MobileUser> = (0..cfg.n_users)
+    let users: Vec<MobileUser> = (0..cfg.n_users)
         .map(|j| {
             MobileUser::new(
                 j,
@@ -253,7 +345,7 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         .collect();
 
     // Initial association: strongest cell at the spawn position.
-    let mut assocs: Vec<Association> = users
+    let assocs: Vec<Association> = users
         .iter()
         .map(|u| {
             let mut best = 0usize;
@@ -269,13 +361,150 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         })
         .collect();
 
-    let mut user_bits = vec![0.0f64; cfg.n_users];
-    let mut user_handovers = vec![0u64; cfg.n_users];
-    let mut user_outage = vec![0u64; cfg.n_users];
-    let mut latency_ticks_sum = 0u64;
-    let mut handovers = 0u64;
-    let mut served_ticks = 0u64;
-    let mut interference_limited = 0u64;
+    SimParts {
+        room,
+        grid,
+        tau_p: sys.tau_p,
+        planner,
+        illum,
+        stepper,
+        ambient,
+        lums,
+        users,
+        assocs,
+    }
+}
+
+/// The integer/float accumulators both cores advance tick by tick, and
+/// the report construction they share.
+pub(crate) struct RunTallies {
+    pub(crate) user_bits: Vec<f64>,
+    pub(crate) user_handovers: Vec<u64>,
+    pub(crate) user_outage: Vec<u64>,
+    pub(crate) user_grants: Vec<u64>,
+    pub(crate) latency_ticks_sum: u64,
+    pub(crate) handovers: u64,
+    pub(crate) served_ticks: u64,
+    pub(crate) interference_limited: u64,
+}
+
+impl RunTallies {
+    pub(crate) fn new(n_users: usize) -> RunTallies {
+        RunTallies {
+            user_bits: vec![0.0; n_users],
+            user_handovers: vec![0; n_users],
+            user_outage: vec![0; n_users],
+            user_grants: vec![0; n_users],
+            latency_ticks_sum: 0,
+            handovers: 0,
+            served_ticks: 0,
+            interference_limited: 0,
+        }
+    }
+}
+
+pub(crate) fn finish_report(
+    cfg: &CellConfig,
+    parts: &SimParts,
+    t: &RunTallies,
+    opcache: &OperatingPointCache,
+    tslot_s: f64,
+    events: u64,
+    queue_peak: u64,
+) -> CellReport {
+    let duration_s = cfg.ticks as f64 * cfg.tick_s;
+    let users_out: Vec<UserOutcome> = (0..cfg.n_users)
+        .map(|j| UserOutcome {
+            id: j,
+            delivered_bits: t.user_bits[j],
+            goodput_bps: t.user_bits[j] / duration_s,
+            handovers: t.user_handovers[j],
+            outage_ticks: t.user_outage[j],
+            grant_ticks: t.user_grants[j],
+        })
+        .collect();
+    let cells_out: Vec<CellOutcome> = parts
+        .grid
+        .iter()
+        .zip(&parts.lums)
+        .map(|(l, st)| CellOutcome {
+            id: l.id,
+            delivered_bits: st.delivered_bits,
+            mean_led: st.led_sum / cfg.ticks as f64,
+            mean_users: st.users_sum / cfg.ticks as f64,
+            smart_steps: st.smart_steps,
+        })
+        .collect();
+    let aggregate_goodput_bps = users_out.iter().map(|u| u.goodput_bps).sum();
+    CellReport {
+        aggregate_goodput_bps,
+        handovers: t.handovers,
+        mean_handover_latency_s: if t.handovers > 0 {
+            Some(t.latency_ticks_sum as f64 / t.handovers as f64 * cfg.tick_s)
+        } else {
+            None
+        },
+        outage_fraction: t.user_outage.iter().sum::<u64>() as f64
+            / (cfg.ticks as u64 * cfg.n_users as u64) as f64,
+        interference_limited_fraction: if t.served_ticks > 0 {
+            t.interference_limited as f64 / t.served_ticks as f64
+        } else {
+            0.0
+        },
+        users: users_out,
+        cells: cells_out,
+        duration_s,
+        opcache_hits: opcache.hits(),
+        opcache_misses: opcache.misses(),
+        slots_equivalent: t.served_ticks as f64 * (cfg.tick_s / tslot_s),
+        events,
+        queue_peak,
+    }
+}
+
+/// Run one multi-cell scenario to completion. Deterministic per
+/// `(cfg, seed)`: the shared ambient, every luminaire's sensor noise and
+/// every user's walk derive from keyed forks of `seed`.
+///
+/// Executes on the [`desim::Scheduler`] event core ([`event`]); the
+/// result is bit-identical to the retired lockstep loop
+/// ([`run_cell_lockstep`]) on every configuration.
+pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
+    event::run_cell_event(cfg, seed)
+}
+
+/// The original lockstep tick loop, kept as the equivalence oracle for
+/// the event-driven core: it steps every luminaire and every user each
+/// tick, scanning all cells per user, so it cannot scale past small
+/// grids — but its output defines what [`run_cell`] must reproduce
+/// bit-for-bit (the `cell_equivalence` test suite asserts exactly that).
+///
+/// Fields only the event core can measure ([`CellReport::events`],
+/// [`CellReport::queue_peak`]) report 0 here.
+#[deprecated(
+    note = "superseded by the event-driven core behind `run_cell`; kept one release \
+            as the bit-equivalence oracle (see ARCHITECTURE.md, 'Event-driven cell core')"
+)]
+pub fn run_cell_lockstep(cfg: &CellConfig, seed: u64) -> CellReport {
+    assert!(cfg.n_cells() >= 1, "need at least one luminaire");
+    assert!(cfg.n_users >= 1, "need at least one user");
+    assert!(cfg.tick_s > 0.0 && cfg.ticks > 0, "need a positive horizon");
+    obs::counter_add(obs::key!("sim.cell.runs"), 1);
+
+    let SimParts {
+        room,
+        grid,
+        tau_p,
+        planner,
+        illum,
+        stepper,
+        mut ambient,
+        mut lums,
+        mut users,
+        mut assocs,
+    } = sim_parts(cfg, seed);
+
+    let mut tallies = RunTallies::new(cfg.n_users);
     let tslot_s = vlc_channel::link::ChannelConfig::paper_bench(1.0).tslot_s;
 
     // One operating-point cache per run (never process-global: a shared
@@ -299,14 +528,17 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         // Luminaires: sense (own sensor, own noise stream), adapt through
         // the perception deadband, replan only when the level moved.
         for (st, l) in lums.iter_mut().zip(&grid) {
-            let lux = base_lux * window_gain(&room, &l.pos)
-                + st.rng.next_gaussian() * cfg.sensor_noise_lux;
+            let lux = quantize_lux(
+                base_lux * window_gain(&room, &l.pos)
+                    + st.rng.next_gaussian() * cfg.sensor_noise_lux,
+                cfg.sensor_res_lux,
+            );
             let norm = (lux / cfg.full_scale_lux).clamp(0.0, 1.0);
             let target = illum.led_level_for(norm).value();
-            if (perceived(target) - perceived(st.led)).abs() >= sys.tau_p {
+            if (perceived(target) - perceived(st.led)).abs() >= tau_p {
                 st.smart_steps += stepper.step_count(st.led, target) as u64;
                 st.led = target;
-                st.rate_bps = rate_for(target);
+                st.rate_bps = rate_for(&planner, target);
             }
             st.led_sum += st.led;
         }
@@ -319,9 +551,9 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
                 rss[l.id] = received_power_w(&cfg.optics, &room, &l.pos, &u.pos, st.led);
             }
             if let Some(ev) = assocs[j].step(&rss, &cfg.policy) {
-                handovers += 1;
-                user_handovers[j] += 1;
-                latency_ticks_sum += ev.latency_ticks as u64;
+                tallies.handovers += 1;
+                tallies.user_handovers[j] += 1;
+                tallies.latency_ticks_sum += ev.latency_ticks as u64;
                 obs::counter_add(obs::key!("sim.cell.handovers"), 1);
                 obs::observe(
                     obs::key!("sim.cell.handover_latency_ms"),
@@ -348,18 +580,22 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
         for (j, u) in users.iter().enumerate() {
             let a = &assocs[j];
             if a.in_outage() {
-                user_outage[j] += 1;
+                tallies.user_outage[j] += 1;
                 obs::counter_add(obs::key!("sim.cell.outage_ticks"), 1);
                 continue;
             }
+            tallies.user_grants[j] += 1;
             let serving = a.serving;
             let rate = lums[serving].rate_bps;
             if rate <= 0.0 {
                 continue;
             }
-            served_ticks += 1;
+            tallies.served_ticks += 1;
             let lum_pos = &grid[serving].pos;
-            let lux_here = (base_lux * window_gain(&room, &u.pos)).max(0.0);
+            let lux_here = quantize_lux(
+                (base_lux * window_gain(&room, &u.pos)).max(0.0),
+                cfg.sensor_res_lux,
+            );
             let ch = cell_channel(&cfg.optics, &room, lum_pos, &u.pos, lux_here);
             let det = opcache.query(&ch, 1.0, false).detector;
             interferers.clear();
@@ -371,7 +607,7 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
             );
             let sigma_cci = interference_sigma_a(&cfg.optics, &room, &interferers, &u.pos);
             if sigma_cci > det.sigma_a {
-                interference_limited += 1;
+                tallies.interference_limited += 1;
             }
             let det =
                 SlotDetector::from_levels(det.mu_on_a, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
@@ -383,55 +619,24 @@ pub fn run_cell(cfg: &CellConfig, seed: u64) -> CellReport {
             let p_frame_ok = (1.0 - p_slot).powf(slots_per_frame);
             let share = rate / members[serving].max(1) as f64;
             let bits = share * p_frame_ok * cfg.tick_s;
-            user_bits[j] += bits;
+            tallies.user_bits[j] += bits;
             lums[serving].delivered_bits += bits;
         }
     }
 
-    let duration_s = cfg.ticks as f64 * cfg.tick_s;
-    let users_out: Vec<UserOutcome> = (0..cfg.n_users)
-        .map(|j| UserOutcome {
-            id: j,
-            delivered_bits: user_bits[j],
-            goodput_bps: user_bits[j] / duration_s,
-            handovers: user_handovers[j],
-            outage_ticks: user_outage[j],
-        })
-        .collect();
-    let cells_out: Vec<CellOutcome> = grid
-        .iter()
-        .zip(&lums)
-        .map(|(l, st)| CellOutcome {
-            id: l.id,
-            delivered_bits: st.delivered_bits,
-            mean_led: st.led_sum / cfg.ticks as f64,
-            mean_users: st.users_sum / cfg.ticks as f64,
-            smart_steps: st.smart_steps,
-        })
-        .collect();
-    let aggregate_goodput_bps = users_out.iter().map(|u| u.goodput_bps).sum();
-    CellReport {
-        aggregate_goodput_bps,
-        handovers,
-        mean_handover_latency_s: if handovers > 0 {
-            Some(latency_ticks_sum as f64 / handovers as f64 * cfg.tick_s)
-        } else {
-            None
-        },
-        outage_fraction: user_outage.iter().sum::<u64>() as f64
-            / (cfg.ticks as u64 * cfg.n_users as u64) as f64,
-        interference_limited_fraction: if served_ticks > 0 {
-            interference_limited as f64 / served_ticks as f64
-        } else {
-            0.0
-        },
-        users: users_out,
-        cells: cells_out,
-        duration_s,
-        opcache_hits: opcache.hits(),
-        opcache_misses: opcache.misses(),
-        slots_equivalent: served_ticks as f64 * (cfg.tick_s / tslot_s),
-    }
+    let parts = SimParts {
+        room,
+        grid,
+        tau_p,
+        planner,
+        illum,
+        stepper,
+        ambient,
+        lums,
+        users,
+        assocs,
+    };
+    finish_report(cfg, &parts, &tallies, &opcache, tslot_s, 0, 0)
 }
 
 #[cfg(test)]

@@ -37,14 +37,15 @@ pub const CHAOS_DURATION_S: u64 = 4;
 pub const CHAOS_FEC_NOMINAL: FecMode = FecMode::Medium;
 
 /// A named, reproducible fault schedule.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct ChaosScenario {
     /// Stable identifier (also the JSON key in `BENCH_chaos.json`).
     pub name: &'static str,
     /// One-line description of what goes wrong.
     pub description: &'static str,
     /// Schedule builder — pure, so every replicate sees the same plan.
-    events: fn() -> Vec<FaultEvent>,
+    /// Constructed through [`crate::scenario::ChaosScenarioBuilder`].
+    pub(crate) events: fn() -> Vec<FaultEvent>,
 }
 
 impl ChaosScenario {
@@ -148,49 +149,56 @@ fn kitchen_sink_events() -> Vec<FaultEvent> {
 
 /// The standard scenario battery, in report order.
 pub fn chaos_scenarios() -> Vec<ChaosScenario> {
+    let sc = |name, description, events| {
+        crate::scenario::ChaosScenarioBuilder::new(name)
+            .description(description)
+            .events(events)
+            .build()
+            .expect("static battery scenarios are valid")
+    };
     vec![
-        ChaosScenario {
-            name: "ambient_spike",
-            description: "ambient step + decaying glare impulse",
-            events: ambient_spike_events,
-        },
-        ChaosScenario {
-            name: "occlusion_burst",
-            description: "-5 dB partial beam occlusion for 800 ms",
-            events: occlusion_burst_events,
-        },
-        ChaosScenario {
-            name: "clock_drift",
-            description: "LED clock 400 ppm fast for 2 s",
-            events: clock_drift_events,
-        },
-        ChaosScenario {
-            name: "slip_storm",
-            description: "four discrete symbol slips, both signs",
-            events: slip_storm_events,
-        },
-        ChaosScenario {
-            name: "saturation",
-            description: "receiver front end railed for 600 ms",
-            events: saturation_events,
-        },
-        ChaosScenario {
-            name: "uplink_flaky",
-            description: "50% ACK loss + 30% dup + 25 ms jitter for 2 s",
-            events: uplink_flaky_events,
-        },
-        ChaosScenario {
-            name: "kitchen_sink",
-            description: "everything above, overlapping",
-            events: kitchen_sink_events,
-        },
+        sc(
+            "ambient_spike",
+            "ambient step + decaying glare impulse",
+            ambient_spike_events,
+        ),
+        sc(
+            "occlusion_burst",
+            "-5 dB partial beam occlusion for 800 ms",
+            occlusion_burst_events,
+        ),
+        sc(
+            "clock_drift",
+            "LED clock 400 ppm fast for 2 s",
+            clock_drift_events,
+        ),
+        sc(
+            "slip_storm",
+            "four discrete symbol slips, both signs",
+            slip_storm_events,
+        ),
+        sc(
+            "saturation",
+            "receiver front end railed for 600 ms",
+            saturation_events,
+        ),
+        sc(
+            "uplink_flaky",
+            "50% ACK loss + 30% dup + 25 ms jitter for 2 s",
+            uplink_flaky_events,
+        ),
+        sc(
+            "kitchen_sink",
+            "everything above, overlapping",
+            kitchen_sink_events,
+        ),
         // Appended last so the per-task seed derivation of every scenario
         // above is untouched (seeds index by scenario position).
-        ChaosScenario {
-            name: "deep_fade",
-            description: "glare + partial occlusion overlapping, blackout core",
-            events: deep_fade_events,
-        },
+        sc(
+            "deep_fade",
+            "glare + partial occlusion overlapping, blackout core",
+            deep_fade_events,
+        ),
     ]
 }
 

@@ -16,6 +16,9 @@
 //! * [`runner`] — the deterministic parallel work pool every sweep fans
 //!   out on: `(point × seed)` tasks with keyed RNG streams, bit-identical
 //!   results at any `SMARTVLC_THREADS`.
+//! * [`scenario`] — the shared scenario-builder API: every battery's
+//!   scenario list is assembled through a validated builder returning a
+//!   typed [`ScenarioError`] on bad configuration.
 //!
 //! Beyond the paper's own evaluation:
 //!
@@ -72,13 +75,15 @@ pub mod net_suite;
 pub mod perception;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod static_run;
 pub mod stats_util;
 
 pub use broadcast::{run_broadcast, Seat, SeatReport};
 pub use cell::{
-    cell_scenarios, cell_suite_artifacts, cell_suite_json, run_cell, run_cell_suite, CellConfig,
-    CellReport, CellScenario, CellSuiteSummary,
+    cell_scale_json, cell_scale_scenarios, cell_scenarios, cell_suite_artifacts, cell_suite_json,
+    run_cell, run_cell_scale, run_cell_suite, AmbientSpec, CellConfig, CellEvent, CellReport,
+    CellScenario, CellSuiteSummary, ScalePoint,
 };
 pub use chaos::{
     chaos_scenarios, run_chaos_scenario, run_chaos_scenario_fec, run_chaos_suite,
@@ -97,6 +102,7 @@ pub use runner::{
     par_map, par_sweep, par_sweep_summaries, parse_thread_count, task_rng, task_seed, thread_count,
     TaskId,
 };
+pub use scenario::{CellScenarioBuilder, ChaosScenarioBuilder, NetScenarioBuilder, ScenarioError};
 pub use static_run::{
     run_distance_matrix, run_distance_sweep, run_incidence_matrix, run_incidence_sweep,
     run_scheme_comparison, run_scheme_matrix, StaticPoint,

@@ -30,17 +30,18 @@ pub const NET_DURATION_S: u64 = 6;
 pub const NET_FEC_NOMINAL: FecMode = FecMode::Medium;
 
 /// A named workload mix + fault schedule.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct NetScenario {
     /// Stable identifier (also the JSON key in `BENCH_net.json`).
     pub name: &'static str,
     /// One-line description of the mix.
     pub description: &'static str,
-    /// Workload builder — pure, one MAC flow per entry.
-    workloads: fn() -> Vec<WorkloadSpec>,
+    /// Workload builder — pure, one MAC flow per entry. Constructed
+    /// through [`crate::scenario::NetScenarioBuilder`].
+    pub(crate) workloads: fn() -> Vec<WorkloadSpec>,
     /// Fault schedule builder — pure, so every replicate sees the same
     /// plan (empty = the cooperative channel).
-    events: fn() -> Vec<FaultEvent>,
+    pub(crate) events: fn() -> Vec<FaultEvent>,
 }
 
 impl NetScenario {
@@ -102,31 +103,35 @@ fn bulk_vs_keepalive() -> Vec<WorkloadSpec> {
 
 /// The standard mix battery, in report order.
 pub fn net_scenarios() -> Vec<NetScenario> {
+    let build = |b: crate::scenario::NetScenarioBuilder| {
+        b.build().expect("static battery scenarios are valid")
+    };
+    let sc = crate::scenario::NetScenarioBuilder::new;
     vec![
-        NetScenario {
-            name: "web_pair",
-            description: "two web-browsing flows, mid-run beam fade",
-            workloads: web_pair,
-            events: mid_run_fade,
-        },
-        NetScenario {
-            name: "video_call",
-            description: "56 kbit/s video + IoT telemetry, mid-run beam fade",
-            workloads: video_call,
-            events: mid_run_fade,
-        },
-        NetScenario {
-            name: "iot_swarm",
-            description: "four bursty IoT telemetry flows, mid-run beam fade",
-            workloads: iot_swarm,
-            events: mid_run_fade,
-        },
-        NetScenario {
-            name: "bulk_vs_keepalive",
-            description: "oversubscribed: 2x video + web vs IoT keepalives (DRR fairness)",
-            workloads: bulk_vs_keepalive,
-            events: Vec::new,
-        },
+        build(
+            sc("web_pair")
+                .description("two web-browsing flows, mid-run beam fade")
+                .workloads(web_pair)
+                .events(mid_run_fade),
+        ),
+        build(
+            sc("video_call")
+                .description("56 kbit/s video + IoT telemetry, mid-run beam fade")
+                .workloads(video_call)
+                .events(mid_run_fade),
+        ),
+        build(
+            sc("iot_swarm")
+                .description("four bursty IoT telemetry flows, mid-run beam fade")
+                .workloads(iot_swarm)
+                .events(mid_run_fade),
+        ),
+        // No fault schedule: the cooperative channel is the point here.
+        build(
+            sc("bulk_vs_keepalive")
+                .description("oversubscribed: 2x video + web vs IoT keepalives (DRR fairness)")
+                .workloads(bulk_vs_keepalive),
+        ),
     ]
 }
 

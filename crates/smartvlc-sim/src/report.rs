@@ -1,13 +1,22 @@
-//! Tabular and terminal output for the figure/table generators.
+//! Tabular and terminal output for the figure/table generators — and the
+//! one import path for every battery's result types.
 //!
 //! Every `bench` binary both *prints* its figure (markdown table and an
 //! ASCII chart, so the reproduction is inspectable without plotting
 //! tools) and *persists* the raw series as CSV next to the binary's
 //! working directory for external plotting.
+//!
+//! Battery summaries used to be reachable only through three
+//! module-local paths (`cell::suite`, `chaos`, `net_suite`); a report
+//! consumer can now import everything it renders from here.
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+pub use crate::cell::suite::{CellScenario, CellSuiteSummary, ScalePoint};
+pub use crate::chaos::{ChaosFecComparison, ChaosOutcome, ChaosScenario, ChaosSummary};
+pub use crate::net_suite::{NetFecComparison, NetOutcome, NetScenario, NetSummary};
 
 /// Write rows as CSV.
 pub fn write_csv<P: AsRef<Path>>(
