@@ -16,15 +16,23 @@
 //! determinism diff filters it out; CI's perf gate asserts its 8×8
 //! events/sec against a tracked floor).
 //!
+//! The **policy battery** compares the TDMA scheduling policies
+//! (equal-share, proportional-fair, coordinated-edge) on the reference
+//! 4×4 and 8×8 grids with the smartvlc-net workload mix replayed:
+//! per-policy goodput, Jain fairness, cell-edge (p5) user rate and
+//! per-flow completion times land in the `"policies"` section, and an
+//! in-binary gate asserts the coordinated scheduler never leaves
+//! cell-edge users worse off than equal share on the 4×4 grid.
+//!
 //! The suite re-runs itself at `SMARTVLC_THREADS=1` and `=8` and
-//! verifies both batteries' reports are byte-identical — the runner's
+//! verifies all batteries' reports are byte-identical — the runner's
 //! determinism contract, enforced on the cell path every time this
 //! binary runs (CI diffs the same pair).
 
 use smartvlc_bench::{f, full_run, results_dir};
 use smartvlc_sim::cell::{
-    cell_scale_json, cell_scale_scenarios, cell_suite_artifacts, run_cell, run_cell_scale,
-    CellSuiteSummary, ScalePoint,
+    cell_policy_json, cell_scale_json, cell_scale_scenarios, cell_suite_artifacts, run_cell,
+    run_cell_policies, run_cell_scale, CellSuiteSummary, ScalePoint,
 };
 use smartvlc_sim::report::markdown_table;
 use smartvlc_sim::task_seed;
@@ -86,6 +94,36 @@ fn main() {
         "scale battery differs between serial and SMARTVLC_THREADS=8"
     );
 
+    // Policy battery: every scheduling policy on the reference grids with
+    // the net workload mix replayed — deterministic end to end, so the
+    // 1-vs-8-thread byte gate covers it like the main battery. Policies
+    // sharing a grid run the same seed, so the columns compare nothing
+    // but the scheduler.
+    let policies = with_threads(1, || run_cell_policies(BASE_SEED));
+    let policy_json = cell_policy_json(&policies);
+    let policies_par = with_threads(8, || run_cell_policies(BASE_SEED));
+    assert_eq!(
+        policy_json,
+        cell_policy_json(&policies_par),
+        "policy battery differs between SMARTVLC_THREADS=1 and 8"
+    );
+    // Coordination gate: on the reference 4×4 grid the coordinated
+    // scheduler must not leave cell-edge users worse off than equal
+    // share (CI re-checks this from the written artifact).
+    let p5 = |policy: &str| {
+        policies
+            .iter()
+            .find(|p| p.nx == 4 && p.policy == policy)
+            .map(|p| p.edge_p5_goodput_bps)
+            .expect("4x4 policy point present")
+    };
+    assert!(
+        p5("coordinated_edge") >= p5("equal_share"),
+        "cell-edge p5 regressed under coordination: {} < {}",
+        p5("coordinated_edge"),
+        p5("equal_share")
+    );
+
     // Wall-clock is legitimately nondeterministic, so it is spliced into
     // the artifact only AFTER the byte-equality gates above ran on the
     // pristine strings (CI's determinism diff filters these lines out).
@@ -122,6 +160,12 @@ fn main() {
     let serial = serial.replacen(
         "  \"scenarios\": [",
         &format!("  \"scaling\": {scale_json},\n  \"scenarios\": ["),
+        1,
+    );
+    // The policy comparison is deterministic end to end (gated above).
+    let serial = serial.replacen(
+        "  \"scenarios\": [",
+        &format!("  \"policies\": {policy_json},\n  \"scenarios\": ["),
         1,
     );
 
@@ -199,6 +243,45 @@ fn main() {
             &scale_rows,
         )
     );
+
+    let mut policy_rows = Vec::new();
+    for p in &policies {
+        let t = p.traffic.as_ref();
+        policy_rows.push(vec![
+            format!("{}x{}", p.nx, p.ny),
+            p.users.to_string(),
+            p.policy.to_string(),
+            f(p.aggregate_goodput_bps / 1000.0, 1),
+            f(p.jain_fairness, 3),
+            f(p.edge_p5_goodput_bps / 1000.0, 1),
+            format!("{}/{}", p.coord_grants, p.coord_blocked),
+            t.map_or("-".into(), |t| {
+                format!("{}/{}", t.flows_completed, t.flows_offered)
+            }),
+            t.and_then(|t| t.fct_p50_s).map_or("-".into(), |v| f(v, 2)),
+            t.and_then(|t| t.fct_p95_s).map_or("-".into(), |v| f(v, 2)),
+        ]);
+    }
+    println!("\n# Scheduling policies — net workload replay, same seed per grid\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "grid",
+                "users",
+                "policy",
+                "aggregate kbit/s",
+                "Jain",
+                "edge p5 kbit/s",
+                "coord ok/blocked",
+                "flows done/offered",
+                "FCT p50 s",
+                "FCT p95 s",
+            ],
+            &policy_rows,
+        )
+    );
+    println!("gate: coordinated_edge cell-edge p5 >= equal_share on the 4x4 grid");
 
     let path = results_dir().join("BENCH_cell.json");
     std::fs::write(&path, &serial).expect("write BENCH_cell.json");

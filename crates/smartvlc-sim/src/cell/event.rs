@@ -41,6 +41,8 @@
 //! handle it in `EventEngine::handle`, and seed/re-schedule it like the
 //! others. The keyed queue does the rest.
 
+use super::sched::{CellScheduler, LinkEstimate, ScheduleContext, SchedulerSpec, TickPlan};
+use super::traffic::{CellTrafficSpec, TrafficState};
 use super::{
     cell_channel, finish_report, interference_sigma_a, quantize_lux, rate_for, received_power_w,
     sim_parts, window_gain, CellConfig, CellReport, Position, RunTallies, SimParts,
@@ -147,11 +149,33 @@ struct EventEngine<'a> {
     dx_m: f64,
     dy_m: f64,
     tslot_s: f64,
+    /// The active scheduling policy (`cfg.scheduler`, built per run).
+    scheduler: Box<dyn CellScheduler>,
+    /// Cached `scheduler.needs_link_estimates()`.
+    wants_estimates: bool,
+    /// This tick's grants, recomputed at each `TdmaReschedule`.
+    plan: TickPlan,
+    /// Scratch: per-cell planned rates at the TDMA phase.
+    cell_rates: Vec<f64>,
+    /// Scratch: per-user serving cell at the TDMA phase.
+    serving: Vec<usize>,
+    /// Scratch: per-user grant-fires-this-tick flags.
+    eligible: Vec<bool>,
+    /// Scratch: per-user link estimates (zeroed when not wanted).
+    estimates: Vec<LinkEstimate>,
+    /// The net-workload observer, when `cfg.traffic` asks for it.
+    traffic: Option<TrafficState>,
 }
 
 impl<'a> EventEngine<'a> {
-    fn new(cfg: &'a CellConfig, parts: SimParts) -> EventEngine<'a> {
+    fn new(cfg: &'a CellConfig, parts: SimParts, seed: u64) -> EventEngine<'a> {
         let n_cells = cfg.n_cells();
+        let scheduler = cfg.scheduler.build();
+        let wants_estimates = scheduler.needs_link_estimates();
+        let traffic = match cfg.traffic {
+            CellTrafficSpec::Saturated => None,
+            CellTrafficSpec::NetMix => Some(TrafficState::new(cfg.n_users, seed)),
+        };
         // Beyond drop·tan(FoV) the off-axis angle exceeds the receiver
         // FoV and `path_gain` returns exactly 0.0; the micro-padding
         // absorbs rounding at the boundary (inclusion is always safe —
@@ -179,6 +203,14 @@ impl<'a> EventEngine<'a> {
             dx_m: parts.room.width_m / cfg.nx as f64,
             dy_m: parts.room.depth_m / cfg.ny as f64,
             tslot_s: vlc_channel::link::ChannelConfig::paper_bench(1.0).tslot_s,
+            scheduler,
+            wants_estimates,
+            plan: TickPlan::new(cfg.n_users),
+            cell_rates: vec![0.0; n_cells],
+            serving: vec![0; cfg.n_users],
+            eligible: vec![false; cfg.n_users],
+            estimates: vec![LinkEstimate::default(); cfg.n_users],
+            traffic,
             parts,
         }
     }
@@ -315,7 +347,107 @@ impl<'a> EventEngine<'a> {
         for (st, &m) in self.parts.lums.iter_mut().zip(&self.members) {
             st.users_sum += m as f64;
         }
+
+        // Grant recomputation: snapshot this tick's rates, serving cells
+        // and eligibility (all settled — senses and walks fired in
+        // earlier phases), compute link estimates if the policy wants
+        // them, and let it fill the plan the grant events execute.
+        for (r, st) in self.cell_rates.iter_mut().zip(&self.parts.lums) {
+            *r = st.rate_bps;
+        }
+        for u in 0..self.cfg.n_users {
+            self.serving[u] = self.parts.assocs[u].serving;
+            // Eligible ⇔ a Grant event fires this tick: handover cancels
+            // the grant and pushes `outage_until` past the outage in the
+            // same motion, so the two are always in step. (The converse
+            // doesn't hold — during an outage the re-scheduled grant's
+            // handle is already live for a future tick.)
+            self.eligible[u] = self.outage_until[u] <= self.tick;
+            debug_assert!(!self.eligible[u] || self.grant[u].is_some());
+        }
+        if self.wants_estimates {
+            for u in 0..self.cfg.n_users {
+                self.estimates[u] = if self.eligible[u] {
+                    self.link_estimate(u)
+                } else {
+                    LinkEstimate::default()
+                };
+            }
+        }
+        self.plan.reset(self.cfg.n_users);
+        let ctx = ScheduleContext {
+            tick: self.tick,
+            members: &self.members,
+            rate_bps: &self.cell_rates,
+            serving: &self.serving,
+            eligible: &self.eligible,
+            estimates: if self.wants_estimates {
+                &self.estimates
+            } else {
+                &[]
+            },
+        };
+        self.scheduler.reschedule(&ctx, &mut self.plan);
         self.schedule_next(sched, CellEvent::TdmaReschedule);
+    }
+
+    /// Analytic link estimate for one eligible user at the TDMA phase:
+    /// the same operating-point/interference math the grant path runs,
+    /// summarized into what a policy can rank on. Costs one opcache
+    /// query per call (the grant's own query then hits the cache), which
+    /// is why policies opt in via `needs_link_estimates`.
+    fn link_estimate(&mut self, user: usize) -> LinkEstimate {
+        let cfg = self.cfg;
+        let serving = self.parts.assocs[user].serving;
+        let rate = self.parts.lums[serving].rate_bps;
+        if rate <= 0.0 {
+            return LinkEstimate::default();
+        }
+        let pos = self.parts.users[user].pos;
+        let lux_here = quantize_lux(
+            (self.base_lux * window_gain(&self.parts.room, &pos)).max(0.0),
+            cfg.sensor_res_lux,
+        );
+        let ch = cell_channel(
+            &cfg.optics,
+            &self.parts.room,
+            &self.parts.grid[serving].pos,
+            &pos,
+            lux_here,
+        );
+        let det = self.opcache.query(&ch, 1.0, false).detector;
+        self.fill_window(&pos);
+        // Per-interferer contributions (ascending cell id, strict `>`:
+        // dominant ties break to the lowest id).
+        let mut var = 0.0;
+        let mut dominant: Option<(usize, f64)> = None;
+        for &i in &self.cand {
+            if i == serving {
+                continue;
+            }
+            let one = [(self.parts.grid[i].pos, self.parts.lums[i].led)];
+            let sig = interference_sigma_a(&cfg.optics, &self.parts.room, &one, &pos);
+            var += sig * sig;
+            if sig > 0.0 && dominant.is_none_or(|(_, s)| sig > s) {
+                dominant = Some((i, sig));
+            }
+        }
+        let sigma_cci = var.sqrt();
+        let noisy =
+            SlotDetector::from_levels(det.mu_on_a, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
+        let probs = noisy.error_probs();
+        let p_slot = 0.5 * (probs.p_off_error + probs.p_on_error);
+        let slots_per_frame = (cfg.frame_bits / rate / self.tslot_s).max(1.0);
+        let p_frame_ok = (1.0 - p_slot).powf(slots_per_frame);
+        let swing = 0.5 * (det.mu_on_a - det.mu_off_a);
+        let sinr = swing * swing
+            / (det.sigma_a * det.sigma_a + sigma_cci * sigma_cci).max(f64::MIN_POSITIVE);
+        LinkEstimate {
+            rate_bps: rate * p_frame_ok,
+            sinr_db: 10.0 * sinr.max(f64::MIN_POSITIVE).log10(),
+            interference_limited: sigma_cci > det.sigma_a,
+            dominant_cell: dominant.map(|(i, _)| i),
+        }
     }
 
     fn on_grant(&mut self, sched: &mut Scheduler<CellEvent>, user: usize) {
@@ -324,7 +456,12 @@ impl<'a> EventEngine<'a> {
         self.tallies.user_grants[user] += 1;
         let serving = self.parts.assocs[user].serving;
         let rate = self.parts.lums[serving].rate_bps;
-        if rate > 0.0 {
+        let granted_bps = self.plan.grant_bps(user);
+        let coord = self.plan.coord(user);
+        let mut achieved_bps = 0.0;
+        let mut bits = 0.0;
+        if granted_bps > 0.0 {
+            debug_assert!(rate > 0.0, "a grant implies a live serving cell");
             self.tallies.served_ticks += 1;
             let pos = self.parts.users[user].pos;
             let lux_here = quantize_lux(
@@ -340,14 +477,16 @@ impl<'a> EventEngine<'a> {
             );
             let det = self.opcache.query(&ch, 1.0, false).detector;
             // Co-channel luminaires within the window, id order, serving
-            // excluded — cells beyond it contribute exact-zero variance
-            // terms, so the pruned sum is bit-identical to the full one.
+            // (and a coordinating donor) excluded — cells beyond the
+            // window contribute exact-zero variance terms, so the pruned
+            // sum is bit-identical to the full one.
             self.fill_window(&pos);
+            let donor = coord.map(|c| c.donor);
             self.interferers.clear();
             self.interferers.extend(
                 self.cand
                     .iter()
-                    .filter(|&&i| i != serving)
+                    .filter(|&&i| i != serving && Some(i) != donor)
                     .map(|&i| (self.parts.grid[i].pos, self.parts.lums[i].led)),
             );
             let sigma_cci =
@@ -355,16 +494,38 @@ impl<'a> EventEngine<'a> {
             if sigma_cci > det.sigma_a {
                 self.tallies.interference_limited += 1;
             }
-            let det =
-                SlotDetector::from_levels(det.mu_on_a, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
+            let mut mu_on = det.mu_on_a;
+            if let Some(c) = coord {
+                self.tallies.coord_grants += 1;
+                if c.joint_serve {
+                    // The donor transmits the user's symbols in phase:
+                    // its swing raises the ON level instead of raising
+                    // the interference floor.
+                    let ch_d = cell_channel(
+                        &cfg.optics,
+                        &self.parts.room,
+                        &self.parts.grid[c.donor].pos,
+                        &pos,
+                        lux_here,
+                    );
+                    let det_d = self.opcache.query(&ch_d, 1.0, false).detector;
+                    mu_on += det_d.mu_on_a - det_d.mu_off_a;
+                }
+            }
+            let det = SlotDetector::from_levels(mu_on, det.mu_off_a, det.sigma_a.hypot(sigma_cci));
             let probs = det.error_probs();
             let p_slot = 0.5 * (probs.p_off_error + probs.p_on_error);
             let slots_per_frame = (cfg.frame_bits / rate / self.tslot_s).max(1.0);
             let p_frame_ok = (1.0 - p_slot).powf(slots_per_frame);
-            let share = rate / self.members[serving].max(1) as f64;
-            let bits = share * p_frame_ok * cfg.tick_s;
+            achieved_bps = granted_bps * p_frame_ok;
+            bits = granted_bps * p_frame_ok * cfg.tick_s;
             self.tallies.user_bits[user] += bits;
             self.parts.lums[serving].delivered_bits += bits;
+        }
+        self.scheduler.on_delivered(user, achieved_bps);
+        if let Some(ts) = self.traffic.as_mut() {
+            let end_s = (self.tick + 1) as f64 * cfg.tick_s;
+            ts.on_grant(user, tick_time(cfg, self.tick), end_s, bits);
         }
         self.grant[user] = self.schedule_next(sched, CellEvent::Grant { user });
     }
@@ -393,7 +554,7 @@ pub(crate) fn run_cell_event(cfg: &CellConfig, seed: u64) -> CellReport {
     obs::counter_add(obs::key!("sim.cell.runs"), 1);
 
     let parts = sim_parts(cfg, seed);
-    let mut eng = EventEngine::new(cfg, parts);
+    let mut eng = EventEngine::new(cfg, parts, seed);
     let mut sched: Scheduler<CellEvent> = Scheduler::new();
 
     // Seed tick 0. Order here is irrelevant — the keys decide — but
@@ -420,14 +581,52 @@ pub(crate) fn run_cell_event(cfg: &CellConfig, seed: u64) -> CellReport {
     obs::counter_add(obs::key!("sim.cell.events"), events);
     obs::gauge_set(obs::key!("sim.cell.queue_peak"), queue_peak as f64);
 
+    let sched_stats = eng.scheduler.stats();
+    let traffic_report = eng.traffic.as_ref().map(|t| t.report());
     let EventEngine {
         parts,
-        tallies,
+        mut tallies,
         opcache,
         tslot_s,
         ..
     } = eng;
-    finish_report(cfg, &parts, &tallies, &opcache, tslot_s, events, queue_peak)
+    tallies.coord_blocked = sched_stats.coord_blocked;
+    // New policies get their own counter namespace; the legacy
+    // equal-share path emits exactly the legacy telemetry so existing
+    // artifacts stay byte-identical.
+    if !matches!(cfg.scheduler, SchedulerSpec::EqualShare) {
+        obs::counter_add(
+            match cfg.scheduler {
+                SchedulerSpec::EqualShare => unreachable!(),
+                SchedulerSpec::ProportionalFair { .. } => obs::key!("sim.cell.sched.pf_runs"),
+                SchedulerSpec::CoordinatedEdge { .. } => obs::key!("sim.cell.sched.coord_runs"),
+            },
+            1,
+        );
+        obs::counter_add(obs::key!("sim.cell.sched.grants"), tallies.served_ticks);
+        if tallies.coord_grants > 0 {
+            obs::counter_add(
+                obs::key!("sim.cell.sched.coord_grants"),
+                tallies.coord_grants,
+            );
+        }
+        if tallies.coord_blocked > 0 {
+            obs::counter_add(
+                obs::key!("sim.cell.sched.coord_blocked"),
+                tallies.coord_blocked,
+            );
+        }
+    }
+    finish_report(
+        cfg,
+        &parts,
+        &tallies,
+        &opcache,
+        tslot_s,
+        events,
+        queue_peak,
+        traffic_report,
+    )
 }
 
 #[cfg(test)]

@@ -13,7 +13,9 @@
 //!   cells by received signal strength through the Lambertian path
 //!   ([`geometry`]), and hands over with hysteresis ([`handover`]);
 //! * within a cell, associated users share the planned AMPPM rate by
-//!   TDMA (equal round-robin shares);
+//!   TDMA under a pluggable scheduling policy ([`sched`]): equal
+//!   round-robin shares (the default, bit-identical to the historical
+//!   behaviour), proportional-fair, or coordinated cell-edge serving;
 //! * co-channel luminaires contribute interference at the slot detector
 //!   via the same optics/photodiode path ([`geometry::interference_sigma_a`]).
 //!
@@ -40,7 +42,9 @@ pub mod event;
 pub mod geometry;
 pub mod handover;
 pub mod mobility;
+pub mod sched;
 pub mod suite;
+pub mod traffic;
 
 pub use event::CellEvent;
 pub use geometry::{
@@ -49,11 +53,17 @@ pub use geometry::{
 };
 pub use handover::{Association, HandoverEvent, HandoverPolicy};
 pub use mobility::{MobileUser, WaypointModel};
+pub use sched::{
+    CellScheduler, CoordGrant, CoordinatedEdge, EqualShare, LinkEstimate, ProportionalFair,
+    SchedStats, ScheduleContext, SchedulerSpec, TickPlan,
+};
 pub use suite::{
-    cell_scale_json, cell_scale_scenarios, cell_scenarios, cell_suite_artifacts, cell_suite_json,
-    run_cell_scale, run_cell_suite, CellScenario, CellSuiteSummary, ScalePoint,
+    cell_policy_json, cell_policy_scenarios, cell_scale_json, cell_scale_scenarios, cell_scenarios,
+    cell_suite_artifacts, cell_suite_json, run_cell_policies, run_cell_scale, run_cell_suite,
+    CellScenario, CellSuiteSummary, PolicyPoint, PolicyScenario, ScalePoint,
     QUANTIZED_SENSOR_RES_LUX,
 };
+pub use traffic::{CellTrafficReport, CellTrafficSpec};
 
 use desim::{DetRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -126,6 +136,14 @@ pub struct CellConfig {
     /// per-run op-point cache earn hits. `0.0` disables quantization
     /// (the historical behaviour, and the artifact-stable default).
     pub sensor_res_lux: f64,
+    /// The TDMA scheduling policy ([`sched`]). The default,
+    /// [`SchedulerSpec::EqualShare`], reproduces the historical
+    /// scheduler bit for bit — opcache accounting included.
+    pub scheduler: SchedulerSpec,
+    /// What the users download ([`traffic`]). The default,
+    /// [`CellTrafficSpec::Saturated`], is the historical full-buffer
+    /// model (no flow accounting).
+    pub traffic: CellTrafficSpec,
 }
 
 impl CellConfig {
@@ -149,6 +167,8 @@ impl CellConfig {
             frame_bits: 2048.0,
             ambient: AmbientSpec::PaperDynamic,
             sensor_res_lux: 0.0,
+            scheduler: SchedulerSpec::EqualShare,
+            traffic: CellTrafficSpec::Saturated,
         }
     }
 
@@ -245,6 +265,21 @@ pub struct CellReport {
     /// Scheduler queue-depth high-water mark. Deterministic; zero on the
     /// lockstep path.
     pub queue_peak: u64,
+    /// Jain fairness index of the per-user goodputs:
+    /// `(Σg)² / (n·Σg²)` — 1.0 is perfectly fair, `1/n` is one user
+    /// taking everything (and, by convention, 1.0 when nothing moved).
+    pub jain_fairness: f64,
+    /// 5th-percentile per-user goodput (nearest rank), bit/s — the
+    /// cell-edge user experience the coordinated scheduler targets.
+    pub edge_p5_goodput_bps: f64,
+    /// Coordination grants actually applied at delivery time (0 for
+    /// policies without coordination).
+    pub coord_grants: u64,
+    /// Coordination requests the donor ledger rejected.
+    pub coord_blocked: u64,
+    /// Flow-level outcome when the run replayed the net workload mix
+    /// ([`CellTrafficSpec::NetMix`]); `None` under the saturated model.
+    pub traffic: Option<CellTrafficReport>,
 }
 
 pub(crate) struct LuminaireState {
@@ -386,6 +421,11 @@ pub(crate) struct RunTallies {
     pub(crate) handovers: u64,
     pub(crate) served_ticks: u64,
     pub(crate) interference_limited: u64,
+    /// Coordination grants applied at delivery (always 0 on the lockstep
+    /// path and under policies without coordination).
+    pub(crate) coord_grants: u64,
+    /// Coordination requests rejected by the donor ledger.
+    pub(crate) coord_blocked: u64,
 }
 
 impl RunTallies {
@@ -399,10 +439,26 @@ impl RunTallies {
             handovers: 0,
             served_ticks: 0,
             interference_limited: 0,
+            coord_grants: 0,
+            coord_blocked: 0,
         }
     }
 }
 
+/// Jain's fairness index over per-user goodputs: `(Σg)² / (n·Σg²)`,
+/// defined as 1.0 for an empty or all-zero sample (nothing moved —
+/// nothing was unfair).
+pub fn jain_index(goodputs: &[f64]) -> f64 {
+    let sum: f64 = goodputs.iter().sum();
+    let sum_sq: f64 = goodputs.iter().map(|g| g * g).sum();
+    if sum_sq > 0.0 {
+        sum * sum / (goodputs.len() as f64 * sum_sq)
+    } else {
+        1.0
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal assembly point: both cores feed it
 pub(crate) fn finish_report(
     cfg: &CellConfig,
     parts: &SimParts,
@@ -411,6 +467,7 @@ pub(crate) fn finish_report(
     tslot_s: f64,
     events: u64,
     queue_peak: u64,
+    traffic: Option<CellTrafficReport>,
 ) -> CellReport {
     let duration_s = cfg.ticks as f64 * cfg.tick_s;
     let users_out: Vec<UserOutcome> = (0..cfg.n_users)
@@ -436,8 +493,16 @@ pub(crate) fn finish_report(
         })
         .collect();
     let aggregate_goodput_bps = users_out.iter().map(|u| u.goodput_bps).sum();
+    let goodputs: Vec<f64> = users_out.iter().map(|u| u.goodput_bps).collect();
+    let jain_fairness = jain_index(&goodputs);
+    let edge_p5_goodput_bps = crate::stats_util::try_percentile(&goodputs, 5.0).unwrap_or(0.0);
     CellReport {
         aggregate_goodput_bps,
+        jain_fairness,
+        edge_p5_goodput_bps,
+        coord_grants: t.coord_grants,
+        coord_blocked: t.coord_blocked,
+        traffic,
         handovers: t.handovers,
         mean_handover_latency_s: if t.handovers > 0 {
             Some(t.latency_ticks_sum as f64 / t.handovers as f64 * cfg.tick_s)
@@ -489,6 +554,14 @@ pub fn run_cell_lockstep(cfg: &CellConfig, seed: u64) -> CellReport {
     assert!(cfg.n_cells() >= 1, "need at least one luminaire");
     assert!(cfg.n_users >= 1, "need at least one user");
     assert!(cfg.tick_s > 0.0 && cfg.ticks > 0, "need a positive horizon");
+    // The oracle predates the pluggable scheduler: it hard-codes the
+    // equal-share arithmetic, so it can only vouch for that policy.
+    // (The traffic observer is also absent here — it perturbs nothing,
+    // so equal-share fingerprints still match with it enabled.)
+    assert!(
+        matches!(cfg.scheduler, SchedulerSpec::EqualShare),
+        "the lockstep oracle only implements the EqualShare policy"
+    );
     obs::counter_add(obs::key!("sim.cell.runs"), 1);
 
     let SimParts {
@@ -636,7 +709,7 @@ pub fn run_cell_lockstep(cfg: &CellConfig, seed: u64) -> CellReport {
         users,
         assocs,
     };
-    finish_report(cfg, &parts, &tallies, &opcache, tslot_s, 0, 0)
+    finish_report(cfg, &parts, &tallies, &opcache, tslot_s, 0, 0, None)
 }
 
 #[cfg(test)]

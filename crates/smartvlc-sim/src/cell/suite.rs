@@ -18,7 +18,7 @@
 //!   bin times them and splices the (nondeterministic) wall-clock curve
 //!   into the artifact after the byte-equality gate.
 
-use super::{run_cell, CellConfig, CellReport};
+use super::{run_cell, CellConfig, CellReport, CellTrafficReport, CellTrafficSpec, SchedulerSpec};
 use crate::runner::{par_sweep, task_seed, TaskId};
 use crate::scenario::CellScenarioBuilder;
 
@@ -312,8 +312,165 @@ fn summarize(
     }
 }
 
-fn f6(v: f64) -> String {
+pub(crate) fn f6(v: f64) -> String {
     format!("{v:.6}")
+}
+
+/// One point of the **policy battery**: a reference grid run under one
+/// scheduling policy with the smartvlc-net workload mix replayed
+/// ([`CellTrafficSpec::NetMix`]).
+#[derive(Clone, Debug)]
+pub struct PolicyScenario {
+    /// Stable identifier (also the JSON key):
+    /// `policy_{nx}x{ny}_users{n}_{policy}`.
+    pub name: String,
+    /// Index of the grid this point belongs to — policies sharing a grid
+    /// index run on the **same seed**, so their columns compare the
+    /// policies and nothing else.
+    pub grid_index: usize,
+    /// The complete run configuration (scheduler + traffic included).
+    pub cfg: CellConfig,
+}
+
+/// The policy battery: the reference 4×4×12 grid and the 8×8×100
+/// building floor, each under every scheduling policy, with the net
+/// workload mix replayed for per-flow FCTs.
+pub fn cell_policy_scenarios() -> Vec<PolicyScenario> {
+    let mut out = Vec::new();
+    for (grid_index, &(n, users)) in [(4usize, 12usize), (8, 100)].iter().enumerate() {
+        for policy in [
+            SchedulerSpec::EqualShare,
+            SchedulerSpec::proportional_fair(),
+            SchedulerSpec::coordinated_edge(),
+        ] {
+            let name = format!("policy_{n}x{n}_users{users}_{}", policy.name());
+            let sc = CellScenarioBuilder::new()
+                .grid(n, n)
+                .users(users)
+                .scheduler(policy)
+                .traffic(CellTrafficSpec::NetMix)
+                .name(name.clone())
+                .build()
+                .expect("policy battery scenarios are valid");
+            out.push(PolicyScenario {
+                name,
+                grid_index,
+                cfg: sc.cfg,
+            });
+        }
+    }
+    out
+}
+
+/// One row of the policy comparison: everything the per-policy columns of
+/// `BENCH_cell.json` report. Fully deterministic — the whole struct
+/// participates in the byte-equality gate.
+#[derive(Clone, Debug)]
+pub struct PolicyPoint {
+    /// Scenario name (JSON key).
+    pub name: String,
+    /// Policy name (`equal_share` / `proportional_fair` /
+    /// `coordinated_edge`).
+    pub policy: &'static str,
+    /// Grid extent along x.
+    pub nx: usize,
+    /// Grid extent along y.
+    pub ny: usize,
+    /// Mobile users.
+    pub users: usize,
+    /// Aggregate goodput, bit/s.
+    pub aggregate_goodput_bps: f64,
+    /// Jain fairness index of the per-user goodputs.
+    pub jain_fairness: f64,
+    /// 5th-percentile per-user goodput (cell-edge experience), bit/s.
+    pub edge_p5_goodput_bps: f64,
+    /// Completed handovers.
+    pub handovers: u64,
+    /// Fraction of user-ticks in association outage.
+    pub outage_fraction: f64,
+    /// Coordination grants applied at delivery time.
+    pub coord_grants: u64,
+    /// Coordination requests the donor ledger rejected.
+    pub coord_blocked: u64,
+    /// Flow-level outcome of the replayed net workload mix.
+    pub traffic: Option<CellTrafficReport>,
+}
+
+impl PolicyPoint {
+    /// Fold one run's report into a policy-comparison row.
+    pub fn from_report(sc: &PolicyScenario, r: &CellReport) -> PolicyPoint {
+        PolicyPoint {
+            name: sc.name.clone(),
+            policy: sc.cfg.scheduler.name(),
+            nx: sc.cfg.nx,
+            ny: sc.cfg.ny,
+            users: sc.cfg.n_users,
+            aggregate_goodput_bps: r.aggregate_goodput_bps,
+            jain_fairness: r.jain_fairness,
+            edge_p5_goodput_bps: r.edge_p5_goodput_bps,
+            handovers: r.handovers,
+            outage_fraction: r.outage_fraction,
+            coord_grants: r.coord_grants,
+            coord_blocked: r.coord_blocked,
+            traffic: r.traffic.clone(),
+        }
+    }
+}
+
+/// Run the policy battery on the deterministic work pool. Every policy on
+/// one grid runs the **same seed** (`task_seed(base_seed, grid_index)`),
+/// so the per-policy columns differ only by the scheduler. Byte-identical
+/// output at any `SMARTVLC_THREADS`.
+pub fn run_cell_policies(base_seed: u64) -> Vec<PolicyPoint> {
+    let scenarios = cell_policy_scenarios();
+    let grouped = par_sweep(
+        &scenarios,
+        1,
+        base_seed,
+        |sc: &PolicyScenario, _id: TaskId| {
+            run_cell(&sc.cfg, task_seed(base_seed, sc.grid_index as u64))
+        },
+    );
+    scenarios
+        .iter()
+        .zip(&grouped)
+        .map(|(sc, reps)| PolicyPoint::from_report(sc, &reps[0]))
+        .collect()
+}
+
+/// Deterministic JSON for the policy comparison: a top-level-embeddable
+/// array (2-space base indent), one line per point, stable key order. The
+/// bench bin byte-compares this string between `SMARTVLC_THREADS=1` and
+/// `=8` before splicing it into `BENCH_cell.json`.
+pub fn cell_policy_json(points: &[PolicyPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let traffic = p.traffic.as_ref().map_or("null".to_string(), |t| {
+            format!("{{{}}}", t.to_json_fragment())
+        });
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"policy\": \"{}\", \"grid\": [{}, {}], \"users\": {}, \
+             \"aggregate_goodput_bps\": {}, \"jain_fairness\": {}, \"edge_p5_goodput_bps\": {}, \
+             \"handovers\": {}, \"outage_fraction\": {}, \"coord_grants\": {}, \
+             \"coord_blocked\": {}, \"traffic\": {}}}{}\n",
+            p.name,
+            p.policy,
+            p.nx,
+            p.ny,
+            p.users,
+            f6(p.aggregate_goodput_bps),
+            f6(p.jain_fairness),
+            f6(p.edge_p5_goodput_bps),
+            p.handovers,
+            f6(p.outage_fraction),
+            p.coord_grants,
+            p.coord_blocked,
+            traffic,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]");
+    s
 }
 
 /// Re-indent every line after the first of an embedded JSON block.
@@ -531,6 +688,49 @@ mod tests {
         let q2 = run_cell(&qcfg, 123);
         let sm2 = summarize(scs[0].clone(), reps2, &q2);
         assert_eq!(json, cell_suite_json(&[sm2], 1, 123, &snap));
+    }
+
+    #[test]
+    fn policy_battery_covers_every_policy_on_every_grid() {
+        let scs = cell_policy_scenarios();
+        assert_eq!(scs.len(), 6, "2 grids x 3 policies");
+        let names: std::collections::HashSet<&str> = scs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), scs.len(), "names must be unique");
+        for sc in &scs {
+            assert_eq!(sc.cfg.traffic, CellTrafficSpec::NetMix);
+            assert!(sc.name.contains(sc.cfg.scheduler.name()), "{}", sc.name);
+        }
+        // Same grid index ⇒ same grid ⇒ same seed at run time.
+        for w in scs.chunks(3) {
+            assert!(w.iter().all(|s| s.grid_index == w[0].grid_index));
+            assert!(w.iter().all(|s| s.cfg.nx == w[0].cfg.nx));
+        }
+    }
+
+    #[test]
+    fn policy_json_is_stable_and_embeddable() {
+        let p = PolicyPoint {
+            name: "policy_4x4_users12_equal_share".into(),
+            policy: "equal_share",
+            nx: 4,
+            ny: 4,
+            users: 12,
+            aggregate_goodput_bps: 2.5e6,
+            jain_fairness: 0.91,
+            edge_p5_goodput_bps: 1.2e5,
+            handovers: 31,
+            outage_fraction: 0.02,
+            coord_grants: 0,
+            coord_blocked: 0,
+            traffic: None,
+        };
+        let json = cell_policy_json(&[p.clone(), p]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("  ]"), "embeddable at 2-space indent");
+        assert!(json.contains("\"policy\": \"equal_share\""));
+        assert!(json.contains("\"jain_fairness\": 0.910000"));
+        assert!(json.contains("\"traffic\": null"));
+        assert_eq!(json.matches("\"name\"").count(), 2);
     }
 
     #[test]

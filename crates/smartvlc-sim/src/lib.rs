@@ -81,9 +81,11 @@ pub mod stats_util;
 
 pub use broadcast::{run_broadcast, Seat, SeatReport};
 pub use cell::{
-    cell_scale_json, cell_scale_scenarios, cell_scenarios, cell_suite_artifacts, cell_suite_json,
-    run_cell, run_cell_scale, run_cell_suite, AmbientSpec, CellConfig, CellEvent, CellReport,
-    CellScenario, CellSuiteSummary, ScalePoint,
+    cell_policy_json, cell_policy_scenarios, cell_scale_json, cell_scale_scenarios, cell_scenarios,
+    cell_suite_artifacts, cell_suite_json, jain_index, run_cell, run_cell_policies, run_cell_scale,
+    run_cell_suite, AmbientSpec, CellConfig, CellEvent, CellReport, CellScenario, CellScheduler,
+    CellSuiteSummary, CellTrafficReport, CellTrafficSpec, LinkEstimate, PolicyPoint,
+    PolicyScenario, ScalePoint, SchedulerSpec,
 };
 pub use chaos::{
     chaos_scenarios, run_chaos_scenario, run_chaos_scenario_fec, run_chaos_suite,
@@ -108,5 +110,5 @@ pub use static_run::{
     run_scheme_comparison, run_scheme_matrix, StaticPoint,
 };
 pub use stats_util::{
-    percentiles, summarize, try_percentiles, try_summarize, Percentiles, Summary,
+    percentiles, summarize, try_percentile, try_percentiles, try_summarize, Percentiles, Summary,
 };

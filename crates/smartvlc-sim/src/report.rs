@@ -14,7 +14,9 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-pub use crate::cell::suite::{CellScenario, CellSuiteSummary, ScalePoint};
+pub use crate::cell::suite::{
+    CellScenario, CellSuiteSummary, PolicyPoint, PolicyScenario, ScalePoint,
+};
 pub use crate::chaos::{ChaosFecComparison, ChaosOutcome, ChaosScenario, ChaosSummary};
 pub use crate::net_suite::{NetFecComparison, NetOutcome, NetScenario, NetSummary};
 

@@ -28,7 +28,10 @@
 //! are themselves constructed through these builders, so the validation
 //! here is exercised on every suite run.
 
-use crate::cell::{AmbientSpec, CellConfig, CellScenario, HandoverPolicy, WaypointModel};
+use crate::cell::{
+    AmbientSpec, CellConfig, CellScenario, CellTrafficSpec, HandoverPolicy, SchedulerSpec,
+    WaypointModel,
+};
 use crate::chaos::ChaosScenario;
 use crate::net_suite::NetScenario;
 use smartvlc_net::WorkloadSpec;
@@ -68,6 +71,12 @@ pub enum ScenarioError {
         /// The rejected resolution, lux.
         res_lux: f64,
     },
+    /// A scheduler parameter is out of range (see
+    /// [`SchedulerSpec`]).
+    InvalidScheduler {
+        /// What was out of range.
+        reason: &'static str,
+    },
     /// A net scenario needs at least one workload flow.
     NoWorkloads,
 }
@@ -91,6 +100,9 @@ impl fmt::Display for ScenarioError {
                 f,
                 "sensor resolution must be finite and >= 0 lux, got {res_lux}"
             ),
+            ScenarioError::InvalidScheduler { reason } => {
+                write!(f, "invalid scheduler: {reason}")
+            }
             ScenarioError::NoWorkloads => {
                 write!(f, "net scenario needs at least one workload flow")
             }
@@ -178,6 +190,20 @@ impl CellScenarioBuilder {
         self
     }
 
+    /// The TDMA scheduling policy (default [`SchedulerSpec::EqualShare`],
+    /// the historical bit-exact scheduler).
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.cfg.scheduler = scheduler;
+        self
+    }
+
+    /// What the users download (default [`CellTrafficSpec::Saturated`],
+    /// the historical full-buffer model).
+    pub fn traffic(mut self, traffic: CellTrafficSpec) -> Self {
+        self.cfg.traffic = traffic;
+        self
+    }
+
     /// Arbitrary access to the underlying [`CellConfig`] for knobs
     /// without a dedicated setter.
     pub fn configure(mut self, f: impl FnOnce(&mut CellConfig)) -> Self {
@@ -212,6 +238,31 @@ impl CellScenarioBuilder {
             return Err(ScenarioError::InvalidSensorResolution {
                 res_lux: cfg.sensor_res_lux,
             });
+        }
+        match cfg.scheduler {
+            SchedulerSpec::EqualShare => {}
+            SchedulerSpec::ProportionalFair {
+                ewma_ticks,
+                fairness_exp,
+            } => {
+                if ewma_ticks == 0 {
+                    return Err(ScenarioError::InvalidScheduler {
+                        reason: "proportional-fair EWMA window must be at least 1 tick",
+                    });
+                }
+                if !(fairness_exp.is_finite() && fairness_exp >= 0.0) {
+                    return Err(ScenarioError::InvalidScheduler {
+                        reason: "proportional-fair fairness exponent must be finite and >= 0",
+                    });
+                }
+            }
+            SchedulerSpec::CoordinatedEdge { sinr_margin_db, .. } => {
+                if !sinr_margin_db.is_finite() {
+                    return Err(ScenarioError::InvalidScheduler {
+                        reason: "coordinated-edge SINR margin must be finite",
+                    });
+                }
+            }
         }
         let name = match self.name {
             Some(n) if n.is_empty() => return Err(ScenarioError::EmptyName),
@@ -378,12 +429,54 @@ mod tests {
                 CellScenarioBuilder::new().name(""),
                 ScenarioError::EmptyName,
             ),
+            (
+                CellScenarioBuilder::new().scheduler(SchedulerSpec::ProportionalFair {
+                    ewma_ticks: 0,
+                    fairness_exp: 1.0,
+                }),
+                ScenarioError::InvalidScheduler {
+                    reason: "proportional-fair EWMA window must be at least 1 tick",
+                },
+            ),
+            (
+                CellScenarioBuilder::new().scheduler(SchedulerSpec::ProportionalFair {
+                    ewma_ticks: 50,
+                    fairness_exp: f64::NAN,
+                }),
+                ScenarioError::InvalidScheduler {
+                    reason: "proportional-fair fairness exponent must be finite and >= 0",
+                },
+            ),
+            (
+                CellScenarioBuilder::new().scheduler(SchedulerSpec::CoordinatedEdge {
+                    sinr_margin_db: f64::INFINITY,
+                    joint_serve: true,
+                }),
+                ScenarioError::InvalidScheduler {
+                    reason: "coordinated-edge SINR margin must be finite",
+                },
+            ),
         ];
         for (b, want) in cases {
             let got = b.build().expect_err("must reject");
             // NaN payloads break PartialEq; compare the rendered message.
             assert_eq!(got.to_string(), want.to_string());
         }
+    }
+
+    #[test]
+    fn scheduler_and_traffic_setters_reach_the_config() {
+        let sc = CellScenarioBuilder::new()
+            .scheduler(SchedulerSpec::proportional_fair())
+            .traffic(CellTrafficSpec::NetMix)
+            .build()
+            .unwrap();
+        assert_eq!(sc.cfg.scheduler, SchedulerSpec::proportional_fair());
+        assert_eq!(sc.cfg.traffic, CellTrafficSpec::NetMix);
+        // Defaults stay on the historical pair.
+        let d = CellScenarioBuilder::new().build().unwrap();
+        assert_eq!(d.cfg.scheduler, SchedulerSpec::EqualShare);
+        assert_eq!(d.cfg.traffic, CellTrafficSpec::Saturated);
     }
 
     #[test]

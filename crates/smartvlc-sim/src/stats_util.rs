@@ -93,6 +93,21 @@ pub fn percentiles(samples: &[f64]) -> Percentiles {
     try_percentiles(samples).expect("no samples")
 }
 
+/// A single nearest-rank percentile (`p` in percent, clamped to
+/// `(0, 100]`), or `None` when the sample set is empty — the general
+/// form behind [`try_percentiles`], for percentiles the fixed p50/95/99
+/// summary does not cover (the cell battery's p5 cell-edge rate).
+pub fn try_percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
 impl Summary {
     /// `mean ± ci95` formatted at the given precision.
     pub fn fmt(&self, prec: usize) -> String {
@@ -178,6 +193,23 @@ mod tests {
         let p = percentiles(&[1.0, 2.0]);
         assert_eq!((p.p50, p.p95, p.p99), (1.0, 2.0, 2.0));
         assert_eq!(try_percentiles(&[]), None);
+    }
+
+    #[test]
+    fn single_percentile_matches_the_summary_and_reaches_p5() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(try_percentile(&samples, 5.0), Some(5.0));
+        assert_eq!(
+            try_percentile(&samples, 50.0),
+            Some(percentiles(&samples).p50)
+        );
+        assert_eq!(
+            try_percentile(&samples, 99.0),
+            Some(percentiles(&samples).p99)
+        );
+        assert_eq!(try_percentile(&[], 5.0), None);
+        // Tiny sets: nearest rank still returns an observed sample.
+        assert_eq!(try_percentile(&[3.0, 9.0], 5.0), Some(3.0));
     }
 
     #[test]
